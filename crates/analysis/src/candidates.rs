@@ -1,0 +1,455 @@
+//! Detection of prediction-protection candidate loops.
+//!
+//! Implements the paper's target selection (§4): "we target the legitimate
+//! types of value computation containing the loop or the user function call
+//! that has the number of instructions above threshold". Loops storing
+//! pointers/integers or with trivially cheap bodies are filtered out; those
+//! remain under conventional protection.
+
+use rskip_ir::{BlockId, Inst, Module, Operand, Ty};
+
+use crate::cfg::Cfg;
+use crate::cost::CostModel;
+use crate::dom::DomTree;
+use crate::loops::{InductionVar, Loop, LoopForest};
+use crate::slice::BackwardSlice;
+
+/// What kind of computation produces the protected value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CandidateKind {
+    /// The value is produced by a call to an expensive pure user function
+    /// (paper Fig. 4a, `blackscholes`). `memoizable` is true when the
+    /// callee reads nothing but its arguments, so approximate memoization
+    /// can serve as the second-level predictor (§4.2).
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Whether approximate memoization may be applied.
+        memoizable: bool,
+    },
+    /// The value is produced by one or more inner reduction loops
+    /// (paper Fig. 4b, e.g. `sgemm`, `lud`).
+    SliceLoop,
+}
+
+/// One detected candidate loop.
+#[derive(Clone, Debug)]
+pub struct CandidateLoop {
+    /// Containing function.
+    pub function: String,
+    /// The target loop (cloned from the forest at detection time).
+    pub target: Loop,
+    /// Primary induction variable of the target loop.
+    pub iv: InductionVar,
+    /// Block containing the protected store.
+    pub store_block: BlockId,
+    /// Index of the protected store in that block.
+    pub store_idx: usize,
+    /// Pattern classification.
+    pub kind: CandidateKind,
+    /// The backward slice of the stored value.
+    pub slice: BackwardSlice,
+    /// Static cost estimate of one value computation.
+    pub estimated_cost: f64,
+    /// The loop carries a `no_alias` hint (required when the slice loads
+    /// the cell the store overwrites — the `lud` in-place pattern).
+    pub no_alias: bool,
+    /// Per-loop acceptable-range override from the hint (the paper's
+    /// pragma).
+    pub acceptable_range: Option<f64>,
+}
+
+/// Thresholds for candidate detection.
+#[derive(Clone, Debug)]
+pub struct DetectConfig {
+    /// Minimum weighted cost of a reduction-loop slice.
+    pub min_slice_cost: f64,
+    /// Minimum static cost of a called function (Fig. 4a pattern).
+    pub min_callee_cost: f64,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        DetectConfig {
+            min_slice_cost: 40.0,
+            min_callee_cost: 25.0,
+        }
+    }
+}
+
+impl DetectConfig {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// True if the callee is re-executable: no stores, no intrinsics, no
+/// nested calls. `allow_loads` distinguishes re-executability (loads fine
+/// under the no-alias discipline) from memoizability (no loads at all —
+/// the lookup table must be a pure function of the arguments, §4.2.1:
+/// "the computation should generate the identical output on the same input
+/// set without any side effect").
+fn callee_is_reexecutable(module: &Module, name: &str, allow_loads: bool) -> bool {
+    let Some(f) = module.function(name) else {
+        return false;
+    };
+    for block in &f.blocks {
+        for inst in &block.insts {
+            match inst {
+                Inst::Store { .. } | Inst::IntrinsicCall { .. } | Inst::Call { .. } => {
+                    return false
+                }
+                Inst::Load { .. } if !allow_loads => return false,
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+/// Weighted static cost of one evaluation of the slice.
+fn slice_cost(
+    module: &Module,
+    f: &rskip_ir::Function,
+    forest: &LoopForest,
+    slice: &BackwardSlice,
+    model: &CostModel,
+) -> f64 {
+    let mut cost = 0.0;
+    // Direct instructions (includes subloop bodies once; weight subloops by
+    // trip count instead, so subtract their single-visit cost).
+    let subloop_blocks: std::collections::BTreeSet<BlockId> = slice
+        .subloops
+        .iter()
+        .flat_map(|&i| forest.loops()[i].blocks.iter().copied())
+        .collect();
+    for &(b, idx) in &slice.insts {
+        if subloop_blocks.contains(&b) {
+            continue;
+        }
+        cost += model.inst_cost(&f.block(b).insts[idx]);
+    }
+    for &sub in &slice.subloops {
+        // Only weight top-level included subloops: nested ones are counted
+        // recursively by loop_body_cost.
+        let is_top = slice.subloops.iter().all(|&other| {
+            other == sub
+                || !forest.loops()[other]
+                    .blocks
+                    .is_superset(&forest.loops()[sub].blocks)
+        });
+        if is_top {
+            let trips = forest.loops()[sub].trip_count.unwrap_or(model.default_trip) as f64;
+            cost += trips * model.loop_body_cost(f, forest, sub);
+        }
+    }
+    for callee in &slice.calls {
+        if let Some(cf) = module.function(callee) {
+            cost += model.function_cost(cf);
+        }
+    }
+    cost
+}
+
+/// Scans all protectable functions of `module` for candidate loops.
+///
+/// Returns at most one candidate per loop (the most expensive qualifying
+/// store). Functions with `protect == false` or `outlined == true` are
+/// skipped.
+///
+/// # Example
+///
+/// ```no_run
+/// use rskip_analysis::{find_candidates, DetectConfig};
+/// # let module: rskip_ir::Module = unimplemented!();
+/// let candidates = find_candidates(&module, &DetectConfig::default());
+/// for c in &candidates {
+///     println!("{}: loop at {} ({:?})", c.function, c.target.header, c.kind);
+/// }
+/// ```
+pub fn find_candidates(module: &Module, config: &DetectConfig) -> Vec<CandidateLoop> {
+    let model = CostModel::new();
+    let mut out = Vec::new();
+
+    for f in &module.functions {
+        if !f.attrs.protect || f.attrs.outlined {
+            continue;
+        }
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let forest = LoopForest::new(f, &cfg, &dom);
+
+        for (loop_idx, lp) in forest.loops().iter().enumerate() {
+            let Some(iv) = lp.induction.clone() else {
+                continue;
+            };
+            // Blocks directly in this loop (not in any child loop).
+            let child_blocks: std::collections::BTreeSet<BlockId> = forest
+                .children(loop_idx)
+                .iter()
+                .flat_map(|&c| forest.loops()[c].blocks.iter().copied())
+                .collect();
+
+            let mut best: Option<CandidateLoop> = None;
+            for &b in &lp.blocks {
+                if child_blocks.contains(&b) {
+                    continue;
+                }
+                for (idx, inst) in f.block(b).insts.iter().enumerate() {
+                    let Inst::Store {
+                        ty: Ty::F64,
+                        value: Operand::Reg(_),
+                        ..
+                    } = inst
+                    else {
+                        continue; // integer/pointer stores stay conventional
+                    };
+                    let Ok(slice) = BackwardSlice::compute(f, &forest, loop_idx, b, idx) else {
+                        continue;
+                    };
+                    let hint = f.hint_for(lp.header);
+                    let no_alias = hint.map(|h| h.no_alias).unwrap_or(false);
+                    if slice.aliased_load.is_some() && !no_alias {
+                        // In-place update without the pragma: cannot prove
+                        // re-execution reads unchanged inputs.
+                        continue;
+                    }
+
+                    let cost = slice_cost(module, f, &forest, &slice, &model);
+                    let kind = if slice.subloops.is_empty() && slice.calls.len() == 1 {
+                        let callee = slice.calls[0].clone();
+                        if !callee_is_reexecutable(module, &callee, true) {
+                            continue;
+                        }
+                        // The Fig. 4a pattern stores the call result
+                        // directly: re-execution replays the callee with
+                        // recorded arguments, so nothing may sit between
+                        // the call and the store.
+                        let Inst::Store {
+                            value: Operand::Reg(stored),
+                            ..
+                        } = inst
+                        else {
+                            continue;
+                        };
+                        let call_feeds_store = slice.insts.iter().any(|&(cb, ci)| {
+                            matches!(
+                                &f.block(cb).insts[ci],
+                                Inst::Call { dst: Some(d), .. } if d == stored
+                            )
+                        });
+                        if !call_feeds_store {
+                            continue;
+                        }
+                        let callee_cost = model.function_cost(module.function(&callee).unwrap());
+                        if callee_cost < config.min_callee_cost {
+                            continue;
+                        }
+                        let memoizable = callee_is_reexecutable(module, &callee, false);
+                        CandidateKind::Call { callee, memoizable }
+                    } else if !slice.subloops.is_empty() && slice.calls.is_empty() {
+                        if cost < config.min_slice_cost {
+                            continue;
+                        }
+                        CandidateKind::SliceLoop
+                    } else {
+                        continue; // mixed or trivial patterns stay conventional
+                    };
+
+                    let cand = CandidateLoop {
+                        function: f.name.clone(),
+                        target: lp.clone(),
+                        iv: iv.clone(),
+                        store_block: b,
+                        store_idx: idx,
+                        kind,
+                        slice,
+                        estimated_cost: cost,
+                        no_alias,
+                        acceptable_range: hint.and_then(|h| h.acceptable_range),
+                    };
+                    let better = match &best {
+                        None => true,
+                        Some(cur) => cand.estimated_cost > cur.estimated_cost,
+                    };
+                    if better {
+                        best = Some(cand);
+                    }
+                }
+            }
+            if let Some(c) = best {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rskip_ir::{BinOp, CmpOp, ModuleBuilder, Operand, UnOp};
+
+    /// for i in 0..32 { acc = 0; for k in 0..64 { acc += g[k]*g[k] };
+    /// out[i] = acc }
+    fn expensive_reduction() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global_zeroed("g", Ty::F64, 64);
+        let out = mb.global_zeroed("out", Ty::F64, 32);
+        let mut f = mb.function("f", vec![], None);
+        let entry = f.entry_block();
+        let oh = f.new_block("oh");
+        let pre = f.new_block("pre");
+        let ih = f.new_block("ih");
+        let ib = f.new_block("ib");
+        let fin = f.new_block("fin");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        let k = f.def_reg(Ty::I64, "k");
+        let acc = f.def_reg(Ty::F64, "acc");
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(oh);
+        f.switch_to(oh);
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(32));
+        f.cond_br(Operand::reg(c), pre, exit);
+        f.switch_to(pre);
+        f.mov(acc, Operand::imm_f(0.0));
+        f.mov(k, Operand::imm_i(0));
+        f.br(ih);
+        f.switch_to(ih);
+        let c2 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(k), Operand::imm_i(64));
+        f.cond_br(Operand::reg(c2), ib, fin);
+        f.switch_to(ib);
+        let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(g), Operand::reg(k));
+        let v = f.load(Ty::F64, Operand::reg(addr));
+        let sq = f.bin(BinOp::Mul, Ty::F64, Operand::reg(v), Operand::reg(v));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(sq));
+        f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
+        f.br(ih);
+        f.switch_to(fin);
+        let oaddr = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
+        f.store(Ty::F64, Operand::reg(oaddr), Operand::reg(acc));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(oh);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn detects_reduction_loop_pattern() {
+        let m = expensive_reduction();
+        let cands = find_candidates(&m, &DetectConfig::default());
+        assert_eq!(cands.len(), 1);
+        let c = &cands[0];
+        assert_eq!(c.kind, CandidateKind::SliceLoop);
+        assert_eq!(c.function, "f");
+        assert_eq!(c.target.header, BlockId(1));
+        assert_eq!(c.store_block, BlockId(5));
+        assert!(c.estimated_cost >= 40.0);
+        assert_eq!(c.iv.step, 1);
+    }
+
+    /// Expensive pure function called per iteration.
+    fn call_pattern(expensive: bool) -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let out = mb.global_zeroed("out", Ty::F64, 16);
+        let mut price = mb.function("price", vec![Ty::F64], Some(Ty::F64));
+        let a = price.param(0);
+        let mut v = a;
+        let n = if expensive { 6 } else { 1 };
+        for _ in 0..n {
+            v = price.un(UnOp::Exp, Ty::F64, Operand::reg(v));
+        }
+        price.ret(Some(Operand::reg(v)));
+        price.finish();
+
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let lh = f.new_block("lh");
+        let lb = f.new_block("lb");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(lh);
+        f.switch_to(lh);
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(16));
+        f.cond_br(Operand::reg(c), lb, exit);
+        f.switch_to(lb);
+        let x = f.un(UnOp::IntToFloat, Ty::F64, Operand::reg(i));
+        let p = f.call("price", vec![Operand::reg(x)], Some(Ty::F64)).unwrap();
+        let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
+        f.store(Ty::F64, Operand::reg(addr), Operand::reg(p));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(lh);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn detects_call_pattern_and_memoizability() {
+        let m = call_pattern(true);
+        let cands = find_candidates(&m, &DetectConfig::default());
+        assert_eq!(cands.len(), 1);
+        match &cands[0].kind {
+            CandidateKind::Call { callee, memoizable } => {
+                assert_eq!(callee, "price");
+                assert!(*memoizable);
+            }
+            other => panic!("expected call pattern, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cheap_call_is_filtered_out() {
+        let m = call_pattern(false);
+        let cands = find_candidates(&m, &DetectConfig::default());
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn integer_store_is_not_a_candidate() {
+        let mut mb = ModuleBuilder::new("m");
+        let out = mb.global_zeroed("out", Ty::I64, 16);
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let lb = f.new_block("lb");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(lb);
+        f.switch_to(lb);
+        let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
+        f.store(Ty::I64, Operand::reg(addr), Operand::reg(i));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(16));
+        f.cond_br(Operand::reg(c), lb, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        assert!(find_candidates(&m, &DetectConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn unprotected_functions_are_skipped() {
+        let mut m = expensive_reduction();
+        m.functions[0].attrs.protect = false;
+        assert!(find_candidates(&m, &DetectConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn callee_purity_analysis() {
+        let m = call_pattern(true);
+        assert!(callee_is_reexecutable(&m, "price", false));
+        assert!(!callee_is_reexecutable(&m, "main", true)); // has store+call
+        assert!(!callee_is_reexecutable(&m, "ghost", true));
+    }
+}

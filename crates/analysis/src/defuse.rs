@@ -1,0 +1,129 @@
+//! Def-use chains (paper §3: "thorough static analysis (e.g., def-use
+//! chain)").
+
+use rskip_ir::{BlockId, Function, Reg};
+
+/// A definition site: the instruction at `block[idx]` writes the register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DefSite {
+    /// Containing block.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub idx: usize,
+}
+
+/// A use site. `idx == usize::MAX` denotes a use in the block terminator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UseSite {
+    /// Containing block.
+    pub block: BlockId,
+    /// Instruction index, or `usize::MAX` for the terminator.
+    pub idx: usize,
+}
+
+impl UseSite {
+    /// True if this use is in the block terminator.
+    pub fn is_terminator(&self) -> bool {
+        self.idx == usize::MAX
+    }
+}
+
+/// Def-use chains for one function.
+#[derive(Clone, Debug)]
+pub struct DefUse {
+    defs: Vec<Vec<DefSite>>,
+    uses: Vec<Vec<UseSite>>,
+}
+
+impl DefUse {
+    /// Computes def and use sites for every register of `f`.
+    pub fn new(f: &Function) -> Self {
+        let n = f.regs.len();
+        let mut defs = vec![Vec::new(); n];
+        let mut uses = vec![Vec::new(); n];
+        for (bid, block) in f.iter_blocks() {
+            for (idx, inst) in block.insts.iter().enumerate() {
+                if let Some(d) = inst.dst() {
+                    defs[d.index()].push(DefSite { block: bid, idx });
+                }
+                for r in inst.used_regs() {
+                    uses[r.index()].push(UseSite { block: bid, idx });
+                }
+            }
+            if let Some(rskip_ir::Operand::Reg(r)) = block.term.used_operand() {
+                uses[r.index()].push(UseSite {
+                    block: bid,
+                    idx: usize::MAX,
+                });
+            }
+        }
+        DefUse { defs, uses }
+    }
+
+    /// All definition sites of `r`.
+    pub fn defs(&self, r: Reg) -> &[DefSite] {
+        &self.defs[r.index()]
+    }
+
+    /// All use sites of `r`.
+    pub fn uses(&self, r: Reg) -> &[UseSite] {
+        &self.uses[r.index()]
+    }
+
+    /// True if the register is written exactly once (parameters count as
+    /// zero writes — callers should treat parameter registers separately).
+    pub fn single_def(&self, r: Reg) -> bool {
+        self.defs[r.index()].len() == 1
+    }
+
+    /// True if the register is never read.
+    pub fn is_dead(&self, r: Reg) -> bool {
+        self.uses[r.index()].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rskip_ir::{BinOp, CmpOp, ModuleBuilder, Operand, Ty};
+
+    #[test]
+    fn tracks_defs_and_uses() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![Ty::I64], Some(Ty::I64));
+        let p = f.param(0);
+        let x = f.bin(BinOp::Add, Ty::I64, Operand::reg(p), Operand::imm_i(1));
+        let c = f.cmp(CmpOp::Gt, Ty::I64, Operand::reg(x), Operand::imm_i(0));
+        let exit = f.new_block("exit");
+        f.cond_br(Operand::reg(c), exit, exit);
+        f.switch_to(exit);
+        f.ret(Some(Operand::reg(x)));
+        f.finish();
+        let m = mb.finish();
+        let du = DefUse::new(&m.functions[0]);
+
+        assert!(du.defs(p).is_empty()); // parameter: no explicit def
+        assert_eq!(du.uses(p).len(), 1);
+        assert_eq!(du.defs(x).len(), 1);
+        assert_eq!(du.uses(x).len(), 2); // cmp + ret
+        assert!(du.single_def(x));
+        let term_use = du
+            .uses(c)
+            .iter()
+            .find(|u| u.is_terminator())
+            .expect("condbr use");
+        assert_eq!(term_use.block, rskip_ir::BlockId(0));
+    }
+
+    #[test]
+    fn dead_register_detection() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![], None);
+        let dead = f.mov_new(Ty::I64, Operand::imm_i(7));
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let du = DefUse::new(&m.functions[0]);
+        assert!(du.is_dead(dead));
+    }
+}

@@ -1,0 +1,193 @@
+//! Dominator tree construction.
+//!
+//! Implements the Cooper–Harvey–Kennedy "engineered" iterative algorithm
+//! over reverse postorder — quadratic in the worst case but effectively
+//! linear on real CFGs, and far simpler than Lengauer–Tarjan.
+
+use rskip_ir::{BlockId, Function};
+
+use crate::cfg::Cfg;
+
+/// The dominator tree of one function.
+///
+/// Unreachable blocks have no immediate dominator and dominate nothing.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block (self for the entry).
+    idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f` given its [`Cfg`].
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return DomTree { idom };
+        }
+        idom[0] = Some(BlockId(0));
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            // Walk up by RPO index until the fingers meet.
+            while a != b {
+                while cfg.rpo_index(a).unwrap() > cfg.rpo_index(b).unwrap() {
+                    a = idom[a.index()].unwrap();
+                }
+                while cfg.rpo_index(b).unwrap() > cfg.rpo_index(a).unwrap() {
+                    b = idom[b.index()].unwrap();
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if !cfg.is_reachable(p) {
+                        continue;
+                    }
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.index()] {
+            Some(d) if d != b => Some(d),
+            _ => None,
+        }
+    }
+
+    /// True if `a` dominates `b` (reflexive: every block dominates itself).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// True if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rskip_ir::{CmpOp, ModuleBuilder, Operand, Ty};
+
+    /// Builds a diamond: entry -> (left | right) -> join -> exit.
+    fn diamond() -> rskip_ir::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![Ty::I64], None);
+        let entry = f.entry_block();
+        let left = f.new_block("left");
+        let right = f.new_block("right");
+        let join = f.new_block("join");
+        f.switch_to(entry);
+        let c = f.cmp(CmpOp::Gt, Ty::I64, Operand::reg(f.param(0)), Operand::imm_i(0));
+        f.cond_br(Operand::reg(c), left, right);
+        f.switch_to(left);
+        f.br(join);
+        f.switch_to(right);
+        f.br(join);
+        f.switch_to(join);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let m = diamond();
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let (entry, left, right, join) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(left), Some(entry));
+        assert_eq!(dom.idom(right), Some(entry));
+        assert_eq!(dom.idom(join), Some(entry)); // neither branch dominates join
+        assert!(dom.dominates(entry, join));
+        assert!(!dom.dominates(left, join));
+        assert!(dom.dominates(join, join));
+        assert!(dom.strictly_dominates(entry, left));
+        assert!(!dom.strictly_dominates(entry, entry));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![], None);
+        let entry = f.entry_block();
+        let header = f.new_block("header");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(4));
+        f.cond_br(Operand::reg(c), body, exit);
+        f.switch_to(body);
+        f.bin_into(i, rskip_ir::BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(1)));
+    }
+
+    #[test]
+    fn unreachable_block_dominated_by_nothing() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![], None);
+        let dead = f.new_block("dead");
+        f.ret(None);
+        f.switch_to(dead);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        assert!(!dom.dominates(BlockId(0), BlockId(1)));
+        assert_eq!(dom.idom(BlockId(1)), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! # rskip-analysis — static analyses over the RSkip IR
+//!
+//! The compiler-side half of the RSkip system (paper §3: "the compiler
+//! conducts a thorough static analysis (e.g., def-use chain) and detects
+//! optimization candidates"). The protection passes in `rskip-passes`
+//! consume these analyses:
+//!
+//! * [`Cfg`] — predecessor/successor maps and reverse postorder.
+//! * [`DomTree`] — dominator tree (Cooper–Harvey–Kennedy iteration).
+//! * [`LoopForest`] — natural loops from back edges, with nesting, exits,
+//!   primary induction variables and static trip counts.
+//! * [`DefUse`] — def-use chains per function.
+//! * [`Liveness`] — block-level live-in/live-out register sets.
+//! * [`CostModel`] — the static cost estimation that filters cheap loops
+//!   out of the candidate set (paper §4: "filtered out by the static
+//!   analysis with the cost estimation").
+//! * [`find_candidates`] — detection of prediction-protection target loops:
+//!   stores of expensively-computed values, where the value is produced by
+//!   an inner reduction loop (paper Fig. 4b) or a pure user function call
+//!   (paper Fig. 4a).
+
+#![deny(missing_docs)]
+
+mod candidates;
+mod cfg;
+mod cost;
+mod defuse;
+mod dom;
+mod liveness;
+mod loops;
+mod slice;
+
+pub use candidates::{find_candidates, CandidateKind, CandidateLoop, DetectConfig};
+pub use cfg::Cfg;
+pub use cost::{CostModel, InstClass};
+pub use defuse::{DefSite, DefUse, UseSite};
+pub use dom::DomTree;
+pub use liveness::Liveness;
+pub use loops::{InductionVar, Loop, LoopForest};
+pub use slice::{BackwardSlice, SliceError};

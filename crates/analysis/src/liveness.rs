@@ -1,0 +1,160 @@
+//! Block-level liveness analysis.
+//!
+//! Classic backward dataflow: `live_in(B) = use(B) ∪ (live_out(B) ∖
+//! def(B))`, `live_out(B) = ⋃ live_in(succ)`. The paper notes that "any
+//! compiler optimization to reduce register lifetime will be helpful"
+//! against post-validation faults (§7.2) — liveness is the enabling
+//! analysis, and the fault-injection analysis uses it to reason about
+//! masked faults in dead registers.
+
+use std::collections::BTreeSet;
+
+use rskip_ir::{BlockId, Function, Operand, Reg};
+
+use crate::cfg::Cfg;
+
+/// Live-in/live-out register sets per block.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<BTreeSet<Reg>>,
+    live_out: Vec<BTreeSet<Reg>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `f`.
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); n];
+        let mut kill: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); n];
+        for (bid, block) in f.iter_blocks() {
+            let g = &mut gen[bid.index()];
+            let k = &mut kill[bid.index()];
+            for inst in &block.insts {
+                for r in inst.used_regs() {
+                    if !k.contains(&r) {
+                        g.insert(r);
+                    }
+                }
+                if let Some(d) = inst.dst() {
+                    k.insert(d);
+                }
+            }
+            if let Some(Operand::Reg(r)) = block.term.used_operand() {
+                if !k.contains(&r) {
+                    g.insert(r);
+                }
+            }
+        }
+
+        let mut live_in: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); n];
+        let mut live_out: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); n];
+        // Postorder (reverse RPO) converges fastest for backward flow;
+        // unreachable blocks are appended so their sets are well-defined
+        // too (passes may query them before cleanup runs).
+        let mut order: Vec<BlockId> = cfg.rpo().iter().rev().copied().collect();
+        for (id, _) in f.iter_blocks() {
+            if !cfg.is_reachable(id) {
+                order.push(id);
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let bi = b.index();
+                let mut out = BTreeSet::new();
+                for &s in cfg.succs(b) {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn = gen[bi].clone();
+                for r in out.difference(&kill[bi]) {
+                    inn.insert(*r);
+                }
+                if out != live_out[bi] || inn != live_in[bi] {
+                    live_out[bi] = out;
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &BTreeSet<Reg> {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &BTreeSet<Reg> {
+        &self.live_out[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rskip_ir::{BinOp, CmpOp, ModuleBuilder, Ty};
+
+    #[test]
+    fn loop_carried_value_is_live_around_the_loop() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![], Some(Ty::I64));
+        let entry = f.entry_block();
+        let header = f.new_block("header");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        let acc = f.def_reg(Ty::I64, "acc");
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.mov(acc, Operand::imm_i(0));
+        f.br(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(4));
+        f.cond_br(Operand::reg(c), body, exit);
+        f.switch_to(body);
+        f.bin_into(acc, BinOp::Add, Ty::I64, Operand::reg(acc), Operand::reg(i));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+        let m = mb.finish();
+        let func = &m.functions[0];
+        let cfg = Cfg::new(func);
+        let live = Liveness::new(func, &cfg);
+
+        // acc is live into the header (used by body and by exit's ret).
+        assert!(live.live_in(header).contains(&acc));
+        assert!(live.live_in(body).contains(&acc));
+        assert!(live.live_in(exit).contains(&acc));
+        // i is live into header/body but not into exit.
+        assert!(live.live_in(header).contains(&i));
+        assert!(!live.live_in(exit).contains(&i));
+        // Nothing is live into the entry.
+        assert!(live.live_in(entry).is_empty());
+    }
+
+    use rskip_ir::Operand;
+
+    #[test]
+    fn dead_def_is_not_live() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![], None);
+        let entry = f.entry_block();
+        let next = f.new_block("next");
+        f.switch_to(entry);
+        let dead = f.mov_new(Ty::I64, Operand::imm_i(1));
+        f.br(next);
+        f.switch_to(next);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let func = &m.functions[0];
+        let cfg = Cfg::new(func);
+        let live = Liveness::new(func, &cfg);
+        assert!(!live.live_out(entry).contains(&dead));
+    }
+}

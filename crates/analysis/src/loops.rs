@@ -1,0 +1,507 @@
+//! Natural-loop detection, nesting, induction variables and trip counts.
+
+use std::collections::BTreeSet;
+
+use rskip_ir::{BinOp, BlockId, CmpOp, Function, Inst, Operand, Reg, Terminator, Ty};
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+
+/// A primary induction variable: a register updated exactly once per
+/// iteration by a constant step and tested by the loop's exit condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InductionVar {
+    /// The induction register.
+    pub reg: Reg,
+    /// The constant step added each iteration.
+    pub step: i64,
+    /// Block containing the update instruction.
+    pub update_block: BlockId,
+    /// Index of the update instruction within that block.
+    pub update_idx: usize,
+    /// Constant initial value, when determinable (a unique constant `mov`
+    /// outside the loop).
+    pub init: Option<i64>,
+    /// Exit bound `(predicate, constant)`, when the exit compare tests the
+    /// induction register against a constant.
+    pub bound: Option<(CmpOp, i64)>,
+}
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop, header included.
+    pub blocks: BTreeSet<BlockId>,
+    /// Sources of back edges (`latch -> header`).
+    pub latches: Vec<BlockId>,
+    /// Blocks inside the loop with a successor outside it.
+    pub exiting: Vec<BlockId>,
+    /// Index of the parent loop in the forest, if nested.
+    pub parent: Option<usize>,
+    /// Indices of directly nested loops.
+    pub children: Vec<usize>,
+    /// Nesting depth (outermost = 0).
+    pub depth: usize,
+    /// Primary induction variable, when detected.
+    pub induction: Option<InductionVar>,
+    /// Static trip count, when `induction` has both constant init and
+    /// constant bound.
+    pub trip_count: Option<u64>,
+}
+
+impl Loop {
+    /// True if `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// All natural loops of a function, with nesting links.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Detects loops in `f`.
+    ///
+    /// Back edges are CFG edges `t -> h` where `h` dominates `t`; the loop
+    /// body is found by backward reachability from the latch. Multiple back
+    /// edges to the same header merge into one loop.
+    pub fn new(f: &Function, cfg: &Cfg, dom: &DomTree) -> Self {
+        // Collect back edges grouped by header.
+        let mut headers: Vec<BlockId> = Vec::new();
+        let mut latches_of: std::collections::HashMap<BlockId, Vec<BlockId>> =
+            std::collections::HashMap::new();
+        for (id, block) in f.iter_blocks() {
+            if !cfg.is_reachable(id) {
+                continue;
+            }
+            for s in block.term.successors() {
+                if dom.dominates(s, id) {
+                    latches_of.entry(s).or_default().push(id);
+                    if !headers.contains(&s) {
+                        headers.push(s);
+                    }
+                }
+            }
+        }
+
+        let mut loops: Vec<Loop> = Vec::new();
+        for header in headers {
+            let latches = latches_of[&header].clone();
+            let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
+            blocks.insert(header);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if blocks.insert(l) {
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if cfg.is_reachable(p) && blocks.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            let exiting = blocks
+                .iter()
+                .copied()
+                .filter(|&b| {
+                    f.block(b)
+                        .term
+                        .successors()
+                        .iter()
+                        .any(|s| !blocks.contains(s))
+                })
+                .collect();
+            loops.push(Loop {
+                header,
+                blocks,
+                latches,
+                exiting,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+                induction: None,
+                trip_count: None,
+            });
+        }
+
+        // Nesting: parent = smallest strict superset containing the header.
+        let mut order: Vec<usize> = (0..loops.len()).collect();
+        order.sort_by_key(|&i| loops[i].blocks.len());
+        for oi in 0..order.len() {
+            let i = order[oi];
+            let mut best: Option<usize> = None;
+            for &j in &order[oi + 1..] {
+                if i != j
+                    && loops[j].blocks.contains(&loops[i].header)
+                    && loops[j].blocks.len() > loops[i].blocks.len()
+                {
+                    let better = match best {
+                        None => true,
+                        Some(b) => loops[j].blocks.len() < loops[b].blocks.len(),
+                    };
+                    if better {
+                        best = Some(j);
+                    }
+                }
+            }
+            if let Some(p) = best {
+                loops[i].parent = Some(p);
+                loops[p].children.push(i);
+            }
+        }
+        // Depths.
+        for i in 0..loops.len() {
+            let mut d = 0;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        let mut forest = LoopForest { loops };
+        for i in 0..forest.loops.len() {
+            let iv = forest.detect_induction(f, i);
+            if let Some(iv) = &iv {
+                forest.loops[i].trip_count = trip_count(iv);
+            }
+            forest.loops[i].induction = iv;
+        }
+        forest
+    }
+
+    /// All loops, outermost-first order is *not* guaranteed; use
+    /// [`Loop::depth`] to sort.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<usize> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains(b))
+            .max_by_key(|(_, l)| l.depth)
+            .map(|(i, _)| i)
+    }
+
+    /// The loop with the given header block.
+    pub fn loop_with_header(&self, header: BlockId) -> Option<&Loop> {
+        self.loops.iter().find(|l| l.header == header)
+    }
+
+    /// Direct subloop indices of loop `i`.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.loops[i].children
+    }
+
+    /// Detects the primary induction variable of loop `i`.
+    ///
+    /// Requirements: a register with exactly one definition inside the loop
+    /// (excluding subloop blocks is *not* required — one def total), of the
+    /// form `r = r + C` or `r = r - C`, whose value feeds the compare of an
+    /// exiting conditional branch.
+    fn detect_induction(&self, f: &Function, i: usize) -> Option<InductionVar> {
+        let lp = &self.loops[i];
+
+        // Candidate updates: single in-loop def `r = add r, const`.
+        #[derive(Clone)]
+        struct Cand {
+            reg: Reg,
+            step: i64,
+            block: BlockId,
+            idx: usize,
+            defs_in_loop: usize,
+        }
+        let mut cands: Vec<Cand> = Vec::new();
+        for &b in &lp.blocks {
+            for (idx, inst) in f.block(b).insts.iter().enumerate() {
+                if let Inst::Bin {
+                    ty: Ty::I64,
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                } = inst
+                {
+                    let step = match (op, lhs, rhs) {
+                        (BinOp::Add, Operand::Reg(r), Operand::ImmI(c)) if r == dst => Some(*c),
+                        (BinOp::Add, Operand::ImmI(c), Operand::Reg(r)) if r == dst => Some(*c),
+                        (BinOp::Sub, Operand::Reg(r), Operand::ImmI(c)) if r == dst => Some(-c),
+                        _ => None,
+                    };
+                    if let Some(step) = step {
+                        if step != 0 {
+                            cands.push(Cand {
+                                reg: *dst,
+                                step,
+                                block: b,
+                                idx,
+                                defs_in_loop: 0,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Count total in-loop defs per candidate register; keep singles.
+        for c in &mut cands {
+            let mut defs = 0;
+            for &b in &lp.blocks {
+                for inst in &f.block(b).insts {
+                    if inst.dst() == Some(c.reg) {
+                        defs += 1;
+                    }
+                }
+            }
+            c.defs_in_loop = defs;
+        }
+        cands.retain(|c| c.defs_in_loop == 1);
+
+        // Find the exit condition compare: an exiting block whose condbr
+        // condition is defined by a cmp over a candidate register.
+        for &ex in &lp.exiting {
+            let block = f.block(ex);
+            let Terminator::CondBr(Operand::Reg(cond), _, _) = block.term else {
+                continue;
+            };
+            // Find the defining cmp in this block (search backwards).
+            for inst in block.insts.iter().rev() {
+                if inst.dst() == Some(cond) {
+                    if let Inst::Cmp {
+                        ty: Ty::I64,
+                        op,
+                        lhs,
+                        rhs,
+                        ..
+                    } = inst
+                    {
+                        for c in &cands {
+                            let bound = match (lhs, rhs) {
+                                (Operand::Reg(r), Operand::ImmI(k)) if *r == c.reg => {
+                                    Some(Some((*op, *k)))
+                                }
+                                (Operand::Reg(r), _) if *r == c.reg => Some(None),
+                                _ => None,
+                            };
+                            if let Some(bound) = bound {
+                                let init = find_const_init(f, lp, c.reg);
+                                return Some(InductionVar {
+                                    reg: c.reg,
+                                    step: c.step,
+                                    update_block: c.block,
+                                    update_idx: c.idx,
+                                    init,
+                                    bound,
+                                });
+                            }
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Finds a unique constant initialization of `reg` outside the loop.
+fn find_const_init(f: &Function, lp: &Loop, reg: Reg) -> Option<i64> {
+    let mut init = None;
+    let mut defs_outside = 0;
+    for (id, block) in f.iter_blocks() {
+        if lp.contains(id) {
+            continue;
+        }
+        for inst in &block.insts {
+            if inst.dst() == Some(reg) {
+                defs_outside += 1;
+                if let Inst::Mov {
+                    src: Operand::ImmI(c),
+                    ..
+                } = inst
+                {
+                    init = Some(*c);
+                }
+            }
+        }
+    }
+    if defs_outside == 1 {
+        init
+    } else {
+        None
+    }
+}
+
+/// Computes the trip count of a canonical counted loop.
+fn trip_count(iv: &InductionVar) -> Option<u64> {
+    let init = iv.init?;
+    let (op, bound) = iv.bound?;
+    let step = iv.step;
+    if step <= 0 {
+        return None; // only upward-counting loops supported
+    }
+    // The compare tests the *updated* value when it sits after the update
+    // in the same block; our canonical loops compare in the exiting block
+    // after the increment: `i += s; if i < n continue`. That executes the
+    // body for i = init, init+s, ... while the *next* value satisfies the
+    // bound. Both placements differ by at most one iteration; we report the
+    // count for the standard `while (i < n)` reading, which is what the
+    // candidate analysis uses as a magnitude estimate.
+    let n = match op {
+        CmpOp::Lt => (bound - init).max(0),
+        CmpOp::Le => (bound - init + 1).max(0),
+        _ => return None,
+    };
+    Some(((n + step - 1) / step) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rskip_ir::{ModuleBuilder, Operand, Ty};
+
+    /// Two-level nest:
+    /// entry -> oh; oh -> ob | exit; ob -> ih; ih -> ibody | olatch;
+    /// ibody -> ih; olatch -> oh.
+    fn nested() -> rskip_ir::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("f", vec![], None);
+        let entry = f.entry_block();
+        let oh = f.new_block("outer_header");
+        let ob = f.new_block("outer_body");
+        let ih = f.new_block("inner_header");
+        let ib = f.new_block("inner_body");
+        let ol = f.new_block("outer_latch");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        let k = f.def_reg(Ty::I64, "k");
+
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(oh);
+
+        f.switch_to(oh);
+        let c0 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(10));
+        f.cond_br(Operand::reg(c0), ob, exit);
+
+        f.switch_to(ob);
+        f.mov(k, Operand::imm_i(0));
+        f.br(ih);
+
+        f.switch_to(ih);
+        let c1 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(k), Operand::imm_i(5));
+        f.cond_br(Operand::reg(c1), ib, ol);
+
+        f.switch_to(ib);
+        f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
+        f.br(ih);
+
+        f.switch_to(ol);
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(oh);
+
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    fn forest(m: &rskip_ir::Module) -> LoopForest {
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        LoopForest::new(f, &cfg, &dom)
+    }
+
+    #[test]
+    fn finds_two_nested_loops() {
+        let m = nested();
+        let forest = forest(&m);
+        assert_eq!(forest.loops().len(), 2);
+        let outer = forest.loop_with_header(BlockId(1)).unwrap();
+        let inner = forest.loop_with_header(BlockId(3)).unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(outer.blocks.is_superset(&inner.blocks));
+        assert_eq!(outer.blocks.len(), 5); // oh ob ih ib ol
+        assert_eq!(inner.blocks.len(), 2); // ih ib
+    }
+
+    #[test]
+    fn nesting_links() {
+        let m = nested();
+        let forest = forest(&m);
+        let outer_idx = forest
+            .loops()
+            .iter()
+            .position(|l| l.header == BlockId(1))
+            .unwrap();
+        let inner_idx = forest
+            .loops()
+            .iter()
+            .position(|l| l.header == BlockId(3))
+            .unwrap();
+        assert_eq!(forest.loops()[inner_idx].parent, Some(outer_idx));
+        assert_eq!(forest.children(outer_idx), &[inner_idx]);
+        assert_eq!(forest.innermost_containing(BlockId(4)), Some(inner_idx));
+        assert_eq!(forest.innermost_containing(BlockId(2)), Some(outer_idx));
+        assert_eq!(forest.innermost_containing(BlockId(0)), None);
+    }
+
+    #[test]
+    fn induction_variables_detected() {
+        let m = nested();
+        let forest = forest(&m);
+        let outer = forest.loop_with_header(BlockId(1)).unwrap();
+        let iv = outer.induction.as_ref().expect("outer IV");
+        assert_eq!(iv.step, 1);
+        assert_eq!(iv.init, Some(0));
+        assert_eq!(iv.bound, Some((CmpOp::Lt, 10)));
+        assert_eq!(outer.trip_count, Some(10));
+
+        let inner = forest.loop_with_header(BlockId(3)).unwrap();
+        assert_eq!(inner.trip_count, Some(5));
+    }
+
+    #[test]
+    fn exiting_and_latches() {
+        let m = nested();
+        let forest = forest(&m);
+        let outer = forest.loop_with_header(BlockId(1)).unwrap();
+        assert_eq!(outer.latches, vec![BlockId(5)]);
+        assert_eq!(outer.exiting, vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn trip_count_semantics() {
+        let iv = InductionVar {
+            reg: Reg(0),
+            step: 2,
+            update_block: BlockId(0),
+            update_idx: 0,
+            init: Some(0),
+            bound: Some((CmpOp::Lt, 7)),
+        };
+        assert_eq!(trip_count(&iv), Some(4)); // 0,2,4,6
+        let le = InductionVar {
+            bound: Some((CmpOp::Le, 7)),
+            ..iv.clone()
+        };
+        assert_eq!(trip_count(&le), Some(4)); // 0,2,4,6 (8 > 7)
+        let down = InductionVar {
+            step: -1,
+            ..iv.clone()
+        };
+        assert_eq!(trip_count(&down), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests over the structural analyses on randomly generated
+//! CFGs.
+
+use proptest::prelude::*;
+use rskip_analysis::{Cfg, DomTree, Liveness, LoopForest};
+use rskip_ir::{BlockId, Function, Module, Operand, Terminator, Ty};
+
+/// Builds a function with `n` blocks and random terminators (each block
+/// branches to blocks chosen from the edge list), always verifiable.
+fn build_cfg(n: usize, edges: &[(usize, usize, Option<usize>)]) -> Module {
+    let mut m = Module::new("prop");
+    let mut f = Function::new("main", vec![Ty::I64], None);
+    let cond = rskip_ir::Reg(0);
+    for i in 1..n {
+        f.add_block(format!("b{i}"));
+    }
+    for &(from, to, alt) in edges {
+        let from = BlockId((from % n) as u32);
+        let to = BlockId((to % n) as u32);
+        f.block_mut(from).term = match alt {
+            Some(a) => Terminator::CondBr(Operand::Reg(cond), to, BlockId((a % n) as u32)),
+            None => Terminator::Br(to),
+        };
+    }
+    // Blocks without an assigned terminator return.
+    m.add_function(f);
+    m
+}
+
+fn edge_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, Option<usize>)>> {
+    prop::collection::vec(
+        (0..n, 0..n, prop::option::of(0..n)),
+        0..(3 * n),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dominator_tree_properties(
+        n in 2usize..12,
+        edges in edge_strategy(12),
+    ) {
+        let m = build_cfg(n, &edges);
+        let f = &m.functions[0];
+        rskip_ir::Verifier::new(&m).verify().expect("verifies");
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let entry = BlockId(0);
+
+        for (b, _) in f.iter_blocks() {
+            if cfg.is_reachable(b) {
+                // The entry dominates every reachable block.
+                prop_assert!(dom.dominates(entry, b));
+                // Every block dominates itself.
+                prop_assert!(dom.dominates(b, b));
+                // The immediate dominator (if any) strictly dominates.
+                if let Some(idom) = dom.idom(b) {
+                    prop_assert!(dom.strictly_dominates(idom, b));
+                    prop_assert!(cfg.is_reachable(idom));
+                    // idom is a dominator of every predecessor path: check
+                    // it dominates b but no block strictly between exists
+                    // that b's other dominators miss — weak form: idom is
+                    // dominated by every other dominator of b.
+                    for (d, _) in f.iter_blocks() {
+                        if d != b && dom.dominates(d, b) {
+                            prop_assert!(
+                                dom.dominates(d, idom) || d == idom,
+                                "dominator {d} of {b} neither idom nor above it"
+                            );
+                        }
+                    }
+                }
+            } else {
+                prop_assert!(!dom.dominates(entry, b));
+            }
+        }
+    }
+
+    #[test]
+    fn loop_forest_properties(
+        n in 2usize..12,
+        edges in edge_strategy(12),
+    ) {
+        let m = build_cfg(n, &edges);
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let forest = LoopForest::new(f, &cfg, &dom);
+
+        for lp in forest.loops() {
+            // The header is in the loop and dominates every loop block.
+            prop_assert!(lp.contains(lp.header));
+            for &b in &lp.blocks {
+                prop_assert!(dom.dominates(lp.header, b), "header must dominate {b}");
+            }
+            // Every latch branches to the header.
+            for &l in &lp.latches {
+                prop_assert!(lp.contains(l));
+                prop_assert!(f.block(l).term.successors().contains(&lp.header));
+            }
+            // Exiting blocks really exit.
+            for &e in &lp.exiting {
+                prop_assert!(lp.contains(e));
+                prop_assert!(f
+                    .block(e)
+                    .term
+                    .successors()
+                    .iter()
+                    .any(|s| !lp.contains(*s)));
+            }
+            // Nesting: the parent strictly contains this loop.
+            if let Some(p) = lp.parent {
+                let parent = &forest.loops()[p];
+                prop_assert!(parent.blocks.is_superset(&lp.blocks));
+                prop_assert!(parent.blocks.len() > lp.blocks.len());
+                prop_assert_eq!(parent.depth + 1, lp.depth);
+            } else {
+                prop_assert_eq!(lp.depth, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rpo_orders_dominators_first(
+        n in 2usize..12,
+        edges in edge_strategy(12),
+    ) {
+        let m = build_cfg(n, &edges);
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        for (b, _) in f.iter_blocks() {
+            if let Some(idom) = dom.idom(b) {
+                prop_assert!(
+                    cfg.rpo_index(idom).unwrap() < cfg.rpo_index(b).unwrap(),
+                    "idom must precede its block in RPO"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn liveness_is_a_fixpoint(
+        n in 2usize..10,
+        edges in edge_strategy(10),
+    ) {
+        // live_out(B) == union of successors' live_in — recheck directly.
+        let m = build_cfg(n, &edges);
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let live = Liveness::new(f, &cfg);
+        for (b, _) in f.iter_blocks() {
+            let mut expect = std::collections::BTreeSet::new();
+            for &s in cfg.succs(b) {
+                expect.extend(live.live_in(s).iter().copied());
+            }
+            prop_assert_eq!(live.live_out(b), &expect);
+        }
+    }
+}

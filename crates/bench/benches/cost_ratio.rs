@@ -1,0 +1,43 @@
+//! §2 cost-ratio regeneration bench: prints the modeled
+//! DI : memoization : re-computation ratio (paper: 1 : 1.84 : 4.18) and
+//! benchmarks the simulated execution of each mechanism's work.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rskip_exec::run_simple;
+use rskip_harness::build::EvalOptions;
+use rskip_ir::Value;
+use rskip_predict::{DiConfig, DynamicInterpolation};
+use rskip_workloads::SizeProfile;
+
+fn bench_cost_ratio(c: &mut Criterion) {
+    let ratio = rskip_harness::cost_ratio::run(&EvalOptions::at_size(SizeProfile::Tiny));
+    let (a, b_, c_) = ratio.normalized();
+    println!("[cost_ratio] DI : memo : re-compute = {a:.2} : {b_:.2} : {c_:.2} (paper 1 : 1.84 : 4.18)");
+
+    // Host-time microbenchmarks of the mechanisms.
+    c.bench_function("cost/di_observe", |bch| {
+        let mut di = DynamicInterpolation::new(DiConfig { tp: 0.5, ar: 0.2 });
+        let mut x = 0.0f64;
+        bch.iter(|| {
+            x += 1.0;
+            black_box(di.observe(x))
+        })
+    });
+
+    let bench = rskip_workloads::benchmark_by_name("blackscholes").expect("registry");
+    let module = bench.build(SizeProfile::Tiny);
+    let args = [
+        Value::F(30.0),
+        Value::F(30.0),
+        Value::F(0.05),
+        Value::F(0.2),
+        Value::F(0.5),
+        Value::F(0.0),
+    ];
+    c.bench_function("cost/recompute_body", |bch| {
+        bch.iter(|| black_box(run_simple(&module, "BlkSchlsEqEuroNoDiv", &args)))
+    });
+}
+
+criterion_group!(benches, bench_cost_ratio);
+criterion_main!(benches);

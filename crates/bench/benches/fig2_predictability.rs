@@ -1,0 +1,40 @@
+//! Fig. 2 regeneration bench: the motivational predictability analysis
+//! over sampled loop outputs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rskip_harness::build::{BenchSetup, EvalOptions};
+use rskip_predict::trend::{top_k_coverage, trend_coverage};
+use rskip_workloads::SizeProfile;
+
+fn bench_fig2(c: &mut Criterion) {
+    let opts = EvalOptions {
+        size: SizeProfile::Tiny,
+        train_seeds: vec![1000, 1001],
+        ..EvalOptions::at_size(SizeProfile::Tiny)
+    };
+    let setup = BenchSetup::prepare(
+        rskip_workloads::benchmark_by_name("conv1d").expect("registry"),
+        &opts,
+    );
+    let row = rskip_harness::fig2::run_bench(&setup);
+    println!(
+        "[fig2] conv1d: trend {:.1}%, top-10 {:.1}% of dynamic instructions",
+        row.trend * 100.0,
+        row.top10 * 100.0
+    );
+
+    let outputs: Vec<f64> = setup
+        .profiles
+        .iter()
+        .flat_map(|p| p.outputs.iter().copied())
+        .collect();
+    c.bench_function("fig2/trend_coverage", |b| {
+        b.iter(|| black_box(trend_coverage(&outputs, 0.10, 1)))
+    });
+    c.bench_function("fig2/top10_coverage", |b| {
+        b.iter(|| black_box(top_k_coverage(&outputs, 10, 0.05)))
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Fig. 7 regeneration bench: one timed simulated execution per scheme per
+//! benchmark. Each criterion id is one bar of the figure; the *reported
+//! metric* for the paper comparison is the simulated cycle/instruction
+//! ratio, which the bench prints once per target.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rskip_exec::{ExecConfig, Machine, NoopHooks, PipelineConfig};
+use rskip_harness::build::{ArSetting, BenchSetup, EvalOptions};
+use rskip_workloads::SizeProfile;
+
+fn options() -> EvalOptions {
+    EvalOptions {
+        size: SizeProfile::Tiny,
+        train_seeds: vec![1000, 1001],
+        ..EvalOptions::at_size(SizeProfile::Tiny)
+    }
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let opts = options();
+    for name in ["conv1d", "sgemm", "blackscholes"] {
+        let setup = BenchSetup::prepare(
+            rskip_workloads::benchmark_by_name(name).expect("registry"),
+            &opts,
+        );
+        let input = setup.test_input();
+
+        // Print the figure row once (the regenerated data).
+        let row = rskip_harness::fig7::run_bench(&setup);
+        println!(
+            "[fig7] {name}: SWIFT-R {:.2}x time, AR100 {:.2}x time / {:.1}% skip",
+            row.swift_r.norm_time,
+            row.rskip.last().unwrap().1.norm_time,
+            row.rskip.last().unwrap().1.skip_rate * 100.0,
+        );
+
+        let mut group = c.benchmark_group(format!("fig7/{name}"));
+        group.sample_size(10);
+        let config = ExecConfig {
+            timing: Some(PipelineConfig::default()),
+            ..ExecConfig::default()
+        };
+
+        group.bench_function("unprotected", |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    let mut m =
+                        Machine::with_config(&setup.unprotected, NoopHooks, config.clone());
+                    input.apply(&mut m);
+                    m.run("main", &[])
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function("swift_r", |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    let mut m =
+                        Machine::with_config(&setup.swift_r.module, NoopHooks, config.clone());
+                    input.apply(&mut m);
+                    m.run("main", &[])
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        for ar in [20u32, 100] {
+            group.bench_function(format!("rskip_ar{ar}"), |b| {
+                b.iter_batched(
+                    || setup.runtime(ArSetting { percent: ar }),
+                    |rt| {
+                        let mut m =
+                            Machine::with_config(&setup.rskip.module, rt, config.clone());
+                        input.apply(&mut m);
+                        m.run("main", &[])
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fig. 8a regeneration bench: blackscholes with and without the
+//! second-level predictor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rskip_exec::{ExecConfig, Machine, PipelineConfig};
+use rskip_harness::build::{ArSetting, BenchSetup, EvalOptions};
+use rskip_workloads::SizeProfile;
+
+fn bench_fig8a(c: &mut Criterion) {
+    let opts = EvalOptions {
+        size: SizeProfile::Tiny,
+        train_seeds: vec![1000, 1001, 1002],
+        ..EvalOptions::at_size(SizeProfile::Tiny)
+    };
+    let fig = rskip_harness::fig8::run_8a(&opts);
+    for p in &fig.points {
+        println!(
+            "[fig8a] AR{}: DI-only {:.2}x/{:.1}% vs DI+memo {:.2}x/{:.1}%",
+            p.ar,
+            p.di_time,
+            p.di_skip * 100.0,
+            p.full_time,
+            p.full_skip * 100.0
+        );
+    }
+
+    let setup = BenchSetup::prepare(
+        rskip_workloads::benchmark_by_name("blackscholes").expect("registry"),
+        &opts,
+    );
+    let input = setup.test_input();
+    let config = ExecConfig {
+        timing: Some(PipelineConfig::default()),
+        ..ExecConfig::default()
+    };
+    let ar = ArSetting { percent: 20 };
+
+    let mut group = c.benchmark_group("fig8a");
+    group.sample_size(10);
+    group.bench_function("di_only", |b| {
+        b.iter_batched(
+            || setup.runtime_di_only(ar),
+            |rt| {
+                let mut m = Machine::with_config(&setup.rskip.module, rt, config.clone());
+                input.apply(&mut m);
+                m.run("main", &[])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("di_plus_memo", |b| {
+        b.iter_batched(
+            || setup.runtime(ar),
+            |rt| {
+                let mut m = Machine::with_config(&setup.rskip.module, rt, config.clone());
+                input.apply(&mut m);
+                m.run("main", &[])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8a);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 8b regeneration bench: lud input-diversity sweep at AR20.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rskip_exec::{ExecConfig, Machine, PipelineConfig};
+use rskip_harness::build::{ArSetting, BenchSetup, EvalOptions};
+use rskip_workloads::SizeProfile;
+
+fn bench_fig8b(c: &mut Criterion) {
+    let opts = EvalOptions {
+        size: SizeProfile::Tiny,
+        train_seeds: vec![1000, 1001],
+        ..EvalOptions::at_size(SizeProfile::Tiny)
+    };
+    let fig = rskip_harness::fig8::run_8b(&opts, 8);
+    println!(
+        "[fig8b] lud over {} inputs: avg RSkip {:.2}x, avg skip {:.1}%",
+        fig.points.len(),
+        fig.average_rskip_time(),
+        fig.average_skip() * 100.0
+    );
+
+    let setup = BenchSetup::prepare(
+        rskip_workloads::benchmark_by_name("lud").expect("registry"),
+        &opts,
+    );
+    let config = ExecConfig {
+        timing: Some(PipelineConfig::default()),
+        ..ExecConfig::default()
+    };
+    let ar = ArSetting { percent: 20 };
+
+    let mut group = c.benchmark_group("fig8b");
+    group.sample_size(10);
+    for input_id in [0u64, 7] {
+        let input = setup.bench.gen_input(opts.size, 2000 + input_id);
+        group.bench_function(format!("rskip_ar20_input{input_id}"), |b| {
+            b.iter_batched(
+                || setup.runtime(ar),
+                |rt| {
+                    let mut m = Machine::with_config(&setup.rskip.module, rt, config.clone());
+                    input.apply(&mut m);
+                    m.run("main", &[])
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8b);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Fig. 9 regeneration bench: SEU injection runs. Prints a reduced
+//! campaign's outcome distribution, then benchmarks the cost of one
+//! injected run per scheme.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rskip_exec::{ExecConfig, InjectionPlan, Machine, NoopHooks};
+use rskip_harness::build::{ArSetting, BenchSetup, EvalOptions};
+use rskip_harness::fig9::SchemeLabel;
+use rskip_workloads::SizeProfile;
+
+fn bench_fig9(c: &mut Criterion) {
+    let opts = EvalOptions {
+        size: SizeProfile::Tiny,
+        train_seeds: vec![1000, 1001],
+        ..EvalOptions::at_size(SizeProfile::Tiny)
+    };
+    let setup = BenchSetup::prepare(
+        rskip_workloads::benchmark_by_name("conv1d").expect("registry"),
+        &opts,
+    );
+    let row = rskip_harness::fig9::run_bench(&setup, 60);
+    for cell in &row.cells {
+        println!(
+            "[fig9] conv1d {}: protection rate {:.1}%",
+            cell.scheme.label(),
+            cell.counts.protection_rate() * 100.0
+        );
+    }
+    let _ = SchemeLabel::all();
+
+    let input = setup.test_input();
+    let config = ExecConfig::default();
+    let mut group = c.benchmark_group("fig9/one_injection");
+    group.sample_size(10);
+    group.bench_function("swift_r", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let mut m = Machine::with_config(&setup.swift_r.module, NoopHooks, config.clone());
+                input.apply(&mut m);
+                m.set_injection(InjectionPlan {
+                    trigger: 500,
+                    seed: 7,
+                    anywhere: false,
+                });
+                m.run("main", &[])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rskip_ar20", |b| {
+        b.iter_batched(
+            || setup.runtime(ArSetting { percent: 20 }),
+            |rt| {
+                let mut m = Machine::with_config(&setup.rskip.module, rt, config.clone());
+                input.apply(&mut m);
+                m.set_injection(InjectionPlan {
+                    trigger: 500,
+                    seed: 7,
+                    anywhere: false,
+                });
+                m.run("main", &[])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks of the prediction models themselves: dynamic
+//! interpolation observation throughput, memoization lookups, quantizer
+//! construction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rskip_predict::{DiConfig, DynamicInterpolation, MemoConfig, MemoTrainer, Quantizer};
+
+fn bench_interpolation(c: &mut Criterion) {
+    let values: Vec<f64> = (0..4096)
+        .map(|k| 100.0 + (k as f64 * 0.05).sin() * 10.0 + k as f64 * 0.01)
+        .collect();
+    c.bench_function("di_observe_4096_smooth", |b| {
+        b.iter(|| {
+            let mut di = DynamicInterpolation::new(DiConfig { tp: 0.5, ar: 0.2 });
+            for &v in &values {
+                black_box(di.observe(v));
+            }
+            black_box(di.flush())
+        })
+    });
+    let noisy: Vec<f64> = (0..4096)
+        .map(|k| if k % 3 == 0 { 1.0 } else { 100.0 + k as f64 })
+        .collect();
+    c.bench_function("di_observe_4096_noisy", |b| {
+        b.iter(|| {
+            let mut di = DynamicInterpolation::new(DiConfig { tp: 0.5, ar: 0.2 });
+            for &v in &noisy {
+                black_box(di.observe(v));
+            }
+            black_box(di.flush())
+        })
+    });
+}
+
+fn bench_memoization(c: &mut Criterion) {
+    let mut trainer = MemoTrainer::new(6);
+    for i in 0..4000u64 {
+        let x = (i as f64 * 0.618).fract() * 40.0;
+        let y = (i % 8) as f64;
+        trainer.add_sample(&[x, y, 0.05, 0.2, 0.5, 0.0], x + y);
+    }
+    let cfg = MemoConfig {
+        table_bits: 14,
+        hist_bins: 128,
+    };
+    c.bench_function("memo_build_4000_samples", |b| {
+        b.iter(|| black_box(trainer.build_with_bits(&[5, 3, 2, 2, 1, 1], &cfg)))
+    });
+    let mut memo = trainer.build_with_bits(&[5, 3, 2, 2, 1, 1], &cfg);
+    c.bench_function("memo_predict", |b| {
+        b.iter(|| black_box(memo.predict(&[20.0, 3.0, 0.05, 0.2, 0.5, 0.0])))
+    });
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..10_000)
+        .map(|i| ((i as f64 * 0.7548).fract()).powi(3) * 1000.0)
+        .collect();
+    c.bench_function("quantizer_histogram_build", |b| {
+        b.iter(|| black_box(Quantizer::from_samples(&samples, 32, 256)))
+    });
+    let q = Quantizer::from_samples(&samples, 32, 256);
+    c.bench_function("quantizer_level", |b| b.iter(|| black_box(q.level(123.4))));
+}
+
+criterion_group!(benches, bench_interpolation, bench_memoization, bench_quantizer);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Criterion benchmark support crate — see `benches/` for the per-figure
+//! benchmark targets regenerating the paper's evaluation.

@@ -1,0 +1,53 @@
+//! Retired-instruction and cycle counters (the PAPI substitute).
+
+/// Dynamic execution counters for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Retired instructions, including the modeled cost of runtime
+    /// intrinsics (the runtime executes real instructions on real
+    /// hardware; their count is charged here).
+    pub retired: u64,
+    /// Retired instructions while inside at least one protection region
+    /// (between `region_enter` and `region_exit`).
+    pub region_retired: u64,
+    /// Cycles from the pipeline model (0 when timing is disabled).
+    pub cycles: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Branch mispredictions (pipeline model).
+    pub mispredicts: u64,
+    /// Calls retired (including outlined-body calls).
+    pub calls: u64,
+}
+
+impl Counters {
+    /// Instructions per cycle; 0 when timing was disabled.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_guards_zero_cycles() {
+        let c = Counters::default();
+        assert_eq!(c.ipc(), 0.0);
+        let c = Counters {
+            retired: 30,
+            cycles: 10,
+            ..Counters::default()
+        };
+        assert!((c.ipc() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Single Event Upset injection plans and outcome classification (§7.2).
+
+use rskip_ir::{Reg, Value};
+
+use crate::machine::{RunOutcome, Termination, Trap};
+
+/// One armed SEU: at the `trigger`-th retired instruction (counted inside
+/// protection regions unless `anywhere`), flip one random bit of one random
+/// live register.
+///
+/// Deterministic given `seed` — campaigns are reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// Fire when this many instructions have retired (region-scoped count
+    /// unless `anywhere` is set).
+    pub trigger: u64,
+    /// RNG seed for target/bit selection.
+    pub seed: u64,
+    /// When true, count *all* retired instructions instead of only those
+    /// inside protection regions. The paper injects "only into the detected
+    /// loops"; `anywhere` exists for whole-program studies and tests.
+    pub anywhere: bool,
+}
+
+/// What an injection actually did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// Function whose frame was hit.
+    pub function: String,
+    /// The register hit.
+    pub reg: Reg,
+    /// The flipped bit position (0–63).
+    pub bit: u32,
+    /// Retired-instruction count at injection time.
+    pub at_retired: u64,
+    /// Register bits before the flip.
+    pub old_bits: u64,
+    /// Register bits after the flip.
+    pub new_bits: u64,
+}
+
+/// The five outcome classes of the paper's reliability evaluation (§7.2),
+/// plus `Detected` for detection-only schemes (SWIFT without recovery),
+/// which the paper's figures do not need but the library supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OutcomeClass {
+    /// "The execution generates correct output without any data
+    /// corruption" — bit-exact output match. Recovered faults land here.
+    Correct,
+    /// Silent Data Corruption: terminated normally, output differs.
+    Sdc,
+    /// Illegal memory access.
+    Segfault,
+    /// System crash or abnormal termination.
+    CoreDump,
+    /// The program could not terminate.
+    Hang,
+    /// A detection-only scheme caught the fault and aborted.
+    Detected,
+}
+
+impl OutcomeClass {
+    /// All classes in display order.
+    pub const ALL: [OutcomeClass; 6] = [
+        OutcomeClass::Correct,
+        OutcomeClass::Sdc,
+        OutcomeClass::Segfault,
+        OutcomeClass::CoreDump,
+        OutcomeClass::Hang,
+        OutcomeClass::Detected,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutcomeClass::Correct => "Correct",
+            OutcomeClass::Sdc => "SDC",
+            OutcomeClass::Segfault => "Segfault",
+            OutcomeClass::CoreDump => "Core dump",
+            OutcomeClass::Hang => "Hang",
+            OutcomeClass::Detected => "Detected",
+        }
+    }
+}
+
+impl std::fmt::Display for OutcomeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies one injected run against the golden output cells.
+///
+/// `output` is the injected run's output memory (the cells of the globals
+/// that constitute program output); `golden` is the same region from a
+/// clean run. Comparison is bit-exact: "our evaluation considers even small
+/// output errors as bad quality and only 100% of output quality as
+/// Correct".
+pub fn classify_outcome(outcome: &RunOutcome, output: &[Value], golden: &[Value]) -> OutcomeClass {
+    match &outcome.termination {
+        Termination::Returned(_) => {
+            if output.len() == golden.len()
+                && output.iter().zip(golden).all(|(a, b)| a.bit_eq(*b))
+            {
+                OutcomeClass::Correct
+            } else {
+                OutcomeClass::Sdc
+            }
+        }
+        Termination::Trapped(Trap::OutOfBounds { .. }) => OutcomeClass::Segfault,
+        Termination::Trapped(Trap::StepLimit) => OutcomeClass::Hang,
+        Termination::Trapped(Trap::FaultDetected) => OutcomeClass::Detected,
+        Termination::Trapped(
+            Trap::DivByZero | Trap::UnknownFunction(_) | Trap::StackOverflow,
+        ) => OutcomeClass::CoreDump,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Counters;
+
+    fn outcome(t: Termination) -> RunOutcome {
+        RunOutcome {
+            termination: t,
+            counters: Counters::default(),
+            injection: None,
+            prints: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn classifies_correct_and_sdc() {
+        let golden = [Value::F(1.0), Value::F(2.0)];
+        let ok = outcome(Termination::Returned(None));
+        assert_eq!(
+            classify_outcome(&ok, &golden, &golden),
+            OutcomeClass::Correct
+        );
+        let bad = [Value::F(1.0), Value::F(2.0000001)];
+        assert_eq!(classify_outcome(&ok, &bad, &golden), OutcomeClass::Sdc);
+    }
+
+    #[test]
+    fn negative_zero_counts_as_corruption() {
+        // Bit-exact comparison: -0.0 != 0.0 at the bit level.
+        let golden = [Value::F(0.0)];
+        let flipped = [Value::F(-0.0)];
+        let ok = outcome(Termination::Returned(None));
+        assert_eq!(classify_outcome(&ok, &flipped, &golden), OutcomeClass::Sdc);
+    }
+
+    #[test]
+    fn classifies_traps() {
+        let golden = [Value::I(0)];
+        assert_eq!(
+            classify_outcome(
+                &outcome(Termination::Trapped(Trap::OutOfBounds { addr: 9 })),
+                &golden,
+                &golden
+            ),
+            OutcomeClass::Segfault
+        );
+        assert_eq!(
+            classify_outcome(
+                &outcome(Termination::Trapped(Trap::StepLimit)),
+                &golden,
+                &golden
+            ),
+            OutcomeClass::Hang
+        );
+        assert_eq!(
+            classify_outcome(
+                &outcome(Termination::Trapped(Trap::DivByZero)),
+                &golden,
+                &golden
+            ),
+            OutcomeClass::CoreDump
+        );
+        assert_eq!(
+            classify_outcome(
+                &outcome(Termination::Trapped(Trap::FaultDetected)),
+                &golden,
+                &golden
+            ),
+            OutcomeClass::Detected
+        );
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(OutcomeClass::Sdc.label(), "SDC");
+        assert_eq!(OutcomeClass::CoreDump.label(), "Core dump");
+    }
+}

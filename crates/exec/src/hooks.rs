@@ -1,0 +1,105 @@
+//! The runtime-hooks interface between the interpreter and the RSkip
+//! prediction runtime.
+
+use rskip_ir::{Intrinsic, Value};
+
+/// What an intrinsic call produced.
+///
+/// `cost` is the modeled instruction count of the runtime work — the real
+/// RSkip runtime executes ordinary instructions, which PAPI would count;
+/// we charge them explicitly so dynamic-instruction and cycle comparisons
+/// against the unprotected program remain honest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IntrinsicAction {
+    /// The produced value for value-returning intrinsics.
+    pub value: Option<Value>,
+    /// Modeled dynamic instructions consumed by the runtime call.
+    pub cost: u64,
+    /// When true, the machine traps with
+    /// [`Trap::FaultDetected`](crate::Trap::FaultDetected) (the SWIFT
+    /// detection-only handler).
+    pub trap_detected: bool,
+}
+
+impl IntrinsicAction {
+    /// A void action with the given cost.
+    pub fn void(cost: u64) -> Self {
+        IntrinsicAction {
+            value: None,
+            cost,
+            trap_detected: false,
+        }
+    }
+
+    /// A value-producing action with the given cost.
+    pub fn value(v: Value, cost: u64) -> Self {
+        IntrinsicAction {
+            value: Some(v),
+            cost,
+            trap_detected: false,
+        }
+    }
+}
+
+/// Implemented by the prediction runtime (`rskip-runtime`); a no-op
+/// implementation ([`NoopHooks`]) serves unprotected and conventionally
+/// protected runs.
+pub trait RuntimeHooks {
+    /// Handles one `rskip.*` intrinsic call.
+    ///
+    /// The machine handles `region_enter`/`region_exit` bookkeeping and the
+    /// `print` intrinsic itself but still forwards them here so the runtime
+    /// can maintain per-region state.
+    fn intrinsic(&mut self, intr: Intrinsic, args: &[Value]) -> IntrinsicAction;
+}
+
+/// Hooks for runs without a prediction runtime: version selection always
+/// picks the conventional path, pending queues are empty, costs are zero.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopHooks;
+
+impl RuntimeHooks for NoopHooks {
+    fn intrinsic(&mut self, intr: Intrinsic, _args: &[Value]) -> IntrinsicAction {
+        match intr {
+            Intrinsic::SelectVersion => IntrinsicAction::value(Value::I(0), 1),
+            Intrinsic::NextPending => IntrinsicAction::value(Value::I(-1), 1),
+            Intrinsic::PendingAddr | Intrinsic::PendingArgI => {
+                IntrinsicAction::value(Value::I(0), 1)
+            }
+            Intrinsic::PendingArgF => IntrinsicAction::value(Value::F(0.0), 1),
+            Intrinsic::Detect => IntrinsicAction {
+                value: None,
+                cost: 1,
+                trap_detected: true,
+            },
+            _ => IntrinsicAction::void(0),
+        }
+    }
+}
+
+/// `&mut H` forwards, so a machine can borrow hooks owned elsewhere.
+impl<H: RuntimeHooks + ?Sized> RuntimeHooks for &mut H {
+    fn intrinsic(&mut self, intr: Intrinsic, args: &[Value]) -> IntrinsicAction {
+        (**self).intrinsic(intr, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_hooks_select_conventional_version() {
+        let mut h = NoopHooks;
+        let a = h.intrinsic(Intrinsic::SelectVersion, &[Value::I(0)]);
+        assert_eq!(a.value, Some(Value::I(0)));
+        let a = h.intrinsic(Intrinsic::NextPending, &[Value::I(0)]);
+        assert_eq!(a.value, Some(Value::I(-1)));
+    }
+
+    #[test]
+    fn noop_detect_traps() {
+        let mut h = NoopHooks;
+        assert!(h.intrinsic(Intrinsic::Detect, &[]).trap_detected);
+    }
+}

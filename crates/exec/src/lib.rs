@@ -1,0 +1,38 @@
+//! # rskip-exec — execution substrate for the RSkip system
+//!
+//! The paper evaluates on an Intel Xeon (performance, PAPI counters) and on
+//! gem5 (statistical fault injection). Neither is available to a
+//! self-contained reproduction, so this crate provides the equivalent
+//! substrate for the RSkip IR:
+//!
+//! * [`Machine`] — an IR interpreter with retired-instruction counters
+//!   (the PAPI substitute) and pluggable [`RuntimeHooks`] implementing the
+//!   `rskip.*` intrinsics.
+//! * [`Pipeline`] — a superscalar scoreboard timing model (in-order issue,
+//!   out-of-order completion, per-class latencies, branch predictor)
+//!   producing cycles and IPC over the dynamic instruction trace. It
+//!   reproduces the architectural effect the paper's §7.1 relies on:
+//!   independent duplicated instructions raise IPC, while dependent
+//!   validation compare/branch chains stall.
+//! * [`InjectionPlan`] — the gem5-SFI substitute: one Single Event Upset
+//!   per run, flipping one uniformly random bit of one uniformly random
+//!   live register at a uniformly random dynamic instant *inside the
+//!   detected loop regions* (paper §7.2).
+//! * [`OutcomeClass`] — the five outcome classes of §7.2 (Correct / SDC /
+//!   Segfault / Core dump / Hang), derived from the run's termination and a
+//!   bit-exact output comparison ("our evaluation considers even small
+//!   output errors as bad quality").
+
+#![deny(missing_docs)]
+
+mod counters;
+mod fault;
+mod hooks;
+mod machine;
+mod pipeline;
+
+pub use counters::Counters;
+pub use fault::{classify_outcome, InjectionPlan, InjectionRecord, OutcomeClass};
+pub use hooks::{IntrinsicAction, NoopHooks, RuntimeHooks};
+pub use machine::{run_simple, ExecConfig, Machine, RunOutcome, Termination, Trap};
+pub use pipeline::{class_of, latency_of, latency_of_class, OpClass, Pipeline, PipelineConfig};

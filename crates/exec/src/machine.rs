@@ -1,0 +1,1122 @@
+//! The IR interpreter.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rskip_ir::{
+    BinOp, CmpOp, Inst, Intrinsic, Module, Operand, Reg, Terminator, Ty, UnOp, Value,
+};
+
+use crate::counters::Counters;
+use crate::fault::{InjectionPlan, InjectionRecord};
+use crate::hooks::RuntimeHooks;
+use crate::pipeline::{class_of, Pipeline, PipelineConfig};
+
+/// Why a run stopped abnormally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// Memory access outside the allocated flat memory — the *Segfault*
+    /// outcome class.
+    OutOfBounds {
+        /// The faulting cell index.
+        addr: i64,
+    },
+    /// Integer division or remainder by zero — *Core dump*.
+    DivByZero,
+    /// Call to a function that does not exist (cannot happen in verified
+    /// modules, kept for robustness) — *Core dump*.
+    UnknownFunction(String),
+    /// Call stack exceeded the configured depth — *Core dump*.
+    StackOverflow,
+    /// The dynamic instruction budget was exhausted — the *Hang* class.
+    StepLimit,
+    /// The SWIFT detection handler fired: a fault was detected but the
+    /// scheme has no recovery.
+    FaultDetected,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfBounds { addr } => write!(f, "out-of-bounds access at cell {addr}"),
+            Trap::DivByZero => write!(f, "integer division by zero"),
+            Trap::UnknownFunction(n) => write!(f, "call to unknown function @{n}"),
+            Trap::StackOverflow => write!(f, "call stack overflow"),
+            Trap::StepLimit => write!(f, "dynamic instruction budget exhausted"),
+            Trap::FaultDetected => write!(f, "fault detected (no recovery)"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Termination {
+    /// The entry function returned.
+    Returned(Option<Value>),
+    /// Execution trapped.
+    Trapped(Trap),
+}
+
+/// The result of one [`Machine::run`].
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// How the run ended.
+    pub termination: Termination,
+    /// Dynamic counters.
+    pub counters: Counters,
+    /// The fault actually injected, if an [`InjectionPlan`] was armed and
+    /// found a target.
+    pub injection: Option<InjectionRecord>,
+    /// Values printed through the `print` intrinsic.
+    pub prints: Vec<Value>,
+}
+
+impl RunOutcome {
+    /// True if the run returned normally.
+    pub fn returned(&self) -> bool {
+        matches!(self.termination, Termination::Returned(_))
+    }
+}
+
+/// Interpreter configuration.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Dynamic instruction budget; exceeding it traps with
+    /// [`Trap::StepLimit`] (the *Hang* classifier).
+    pub step_limit: u64,
+    /// Enable the cycle-accurate-ish pipeline model.
+    pub timing: Option<PipelineConfig>,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            step_limit: 500_000_000,
+            timing: None,
+            max_call_depth: 1024,
+        }
+    }
+}
+
+struct Frame {
+    func: usize,
+    block: u32,
+    ip: usize,
+    regs: Vec<Value>,
+    written: Vec<bool>,
+    ready: Vec<u64>,
+    ret_dst: Option<Reg>,
+}
+
+/// The interpreter: flat ECC-protected memory, a call stack of register
+/// frames, counters, optional timing, optional SEU injection.
+///
+/// # Example
+///
+/// ```
+/// use rskip_ir::{ModuleBuilder, Operand, Ty, Value};
+/// use rskip_exec::{Machine, NoopHooks};
+///
+/// let mut mb = ModuleBuilder::new("m");
+/// let mut f = mb.function("main", vec![], Some(Ty::I64));
+/// f.ret(Some(Operand::imm_i(42)));
+/// f.finish();
+/// let module = mb.finish();
+///
+/// let mut machine = Machine::new(&module, NoopHooks);
+/// let outcome = machine.run("main", &[]);
+/// assert!(matches!(
+///     outcome.termination,
+///     rskip_exec::Termination::Returned(Some(Value::I(42)))
+/// ));
+/// ```
+pub struct Machine<'m, H> {
+    module: &'m Module,
+    hooks: H,
+    config: ExecConfig,
+    mem: Vec<Value>,
+    global_base: Vec<i64>,
+    fn_index: HashMap<&'m str, usize>,
+    injection: Option<InjectionPlan>,
+}
+
+impl<'m, H: RuntimeHooks> Machine<'m, H> {
+    /// Creates a machine with default configuration.
+    pub fn new(module: &'m Module, hooks: H) -> Self {
+        Self::with_config(module, hooks, ExecConfig::default())
+    }
+
+    /// Creates a machine with an explicit configuration.
+    pub fn with_config(module: &'m Module, hooks: H, config: ExecConfig) -> Self {
+        let mut global_base = Vec::with_capacity(module.globals.len());
+        let mut total = 0i64;
+        for g in &module.globals {
+            global_base.push(total);
+            total += g.len as i64;
+        }
+        let mut machine = Machine {
+            module,
+            hooks,
+            config,
+            mem: Vec::new(),
+            global_base,
+            fn_index: module
+                .functions
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.name.as_str(), i))
+                .collect(),
+            injection: None,
+        };
+        machine.reset_memory();
+        machine
+    }
+
+    /// Re-initializes memory from the global initializers.
+    pub fn reset_memory(&mut self) {
+        self.mem.clear();
+        self.mem.reserve(self.module.memory_cells());
+        for g in &self.module.globals {
+            match &g.init {
+                Some(values) => self.mem.extend(values.iter().copied()),
+                None => self
+                    .mem
+                    .extend(std::iter::repeat_n(Value::zero(g.ty), g.len)),
+            }
+        }
+    }
+
+    /// The cell range of a global, by name.
+    pub fn global_range(&self, name: &str) -> Option<std::ops::Range<usize>> {
+        let id = self.module.global_by_name(name)?;
+        let base = self.global_base[id.index()] as usize;
+        Some(base..base + self.module.global(id).len)
+    }
+
+    /// Reads a global's cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist.
+    pub fn read_global(&self, name: &str) -> &[Value] {
+        let r = self
+            .global_range(name)
+            .unwrap_or_else(|| panic!("no global @{name}"));
+        &self.mem[r]
+    }
+
+    /// Overwrites a global's cells (input loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist or `values` has the wrong
+    /// length.
+    pub fn write_global(&mut self, name: &str, values: &[Value]) {
+        let r = self
+            .global_range(name)
+            .unwrap_or_else(|| panic!("no global @{name}"));
+        assert_eq!(values.len(), r.len(), "length mismatch for @{name}");
+        self.mem[r].copy_from_slice(values);
+    }
+
+    /// Full memory snapshot (output comparison).
+    pub fn memory(&self) -> &[Value] {
+        &self.mem
+    }
+
+    /// Access to the hooks (e.g. to read runtime statistics after a run).
+    pub fn hooks(&self) -> &H {
+        &self.hooks
+    }
+
+    /// Mutable access to the hooks.
+    pub fn hooks_mut(&mut self) -> &mut H {
+        &mut self.hooks
+    }
+
+    /// Arms single-event-upset injection for the next run.
+    pub fn set_injection(&mut self, plan: InjectionPlan) {
+        self.injection = Some(plan);
+    }
+
+    /// Runs `func` with `args` to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry function does not exist or the argument count
+    /// mismatches — entry setup errors are caller bugs, unlike in-run traps
+    /// which are reported in the outcome.
+    pub fn run(&mut self, func: &str, args: &[Value]) -> RunOutcome {
+        let entry = *self
+            .fn_index
+            .get(func)
+            .unwrap_or_else(|| panic!("no function @{func}"));
+        let f = &self.module.functions[entry];
+        assert_eq!(args.len(), f.params.len(), "argument count mismatch");
+
+        let mut counters = Counters::default();
+        let mut pipeline = self.config.timing.map(Pipeline::new);
+        let mut prints = Vec::new();
+        let mut region_depth: u32 = 0;
+        let mut injection = self.injection.take();
+        let mut injected: Option<InjectionRecord> = None;
+
+        let mut stack: Vec<Frame> = Vec::with_capacity(16);
+        stack.push(self.new_frame(entry, args, &[]));
+
+        let termination = loop {
+            // --- Fault injection at the instruction boundary. ---
+            if let Some(plan) = &injection {
+                let due = if plan.anywhere {
+                    counters.retired >= plan.trigger
+                } else {
+                    region_depth > 0 && counters.region_retired >= plan.trigger
+                };
+                if due {
+                    injected = self.inject(plan, &mut stack, counters.retired);
+                    injection = None;
+                }
+            }
+
+            if counters.retired >= self.config.step_limit {
+                break Termination::Trapped(Trap::StepLimit);
+            }
+
+            let frame = stack.last_mut().expect("non-empty stack");
+            let fun = &self.module.functions[frame.func];
+            let block = &fun.blocks[frame.block as usize];
+
+            if frame.ip < block.insts.len() {
+                let inst = &block.insts[frame.ip];
+                frame.ip += 1;
+                counters.retired += 1;
+                if region_depth > 0 {
+                    counters.region_retired += 1;
+                }
+
+                match self.step(
+                    inst,
+                    &mut stack,
+                    &mut counters,
+                    &mut pipeline,
+                    &mut prints,
+                    &mut region_depth,
+                ) {
+                    Ok(()) => {}
+                    Err(trap) => break Termination::Trapped(trap),
+                }
+            } else {
+                // Terminator.
+                counters.retired += 1;
+                if region_depth > 0 {
+                    counters.region_retired += 1;
+                }
+                match &block.term {
+                    Terminator::Br(t) => {
+                        let frame = stack.last_mut().expect("frame");
+                        frame.block = t.0;
+                        frame.ip = 0;
+                    }
+                    Terminator::CondBr(cond, t, fl) => {
+                        let frame = stack.last_mut().expect("frame");
+                        let c = Self::eval(&self.global_base, frame, *cond);
+                        let taken = c.as_i() != 0;
+                        counters.branches += 1;
+                        if let Some(p) = pipeline.as_mut() {
+                            let site = ((frame.func as u64) << 32) | frame.block as u64;
+                            let ready = Self::operand_ready(frame, *cond);
+                            p.branch(site, taken, ready);
+                        }
+                        let target = if taken { *t } else { *fl };
+                        frame.block = target.0;
+                        frame.ip = 0;
+                    }
+                    Terminator::Ret(v) => {
+                        let frame = stack.last_mut().expect("frame");
+                        let value = v.map(|op| Self::eval(&self.global_base, frame, op));
+                        let ready = v.map(|op| Self::operand_ready(frame, op)).unwrap_or(0);
+                        let ret_dst = frame.ret_dst;
+                        stack.pop();
+                        match stack.last_mut() {
+                            None => break Termination::Returned(value),
+                            Some(caller) => {
+                                if let (Some(dst), Some(val)) = (ret_dst, value) {
+                                    caller.regs[dst.index()] = val;
+                                    caller.written[dst.index()] = true;
+                                    caller.ready[dst.index()] = ready;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        if let Some(p) = &pipeline {
+            counters.cycles = p.cycles();
+            counters.mispredicts = p.mispredicts();
+        }
+        RunOutcome {
+            termination,
+            counters,
+            injection: injected,
+            prints,
+        }
+    }
+
+    fn new_frame(&self, func: usize, args: &[Value], args_ready: &[u64]) -> Frame {
+        let f = &self.module.functions[func];
+        let n = f.regs.len();
+        let mut regs = Vec::with_capacity(n);
+        for info in &f.regs {
+            regs.push(Value::zero(info.ty));
+        }
+        let mut written = vec![false; n];
+        let mut ready = vec![0u64; n];
+        for (i, &a) in args.iter().enumerate() {
+            regs[i] = a;
+            written[i] = true;
+            if let Some(&r) = args_ready.get(i) {
+                ready[i] = r;
+            }
+        }
+        Frame {
+            func,
+            block: 0,
+            ip: 0,
+            regs,
+            written,
+            ready,
+            ret_dst: None,
+        }
+    }
+
+    #[inline]
+    fn eval(global_base: &[i64], frame: &Frame, op: Operand) -> Value {
+        match op {
+            Operand::Reg(r) => frame.regs[r.index()],
+            Operand::ImmI(v) => Value::I(v),
+            Operand::ImmF(v) => Value::F(v),
+            Operand::Global(g) => Value::I(global_base[g.index()]),
+        }
+    }
+
+    #[inline]
+    fn operand_ready(frame: &Frame, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => frame.ready[r.index()],
+            _ => 0,
+        }
+    }
+
+    #[inline]
+    fn write_reg(frame: &mut Frame, dst: Reg, v: Value, ready: u64) {
+        frame.regs[dst.index()] = v;
+        frame.written[dst.index()] = true;
+        frame.ready[dst.index()] = ready;
+    }
+
+    fn step(
+        &mut self,
+        inst: &Inst,
+        stack: &mut Vec<Frame>,
+        counters: &mut Counters,
+        pipeline: &mut Option<Pipeline>,
+        prints: &mut Vec<Value>,
+        region_depth: &mut u32,
+    ) -> Result<(), Trap> {
+        let global_base = &self.global_base;
+        let frame = stack.last_mut().expect("frame");
+
+        // Timing: gather source readiness and issue.
+        let issue = |frame: &Frame,
+                     pipeline: &mut Option<Pipeline>,
+                     inst: &Inst,
+                     addr: Option<i64>|
+         -> u64 {
+            match pipeline {
+                None => 0,
+                Some(p) => {
+                    let mut ready = 0u64;
+                    inst.for_each_use(|op| {
+                        if let Operand::Reg(r) = op {
+                            ready = ready.max(frame.ready[r.index()]);
+                        }
+                    });
+                    p.issue(class_of(inst), ready, addr)
+                }
+            }
+        };
+
+        match inst {
+            Inst::Mov { dst, src, .. } => {
+                let v = Self::eval(global_base, frame, *src);
+                let done = issue(frame, pipeline, inst, None);
+                Self::write_reg(frame, *dst, v, done);
+            }
+            Inst::Bin {
+                ty,
+                op,
+                dst,
+                lhs,
+                rhs,
+            } => {
+                let a = Self::eval(global_base, frame, *lhs);
+                let b = Self::eval(global_base, frame, *rhs);
+                let v = Self::bin_op(*ty, *op, a, b)?;
+                let done = issue(frame, pipeline, inst, None);
+                Self::write_reg(frame, *dst, v, done);
+            }
+            Inst::Un { ty, op, dst, src } => {
+                let a = Self::eval(global_base, frame, *src);
+                let v = Self::un_op(*ty, *op, a);
+                let done = issue(frame, pipeline, inst, None);
+                Self::write_reg(frame, *dst, v, done);
+            }
+            Inst::Cmp {
+                ty,
+                op,
+                dst,
+                lhs,
+                rhs,
+            } => {
+                let a = Self::eval(global_base, frame, *lhs);
+                let b = Self::eval(global_base, frame, *rhs);
+                let v = Value::I(Self::cmp_op(*ty, *op, a, b) as i64);
+                let done = issue(frame, pipeline, inst, None);
+                Self::write_reg(frame, *dst, v, done);
+            }
+            Inst::Select {
+                dst,
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
+                let c = Self::eval(global_base, frame, *cond).as_i();
+                let v = if c != 0 {
+                    Self::eval(global_base, frame, *on_true)
+                } else {
+                    Self::eval(global_base, frame, *on_false)
+                };
+                let done = issue(frame, pipeline, inst, None);
+                Self::write_reg(frame, *dst, v, done);
+            }
+            Inst::Load { dst, addr, .. } => {
+                counters.loads += 1;
+                let a = Self::eval(global_base, frame, *addr).as_i();
+                let v = self.load_cell(a)?;
+                let frame = stack.last_mut().expect("frame");
+                let done = issue(frame, pipeline, inst, Some(a));
+                Self::write_reg(frame, *dst, v, done);
+            }
+            Inst::Store { addr, value, .. } => {
+                counters.stores += 1;
+                let a = Self::eval(global_base, frame, *addr).as_i();
+                let v = Self::eval(global_base, frame, *value);
+                issue(frame, pipeline, inst, Some(a));
+                self.store_cell(a, v)?;
+            }
+            Inst::Call { dst, callee, args } => {
+                counters.calls += 1;
+                if stack.len() >= self.config.max_call_depth {
+                    return Err(Trap::StackOverflow);
+                }
+                let target = *self
+                    .fn_index
+                    .get(callee.as_str())
+                    .ok_or_else(|| Trap::UnknownFunction(callee.clone()))?;
+                let frame = stack.last_mut().expect("frame");
+                let arg_vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| Self::eval(global_base, frame, *a))
+                    .collect();
+                let args_ready: Vec<u64> = match pipeline {
+                    None => vec![0; args.len()],
+                    Some(_) => args
+                        .iter()
+                        .map(|a| Self::operand_ready(frame, *a))
+                        .collect(),
+                };
+                issue(frame, pipeline, inst, None);
+                let mut new = self.new_frame(target, &arg_vals, &args_ready);
+                new.ret_dst = *dst;
+                stack.push(new);
+            }
+            Inst::IntrinsicCall { dst, intr, args } => {
+                let arg_vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| Self::eval(global_base, frame, *a))
+                    .collect();
+                match intr {
+                    Intrinsic::RegionEnter => *region_depth += 1,
+                    Intrinsic::RegionExit => *region_depth = region_depth.saturating_sub(1),
+                    Intrinsic::Print => prints.push(arg_vals[0]),
+                    _ => {}
+                }
+                let action = self.hooks.intrinsic(*intr, &arg_vals);
+                counters.retired += action.cost;
+                if *region_depth > 0 {
+                    counters.region_retired += action.cost;
+                }
+                let frame = stack.last_mut().expect("frame");
+                let done = match pipeline {
+                    None => 0,
+                    Some(p) => {
+                        let mut ready = 0u64;
+                        for (a, op) in arg_vals.iter().zip(args.iter()) {
+                            let _ = a;
+                            if let Operand::Reg(r) = op {
+                                ready = ready.max(frame.ready[r.index()]);
+                            }
+                        }
+                        p.issue_bulk(1 + action.cost, ready)
+                    }
+                };
+                if action.trap_detected {
+                    return Err(Trap::FaultDetected);
+                }
+                if let (Some(d), Some(v)) = (dst, action.value) {
+                    Self::write_reg(frame, *d, v, done);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn load_cell(&self, addr: i64) -> Result<Value, Trap> {
+        if addr < 0 || addr as usize >= self.mem.len() {
+            return Err(Trap::OutOfBounds { addr });
+        }
+        Ok(self.mem[addr as usize])
+    }
+
+    fn store_cell(&mut self, addr: i64, v: Value) -> Result<(), Trap> {
+        if addr < 0 || addr as usize >= self.mem.len() {
+            return Err(Trap::OutOfBounds { addr });
+        }
+        self.mem[addr as usize] = v;
+        Ok(())
+    }
+
+    fn bin_op(ty: Ty, op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
+        Ok(match ty {
+            Ty::I64 => {
+                let (x, y) = (a.as_i(), b.as_i());
+                Value::I(match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        x.wrapping_div(y)
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        x.wrapping_rem(y)
+                    }
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+                    BinOp::Shr => x.wrapping_shr((y & 63) as u32),
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                })
+            }
+            Ty::F64 => {
+                let (x, y) = (a.as_f(), b.as_f());
+                Value::F(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Rem => x % y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr => {
+                        unreachable!("verifier rejects bitwise float ops")
+                    }
+                })
+            }
+        })
+    }
+
+    fn un_op(ty: Ty, op: UnOp, a: Value) -> Value {
+        match op {
+            UnOp::Neg => match ty {
+                Ty::I64 => Value::I(a.as_i().wrapping_neg()),
+                Ty::F64 => Value::F(-a.as_f()),
+            },
+            UnOp::Not => Value::I(!a.as_i()),
+            UnOp::Sqrt => Value::F(a.as_f().sqrt()),
+            UnOp::Exp => Value::F(a.as_f().exp()),
+            UnOp::Log => Value::F(a.as_f().ln()),
+            UnOp::Abs => match ty {
+                Ty::I64 => Value::I(a.as_i().wrapping_abs()),
+                Ty::F64 => Value::F(a.as_f().abs()),
+            },
+            UnOp::Floor => Value::F(a.as_f().floor()),
+            UnOp::IntToFloat => Value::F(a.as_i() as f64),
+            UnOp::FloatToInt => Value::I(a.as_f() as i64), // saturating in Rust
+        }
+    }
+
+    fn cmp_op(ty: Ty, op: CmpOp, a: Value, b: Value) -> bool {
+        match ty {
+            Ty::I64 => {
+                let (x, y) = (a.as_i(), b.as_i());
+                match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                }
+            }
+            Ty::F64 => {
+                let (x, y) = (a.as_f(), b.as_f());
+                match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                }
+            }
+        }
+    }
+
+    /// Flips one random bit of one random live register (SEU).
+    fn inject(
+        &self,
+        plan: &InjectionPlan,
+        stack: &mut [Frame],
+        at_retired: u64,
+    ) -> Option<InjectionRecord> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(plan.seed);
+
+        // Gather live (written) registers across all active frames — the
+        // architectural register file is shared state on real hardware.
+        let mut targets: Vec<(usize, usize)> = Vec::new();
+        for (fi, frame) in stack.iter().enumerate() {
+            for (ri, &w) in frame.written.iter().enumerate() {
+                if w {
+                    targets.push((fi, ri));
+                }
+            }
+        }
+        if targets.is_empty() {
+            return None;
+        }
+        let (fi, ri) = targets[rng.gen_range(0..targets.len())];
+        let bit = rng.gen_range(0..64u32);
+        let old = stack[fi].regs[ri];
+        let new = old.with_bit_flipped(bit);
+        stack[fi].regs[ri] = new;
+        Some(InjectionRecord {
+            function: self.module.functions[stack[fi].func].name.clone(),
+            reg: Reg(ri as u32),
+            bit,
+            at_retired,
+            old_bits: old.bits(),
+            new_bits: new.bits(),
+        })
+    }
+}
+
+/// Convenience: run a module's entry function on a fresh machine without
+/// hooks or timing (used pervasively by tests).
+///
+/// # Panics
+///
+/// Panics if `func` does not exist or arguments mismatch.
+pub fn run_simple(module: &Module, func: &str, args: &[Value]) -> RunOutcome {
+    let mut m = Machine::new(module, crate::NoopHooks);
+    m.run(func, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoopHooks;
+    use rskip_ir::ModuleBuilder;
+
+    fn returned_i(outcome: &RunOutcome) -> i64 {
+        match outcome.termination {
+            Termination::Returned(Some(Value::I(v))) => v,
+            ref other => panic!("expected integer return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![Ty::I64], Some(Ty::I64));
+        let p = f.param(0);
+        let x = f.bin(BinOp::Mul, Ty::I64, Operand::reg(p), Operand::imm_i(6));
+        let y = f.bin(BinOp::Add, Ty::I64, Operand::reg(x), Operand::imm_i(2));
+        f.ret(Some(Operand::reg(y)));
+        f.finish();
+        let m = mb.finish();
+        let out = run_simple(&m, "main", &[Value::I(7)]);
+        assert_eq!(returned_i(&out), 44);
+        assert_eq!(out.counters.retired, 3); // mul, add, ret
+    }
+
+    #[test]
+    fn loop_sums_global() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global_init(
+            "data",
+            Ty::I64,
+            (1..=10).map(Value::I).collect(),
+        );
+        let mut f = mb.function("main", vec![], Some(Ty::I64));
+        let entry = f.entry_block();
+        let header = f.new_block("header");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        let acc = f.def_reg(Ty::I64, "acc");
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.mov(acc, Operand::imm_i(0));
+        f.br(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(10));
+        f.cond_br(Operand::reg(c), body, exit);
+        f.switch_to(body);
+        let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(g), Operand::reg(i));
+        let v = f.load(Ty::I64, Operand::reg(addr));
+        f.bin_into(acc, BinOp::Add, Ty::I64, Operand::reg(acc), Operand::reg(v));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+        let m = mb.finish();
+        let out = run_simple(&m, "main", &[]);
+        assert_eq!(returned_i(&out), 55);
+        assert_eq!(out.counters.loads, 10);
+        assert_eq!(out.counters.branches, 11);
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut sq = mb.function("square", vec![Ty::I64], Some(Ty::I64));
+        let p = sq.param(0);
+        let r = sq.bin(BinOp::Mul, Ty::I64, Operand::reg(p), Operand::reg(p));
+        sq.ret(Some(Operand::reg(r)));
+        sq.finish();
+        let mut f = mb.function("main", vec![], Some(Ty::I64));
+        let a = f.call("square", vec![Operand::imm_i(9)], Some(Ty::I64)).unwrap();
+        let b = f.call("square", vec![Operand::reg(a)], Some(Ty::I64)).unwrap();
+        f.ret(Some(Operand::reg(b)));
+        f.finish();
+        let m = mb.finish();
+        let out = run_simple(&m, "main", &[]);
+        assert_eq!(returned_i(&out), 6561);
+        assert_eq!(out.counters.calls, 2);
+    }
+
+    #[test]
+    fn out_of_bounds_load_traps() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.global_zeroed("g", Ty::I64, 4);
+        let mut f = mb.function("main", vec![], None);
+        f.load(Ty::I64, Operand::imm_i(100));
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let out = run_simple(&m, "main", &[]);
+        assert_eq!(
+            out.termination,
+            Termination::Trapped(Trap::OutOfBounds { addr: 100 })
+        );
+    }
+
+    #[test]
+    fn negative_address_traps() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.global_zeroed("g", Ty::I64, 4);
+        let mut f = mb.function("main", vec![], None);
+        f.store(Ty::I64, Operand::imm_i(-1), Operand::imm_i(0));
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let out = run_simple(&m, "main", &[]);
+        assert!(matches!(
+            out.termination,
+            Termination::Trapped(Trap::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![Ty::I64], Some(Ty::I64));
+        let p = f.param(0);
+        let d = f.bin(BinOp::Div, Ty::I64, Operand::imm_i(10), Operand::reg(p));
+        f.ret(Some(Operand::reg(d)));
+        f.finish();
+        let m = mb.finish();
+        let out = run_simple(&m, "main", &[Value::I(0)]);
+        assert_eq!(out.termination, Termination::Trapped(Trap::DivByZero));
+    }
+
+    #[test]
+    fn float_division_by_zero_is_not_a_trap() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Some(Ty::F64));
+        let d = f.bin(BinOp::Div, Ty::F64, Operand::imm_f(1.0), Operand::imm_f(0.0));
+        f.ret(Some(Operand::reg(d)));
+        f.finish();
+        let m = mb.finish();
+        let out = run_simple(&m, "main", &[]);
+        match out.termination {
+            Termination::Returned(Some(Value::F(v))) => assert_eq!(v, f64::INFINITY),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], None);
+        let spin = f.new_block("spin");
+        f.br(spin);
+        f.switch_to(spin);
+        f.br(spin);
+        f.finish();
+        let m = mb.finish();
+        let mut machine = Machine::with_config(
+            &m,
+            NoopHooks,
+            ExecConfig {
+                step_limit: 1000,
+                ..ExecConfig::default()
+            },
+        );
+        let out = machine.run("main", &[]);
+        assert_eq!(out.termination, Termination::Trapped(Trap::StepLimit));
+    }
+
+    #[test]
+    fn recursion_overflows_stack() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("rec", vec![], None);
+        f.call("rec", vec![], None);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let out = run_simple(&m, "rec", &[]);
+        assert_eq!(out.termination, Termination::Trapped(Trap::StackOverflow));
+    }
+
+    #[test]
+    fn print_intrinsic_collects_values() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], None);
+        f.intrinsic(Intrinsic::Print, vec![Operand::imm_f(2.5)]);
+        f.intrinsic(Intrinsic::Print, vec![Operand::imm_i(3)]);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let out = run_simple(&m, "main", &[]);
+        assert_eq!(out.prints, vec![Value::F(2.5), Value::I(3)]);
+    }
+
+    #[test]
+    fn region_markers_scope_region_counters() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], None);
+        f.bin(BinOp::Add, Ty::I64, Operand::imm_i(1), Operand::imm_i(2));
+        f.intrinsic(Intrinsic::RegionEnter, vec![Operand::imm_i(0)]);
+        f.bin(BinOp::Add, Ty::I64, Operand::imm_i(1), Operand::imm_i(2));
+        f.bin(BinOp::Add, Ty::I64, Operand::imm_i(1), Operand::imm_i(2));
+        f.intrinsic(Intrinsic::RegionExit, vec![Operand::imm_i(0)]);
+        f.bin(BinOp::Add, Ty::I64, Operand::imm_i(1), Operand::imm_i(2));
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let out = run_simple(&m, "main", &[]);
+        // region_retired: the two adds inside + the region_exit intrinsic
+        // instruction itself (region_enter increments depth before the
+        // count? No: counts occur before execution — region_enter retires
+        // while depth is still 0).
+        assert_eq!(out.counters.region_retired, 3);
+        assert!(out.counters.retired > out.counters.region_retired);
+    }
+
+    #[test]
+    fn write_and_read_globals() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.global_zeroed("buf", Ty::F64, 4);
+        let mut f = mb.function("main", vec![], None);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let mut machine = Machine::new(&m, NoopHooks);
+        machine.write_global(
+            "buf",
+            &[Value::F(1.0), Value::F(2.0), Value::F(3.0), Value::F(4.0)],
+        );
+        assert_eq!(machine.read_global("buf")[2], Value::F(3.0));
+        machine.reset_memory();
+        assert_eq!(machine.read_global("buf")[2], Value::F(0.0));
+    }
+
+    #[test]
+    fn timing_produces_cycles_and_ipc() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Some(Ty::F64));
+        let mut v = f.mov_new(Ty::F64, Operand::imm_f(1.0));
+        for _ in 0..20 {
+            v = f.bin(BinOp::Mul, Ty::F64, Operand::reg(v), Operand::imm_f(1.01));
+        }
+        f.ret(Some(Operand::reg(v)));
+        f.finish();
+        let m = mb.finish();
+        let mut machine = Machine::with_config(
+            &m,
+            NoopHooks,
+            ExecConfig {
+                timing: Some(PipelineConfig::default()),
+                ..ExecConfig::default()
+            },
+        );
+        let out = machine.run("main", &[]);
+        // Dependent FpMul chain: ~4 cycles per op, IPC well below 1.
+        assert!(out.counters.cycles >= 60, "cycles = {}", out.counters.cycles);
+        assert!(out.counters.ipc() < 1.0);
+    }
+
+    #[test]
+    fn independent_ops_get_higher_ipc_than_dependent_chain() {
+        let build = |dependent: bool| {
+            let mut mb = ModuleBuilder::new("m");
+            let mut f = mb.function("main", vec![], Some(Ty::F64));
+            let mut v = f.mov_new(Ty::F64, Operand::imm_f(1.0));
+            for _ in 0..50 {
+                if dependent {
+                    v = f.bin(BinOp::Add, Ty::F64, Operand::reg(v), Operand::imm_f(1.0));
+                } else {
+                    f.bin(BinOp::Add, Ty::F64, Operand::imm_f(1.0), Operand::imm_f(1.0));
+                }
+            }
+            f.ret(Some(Operand::reg(v)));
+            f.finish();
+            mb.finish()
+        };
+        let run = |m: &Module| {
+            let mut machine = Machine::with_config(
+                m,
+                NoopHooks,
+                ExecConfig {
+                    timing: Some(PipelineConfig::default()),
+                    ..ExecConfig::default()
+                },
+            );
+            machine.run("main", &[]).counters.ipc()
+        };
+        let dep = build(true);
+        let indep = build(false);
+        assert!(run(&indep) > 2.0 * run(&dep));
+    }
+
+    #[test]
+    fn injection_flips_exactly_one_live_register() {
+        // A long loop; inject mid-way and check the record.
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global_zeroed("out", Ty::I64, 1);
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        let acc = f.def_reg(Ty::I64, "acc");
+        f.switch_to(entry);
+        f.intrinsic(Intrinsic::RegionEnter, vec![Operand::imm_i(0)]);
+        f.mov(i, Operand::imm_i(0));
+        f.mov(acc, Operand::imm_i(0));
+        f.br(body);
+        f.switch_to(body);
+        f.bin_into(acc, BinOp::Add, Ty::I64, Operand::reg(acc), Operand::reg(i));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(1000));
+        f.cond_br(Operand::reg(c), body, exit);
+        f.switch_to(exit);
+        f.store(Ty::I64, Operand::global(g), Operand::reg(acc));
+        f.intrinsic(Intrinsic::RegionExit, vec![Operand::imm_i(0)]);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+
+        // Golden run. Corrupting the loop counter can spin the loop toward
+        // the step limit (a *Hang* in campaign terms), so keep the budget
+        // small here.
+        let config = ExecConfig {
+            step_limit: 200_000,
+            ..ExecConfig::default()
+        };
+        let golden = {
+            let mut machine = Machine::with_config(&m, NoopHooks, config.clone());
+            machine.run("main", &[]);
+            machine.read_global("out").to_vec()
+        };
+
+        let mut corrupted = 0;
+        for seed in 0..20 {
+            let mut machine = Machine::with_config(&m, NoopHooks, config.clone());
+            machine.set_injection(InjectionPlan {
+                trigger: 500,
+                seed,
+                anywhere: false,
+            });
+            let out = machine.run("main", &[]);
+            let rec = out.injection.expect("target found");
+            assert_eq!((rec.old_bits ^ rec.new_bits).count_ones(), 1);
+            if machine.read_global("out") != golden.as_slice() {
+                corrupted += 1;
+            }
+        }
+        // Some seeds corrupt the sum (SDC), some are masked (flip in a
+        // dead/low-impact position); both must occur across 20 seeds.
+        assert!(corrupted > 0, "no injection ever corrupted the output");
+        assert!(corrupted < 20, "every injection corrupted the output");
+    }
+
+    #[test]
+    fn injection_respects_region_scope() {
+        // No region markers at all: with anywhere=false the plan never
+        // fires.
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Some(Ty::I64));
+        let x = f.bin(BinOp::Add, Ty::I64, Operand::imm_i(1), Operand::imm_i(2));
+        f.ret(Some(Operand::reg(x)));
+        f.finish();
+        let m = mb.finish();
+        let mut machine = Machine::new(&m, NoopHooks);
+        machine.set_injection(InjectionPlan {
+            trigger: 0,
+            seed: 1,
+            anywhere: false,
+        });
+        let out = machine.run("main", &[]);
+        assert!(out.injection.is_none());
+        assert_eq!(returned_i(&out), 3);
+    }
+}

@@ -1,0 +1,555 @@
+//! Superscalar timing model: out-of-order issue over a bounded window,
+//! per-class functional-unit ports, a small direct-mapped data cache and a
+//! 2-bit branch predictor.
+//!
+//! A dynamic-trace model, deliberately not a µarch simulator. It captures
+//! the architectural effects the paper's §7.1 builds on:
+//!
+//! 1. The unprotected baseline is partially *latency-bound* (dependence
+//!    chains, cache misses), leaving issue slots idle. Duplicated
+//!    instructions are mutually independent and their extra loads hit the
+//!    lines the original copy just fetched — so instruction-duplication
+//!    schemes raise IPC ("slowdown of conventional detection techniques is
+//!    reported less than 2×" thanks to "parallelism inside modern
+//!    processors").
+//! 2. The issue width, the FP/divider ports and the reorder window bound
+//!    that hiding: tripled dynamic instructions eventually saturate the
+//!    front end, and validation chains in front of stores and branches
+//!    lengthen the critical path ("periodic reaching of synchronization
+//!    points adds dynamic instructions with dependencies").
+
+use std::collections::{HashMap, VecDeque};
+
+use rskip_ir::{BinOp, Inst, Ty, UnOp};
+
+/// Functional-unit class of one dynamic instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// Simple integer ALU (add/logic/cmp/select/mov), 1-cycle.
+    Alu,
+    /// Pipelined integer multiplier.
+    IntMul,
+    /// Floating-point add/sub/min/max.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Int/float conversions, floor.
+    FpCvt,
+    /// Unpipelined divide/sqrt unit (int and float).
+    Div,
+    /// Unpipelined transcendental sequence (`exp`, `log`).
+    Transcendental,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Call/return overhead.
+    Call,
+}
+
+/// Classifies an instruction into its functional-unit class.
+pub fn class_of(inst: &Inst) -> OpClass {
+    match inst {
+        Inst::Mov { .. } | Inst::Cmp { .. } | Inst::Select { .. } => OpClass::Alu,
+        Inst::Bin { ty, op, .. } => match (ty, op) {
+            (Ty::I64, BinOp::Mul) => OpClass::IntMul,
+            (Ty::I64, BinOp::Div | BinOp::Rem) => OpClass::Div,
+            (Ty::I64, _) => OpClass::Alu,
+            (Ty::F64, BinOp::Mul) => OpClass::FpMul,
+            (Ty::F64, BinOp::Div | BinOp::Rem) => OpClass::Div,
+            (Ty::F64, _) => OpClass::FpAdd,
+        },
+        Inst::Un { ty, op, .. } => match op {
+            UnOp::Sqrt => OpClass::Div,
+            UnOp::Exp | UnOp::Log => OpClass::Transcendental,
+            UnOp::IntToFloat | UnOp::FloatToInt | UnOp::Floor => OpClass::FpCvt,
+            UnOp::Neg | UnOp::Abs => {
+                if *ty == Ty::F64 {
+                    OpClass::FpAdd
+                } else {
+                    OpClass::Alu
+                }
+            }
+            UnOp::Not => OpClass::Alu,
+        },
+        Inst::Load { .. } => OpClass::Load,
+        Inst::Store { .. } => OpClass::Store,
+        Inst::Call { .. } => OpClass::Call,
+        Inst::IntrinsicCall { .. } => OpClass::Alu,
+    }
+}
+
+/// Result latency in cycles of one instruction (loads report the cache-hit
+/// latency; the pipeline adds miss penalties from its cache model).
+pub fn latency_of(inst: &Inst) -> u64 {
+    latency_of_class(class_of(inst))
+}
+
+/// Result latency of a functional-unit class (cache-hit latency for
+/// loads).
+pub fn latency_of_class(class: OpClass) -> u64 {
+    match class {
+        OpClass::Alu => 1,
+        OpClass::IntMul => 3,
+        OpClass::FpAdd => 3,
+        OpClass::FpMul => 4,
+        OpClass::FpCvt => 2,
+        OpClass::Div => 14,
+        OpClass::Transcendental => 20,
+        OpClass::Load => 3,
+        OpClass::Store => 1,
+        OpClass::Call => 2,
+    }
+}
+
+/// Static configuration of the pipeline model.
+///
+/// Defaults approximate the paper's Intel Xeon E31230 (Sandy Bridge
+/// class): 3-wide sustained issue, a ~48-entry effective window, one FP
+/// add port, one FP mul port, two load ports, one unpipelined divider, one
+/// transcendental sequencer, a small L1-like cache.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PipelineConfig {
+    /// Sustained issue width (instructions per cycle).
+    pub width: u32,
+    /// Reorder-window size (instructions in flight).
+    pub window: usize,
+    /// Cycles lost on a branch misprediction (charged after the mispredicted
+    /// condition resolves).
+    pub mispredict_penalty: u64,
+    /// Pipelined FP add/cvt units.
+    pub fp_add_ports: u32,
+    /// Pipelined FP multiply units.
+    pub fp_mul_ports: u32,
+    /// Load ports.
+    pub load_ports: u32,
+    /// Store ports.
+    pub store_ports: u32,
+    /// Pipelined integer multiply units.
+    pub int_mul_ports: u32,
+    /// Data-cache lines (direct-mapped).
+    pub cache_lines: usize,
+    /// Cells per cache line.
+    pub cache_line_cells: usize,
+    /// Extra cycles on a cache miss.
+    pub cache_miss_penalty: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            width: 3,
+            window: 48,
+            mispredict_penalty: 10,
+            fp_add_ports: 1,
+            fp_mul_ports: 1,
+            load_ports: 2,
+            store_ports: 1,
+            int_mul_ports: 1,
+            cache_lines: 64,
+            cache_line_cells: 8,
+            cache_miss_penalty: 21,
+        }
+    }
+}
+
+/// The timing state.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    config: PipelineConfig,
+    /// Total instructions issued (front-end bandwidth floor).
+    slots: u64,
+    /// Fetch may not run ahead of a mispredict flush point.
+    fetch_floor: u64,
+    /// Completion cycles of the in-flight window (bounded length).
+    rob: VecDeque<u64>,
+    /// Next-free cycle per pipelined unit instance.
+    fp_add_free: Vec<u64>,
+    fp_mul_free: Vec<u64>,
+    load_free: Vec<u64>,
+    store_free: Vec<u64>,
+    int_mul_free: Vec<u64>,
+    /// Unpipelined units.
+    div_free: u64,
+    trans_free: u64,
+    /// Direct-mapped cache: line index -> tag.
+    cache: Vec<u64>,
+    /// 2-bit predictor per static branch site.
+    predictor: HashMap<u64, u8>,
+    mispredicts: u64,
+    last_completion: u64,
+    cache_misses: u64,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline {
+            config,
+            slots: 0,
+            fetch_floor: 0,
+            rob: VecDeque::with_capacity(config.window + 1),
+            fp_add_free: vec![0; config.fp_add_ports as usize],
+            fp_mul_free: vec![0; config.fp_mul_ports as usize],
+            load_free: vec![0; config.load_ports as usize],
+            store_free: vec![0; config.store_ports as usize],
+            int_mul_free: vec![0; config.int_mul_ports as usize],
+            div_free: 0,
+            trans_free: 0,
+            cache: vec![u64::MAX; config.cache_lines],
+            predictor: HashMap::new(),
+            mispredicts: 0,
+            last_completion: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Total cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        (self.slots / u64::from(self.config.width))
+            .max(self.fetch_floor)
+            .max(self.last_completion)
+    }
+
+    /// Branch mispredictions so far.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Data-cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    fn fetch_cycle(&self) -> u64 {
+        let width_floor = self.slots / u64::from(self.config.width);
+        let rob_floor = if self.rob.len() >= self.config.window {
+            // Cannot dispatch until the oldest in-flight op completes.
+            *self.rob.front().expect("window nonempty")
+        } else {
+            0
+        };
+        width_floor.max(self.fetch_floor).max(rob_floor)
+    }
+
+    fn retire(&mut self, completion: u64) {
+        self.slots += 1;
+        self.last_completion = self.last_completion.max(completion);
+        self.rob.push_back(completion);
+        if self.rob.len() > self.config.window {
+            self.rob.pop_front();
+        }
+    }
+
+    /// Claims the earliest-free instance of a pipelined unit at or after
+    /// `t`; advances it by one cycle (initiation interval 1).
+    fn claim(units: &mut [u64], t: u64) -> u64 {
+        let (idx, _) = units
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .expect("at least one unit");
+        let start = t.max(units[idx]);
+        units[idx] = start + 1;
+        start
+    }
+
+    /// Issues one instruction; `addr` is the accessed cell for loads and
+    /// stores (cache model). Returns the completion cycle of the result.
+    pub fn issue(&mut self, class: OpClass, srcs_ready: u64, addr: Option<i64>) -> u64 {
+        let t0 = self.fetch_cycle().max(srcs_ready);
+        let mut latency = latency_of_class(class);
+        let start = match class {
+            OpClass::Alu | OpClass::Call | OpClass::FpCvt => t0,
+            OpClass::FpAdd => Self::claim(&mut self.fp_add_free, t0),
+            OpClass::FpMul => Self::claim(&mut self.fp_mul_free, t0),
+            OpClass::IntMul => Self::claim(&mut self.int_mul_free, t0),
+            OpClass::Load => {
+                let start = Self::claim(&mut self.load_free, t0);
+                if let Some(a) = addr {
+                    if !self.cache_access(a) {
+                        latency += self.config.cache_miss_penalty;
+                        self.cache_misses += 1;
+                    }
+                }
+                start
+            }
+            OpClass::Store => {
+                let start = Self::claim(&mut self.store_free, t0);
+                if let Some(a) = addr {
+                    let _ = self.cache_access(a); // write-allocate
+                }
+                start
+            }
+            OpClass::Div => {
+                let start = t0.max(self.div_free);
+                self.div_free = start + latency; // unpipelined
+                start
+            }
+            OpClass::Transcendental => {
+                let start = t0.max(self.trans_free);
+                self.trans_free = start + latency;
+                start
+            }
+        };
+        let completion = start + latency;
+        self.retire(completion);
+        completion
+    }
+
+    /// True on a hit; installs the line otherwise.
+    fn cache_access(&mut self, addr: i64) -> bool {
+        let block = (addr.max(0) as u64) / self.config.cache_line_cells as u64;
+        let line = (block % self.config.cache_lines as u64) as usize;
+        if self.cache[line] == block {
+            true
+        } else {
+            self.cache[line] = block;
+            false
+        }
+    }
+
+    /// Issues a block of `count` independent ALU operations (the modeled
+    /// body of a runtime intrinsic), gated on `srcs_ready`; returns when
+    /// the block's result is ready.
+    pub fn issue_bulk(&mut self, count: u64, srcs_ready: u64) -> u64 {
+        let mut ready = srcs_ready;
+        for _ in 0..count {
+            ready = self.issue(OpClass::Alu, srcs_ready, None).max(ready);
+        }
+        ready
+    }
+
+    /// Resolves a conditional branch at a static site: predicts with a
+    /// 2-bit counter. Correctly predicted branches are free (speculation);
+    /// a mispredict stalls fetch until the condition resolves, plus the
+    /// flush penalty — so validation chains feeding branches make
+    /// mispredicts costlier.
+    pub fn branch(&mut self, site: u64, taken: bool, cond_ready: u64) {
+        let counter = *self.predictor.entry(site).or_insert(1);
+        let predicted_taken = counter >= 2;
+        if predicted_taken != taken {
+            self.mispredicts += 1;
+            let resume = cond_ready
+                .max(self.fetch_cycle())
+                .saturating_add(self.config.mispredict_penalty);
+            self.fetch_floor = self.fetch_floor.max(resume);
+        }
+        let updated = match (taken, counter) {
+            (true, c) => (c + 1).min(3),
+            (false, c) => c.saturating_sub(1),
+        };
+        self.predictor.insert(site, updated);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipe() -> Pipeline {
+        Pipeline::new(PipelineConfig::default())
+    }
+
+    #[test]
+    fn independent_alu_ops_fill_the_width() {
+        let mut p = pipe();
+        for _ in 0..30 {
+            p.issue(OpClass::Alu, 0, None);
+        }
+        assert_eq!(p.cycles(), 10); // width 3
+    }
+
+    #[test]
+    fn dependent_chain_is_latency_bound() {
+        let mut p = pipe();
+        let mut ready = 0;
+        for _ in 0..8 {
+            ready = p.issue(OpClass::FpAdd, ready, None);
+        }
+        assert_eq!(ready, 24); // 8 chained 3-cycle adds
+        assert_eq!(p.cycles(), 24);
+    }
+
+    #[test]
+    fn independent_work_hides_behind_a_stalled_chain() {
+        // OoO: one long dependent chain plus independent ALU work; the
+        // ALU work must not wait for the chain.
+        let mut p = pipe();
+        let mut ready = 0;
+        for _ in 0..10 {
+            ready = p.issue(OpClass::FpAdd, ready, None);
+            p.issue(OpClass::Alu, 0, None);
+            p.issue(OpClass::Alu, 0, None);
+        }
+        // Chain bound: 30 cycles; width bound: 30/3 = 10.
+        assert_eq!(p.cycles(), 30);
+        // The same ALU work in-order-stalled would exceed 30.
+    }
+
+    #[test]
+    fn window_limits_runahead() {
+        // A very long dependent chain; later independent work cannot run
+        // more than `window` instructions ahead.
+        let cfg = PipelineConfig {
+            window: 4,
+            ..PipelineConfig::default()
+        };
+        let mut p = Pipeline::new(cfg);
+        let slow = p.issue(OpClass::Transcendental, 0, None); // completes at 20
+        for _ in 0..8 {
+            p.issue(OpClass::Alu, 0, None);
+        }
+        // With a window of 4, the 5th ALU op waits for the transcendental.
+        assert!(p.cycles() >= slow, "cycles = {}", p.cycles());
+    }
+
+    #[test]
+    fn fp_port_limits_throughput() {
+        let mut p = pipe();
+        for _ in 0..30 {
+            p.issue(OpClass::FpAdd, 0, None);
+        }
+        assert!(p.cycles() >= 30 + 2, "cycles = {}", p.cycles());
+        let mut q = pipe();
+        for _ in 0..30 {
+            q.issue(OpClass::Alu, 0, None);
+        }
+        assert_eq!(q.cycles(), 10);
+    }
+
+    #[test]
+    fn divider_is_unpipelined() {
+        let mut p = pipe();
+        let r1 = p.issue(OpClass::Div, 0, None);
+        let r2 = p.issue(OpClass::Div, 0, None);
+        assert_eq!(r2, r1 + latency_of_class(OpClass::Div));
+    }
+
+    #[test]
+    fn transcendental_unit_serializes_triplicated_exp() {
+        let mut one = pipe();
+        let c1 = one.issue(OpClass::Transcendental, 0, None);
+        let mut three = pipe();
+        let mut c3 = 0;
+        for _ in 0..3 {
+            c3 = three.issue(OpClass::Transcendental, 0, None);
+        }
+        assert!(c3 as f64 >= 2.9 * c1 as f64, "c1={c1} c3={c3}");
+    }
+
+    #[test]
+    fn cache_hits_after_first_touch() {
+        let mut p = pipe();
+        let miss = p.issue(OpClass::Load, 0, Some(100));
+        let hit = p.issue(OpClass::Load, 0, Some(101)); // same line
+        assert!(miss > hit, "miss={miss} hit={hit}");
+        assert_eq!(p.cache_misses(), 1);
+    }
+
+    #[test]
+    fn streaming_a_large_array_misses_periodically() {
+        let mut p = pipe();
+        for a in 0..4096 {
+            p.issue(OpClass::Load, 0, Some(a));
+        }
+        // One miss per 8-cell line.
+        assert_eq!(p.cache_misses(), 512);
+    }
+
+    #[test]
+    fn duplicated_loads_hit_the_original_copys_lines() {
+        // The SWIFT-R effect: a latency-bound baseline (loads feeding a
+        // dependent accumulation) leaves slack that the duplicated copies
+        // fill; their loads hit the lines the original just fetched.
+        let run = |copies: usize| {
+            let mut p = pipe();
+            let mut acc = vec![0u64; copies];
+            for a in (0..2048).step_by(8) {
+                for chain in acc.iter_mut() {
+                    let v = p.issue(OpClass::Load, 0, Some(a));
+                    *chain = p.issue(OpClass::FpAdd, v.max(*chain), None);
+                }
+            }
+            p.cycles()
+        };
+        let one = run(1);
+        let three = run(3);
+        assert!(
+            (three as f64) < 1.5 * one as f64,
+            "one={one} three={three}"
+        );
+        // And the shadow loads add no misses.
+        let misses = |copies: usize| {
+            let mut p = pipe();
+            for a in (0..2048).step_by(8) {
+                for _ in 0..copies {
+                    p.issue(OpClass::Load, 0, Some(a));
+                }
+            }
+            p.cache_misses()
+        };
+        assert_eq!(misses(1), misses(3));
+    }
+
+    #[test]
+    fn branch_predictor_learns_a_loop() {
+        let mut p = pipe();
+        for _ in 0..100 {
+            p.branch(7, true, 0);
+        }
+        p.branch(7, false, 0);
+        assert!(p.mispredicts() <= 2, "mispredicts = {}", p.mispredicts());
+    }
+
+    #[test]
+    fn alternating_branch_mispredicts_often() {
+        let mut p = pipe();
+        for i in 0..100 {
+            p.branch(9, i % 2 == 0, 0);
+        }
+        assert!(p.mispredicts() > 30);
+    }
+
+    #[test]
+    fn mispredict_with_late_condition_is_costlier() {
+        // A mispredicted branch whose condition resolves late (a validation
+        // chain) stalls fetch longer.
+        let mut early = pipe();
+        early.branch(1, true, 0); // predicted not-taken initially -> mispredict
+        let c_early = early.cycles();
+        let mut late = pipe();
+        late.branch(1, true, 50);
+        let c_late = late.cycles();
+        assert!(c_late > c_early + 40, "early={c_early} late={c_late}");
+    }
+
+    #[test]
+    fn bulk_issue_charges_all_ops() {
+        let mut p = pipe();
+        let ready = p.issue_bulk(9, 0);
+        assert_eq!(p.cycles(), 3);
+        assert!(ready >= 1);
+    }
+
+    #[test]
+    fn latency_table_sanity() {
+        use rskip_ir::{Operand, Reg};
+        let exp = Inst::Un {
+            ty: Ty::F64,
+            op: UnOp::Exp,
+            dst: Reg(0),
+            src: Operand::imm_f(1.0),
+        };
+        let add = Inst::Bin {
+            ty: Ty::I64,
+            op: BinOp::Add,
+            dst: Reg(0),
+            lhs: Operand::imm_i(1),
+            rhs: Operand::imm_i(2),
+        };
+        assert!(latency_of(&exp) > 10 * latency_of(&add));
+        assert_eq!(class_of(&exp), OpClass::Transcendental);
+        assert_eq!(class_of(&add), OpClass::Alu);
+    }
+}

@@ -1,0 +1,26 @@
+use rskip_exec::{run_simple, Machine, NoopHooks};
+use rskip_passes::{protect, Scheme};
+use rskip_ir::Value;
+use rskip_workloads::{benchmark_by_name, SizeProfile};
+
+fn main() {
+    let b = benchmark_by_name("conv2d").unwrap();
+    let m = b.build(SizeProfile::Small);
+    let p = protect(&m, Scheme::RSkip);
+    let body_fn = p.regions[0].body_fn.as_deref().unwrap();
+    let bf = p.module.function(body_fn).unwrap();
+    println!("body params: {:?}", bf.params);
+    // call body(x=5, y=5) — args order from param_tys
+    let args: Vec<Value> = bf.params.iter().map(|_| Value::I(5)).collect();
+    let out = run_simple(&p.module, body_fn, &args);
+    println!("body dynamic retired: {} ({:?})", out.counters.retired, out.termination);
+
+    // total instructions of PP run minus SkipAll-style baseline:
+    let input = b.gen_input(SizeProfile::Small, 2000);
+    let mut um = Machine::new(&m, NoopHooks);
+    input.apply(&mut um);
+    let uo = um.run("main", &[]);
+    println!("unprotected total: {}", uo.counters.retired);
+    // how many instructions per element in base region?
+    println!("per element base: {}", uo.counters.retired / 576);
+}

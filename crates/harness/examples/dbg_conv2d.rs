@@ -1,0 +1,70 @@
+use rskip_exec::{Machine, NoopHooks};
+use rskip_passes::{protect, Scheme};
+use rskip_runtime::{PredictionRuntime, RegionInit, RuntimeConfig};
+use rskip_workloads::{benchmark_by_name, SizeProfile};
+
+fn main() {
+    for name in ["conv2d", "lud"] {
+        let b = benchmark_by_name(name).unwrap();
+        let m = b.build(SizeProfile::Small);
+        let input = b.gen_input(SizeProfile::Small, 2000);
+
+        let mut base = Machine::new(&m, NoopHooks);
+        input.apply(&mut base);
+        let bo = base.run("main", &[]);
+
+        let sr = protect(&m, Scheme::SwiftR);
+        let mut srm = Machine::new(&sr.module, NoopHooks);
+        input.apply(&mut srm);
+        let so = srm.run("main", &[]);
+
+        let p = protect(&m, Scheme::RSkip);
+        let inits: Vec<RegionInit> = p
+            .regions
+            .iter()
+            .map(|r| RegionInit {
+                region: r.region.0,
+                has_body: r.body_fn.is_some(),
+                memoizable: r.memoizable,
+                acceptable_range: r.acceptable_range,
+            })
+            .collect();
+        let rt = PredictionRuntime::new(
+            &inits,
+            RuntimeConfig {
+                default_tp: 2.0,
+                ..RuntimeConfig::with_ar(1.0)
+            },
+        );
+        let mut ppm = Machine::new(&p.module, rt);
+        input.apply(&mut ppm);
+        let po = ppm.run("main", &[]);
+
+        println!("== {name} ==");
+        println!(
+            "base:    total {:>9} region {:>9}",
+            bo.counters.retired, bo.counters.region_retired
+        );
+        println!(
+            "swift-r: total {:>9} region {:>9}",
+            so.counters.retired, so.counters.region_retired
+        );
+        println!(
+            "rskip:   total {:>9} region {:>9}",
+            po.counters.retired, po.counters.region_retired
+        );
+        for r in &p.regions {
+            let s = ppm.hooks().stats(r.region.0);
+            println!("  region {}: {s:?}", r.region.0);
+        }
+        // Body cost measurement.
+        if let Some(body_fn) = p.regions[0].body_fn.as_deref() {
+            let bf = p.module.function(body_fn).unwrap();
+            println!(
+                "  body {body_fn}: {} static insts, {} params",
+                bf.inst_count(),
+                bf.params.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+use rskip_exec::{ExecConfig, Machine, NoopHooks, PipelineConfig};
+use rskip_passes::{protect, Scheme};
+use rskip_runtime::{PredictionRuntime, RegionInit, RuntimeConfig};
+use rskip_workloads::{all_benchmarks, SizeProfile};
+
+fn main() {
+    let config = ExecConfig {
+        timing: Some(PipelineConfig::default()),
+        ..ExecConfig::default()
+    };
+    for b in all_benchmarks() {
+        let m = b.build(SizeProfile::Small);
+        let input = b.gen_input(SizeProfile::Small, 2000);
+
+        let mut base = Machine::with_config(&m, NoopHooks, config.clone());
+        input.apply(&mut base);
+        let bo = base.run("main", &[]);
+
+        let sr = protect(&m, Scheme::SwiftR);
+        let mut srm = Machine::with_config(&sr.module, NoopHooks, config.clone());
+        input.apply(&mut srm);
+        let so = srm.run("main", &[]);
+
+        let p = protect(&m, Scheme::RSkip);
+        let inits: Vec<RegionInit> = p
+            .regions
+            .iter()
+            .map(|r| RegionInit {
+                region: r.region.0,
+                has_body: r.body_fn.is_some(),
+                memoizable: r.memoizable,
+                acceptable_range: r.acceptable_range,
+            })
+            .collect();
+        let rt = PredictionRuntime::new(
+            &inits,
+            RuntimeConfig {
+                default_tp: 2.0,
+                ..RuntimeConfig::with_ar(1.0)
+            },
+        );
+        let mut ppm = Machine::with_config(&p.module, rt, config.clone());
+        input.apply(&mut ppm);
+        let po = ppm.run("main", &[]);
+        let skip = ppm.hooks().total_skip_rate();
+
+        println!(
+            "{:<13} base ipc={:.2} | SWIFT-R: instr {:.2}x time {:.2}x ipc {:.2}x | RSkip(AR100,tp2): instr {:.2}x time {:.2}x skip {:.2}",
+            b.meta().name,
+            bo.counters.ipc(),
+            so.counters.retired as f64 / bo.counters.retired as f64,
+            so.counters.cycles as f64 / bo.counters.cycles as f64,
+            so.counters.ipc() / bo.counters.ipc(),
+            po.counters.retired as f64 / bo.counters.retired as f64,
+            po.counters.cycles as f64 / bo.counters.cycles as f64,
+            skip,
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! `rskip-eval` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! rskip-eval table1
+//! rskip-eval fig2   [--size tiny|small|full]
+//! rskip-eval fig7   [--size ...]
+//! rskip-eval fig8a  [--size ...]
+//! rskip-eval fig8b  [--size ...] [--inputs N]
+//! rskip-eval fig9   [--size ...] [--runs N]
+//! rskip-eval tradeoff [--size ...] [--runs N]
+//! rskip-eval cost-ratio
+//! rskip-eval all    [--size ...] [--runs N] [--out DIR]
+//! ```
+//!
+//! With `--out DIR`, raw results are also written as JSON.
+
+use std::path::PathBuf;
+
+use rskip_harness::build::EvalOptions;
+use rskip_workloads::SizeProfile;
+
+struct Args {
+    command: String,
+    size: SizeProfile,
+    runs: u32,
+    inputs: u32,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut parsed = Args {
+        command,
+        size: SizeProfile::Small,
+        runs: 200,
+        inputs: 20,
+        out: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--size" => {
+                parsed.size = match value()?.as_str() {
+                    "tiny" => SizeProfile::Tiny,
+                    "small" => SizeProfile::Small,
+                    "full" => SizeProfile::Full,
+                    other => return Err(format!("unknown size `{other}`")),
+                }
+            }
+            "--runs" => {
+                parsed.runs = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --runs: {e}"))?;
+            }
+            "--inputs" => {
+                parsed.inputs = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --inputs: {e}"))?;
+            }
+            "--out" => parsed.out = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage() -> String {
+    "usage: rskip-eval <table1|fig2|fig7|fig8a|fig8b|fig9|tradeoff|cost-ratio|ablations|all> \
+     [--size tiny|small|full] [--runs N] [--inputs N] [--out DIR]"
+        .to_string()
+}
+
+fn save_json(out: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
+    let Some(dir) = out else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialization failed: {e}"),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let options = EvalOptions::at_size(args.size);
+
+    match args.command.as_str() {
+        "table1" => print!("{}", rskip_harness::table1::render(args.size)),
+        "fig2" => {
+            let fig = rskip_harness::fig2::run(&options);
+            save_json(&args.out, "fig2", &fig);
+            print!("{}", fig.render());
+        }
+        "fig7" => {
+            let fig = rskip_harness::fig7::run(&options);
+            save_json(&args.out, "fig7", &fig);
+            print!("{}", fig.render());
+        }
+        "fig8a" => {
+            let fig = rskip_harness::fig8::run_8a(&options);
+            save_json(&args.out, "fig8a", &fig);
+            print!("{}", fig.render());
+        }
+        "fig8b" => {
+            let fig = rskip_harness::fig8::run_8b(&options, args.inputs);
+            save_json(&args.out, "fig8b", &fig);
+            print!("{}", fig.render());
+        }
+        "fig9" => {
+            let fig = rskip_harness::fig9::run(&options, args.runs);
+            save_json(&args.out, "fig9", &fig);
+            print!("{}", fig.render());
+        }
+        "tradeoff" => {
+            let fig7 = rskip_harness::fig7::run(&options);
+            let fig9 = rskip_harness::fig9::run(&options, args.runs);
+            let t = rskip_harness::tradeoff::join(&fig7, &fig9);
+            save_json(&args.out, "tradeoff", &t);
+            print!("{}", t.render());
+        }
+        "ablations" => {
+            let a = rskip_harness::ablations::run(&options);
+            save_json(&args.out, "ablations", &a);
+            print!("{}", a.render());
+        }
+        "cost-ratio" => {
+            let c = rskip_harness::cost_ratio::run(&options);
+            save_json(&args.out, "cost_ratio", &c);
+            print!("{}", c.render());
+        }
+        "all" => {
+            print!("{}", rskip_harness::table1::render(args.size));
+            println!();
+            let fig2 = rskip_harness::fig2::run(&options);
+            save_json(&args.out, "fig2", &fig2);
+            print!("{}", fig2.render());
+            println!();
+            let fig7 = rskip_harness::fig7::run(&options);
+            save_json(&args.out, "fig7", &fig7);
+            print!("{}", fig7.render());
+            let fig8a = rskip_harness::fig8::run_8a(&options);
+            save_json(&args.out, "fig8a", &fig8a);
+            print!("{}", fig8a.render());
+            println!();
+            let fig8b = rskip_harness::fig8::run_8b(&options, args.inputs);
+            save_json(&args.out, "fig8b", &fig8b);
+            print!("{}", fig8b.render());
+            println!();
+            let fig9 = rskip_harness::fig9::run(&options, args.runs);
+            save_json(&args.out, "fig9", &fig9);
+            print!("{}", fig9.render());
+            println!();
+            let t = rskip_harness::tradeoff::join(&fig7, &fig9);
+            save_json(&args.out, "tradeoff", &t);
+            print!("{}", t.render());
+            println!();
+            let c = rskip_harness::cost_ratio::run(&options);
+            save_json(&args.out, "cost_ratio", &c);
+            print!("{}", c.render());
+            println!();
+            let a = rskip_harness::ablations::run(&options);
+            save_json(&args.out, "ablations", &a);
+            print!("{}", a.render());
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Shared experiment plumbing: compile each benchmark under every scheme,
+//! train per acceptable-range models, run measured executions.
+
+use std::collections::BTreeMap;
+
+use rskip_exec::{
+    ExecConfig, Machine, NoopHooks, PipelineConfig, RunOutcome,
+};
+use rskip_ir::Module;
+use rskip_passes::{protect, Protected, Scheme};
+use rskip_runtime::{
+    profile_module_with, train_from_profiles, PredictionRuntime, RegionInit, RegionProfile,
+    RuntimeConfig, TrainedModel, TrainingConfig,
+};
+use rskip_workloads::{Benchmark, InputSet, SizeProfile};
+
+/// One acceptable-range setting (the paper's AR20..AR100).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArSetting {
+    /// Relative difference threshold in percent.
+    pub percent: u32,
+}
+
+impl ArSetting {
+    /// The threshold as a fraction.
+    pub fn fraction(self) -> f64 {
+        f64::from(self.percent) / 100.0
+    }
+
+    /// Label matching the paper (`AR20`).
+    pub fn label(self) -> String {
+        format!("AR{}", self.percent)
+    }
+}
+
+/// Global experiment options.
+#[derive(Clone, Debug)]
+pub struct EvalOptions {
+    /// Workload size profile.
+    pub size: SizeProfile,
+    /// Training input seeds (never overlapping test seeds).
+    pub train_seeds: Vec<u64>,
+    /// Test input seed used by single-run measurements.
+    pub test_seed: u64,
+    /// Pipeline model for timed runs.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            size: SizeProfile::Small,
+            train_seeds: vec![1000, 1001, 1002, 1003],
+            test_seed: 2000,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Options at an explicit size.
+    pub fn at_size(size: SizeProfile) -> Self {
+        EvalOptions {
+            size,
+            ..Self::default()
+        }
+    }
+}
+
+/// A benchmark compiled under all schemes, with per-AR trained models.
+pub struct BenchSetup {
+    /// The workload.
+    pub bench: Box<dyn Benchmark>,
+    /// The unprotected module.
+    pub unprotected: Module,
+    /// UNSAFE build (region markers only).
+    pub unsafe_build: Protected,
+    /// SWIFT-R build.
+    pub swift_r: Protected,
+    /// RSkip build.
+    pub rskip: Protected,
+    /// Region metadata for the runtime.
+    pub inits: Vec<RegionInit>,
+    /// Trained model per AR (training simulation uses the deployment AR).
+    pub models: BTreeMap<ArSetting, TrainedModel>,
+    /// Raw training profiles (fig2 reuses the sampled outputs).
+    pub profiles: Vec<RegionProfile>,
+    /// Options used to build this setup.
+    pub options: EvalOptions,
+}
+
+/// Converts pass-driver region specs into runtime init records.
+pub fn region_inits(p: &Protected) -> Vec<RegionInit> {
+    p.regions
+        .iter()
+        .map(|r| RegionInit {
+            region: r.region.0,
+            has_body: r.body_fn.is_some(),
+            memoizable: r.memoizable,
+            acceptable_range: r.acceptable_range,
+        })
+        .collect()
+}
+
+impl BenchSetup {
+    /// Compiles, profiles and trains one benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any build fails verification or a training run traps —
+    /// setup failures are fatal for the experiment.
+    pub fn prepare(bench: Box<dyn Benchmark>, options: &EvalOptions) -> Self {
+        let unprotected = bench.build(options.size);
+        let unsafe_build = protect(&unprotected, Scheme::Unsafe);
+        let swift_r = protect(&unprotected, Scheme::SwiftR);
+        let rskip = protect(&unprotected, Scheme::RSkip);
+        let inits = region_inits(&rskip);
+
+        // Profile on the training inputs (offline phase, §6).
+        let mut profiles: Vec<RegionProfile> = Vec::new();
+        for &seed in &options.train_seeds {
+            let input = bench.gen_input(options.size, seed);
+            let p = profile_module_with(&rskip.module, "main", &[], &input.arrays);
+            if profiles.is_empty() {
+                profiles = p;
+            } else {
+                for (a, b) in profiles.iter_mut().zip(&p) {
+                    a.merge(b);
+                }
+            }
+        }
+        let memoizable: Vec<bool> = (0..rskip.module.num_regions)
+            .map(|id| {
+                rskip
+                    .regions
+                    .iter()
+                    .find(|r| r.region.0 == id)
+                    .map(|r| r.memoizable)
+                    .unwrap_or(false)
+            })
+            .collect();
+
+        // One trained model per AR: the TP sweep optimizes for the
+        // deployment acceptable range.
+        let mut models = BTreeMap::new();
+        for ar in crate::AR_SETTINGS {
+            let config = TrainingConfig {
+                acceptable_range: ar.fraction(),
+                ..TrainingConfig::default()
+            };
+            models.insert(ar, train_from_profiles(&profiles, &memoizable, &config));
+        }
+
+        BenchSetup {
+            bench,
+            unprotected,
+            unsafe_build,
+            swift_r,
+            rskip,
+            inits,
+            models,
+            profiles,
+            options: options.clone(),
+        }
+    }
+
+    /// Generates the default test input.
+    pub fn test_input(&self) -> InputSet {
+        self.bench
+            .gen_input(self.options.size, self.options.test_seed)
+    }
+
+    /// A trained prediction runtime for the given AR.
+    pub fn runtime(&self, ar: ArSetting) -> PredictionRuntime {
+        let config = RuntimeConfig::with_ar(ar.fraction());
+        PredictionRuntime::with_model(&self.inits, config, &self.models[&ar])
+    }
+
+    /// A trained runtime with memoization disabled (Fig. 8a's DI-only
+    /// series).
+    pub fn runtime_di_only(&self, ar: ArSetting) -> PredictionRuntime {
+        let config = RuntimeConfig {
+            enable_memo: false,
+            ..RuntimeConfig::with_ar(ar.fraction())
+        };
+        PredictionRuntime::with_model(&self.inits, config, &self.models[&ar])
+    }
+
+    /// Timed run of a module with no prediction runtime.
+    pub fn run_timed_plain(&self, module: &Module, input: &InputSet) -> RunOutcome {
+        let mut machine = Machine::with_config(
+            module,
+            NoopHooks,
+            ExecConfig {
+                timing: Some(self.options.pipeline),
+                ..ExecConfig::default()
+            },
+        );
+        input.apply(&mut machine);
+        let out = machine.run("main", &[]);
+        assert!(out.returned(), "timed run trapped: {:?}", out.termination);
+        out
+    }
+
+    /// Timed run of the RSkip build with a trained runtime; returns the
+    /// outcome and the measured skip rate.
+    pub fn run_timed_rskip(
+        &self,
+        runtime: PredictionRuntime,
+        input: &InputSet,
+    ) -> (RunOutcome, f64) {
+        let mut machine = Machine::with_config(
+            &self.rskip.module,
+            runtime,
+            ExecConfig {
+                timing: Some(self.options.pipeline),
+                ..ExecConfig::default()
+            },
+        );
+        input.apply(&mut machine);
+        let out = machine.run("main", &[]);
+        assert!(out.returned(), "timed run trapped: {:?}", out.termination);
+        let skip = machine.hooks().total_skip_rate();
+        (out, skip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_and_run_one_benchmark() {
+        let bench = rskip_workloads::benchmark_by_name("conv1d").unwrap();
+        let options = EvalOptions {
+            size: SizeProfile::Tiny,
+            train_seeds: vec![1000, 1001],
+            ..EvalOptions::default()
+        };
+        let setup = BenchSetup::prepare(bench, &options);
+        assert_eq!(setup.models.len(), 4);
+        let input = setup.test_input();
+        let base = setup.run_timed_plain(&setup.unprotected, &input);
+        let sr = setup.run_timed_plain(&setup.swift_r.module, &input);
+        assert!(sr.counters.cycles > base.counters.cycles);
+        let (pp, skip) = setup.run_timed_rskip(
+            setup.runtime(ArSetting { percent: 100 }),
+            &input,
+        );
+        assert!(pp.counters.cycles > base.counters.cycles);
+        assert!(skip > 0.0);
+    }
+}

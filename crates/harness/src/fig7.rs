@@ -1,0 +1,201 @@
+//! Figure 7 — the performance-overhead experiment (§7.1).
+//!
+//! For every benchmark and every scheme (SWIFT-R, AR20..AR100), one timed
+//! run with the trained runtime on the test input. Reports, normalized to
+//! the unprotected run: execution time (cycles), dynamic instruction
+//! count, IPC — plus the RSkip skip rate (Fig. 7a).
+
+use serde::Serialize;
+
+use crate::build::{ArSetting, BenchSetup, EvalOptions};
+use crate::report::{percent, ratio, TextTable};
+use crate::AR_SETTINGS;
+
+/// Per-scheme normalized metrics.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct SchemeMetrics {
+    /// Execution time (cycles) / unprotected.
+    pub norm_time: f64,
+    /// Retired instructions / unprotected.
+    pub norm_instr: f64,
+    /// IPC / unprotected.
+    pub norm_ipc: f64,
+    /// Skip rate (0 for conventional schemes).
+    pub skip_rate: f64,
+}
+
+/// One benchmark's Figure-7 measurements.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig7Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// SWIFT-R baseline.
+    pub swift_r: SchemeMetrics,
+    /// RSkip at each acceptable range (20, 50, 80, 100).
+    pub rskip: Vec<(u32, SchemeMetrics)>,
+}
+
+/// The whole figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig7 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig7Row>,
+}
+
+/// Runs Figure 7 for one prepared benchmark.
+pub fn run_bench(setup: &BenchSetup) -> Fig7Row {
+    let input = setup.test_input();
+    let base = setup.run_timed_plain(&setup.unprotected, &input);
+    let base_time = base.counters.cycles as f64;
+    let base_instr = base.counters.retired as f64;
+    let base_ipc = base.counters.ipc();
+
+    let metrics = |out: &rskip_exec::RunOutcome, skip: f64| SchemeMetrics {
+        norm_time: out.counters.cycles as f64 / base_time,
+        norm_instr: out.counters.retired as f64 / base_instr,
+        norm_ipc: out.counters.ipc() / base_ipc,
+        skip_rate: skip,
+    };
+
+    let sr = setup.run_timed_plain(&setup.swift_r.module, &input);
+    let swift_r = metrics(&sr, 0.0);
+
+    let mut rskip = Vec::new();
+    for ar in AR_SETTINGS {
+        let (out, skip) = setup.run_timed_rskip(setup.runtime(ar), &input);
+        rskip.push((ar.percent, metrics(&out, skip)));
+    }
+
+    Fig7Row {
+        bench: setup.bench.meta().name.to_string(),
+        swift_r,
+        rskip,
+    }
+}
+
+/// Runs Figure 7 over all benchmarks.
+pub fn run(options: &EvalOptions) -> Fig7 {
+    let rows = rskip_workloads::all_benchmarks()
+        .into_iter()
+        .map(|b| {
+            let setup = BenchSetup::prepare(b, options);
+            run_bench(&setup)
+        })
+        .collect();
+    Fig7 { rows }
+}
+
+impl Fig7 {
+    /// Average metrics across benchmarks for one AR.
+    pub fn average_rskip(&self, ar: ArSetting) -> SchemeMetrics {
+        let mut acc = SchemeMetrics::default();
+        let mut n = 0.0;
+        for row in &self.rows {
+            if let Some((_, m)) = row.rskip.iter().find(|(p, _)| *p == ar.percent) {
+                acc.norm_time += m.norm_time;
+                acc.norm_instr += m.norm_instr;
+                acc.norm_ipc += m.norm_ipc;
+                acc.skip_rate += m.skip_rate;
+                n += 1.0;
+            }
+        }
+        SchemeMetrics {
+            norm_time: acc.norm_time / n,
+            norm_instr: acc.norm_instr / n,
+            norm_ipc: acc.norm_ipc / n,
+            skip_rate: acc.skip_rate / n,
+        }
+    }
+
+    /// Average SWIFT-R metrics.
+    pub fn average_swift_r(&self) -> SchemeMetrics {
+        let n = self.rows.len() as f64;
+        let mut acc = SchemeMetrics::default();
+        for row in &self.rows {
+            acc.norm_time += row.swift_r.norm_time;
+            acc.norm_instr += row.swift_r.norm_instr;
+            acc.norm_ipc += row.swift_r.norm_ipc;
+        }
+        SchemeMetrics {
+            norm_time: acc.norm_time / n,
+            norm_instr: acc.norm_instr / n,
+            norm_ipc: acc.norm_ipc / n,
+            skip_rate: 0.0,
+        }
+    }
+
+    /// Renders the four panels as text tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+
+        // 7a: skip rate.
+        let mut t = TextTable::new(
+            std::iter::once("benchmark".to_string())
+                .chain(AR_SETTINGS.iter().map(|a| a.label()))
+                .collect(),
+        )
+        .with_title("Fig 7a: skip rate in detected loops");
+        for row in &self.rows {
+            t.row(
+                std::iter::once(row.bench.clone())
+                    .chain(row.rskip.iter().map(|(_, m)| percent(m.skip_rate)))
+                    .collect(),
+            );
+        }
+        t.row(
+            std::iter::once("average".to_string())
+                .chain(
+                    AR_SETTINGS
+                        .iter()
+                        .map(|&a| percent(self.average_rskip(a).skip_rate)),
+                )
+                .collect(),
+        );
+        out.push_str(&t.render());
+        out.push('\n');
+
+        // 7b/7c/7d.
+        for (title, get) in [
+            (
+                "Fig 7b: normalized execution time (vs unprotected)",
+                (|m: &SchemeMetrics| m.norm_time) as fn(&SchemeMetrics) -> f64,
+            ),
+            (
+                "Fig 7c: normalized dynamic instructions",
+                |m: &SchemeMetrics| m.norm_instr,
+            ),
+            ("Fig 7d: normalized IPC", |m: &SchemeMetrics| m.norm_ipc),
+        ] {
+            let mut t = TextTable::new(
+                ["benchmark", "SWIFT-R"]
+                    .into_iter()
+                    .map(String::from)
+                    .chain(AR_SETTINGS.iter().map(|a| a.label()))
+                    .collect(),
+            )
+            .with_title(title);
+            for row in &self.rows {
+                t.row(
+                    [row.bench.clone(), ratio(get(&row.swift_r))]
+                        .into_iter()
+                        .chain(row.rskip.iter().map(|(_, m)| ratio(get(m))))
+                        .collect(),
+                );
+            }
+            let avg_sr = self.average_swift_r();
+            t.row(
+                ["average".to_string(), ratio(get(&avg_sr))]
+                    .into_iter()
+                    .chain(
+                        AR_SETTINGS
+                            .iter()
+                            .map(|&a| ratio(get(&self.average_rskip(a)))),
+                    )
+                    .collect(),
+            );
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+}

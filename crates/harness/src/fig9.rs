@@ -1,0 +1,405 @@
+//! Figure 9 — statistical fault injection (§7.2).
+//!
+//! For each benchmark and each scheme (UNSAFE, SWIFT-R, AR20..AR100), `N`
+//! runs each inject one Single Event Upset — a random bit of a random live
+//! register at a random dynamic instant *inside the detected loops* — and
+//! the outcome is classified into the paper's five classes. Fig. 9b
+//! additionally reports *false negatives*: failing runs in which the
+//! protection scheme never detected anything (for RSkip: a corrupted value
+//! slipped through fuzzy validation).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+use rskip_exec::{
+    classify_outcome, ExecConfig, InjectionPlan, Machine, NoopHooks, OutcomeClass,
+};
+use rskip_workloads::InputSet;
+
+use crate::build::{ArSetting, BenchSetup, EvalOptions};
+use crate::report::{percent, TextTable};
+use crate::AR_SETTINGS;
+
+/// The schemes of the reliability evaluation, in figure order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum SchemeLabel {
+    /// No protection.
+    Unsafe,
+    /// SWIFT-R.
+    SwiftR,
+    /// RSkip at the given AR percent.
+    Ar(u32),
+}
+
+impl SchemeLabel {
+    /// All six schemes.
+    pub fn all() -> Vec<SchemeLabel> {
+        let mut v = vec![SchemeLabel::Unsafe, SchemeLabel::SwiftR];
+        v.extend(AR_SETTINGS.iter().map(|a| SchemeLabel::Ar(a.percent)));
+        v
+    }
+
+    /// Display label.
+    pub fn label(self) -> String {
+        match self {
+            SchemeLabel::Unsafe => "UNSAFE".into(),
+            SchemeLabel::SwiftR => "SWIFT-R".into(),
+            SchemeLabel::Ar(p) => format!("AR{p}"),
+        }
+    }
+}
+
+/// Outcome-class counts.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct ClassCounts {
+    /// Correct outputs (masked or recovered faults).
+    pub correct: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Segfaults.
+    pub segfault: u64,
+    /// Core dumps.
+    pub core_dump: u64,
+    /// Hangs.
+    pub hang: u64,
+    /// Detected-without-recovery (not reached by these six schemes).
+    pub detected: u64,
+}
+
+impl ClassCounts {
+    /// Adds one classified outcome.
+    pub fn add(&mut self, class: OutcomeClass) {
+        match class {
+            OutcomeClass::Correct => self.correct += 1,
+            OutcomeClass::Sdc => self.sdc += 1,
+            OutcomeClass::Segfault => self.segfault += 1,
+            OutcomeClass::CoreDump => self.core_dump += 1,
+            OutcomeClass::Hang => self.hang += 1,
+            OutcomeClass::Detected => self.detected += 1,
+        }
+    }
+
+    /// Total runs recorded.
+    pub fn total(&self) -> u64 {
+        self.correct + self.sdc + self.segfault + self.core_dump + self.hang + self.detected
+    }
+
+    /// Protection rate = correct / total (the paper's headline metric).
+    pub fn protection_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total() as f64
+        }
+    }
+
+    fn rate(&self, v: u64) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            v as f64 / self.total() as f64
+        }
+    }
+}
+
+/// One (benchmark, scheme) campaign result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9Cell {
+    /// The scheme.
+    pub scheme: SchemeLabel,
+    /// Outcome classes over all runs (Fig. 9a).
+    pub counts: ClassCounts,
+    /// Failing runs in which the protection never fired (Fig. 9b); only
+    /// meaningful for the AR schemes.
+    pub false_negatives: ClassCounts,
+    /// Runs where RSkip's re-computation recovery fired.
+    pub recoveries: u64,
+}
+
+/// One benchmark's campaign.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// One cell per scheme.
+    pub cells: Vec<Fig9Cell>,
+}
+
+/// The whole campaign.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig9Row>,
+    /// Injections per (benchmark, scheme).
+    pub runs: u32,
+}
+
+/// Runs the campaign for one prepared benchmark.
+pub fn run_bench(setup: &BenchSetup, runs: u32) -> Fig9Row {
+    let input = setup.test_input();
+    let golden = setup.bench.golden(setup.options.size, &input);
+    let name = setup.bench.meta().name;
+
+    let mut cells = Vec::new();
+    for scheme in SchemeLabel::all() {
+        let cell = run_campaign(setup, scheme, &input, &golden, runs);
+        cells.push(cell);
+    }
+    Fig9Row {
+        bench: name.to_string(),
+        cells,
+    }
+}
+
+fn run_campaign(
+    setup: &BenchSetup,
+    scheme: SchemeLabel,
+    input: &InputSet,
+    golden: &[rskip_ir::Value],
+    runs: u32,
+) -> Fig9Cell {
+    let output = setup.bench.output_global();
+
+    // Clean instrumentation run: region-instruction budget for trigger
+    // sampling and the hang threshold.
+    let (module, clean_region, clean_total) = match scheme {
+        SchemeLabel::Unsafe => {
+            let m = &setup.unsafe_build.module;
+            let mut machine = Machine::new(m, NoopHooks);
+            input.apply(&mut machine);
+            let out = machine.run("main", &[]);
+            (m, out.counters.region_retired, out.counters.retired)
+        }
+        SchemeLabel::SwiftR => {
+            let m = &setup.swift_r.module;
+            let mut machine = Machine::new(m, NoopHooks);
+            input.apply(&mut machine);
+            let out = machine.run("main", &[]);
+            (m, out.counters.region_retired, out.counters.retired)
+        }
+        SchemeLabel::Ar(p) => {
+            let m = &setup.rskip.module;
+            let rt = setup.runtime(ArSetting { percent: p });
+            let mut machine = Machine::new(m, rt);
+            input.apply(&mut machine);
+            let out = machine.run("main", &[]);
+            (m, out.counters.region_retired, out.counters.retired)
+        }
+    };
+    assert!(clean_region > 0, "scheme {scheme:?} never entered a region");
+
+    let config = ExecConfig {
+        step_limit: clean_total.saturating_mul(20).max(1_000_000),
+        ..ExecConfig::default()
+    };
+
+    let mut counts = ClassCounts::default();
+    let mut false_negatives = ClassCounts::default();
+    let mut recoveries = 0u64;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        0x51_F0 ^ (runs as u64) << 32 ^ scheme_seed(scheme) ^ name_seed(setup.bench.meta().name),
+    );
+    for _ in 0..runs {
+        let plan = InjectionPlan {
+            trigger: rng.gen_range(0..clean_region),
+            seed: rng.gen(),
+            anywhere: false,
+        };
+
+        let (class, fault_handled) = match scheme {
+            SchemeLabel::Ar(p) => {
+                let rt = setup.runtime(ArSetting { percent: p });
+                let mut machine = Machine::with_config(module, rt, config.clone());
+                input.apply(&mut machine);
+                machine.set_injection(plan);
+                let out = machine.run("main", &[]);
+                let recovered = machine.hooks().total_faults_recovered() > 0;
+                let class = classify_outcome(&out, machine.read_global(output), golden);
+                (class, recovered)
+            }
+            _ => {
+                let mut machine = Machine::with_config(module, NoopHooks, config.clone());
+                input.apply(&mut machine);
+                machine.set_injection(plan);
+                let out = machine.run("main", &[]);
+                let class = classify_outcome(&out, machine.read_global(output), golden);
+                // SWIFT-R recovery is in-line voting; "handled" is not
+                // observable separately, and UNSAFE has no protection.
+                (class, false)
+            }
+        };
+        counts.add(class);
+        if fault_handled {
+            recoveries += 1;
+        }
+        // False negative: the run failed and the scheme's explicit
+        // detection/recovery machinery never fired.
+        if matches!(scheme, SchemeLabel::Ar(_))
+            && class != OutcomeClass::Correct
+            && !fault_handled
+        {
+            false_negatives.add(class);
+        }
+    }
+
+    Fig9Cell {
+        scheme,
+        counts,
+        false_negatives,
+        recoveries,
+    }
+}
+
+fn scheme_seed(s: SchemeLabel) -> u64 {
+    match s {
+        SchemeLabel::Unsafe => 1,
+        SchemeLabel::SwiftR => 2,
+        SchemeLabel::Ar(p) => 100 + u64::from(p),
+    }
+}
+
+fn name_seed(name: &str) -> u64 {
+    name.bytes().fold(0u64, |h, b| {
+        h.wrapping_mul(131).wrapping_add(u64::from(b))
+    })
+}
+
+/// Runs the campaign over all benchmarks, in parallel (one thread per
+/// benchmark).
+pub fn run(options: &EvalOptions, runs: u32) -> Fig9 {
+    let benches = rskip_workloads::all_benchmarks();
+    let mut rows: Vec<Option<Fig9Row>> = Vec::new();
+    rows.resize_with(benches.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, b) in benches.into_iter().enumerate() {
+            let options = options.clone();
+            handles.push((
+                i,
+                scope.spawn(move |_| {
+                    let setup = BenchSetup::prepare(b, &options);
+                    run_bench(&setup, runs)
+                }),
+            ));
+        }
+        for (i, h) in handles {
+            rows[i] = Some(h.join().expect("campaign thread panicked"));
+        }
+    })
+    .expect("campaign scope");
+    Fig9 {
+        rows: rows.into_iter().map(|r| r.expect("row")).collect(),
+        runs,
+    }
+}
+
+impl Fig9 {
+    /// Average counts per scheme across benchmarks.
+    pub fn average(&self, scheme: SchemeLabel) -> (ClassCounts, ClassCounts) {
+        let mut counts = ClassCounts::default();
+        let mut fns = ClassCounts::default();
+        for row in &self.rows {
+            if let Some(c) = row.cells.iter().find(|c| c.scheme == scheme) {
+                counts.correct += c.counts.correct;
+                counts.sdc += c.counts.sdc;
+                counts.segfault += c.counts.segfault;
+                counts.core_dump += c.counts.core_dump;
+                counts.hang += c.counts.hang;
+                counts.detected += c.counts.detected;
+                fns.correct += c.false_negatives.correct;
+                fns.sdc += c.false_negatives.sdc;
+                fns.segfault += c.false_negatives.segfault;
+                fns.core_dump += c.false_negatives.core_dump;
+                fns.hang += c.false_negatives.hang;
+                fns.detected += c.false_negatives.detected;
+            }
+        }
+        (counts, fns)
+    }
+
+    /// Renders Fig. 9a and Fig. 9b.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut t = TextTable::new(
+            ["benchmark", "scheme", "Correct", "SDC", "Segfault", "Core dump", "Hang"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        )
+        .with_title(format!(
+            "Fig 9a: fault injection outcomes ({} SEUs per benchmark/scheme)",
+            self.runs
+        ));
+        for row in &self.rows {
+            for c in &row.cells {
+                t.row(vec![
+                    row.bench.clone(),
+                    c.scheme.label(),
+                    percent(c.counts.rate(c.counts.correct)),
+                    percent(c.counts.rate(c.counts.sdc)),
+                    percent(c.counts.rate(c.counts.segfault)),
+                    percent(c.counts.rate(c.counts.core_dump)),
+                    percent(c.counts.rate(c.counts.hang)),
+                ]);
+            }
+        }
+        for scheme in SchemeLabel::all() {
+            let (c, _) = self.average(scheme);
+            t.row(vec![
+                "average".into(),
+                scheme.label(),
+                percent(c.rate(c.correct)),
+                percent(c.rate(c.sdc)),
+                percent(c.rate(c.segfault)),
+                percent(c.rate(c.core_dump)),
+                percent(c.rate(c.hang)),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        let mut t = TextTable::new(
+            ["benchmark", "scheme", "FN total", "FN SDC", "FN Segfault", "FN other"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        )
+        .with_title("Fig 9b: false negatives (failures the scheme never saw)");
+        for row in &self.rows {
+            for c in &row.cells {
+                if !matches!(c.scheme, SchemeLabel::Ar(_)) {
+                    continue;
+                }
+                let f = &c.false_negatives;
+                let total_runs = c.counts.total().max(1);
+                t.row(vec![
+                    row.bench.clone(),
+                    c.scheme.label(),
+                    percent(f.total() as f64 / total_runs as f64),
+                    percent(f.sdc as f64 / total_runs as f64),
+                    percent(f.segfault as f64 / total_runs as f64),
+                    percent((f.core_dump + f.hang) as f64 / total_runs as f64),
+                ]);
+            }
+        }
+        for scheme in SchemeLabel::all() {
+            if !matches!(scheme, SchemeLabel::Ar(_)) {
+                continue;
+            }
+            let (c, f) = self.average(scheme);
+            let total = c.total().max(1);
+            t.row(vec![
+                "average".into(),
+                scheme.label(),
+                percent(f.total() as f64 / total as f64),
+                percent(f.sdc as f64 / total as f64),
+                percent(f.segfault as f64 / total as f64),
+                percent((f.core_dump + f.hang) as f64 / total as f64),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}

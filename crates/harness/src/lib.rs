@@ -1,0 +1,53 @@
+//! # rskip-harness — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§7) on
+//! the simulated substrate:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig2`] | Fig. 2 — predictable-computation coverage (motivation) |
+//! | [`table1`] | Table 1 — benchmark characteristics |
+//! | [`fig7`] | Fig. 7a–d — skip rate, normalized time, instructions, IPC |
+//! | [`fig8`] | Fig. 8a (blackscholes predictor ablation), Fig. 8b (lud input sweep) |
+//! | [`fig9`] | Fig. 9a/9b — statistical fault injection and false negatives |
+//! | [`tradeoff`] | §7.3 — protection-rate vs slowdown table |
+//! | [`cost_ratio`] | §2 — DI : memoization : re-computation cost ratio |
+//! | [`ablations`] | §4.2.2 quantization comparison, detection-only baseline, pipeline sensitivity |
+//!
+//! The `rskip-eval` binary drives everything:
+//!
+//! ```text
+//! rskip-eval fig7 --size small
+//! rskip-eval fig9 --runs 1000
+//! rskip-eval all --out results/
+//! ```
+//!
+//! Numbers are not expected to match the paper absolutely (the substrate
+//! is a simulator, not the authors' Xeon/gem5 testbed); the *shape* — who
+//! wins, by roughly what factor, how trends move with the acceptable
+//! range — is the reproduction target. `EXPERIMENTS.md` records
+//! paper-vs-measured side by side.
+
+#![deny(missing_docs)]
+
+pub mod ablations;
+pub mod build;
+pub mod cost_ratio;
+pub mod fig2;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod report;
+pub mod table1;
+pub mod tradeoff;
+
+pub use build::{ArSetting, BenchSetup, EvalOptions};
+pub use report::TextTable;
+
+/// The paper's four acceptable-range settings.
+pub const AR_SETTINGS: [ArSetting; 4] = [
+    ArSetting { percent: 20 },
+    ArSetting { percent: 50 },
+    ArSetting { percent: 80 },
+    ArSetting { percent: 100 },
+];

@@ -1,0 +1,41 @@
+//! Table 1 — benchmark characteristics.
+
+use crate::report::TextTable;
+use rskip_workloads::{all_benchmarks, SizeProfile};
+
+/// Renders the Table-1 equivalent for our workloads at `size`.
+pub fn render(size: SizeProfile) -> String {
+    let mut t = TextTable::new(
+        ["benchmark", "application domain", "prediction-target pattern", "location", "input cells"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+    )
+    .with_title(format!("Table 1: selected benchmarks ({size:?} profile)"));
+    for b in all_benchmarks() {
+        let meta = b.meta();
+        let input = b.gen_input(size, 2000);
+        let cells: usize = input.arrays.iter().map(|(_, v)| v.len()).sum();
+        t.row(vec![
+            meta.name.into(),
+            meta.domain.into(),
+            meta.pattern.into(),
+            meta.location.into(),
+            cells.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_nine_rows() {
+        let s = render(SizeProfile::Tiny);
+        assert!(s.contains("blackscholes"));
+        assert!(s.contains("yolo_lite"));
+        assert_eq!(s.lines().count(), 3 + 9);
+    }
+}

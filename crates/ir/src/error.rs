@@ -1,0 +1,75 @@
+//! Error types for verification and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure.
+///
+/// Produced by [`Verifier::verify`](crate::Verifier::verify); the message
+/// pinpoints the function, block and instruction at fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the problem was found.
+    pub function: String,
+    /// Location description (block label, instruction index).
+    pub location: String,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "verification failed in @{} at {}: {}",
+            self.function, self.location, self.message
+        )
+    }
+}
+
+impl Error for VerifyError {}
+
+/// A parse failure for the textual IR format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseIrError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl ParseIrError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseIrError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseIrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseIrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = VerifyError {
+            function: "main".into(),
+            location: "bb1[3]".into(),
+            message: "type mismatch".into(),
+        };
+        assert!(e.to_string().contains("@main"));
+        assert!(e.to_string().contains("bb1[3]"));
+
+        let p = ParseIrError::new(7, "bad operand");
+        assert!(p.to_string().contains("line 7"));
+    }
+}

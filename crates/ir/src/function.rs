@@ -1,0 +1,262 @@
+//! Functions, basic blocks and function-level metadata.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::inst::{Inst, Terminator};
+use crate::types::{Reg, Ty};
+
+/// Identifies a basic block within a [`Function`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: a label, straight-line instructions and one terminator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Human-readable label (unique within the function).
+    pub name: String,
+    /// The block body.
+    pub insts: Vec<Inst>,
+    /// The terminator. Blocks under construction hold a placeholder
+    /// `Ret(None)`; the builder's `finish` and the verifier check that every
+    /// block was explicitly terminated.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates an empty block with the given label and a placeholder
+    /// terminator.
+    pub fn new(name: impl Into<String>) -> Self {
+        Block {
+            name: name.into(),
+            insts: Vec::new(),
+            term: Terminator::Ret(None),
+        }
+    }
+}
+
+/// Per-register metadata.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegInfo {
+    /// The register's type.
+    pub ty: Ty,
+    /// Optional name used by the printer (`%name` instead of `%N`).
+    pub name: Option<String>,
+}
+
+/// Function-level attributes controlling the protection passes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuncAttrs {
+    /// Set on functions produced by the RSkip loop-body outliner. Outlined
+    /// bodies execute as the single *original copy*; the protection passes
+    /// must not duplicate them (their results are protected by prediction
+    /// and selective re-computation instead).
+    pub outlined: bool,
+    /// When false, the SWIFT / SWIFT-R passes leave the function untouched.
+    /// The RSkip transform clears this on outlined bodies.
+    pub protect: bool,
+}
+
+/// A per-loop hint attached by the frontend (the paper's `pragma`
+/// mechanism, §3 footnote 5 and §4.1.2).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoopHint {
+    /// The loop header block this hint applies to.
+    pub header: BlockId,
+    /// Asserts that loads inside the candidate value slice never read a
+    /// cell written by a *different* iteration's store (the only permitted
+    /// overlap is the same-cell in-place update, which the transform
+    /// handles with saved-value forwarding). Required for loops like `lud`
+    /// that read and update the same array.
+    pub no_alias: bool,
+    /// Overrides the acceptable range for this loop (the paper's pragma:
+    /// `0.0` requests exact validation).
+    pub acceptable_range: Option<f64>,
+}
+
+/// A function: typed parameters, a register table and a CFG of blocks.
+///
+/// Parameters occupy registers `0..params.len()` on entry. Block 0 is the
+/// entry block.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (unique within the module; call resolution is by name).
+    pub name: String,
+    /// Parameter types; parameter `k` arrives in register `k`.
+    pub params: Vec<Ty>,
+    /// Return type, or `None` for `void`.
+    pub ret: Option<Ty>,
+    /// The register table; `Reg(i)` has metadata `regs[i]`.
+    pub regs: Vec<RegInfo>,
+    /// Basic blocks; `BlockId(i)` is `blocks[i]`, block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Pass-control attributes.
+    pub attrs: FuncAttrs,
+    /// Frontend hints for candidate loops.
+    pub loop_hints: Vec<LoopHint>,
+}
+
+impl Function {
+    /// Creates an empty function with an entry block and one register per
+    /// parameter. Most users should go through
+    /// [`ModuleBuilder::function`](crate::ModuleBuilder::function).
+    pub fn new(name: impl Into<String>, params: Vec<Ty>, ret: Option<Ty>) -> Self {
+        let regs = params
+            .iter()
+            .enumerate()
+            .map(|(i, &ty)| RegInfo {
+                ty,
+                name: Some(format!("arg{i}")),
+            })
+            .collect();
+        Function {
+            name: name.into(),
+            params,
+            ret,
+            regs,
+            blocks: vec![Block::new("entry")],
+            attrs: FuncAttrs {
+                outlined: false,
+                protect: true,
+            },
+            loop_hints: Vec::new(),
+        }
+    }
+
+    /// The entry block id (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Allocates a fresh register of type `ty`.
+    pub fn new_reg(&mut self, ty: Ty) -> Reg {
+        self.regs.push(RegInfo { ty, name: None });
+        Reg((self.regs.len() - 1) as u32)
+    }
+
+    /// Allocates a fresh named register.
+    pub fn new_named_reg(&mut self, ty: Ty, name: impl Into<String>) -> Reg {
+        self.regs.push(RegInfo {
+            ty,
+            name: Some(name.into()),
+        });
+        Reg((self.regs.len() - 1) as u32)
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.blocks.push(Block::new(name));
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// The type of a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register does not exist.
+    pub fn reg_ty(&self, r: Reg) -> Ty {
+        self.regs[r.index()].ty
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not exist.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not exist.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs in index order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total number of instructions (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Looks up the hint covering a loop header, if any.
+    pub fn hint_for(&self, header: BlockId) -> Option<&LoopHint> {
+        self.loop_hints.iter().find(|h| h.header == header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Operand;
+
+    #[test]
+    fn new_function_has_entry_and_param_regs() {
+        let f = Function::new("f", vec![Ty::I64, Ty::F64], Some(Ty::F64));
+        assert_eq!(f.entry(), BlockId(0));
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.regs.len(), 2);
+        assert_eq!(f.reg_ty(Reg(0)), Ty::I64);
+        assert_eq!(f.reg_ty(Reg(1)), Ty::F64);
+    }
+
+    #[test]
+    fn reg_allocation_is_sequential() {
+        let mut f = Function::new("f", vec![], None);
+        let a = f.new_reg(Ty::I64);
+        let b = f.new_named_reg(Ty::F64, "x");
+        assert_eq!(a, Reg(0));
+        assert_eq!(b, Reg(1));
+        assert_eq!(f.regs[1].name.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn block_allocation_and_inst_count() {
+        let mut f = Function::new("f", vec![], None);
+        let b = f.add_block("body");
+        assert_eq!(b, BlockId(1));
+        let r = f.new_reg(Ty::I64);
+        f.block_mut(b).insts.push(Inst::Mov {
+            ty: Ty::I64,
+            dst: r,
+            src: Operand::imm_i(1),
+        });
+        assert_eq!(f.inst_count(), 1);
+    }
+
+    #[test]
+    fn loop_hint_lookup() {
+        let mut f = Function::new("f", vec![], None);
+        f.loop_hints.push(LoopHint {
+            header: BlockId(2),
+            no_alias: true,
+            acceptable_range: None,
+        });
+        assert!(f.hint_for(BlockId(2)).is_some());
+        assert!(f.hint_for(BlockId(1)).is_none());
+    }
+}

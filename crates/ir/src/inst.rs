@@ -1,0 +1,688 @@
+//! Instructions, operators, intrinsics and terminators.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::function::BlockId;
+use crate::types::{Operand, Reg, Ty};
+
+/// Binary operators. Integer and float forms share the opcode; the
+/// instruction's [`Ty`] selects the semantics. The verifier rejects
+/// bitwise/shift operators on `f64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition (wrapping for `i64`).
+    Add,
+    /// Subtraction (wrapping for `i64`).
+    Sub,
+    /// Multiplication (wrapping for `i64`).
+    Mul,
+    /// Division. Integer division by zero traps (classified *Core dump*);
+    /// float division follows IEEE-754.
+    Div,
+    /// Remainder. Integer remainder by zero traps.
+    Rem,
+    /// Bitwise AND (`i64` only).
+    And,
+    /// Bitwise OR (`i64` only).
+    Or,
+    /// Bitwise XOR (`i64` only).
+    Xor,
+    /// Left shift, shift amount masked to 0..63 (`i64` only).
+    Shl,
+    /// Arithmetic right shift, shift amount masked (`i64` only).
+    Shr,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl BinOp {
+    /// All binary operators (used by property tests and the parser).
+    pub const ALL: [BinOp; 12] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::Min,
+        BinOp::Max,
+    ];
+
+    /// The mnemonic used by the textual format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+
+    /// True if this operator is only defined on integers.
+    pub fn int_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise NOT (`i64` only).
+    Not,
+    /// Square root (`f64` only). `sqrt` of a negative produces NaN, as on
+    /// real hardware — it is not a trap.
+    Sqrt,
+    /// Natural exponential (`f64` only).
+    Exp,
+    /// Natural logarithm (`f64` only).
+    Log,
+    /// Absolute value.
+    Abs,
+    /// Floor (`f64` only).
+    Floor,
+    /// Convert `i64` to `f64`. The instruction type is the *result* type
+    /// (`f64`); the operand is `i64`.
+    IntToFloat,
+    /// Convert `f64` to `i64` with truncation, saturating at the `i64`
+    /// range. The instruction type is the result type (`i64`).
+    FloatToInt,
+}
+
+impl UnOp {
+    /// All unary operators.
+    pub const ALL: [UnOp; 9] = [
+        UnOp::Neg,
+        UnOp::Not,
+        UnOp::Sqrt,
+        UnOp::Exp,
+        UnOp::Log,
+        UnOp::Abs,
+        UnOp::Floor,
+        UnOp::IntToFloat,
+        UnOp::FloatToInt,
+    ];
+
+    /// The mnemonic used by the textual format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Exp => "exp",
+            UnOp::Log => "log",
+            UnOp::Abs => "abs",
+            UnOp::Floor => "floor",
+            UnOp::IntToFloat => "i2f",
+            UnOp::FloatToInt => "f2i",
+        }
+    }
+
+    /// The type of the operand, given the instruction (result) type.
+    pub fn operand_ty(self, inst_ty: Ty) -> Ty {
+        match self {
+            UnOp::IntToFloat => Ty::I64,
+            UnOp::FloatToInt => Ty::F64,
+            _ => inst_ty,
+        }
+    }
+}
+
+/// Comparison predicates. The destination register is always `i64` (0 or 1);
+/// the instruction's [`Ty`] is the type of the *compared operands*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// All predicates.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// The mnemonic used by the textual format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+}
+
+/// Runtime intrinsics — the interface between transformed code and the RSkip
+/// prediction runtime (Sections 3–5 of the paper).
+///
+/// Intrinsic calls are never duplicated by the protection passes (the runtime
+/// is trusted code living in ECC-protected memory). Their modeled cost is
+/// charged by the execution substrate's intrinsic handler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Intrinsic {
+    /// `region_enter(region)` — execution enters a detected loop region.
+    /// Fault injection is restricted to code executing between
+    /// `region_enter` and `region_exit` (paper §7.2).
+    RegionEnter,
+    /// `region_exit(region)` — leaves a region; the runtime cuts and
+    /// validates the final open phase, so pending re-computations may be
+    /// available afterwards.
+    RegionExit,
+    /// `select_version(region) -> i64` — run-time management decides between
+    /// the prediction-protected version (returns 1) and the conventionally
+    /// protected version (returns 0).
+    SelectVersion,
+    /// `observe(region, iter, addr, value, args...)` — report one loop
+    /// output to the prediction runtime. `args...` are the arguments the
+    /// shell passed to the outlined body for this iteration; the runtime
+    /// records them so that failed validations can re-execute the body with
+    /// identical inputs (this subsumes the paper's "temporary space to keep
+    /// the original value" for in-place updates, §4.1.2, and provides the
+    /// memoization inputs, §4.2).
+    Observe,
+    /// `next_pending(region) -> i64` — pops the next iteration index that
+    /// failed fuzzy validation (or is a phase endpoint) and must be
+    /// re-computed; returns −1 when none remain.
+    NextPending,
+    /// `pending_addr(region) -> i64` — the memory address recorded for the
+    /// most recently popped pending element.
+    PendingAddr,
+    /// `pending_arg_i(region, k) -> i64` — the `k`-th recorded body argument
+    /// of the most recently popped pending element (integer-typed).
+    PendingArgI,
+    /// `pending_arg_f(region, k) -> f64` — the `k`-th recorded body argument
+    /// of the most recently popped pending element (float-typed).
+    PendingArgF,
+    /// `resolve_ok(region)` — the re-computation matched the original value:
+    /// misprediction only, no fault (run-time overhead, not incorrect
+    /// output).
+    ResolveOk,
+    /// `resolve_fault(region)` — re-computation mismatched: a fault was
+    /// detected and recovered by majority vote (re-computation based
+    /// recovery).
+    ResolveFault,
+    /// `detect()` — SWIFT (detection-only) mismatch handler: records a
+    /// detected, unrecoverable fault and traps.
+    Detect,
+    /// `sig_tick(region)` — periodic observation point for run-time
+    /// management: regenerate the context signature and adjust TP.
+    SigTick,
+    /// `print(value)` — debugging aid; ignored by the timing model.
+    Print,
+}
+
+impl Intrinsic {
+    /// All intrinsics.
+    pub const ALL: [Intrinsic; 13] = [
+        Intrinsic::RegionEnter,
+        Intrinsic::RegionExit,
+        Intrinsic::SelectVersion,
+        Intrinsic::Observe,
+        Intrinsic::NextPending,
+        Intrinsic::PendingAddr,
+        Intrinsic::PendingArgI,
+        Intrinsic::PendingArgF,
+        Intrinsic::ResolveOk,
+        Intrinsic::ResolveFault,
+        Intrinsic::Detect,
+        Intrinsic::SigTick,
+        Intrinsic::Print,
+    ];
+
+    /// The name used in the textual format (after the `rskip.` prefix).
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::RegionEnter => "region_enter",
+            Intrinsic::RegionExit => "region_exit",
+            Intrinsic::SelectVersion => "select_version",
+            Intrinsic::Observe => "observe",
+            Intrinsic::NextPending => "next_pending",
+            Intrinsic::PendingAddr => "pending_addr",
+            Intrinsic::PendingArgI => "pending_arg_i",
+            Intrinsic::PendingArgF => "pending_arg_f",
+            Intrinsic::ResolveOk => "resolve_ok",
+            Intrinsic::ResolveFault => "resolve_fault",
+            Intrinsic::Detect => "detect",
+            Intrinsic::SigTick => "sig_tick",
+            Intrinsic::Print => "print",
+        }
+    }
+
+    /// Looks an intrinsic up by its textual name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|i| i.name() == name)
+    }
+
+    /// Minimum number of arguments the verifier requires.
+    pub fn min_args(self) -> usize {
+        match self {
+            Intrinsic::Observe => 4,
+            Intrinsic::Detect => 0,
+            Intrinsic::Print => 1,
+            Intrinsic::PendingArgI | Intrinsic::PendingArgF => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the intrinsic produces a result, and of which type.
+    pub fn result_ty(self) -> Option<Ty> {
+        match self {
+            Intrinsic::SelectVersion
+            | Intrinsic::NextPending
+            | Intrinsic::PendingAddr
+            | Intrinsic::PendingArgI => Some(Ty::I64),
+            Intrinsic::PendingArgF => Some(Ty::F64),
+            _ => None,
+        }
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `dst = src` — register copy / immediate materialization.
+    Mov {
+        /// Value type.
+        ty: Ty,
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = op(lhs, rhs)`.
+    Bin {
+        /// Value type of operands and result.
+        ty: Ty,
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = op(src)`.
+    Un {
+        /// Result type (see [`UnOp::operand_ty`] for conversions).
+        ty: Ty,
+        /// Operator.
+        op: UnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Operand.
+        src: Operand,
+    },
+    /// `dst = (lhs op rhs) ? 1 : 0` — destination is always `i64`.
+    Cmp {
+        /// Type of the compared operands.
+        ty: Ty,
+        /// Predicate.
+        op: CmpOp,
+        /// Destination register (`i64`).
+        dst: Reg,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = cond != 0 ? on_true : on_false`.
+    Select {
+        /// Value type of the selected operands.
+        ty: Ty,
+        /// Destination register.
+        dst: Reg,
+        /// Condition (`i64`).
+        cond: Operand,
+        /// Value if `cond != 0`.
+        on_true: Operand,
+        /// Value if `cond == 0`.
+        on_false: Operand,
+    },
+    /// `dst = memory[addr]`.
+    Load {
+        /// Type of the loaded cell.
+        ty: Ty,
+        /// Destination register.
+        dst: Reg,
+        /// Address operand (`i64` cell index).
+        addr: Operand,
+    },
+    /// `memory[addr] = value` — a synchronization point for the protection
+    /// schemes.
+    Store {
+        /// Type of the stored value.
+        ty: Ty,
+        /// Address operand (`i64` cell index).
+        addr: Operand,
+        /// Stored value.
+        value: Operand,
+    },
+    /// `dst = callee(args...)` — direct call, resolved by name.
+    Call {
+        /// Destination register, if the callee returns a value.
+        dst: Option<Reg>,
+        /// Callee function name.
+        callee: String,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+    /// `dst = rskip.intr(args...)` — runtime intrinsic (see [`Intrinsic`]).
+    IntrinsicCall {
+        /// Destination register for value-producing intrinsics.
+        dst: Option<Reg>,
+        /// Which intrinsic.
+        intr: Intrinsic,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+}
+
+impl Inst {
+    /// The destination register this instruction writes, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match self {
+            Inst::Mov { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Load { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } | Inst::IntrinsicCall { dst, .. } => *dst,
+            Inst::Store { .. } => None,
+        }
+    }
+
+    /// Visits every operand this instruction reads.
+    pub fn for_each_use(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Inst::Mov { src, .. } | Inst::Un { src, .. } => f(*src),
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
+                f(*cond);
+                f(*on_true);
+                f(*on_false);
+            }
+            Inst::Load { addr, .. } => f(*addr),
+            Inst::Store { addr, value, .. } => {
+                f(*addr);
+                f(*value);
+            }
+            Inst::Call { args, .. } | Inst::IntrinsicCall { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+        }
+    }
+
+    /// Collects the registers this instruction reads.
+    pub fn used_regs(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        self.for_each_use(|op| {
+            if let Operand::Reg(r) = op {
+                out.push(r);
+            }
+        });
+        out
+    }
+
+    /// Rewrites every operand through `f` (used by cloning / duplication
+    /// passes to redirect reads to shadow registers).
+    pub fn map_uses(&mut self, mut f: impl FnMut(Operand) -> Operand) {
+        match self {
+            Inst::Mov { src, .. } | Inst::Un { src, .. } => *src = f(*src),
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
+                *cond = f(*cond);
+                *on_true = f(*on_true);
+                *on_false = f(*on_false);
+            }
+            Inst::Load { addr, .. } => *addr = f(*addr),
+            Inst::Store { addr, value, .. } => {
+                *addr = f(*addr);
+                *value = f(*value);
+            }
+            Inst::Call { args, .. } | Inst::IntrinsicCall { args, .. } => {
+                for a in args.iter_mut() {
+                    *a = f(*a);
+                }
+            }
+        }
+    }
+
+    /// Rewrites the destination register, if any.
+    pub fn set_dst(&mut self, new: Reg) {
+        match self {
+            Inst::Mov { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Load { dst, .. } => *dst = new,
+            Inst::Call { dst, .. } | Inst::IntrinsicCall { dst, .. } => {
+                if dst.is_some() {
+                    *dst = Some(new);
+                }
+            }
+            Inst::Store { .. } => {}
+        }
+    }
+
+    /// True for instructions that have side effects beyond writing `dst`
+    /// (memory writes, calls, intrinsics). Pure instructions are the ones
+    /// the duplication passes clone.
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. } | Inst::Call { .. } | Inst::IntrinsicCall { .. }
+        )
+    }
+}
+
+/// A block terminator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Conditional branch: `cond != 0` → first target, else second.
+    /// Branch conditions are synchronization points for the protection
+    /// schemes.
+    CondBr(Operand, BlockId, BlockId),
+    /// Function return. A return value is a synchronization point.
+    Ret(Option<Operand>),
+}
+
+impl Terminator {
+    /// The successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(b) => vec![*b],
+            Terminator::CondBr(_, t, f) => vec![*t, *f],
+            Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// Rewrites successor block ids through `f` (used when cloning regions).
+    pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Br(b) => *b = f(*b),
+            Terminator::CondBr(_, t, fl) => {
+                *t = f(*t);
+                *fl = f(*fl);
+            }
+            Terminator::Ret(_) => {}
+        }
+    }
+
+    /// The operand the terminator reads, if any.
+    pub fn used_operand(&self) -> Option<Operand> {
+        match self {
+            Terminator::CondBr(c, _, _) => Some(*c),
+            Terminator::Ret(v) => *v,
+            Terminator::Br(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_names_roundtrip() {
+        for intr in Intrinsic::ALL {
+            assert_eq!(Intrinsic::from_name(intr.name()), Some(intr));
+        }
+        assert_eq!(Intrinsic::from_name("nope"), None);
+    }
+
+    #[test]
+    fn unop_operand_types() {
+        assert_eq!(UnOp::IntToFloat.operand_ty(Ty::F64), Ty::I64);
+        assert_eq!(UnOp::FloatToInt.operand_ty(Ty::I64), Ty::F64);
+        assert_eq!(UnOp::Neg.operand_ty(Ty::F64), Ty::F64);
+        assert_eq!(UnOp::Sqrt.operand_ty(Ty::F64), Ty::F64);
+    }
+
+    #[test]
+    fn int_only_ops() {
+        assert!(BinOp::And.int_only());
+        assert!(BinOp::Shl.int_only());
+        assert!(!BinOp::Add.int_only());
+        assert!(!BinOp::Min.int_only());
+    }
+
+    #[test]
+    fn inst_dst_and_uses() {
+        let inst = Inst::Bin {
+            ty: Ty::I64,
+            op: BinOp::Add,
+            dst: Reg(2),
+            lhs: Operand::reg(Reg(0)),
+            rhs: Operand::imm_i(1),
+        };
+        assert_eq!(inst.dst(), Some(Reg(2)));
+        assert_eq!(inst.used_regs(), vec![Reg(0)]);
+        assert!(!inst.has_side_effects());
+
+        let store = Inst::Store {
+            ty: Ty::F64,
+            addr: Operand::reg(Reg(1)),
+            value: Operand::reg(Reg(3)),
+        };
+        assert_eq!(store.dst(), None);
+        assert_eq!(store.used_regs(), vec![Reg(1), Reg(3)]);
+        assert!(store.has_side_effects());
+    }
+
+    #[test]
+    fn map_uses_rewrites_all_operands() {
+        let mut inst = Inst::Select {
+            ty: Ty::I64,
+            dst: Reg(9),
+            cond: Operand::reg(Reg(0)),
+            on_true: Operand::reg(Reg(1)),
+            on_false: Operand::reg(Reg(2)),
+        };
+        inst.map_uses(|op| match op {
+            Operand::Reg(r) => Operand::reg(Reg(r.0 + 10)),
+            other => other,
+        });
+        assert_eq!(inst.used_regs(), vec![Reg(10), Reg(11), Reg(12)]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Br(BlockId(3)).successors(), vec![BlockId(3)]);
+        assert_eq!(
+            Terminator::CondBr(Operand::reg(Reg(0)), BlockId(1), BlockId(2)).successors(),
+            vec![BlockId(1), BlockId(2)]
+        );
+        assert!(Terminator::Ret(None).successors().is_empty());
+    }
+
+    #[test]
+    fn observe_requires_four_args() {
+        assert_eq!(Intrinsic::Observe.min_args(), 4);
+        assert_eq!(Intrinsic::Detect.min_args(), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! # rskip-ir — the RSkip compiler intermediate representation
+//!
+//! This crate defines the compiler IR used throughout the RSkip system, a
+//! reproduction of *"Low-Cost Prediction-Based Fault Protection Strategy"*
+//! (CGO 2020). The original system was built on LLVM; this crate provides the
+//! subset of compiler infrastructure the RSkip transformations actually rely
+//! on, re-implemented from scratch:
+//!
+//! * a typed, register-based IR with explicit basic blocks ([`Inst`],
+//!   [`Terminator`], [`Function`], [`Module`]),
+//! * a construction API ([`FunctionBuilder`], [`ModuleBuilder`]),
+//! * a structural/type [`Verifier`],
+//! * a pretty-printer and a parser for a stable textual format that
+//!   round-trips ([`print_module`], [`parse_module`]).
+//!
+//! ## Design notes
+//!
+//! The IR deliberately keeps the properties the protection passes depend on:
+//!
+//! * **Unlimited virtual registers** — instruction duplication (SWIFT,
+//!   SWIFT-R) allocates shadow registers freely.
+//! * **Explicit loads and stores** — stores are the synchronization points of
+//!   the protection schemes; memory is assumed ECC-protected (as in the
+//!   paper), so only register state is ever a fault target.
+//! * **Two value types**, [`Ty::I64`] and [`Ty::F64`]. Addresses are `i64`
+//!   cell indices into the flat memory of the execution substrate.
+//! * **Runtime intrinsics** ([`Intrinsic`]) — the hooks the RSkip transform
+//!   inserts to drive the prediction runtime (observe / pending / resolve /
+//!   version selection).
+//!
+//! ## Example
+//!
+//! ```
+//! use rskip_ir::{ModuleBuilder, Ty, BinOp, CmpOp, UnOp, Operand};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let out = mb.global_zeroed("out", Ty::F64, 8);
+//! let mut f = mb.function("fill", vec![], None);
+//! let entry = f.entry_block();
+//! let body = f.new_block("body");
+//! let exit = f.new_block("exit");
+//!
+//! let i = f.def_reg(Ty::I64, "i");
+//! f.switch_to(entry);
+//! f.mov(i, Operand::imm_i(0));
+//! f.br(body);
+//!
+//! f.switch_to(body);
+//! let fi = f.un(UnOp::IntToFloat, Ty::F64, Operand::reg(i));
+//! let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
+//! f.store(Ty::F64, Operand::reg(addr), Operand::reg(fi));
+//! f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+//! let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(8));
+//! f.cond_br(Operand::reg(c), body, exit);
+//!
+//! f.switch_to(exit);
+//! f.ret(None);
+//! f.finish();
+//!
+//! let module = mb.finish();
+//! rskip_ir::Verifier::new(&module).verify().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+
+mod builder;
+mod error;
+mod function;
+mod inst;
+mod module;
+mod parser;
+mod printer;
+mod types;
+mod verifier;
+
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use error::{ParseIrError, VerifyError};
+pub use function::{Block, BlockId, FuncAttrs, Function, LoopHint, RegInfo};
+pub use inst::{BinOp, CmpOp, Inst, Intrinsic, Terminator, UnOp};
+pub use module::{Global, GlobalId, Module, RegionId};
+pub use parser::parse_module;
+pub use printer::{print_function, print_module};
+pub use types::{Operand, Reg, Ty, Value};
+pub use verifier::Verifier;

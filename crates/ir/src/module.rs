@@ -1,0 +1,193 @@
+//! Modules, globals and protection-region identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::function::Function;
+use crate::types::{Ty, Value};
+
+/// Identifies a global array within a [`Module`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalId(pub u32);
+
+impl GlobalId {
+    /// The global index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@g{}", self.0)
+    }
+}
+
+/// Identifies a protected loop region created by the RSkip transform.
+///
+/// Region ids index the runtime's per-region state (predictors, counters,
+/// QoS adjustment) and scope fault injection to detected loops (§7.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// The region index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region{}", self.0)
+    }
+}
+
+/// A module-level array.
+///
+/// All program memory is module-level: the workloads keep scalars in
+/// registers and arrays in globals, so the execution substrate can lay out a
+/// flat, exactly-sized memory whose bounds make wild accesses observable
+/// (the *Segfault* outcome class).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Global {
+    /// Name (unique within the module).
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Number of cells.
+    pub len: usize,
+    /// Optional initializer; must have exactly `len` values of type `ty`.
+    /// Zero-initialized when absent.
+    pub init: Option<Vec<Value>>,
+}
+
+impl Global {
+    /// A zero-initialized global.
+    pub fn zeroed(name: impl Into<String>, ty: Ty, len: usize) -> Self {
+        Global {
+            name: name.into(),
+            ty,
+            len,
+            init: None,
+        }
+    }
+}
+
+/// A compilation unit: functions plus global arrays.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (used in diagnostics and printing).
+    pub name: String,
+    /// Global arrays, indexed by [`GlobalId`].
+    pub globals: Vec<Global>,
+    /// Functions. Call resolution is by name; the verifier rejects duplicate
+    /// names.
+    pub functions: Vec<Function>,
+    /// Number of protection regions allocated by the RSkip transform.
+    /// The runtime sizes its per-region state from this.
+    pub num_regions: u32,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            globals: Vec::new(),
+            functions: Vec::new(),
+            num_regions: 0,
+        }
+    }
+
+    /// Adds a global and returns its id.
+    pub fn add_global(&mut self, global: Global) -> GlobalId {
+        self.globals.push(global);
+        GlobalId((self.globals.len() - 1) as u32)
+    }
+
+    /// Adds a function and returns its index.
+    pub fn add_function(&mut self, f: Function) -> usize {
+        self.functions.push(f);
+        self.functions.len() - 1
+    }
+
+    /// Allocates a fresh protection-region id.
+    pub fn new_region(&mut self) -> RegionId {
+        let id = RegionId(self.num_regions);
+        self.num_regions += 1;
+        id
+    }
+
+    /// Looks a function up by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks a function up by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Index of a function by name.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+
+    /// Looks a global up by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
+    }
+
+    /// Shared access to a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Total memory footprint in cells (the execution substrate's flat
+    /// memory size).
+    pub fn memory_cells(&self) -> usize {
+        self.globals.iter().map(|g| g.len).sum()
+    }
+
+    /// Total static instruction count across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(|f| f.inst_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_global_and_function_lookup() {
+        let mut m = Module::new("m");
+        let g = m.add_global(Global::zeroed("data", Ty::F64, 16));
+        assert_eq!(g, GlobalId(0));
+        assert_eq!(m.global_by_name("data"), Some(g));
+        assert_eq!(m.global_by_name("nope"), None);
+        assert_eq!(m.memory_cells(), 16);
+
+        m.add_function(Function::new("main", vec![], None));
+        assert!(m.function("main").is_some());
+        assert_eq!(m.function_index("main"), Some(0));
+        assert!(m.function("other").is_none());
+    }
+
+    #[test]
+    fn region_ids_are_sequential() {
+        let mut m = Module::new("m");
+        assert_eq!(m.new_region(), RegionId(0));
+        assert_eq!(m.new_region(), RegionId(1));
+        assert_eq!(m.num_regions, 2);
+    }
+}

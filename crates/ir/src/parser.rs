@@ -1,0 +1,752 @@
+//! Parser for the textual IR format produced by
+//! [`print_module`](crate::print_module).
+//!
+//! The format is line-oriented; `;` starts a comment (outside string
+//! quotes). Globals must precede functions, blocks must appear in id order
+//! (`bb0`, `bb1`, …) — exactly what the printer emits, so printed modules
+//! always parse back.
+
+use std::collections::HashMap;
+
+use crate::error::ParseIrError;
+use crate::function::{Block, BlockId, Function, LoopHint, RegInfo};
+use crate::inst::{BinOp, CmpOp, Inst, Intrinsic, Terminator, UnOp};
+use crate::module::{Global, Module};
+use crate::types::{Operand, Reg, Ty, Value};
+
+type PResult<T> = Result<T, ParseIrError>;
+
+fn err<T>(line: usize, msg: impl Into<String>) -> PResult<T> {
+    Err(ParseIrError::new(line, msg))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ';' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_ty(s: &str, line: usize) -> PResult<Ty> {
+    match s {
+        "i64" => Ok(Ty::I64),
+        "f64" => Ok(Ty::F64),
+        other => err(line, format!("unknown type `{other}`")),
+    }
+}
+
+fn parse_float(s: &str, line: usize) -> PResult<f64> {
+    match s {
+        "nan" => Ok(f64::NAN),
+        "inf" => Ok(f64::INFINITY),
+        "-inf" => Ok(f64::NEG_INFINITY),
+        _ => s
+            .parse::<f64>()
+            .map_err(|_| ParseIrError::new(line, format!("bad float literal `{s}`"))),
+    }
+}
+
+fn looks_like_float(s: &str) -> bool {
+    s == "nan" || s == "inf" || s == "-inf" || s.contains('.') || s.contains('e') || s.contains('E')
+}
+
+struct FnCtx {
+    globals: HashMap<String, u32>,
+}
+
+impl FnCtx {
+    fn parse_operand(&self, s: &str, line: usize) -> PResult<Operand> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix('%') {
+            let idx: u32 = rest
+                .parse()
+                .map_err(|_| ParseIrError::new(line, format!("bad register `{s}`")))?;
+            Ok(Operand::Reg(Reg(idx)))
+        } else if let Some(name) = s.strip_prefix('@') {
+            match self.globals.get(name) {
+                Some(&id) => Ok(Operand::Global(crate::GlobalId(id))),
+                None => err(line, format!("unknown global `@{name}`")),
+            }
+        } else if looks_like_float(s) {
+            Ok(Operand::ImmF(parse_float(s, line)?))
+        } else {
+            s.parse::<i64>()
+                .map(Operand::ImmI)
+                .map_err(|_| ParseIrError::new(line, format!("bad operand `{s}`")))
+        }
+    }
+
+    fn parse_operands(&self, s: &str, line: usize) -> PResult<Vec<Operand>> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Vec::new());
+        }
+        s.split(',')
+            .map(|part| self.parse_operand(part, line))
+            .collect()
+    }
+}
+
+fn parse_block_ref(s: &str, line: usize) -> PResult<BlockId> {
+    let s = s.trim();
+    match s.strip_prefix("bb") {
+        Some(num) => num
+            .parse::<u32>()
+            .map(BlockId)
+            .map_err(|_| ParseIrError::new(line, format!("bad block reference `{s}`"))),
+        None => err(line, format!("expected block reference, found `{s}`")),
+    }
+}
+
+/// Splits `"callee(arg, arg)"` into callee and argument string.
+fn split_call(s: &str, line: usize) -> PResult<(&str, &str)> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| ParseIrError::new(line, "expected `(`"))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| ParseIrError::new(line, "expected `)`"))?;
+    if close < open {
+        return err(line, "mismatched parentheses");
+    }
+    Ok((&s[..open], &s[open + 1..close]))
+}
+
+fn parse_inst(ctx: &FnCtx, text: &str, line: usize) -> PResult<Inst> {
+    // Optional destination.
+    let (dst, rhs) = match text.split_once('=') {
+        Some((lhs, rhs)) if lhs.trim_start().starts_with('%') && !lhs.contains('(') => {
+            let d = lhs.trim();
+            let idx: u32 = d
+                .strip_prefix('%')
+                .and_then(|n| n.trim().parse().ok())
+                .ok_or_else(|| ParseIrError::new(line, format!("bad destination `{d}`")))?;
+            (Some(Reg(idx)), rhs.trim())
+        }
+        _ => (None, text.trim()),
+    };
+
+    // Calls and intrinsics.
+    if rhs.starts_with("call ") || rhs.starts_with("call@") {
+        let rest = rhs["call".len()..].trim();
+        let (callee, args) = split_call(rest, line)?;
+        let callee = callee
+            .trim()
+            .strip_prefix('@')
+            .ok_or_else(|| ParseIrError::new(line, "call target must start with `@`"))?;
+        return Ok(Inst::Call {
+            dst,
+            callee: callee.to_string(),
+            args: ctx.parse_operands(args, line)?,
+        });
+    }
+    if let Some(rest) = rhs.strip_prefix("rskip.") {
+        let (name, args) = split_call(rest, line)?;
+        let intr = Intrinsic::from_name(name.trim())
+            .ok_or_else(|| ParseIrError::new(line, format!("unknown intrinsic `{name}`")))?;
+        return Ok(Inst::IntrinsicCall {
+            dst,
+            intr,
+            args: ctx.parse_operands(args, line)?,
+        });
+    }
+
+    // Everything else is `mnemonic[.pred].ty operands`.
+    let (head, operands) = match rhs.split_once(char::is_whitespace) {
+        Some((h, rest)) => (h, rest),
+        None => (rhs, ""),
+    };
+    let parts: Vec<&str> = head.split('.').collect();
+    let ops = ctx.parse_operands(operands, line)?;
+    let expect = |n: usize| -> PResult<()> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(
+                line,
+                format!("`{head}` expects {n} operands, found {}", ops.len()),
+            )
+        }
+    };
+    let need_dst = || -> PResult<Reg> {
+        dst.ok_or_else(|| ParseIrError::new(line, format!("`{head}` requires a destination")))
+    };
+
+    match parts.as_slice() {
+        ["mov", ty] => {
+            expect(1)?;
+            Ok(Inst::Mov {
+                ty: parse_ty(ty, line)?,
+                dst: need_dst()?,
+                src: ops[0],
+            })
+        }
+        ["cmp", pred, ty] => {
+            expect(2)?;
+            let op = CmpOp::ALL
+                .iter()
+                .copied()
+                .find(|c| c.mnemonic() == *pred)
+                .ok_or_else(|| ParseIrError::new(line, format!("unknown predicate `{pred}`")))?;
+            Ok(Inst::Cmp {
+                ty: parse_ty(ty, line)?,
+                op,
+                dst: need_dst()?,
+                lhs: ops[0],
+                rhs: ops[1],
+            })
+        }
+        ["select", ty] => {
+            expect(3)?;
+            Ok(Inst::Select {
+                ty: parse_ty(ty, line)?,
+                dst: need_dst()?,
+                cond: ops[0],
+                on_true: ops[1],
+                on_false: ops[2],
+            })
+        }
+        ["load", ty] => {
+            expect(1)?;
+            Ok(Inst::Load {
+                ty: parse_ty(ty, line)?,
+                dst: need_dst()?,
+                addr: ops[0],
+            })
+        }
+        ["store", ty] => {
+            expect(2)?;
+            Ok(Inst::Store {
+                ty: parse_ty(ty, line)?,
+                addr: ops[0],
+                value: ops[1],
+            })
+        }
+        [mnemonic, ty] => {
+            let ty = parse_ty(ty, line)?;
+            if let Some(op) = BinOp::ALL.iter().copied().find(|b| b.mnemonic() == *mnemonic) {
+                expect(2)?;
+                Ok(Inst::Bin {
+                    ty,
+                    op,
+                    dst: need_dst()?,
+                    lhs: ops[0],
+                    rhs: ops[1],
+                })
+            } else if let Some(op) = UnOp::ALL.iter().copied().find(|u| u.mnemonic() == *mnemonic) {
+                expect(1)?;
+                Ok(Inst::Un {
+                    ty,
+                    op,
+                    dst: need_dst()?,
+                    src: ops[0],
+                })
+            } else {
+                err(line, format!("unknown mnemonic `{mnemonic}`"))
+            }
+        }
+        _ => err(line, format!("cannot parse instruction `{rhs}`")),
+    }
+}
+
+fn parse_terminator(ctx: &FnCtx, text: &str, line: usize) -> PResult<Terminator> {
+    if let Some(rest) = text.strip_prefix("br ") {
+        return Ok(Terminator::Br(parse_block_ref(rest, line)?));
+    }
+    if let Some(rest) = text.strip_prefix("condbr ") {
+        let parts: Vec<&str> = rest.split(',').collect();
+        if parts.len() != 3 {
+            return err(line, "condbr expects `cond, bbT, bbF`");
+        }
+        return Ok(Terminator::CondBr(
+            ctx.parse_operand(parts[0], line)?,
+            parse_block_ref(parts[1], line)?,
+            parse_block_ref(parts[2], line)?,
+        ));
+    }
+    if text == "ret" {
+        return Ok(Terminator::Ret(None));
+    }
+    if let Some(rest) = text.strip_prefix("ret ") {
+        return Ok(Terminator::Ret(Some(ctx.parse_operand(rest, line)?)));
+    }
+    err(line, format!("unknown terminator `{text}`"))
+}
+
+/// Extracts a quoted string, returning (content, rest-after-quote).
+fn take_quoted(s: &str, line: usize) -> PResult<(String, &str)> {
+    let s = s.trim_start();
+    let rest = s
+        .strip_prefix('"')
+        .ok_or_else(|| ParseIrError::new(line, "expected `\"`"))?;
+    let end = rest
+        .find('"')
+        .ok_or_else(|| ParseIrError::new(line, "unterminated string"))?;
+    Ok((rest[..end].to_string(), &rest[end + 1..]))
+}
+
+/// Parses a module from its textual representation.
+///
+/// # Errors
+///
+/// Returns a [`ParseIrError`] with the offending line number on any
+/// syntactic problem. The result is *not* implicitly verified; run
+/// [`Verifier`](crate::Verifier) on it for semantic checks.
+///
+/// # Example
+///
+/// ```
+/// let text = r#"
+/// module "t" regions 0
+/// global @g : i64[1]
+/// func @main() -> void {
+/// bb0 "entry":
+///   store.i64 @g, 7
+///   ret
+/// }
+/// "#;
+/// let m = rskip_ir::parse_module(text)?;
+/// assert_eq!(m.functions.len(), 1);
+/// # Ok::<(), rskip_ir::ParseIrError>(())
+/// ```
+pub fn parse_module(text: &str) -> PResult<Module> {
+    let mut module = Module::new("unnamed");
+    let mut globals: HashMap<String, u32> = HashMap::new();
+    let mut cur_fn: Option<Function> = None;
+    let mut cur_block: Option<BlockId> = None;
+    let mut block_has_term = true;
+    let mut saw_module_line = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("module ") {
+            if saw_module_line {
+                return err(lineno, "duplicate module line");
+            }
+            saw_module_line = true;
+            let (name, rest) = take_quoted(rest, lineno)?;
+            module.name = name;
+            let rest = rest.trim();
+            if let Some(n) = rest.strip_prefix("regions ") {
+                module.num_regions = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseIrError::new(lineno, "bad region count"))?;
+            }
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("global ") {
+            if cur_fn.is_some() {
+                return err(lineno, "global declaration inside function");
+            }
+            // @name : ty[len] [= [values]]
+            let (name_part, rest) = rest
+                .split_once(':')
+                .ok_or_else(|| ParseIrError::new(lineno, "expected `:` in global"))?;
+            let name = name_part
+                .trim()
+                .strip_prefix('@')
+                .ok_or_else(|| ParseIrError::new(lineno, "global name must start with `@`"))?
+                .to_string();
+            let (decl, init_part) = match rest.split_once('=') {
+                Some((d, init)) => (d.trim(), Some(init.trim())),
+                None => (rest.trim(), None),
+            };
+            let open = decl
+                .find('[')
+                .ok_or_else(|| ParseIrError::new(lineno, "expected `[len]`"))?;
+            let close = decl
+                .rfind(']')
+                .ok_or_else(|| ParseIrError::new(lineno, "expected `]`"))?;
+            let ty = parse_ty(decl[..open].trim(), lineno)?;
+            let len: usize = decl[open + 1..close]
+                .trim()
+                .parse()
+                .map_err(|_| ParseIrError::new(lineno, "bad global length"))?;
+            let init = match init_part {
+                None => None,
+                Some(s) => {
+                    let inner = s
+                        .strip_prefix('[')
+                        .and_then(|s| s.strip_suffix(']'))
+                        .ok_or_else(|| {
+                            ParseIrError::new(lineno, "initializer must be `[v, ...]`")
+                        })?;
+                    let values: Vec<Value> = if inner.trim().is_empty() {
+                        Vec::new()
+                    } else {
+                        inner
+                            .split(',')
+                            .map(|v| {
+                                let v = v.trim();
+                                Ok(match ty {
+                                    Ty::I64 => Value::I(v.parse::<i64>().map_err(|_| {
+                                        ParseIrError::new(lineno, format!("bad i64 `{v}`"))
+                                    })?),
+                                    Ty::F64 => Value::F(parse_float(v, lineno)?),
+                                })
+                            })
+                            .collect::<PResult<_>>()?
+                    };
+                    if values.len() != len {
+                        return err(lineno, "initializer length mismatch");
+                    }
+                    Some(values)
+                }
+            };
+            globals.insert(name.clone(), module.globals.len() as u32);
+            module.add_global(Global { name, ty, len, init });
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("func ") {
+            if cur_fn.is_some() {
+                return err(lineno, "nested function");
+            }
+            let rest = rest
+                .trim()
+                .strip_suffix('{')
+                .ok_or_else(|| ParseIrError::new(lineno, "expected `{` at end of func line"))?
+                .trim();
+            let (sig, ret) = rest
+                .rsplit_once("->")
+                .ok_or_else(|| ParseIrError::new(lineno, "expected `->` in signature"))?;
+            let ret = match ret.trim() {
+                "void" => None,
+                ty => Some(parse_ty(ty, lineno)?),
+            };
+            let (name_part, params_part) = split_call(sig.trim(), lineno)?;
+            let name = name_part
+                .trim()
+                .strip_prefix('@')
+                .ok_or_else(|| ParseIrError::new(lineno, "function name must start with `@`"))?;
+            let mut param_names: Vec<Option<Option<String>>> = Vec::new();
+            let params: Vec<Ty> = if params_part.trim().is_empty() {
+                Vec::new()
+            } else {
+                params_part
+                    .split(',')
+                    .map(|p| {
+                        let (_, rest) = p.split_once(':').ok_or_else(|| {
+                            ParseIrError::new(lineno, "expected `%N: ty` parameter")
+                        })?;
+                        let rest = rest.trim();
+                        // Optional quoted name; empty quotes mean unnamed.
+                        let (ty_str, name) = match rest.split_once('"') {
+                            Some((ty, name_rest)) => {
+                                let end = name_rest.find('"').ok_or_else(|| {
+                                    ParseIrError::new(lineno, "unterminated param name")
+                                })?;
+                                let n = &name_rest[..end];
+                                (
+                                    ty.trim(),
+                                    Some(if n.is_empty() {
+                                        None
+                                    } else {
+                                        Some(n.to_string())
+                                    }),
+                                )
+                            }
+                            None => (rest, None),
+                        };
+                        param_names.push(name.clone());
+                        parse_ty(ty_str, lineno)
+                    })
+                    .collect::<PResult<_>>()?
+            };
+            let mut f = Function::new(name, params, ret);
+            for (i, name) in param_names.into_iter().enumerate() {
+                if let Some(explicit) = name {
+                    f.regs[i].name = explicit;
+                }
+            }
+            f.blocks.clear(); // blocks come from `bbN` labels
+            cur_fn = Some(f);
+            cur_block = None;
+            block_has_term = true;
+            continue;
+        }
+
+        if line == "}" {
+            let f = match cur_fn.take() {
+                Some(f) => f,
+                None => return err(lineno, "`}` outside function"),
+            };
+            if !block_has_term {
+                return err(lineno, "last block lacks a terminator");
+            }
+            if f.blocks.is_empty() {
+                return err(lineno, "function has no blocks");
+            }
+            module.add_function(f);
+            cur_block = None;
+            continue;
+        }
+
+        let Some(f) = cur_fn.as_mut() else {
+            return err(lineno, format!("unexpected top-level line `{line}`"));
+        };
+
+        if let Some(rest) = line.strip_prefix("attrs ") {
+            for a in rest.split_whitespace() {
+                match a {
+                    "outlined" => f.attrs.outlined = true,
+                    "noprotect" => f.attrs.protect = false,
+                    other => return err(lineno, format!("unknown attribute `{other}`")),
+                }
+            }
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("regs ") {
+            for decl in rest.split(',') {
+                let decl = decl.trim();
+                let (reg_part, rest) = decl
+                    .split_once(':')
+                    .ok_or_else(|| ParseIrError::new(lineno, "expected `%N: ty` in regs"))?;
+                let idx: usize = reg_part
+                    .trim()
+                    .strip_prefix('%')
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| ParseIrError::new(lineno, "bad register in regs"))?;
+                if idx != f.regs.len() {
+                    return err(lineno, format!("registers must be declared in order; expected %{}", f.regs.len()));
+                }
+                let rest = rest.trim();
+                let (ty_str, name) = match rest.split_once('"') {
+                    Some((ty, name_rest)) => {
+                        let end = name_rest
+                            .find('"')
+                            .ok_or_else(|| ParseIrError::new(lineno, "unterminated reg name"))?;
+                        (ty.trim(), Some(name_rest[..end].to_string()))
+                    }
+                    None => (rest, None),
+                };
+                f.regs.push(RegInfo {
+                    ty: parse_ty(ty_str, lineno)?,
+                    name,
+                });
+            }
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("hint ") {
+            let mut parts = rest.split_whitespace();
+            let header = parse_block_ref(
+                parts
+                    .next()
+                    .ok_or_else(|| ParseIrError::new(lineno, "hint needs a block"))?,
+                lineno,
+            )?;
+            let mut hint = LoopHint {
+                header,
+                no_alias: false,
+                acceptable_range: None,
+            };
+            for p in parts {
+                if p == "no_alias" {
+                    hint.no_alias = true;
+                } else if let Some(v) = p.strip_prefix("ar=") {
+                    hint.acceptable_range = Some(parse_float(v, lineno)?);
+                } else {
+                    return err(lineno, format!("unknown hint flag `{p}`"));
+                }
+            }
+            f.loop_hints.push(hint);
+            continue;
+        }
+
+        // Block label: `bbN "name":`
+        if line.starts_with("bb") && line.ends_with(':') {
+            if !block_has_term {
+                return err(lineno, "previous block lacks a terminator");
+            }
+            let body = &line[..line.len() - 1];
+            let (id_part, name_part) = match body.split_once(char::is_whitespace) {
+                Some((id, rest)) => (id, rest.trim()),
+                None => (body, ""),
+            };
+            let id = parse_block_ref(id_part, lineno)?;
+            if id.index() != f.blocks.len() {
+                return err(
+                    lineno,
+                    format!("blocks must appear in order; expected bb{}", f.blocks.len()),
+                );
+            }
+            let name = if name_part.is_empty() {
+                format!("bb{}", id.0)
+            } else {
+                take_quoted(name_part, lineno)?.0
+            };
+            f.blocks.push(Block::new(name));
+            cur_block = Some(id);
+            block_has_term = false;
+            continue;
+        }
+
+        // Instruction or terminator inside the current block.
+        let Some(block) = cur_block else {
+            return err(lineno, "instruction outside a block");
+        };
+        if block_has_term {
+            return err(lineno, "instruction after terminator");
+        }
+        let ctx = FnCtx {
+            globals: globals.clone(),
+        };
+        if line.starts_with("br ")
+            || line.starts_with("condbr ")
+            || line == "ret"
+            || line.starts_with("ret ")
+        {
+            f.blocks[block.index()].term = parse_terminator(&ctx, line, lineno)?;
+            block_has_term = true;
+        } else {
+            f.blocks[block.index()]
+                .insts
+                .push(parse_inst(&ctx, line, lineno)?);
+        }
+    }
+
+    if cur_fn.is_some() {
+        return err(text.lines().count(), "unterminated function");
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::printer::print_module;
+    use crate::types::Operand;
+    use crate::{BinOp, CmpOp, UnOp};
+
+    fn roundtrip(m: &Module) {
+        let text = print_module(m);
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{e}\n--\n{text}"));
+        assert_eq!(&parsed, m, "round-trip mismatch for:\n{text}");
+    }
+
+    #[test]
+    fn roundtrips_rich_module() {
+        let mut mb = ModuleBuilder::new("rich");
+        let g = mb.global_zeroed("data", Ty::F64, 4);
+        mb.global_init("k", Ty::F64, vec![Value::F(0.5), Value::F(-1.25)]);
+        mb.global_init("idx", Ty::I64, vec![Value::I(3)]);
+
+        let mut f = mb.function("compute", vec![Ty::I64, Ty::F64], Some(Ty::F64));
+        let entry = f.entry_block();
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let acc = f.def_reg(Ty::F64, "acc");
+        f.switch_to(entry);
+        f.mov(acc, Operand::imm_f(0.0));
+        f.br(body);
+        f.switch_to(body);
+        let x = f.un(UnOp::IntToFloat, Ty::F64, Operand::reg(f.param(0)));
+        let s = f.un(UnOp::Sqrt, Ty::F64, Operand::reg(x));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(s));
+        let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(g), Operand::imm_i(1));
+        f.store(Ty::F64, Operand::reg(addr), Operand::reg(acc));
+        let c = f.cmp(CmpOp::Ge, Ty::F64, Operand::reg(acc), Operand::reg(f.param(1)));
+        f.cond_br(Operand::reg(c), exit, body);
+        f.switch_to(exit);
+        f.ret(Some(Operand::reg(acc)));
+        f.hint(body, true, Some(0.2));
+        f.finish();
+
+        let mut main = mb.function("main", vec![], None);
+        let r = main
+            .call("compute", vec![Operand::imm_i(5), Operand::imm_f(10.0)], Some(Ty::F64))
+            .unwrap();
+        main.intrinsic(crate::Intrinsic::Print, vec![Operand::reg(r)]);
+        main.ret(None);
+        main.finish();
+
+        roundtrip(&mb.finish());
+    }
+
+    #[test]
+    fn roundtrips_attrs_and_intrinsics() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("body", vec![Ty::I64], Some(Ty::F64));
+        f.set_unprotected();
+        let v = f.un(UnOp::IntToFloat, Ty::F64, Operand::reg(f.param(0)));
+        f.ret(Some(Operand::reg(v)));
+        f.finish();
+        let mut m = mb.finish();
+        m.functions[0].attrs.outlined = true;
+        m.num_regions = 2;
+        roundtrip(&m);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = r#"
+; leading comment
+module "c" regions 0
+
+global @g : i64[1] ; trailing comment
+
+func @main() -> void {
+bb0 "entry":
+  ; a comment line
+  store.i64 @g, 42
+  ret
+}
+"#;
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.name, "c");
+        assert_eq!(m.functions[0].blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let text = "module \"x\" regions 0\nfunc @f() -> void {\nbb0:\n  %0 = frob.i64 1\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("unknown"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_order_blocks() {
+        let text = "module \"x\" regions 0\nfunc @f() -> void {\nbb1:\n  ret\n}\n";
+        assert!(parse_module(text).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let text =
+            "module \"x\" regions 0\nfunc @f() -> void {\nbb0:\n  %0 = mov.i64 1\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_global() {
+        let text = "module \"x\" regions 0\nfunc @f() -> void {\nbb0:\n  store.i64 @nope, 1\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("unknown global"), "{e}");
+    }
+
+    #[test]
+    fn parses_special_floats() {
+        let text = "module \"x\" regions 0\nglobal @g : f64[3] = [nan, inf, -inf]\n";
+        let m = parse_module(text).unwrap();
+        let init = m.globals[0].init.as_ref().unwrap();
+        assert!(init[0].as_f().is_nan());
+        assert_eq!(init[1].as_f(), f64::INFINITY);
+        assert_eq!(init[2].as_f(), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,331 @@
+//! Pretty-printer for the textual IR format.
+//!
+//! The format round-trips through [`parse_module`](crate::parse_module);
+//! the property test in the parser module checks `parse(print(m)) == m` up
+//! to cosmetic details.
+
+use std::fmt::Write;
+
+use crate::function::Function;
+use crate::inst::{Inst, Terminator};
+use crate::module::Module;
+use crate::types::{Operand, Ty, Value};
+
+fn fmt_float(v: f64) -> String {
+    if v.is_nan() {
+        "nan".to_string()
+    } else if v == f64::INFINITY {
+        "inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else {
+        // `{:?}` keeps enough digits for exact f64 round-trips and always
+        // includes a `.` or exponent, which the parser uses to recognize
+        // float literals.
+        format!("{v:?}")
+    }
+}
+
+fn fmt_operand(m: &Module, op: Operand) -> String {
+    match op {
+        Operand::Reg(r) => format!("%{}", r.0),
+        Operand::ImmI(v) => format!("{v}"),
+        Operand::ImmF(v) => fmt_float(v),
+        Operand::Global(g) => format!("@{}", m.global(g).name),
+    }
+}
+
+fn fmt_ty(ty: Ty) -> &'static str {
+    match ty {
+        Ty::I64 => "i64",
+        Ty::F64 => "f64",
+    }
+}
+
+fn fmt_args(m: &Module, args: &[Operand]) -> String {
+    args.iter()
+        .map(|a| fmt_operand(m, *a))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn write_inst(out: &mut String, m: &Module, inst: &Inst) {
+    let line = match inst {
+        Inst::Mov { ty, dst, src } => {
+            format!("%{} = mov.{} {}", dst.0, fmt_ty(*ty), fmt_operand(m, *src))
+        }
+        Inst::Bin {
+            ty,
+            op,
+            dst,
+            lhs,
+            rhs,
+        } => format!(
+            "%{} = {}.{} {}, {}",
+            dst.0,
+            op.mnemonic(),
+            fmt_ty(*ty),
+            fmt_operand(m, *lhs),
+            fmt_operand(m, *rhs)
+        ),
+        Inst::Un { ty, op, dst, src } => format!(
+            "%{} = {}.{} {}",
+            dst.0,
+            op.mnemonic(),
+            fmt_ty(*ty),
+            fmt_operand(m, *src)
+        ),
+        Inst::Cmp {
+            ty,
+            op,
+            dst,
+            lhs,
+            rhs,
+        } => format!(
+            "%{} = cmp.{}.{} {}, {}",
+            dst.0,
+            op.mnemonic(),
+            fmt_ty(*ty),
+            fmt_operand(m, *lhs),
+            fmt_operand(m, *rhs)
+        ),
+        Inst::Select {
+            ty,
+            dst,
+            cond,
+            on_true,
+            on_false,
+        } => format!(
+            "%{} = select.{} {}, {}, {}",
+            dst.0,
+            fmt_ty(*ty),
+            fmt_operand(m, *cond),
+            fmt_operand(m, *on_true),
+            fmt_operand(m, *on_false)
+        ),
+        Inst::Load { ty, dst, addr } => format!(
+            "%{} = load.{} {}",
+            dst.0,
+            fmt_ty(*ty),
+            fmt_operand(m, *addr)
+        ),
+        Inst::Store { ty, addr, value } => format!(
+            "store.{} {}, {}",
+            fmt_ty(*ty),
+            fmt_operand(m, *addr),
+            fmt_operand(m, *value)
+        ),
+        Inst::Call { dst, callee, args } => match dst {
+            Some(d) => format!("%{} = call @{}({})", d.0, callee, fmt_args(m, args)),
+            None => format!("call @{}({})", callee, fmt_args(m, args)),
+        },
+        Inst::IntrinsicCall { dst, intr, args } => match dst {
+            Some(d) => format!("%{} = rskip.{}({})", d.0, intr.name(), fmt_args(m, args)),
+            None => format!("rskip.{}({})", intr.name(), fmt_args(m, args)),
+        },
+    };
+    let _ = writeln!(out, "  {line}");
+}
+
+fn write_term(out: &mut String, m: &Module, f: &Function, term: &Terminator) {
+    let line = match term {
+        Terminator::Br(b) => format!("br {}", block_label(f, *b)),
+        Terminator::CondBr(c, t, fl) => format!(
+            "condbr {}, {}, {}",
+            fmt_operand(m, *c),
+            block_label(f, *t),
+            block_label(f, *fl)
+        ),
+        Terminator::Ret(Some(v)) => format!("ret {}", fmt_operand(m, *v)),
+        Terminator::Ret(None) => "ret".to_string(),
+    };
+    let _ = writeln!(out, "  {line}");
+}
+
+fn block_label(f: &Function, b: crate::BlockId) -> String {
+    let _ = f;
+    format!("bb{}", b.0)
+}
+
+/// Prints one function in the textual format.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| {
+            // Print non-default parameter names so they round-trip.
+            match &f.regs[i].name {
+                Some(n) if n != &format!("arg{i}") => {
+                    format!("%{}: {} \"{}\"", i, fmt_ty(*ty), n)
+                }
+                Some(_) => format!("%{}: {}", i, fmt_ty(*ty)),
+                None => format!("%{}: {} \"\"", i, fmt_ty(*ty)),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ret = match f.ret {
+        Some(ty) => fmt_ty(ty).to_string(),
+        None => "void".to_string(),
+    };
+    let _ = writeln!(out, "func @{}({}) -> {} {{", f.name, params, ret);
+
+    if f.attrs.outlined || !f.attrs.protect {
+        let mut attrs = Vec::new();
+        if f.attrs.outlined {
+            attrs.push("outlined");
+        }
+        if !f.attrs.protect {
+            attrs.push("noprotect");
+        }
+        let _ = writeln!(out, "  attrs {}", attrs.join(" "));
+    }
+
+    // Non-parameter registers.
+    if f.regs.len() > f.params.len() {
+        let decls = f.regs[f.params.len()..]
+            .iter()
+            .enumerate()
+            .map(|(i, info)| {
+                let idx = i + f.params.len();
+                match &info.name {
+                    Some(n) => format!("%{}: {} \"{}\"", idx, fmt_ty(info.ty), n),
+                    None => format!("%{}: {}", idx, fmt_ty(info.ty)),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  regs {decls}");
+    }
+
+    for hint in &f.loop_hints {
+        let mut line = format!("  hint bb{}", hint.header.0);
+        if hint.no_alias {
+            line.push_str(" no_alias");
+        }
+        if let Some(ar) = hint.acceptable_range {
+            let _ = write!(line, " ar={}", fmt_float(ar));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
+    for (id, block) in f.iter_blocks() {
+        let _ = writeln!(out, "bb{} \"{}\":", id.0, block.name);
+        for inst in &block.insts {
+            write_inst(&mut out, m, inst);
+        }
+        write_term(&mut out, m, f, &block.term);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Prints the whole module in the textual format.
+///
+/// # Example
+///
+/// ```
+/// use rskip_ir::{ModuleBuilder, Ty, Operand};
+/// let mut mb = ModuleBuilder::new("m");
+/// mb.global_zeroed("buf", Ty::F64, 2);
+/// let mut f = mb.function("main", vec![], None);
+/// f.ret(None);
+/// f.finish();
+/// let text = rskip_ir::print_module(&mb.finish());
+/// assert!(text.contains("global @buf : f64[2]"));
+/// ```
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"{}\" regions {}", m.name, m.num_regions);
+    out.push('\n');
+    for g in &m.globals {
+        match &g.init {
+            None => {
+                let _ = writeln!(out, "global @{} : {}[{}]", g.name, fmt_ty(g.ty), g.len);
+            }
+            Some(values) => {
+                let vals = values
+                    .iter()
+                    .map(|v| match v {
+                        Value::I(i) => format!("{i}"),
+                        Value::F(x) => fmt_float(*x),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    out,
+                    "global @{} : {}[{}] = [{}]",
+                    g.name,
+                    fmt_ty(g.ty),
+                    g.len,
+                    vals
+                );
+            }
+        }
+    }
+    for f in &m.functions {
+        out.push('\n');
+        out.push_str(&print_function(m, f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::{BinOp, CmpOp, Intrinsic};
+    use crate::types::Operand;
+
+    fn sample_module() -> Module {
+        let mut mb = ModuleBuilder::new("sample");
+        let g = mb.global_zeroed("data", Ty::F64, 4);
+        mb.global_init("ones", Ty::I64, vec![Value::I(1), Value::I(2)]);
+        let mut f = mb.function("main", vec![Ty::I64], Some(Ty::I64));
+        let entry = f.entry_block();
+        let exit = f.new_block("exit");
+        f.switch_to(entry);
+        let p = f.param(0);
+        let x = f.bin(BinOp::Add, Ty::I64, Operand::reg(p), Operand::imm_i(1));
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(x), Operand::imm_i(10));
+        f.intrinsic(Intrinsic::RegionEnter, vec![Operand::imm_i(0)]);
+        f.store(Ty::F64, Operand::global(g), Operand::imm_f(1.5));
+        f.cond_br(Operand::reg(c), exit, exit);
+        f.switch_to(exit);
+        f.ret(Some(Operand::reg(x)));
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn prints_module_header_and_globals() {
+        let text = print_module(&sample_module());
+        assert!(text.starts_with("module \"sample\" regions 0"));
+        assert!(text.contains("global @data : f64[4]"));
+        assert!(text.contains("global @ones : i64[2] = [1, 2]"));
+    }
+
+    #[test]
+    fn prints_instructions() {
+        let text = print_module(&sample_module());
+        assert!(text.contains("= add.i64 %0, 1"), "{text}");
+        assert!(text.contains("= cmp.lt.i64"), "{text}");
+        assert!(text.contains("rskip.region_enter(0)"), "{text}");
+        assert!(text.contains("store.f64 @data, 1.5"), "{text}");
+        assert!(text.contains("condbr"), "{text}");
+        assert!(text.contains("ret %1"), "{text}");
+    }
+
+    #[test]
+    fn float_formatting_round_trips_special_values() {
+        assert_eq!(fmt_float(f64::NAN), "nan");
+        assert_eq!(fmt_float(f64::INFINITY), "inf");
+        assert_eq!(fmt_float(f64::NEG_INFINITY), "-inf");
+        assert_eq!(fmt_float(1.0), "1.0");
+        let tricky = 0.1 + 0.2;
+        let printed = fmt_float(tricky);
+        assert_eq!(printed.parse::<f64>().unwrap(), tricky);
+    }
+}

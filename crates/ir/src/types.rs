@@ -1,0 +1,296 @@
+//! Core value-level types: [`Ty`], [`Value`], [`Reg`] and [`Operand`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::module::GlobalId;
+
+/// The type of a register, memory cell or immediate.
+///
+/// The RSkip IR is deliberately small: 64-bit integers (also used as memory
+/// addresses, i.e. cell indices) and 64-bit IEEE-754 floats. This mirrors the
+/// value classes the paper's prediction models operate on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Ty {
+    /// 64-bit signed integer (also used for addresses and booleans 0/1).
+    I64,
+    /// 64-bit IEEE-754 floating point.
+    F64,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::I64 => write!(f, "i64"),
+            Ty::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+/// A runtime value: one memory cell or register content.
+///
+/// `Value` is shared between the IR (global initializers) and the execution
+/// substrate (register files, memory cells, fault injection). A Single Event
+/// Upset flips one bit of the 64-bit representation returned by
+/// [`Value::bits`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer value.
+    I(i64),
+    /// A floating-point value.
+    F(f64),
+}
+
+impl Value {
+    /// Returns the type of this value.
+    pub fn ty(self) -> Ty {
+        match self {
+            Value::I(_) => Ty::I64,
+            Value::F(_) => Ty::F64,
+        }
+    }
+
+    /// Returns the zero value of the given type.
+    pub fn zero(ty: Ty) -> Self {
+        match ty {
+            Ty::I64 => Value::I(0),
+            Ty::F64 => Value::F(0.0),
+        }
+    }
+
+    /// Interprets the value as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a float; the verifier guarantees well-typed
+    /// programs never hit this.
+    pub fn as_i(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::F(v) => panic!("expected i64 value, found f64 {v}"),
+        }
+    }
+
+    /// Interprets the value as a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an integer.
+    pub fn as_f(self) -> f64 {
+        match self {
+            Value::F(v) => v,
+            Value::I(v) => panic!("expected f64 value, found i64 {v}"),
+        }
+    }
+
+    /// The raw 64-bit representation (two's complement / IEEE-754 bits).
+    pub fn bits(self) -> u64 {
+        match self {
+            Value::I(v) => v as u64,
+            Value::F(v) => v.to_bits(),
+        }
+    }
+
+    /// Rebuilds a value of type `ty` from a raw 64-bit representation.
+    pub fn from_bits(ty: Ty, bits: u64) -> Self {
+        match ty {
+            Ty::I64 => Value::I(bits as i64),
+            Ty::F64 => Value::F(f64::from_bits(bits)),
+        }
+    }
+
+    /// Returns a copy with bit `bit` (0..64) of the representation flipped.
+    ///
+    /// This is the Single Event Upset primitive of the fault model.
+    pub fn with_bit_flipped(self, bit: u32) -> Self {
+        debug_assert!(bit < 64, "bit index out of range: {bit}");
+        Value::from_bits(self.ty(), self.bits() ^ (1u64 << bit))
+    }
+
+    /// Bit-exact equality (distinguishes `-0.0` from `0.0`, and compares
+    /// NaNs by representation). Used for output comparison, where the paper
+    /// counts *any* deviation as corrupted output.
+    pub fn bit_eq(self, other: Self) -> bool {
+        self.ty() == other.ty() && self.bits() == other.bits()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I(v) => write!(f, "{v}"),
+            Value::F(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F(v)
+    }
+}
+
+/// A virtual register, local to a [`Function`](crate::Function).
+///
+/// Registers are typed; the register table lives on the function
+/// ([`Function::regs`](crate::Function::regs)). The IR is *not* SSA: loop
+/// induction variables are updated in place with [`Inst::Mov`](crate::Inst)
+/// or `*_into` builder forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// The register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// An instruction operand: a register, an immediate, or a global's base
+/// address.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// Read a virtual register.
+    Reg(Reg),
+    /// An `i64` immediate.
+    ImmI(i64),
+    /// An `f64` immediate.
+    ImmF(f64),
+    /// The base address (cell index) of a global array, resolved at module
+    /// load time by the execution substrate. Typed `i64`.
+    Global(GlobalId),
+}
+
+impl Operand {
+    /// Shorthand for `Operand::Reg(r)`.
+    pub fn reg(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+
+    /// Shorthand for `Operand::ImmI(v)`.
+    pub fn imm_i(v: i64) -> Self {
+        Operand::ImmI(v)
+    }
+
+    /// Shorthand for `Operand::ImmF(v)`.
+    pub fn imm_f(v: f64) -> Self {
+        Operand::ImmF(v)
+    }
+
+    /// Shorthand for `Operand::Global(g)`.
+    pub fn global(g: GlobalId) -> Self {
+        Operand::Global(g)
+    }
+
+    /// Returns the register if this operand reads one.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True if this operand does not read any register (immediate or global
+    /// base address, both of which are fault-immune constants).
+    pub fn is_const(self) -> bool {
+        !matches!(self, Operand::Reg(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_bits_roundtrip_int() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42] {
+            let val = Value::I(v);
+            assert_eq!(Value::from_bits(Ty::I64, val.bits()), val);
+        }
+    }
+
+    #[test]
+    fn value_bits_roundtrip_float() {
+        for v in [0.0f64, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, -3.25e100] {
+            let val = Value::F(v);
+            assert!(Value::from_bits(Ty::F64, val.bits()).bit_eq(val));
+        }
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let v = Value::I(0x1234_5678_9abc_def0);
+        for bit in 0..64 {
+            let flipped = v.with_bit_flipped(bit);
+            assert_eq!((flipped.bits() ^ v.bits()).count_ones(), 1);
+            assert!(flipped.with_bit_flipped(bit).bit_eq(v));
+        }
+    }
+
+    #[test]
+    fn bit_flip_preserves_type() {
+        assert_eq!(Value::F(1.0).with_bit_flipped(63).ty(), Ty::F64);
+        assert_eq!(Value::I(1).with_bit_flipped(0).ty(), Ty::I64);
+    }
+
+    #[test]
+    fn bit_eq_distinguishes_negative_zero() {
+        assert!(!Value::F(0.0).bit_eq(Value::F(-0.0)));
+        assert!(Value::F(0.0) == Value::F(-0.0)); // but PartialEq follows f64
+    }
+
+    #[test]
+    fn bit_eq_compares_nan_by_representation() {
+        let nan = Value::F(f64::NAN);
+        assert!(nan.bit_eq(nan));
+        assert!(nan != nan); // PartialEq follows IEEE
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero(Ty::I64), Value::I(0));
+        assert!(Value::zero(Ty::F64).bit_eq(Value::F(0.0)));
+    }
+
+    #[test]
+    fn operand_constness() {
+        assert!(Operand::imm_i(3).is_const());
+        assert!(Operand::imm_f(3.0).is_const());
+        assert!(Operand::global(GlobalId(0)).is_const());
+        assert!(!Operand::reg(Reg(0)).is_const());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ty::I64.to_string(), "i64");
+        assert_eq!(Ty::F64.to_string(), "f64");
+        assert_eq!(Reg(7).to_string(), "%7");
+        assert_eq!(Value::I(-3).to_string(), "-3");
+        assert_eq!(Value::F(2.0).to_string(), "2.0");
+    }
+}

@@ -1,0 +1,521 @@
+//! Structural and type verification.
+//!
+//! The verifier enforces the invariants the rest of the system relies on:
+//! well-typed operands, valid register/block/global references, matching
+//! call signatures and sane intrinsic arities. Passes are expected to leave
+//! modules verifiable; the test suites run the verifier after every
+//! transformation.
+
+use crate::error::VerifyError;
+use crate::function::Function;
+use crate::inst::{Inst, Terminator};
+use crate::module::Module;
+use crate::types::{Operand, Reg, Ty};
+
+/// Verifies a [`Module`]. See the module docs for the checked invariants.
+#[derive(Debug)]
+pub struct Verifier<'m> {
+    module: &'m Module,
+}
+
+impl<'m> Verifier<'m> {
+    /// Creates a verifier for `module`.
+    pub fn new(module: &'m Module) -> Self {
+        Verifier { module }
+    }
+
+    /// Runs all checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        self.check_globals()?;
+        let mut names = std::collections::HashSet::new();
+        for f in &self.module.functions {
+            if !names.insert(f.name.as_str()) {
+                return Err(VerifyError {
+                    function: f.name.clone(),
+                    location: "module".into(),
+                    message: "duplicate function name".into(),
+                });
+            }
+            self.check_function(f)?;
+        }
+        Ok(())
+    }
+
+    fn check_globals(&self) -> Result<(), VerifyError> {
+        let mut names = std::collections::HashSet::new();
+        for g in &self.module.globals {
+            if !names.insert(g.name.as_str()) {
+                return Err(VerifyError {
+                    function: String::new(),
+                    location: format!("global @{}", g.name),
+                    message: "duplicate global name".into(),
+                });
+            }
+            if let Some(init) = &g.init {
+                if init.len() != g.len {
+                    return Err(VerifyError {
+                        function: String::new(),
+                        location: format!("global @{}", g.name),
+                        message: format!(
+                            "initializer has {} values for length {}",
+                            init.len(),
+                            g.len
+                        ),
+                    });
+                }
+                if init.iter().any(|v| v.ty() != g.ty) {
+                    return Err(VerifyError {
+                        function: String::new(),
+                        location: format!("global @{}", g.name),
+                        message: "initializer value type mismatch".into(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_function(&self, f: &Function) -> Result<(), VerifyError> {
+        let fail = |location: String, message: String| VerifyError {
+            function: f.name.clone(),
+            location,
+            message,
+        };
+
+        if f.blocks.is_empty() {
+            return Err(fail("function".into(), "no blocks".into()));
+        }
+        if f.params.len() > f.regs.len() {
+            return Err(fail(
+                "function".into(),
+                "fewer registers than parameters".into(),
+            ));
+        }
+        for (i, ty) in f.params.iter().enumerate() {
+            if f.regs[i].ty != *ty {
+                return Err(fail(
+                    "function".into(),
+                    format!("parameter {i} type mismatch with register table"),
+                ));
+            }
+        }
+        for hint in &f.loop_hints {
+            if hint.header.index() >= f.blocks.len() {
+                return Err(fail(
+                    "hints".into(),
+                    format!("hint references missing block bb{}", hint.header.0),
+                ));
+            }
+        }
+
+        for (bid, block) in f.iter_blocks() {
+            let loc = |i: usize| format!("{}[{}]", block.name, i);
+            for (i, inst) in block.insts.iter().enumerate() {
+                self.check_inst(f, inst)
+                    .map_err(|m| fail(loc(i), m))?;
+            }
+            match &block.term {
+                Terminator::Br(t) => {
+                    if t.index() >= f.blocks.len() {
+                        return Err(fail(
+                            format!("{}[term]", block.name),
+                            format!("branch to missing block bb{}", t.0),
+                        ));
+                    }
+                }
+                Terminator::CondBr(c, t, fl) => {
+                    self.check_operand(f, *c, Ty::I64)
+                        .map_err(|m| fail(format!("{}[term]", block.name), m))?;
+                    for target in [t, fl] {
+                        if target.index() >= f.blocks.len() {
+                            return Err(fail(
+                                format!("{}[term]", block.name),
+                                format!("branch to missing block bb{}", target.0),
+                            ));
+                        }
+                    }
+                }
+                Terminator::Ret(v) => match (v, f.ret) {
+                    (None, None) => {}
+                    (Some(op), Some(ty)) => {
+                        self.check_operand(f, *op, ty)
+                            .map_err(|m| fail(format!("{}[term]", block.name), m))?;
+                    }
+                    (None, Some(_)) => {
+                        return Err(fail(
+                            format!("{}[term]", block.name),
+                            "missing return value".into(),
+                        ))
+                    }
+                    (Some(_), None) => {
+                        return Err(fail(
+                            format!("{}[term]", block.name),
+                            "return value in void function".into(),
+                        ))
+                    }
+                },
+            }
+            let _ = bid;
+        }
+        Ok(())
+    }
+
+    fn reg_ty(&self, f: &Function, r: Reg) -> Result<Ty, String> {
+        f.regs
+            .get(r.index())
+            .map(|info| info.ty)
+            .ok_or_else(|| format!("reference to missing register %{}", r.0))
+    }
+
+    fn operand_ty(&self, f: &Function, op: Operand) -> Result<Ty, String> {
+        match op {
+            Operand::Reg(r) => self.reg_ty(f, r),
+            Operand::ImmI(_) => Ok(Ty::I64),
+            Operand::ImmF(_) => Ok(Ty::F64),
+            Operand::Global(g) => {
+                if g.index() >= self.module.globals.len() {
+                    Err(format!("reference to missing global {g}"))
+                } else {
+                    Ok(Ty::I64) // base address
+                }
+            }
+        }
+    }
+
+    fn check_operand(&self, f: &Function, op: Operand, expect: Ty) -> Result<(), String> {
+        let ty = self.operand_ty(f, op)?;
+        if ty != expect {
+            return Err(format!("operand {op:?} has type {ty}, expected {expect}"));
+        }
+        Ok(())
+    }
+
+    fn check_dst(&self, f: &Function, dst: Reg, expect: Ty) -> Result<(), String> {
+        let ty = self.reg_ty(f, dst)?;
+        if ty != expect {
+            return Err(format!(
+                "destination %{} has type {ty}, expected {expect}",
+                dst.0
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_inst(&self, f: &Function, inst: &Inst) -> Result<(), String> {
+        match inst {
+            Inst::Mov { ty, dst, src } => {
+                self.check_dst(f, *dst, *ty)?;
+                self.check_operand(f, *src, *ty)
+            }
+            Inst::Bin {
+                ty,
+                op,
+                dst,
+                lhs,
+                rhs,
+            } => {
+                if op.int_only() && *ty == Ty::F64 {
+                    return Err(format!("operator `{op}` is not defined on f64"));
+                }
+                self.check_dst(f, *dst, *ty)?;
+                self.check_operand(f, *lhs, *ty)?;
+                self.check_operand(f, *rhs, *ty)
+            }
+            Inst::Un { ty, op, dst, src } => {
+                match op {
+                    crate::UnOp::Not if *ty == Ty::F64 => {
+                        return Err("`not` is not defined on f64".into())
+                    }
+                    crate::UnOp::Sqrt | crate::UnOp::Exp | crate::UnOp::Log | crate::UnOp::Floor
+                        if *ty == Ty::I64 =>
+                    {
+                        return Err(format!("`{op}` is not defined on i64"))
+                    }
+                    crate::UnOp::IntToFloat if *ty == Ty::I64 => {
+                        return Err("i2f result must be f64".into())
+                    }
+                    crate::UnOp::FloatToInt if *ty == Ty::F64 => {
+                        return Err("f2i result must be i64".into())
+                    }
+                    _ => {}
+                }
+                self.check_dst(f, *dst, *ty)?;
+                self.check_operand(f, *src, op.operand_ty(*ty))
+            }
+            Inst::Cmp {
+                ty,
+                op: _,
+                dst,
+                lhs,
+                rhs,
+            } => {
+                self.check_dst(f, *dst, Ty::I64)?;
+                self.check_operand(f, *lhs, *ty)?;
+                self.check_operand(f, *rhs, *ty)
+            }
+            Inst::Select {
+                ty,
+                dst,
+                cond,
+                on_true,
+                on_false,
+            } => {
+                self.check_dst(f, *dst, *ty)?;
+                self.check_operand(f, *cond, Ty::I64)?;
+                self.check_operand(f, *on_true, *ty)?;
+                self.check_operand(f, *on_false, *ty)
+            }
+            Inst::Load { ty, dst, addr } => {
+                self.check_dst(f, *dst, *ty)?;
+                self.check_operand(f, *addr, Ty::I64)
+            }
+            Inst::Store { ty, addr, value } => {
+                self.check_operand(f, *addr, Ty::I64)?;
+                self.check_operand(f, *value, *ty)
+            }
+            Inst::Call { dst, callee, args } => {
+                let target = self
+                    .module
+                    .function(callee)
+                    .ok_or_else(|| format!("call to unknown function @{callee}"))?;
+                if target.params.len() != args.len() {
+                    return Err(format!(
+                        "call to @{callee} passes {} args, expected {}",
+                        args.len(),
+                        target.params.len()
+                    ));
+                }
+                for (arg, ty) in args.iter().zip(&target.params) {
+                    self.check_operand(f, *arg, *ty)?;
+                }
+                match (dst, target.ret) {
+                    (None, _) => Ok(()),
+                    (Some(d), Some(ty)) => self.check_dst(f, *d, ty),
+                    (Some(_), None) => {
+                        Err(format!("call to void function @{callee} has a destination"))
+                    }
+                }
+            }
+            Inst::IntrinsicCall { dst, intr, args } => {
+                if args.len() < intr.min_args() {
+                    return Err(format!(
+                        "intrinsic {intr} needs at least {} args, found {}",
+                        intr.min_args(),
+                        args.len()
+                    ));
+                }
+                // All intrinsic argument registers must exist; types are
+                // checked loosely (observe mixes i64 bookkeeping and f64
+                // payloads).
+                for arg in args {
+                    self.operand_ty(f, *arg)?;
+                }
+                match (dst, intr.result_ty()) {
+                    (None, _) => Ok(()),
+                    (Some(d), Some(ty)) => self.check_dst(f, *d, ty),
+                    (Some(_), None) => Err(format!("intrinsic {intr} produces no result")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::{BinOp, UnOp};
+    use crate::types::{Operand, Value};
+    use crate::{Block, Global};
+
+    fn verify(m: &Module) -> Result<(), VerifyError> {
+        Verifier::new(m).verify()
+    }
+
+    #[test]
+    fn accepts_well_formed_module() {
+        let mut mb = ModuleBuilder::new("ok");
+        let mut f = mb.function("main", vec![Ty::I64], Some(Ty::I64));
+        let p = f.param(0);
+        let x = f.bin(BinOp::Mul, Ty::I64, Operand::reg(p), Operand::imm_i(3));
+        f.ret(Some(Operand::reg(x)));
+        f.finish();
+        verify(&mb.finish()).unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut mb = ModuleBuilder::new("bad");
+        let mut f = mb.function("main", vec![Ty::F64], None);
+        let p = f.param(0);
+        // i64 add of an f64 operand
+        f.bin(BinOp::Add, Ty::I64, Operand::reg(p), Operand::imm_i(1));
+        f.ret(None);
+        f.finish();
+        let e = verify(&mb.finish()).unwrap_err();
+        assert!(e.message.contains("expected i64"), "{e}");
+    }
+
+    #[test]
+    fn rejects_int_only_op_on_floats() {
+        let mut mb = ModuleBuilder::new("bad");
+        let mut f = mb.function("main", vec![], None);
+        f.bin(BinOp::Xor, Ty::F64, Operand::imm_f(1.0), Operand::imm_f(2.0));
+        f.ret(None);
+        f.finish();
+        assert!(verify(&mb.finish()).is_err());
+    }
+
+    #[test]
+    fn rejects_float_math_on_ints() {
+        let mut mb = ModuleBuilder::new("bad");
+        let mut f = mb.function("main", vec![], None);
+        f.un(UnOp::Sqrt, Ty::I64, Operand::imm_i(4));
+        f.ret(None);
+        f.finish();
+        assert!(verify(&mb.finish()).is_err());
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut mb = ModuleBuilder::new("bad");
+        let mut callee = mb.function("callee", vec![Ty::I64, Ty::I64], None);
+        callee.ret(None);
+        callee.finish();
+        let mut f = mb.function("main", vec![], None);
+        f.call("callee", vec![Operand::imm_i(1)], None);
+        f.ret(None);
+        f.finish();
+        let e = verify(&mb.finish()).unwrap_err();
+        assert!(e.message.contains("passes 1 args"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        let mut mb = ModuleBuilder::new("bad");
+        let mut f = mb.function("main", vec![], None);
+        f.call("ghost", vec![], None);
+        f.ret(None);
+        f.finish();
+        assert!(verify(&mb.finish()).is_err());
+    }
+
+    #[test]
+    fn rejects_branch_to_missing_block() {
+        let mut mb = ModuleBuilder::new("bad");
+        let mut f = mb.function("main", vec![], None);
+        f.ret(None);
+        f.finish();
+        let mut m = mb.finish();
+        m.functions[0].blocks[0].term = Terminator::Br(crate::BlockId(7));
+        assert!(verify(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_return_value() {
+        let mut mb = ModuleBuilder::new("bad");
+        let f = mb.function("main", vec![], Some(Ty::I64));
+        // Builder would panic on missing terminator; bypass it.
+        drop(f);
+        let mut m = Module::new("bad");
+        let mut func = Function::new("main", vec![], Some(Ty::I64));
+        func.blocks[0].term = Terminator::Ret(None);
+        m.add_function(func);
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("missing return value"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_function_names() {
+        let mut m = Module::new("bad");
+        let mut f1 = Function::new("f", vec![], None);
+        f1.blocks[0].term = Terminator::Ret(None);
+        m.add_function(f1.clone());
+        m.add_function(f1);
+        assert!(verify(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_global_initializer() {
+        let mut m = Module::new("bad");
+        m.add_global(Global {
+            name: "g".into(),
+            ty: Ty::I64,
+            len: 2,
+            init: Some(vec![Value::I(1)]),
+        });
+        assert!(verify(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_intrinsic_arity() {
+        let mut mb = ModuleBuilder::new("bad");
+        let mut f = mb.function("main", vec![], None);
+        f.intrinsic(crate::Intrinsic::Observe, vec![Operand::imm_i(0)]);
+        f.ret(None);
+        f.finish();
+        let e = verify(&mb.finish()).unwrap_err();
+        assert!(e.message.contains("at least 4"), "{e}");
+    }
+
+    #[test]
+    fn rejects_empty_function() {
+        let mut m = Module::new("bad");
+        let mut f = Function::new("f", vec![], None);
+        f.blocks.clear();
+        m.add_function(f);
+        assert!(verify(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_hint_on_missing_block() {
+        let mut m = Module::new("bad");
+        let mut f = Function::new("f", vec![], None);
+        f.blocks[0].term = Terminator::Ret(None);
+        f.loop_hints.push(crate::LoopHint {
+            header: crate::BlockId(3),
+            no_alias: false,
+            acceptable_range: None,
+        });
+        m.add_function(f);
+        assert!(verify(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_instruction_reading_missing_register() {
+        let mut m = Module::new("bad");
+        let mut f = Function::new("f", vec![], None);
+        let dst = f.new_reg(Ty::I64);
+        f.blocks[0].insts.push(Inst::Mov {
+            ty: Ty::I64,
+            dst,
+            src: Operand::reg(Reg(99)),
+        });
+        f.blocks[0].term = Terminator::Ret(None);
+        m.add_function(f);
+        assert!(verify(&m).is_err());
+    }
+
+    #[test]
+    fn empty_blocks_are_fine() {
+        let mut m = Module::new("ok");
+        let mut f = Function::new("f", vec![], None);
+        let b = f.add_block("b");
+        f.blocks[0].term = Terminator::Br(b);
+        f.block_mut(b).term = Terminator::Ret(None);
+        let _ = f.block(b);
+        m.add_function(f);
+        verify(&m).unwrap();
+    }
+
+    #[test]
+    fn block_struct_helpers() {
+        let b = Block::new("x");
+        assert_eq!(b.name, "x");
+        assert!(b.insts.is_empty());
+    }
+}

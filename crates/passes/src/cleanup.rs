@@ -1,0 +1,247 @@
+//! Post-transform cleanup: unreachable-block elimination.
+//!
+//! The RSkip transform leaves the PP clone's bypassed subloop skeletons
+//! behind as unreachable blocks (and the SWIFT pass can strand empty
+//! continuations). This pass drops every block not reachable from the
+//! entry and compacts block ids, remapping terminators and loop hints.
+//! Running it after the scheme driver shrinks modules and keeps printed
+//! IR readable; it never changes semantics.
+
+use rskip_ir::{BlockId, Function, Module, Terminator};
+
+/// Removes unreachable blocks from every function of `module`. Returns
+/// the total number of blocks removed.
+pub fn remove_unreachable_blocks(module: &mut Module) -> usize {
+    let mut removed = 0;
+    for f in &mut module.functions {
+        removed += clean_function(f);
+    }
+    removed
+}
+
+fn clean_function(f: &mut Function) -> usize {
+    let n = f.blocks.len();
+    // Reachability from the entry.
+    let mut reachable = vec![false; n];
+    let mut stack = vec![BlockId(0)];
+    reachable[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.block(b).term.successors() {
+            if !reachable[s.index()] {
+                reachable[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    let dead = reachable.iter().filter(|&&r| !r).count();
+    if dead == 0 {
+        return 0;
+    }
+
+    // Compacting remap.
+    let mut remap: Vec<Option<BlockId>> = Vec::with_capacity(n);
+    let mut next = 0u32;
+    for &r in &reachable {
+        if r {
+            remap.push(Some(BlockId(next)));
+            next += 1;
+        } else {
+            remap.push(None);
+        }
+    }
+
+    let old_blocks = std::mem::take(&mut f.blocks);
+    for (i, mut block) in old_blocks.into_iter().enumerate() {
+        if remap[i].is_none() {
+            continue;
+        }
+        block.term.map_successors(|t| {
+            remap[t.index()].expect("successor of a reachable block is reachable")
+        });
+        // Keep placeholder terminators sane even if the block had none.
+        if let Terminator::CondBr(_, a, b) = block.term {
+            debug_assert!(a.index() < n && b.index() < n);
+        }
+        f.blocks.push(block);
+    }
+
+    // Hints on dead headers are dropped; live ones are remapped.
+    f.loop_hints.retain_mut(|h| match remap[h.header.index()] {
+        Some(new) => {
+            h.header = new;
+            true
+        }
+        None => false,
+    });
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rskip_exec::{run_simple, Termination};
+    use rskip_ir::{BinOp, CmpOp, ModuleBuilder, Operand, Ty, Value, Verifier};
+
+    #[test]
+    fn drops_dead_blocks_and_preserves_semantics() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Some(Ty::I64));
+        let live = f.new_block("live");
+        let dead1 = f.new_block("dead1");
+        let dead2 = f.new_block("dead2");
+        f.br(live);
+        f.switch_to(live);
+        let x = f.bin(BinOp::Add, Ty::I64, Operand::imm_i(40), Operand::imm_i(2));
+        f.ret(Some(Operand::reg(x)));
+        f.switch_to(dead1);
+        f.br(dead2);
+        f.switch_to(dead2);
+        f.br(dead1);
+        f.finish();
+        let mut m = mb.finish();
+
+        let removed = remove_unreachable_blocks(&mut m);
+        assert_eq!(removed, 2);
+        assert_eq!(m.functions[0].blocks.len(), 2);
+        Verifier::new(&m).verify().unwrap();
+        let out = run_simple(&m, "main", &[]);
+        assert_eq!(out.termination, Termination::Returned(Some(Value::I(42))));
+    }
+
+    #[test]
+    fn remaps_hints_and_drops_dead_ones() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], None);
+        let dead = f.new_block("dead");
+        let live = f.new_block("live");
+        f.br(live);
+        f.switch_to(dead);
+        f.ret(None);
+        f.switch_to(live);
+        f.ret(None);
+        f.hint(live, true, Some(0.5));
+        f.hint(dead, false, None);
+        f.finish();
+        let mut m = mb.finish();
+        remove_unreachable_blocks(&mut m);
+        let f = &m.functions[0];
+        assert_eq!(f.loop_hints.len(), 1);
+        assert!(f.loop_hints[0].no_alias);
+        assert_eq!(f.loop_hints[0].header, BlockId(1)); // live compacted 2 -> 1
+    }
+
+    #[test]
+    fn no_op_on_fully_reachable_functions() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], None);
+        let b = f.new_block("b");
+        let c = f.new_block("c");
+        let cond = f.cmp(CmpOp::Gt, Ty::I64, Operand::imm_i(1), Operand::imm_i(0));
+        f.cond_br(Operand::reg(cond), b, c);
+        f.switch_to(b);
+        f.ret(None);
+        f.switch_to(c);
+        f.ret(None);
+        f.finish();
+        let mut m = mb.finish();
+        let before = m.clone();
+        assert_eq!(remove_unreachable_blocks(&mut m), 0);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn cleans_rskip_transformed_workload() {
+        // The PP clone's bypassed subloop skeletons are the motivating
+        // dead code: after cleanup the module still verifies, runs, and
+        // produces bit-identical outputs.
+        use rskip_analysis::{find_candidates, DetectConfig};
+        use rskip_exec::{Machine, NoopHooks};
+        let m = rskip_workloads_stub();
+        // Apply the transform by hand (the driver already runs cleanup).
+        let cands = find_candidates(&m, &DetectConfig::default());
+        assert_eq!(cands.len(), 1);
+        let ob = crate::outline_body(&m, &cands[0], "tmp").unwrap();
+        let mut transformed = m.clone();
+        let region = transformed.new_region();
+        crate::apply_rskip(
+            &mut transformed,
+            &cands[0],
+            region,
+            crate::BodySource::Outlined(ob),
+        )
+        .unwrap();
+        crate::apply_swift_r(&mut transformed);
+
+        let mut cleaned = transformed.clone();
+        let removed = remove_unreachable_blocks(&mut cleaned);
+        assert!(removed > 0, "expected dead subloop skeletons");
+        Verifier::new(&cleaned).verify().unwrap();
+
+        let run = |m: &rskip_ir::Module| {
+            let mut machine = Machine::new(m, NoopHooks);
+            let out = machine.run("main", &[]);
+            assert!(out.returned());
+            machine.read_global("out").to_vec()
+        };
+        let a = run(&transformed);
+        let b = run(&cleaned);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.bit_eq(*y)));
+
+        // The driver's output is already clean.
+        let p = crate::protect(&m, crate::Scheme::RSkip);
+        let mut again = p.module.clone();
+        assert_eq!(remove_unreachable_blocks(&mut again), 0);
+    }
+
+    /// A small reduction workload (self-contained to avoid a dev-dependency
+    /// cycle with rskip-workloads).
+    fn rskip_workloads_stub() -> rskip_ir::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global_init(
+            "g",
+            Ty::F64,
+            (0..48).map(|k| Value::F(k as f64)).collect(),
+        );
+        let out = mb.global_zeroed("out", Ty::F64, 32);
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let oh = f.new_block("oh");
+        let pre = f.new_block("pre");
+        let ih = f.new_block("ih");
+        let ib = f.new_block("ib");
+        let fin = f.new_block("fin");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        let k = f.def_reg(Ty::I64, "k");
+        let acc = f.def_reg(Ty::F64, "acc");
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(oh);
+        f.switch_to(oh);
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(32));
+        f.cond_br(Operand::reg(c), pre, exit);
+        f.switch_to(pre);
+        f.mov(acc, Operand::imm_f(0.0));
+        f.mov(k, Operand::imm_i(0));
+        f.br(ih);
+        f.switch_to(ih);
+        let c2 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(k), Operand::imm_i(16));
+        f.cond_br(Operand::reg(c2), ib, fin);
+        f.switch_to(ib);
+        let gi = f.bin(BinOp::Add, Ty::I64, Operand::reg(i), Operand::reg(k));
+        let ga = f.bin(BinOp::Add, Ty::I64, Operand::global(g), Operand::reg(gi));
+        let gv = f.load(Ty::F64, Operand::reg(ga));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(gv));
+        f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
+        f.br(ih);
+        f.switch_to(fin);
+        let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
+        f.store(Ty::F64, Operand::reg(oa), Operand::reg(acc));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(oh);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+}

@@ -1,0 +1,223 @@
+//! The scheme driver: one entry point that turns an unprotected module
+//! into a protected one (paper Fig. 3's compiler box).
+
+use rskip_analysis::{find_candidates, CandidateKind, DetectConfig};
+use rskip_ir::{Module, RegionId, Ty};
+
+use crate::outline::outline_body;
+use crate::rskip::{apply_rskip, BodySource};
+use crate::swift::apply_swift;
+use crate::swift_r::apply_swift_r;
+use crate::util::add_region_markers;
+
+/// The protection scheme to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No protection (the paper's UNSAFE bar); candidate loops still get
+    /// region markers so fault injection covers the same code.
+    Unsafe,
+    /// SWIFT — duplication with detection only (ablation baseline).
+    Swift,
+    /// SWIFT-R — TMR duplication with majority-vote recovery (the paper's
+    /// baseline).
+    SwiftR,
+    /// RSkip — prediction-based protection on candidate loops, SWIFT-R
+    /// everywhere else.
+    RSkip,
+}
+
+impl Scheme {
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Unsafe => "UNSAFE",
+            Scheme::Swift => "SWIFT",
+            Scheme::SwiftR => "SWIFT-R",
+            Scheme::RSkip => "RSkip",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything the runtime needs to know about one protected region.
+#[derive(Clone, Debug)]
+pub struct RegionSpec {
+    /// The region id (indexes runtime state).
+    pub region: RegionId,
+    /// Function containing the region.
+    pub function: String,
+    /// The PP body function, when the scheme built one.
+    pub body_fn: Option<String>,
+    /// Body parameter types (argument replay).
+    pub param_tys: Vec<Ty>,
+    /// Whether approximate memoization may be deployed (Fig. 4a pattern
+    /// with a pure callee).
+    pub memoizable: bool,
+    /// Per-loop acceptable-range override (the paper's pragma).
+    pub acceptable_range: Option<f64>,
+    /// Static cost estimate of one value computation (runtime heuristics).
+    pub estimated_cost: f64,
+}
+
+/// A protected build: the transformed module plus region metadata.
+#[derive(Clone, Debug)]
+pub struct Protected {
+    /// The transformed module (verifies).
+    pub module: Module,
+    /// One spec per detected candidate loop.
+    pub regions: Vec<RegionSpec>,
+    /// The scheme that was applied.
+    pub scheme: Scheme,
+}
+
+/// Protects `module` under `scheme` with default detection thresholds.
+pub fn protect(module: &Module, scheme: Scheme) -> Protected {
+    protect_with(module, scheme, &DetectConfig::default())
+}
+
+/// Protects `module` under `scheme` with explicit detection thresholds.
+///
+/// All schemes run candidate detection and add region markers around
+/// detected loops, so the fault-injection scope of §7.2 ("faults are only
+/// injected into the detected loops") is identical across schemes.
+///
+/// # Panics
+///
+/// Panics if the input module does not verify — callers are expected to
+/// hand over verified modules.
+pub fn protect_with(module: &Module, scheme: Scheme, detect: &DetectConfig) -> Protected {
+    rskip_ir::Verifier::new(module)
+        .verify()
+        .expect("input module must verify");
+    let mut out = module.clone();
+    let candidates = find_candidates(module, detect);
+
+    // Reject overlapping candidates (nested target loops): keep the more
+    // expensive one.
+    let mut kept: Vec<&rskip_analysis::CandidateLoop> = Vec::new();
+    for c in &candidates {
+        let overlaps = kept.iter().any(|k| {
+            k.function == c.function && !k.target.blocks.is_disjoint(&c.target.blocks)
+        });
+        if !overlaps {
+            kept.push(c);
+        }
+    }
+
+    let mut regions = Vec::new();
+    match scheme {
+        Scheme::Unsafe | Scheme::Swift | Scheme::SwiftR => {
+            for cand in &kept {
+                let region = out.new_region();
+                add_region_markers(
+                    &mut out,
+                    &cand.function,
+                    &cand.target.blocks,
+                    cand.target.header,
+                    region,
+                );
+                regions.push(RegionSpec {
+                    region,
+                    function: cand.function.clone(),
+                    body_fn: None,
+                    param_tys: Vec::new(),
+                    memoizable: false,
+                    acceptable_range: cand.acceptable_range,
+                    estimated_cost: cand.estimated_cost,
+                });
+            }
+        }
+        Scheme::RSkip => {
+            // Phase B: outline on the pristine module (block/loop indices
+            // recorded in the candidates stay valid).
+            let mut prepared: Vec<(usize, BodySource)> = Vec::new();
+            for (i, cand) in kept.iter().enumerate() {
+                match &cand.kind {
+                    CandidateKind::Call { callee, .. } => {
+                        prepared.push((i, BodySource::Callee {
+                            original: callee.clone(),
+                        }));
+                    }
+                    CandidateKind::SliceLoop => match outline_body(module, cand, "tmp") {
+                        Ok(ob) => prepared.push((i, BodySource::Outlined(ob))),
+                        Err(_) => { /* falls back below */ }
+                    },
+                }
+            }
+
+            // Phase C: transform.
+            let mut transformed = vec![false; kept.len()];
+            for (i, source) in prepared {
+                let cand = kept[i];
+                let region = out.new_region();
+                if let Ok((body_fn, param_tys)) = apply_rskip(&mut out, cand, region, source) {
+                    transformed[i] = true;
+                    let memoizable = matches!(
+                        &cand.kind,
+                        CandidateKind::Call {
+                            memoizable: true,
+                            ..
+                        }
+                    );
+                    regions.push(RegionSpec {
+                        region,
+                        function: cand.function.clone(),
+                        body_fn: Some(body_fn),
+                        param_tys,
+                        memoizable,
+                        acceptable_range: cand.acceptable_range,
+                        estimated_cost: cand.estimated_cost,
+                    });
+                }
+            }
+            // Fallback: conventional protection with markers.
+            for (i, cand) in kept.iter().enumerate() {
+                if transformed[i] {
+                    continue;
+                }
+                let region = out.new_region();
+                add_region_markers(
+                    &mut out,
+                    &cand.function,
+                    &cand.target.blocks,
+                    cand.target.header,
+                    region,
+                );
+                regions.push(RegionSpec {
+                    region,
+                    function: cand.function.clone(),
+                    body_fn: None,
+                    param_tys: Vec::new(),
+                    memoizable: false,
+                    acceptable_range: cand.acceptable_range,
+                    estimated_cost: cand.estimated_cost,
+                });
+            }
+        }
+    }
+
+    match scheme {
+        Scheme::Unsafe => {}
+        Scheme::Swift => apply_swift(&mut out),
+        Scheme::SwiftR | Scheme::RSkip => apply_swift_r(&mut out),
+    }
+    // Drop the PP clones' bypassed subloop skeletons and any other dead
+    // blocks the transforms stranded.
+    crate::cleanup::remove_unreachable_blocks(&mut out);
+
+    debug_assert!(
+        rskip_ir::Verifier::new(&out).verify().is_ok(),
+        "protected module fails verification: {:?}",
+        rskip_ir::Verifier::new(&out).verify()
+    );
+    Protected {
+        module: out,
+        regions,
+        scheme,
+    }
+}

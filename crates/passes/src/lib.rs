@@ -1,0 +1,46 @@
+//! # rskip-passes — the protection transformations
+//!
+//! The compiler half of RSkip: given an unprotected module, produce a
+//! resilient one under a chosen protection [`Scheme`]:
+//!
+//! * [`Scheme::Unsafe`] — no protection; candidate loops still get region
+//!   markers so fault-injection scope matches across schemes (§7.2 injects
+//!   "only into the detected loops").
+//! * [`Scheme::Swift`] — SWIFT [Reis et al., CGO'05]: one shadow copy of
+//!   every computation, compare at synchronization points, abort on
+//!   mismatch (detection only).
+//! * [`Scheme::SwiftR`] — SWIFT-R [Reis et al.]: TMR-style triplication
+//!   with 2-instruction majority votes at synchronization points
+//!   (detection *and* recovery) — the paper's baseline.
+//! * [`Scheme::RSkip`] — the paper's contribution: candidate loops are
+//!   dual-versioned into a conventionally protected copy (CP) and a
+//!   prediction-protected copy (PP). The PP copy runs the expensive value
+//!   computation once (outlined into a *body* function), drives the
+//!   prediction runtime through intrinsics, and re-executes the body only
+//!   for elements that failed fuzzy validation, with re-computation-based
+//!   majority recovery on true mismatches. Everything else — the loop
+//!   shell, addresses, induction variables, control flow, the rest of the
+//!   program — still gets SWIFT-R protection ("they are protected with
+//!   traditional instruction duplication", §2).
+//!
+//! Synchronization points follow the paper (§2): stores (value and
+//! address), conditional branches, function call arguments and return
+//! values.
+
+#![deny(missing_docs)]
+
+mod cleanup;
+mod driver;
+mod outline;
+mod rskip;
+mod swift;
+mod swift_r;
+mod util;
+
+pub use cleanup::remove_unreachable_blocks;
+pub use driver::{protect, protect_with, Protected, RegionSpec, Scheme};
+pub use outline::{outline_body, OutlineError, OutlinedBody};
+pub use rskip::{apply_rskip, BodySource, RSkipError};
+pub use swift::apply_swift;
+pub use swift_r::apply_swift_r;
+pub use util::{add_region_markers, clone_loop_blocks};

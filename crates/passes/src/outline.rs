@@ -1,0 +1,506 @@
+//! Loop-body outlining: extract the backward slice of a protected store
+//! into a fresh, re-executable *body function*.
+//!
+//! The PP loop version calls the body once per iteration (the *original
+//! copy* of Fig. 1b); the prediction runtime records the call arguments so
+//! that elements failing fuzzy validation can re-execute the body with
+//! identical inputs (the *redundant copy*, materialized lazily).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rskip_analysis::{CandidateLoop, Cfg, DomTree, LoopForest};
+use rskip_ir::{
+    Block, BlockId, FuncAttrs, Function, Inst, Module, Operand, Reg, Terminator, Ty,
+};
+
+/// Why outlining failed; such candidates fall back to conventional
+/// protection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OutlineError {
+    /// The contracted control-flow chain between slice blocks passed
+    /// through a conditional branch or left the loop.
+    NonLinearChain(BlockId),
+    /// A live-in of the body is defined by slice instructions — the value
+    /// computation is loop-carried and cannot be re-executed per element.
+    LoopCarried(Reg),
+    /// The stored value is not an `f64` register.
+    BadValue,
+}
+
+impl std::fmt::Display for OutlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutlineError::NonLinearChain(b) => {
+                write!(f, "slice control flow is not a linear chain at {b}")
+            }
+            OutlineError::LoopCarried(r) => {
+                write!(f, "slice value is loop-carried through {r}")
+            }
+            OutlineError::BadValue => write!(f, "stored value is not an f64 register"),
+        }
+    }
+}
+
+impl std::error::Error for OutlineError {}
+
+/// The result of outlining.
+#[derive(Clone, Debug)]
+pub struct OutlinedBody {
+    /// The new body function (append it to the module).
+    pub func: Function,
+    /// The *original* registers (in the enclosing function) whose values
+    /// the shell must pass, in parameter order.
+    pub param_regs: Vec<Reg>,
+    /// Parameter types, parallel to `param_regs`.
+    pub param_tys: Vec<Ty>,
+    /// Block sets (original ids) of the subloops absorbed into the body;
+    /// the PP shell must bypass them entirely.
+    pub subloops: Vec<BTreeSet<BlockId>>,
+}
+
+/// A virtual block of the clone unit, before function construction.
+struct VBlock {
+    /// Block in the original function.
+    orig: BlockId,
+    /// Instructions to clone: indices into the original block.
+    insts: Vec<usize>,
+    /// Whether the original terminator is kept (subloop internal control
+    /// flow) or replaced by a fall-through / return.
+    keep_term: bool,
+}
+
+/// Outlines the value computation of `cand` into a function named
+/// `body_name`.
+///
+/// # Errors
+///
+/// See [`OutlineError`].
+pub fn outline_body(
+    module: &Module,
+    cand: &CandidateLoop,
+    body_name: &str,
+) -> Result<OutlinedBody, OutlineError> {
+    let f = module
+        .function(&cand.function)
+        .expect("candidate function exists");
+    let cfg = Cfg::new(f);
+    let dom = DomTree::new(f, &cfg);
+    let forest = LoopForest::new(f, &cfg, &dom);
+
+    let value_reg = match f.block(cand.store_block).insts[cand.store_idx] {
+        Inst::Store {
+            ty: Ty::F64,
+            value: Operand::Reg(r),
+            ..
+        } => r,
+        _ => return Err(OutlineError::BadValue),
+    };
+
+    // --- Assemble the clone unit. ---
+    let subloop_blocks: BTreeSet<BlockId> = cand
+        .slice
+        .subloops
+        .iter()
+        .flat_map(|&i| forest.loops()[i].blocks.iter().copied())
+        .collect();
+    let mut direct: BTreeMap<BlockId, Vec<usize>> = BTreeMap::new();
+    for &(b, idx) in &cand.slice.insts {
+        if !subloop_blocks.contains(&b) {
+            direct.entry(b).or_default().push(idx);
+        }
+    }
+    direct.entry(cand.store_block).or_default();
+
+    let mut involved: Vec<BlockId> = subloop_blocks
+        .iter()
+        .copied()
+        .chain(direct.keys().copied())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    involved.sort_by_key(|b| cfg.rpo_index(*b).unwrap_or(usize::MAX));
+
+    let vblocks: Vec<VBlock> = involved
+        .iter()
+        .map(|&b| {
+            if subloop_blocks.contains(&b) {
+                VBlock {
+                    orig: b,
+                    insts: (0..f.block(b).insts.len()).collect(),
+                    keep_term: true,
+                }
+            } else {
+                let mut idxs = direct.get(&b).cloned().unwrap_or_default();
+                idxs.sort_unstable();
+                VBlock {
+                    orig: b,
+                    insts: idxs,
+                    keep_term: false,
+                }
+            }
+        })
+        .collect();
+    let vindex: BTreeMap<BlockId, usize> = involved
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b, i))
+        .collect();
+    let terminal_v = vindex[&cand.store_block];
+
+    // Contract a CFG edge target through non-involved loop blocks.
+    let contract = |mut t: BlockId| -> Result<usize, OutlineError> {
+        let mut hops = 0;
+        loop {
+            if let Some(&v) = vindex.get(&t) {
+                return Ok(v);
+            }
+            if !cand.target.blocks.contains(&t) || hops > f.blocks.len() {
+                return Err(OutlineError::NonLinearChain(t));
+            }
+            match f.block(t).term {
+                Terminator::Br(next) => t = next,
+                _ => return Err(OutlineError::NonLinearChain(t)),
+            }
+            hops += 1;
+        }
+    };
+
+    // Successors of each vblock in vblock-index space.
+    let mut vsuccs: Vec<Vec<usize>> = Vec::with_capacity(vblocks.len());
+    for (vi, vb) in vblocks.iter().enumerate() {
+        if vi == terminal_v && !vb.keep_term {
+            vsuccs.push(vec![]);
+            continue;
+        }
+        if vb.keep_term {
+            let mut ss = Vec::new();
+            for s in f.block(vb.orig).term.successors() {
+                ss.push(contract(s)?);
+            }
+            vsuccs.push(ss);
+        } else {
+            // Linear fall-through: contract through the original chain.
+            match f.block(vb.orig).term {
+                Terminator::Br(next) => vsuccs.push(vec![contract(next)?]),
+                Terminator::CondBr(..) | Terminator::Ret(_) => {
+                    // A direct block ending in a condbr that is not a
+                    // subloop block: only acceptable if it *is* the
+                    // terminal (handled above).
+                    return Err(OutlineError::NonLinearChain(vb.orig));
+                }
+            }
+        }
+    }
+
+    // --- Live-in analysis over the clone unit. ---
+    let mut gens: Vec<BTreeSet<Reg>> = Vec::new();
+    let mut kills: Vec<BTreeSet<Reg>> = Vec::new();
+    for (vi, vb) in vblocks.iter().enumerate() {
+        let mut gen = BTreeSet::new();
+        let mut kill = BTreeSet::new();
+        for &idx in &vb.insts {
+            let inst = &f.block(vb.orig).insts[idx];
+            for r in inst.used_regs() {
+                if !kill.contains(&r) {
+                    gen.insert(r);
+                }
+            }
+            if let Some(d) = inst.dst() {
+                kill.insert(d);
+            }
+        }
+        if vb.keep_term {
+            if let Some(Operand::Reg(r)) = f.block(vb.orig).term.used_operand() {
+                if !kill.contains(&r) {
+                    gen.insert(r);
+                }
+            }
+        }
+        if vi == terminal_v && !kill.contains(&value_reg) {
+            gen.insert(value_reg);
+        }
+        gens.push(gen);
+        kills.push(kill);
+    }
+    let mut live_in: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); vblocks.len()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for vi in (0..vblocks.len()).rev() {
+            let mut out: BTreeSet<Reg> = BTreeSet::new();
+            for &s in &vsuccs[vi] {
+                out.extend(live_in[s].iter().copied());
+            }
+            let mut inn = gens[vi].clone();
+            for r in out.difference(&kills[vi]) {
+                inn.insert(*r);
+            }
+            if inn != live_in[vi] {
+                live_in[vi] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    // The entry vblock is the RPO-first involved block.
+    let entry_live = &live_in[0];
+    // Loop-carried slice values cannot be re-executed.
+    for r in entry_live {
+        if cand.slice.defined_regs.contains(r) && Some(*r) != cand.slice.aliased_dst {
+            return Err(OutlineError::LoopCarried(*r));
+        }
+    }
+
+    // --- Parameter ordering: IV first, then slice read order. ---
+    let mut param_regs: Vec<Reg> = Vec::new();
+    if entry_live.contains(&cand.iv.reg) {
+        param_regs.push(cand.iv.reg);
+    }
+    for &r in &cand.slice.read_regs {
+        if entry_live.contains(&r) && !param_regs.contains(&r) {
+            param_regs.push(r);
+        }
+    }
+    for &r in entry_live {
+        if !param_regs.contains(&r) {
+            param_regs.push(r);
+        }
+    }
+    let param_tys: Vec<Ty> = param_regs.iter().map(|&r| f.reg_ty(r)).collect();
+
+    // --- Build the body function. ---
+    let mut body = Function::new(body_name, param_tys.clone(), Some(Ty::F64));
+    body.attrs = FuncAttrs {
+        outlined: true,
+        protect: false,
+    };
+    body.blocks.clear();
+    for vb in &vblocks {
+        body.blocks.push(Block::new(f.block(vb.orig).name.clone()));
+    }
+    // Name parameters after their original registers for readability.
+    for (i, &r) in param_regs.iter().enumerate() {
+        body.regs[i].name = Some(
+            f.regs[r.index()]
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("r{}", r.0)),
+        );
+    }
+
+    let mut reg_map: BTreeMap<Reg, Reg> = param_regs
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, Reg(i as u32)))
+        .collect();
+    let mut map_reg = |r: Reg, body: &mut Function| -> Reg {
+        if let Some(&m) = reg_map.get(&r) {
+            return m;
+        }
+        let m = body.new_reg(f.reg_ty(r));
+        reg_map.insert(r, m);
+        m
+    };
+
+    for (vi, vb) in vblocks.iter().enumerate() {
+        let mut insts = Vec::with_capacity(vb.insts.len());
+        for &idx in &vb.insts {
+            let mut inst = f.block(vb.orig).insts[idx].clone();
+            inst.map_uses(|op| match op {
+                Operand::Reg(r) => Operand::Reg(map_reg(r, &mut body)),
+                other => other,
+            });
+            if let Some(d) = inst.dst() {
+                inst.set_dst(map_reg(d, &mut body));
+            }
+            insts.push(inst);
+        }
+        let term = if vi == terminal_v && !vb.keep_term {
+            Terminator::Ret(Some(Operand::Reg(map_reg(value_reg, &mut body))))
+        } else if vb.keep_term {
+            let mut t = f.block(vb.orig).term.clone();
+            // Remap the condition register and the targets.
+            if let Terminator::CondBr(Operand::Reg(c), _, _) = &t {
+                let mapped = map_reg(*c, &mut body);
+                if let Terminator::CondBr(cond, _, _) = &mut t {
+                    *cond = Operand::Reg(mapped);
+                }
+            }
+            let mut err = None;
+            t.map_successors(|s| match contract(s) {
+                Ok(v) => BlockId(v as u32),
+                Err(e) => {
+                    err = Some(e);
+                    BlockId(0)
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            t
+        } else {
+            Terminator::Br(BlockId(vsuccs[vi][0] as u32))
+        };
+        body.blocks[vi].insts = insts;
+        body.blocks[vi].term = term;
+    }
+
+    let subloops = cand
+        .slice
+        .subloops
+        .iter()
+        .map(|&i| forest.loops()[i].blocks.clone())
+        .collect();
+    Ok(OutlinedBody {
+        func: body,
+        param_regs,
+        param_tys,
+        subloops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rskip_analysis::{find_candidates, DetectConfig};
+    use rskip_exec::{run_simple, Termination};
+    use rskip_ir::{BinOp, CmpOp, ModuleBuilder, Value, Verifier};
+
+    /// for i in 0..16 { acc = 0; for k in 0..32 { acc += g[k] * w[k] };
+    /// out[i] = acc * 0.5 }  — i is live-in only through nothing (the
+    /// reduction ignores i), so the body has no IV parameter.
+    fn reduction_module(use_iv: bool) -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global_init(
+            "g",
+            Ty::F64,
+            (0..32).map(|k| Value::F(k as f64 * 0.25)).collect(),
+        );
+        let w = mb.global_init(
+            "w",
+            Ty::F64,
+            (0..64).map(|k| Value::F(1.0 + k as f64 * 0.125)).collect(),
+        );
+        let out = mb.global_zeroed("out", Ty::F64, 16);
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let oh = f.new_block("oh");
+        let pre = f.new_block("pre");
+        let ih = f.new_block("ih");
+        let ib = f.new_block("ib");
+        let fin = f.new_block("fin");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        let k = f.def_reg(Ty::I64, "k");
+        let acc = f.def_reg(Ty::F64, "acc");
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(oh);
+        f.switch_to(oh);
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(16));
+        f.cond_br(Operand::reg(c), pre, exit);
+        f.switch_to(pre);
+        f.mov(acc, Operand::imm_f(0.0));
+        f.mov(k, Operand::imm_i(0));
+        f.br(ih);
+        f.switch_to(ih);
+        let c2 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(k), Operand::imm_i(32));
+        f.cond_br(Operand::reg(c2), ib, fin);
+        f.switch_to(ib);
+        let ga = f.bin(BinOp::Add, Ty::I64, Operand::global(g), Operand::reg(k));
+        let gv = f.load(Ty::F64, Operand::reg(ga));
+        // Optionally make the weight index depend on the outer IV, so the
+        // IV becomes a live-in parameter of the body.
+        let widx = if use_iv {
+            f.bin(BinOp::Add, Ty::I64, Operand::reg(k), Operand::reg(i))
+        } else {
+            f.bin(BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(0))
+        };
+        let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(w), Operand::reg(widx));
+        let wv = f.load(Ty::F64, Operand::reg(wa));
+        let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(gv), Operand::reg(wv));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
+        f.br(ih);
+        f.switch_to(fin);
+        let scaled = f.bin(BinOp::Mul, Ty::F64, Operand::reg(acc), Operand::imm_f(0.5));
+        let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
+        f.store(Ty::F64, Operand::reg(oa), Operand::reg(scaled));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(oh);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn outlined_body_computes_the_same_value() {
+        let m = reduction_module(true);
+        let cands = find_candidates(&m, &DetectConfig::default());
+        assert_eq!(cands.len(), 1);
+        let body = outline_body(&m, &cands[0], "main__body_0").unwrap();
+
+        // IV must be the first parameter (the weight index uses it).
+        assert_eq!(body.param_regs[0], cands[0].iv.reg);
+
+        // Append the body and call it directly: body(i) must equal the
+        // loop's stored out[i].
+        let mut m2 = m.clone();
+        m2.add_function(body.func.clone());
+        Verifier::new(&m2).verify().unwrap();
+
+        // Reference: run the original program.
+        let mut machine = rskip_exec::Machine::new(&m2, rskip_exec::NoopHooks);
+        machine.run("main", &[]);
+        let expect: Vec<Value> = machine.read_global("out").to_vec();
+
+        for i in [0i64, 3, 7, 15] {
+            // Only the IV param matters; the others are overwritten before
+            // use inside the body — pass zeros.
+            let args: Vec<Value> = body
+                .param_tys
+                .iter()
+                .enumerate()
+                .map(|(j, ty)| {
+                    if j == 0 {
+                        Value::I(i)
+                    } else {
+                        Value::zero(*ty)
+                    }
+                })
+                .collect();
+            let out = run_simple(&m2, "main__body_0", &args);
+            match out.termination {
+                Termination::Returned(Some(v)) => {
+                    assert!(
+                        v.bit_eq(expect[i as usize]),
+                        "body({i}) = {v:?}, loop stored {:?}",
+                        expect[i as usize]
+                    );
+                }
+                other => panic!("body trapped: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn body_without_iv_dependence_has_no_iv_param() {
+        let m = reduction_module(false);
+        let cands = find_candidates(&m, &DetectConfig::default());
+        let body = outline_body(&m, &cands[0], "b").unwrap();
+        assert!(!body.param_regs.contains(&cands[0].iv.reg));
+        // Everything is computed inside: zero live-ins.
+        assert!(body.param_regs.is_empty(), "params: {:?}", body.param_regs);
+    }
+
+    #[test]
+    fn body_function_is_marked_unprotected() {
+        let m = reduction_module(true);
+        let cands = find_candidates(&m, &DetectConfig::default());
+        let body = outline_body(&m, &cands[0], "b").unwrap();
+        assert!(body.func.attrs.outlined);
+        assert!(!body.func.attrs.protect);
+        assert_eq!(body.func.ret, Some(Ty::F64));
+    }
+}

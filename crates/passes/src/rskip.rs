@@ -1,0 +1,563 @@
+//! The RSkip transform: dual-version candidate loops into a conventionally
+//! protected copy (CP) and a prediction-protected copy (PP).
+//!
+//! Per candidate loop (paper §3, Fig. 3):
+//!
+//! 1. the value computation becomes a *body* function (outlined slice, or
+//!    a clone of the called function for the Fig. 4a pattern);
+//! 2. the loop blocks are cloned into the PP version: the body executes
+//!    once per iteration, the result is stored, and `observe` reports
+//!    `(iter, addr, value, args…)` to the prediction runtime;
+//! 3. after each `observe` (and after the final flush at region exit) a
+//!    *recheck* loop drains the runtime's pending queue: elements that
+//!    failed fuzzy validation — or phase endpoints interpolation cannot
+//!    estimate — are re-computed with the recorded arguments and compared
+//!    exactly; a true mismatch triggers a third execution and a majority
+//!    vote over (stored, recomputed₁, recomputed₂), i.e. re-computation
+//!    based recovery;
+//! 4. a dispatch block asks the runtime (`select_version`) whether to run
+//!    PP or CP on this entry;
+//! 5. region enter/exit markers bound the detected loop for fault
+//!    injection and runtime bookkeeping.
+//!
+//! The loop shell (induction variable, addresses, compares, branches) and
+//! the CP copy are protected by the SWIFT-R pass that runs afterwards;
+//! body functions are marked `outlined`/`noprotect` and execute as the
+//! single original copy.
+
+use std::collections::BTreeSet;
+
+use rskip_analysis::CandidateLoop;
+use rskip_ir::{
+    BlockId, CmpOp, Function, Inst, Intrinsic, Module, Operand, Reg, RegionId, Terminator, Ty,
+};
+
+use crate::outline::{OutlineError, OutlinedBody};
+use crate::util::{clone_loop_blocks, redirect_entries};
+
+/// Why the transform failed for a candidate (the driver falls back to
+/// conventional protection with region markers).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RSkipError {
+    /// Outlining the value slice failed.
+    Outline(OutlineError),
+    /// The candidate's shape was not as detection promised.
+    BadPattern(String),
+}
+
+impl std::fmt::Display for RSkipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RSkipError::Outline(e) => write!(f, "outline failed: {e}"),
+            RSkipError::BadPattern(s) => write!(f, "bad candidate pattern: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RSkipError {}
+
+impl From<OutlineError> for RSkipError {
+    fn from(e: OutlineError) -> Self {
+        RSkipError::Outline(e)
+    }
+}
+
+/// Where the PP body function comes from.
+#[derive(Clone, Debug)]
+pub enum BodySource {
+    /// An outlined slice (Fig. 4b pattern) produced by
+    /// [`outline_body`](crate::outline_body) on the *pristine* function.
+    Outlined(OutlinedBody),
+    /// The Fig. 4a pattern: clone this called function (the original stays
+    /// protected for the CP version).
+    Callee {
+        /// Name of the original callee.
+        original: String,
+    },
+}
+
+/// Applies the transform for one candidate. Returns the body-function
+/// name and parameter types (the runtime needs them to replay arguments).
+pub fn apply_rskip(
+    module: &mut Module,
+    cand: &CandidateLoop,
+    region: RegionId,
+    body: BodySource,
+) -> Result<(String, Vec<Ty>), RSkipError> {
+    let body_name = format!("{}__rskip_body_{}", cand.function, region.0);
+
+    // --- 1. Materialize the body function. ---
+    let (param_tys, shell_args): (Vec<Ty>, Option<Vec<Operand>>) = match &body {
+        BodySource::Outlined(ob) => {
+            let mut func = ob.func.clone();
+            func.name = body_name.clone();
+            module.add_function(func);
+            (
+                ob.param_tys.clone(),
+                Some(ob.param_regs.iter().map(|&r| Operand::Reg(r)).collect()),
+            )
+        }
+        BodySource::Callee { original } => {
+            let mut clone = module
+                .function(original)
+                .ok_or_else(|| RSkipError::BadPattern(format!("no callee @{original}")))?
+                .clone();
+            clone.name = body_name.clone();
+            clone.attrs.outlined = true;
+            clone.attrs.protect = false;
+            let tys = clone.params.clone();
+            module.add_function(clone);
+            (tys, None) // arguments come from the existing call site
+        }
+    };
+
+    let f = module
+        .function_mut(&cand.function)
+        .expect("candidate function exists");
+
+    // --- 2. Clone the loop into the PP version. ---
+    let pp_map = clone_loop_blocks(f, &cand.target.blocks, &format!(".pp{}", region.0));
+    let mut pp_set: BTreeSet<BlockId> = pp_map.values().copied().collect();
+
+    let pp_store_block = pp_map[&cand.store_block];
+
+    // Gather the store's operands before editing.
+    let (store_addr, value_reg) = match &f.block(cand.store_block).insts[cand.store_idx] {
+        Inst::Store {
+            addr,
+            value: Operand::Reg(v),
+            ..
+        } => (*addr, *v),
+        other => {
+            return Err(RSkipError::BadPattern(format!(
+                "expected f64 store of a register, found {other:?}"
+            )))
+        }
+    };
+
+    // --- 3. Rewrite the PP store block. ---
+    // The call result goes through a fresh register: the stored value
+    // register may coincide with a body argument (lud's in-place `sum`),
+    // and `observe` must record the *pre-call* argument values so rechecks
+    // replay the body with identical inputs.
+    let v_new = f.new_reg(Ty::F64);
+    let mut store_idx = cand.store_idx;
+    let call_args: Vec<Operand> = match (&body, shell_args) {
+        (BodySource::Outlined(ob), Some(args)) => {
+            // The PP shell bypasses the slice's subloops entirely: rewire
+            // every clone edge into a subloop header to the subloop's exit
+            // block. The subloop clones become unreachable dead blocks.
+            let sub_blocks: BTreeSet<BlockId> = ob
+                .subloops
+                .iter()
+                .flat_map(|s| s.iter().copied())
+                .collect();
+            for sub in &ob.subloops {
+                // The subloop's unique exit target inside the target loop
+                // (original block-id space).
+                let mut exit_target = None;
+                for &sb in sub {
+                    for succ in f.block(sb).term.successors() {
+                        if !sub.contains(&succ) {
+                            exit_target = Some(succ);
+                        }
+                    }
+                }
+                let Some(exit_target) = exit_target else {
+                    return Err(RSkipError::BadPattern(
+                        "slice subloop has no exit edge".into(),
+                    ));
+                };
+                // Shell edges were already remapped to clone space by
+                // clone_loop_blocks: redirect edges into the subloop's
+                // *clones* straight to the exit's clone.
+                let exit_clone = pp_map.get(&exit_target).copied().unwrap_or(exit_target);
+                let clones_of_sub: BTreeSet<BlockId> =
+                    sub.iter().filter_map(|b| pp_map.get(b).copied()).collect();
+                for (&orig, &clone) in &pp_map {
+                    if sub_blocks.contains(&orig) {
+                        continue;
+                    }
+                    f.block_mut(clone).term.map_successors(|t| {
+                        if clones_of_sub.contains(&t) {
+                            exit_clone
+                        } else {
+                            t
+                        }
+                    });
+                }
+            }
+
+            // Remove the slice instructions from the PP shell blocks; they
+            // are replaced by the body call. Exception: a slice
+            // instruction whose result the *shell* still reads (e.g. an
+            // index like lud's `jrow` feeding both the reduction and the
+            // store address) stays — it is rematerialized in both places.
+            let slice_set: BTreeSet<(BlockId, usize)> = cand.slice.insts.iter().copied().collect();
+            let mut shell_reads: BTreeSet<Reg> = BTreeSet::new();
+            for &b in &cand.target.blocks {
+                if sub_blocks.contains(&b) {
+                    continue; // bypassed: not part of the PP shell
+                }
+                for (idx, inst) in f.block(b).insts.iter().enumerate() {
+                    if slice_set.contains(&(b, idx)) {
+                        continue;
+                    }
+                    if b == cand.store_block && idx == cand.store_idx {
+                        // The protected store is rewritten to read the
+                        // body-call result; only its address keeps the
+                        // original operand.
+                        if let Operand::Reg(r) = store_addr {
+                            shell_reads.insert(r);
+                        }
+                        continue;
+                    }
+                    for r in inst.used_regs() {
+                        shell_reads.insert(r);
+                    }
+                }
+                if let Some(Operand::Reg(r)) = f.block(b).term.used_operand() {
+                    shell_reads.insert(r);
+                }
+            }
+            let mut keep: BTreeSet<(BlockId, usize)> = BTreeSet::new();
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &(b, idx) in &cand.slice.insts {
+                    if keep.contains(&(b, idx)) {
+                        continue;
+                    }
+                    let inst = &f.block(b).insts[idx];
+                    if inst.dst().is_some_and(|d| shell_reads.contains(&d)) {
+                        keep.insert((b, idx));
+                        for r in inst.used_regs() {
+                            shell_reads.insert(r);
+                        }
+                        changed = true;
+                    }
+                }
+            }
+
+            let mut by_block: std::collections::BTreeMap<BlockId, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for &(b, idx) in &cand.slice.insts {
+                if !keep.contains(&(b, idx)) {
+                    by_block.entry(b).or_default().push(idx);
+                }
+            }
+            for (b, mut idxs) in by_block {
+                idxs.sort_unstable_by(|a, b| b.cmp(a));
+                let clone = pp_map[&b];
+                for idx in idxs {
+                    f.block_mut(clone).insts.remove(idx);
+                    if b == cand.store_block && idx < store_idx {
+                        store_idx -= 1;
+                    }
+                }
+            }
+            // Insert the body call right before the store.
+            f.block_mut(pp_store_block).insts.insert(
+                store_idx,
+                Inst::Call {
+                    dst: Some(v_new),
+                    callee: body_name.clone(),
+                    args: args.clone(),
+                },
+            );
+            store_idx += 1;
+            // The store reads the fresh result.
+            if let Inst::Store { value, .. } = &mut f.block_mut(pp_store_block).insts[store_idx] {
+                *value = Operand::Reg(v_new);
+            }
+            args
+        }
+        (BodySource::Callee { .. }, _) => {
+            // Find the call in the PP clone and retarget it to the body
+            // clone; its result must be the stored value.
+            let mut found: Option<Vec<Operand>> = None;
+            'outer: for (&orig, &clone) in &pp_map {
+                let _ = orig;
+                for inst in f.block_mut(clone).insts.iter_mut() {
+                    if let Inst::Call { dst, callee, args } = inst {
+                        if *dst == Some(value_reg) {
+                            if args.iter().any(|a| a.as_reg() == Some(value_reg)) {
+                                return Err(RSkipError::BadPattern(
+                                    "call result register is also an argument".into(),
+                                ));
+                            }
+                            *callee = body_name.clone();
+                            *dst = Some(v_new);
+                            found = Some(args.clone());
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            let args = found.ok_or_else(|| {
+                RSkipError::BadPattern("call defining the stored value not found".into())
+            })?;
+            // Point the store at the fresh result.
+            if let Inst::Store { value, .. } = &mut f.block_mut(pp_store_block).insts[store_idx] {
+                *value = Operand::Reg(v_new);
+            }
+            args
+        }
+        (BodySource::Outlined(_), None) => unreachable!("outlined bodies carry shell args"),
+    };
+
+    // observe(region, iter, addr, value, args...).
+    let mut observe_args = vec![
+        Operand::imm_i(region.0 as i64),
+        Operand::Reg(cand.iv.reg),
+        store_addr,
+        Operand::Reg(v_new),
+    ];
+    observe_args.extend(call_args.iter().copied());
+    f.block_mut(pp_store_block).insts.insert(
+        store_idx + 1,
+        Inst::IntrinsicCall {
+            dst: None,
+            intr: Intrinsic::Observe,
+            args: observe_args,
+        },
+    );
+    // Restore the original value register for any later shell readers
+    // (matches the original program's state after the computation).
+    f.block_mut(pp_store_block).insts.insert(
+        store_idx + 2,
+        Inst::Mov {
+            ty: Ty::F64,
+            dst: value_reg,
+            src: Operand::Reg(v_new),
+        },
+    );
+
+    // Split after the restore: the iteration tail (IV update, compare,
+    // back edge) runs after the recheck loop drains.
+    let tail_insts: Vec<Inst> = f
+        .block_mut(pp_store_block)
+        .insts
+        .split_off(store_idx + 3);
+    let tail_term = f.block(pp_store_block).term.clone();
+    let cont = f.add_block(format!("region{}_pp_cont", region.0));
+    f.block_mut(cont).insts = tail_insts;
+    f.block_mut(cont).term = tail_term;
+    pp_set.insert(cont);
+
+    let recheck_head = emit_recheck(f, region, &body_name, &param_tys, cont, &mut pp_set);
+    f.block_mut(pp_store_block).term = Terminator::Br(recheck_head);
+
+    // --- 4. PP exit stubs: region_exit + final (flush) recheck. ---
+    let pp_blocks: Vec<BlockId> = pp_set.iter().copied().collect();
+    for b in pp_blocks {
+        let exits: Vec<BlockId> = f
+            .block(b)
+            .term
+            .successors()
+            .into_iter()
+            .filter(|s| !pp_set.contains(s))
+            .collect();
+        for target in exits {
+            if cand.target.blocks.contains(&target) {
+                continue; // back edge into the original loop cannot happen
+            }
+            let stub = f.add_block(format!("region{}_pp_exit", region.0));
+            pp_set.insert(stub);
+            f.block_mut(stub).insts.push(Inst::IntrinsicCall {
+                dst: None,
+                intr: Intrinsic::RegionExit,
+                args: vec![Operand::imm_i(region.0 as i64)],
+            });
+            let flush_head = emit_recheck(f, region, &body_name, &param_tys, target, &mut pp_set);
+            f.block_mut(stub).term = Terminator::Br(flush_head);
+            f.block_mut(b)
+                .term
+                .map_successors(|t| if t == target { stub } else { t });
+        }
+    }
+
+    // --- 5. Dispatch block. ---
+    let dispatch = f.add_block(format!("region{}_dispatch", region.0));
+    f.block_mut(dispatch).insts.push(Inst::IntrinsicCall {
+        dst: None,
+        intr: Intrinsic::RegionEnter,
+        args: vec![Operand::imm_i(region.0 as i64)],
+    });
+    let up = f.new_reg(Ty::I64);
+    f.block_mut(dispatch).insts.push(Inst::IntrinsicCall {
+        dst: Some(up),
+        intr: Intrinsic::SelectVersion,
+        args: vec![Operand::imm_i(region.0 as i64)],
+    });
+    f.block_mut(dispatch).term = Terminator::CondBr(
+        Operand::Reg(up),
+        pp_map[&cand.target.header],
+        cand.target.header,
+    );
+    redirect_entries(f, &cand.target.blocks, cand.target.header, dispatch);
+    // The PP blocks never branch to the original header; the dispatch
+    // itself was excluded by redirect_entries.
+
+    // --- 6. CP exit stubs. ---
+    let loop_blocks: Vec<BlockId> = cand.target.blocks.iter().copied().collect();
+    for b in loop_blocks {
+        let exits: Vec<BlockId> = f
+            .block(b)
+            .term
+            .successors()
+            .into_iter()
+            .filter(|s| !cand.target.blocks.contains(s))
+            .collect();
+        for target in exits {
+            let stub = f.add_block(format!("region{}_cp_exit", region.0));
+            f.block_mut(stub).insts.push(Inst::IntrinsicCall {
+                dst: None,
+                intr: Intrinsic::RegionExit,
+                args: vec![Operand::imm_i(region.0 as i64)],
+            });
+            f.block_mut(stub).term = Terminator::Br(target);
+            f.block_mut(b)
+                .term
+                .map_successors(|t| if t == target { stub } else { t });
+        }
+    }
+
+    Ok((body_name, param_tys))
+}
+
+/// Emits the recheck loop: drain `next_pending`, re-execute the body with
+/// recorded arguments, exact-compare against memory, majority-vote repair
+/// on mismatch. Returns the head block.
+fn emit_recheck(
+    f: &mut Function,
+    region: RegionId,
+    body_name: &str,
+    param_tys: &[Ty],
+    exit_to: BlockId,
+    pp_set: &mut BTreeSet<BlockId>,
+) -> BlockId {
+    let r = Operand::imm_i(region.0 as i64);
+    let head = f.add_block(format!("region{}_recheck_head", region.0));
+    let body_bb = f.add_block(format!("region{}_recheck_body", region.0));
+    let ok_bb = f.add_block(format!("region{}_recheck_ok", region.0));
+    let fault_bb = f.add_block(format!("region{}_recheck_fault", region.0));
+    for b in [head, body_bb, ok_bb, fault_bb] {
+        pp_set.insert(b);
+    }
+
+    // head:
+    let idx = f.new_reg(Ty::I64);
+    let cnd = f.new_reg(Ty::I64);
+    {
+        let insts = &mut f.block_mut(head).insts;
+        insts.push(Inst::IntrinsicCall {
+            dst: Some(idx),
+            intr: Intrinsic::NextPending,
+            args: vec![r],
+        });
+        insts.push(Inst::Cmp {
+            ty: Ty::I64,
+            op: CmpOp::Lt,
+            dst: cnd,
+            lhs: Operand::Reg(idx),
+            rhs: Operand::imm_i(0),
+        });
+    }
+    f.block_mut(head).term = Terminator::CondBr(Operand::Reg(cnd), exit_to, body_bb);
+
+    // body_bb:
+    let a2 = f.new_reg(Ty::I64);
+    let mut arg_regs: Vec<Reg> = Vec::with_capacity(param_tys.len());
+    for &ty in param_tys {
+        arg_regs.push(f.new_reg(ty));
+    }
+    let v1 = f.new_reg(Ty::F64);
+    let vorig = f.new_reg(Ty::F64);
+    let eq = f.new_reg(Ty::I64);
+    {
+        let mut insts = vec![Inst::IntrinsicCall {
+            dst: Some(a2),
+            intr: Intrinsic::PendingAddr,
+            args: vec![r],
+        }];
+        for (j, (&ty, &reg)) in param_tys.iter().zip(&arg_regs).enumerate() {
+            insts.push(Inst::IntrinsicCall {
+                dst: Some(reg),
+                intr: if ty == Ty::I64 {
+                    Intrinsic::PendingArgI
+                } else {
+                    Intrinsic::PendingArgF
+                },
+                args: vec![r, Operand::imm_i(j as i64)],
+            });
+        }
+        insts.push(Inst::Call {
+            dst: Some(v1),
+            callee: body_name.to_string(),
+            args: arg_regs.iter().map(|&a| Operand::Reg(a)).collect(),
+        });
+        insts.push(Inst::Load {
+            ty: Ty::F64,
+            dst: vorig,
+            addr: Operand::Reg(a2),
+        });
+        insts.push(Inst::Cmp {
+            ty: Ty::F64,
+            op: CmpOp::Eq,
+            dst: eq,
+            lhs: Operand::Reg(v1),
+            rhs: Operand::Reg(vorig),
+        });
+        f.block_mut(body_bb).insts = insts;
+    }
+    f.block_mut(body_bb).term = Terminator::CondBr(Operand::Reg(eq), ok_bb, fault_bb);
+
+    // ok_bb: the re-computation agreed — misprediction only.
+    f.block_mut(ok_bb).insts.push(Inst::IntrinsicCall {
+        dst: None,
+        intr: Intrinsic::ResolveOk,
+        args: vec![r],
+    });
+    f.block_mut(ok_bb).term = Terminator::Br(head);
+
+    // fault_bb: true mismatch — third execution + majority vote.
+    let v2 = f.new_reg(Ty::F64);
+    let eq2 = f.new_reg(Ty::I64);
+    let maj = f.new_reg(Ty::F64);
+    {
+        let mut insts = vec![Inst::Call {
+            dst: Some(v2),
+            callee: body_name.to_string(),
+            args: arg_regs.iter().map(|&a| Operand::Reg(a)).collect(),
+        }];
+        insts.push(Inst::Cmp {
+            ty: Ty::F64,
+            op: CmpOp::Eq,
+            dst: eq2,
+            lhs: Operand::Reg(v1),
+            rhs: Operand::Reg(v2),
+        });
+        insts.push(Inst::Select {
+            ty: Ty::F64,
+            dst: maj,
+            cond: Operand::Reg(eq2),
+            on_true: Operand::Reg(v1),
+            on_false: Operand::Reg(vorig),
+        });
+        insts.push(Inst::Store {
+            ty: Ty::F64,
+            addr: Operand::Reg(a2),
+            value: Operand::Reg(maj),
+        });
+        insts.push(Inst::IntrinsicCall {
+            dst: None,
+            intr: Intrinsic::ResolveFault,
+            args: vec![r],
+        });
+        f.block_mut(fault_bb).insts = insts;
+    }
+    f.block_mut(fault_bb).term = Terminator::Br(head);
+
+    head
+}

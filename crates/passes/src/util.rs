@@ -1,0 +1,197 @@
+//! Shared CFG-surgery helpers: edge redirection, loop cloning, region
+//! markers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rskip_ir::{BlockId, Function, Intrinsic, Module, Operand, RegionId, Terminator};
+
+/// Redirects every edge `pred -> old` where `pred` is outside `loop_blocks`
+/// to `new` (used to funnel loop entries through a dispatch/marker block).
+pub(crate) fn redirect_entries(
+    f: &mut Function,
+    loop_blocks: &BTreeSet<BlockId>,
+    old: BlockId,
+    new: BlockId,
+) {
+    let ids: Vec<BlockId> = f.iter_blocks().map(|(id, _)| id).collect();
+    for id in ids {
+        if loop_blocks.contains(&id) || id == new {
+            continue;
+        }
+        f.block_mut(id).term.map_successors(|t| if t == old { new } else { t });
+    }
+}
+
+/// Clones the blocks of a loop inside the same function. Register space is
+/// shared (only one version executes per region entry); block targets
+/// internal to the loop are remapped to the clones, exit edges are left
+/// pointing at the original targets for the caller to fix up.
+///
+/// Returns the mapping original block → clone.
+pub fn clone_loop_blocks(
+    f: &mut Function,
+    loop_blocks: &BTreeSet<BlockId>,
+    name_suffix: &str,
+) -> BTreeMap<BlockId, BlockId> {
+    let mut map = BTreeMap::new();
+    for &b in loop_blocks {
+        let name = format!("{}{}", f.block(b).name, name_suffix);
+        let nb = f.add_block(name);
+        map.insert(b, nb);
+    }
+    for (&orig, &clone) in &map {
+        let mut block = f.block(orig).clone();
+        block.name = f.block(clone).name.clone();
+        block
+            .term
+            .map_successors(|t| map.get(&t).copied().unwrap_or(t));
+        *f.block_mut(clone) = block;
+    }
+    map
+}
+
+/// Wraps a loop with `region_enter` / `region_exit` markers without
+/// changing its body: entries are funneled through a marker block, every
+/// exit edge through a per-target exit stub.
+///
+/// This is what `Unsafe` and `SwiftR` builds use so that fault injection
+/// covers the same dynamic code ranges as the RSkip build (§7.2).
+pub fn add_region_markers(
+    module: &mut Module,
+    func: &str,
+    loop_blocks: &BTreeSet<BlockId>,
+    header: BlockId,
+    region: RegionId,
+) {
+    let f = module
+        .function_mut(func)
+        .unwrap_or_else(|| panic!("no function @{func}"));
+
+    // Entry marker.
+    let enter = f.add_block(format!("region{}_enter", region.0));
+    f.block_mut(enter).insts.push(rskip_ir::Inst::IntrinsicCall {
+        dst: None,
+        intr: Intrinsic::RegionEnter,
+        args: vec![Operand::imm_i(region.0 as i64)],
+    });
+    f.block_mut(enter).term = Terminator::Br(header);
+    redirect_entries(f, loop_blocks, header, enter);
+
+    // Exit stubs, one per (exiting block, outside target).
+    let exits: Vec<(BlockId, BlockId)> = loop_blocks
+        .iter()
+        .flat_map(|&b| {
+            f.block(b)
+                .term
+                .successors()
+                .into_iter()
+                .filter(|s| !loop_blocks.contains(s))
+                .map(move |s| (b, s))
+        })
+        .collect();
+    for (from, target) in exits {
+        let stub = f.add_block(format!("region{}_exit", region.0));
+        f.block_mut(stub).insts.push(rskip_ir::Inst::IntrinsicCall {
+            dst: None,
+            intr: Intrinsic::RegionExit,
+            args: vec![Operand::imm_i(region.0 as i64)],
+        });
+        f.block_mut(stub).term = Terminator::Br(target);
+        f.block_mut(from)
+            .term
+            .map_successors(|t| if t == target { stub } else { t });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rskip_analysis::{Cfg, DomTree, LoopForest};
+    use rskip_ir::{BinOp, CmpOp, ModuleBuilder, Ty, Value, Verifier};
+    use rskip_exec::{run_simple, Termination};
+
+    fn counted_loop_module() -> rskip_ir::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global_zeroed("out", Ty::I64, 1);
+        let mut f = mb.function("main", vec![], Some(Ty::I64));
+        let entry = f.entry_block();
+        let header = f.new_block("header");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        let acc = f.def_reg(Ty::I64, "acc");
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.mov(acc, Operand::imm_i(0));
+        f.br(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(10));
+        f.cond_br(Operand::reg(c), body, exit);
+        f.switch_to(body);
+        f.bin_into(acc, BinOp::Add, Ty::I64, Operand::reg(acc), Operand::reg(i));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(header);
+        f.switch_to(exit);
+        f.store(Ty::I64, Operand::global(g), Operand::reg(acc));
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+        mb.finish()
+    }
+
+    fn loop_blocks(m: &rskip_ir::Module) -> BTreeSet<BlockId> {
+        let f = m.function("main").unwrap();
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let forest = LoopForest::new(f, &cfg, &dom);
+        forest.loops()[0].blocks.clone()
+    }
+
+    #[test]
+    fn region_markers_preserve_semantics() {
+        let mut m = counted_loop_module();
+        let blocks = loop_blocks(&m);
+        let region = m.new_region();
+        add_region_markers(&mut m, "main", &blocks, BlockId(1), region);
+        Verifier::new(&m).verify().unwrap();
+        let out = run_simple(&m, "main", &[]);
+        assert_eq!(
+            out.termination,
+            Termination::Returned(Some(Value::I(45)))
+        );
+        // Region counters actually engaged.
+        assert!(out.counters.region_retired > 0);
+        assert!(out.counters.region_retired < out.counters.retired);
+    }
+
+    #[test]
+    fn clone_remaps_internal_edges_only() {
+        let mut m = counted_loop_module();
+        let blocks = loop_blocks(&m);
+        let f = m.function_mut("main").unwrap();
+        let n_before = f.blocks.len();
+        let map = clone_loop_blocks(f, &blocks, ".pp");
+        assert_eq!(f.blocks.len(), n_before + blocks.len());
+        // The clone of the header branches to the clone of the body and to
+        // the ORIGINAL exit.
+        let header_clone = map[&BlockId(1)];
+        let succs = f.block(header_clone).term.successors();
+        assert_eq!(succs[0], map[&BlockId(2)]);
+        assert_eq!(succs[1], BlockId(3));
+        // Original blocks untouched.
+        assert_eq!(
+            f.block(BlockId(1)).term.successors(),
+            vec![BlockId(2), BlockId(3)]
+        );
+    }
+
+    #[test]
+    fn cloned_loop_is_unreachable_until_dispatched() {
+        let mut m = counted_loop_module();
+        let blocks = loop_blocks(&m);
+        let f = m.function_mut("main").unwrap();
+        clone_loop_blocks(f, &blocks, ".pp");
+        Verifier::new(&m).verify().unwrap();
+        let out = run_simple(&m, "main", &[]);
+        assert_eq!(out.termination, Termination::Returned(Some(Value::I(45))));
+    }
+}

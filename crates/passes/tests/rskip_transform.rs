@@ -1,0 +1,400 @@
+//! End-to-end tests of the RSkip transform with mock prediction runtimes.
+//!
+//! Two extreme mock runtimes bracket the real one:
+//! * `PendAll` — every observed element immediately fails validation, so
+//!   the recheck loop re-executes the body for every iteration (skip rate
+//!   0). Exercises argument recording/replay and the exact-compare path.
+//! * `SkipAll` — every element is accepted (skip rate 1): the recheck loop
+//!   never runs. The output must still be correct because the PP loop
+//!   stores the originally computed value; predictions only validate.
+
+use std::collections::VecDeque;
+
+use rskip_exec::{ExecConfig, IntrinsicAction, Machine, NoopHooks, RuntimeHooks};
+use rskip_ir::{
+    BinOp, CmpOp, Intrinsic, ModuleBuilder, Operand, Ty, UnOp, Value, Verifier,
+};
+use rskip_passes::{protect, Scheme};
+
+/// Mock runtime that marks every observation pending.
+#[derive(Default)]
+struct PendAll {
+    queue: VecDeque<(i64, i64, Vec<Value>)>,
+    current: Option<(i64, i64, Vec<Value>)>,
+    resolve_ok: u64,
+    resolve_fault: u64,
+    observed: u64,
+}
+
+impl RuntimeHooks for PendAll {
+    fn intrinsic(&mut self, intr: Intrinsic, args: &[Value]) -> IntrinsicAction {
+        match intr {
+            Intrinsic::SelectVersion => IntrinsicAction::value(Value::I(1), 1),
+            Intrinsic::Observe => {
+                self.observed += 1;
+                let iter = args[1].as_i();
+                let addr = args[2].as_i();
+                let rest = args[4..].to_vec();
+                self.queue.push_back((iter, addr, rest));
+                IntrinsicAction::void(2)
+            }
+            Intrinsic::NextPending => match self.queue.pop_front() {
+                Some(e) => {
+                    let iter = e.0;
+                    self.current = Some(e);
+                    IntrinsicAction::value(Value::I(iter), 1)
+                }
+                None => IntrinsicAction::value(Value::I(-1), 1),
+            },
+            Intrinsic::PendingAddr => {
+                let a = self.current.as_ref().expect("current pending").1;
+                IntrinsicAction::value(Value::I(a), 1)
+            }
+            Intrinsic::PendingArgI | Intrinsic::PendingArgF => {
+                let k = args[1].as_i() as usize;
+                let v = self.current.as_ref().expect("current pending").2[k];
+                IntrinsicAction::value(v, 1)
+            }
+            Intrinsic::ResolveOk => {
+                self.resolve_ok += 1;
+                IntrinsicAction::void(1)
+            }
+            Intrinsic::ResolveFault => {
+                self.resolve_fault += 1;
+                IntrinsicAction::void(1)
+            }
+            _ => IntrinsicAction::void(1),
+        }
+    }
+}
+
+/// Mock runtime that accepts everything (pure skip).
+#[derive(Default)]
+struct SkipAll {
+    observed: u64,
+}
+
+impl RuntimeHooks for SkipAll {
+    fn intrinsic(&mut self, intr: Intrinsic, _args: &[Value]) -> IntrinsicAction {
+        match intr {
+            Intrinsic::SelectVersion => IntrinsicAction::value(Value::I(1), 1),
+            Intrinsic::Observe => {
+                self.observed += 1;
+                IntrinsicAction::void(2)
+            }
+            Intrinsic::NextPending => IntrinsicAction::value(Value::I(-1), 1),
+            Intrinsic::PendingAddr | Intrinsic::PendingArgI => {
+                IntrinsicAction::value(Value::I(0), 1)
+            }
+            Intrinsic::PendingArgF => IntrinsicAction::value(Value::F(0.0), 1),
+            _ => IntrinsicAction::void(1),
+        }
+    }
+}
+
+/// conv1d-like module: out[i] = Σ_k g[i+k] * w[k], i in 0..N.
+fn reduction_module(n: i64, k: i64) -> rskip_ir::Module {
+    let mut mb = ModuleBuilder::new("conv");
+    let g = mb.global_init(
+        "g",
+        Ty::F64,
+        (0..(n + k)).map(|v| Value::F((v as f64 * 0.37).sin() + 2.0)).collect(),
+    );
+    let w = mb.global_init(
+        "w",
+        Ty::F64,
+        (0..k).map(|v| Value::F(0.5 + v as f64 * 0.1)).collect(),
+    );
+    let out = mb.global_zeroed("out", Ty::F64, n as usize);
+    let mut f = mb.function("main", vec![], None);
+    let entry = f.entry_block();
+    let oh = f.new_block("oh");
+    let pre = f.new_block("pre");
+    let ih = f.new_block("ih");
+    let ib = f.new_block("ib");
+    let fin = f.new_block("fin");
+    let exit = f.new_block("exit");
+    let i = f.def_reg(Ty::I64, "i");
+    let kk = f.def_reg(Ty::I64, "k");
+    let acc = f.def_reg(Ty::F64, "acc");
+    f.switch_to(entry);
+    f.mov(i, Operand::imm_i(0));
+    f.br(oh);
+    f.switch_to(oh);
+    let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(n));
+    f.cond_br(Operand::reg(c), pre, exit);
+    f.switch_to(pre);
+    f.mov(acc, Operand::imm_f(0.0));
+    f.mov(kk, Operand::imm_i(0));
+    f.br(ih);
+    f.switch_to(ih);
+    let c2 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(kk), Operand::imm_i(k));
+    f.cond_br(Operand::reg(c2), ib, fin);
+    f.switch_to(ib);
+    let gi = f.bin(BinOp::Add, Ty::I64, Operand::reg(i), Operand::reg(kk));
+    let ga = f.bin(BinOp::Add, Ty::I64, Operand::global(g), Operand::reg(gi));
+    let gv = f.load(Ty::F64, Operand::reg(ga));
+    let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(w), Operand::reg(kk));
+    let wv = f.load(Ty::F64, Operand::reg(wa));
+    let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(gv), Operand::reg(wv));
+    f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+    f.bin_into(kk, BinOp::Add, Ty::I64, Operand::reg(kk), Operand::imm_i(1));
+    f.br(ih);
+    f.switch_to(fin);
+    let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
+    f.store(Ty::F64, Operand::reg(oa), Operand::reg(acc));
+    f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+    f.br(oh);
+    f.switch_to(exit);
+    f.ret(None);
+    f.finish();
+    mb.finish()
+}
+
+/// blackscholes-like module: out[i] = price(s[i], t[i]) with an expensive
+/// pure callee.
+fn call_module(n: i64) -> rskip_ir::Module {
+    let mut mb = ModuleBuilder::new("bs");
+    let s = mb.global_init(
+        "s",
+        Ty::F64,
+        (0..n).map(|v| Value::F(20.0 + (v % 16) as f64)).collect(),
+    );
+    let t = mb.global_init(
+        "t",
+        Ty::F64,
+        (0..n).map(|v| Value::F(0.5 + (v % 4) as f64 * 0.25)).collect(),
+    );
+    let out = mb.global_zeroed("out", Ty::F64, n as usize);
+
+    let mut price = mb.function("price", vec![Ty::F64, Ty::F64], Some(Ty::F64));
+    let sp = price.param(0);
+    let tp = price.param(1);
+    let l = price.un(UnOp::Log, Ty::F64, Operand::reg(sp));
+    let sq = price.un(UnOp::Sqrt, Ty::F64, Operand::reg(tp));
+    let d1 = price.bin(BinOp::Div, Ty::F64, Operand::reg(l), Operand::reg(sq));
+    let e = price.un(UnOp::Exp, Ty::F64, Operand::reg(d1));
+    let r = price.bin(BinOp::Div, Ty::F64, Operand::reg(e), Operand::imm_f(7.0));
+    let fin = price.bin(BinOp::Add, Ty::F64, Operand::reg(r), Operand::reg(sp));
+    price.ret(Some(Operand::reg(fin)));
+    price.finish();
+
+    let mut f = mb.function("main", vec![], None);
+    let entry = f.entry_block();
+    let lh = f.new_block("lh");
+    let lb = f.new_block("lb");
+    let exit = f.new_block("exit");
+    let i = f.def_reg(Ty::I64, "i");
+    f.switch_to(entry);
+    f.mov(i, Operand::imm_i(0));
+    f.br(lh);
+    f.switch_to(lh);
+    let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(n));
+    f.cond_br(Operand::reg(c), lb, exit);
+    f.switch_to(lb);
+    let sa = f.bin(BinOp::Add, Ty::I64, Operand::global(s), Operand::reg(i));
+    let sv = f.load(Ty::F64, Operand::reg(sa));
+    let ta = f.bin(BinOp::Add, Ty::I64, Operand::global(t), Operand::reg(i));
+    let tv = f.load(Ty::F64, Operand::reg(ta));
+    let p = f
+        .call("price", vec![Operand::reg(sv), Operand::reg(tv)], Some(Ty::F64))
+        .unwrap();
+    let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
+    f.store(Ty::F64, Operand::reg(oa), Operand::reg(p));
+    f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+    f.br(lh);
+    f.switch_to(exit);
+    f.ret(None);
+    f.finish();
+    mb.finish()
+}
+
+fn golden(m: &rskip_ir::Module) -> Vec<Value> {
+    let mut machine = Machine::new(m, NoopHooks);
+    let out = machine.run("main", &[]);
+    assert!(out.returned(), "golden run failed: {:?}", out.termination);
+    machine.read_global("out").to_vec()
+}
+
+#[test]
+fn rskip_detects_and_transforms_the_reduction_loop() {
+    let m = reduction_module(32, 16);
+    let p = protect(&m, Scheme::RSkip);
+    Verifier::new(&p.module).verify().unwrap();
+    assert_eq!(p.regions.len(), 1);
+    let spec = &p.regions[0];
+    assert!(spec.body_fn.is_some());
+    assert!(!spec.memoizable);
+    // The body function exists and is unprotected.
+    let body = p.module.function(spec.body_fn.as_deref().unwrap()).unwrap();
+    assert!(body.attrs.outlined);
+    assert!(!body.attrs.protect);
+}
+
+#[test]
+fn pp_with_full_recompute_matches_golden() {
+    let m = reduction_module(32, 16);
+    let expect = golden(&m);
+    let p = protect(&m, Scheme::RSkip);
+
+    let mut machine = Machine::new(&p.module, PendAll::default());
+    let out = machine.run("main", &[]);
+    assert!(out.returned(), "{:?}", out.termination);
+    let got = machine.read_global("out").to_vec();
+    assert_eq!(got.len(), expect.len());
+    for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+        assert!(a.bit_eq(*b), "out[{i}]: pp={a:?} golden={b:?}");
+    }
+    // Every element went through the recheck path and re-computed cleanly.
+    let hooks = machine.hooks();
+    assert_eq!(hooks.observed, 32);
+    assert_eq!(hooks.resolve_ok, 32);
+    assert_eq!(hooks.resolve_fault, 0);
+}
+
+#[test]
+fn pp_with_full_skip_matches_golden() {
+    let m = reduction_module(32, 16);
+    let expect = golden(&m);
+    let p = protect(&m, Scheme::RSkip);
+
+    let mut machine = Machine::new(&p.module, SkipAll::default());
+    let out = machine.run("main", &[]);
+    assert!(out.returned(), "{:?}", out.termination);
+    for (i, (a, b)) in machine
+        .read_global("out")
+        .iter()
+        .zip(&expect)
+        .enumerate()
+    {
+        assert!(a.bit_eq(*b), "out[{i}]: pp={a:?} golden={b:?}");
+    }
+    assert_eq!(machine.hooks().observed, 32);
+}
+
+#[test]
+fn skip_path_is_cheaper_than_recompute_path() {
+    let m = reduction_module(32, 16);
+    let p = protect(&m, Scheme::RSkip);
+
+    let mut skip = Machine::new(&p.module, SkipAll::default());
+    let skip_out = skip.run("main", &[]);
+    let mut pend = Machine::new(&p.module, PendAll::default());
+    let pend_out = pend.run("main", &[]);
+    assert!(
+        (skip_out.counters.retired as f64) < 0.8 * pend_out.counters.retired as f64,
+        "skip {} vs recompute {}",
+        skip_out.counters.retired,
+        pend_out.counters.retired
+    );
+}
+
+#[test]
+fn cp_version_still_works() {
+    // NoopHooks select the CP version: the SWIFT-R protected original loop.
+    let m = reduction_module(32, 16);
+    let expect = golden(&m);
+    let p = protect(&m, Scheme::RSkip);
+    let mut machine = Machine::new(&p.module, NoopHooks);
+    let out = machine.run("main", &[]);
+    assert!(out.returned());
+    for (a, b) in machine.read_global("out").iter().zip(&expect) {
+        assert!(a.bit_eq(*b));
+    }
+}
+
+#[test]
+fn call_pattern_transforms_and_matches_golden() {
+    let m = call_module(64);
+    let expect = golden(&m);
+    let p = protect(&m, Scheme::RSkip);
+    Verifier::new(&p.module).verify().unwrap();
+    assert_eq!(p.regions.len(), 1);
+    assert!(p.regions[0].memoizable, "pure 2-arg callee is memoizable");
+    assert_eq!(p.regions[0].param_tys, vec![Ty::F64, Ty::F64]);
+
+    for hooks_kind in 0..2 {
+        if hooks_kind == 0 {
+            let mut machine = Machine::new(&p.module, PendAll::default());
+            machine.run("main", &[]);
+            assert_eq!(machine.hooks().resolve_fault, 0);
+            for (a, b) in machine.read_global("out").iter().zip(&expect) {
+                assert!(a.bit_eq(*b));
+            }
+        } else {
+            let mut machine = Machine::new(&p.module, SkipAll::default());
+            machine.run("main", &[]);
+            for (a, b) in machine.read_global("out").iter().zip(&expect) {
+                assert!(a.bit_eq(*b));
+            }
+        }
+    }
+    // The original callee is still present and protected (CP path uses
+    // it); the body clone is unprotected.
+    let orig = p.module.function("price").unwrap();
+    assert!(orig.attrs.protect);
+    let body = p.module.function(p.regions[0].body_fn.as_deref().unwrap()).unwrap();
+    assert!(!body.attrs.protect);
+}
+
+#[test]
+fn unsafe_and_swift_r_schemes_preserve_semantics() {
+    let m = reduction_module(24, 8);
+    let expect = golden(&m);
+    for scheme in [Scheme::Unsafe, Scheme::Swift, Scheme::SwiftR] {
+        let p = protect(&m, scheme);
+        Verifier::new(&p.module).verify().unwrap();
+        assert_eq!(p.regions.len(), 1, "{scheme}: regions");
+        let mut machine = Machine::new(&p.module, NoopHooks);
+        let out = machine.run("main", &[]);
+        assert!(out.returned(), "{scheme}: {:?}", out.termination);
+        for (a, b) in machine.read_global("out").iter().zip(&expect) {
+            assert!(a.bit_eq(*b), "{scheme}: output mismatch");
+        }
+        // Region markers fire under every scheme.
+        assert!(out.counters.region_retired > 0, "{scheme}");
+    }
+}
+
+#[test]
+fn swift_r_scheme_costs_more_instructions_than_unsafe() {
+    let m = reduction_module(24, 8);
+    let run = |scheme| {
+        let p = protect(&m, scheme);
+        let mut machine = Machine::new(&p.module, NoopHooks);
+        machine.run("main", &[]).counters.retired
+    };
+    let unsafe_n = run(Scheme::Unsafe);
+    let swift_n = run(Scheme::Swift);
+    let swift_r_n = run(Scheme::SwiftR);
+    assert!(swift_n as f64 > 1.7 * unsafe_n as f64);
+    assert!(swift_r_n as f64 > 2.5 * unsafe_n as f64);
+    assert!(swift_r_n > swift_n);
+}
+
+#[test]
+fn pp_with_timing_is_faster_than_swift_r_when_skipping() {
+    let m = reduction_module(64, 24);
+    let config = ExecConfig {
+        timing: Some(rskip_exec::PipelineConfig::default()),
+        ..ExecConfig::default()
+    };
+
+    let p_swift_r = protect(&m, Scheme::SwiftR);
+    let mut sr = Machine::with_config(&p_swift_r.module, NoopHooks, config.clone());
+    let sr_cycles = sr.run("main", &[]).counters.cycles;
+
+    let p_rskip = protect(&m, Scheme::RSkip);
+    let mut pp = Machine::with_config(&p_rskip.module, SkipAll::default(), config.clone());
+    let pp_cycles = pp.run("main", &[]).counters.cycles;
+
+    let mut unprot = Machine::with_config(&m, NoopHooks, config);
+    let base_cycles = unprot.run("main", &[]).counters.cycles;
+
+    let sr_slow = sr_cycles as f64 / base_cycles as f64;
+    let pp_slow = pp_cycles as f64 / base_cycles as f64;
+    assert!(
+        pp_slow < sr_slow,
+        "PP (skip-all) {pp_slow:.2}x vs SWIFT-R {sr_slow:.2}x"
+    );
+}

@@ -1,0 +1,68 @@
+//! # rskip-predict — the prediction models of RSkip
+//!
+//! Pure implementations of the two approximation techniques the paper uses
+//! as predictors (§4):
+//!
+//! * [`DynamicInterpolation`] — the paper's novel trend predictor (Fig. 5):
+//!   loop outputs are sliced into *phases* (consecutive elements covered by
+//!   a single linear equation). A phase extends while the relative slope
+//!   change stays within the tuning parameter (TP) and is cut otherwise;
+//!   at the cut, interior elements are fuzzy-validated against the line
+//!   through the phase endpoints with the acceptable range (AR).
+//! * [`Memoizer`] / [`MemoTrainer`] — approximate memoization (§4.2),
+//!   improving on Paraprox with profile-histogram-driven quantization
+//!   levels and a bit-tuning pass that distributes address bits across
+//!   inputs by output impact.
+//!
+//! The crate is dependency-light and independent of the IR: the runtime
+//! layer (`rskip-runtime`) adapts these models to the execution substrate.
+//!
+//! The [`trend`] module hosts the motivational analyzers behind the paper's
+//! Figure 2 (trend coverage and top-K frequent-value coverage).
+
+#![deny(missing_docs)]
+
+mod interpolation;
+mod memo;
+pub mod trend;
+
+pub use interpolation::{CutResult, DiConfig, DiStats, DynamicInterpolation};
+pub use memo::{MemoConfig, MemoStats, MemoTrainer, Memoizer, Quantizer};
+
+/// Relative difference `|a - b| / max(|b|, eps)` — the fuzzy-validation
+/// metric ("relative difference is used to define acceptable range", §2).
+///
+/// `b` is the reference (the prediction); `eps` guards tiny denominators.
+///
+/// # Example
+///
+/// ```
+/// let d = rskip_predict::relative_difference(11.0, 10.0);
+/// assert!((d - 0.1).abs() < 1e-12);
+/// ```
+pub fn relative_difference(a: f64, b: f64) -> f64 {
+    const EPS: f64 = 1e-12;
+    let denom = b.abs().max(EPS);
+    (a - b).abs() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_difference_basics() {
+        assert_eq!(relative_difference(10.0, 10.0), 0.0);
+        assert!((relative_difference(12.0, 10.0) - 0.2).abs() < 1e-12);
+        assert!((relative_difference(8.0, 10.0) - 0.2).abs() < 1e-12);
+        assert!(relative_difference(0.0, 10.0) > 0.99);
+    }
+
+    #[test]
+    fn relative_difference_near_zero_reference() {
+        // Guarded denominator: no division by zero, huge distance reported.
+        let d = relative_difference(1.0, 0.0);
+        assert!(d.is_finite());
+        assert!(d > 1e6);
+    }
+}

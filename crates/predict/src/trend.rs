@@ -1,0 +1,154 @@
+//! Motivational predictability analyzers (paper §2, Figure 2).
+//!
+//! The paper measures, over major loops of the Rodinia suite, what fraction
+//! of computation outputs could be estimated (a) by a trend model — "data
+//! elements showing less than a certain amount of changes in consecutive
+//! iterations are considered residing in the same trend" — and (b) by a
+//! table of the top 10 most frequent output values. The paper handled
+//! trend outliers "manually" in that experiment; [`trend_coverage`] does it
+//! mechanically with a bounded outlier tolerance.
+
+use std::collections::HashMap;
+
+use crate::relative_difference;
+
+/// Fraction of elements residing in a trend: consecutive relative value
+/// changes at most `threshold`, tolerating up to `outlier_tolerance`
+/// consecutive off-trend elements without breaking the trend (the paper's
+/// manual corner-case handling, done mechanically).
+///
+/// Elements belonging to trends of length ≥ 3 count as covered.
+///
+/// # Example
+///
+/// ```
+/// let ramp: Vec<f64> = (0..100).map(|k| 50.0 + k as f64).collect();
+/// let c = rskip_predict::trend::trend_coverage(&ramp, 0.1, 1);
+/// assert!(c > 0.9);
+/// ```
+pub fn trend_coverage(values: &[f64], threshold: f64, outlier_tolerance: usize) -> f64 {
+    if values.len() < 3 {
+        return 0.0;
+    }
+    let mut covered = 0usize;
+    let mut run_len = 1usize;
+    let mut outliers_in_row = 0usize;
+    let mut last_on_trend = values[0];
+
+    let close_run = |run_len: usize, covered: &mut usize| {
+        if run_len >= 3 {
+            *covered += run_len;
+        }
+    };
+
+    for &v in &values[1..] {
+        if relative_difference(v, last_on_trend) <= threshold {
+            run_len += 1 + outliers_in_row.min(1); // absorbed outlier rejoins
+            outliers_in_row = 0;
+            last_on_trend = v;
+        } else if outliers_in_row < outlier_tolerance {
+            outliers_in_row += 1; // skip, stay in trend
+        } else {
+            close_run(run_len, &mut covered);
+            run_len = 1;
+            outliers_in_row = 0;
+            last_on_trend = v;
+        }
+    }
+    close_run(run_len, &mut covered);
+    covered.min(values.len()) as f64 / values.len() as f64
+}
+
+/// Fraction of elements whose value matches one of the `k` most frequent
+/// values within relative difference `ar`.
+///
+/// Frequencies are counted over buckets of ~4 significant decimal digits so
+/// that floating-point outputs that "repeat" up to rounding are grouped, as
+/// in the paper's observation that "there may exist many repeating outputs"
+/// (§2).
+pub fn top_k_coverage(values: &[f64], k: usize, ar: f64) -> f64 {
+    if values.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut counts: HashMap<u64, (u64, f64)> = HashMap::new();
+    for &v in values {
+        let key = bucket(v);
+        let e = counts.entry(key).or_insert((0, v));
+        e.0 += 1;
+    }
+    let mut freq: Vec<(u64, f64)> = counts.into_values().collect();
+    freq.sort_by_key(|&(count, _)| std::cmp::Reverse(count));
+    let top: Vec<f64> = freq.iter().take(k).map(|&(_, v)| v).collect();
+
+    let covered = values
+        .iter()
+        .filter(|&&v| top.iter().any(|&t| relative_difference(v, t) <= ar))
+        .count();
+    covered as f64 / values.len() as f64
+}
+
+/// Rounds to ~4 significant digits for frequency bucketing.
+fn bucket(v: f64) -> u64 {
+    if v == 0.0 || !v.is_finite() {
+        return v.to_bits();
+    }
+    let mag = v.abs().log10().floor();
+    let scale = 10f64.powf(3.0 - mag);
+    ((v * scale).round() / scale).to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_ramp_is_fully_trend_covered() {
+        let values: Vec<f64> = (0..200).map(|k| 100.0 + k as f64 * 0.5).collect();
+        assert!(trend_coverage(&values, 0.05, 0) > 0.95);
+    }
+
+    #[test]
+    fn white_noise_has_low_trend_coverage() {
+        // Deterministic "noise" jumping across two decades.
+        let values: Vec<f64> = (0..200)
+            .map(|k| if k % 2 == 0 { 1.0 } else { 100.0 })
+            .collect();
+        assert!(trend_coverage(&values, 0.1, 0) < 0.1);
+    }
+
+    #[test]
+    fn outlier_tolerance_bridges_single_spikes() {
+        let mut values: Vec<f64> = (0..100).map(|k| 50.0 + k as f64 * 0.1).collect();
+        values[50] = 5000.0;
+        let strict = trend_coverage(&values, 0.05, 0);
+        let tolerant = trend_coverage(&values, 0.05, 1);
+        assert!(tolerant > strict);
+        assert!(tolerant > 0.9);
+    }
+
+    #[test]
+    fn repeated_values_are_top_k_covered() {
+        let values: Vec<f64> = (0..300).map(|k| (k % 5) as f64).collect();
+        assert!(top_k_coverage(&values, 5, 0.01) > 0.99);
+        assert!(top_k_coverage(&values, 2, 0.01) < 0.5);
+    }
+
+    #[test]
+    fn distinct_values_are_not_top_k_covered() {
+        let values: Vec<f64> = (0..300).map(|k| k as f64 * 17.77).collect();
+        assert!(top_k_coverage(&values, 10, 0.001) < 0.15);
+    }
+
+    #[test]
+    fn short_inputs() {
+        assert_eq!(trend_coverage(&[], 0.1, 0), 0.0);
+        assert_eq!(trend_coverage(&[1.0, 2.0], 0.1, 0), 0.0);
+        assert_eq!(top_k_coverage(&[], 10, 0.1), 0.0);
+    }
+
+    #[test]
+    fn bucket_groups_near_equal_floats() {
+        assert_eq!(bucket(1.00001), bucket(1.00004));
+        assert_ne!(bucket(1.0), bucket(2.0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests over the prediction models.
+
+use proptest::prelude::*;
+use rskip_predict::{
+    relative_difference, DiConfig, DynamicInterpolation, MemoConfig, MemoTrainer, Quantizer,
+};
+
+fn value_stream() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every observed element is classified exactly once — accepted or
+    /// pending — no matter the stream, TP or AR.
+    #[test]
+    fn di_partitions_every_stream(
+        values in value_stream(),
+        tp in 0.0f64..10.0,
+        ar in 0.0f64..2.0,
+    ) {
+        let mut di = DynamicInterpolation::new(DiConfig { tp, ar });
+        let mut accepted = Vec::new();
+        let mut pending = Vec::new();
+        for &v in &values {
+            if let Some(cut) = di.observe(v) {
+                accepted.extend(cut.accepted);
+                pending.extend(cut.pending);
+            }
+        }
+        if let Some(fin) = di.flush() {
+            accepted.extend(fin.accepted);
+            pending.extend(fin.pending);
+        }
+        let mut all: Vec<u64> = accepted.iter().chain(pending.iter()).copied().collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..values.len() as u64).collect();
+        prop_assert_eq!(all, expect);
+
+        let stats = di.stats();
+        prop_assert_eq!(stats.observed, values.len() as u64);
+        prop_assert_eq!(stats.accepted, accepted.len() as u64);
+        prop_assert_eq!(
+            stats.endpoints + stats.rejected,
+            pending.len() as u64
+        );
+    }
+
+    /// Accepted elements really are within AR of the endpoint line: replay
+    /// the classification against a from-scratch linear check.
+    #[test]
+    fn di_accepted_elements_satisfy_the_acceptable_range(
+        values in prop::collection::vec(1.0f64..1e4, 3..200),
+        tp in 0.01f64..5.0,
+        ar in 0.0f64..1.0,
+    ) {
+        let mut di = DynamicInterpolation::new(DiConfig { tp, ar });
+        let mut cuts = Vec::new();
+        for &v in &values {
+            if let Some(cut) = di.observe(v) {
+                cuts.push(cut);
+            }
+        }
+        if let Some(fin) = di.flush() {
+            cuts.push(fin);
+        }
+        // Reconstruct each phase's endpoints: the last endpoint is the
+        // cut's maximum id (always pending); the first endpoint is the
+        // previous phase's last endpoint (shared, already pended there) or,
+        // for the first phase, the cut's minimum id.
+        let mut prev_hi: Option<u64> = None;
+        for cut in &cuts {
+            let hi = match cut.pending.iter().chain(cut.accepted.iter()).max() {
+                Some(&h) => h,
+                None => continue,
+            };
+            let lo = prev_hi.unwrap_or_else(|| {
+                *cut.pending
+                    .iter()
+                    .chain(cut.accepted.iter())
+                    .min()
+                    .expect("nonempty cut")
+            });
+            prev_hi = Some(hi);
+            if lo >= hi {
+                continue;
+            }
+            let (v_lo, v_hi) = (values[lo as usize], values[hi as usize]);
+            for &s in &cut.accepted {
+                prop_assert!(s > lo && s < hi, "accepted element {s} outside ({lo}, {hi})");
+                let t = (s - lo) as f64 / (hi - lo) as f64;
+                let pred = v_lo + (v_hi - v_lo) * t;
+                let diff = relative_difference(values[s as usize], pred);
+                prop_assert!(
+                    diff <= ar + 1e-9,
+                    "accepted element {s} off the line: diff {diff} > ar {ar}"
+                );
+            }
+        }
+    }
+
+    /// Quantizer levels are monotone in the input and stay in range.
+    #[test]
+    fn quantizer_is_monotone_and_in_range(
+        samples in prop::collection::vec(-1e5f64..1e5, 2..500),
+        levels_pow in 1u32..6,
+        probes in prop::collection::vec(-2e5f64..2e5, 1..50),
+    ) {
+        let levels = 1usize << levels_pow;
+        let q = Quantizer::from_samples(&samples, levels, 64);
+        prop_assert!(q.levels() <= levels);
+        let mut sorted = probes.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = 0usize;
+        for (i, &x) in sorted.iter().enumerate() {
+            let l = q.level(x);
+            prop_assert!(l < q.levels());
+            if i > 0 {
+                prop_assert!(l >= prev, "levels must be monotone");
+            }
+            prev = l;
+        }
+    }
+
+    /// Memoizer predictions for trained samples reproduce a cell mean: the
+    /// prediction must lie within the min/max of the outputs that share the
+    /// cell — checked indirectly: predicting a trained input never misses
+    /// and is within the global output range.
+    #[test]
+    fn memoizer_predicts_within_training_range(
+        raw in prop::collection::vec((0.0f64..100.0, 0.0f64..10.0), 16..300),
+        bits in 4u32..10,
+    ) {
+        let mut trainer = MemoTrainer::new(2);
+        for (x, y) in &raw {
+            trainer.add_sample(&[*x, *y], x * 2.0 + y);
+        }
+        let cfg = MemoConfig { table_bits: bits.max(2), hist_bins: 32 };
+        let memo = trainer.build_with_bits(&[bits.max(2) / 2, bits.max(2) - bits.max(2) / 2], &cfg);
+        let lo = raw.iter().map(|(x, y)| x * 2.0 + y).fold(f64::INFINITY, f64::min);
+        let hi = raw.iter().map(|(x, y)| x * 2.0 + y).fold(f64::NEG_INFINITY, f64::max);
+        for (x, y) in raw.iter().take(50) {
+            let p = memo.predict_quiet(&[*x, *y]);
+            prop_assert!(p.is_some(), "trained input must hit a populated cell");
+            let p = p.unwrap();
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "prediction {p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// TP monotonicity: raising TP never increases the number of phases.
+    #[test]
+    fn di_phase_count_is_monotone_in_tp(values in prop::collection::vec(0.1f64..1e3, 10..300)) {
+        let phases = |tp: f64| {
+            let mut di = DynamicInterpolation::new(DiConfig { tp, ar: 0.5 });
+            for &v in &values {
+                di.observe(v);
+            }
+            di.flush();
+            di.stats().phases
+        };
+        let low = phases(0.05);
+        let mid = phases(0.5);
+        let high = phases(50.0);
+        prop_assert!(low >= mid, "phases(tp=0.05)={low} < phases(tp=0.5)={mid}");
+        prop_assert!(mid >= high, "phases(tp=0.5)={mid} < phases(tp=50)={high}");
+    }
+}

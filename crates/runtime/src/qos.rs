@@ -1,0 +1,74 @@
+//! The QoS model: a trained `(signature → tuning parameter)` table
+//! (paper §5–§6).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A trained QoS table for one region's dynamic interpolation.
+///
+/// "Once the best parameter is identified, RSkip builds a QoS model which
+/// includes a table containing (signature, best parameter) pairs. Later at
+/// runtime, RSkip simply references this table and loads the learned
+/// parameter when a signature is found. Otherwise, we keep the previous
+/// tuning parameter." (§6)
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QosTable {
+    entries: BTreeMap<String, f64>,
+}
+
+impl QosTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the best TP for a signature.
+    pub fn insert(&mut self, signature: impl Into<String>, tp: f64) {
+        self.entries.insert(signature.into(), tp);
+    }
+
+    /// Looks a signature up; `None` means "keep the previous TP".
+    pub fn lookup(&self, signature: &str) -> Option<f64> {
+        self.entries.get(signature).copied()
+    }
+
+    /// Number of learned signatures.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was learned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(signature, tp)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(s, &tp)| (s.as_str(), tp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_miss_means_keep_previous() {
+        let mut t = QosTable::new();
+        t.insert("312", 0.8);
+        assert_eq!(t.lookup("312"), Some(0.8));
+        assert_eq!(t.lookup("123"), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let mut t = QosTable::new();
+        t.insert("312", 0.8);
+        t.insert("123", 0.1);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: QosTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,470 @@
+//! Per-region prediction state.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rskip_ir::Value;
+use rskip_predict::{relative_difference, DiConfig, DynamicInterpolation, Memoizer};
+
+use crate::costs;
+use crate::qos::QosTable;
+use crate::signature::{signature, DEFAULT_EDGES};
+
+/// Aggregate per-region counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Loop outputs observed.
+    pub elements: u64,
+    /// Elements accepted by dynamic interpolation (re-computation
+    /// skipped).
+    pub skipped_di: u64,
+    /// Elements accepted by approximate memoization (second level).
+    pub skipped_memo: u64,
+    /// Elements handed to the recheck loop.
+    pub recomputed: u64,
+    /// Re-computations that matched (mispredictions — run-time overhead,
+    /// not incorrect output).
+    pub mispredictions: u64,
+    /// Re-computations that mismatched: faults detected and recovered.
+    pub faults_recovered: u64,
+    /// Memoization attempts.
+    pub memo_attempts: u64,
+    /// TP adjustments performed by run-time management.
+    pub tp_adjustments: u64,
+    /// Region entries.
+    pub entries: u64,
+}
+
+impl RegionStats {
+    /// The paper's skip rate: skipped / observed.
+    pub fn skip_rate(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            (self.skipped_di + self.skipped_memo) as f64 / self.elements as f64
+        }
+    }
+
+    /// Share of the skip rate contributed by the first-level predictor
+    /// (Fig. 8a's DI-only series).
+    pub fn di_skip_rate(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.skipped_di as f64 / self.elements as f64
+        }
+    }
+}
+
+/// One recorded observation awaiting classification or re-computation.
+#[derive(Clone, Debug)]
+struct Obs {
+    iter: i64,
+    addr: i64,
+    value: f64,
+    args: Vec<Value>,
+}
+
+/// The runtime state of one protected region.
+#[derive(Clone, Debug)]
+pub struct RegionState {
+    di: DynamicInterpolation,
+    memo: Option<Memoizer>,
+    di_enabled: bool,
+    memo_enabled: bool,
+    /// Acceptable range for the memoization fuzzy validation (same AR as
+    /// the interpolation's).
+    ar: f64,
+    /// Whether the transform built a PP version for this region.
+    has_body: bool,
+    buffer: BTreeMap<u64, Obs>,
+    pending: VecDeque<Obs>,
+    current: Option<Obs>,
+    seq: u64,
+    qos: QosTable,
+    tick_period: u64,
+    since_tick: u64,
+    stats: RegionStats,
+    /// Observation threshold after which poor DI performance disables it.
+    disable_check_at: u64,
+}
+
+impl RegionState {
+    /// Creates region state with the given predictor configuration.
+    pub fn new(di_config: DiConfig, has_body: bool, tick_period: u64) -> Self {
+        RegionState {
+            ar: di_config.ar,
+            di: DynamicInterpolation::new(di_config),
+            memo: None,
+            di_enabled: true,
+            memo_enabled: false,
+            has_body,
+            buffer: BTreeMap::new(),
+            pending: VecDeque::new(),
+            current: None,
+            seq: 0,
+            qos: QosTable::new(),
+            tick_period,
+            since_tick: 0,
+            stats: RegionStats::default(),
+            disable_check_at: 4096,
+        }
+    }
+
+    /// Installs a trained memoizer (second-level predictor).
+    pub fn set_memoizer(&mut self, memo: Memoizer) {
+        self.memo = Some(memo);
+        self.memo_enabled = true;
+    }
+
+    /// Installs a trained QoS table and starting TP.
+    pub fn set_qos(&mut self, qos: QosTable, default_tp: f64) {
+        self.qos = qos;
+        self.di.set_tp(default_tp);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RegionStats {
+        self.stats
+    }
+
+    /// Whether the PP version is worth selecting.
+    pub fn pp_useful(&self) -> bool {
+        self.has_body && (self.di_enabled || self.memo_enabled)
+    }
+
+    /// Whether dynamic interpolation is still enabled.
+    pub fn di_enabled(&self) -> bool {
+        self.di_enabled
+    }
+
+    /// Disables dynamic interpolation (every element falls through to the
+    /// second-level predictor or re-computation). Exposed for ablations.
+    pub fn disable_di(&mut self) {
+        self.di_enabled = false;
+    }
+
+    /// Region entry: fresh numbering (the previous exit flushed state).
+    pub fn enter(&mut self) -> u64 {
+        self.stats.entries += 1;
+        self.seq = 0;
+        self.di.reset();
+        debug_assert!(self.buffer.is_empty(), "unflushed observations");
+        costs::REGION_ENTER
+    }
+
+    /// Region exit: flush the open phase; its classification lands in the
+    /// pending queue / skip counters exactly like a normal cut.
+    pub fn exit(&mut self) -> u64 {
+        let mut cost = costs::REGION_EXIT;
+        if let Some(cut) = self.di.flush() {
+            cost += self.process_cut(cut.accepted, cut.pending);
+        }
+        // Anything still buffered (DI disabled path) goes pending.
+        let rest: Vec<u64> = self.buffer.keys().copied().collect();
+        cost += self.process_cut(Vec::new(), rest);
+        cost
+    }
+
+    /// One loop output: returns the modeled cost.
+    pub fn observe(&mut self, iter: i64, addr: i64, value: Value, args: &[Value]) -> u64 {
+        let v = match value {
+            Value::F(v) => v,
+            Value::I(v) => v as f64,
+        };
+        let mut cost = costs::OBSERVE_BASE + costs::OBSERVE_PER_ARG * args.len() as u64;
+        self.stats.elements += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        self.buffer.insert(
+            seq,
+            Obs {
+                iter,
+                addr,
+                value: v,
+                args: args.to_vec(),
+            },
+        );
+
+        if self.di_enabled {
+            if let Some(cut) = self.di.observe(v) {
+                cost += self.process_cut(cut.accepted, cut.pending);
+            }
+        } else {
+            // Without the first-level predictor every element goes to the
+            // second level immediately.
+            cost += self.process_cut(Vec::new(), vec![seq]);
+        }
+
+        // Periodic run-time management (§5).
+        self.since_tick += 1;
+        if self.since_tick >= self.tick_period {
+            self.since_tick = 0;
+            cost += self.tick();
+        }
+        cost
+    }
+
+    /// Classifies elements after a phase cut: accepted skip; rejected try
+    /// memoization; leftovers become pending re-computations.
+    fn process_cut(&mut self, accepted: Vec<u64>, rejected: Vec<u64>) -> u64 {
+        let mut cost = costs::CUT_PER_ELEMENT * (accepted.len() + rejected.len()) as u64;
+        for seq in accepted {
+            if self.buffer.remove(&seq).is_some() {
+                self.stats.skipped_di += 1;
+            }
+        }
+        for seq in rejected {
+            let Some(obs) = self.buffer.remove(&seq) else {
+                continue;
+            };
+            if self.memo_enabled {
+                if let Some(memo) = self.memo.as_mut() {
+                    self.stats.memo_attempts += 1;
+                    cost += costs::MEMO_BASE + costs::MEMO_PER_INPUT * obs.args.len() as u64;
+                    let inputs: Vec<f64> = obs
+                        .args
+                        .iter()
+                        .map(|a| match a {
+                            Value::F(v) => *v,
+                            Value::I(v) => *v as f64,
+                        })
+                        .collect();
+                    if let Some(pred) = memo.predict(&inputs) {
+                        if relative_difference(obs.value, pred) <= self.ar {
+                            self.stats.skipped_memo += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            self.stats.recomputed += 1;
+            self.pending.push_back(obs);
+        }
+        cost
+    }
+
+    /// Pops the next pending re-computation; `-1` when drained.
+    pub fn next_pending(&mut self) -> (i64, u64) {
+        match self.pending.pop_front() {
+            Some(obs) => {
+                let iter = obs.iter;
+                self.current = Some(obs);
+                (iter, costs::NEXT_PENDING)
+            }
+            None => (-1, costs::NEXT_PENDING),
+        }
+    }
+
+    /// Address of the current pending element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding successful
+    /// [`next_pending`](Self::next_pending) — transformed code never does.
+    pub fn pending_addr(&self) -> (i64, u64) {
+        (
+            self.current.as_ref().expect("pending element").addr,
+            costs::PENDING_FIELD,
+        )
+    }
+
+    /// The `k`-th recorded argument of the current pending element.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a current pending element or on a bad index.
+    pub fn pending_arg(&self, k: usize) -> (Value, u64) {
+        (
+            self.current.as_ref().expect("pending element").args[k],
+            costs::PENDING_FIELD,
+        )
+    }
+
+    /// Re-computation matched: misprediction only.
+    pub fn resolve_ok(&mut self) -> u64 {
+        self.stats.mispredictions += 1;
+        costs::RESOLVE
+    }
+
+    /// Re-computation mismatched: a fault was detected and recovered.
+    pub fn resolve_fault(&mut self) -> u64 {
+        self.stats.faults_recovered += 1;
+        costs::RESOLVE
+    }
+
+    /// Periodic observation/adjustment (Fig. 6): regenerate the context
+    /// signature, look the TP up, keep the previous TP on a miss; check
+    /// the disable conditions.
+    fn tick(&mut self) -> u64 {
+        let changes = self.di.take_slope_changes();
+        if !changes.is_empty() && !self.qos.is_empty() {
+            let sig = signature(&changes, &DEFAULT_EDGES);
+            if let Some(tp) = self.qos.lookup(&sig) {
+                if (tp - self.di.config().tp).abs() > f64::EPSILON {
+                    self.di.set_tp(tp);
+                    self.stats.tp_adjustments += 1;
+                }
+            }
+        }
+        // Disable DI at persistently poor accuracy (§5; the paper never
+        // observed this in its benchmarks, and neither do ours in
+        // practice).
+        if self.di_enabled && self.stats.elements >= self.disable_check_at {
+            if self.stats.di_skip_rate() < 0.02 {
+                self.di_enabled = false;
+            }
+            self.disable_check_at *= 4;
+        }
+        // Disable memoization at poor run-time accuracy.
+        if self.memo_enabled && self.stats.memo_attempts >= 512 {
+            let hit_rate = self.stats.skipped_memo as f64 / self.stats.memo_attempts as f64;
+            if hit_rate < 0.05 {
+                self.memo_enabled = false;
+            }
+        }
+        costs::SIG_TICK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs_loop(state: &mut RegionState, values: &[f64]) -> u64 {
+        let mut cost = state.enter();
+        for (i, &v) in values.iter().enumerate() {
+            cost += state.observe(i as i64, 100 + i as i64, Value::F(v), &[Value::I(i as i64)]);
+        }
+        cost += state.exit();
+        cost
+    }
+
+    #[test]
+    fn smooth_ramp_mostly_skips() {
+        let mut state = RegionState::new(DiConfig { tp: 0.3, ar: 0.2 }, true, 64);
+        let values: Vec<f64> = (0..200).map(|k| 10.0 + k as f64 * 0.5).collect();
+        obs_loop(&mut state, &values);
+        let stats = state.stats();
+        assert_eq!(stats.elements, 200);
+        assert!(stats.skip_rate() > 0.9, "skip rate {}", stats.skip_rate());
+        // Endpoints pend.
+        assert!(stats.recomputed >= 2);
+    }
+
+    #[test]
+    fn pending_queue_replays_recorded_fields() {
+        let mut state = RegionState::new(DiConfig { tp: 0.1, ar: 0.1 }, true, 64);
+        state.enter();
+        state.observe(7, 42, Value::F(1.0), &[Value::F(3.5), Value::I(9)]);
+        state.exit(); // single element: pending
+        let (iter, _) = state.next_pending();
+        assert_eq!(iter, 7);
+        assert_eq!(state.pending_addr().0, 42);
+        assert_eq!(state.pending_arg(0).0, Value::F(3.5));
+        assert_eq!(state.pending_arg(1).0, Value::I(9));
+        assert_eq!(state.next_pending().0, -1);
+    }
+
+    #[test]
+    fn every_element_is_skipped_or_pending() {
+        let mut state = RegionState::new(DiConfig { tp: 0.4, ar: 0.3 }, true, 32);
+        let values: Vec<f64> = (0..300).map(|k| (k as f64 * 0.21).sin() * 4.0 + 9.0).collect();
+        state.enter();
+        for (i, &v) in values.iter().enumerate() {
+            state.observe(i as i64, i as i64, Value::F(v), &[]);
+        }
+        state.exit();
+        let mut drained = 0;
+        while state.next_pending().0 >= 0 {
+            drained += 1;
+        }
+        let stats = state.stats();
+        assert_eq!(stats.skipped_di + stats.skipped_memo + drained, 300);
+        assert_eq!(stats.recomputed, drained);
+    }
+
+    #[test]
+    fn memoizer_second_level_catches_di_rejects() {
+        // Alternating values defeat interpolation; a memo keyed on the
+        // (single) argument predicts them exactly.
+        let mut trainer = rskip_predict::MemoTrainer::new(1);
+        for i in 0..1000 {
+            let x = (i % 2) as f64;
+            trainer.add_sample(&[x], 5.0 + x * 100.0);
+        }
+        let memo = trainer.build(&rskip_predict::MemoConfig {
+            table_bits: 6,
+            hist_bins: 32,
+        });
+        let mut state = RegionState::new(DiConfig { tp: 0.2, ar: 0.1 }, true, 64);
+        state.set_memoizer(memo);
+
+        state.enter();
+        for i in 0..200i64 {
+            let x = (i % 2) as f64;
+            state.observe(i, i, Value::F(5.0 + x * 100.0), &[Value::F(x)]);
+        }
+        state.exit();
+        let stats = state.stats();
+        assert!(
+            stats.skipped_memo > 100,
+            "memo skips: {} (attempts {})",
+            stats.skipped_memo,
+            stats.memo_attempts
+        );
+        assert!(stats.skip_rate() > 0.5);
+    }
+
+    #[test]
+    fn qos_adjusts_tp_on_signature_match() {
+        let mut state = RegionState::new(DiConfig { tp: 0.1, ar: 0.2 }, true, 16);
+        let mut qos = QosTable::new();
+        // Whatever signature a smooth ramp produces, map it to TP=0.9.
+        for sig in ["123", "132", "213", "231", "312", "321", "125", "124"] {
+            qos.insert(sig, 0.9);
+        }
+        state.set_qos(qos, 0.1);
+        let values: Vec<f64> = (0..100).map(|k| k as f64).collect();
+        obs_loop(&mut state, &values);
+        assert!(state.stats().tp_adjustments > 0);
+    }
+
+    #[test]
+    fn disabled_di_sends_everything_to_pending() {
+        let mut state = RegionState::new(DiConfig { tp: 0.5, ar: 0.2 }, true, 64);
+        state.disable_di();
+        state.enter();
+        for i in 0..50i64 {
+            state.observe(i, i, Value::F(i as f64), &[]);
+        }
+        state.exit();
+        assert_eq!(state.stats().recomputed, 50);
+        assert_eq!(state.stats().skip_rate(), 0.0);
+        assert!(!state.pp_useful() || state.memo.is_some());
+    }
+
+    #[test]
+    fn resolve_counters() {
+        let mut state = RegionState::new(DiConfig::default(), true, 64);
+        state.resolve_ok();
+        state.resolve_ok();
+        state.resolve_fault();
+        assert_eq!(state.stats().mispredictions, 2);
+        assert_eq!(state.stats().faults_recovered, 1);
+    }
+
+    #[test]
+    fn reentry_restarts_numbering() {
+        let mut state = RegionState::new(DiConfig { tp: 0.3, ar: 0.2 }, true, 64);
+        for _ in 0..3 {
+            state.enter();
+            for i in 0..20i64 {
+                state.observe(i, i, Value::F(i as f64), &[]);
+            }
+            state.exit();
+        }
+        while state.next_pending().0 >= 0 {}
+        assert_eq!(state.stats().entries, 3);
+        assert_eq!(state.stats().elements, 60);
+    }
+}

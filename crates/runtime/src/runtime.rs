@@ -1,0 +1,383 @@
+//! The intrinsic handler wiring region state to the execution substrate.
+
+use rskip_exec::{IntrinsicAction, RuntimeHooks};
+use rskip_ir::{Intrinsic, Value};
+use rskip_predict::DiConfig;
+
+use crate::costs;
+use crate::region::{RegionState, RegionStats};
+use crate::train::TrainedModel;
+
+/// Deployment-time configuration of the prediction runtime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RuntimeConfig {
+    /// Acceptable range for fuzzy validation (the paper evaluates 0.2,
+    /// 0.5, 0.8 and 1.0 as AR20..AR100).
+    pub acceptable_range: f64,
+    /// Starting tuning parameter before any QoS adjustment.
+    pub default_tp: f64,
+    /// Observation period of run-time management (Fig. 6's
+    /// observe/adjust cadence).
+    pub tick: u64,
+    /// Master switch for the PP versions (false forces CP everywhere —
+    /// useful for A/B measurements on the same binary, like the paper's
+    /// run-time management does when PP has no expected benefit).
+    pub enable_pp: bool,
+    /// Enable the first-level predictor.
+    pub enable_di: bool,
+    /// Enable the second-level predictor where a memoizer is installed.
+    pub enable_memo: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            acceptable_range: 0.2,
+            default_tp: 0.5,
+            tick: 256,
+            enable_pp: true,
+            enable_di: true,
+            enable_memo: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Convenience constructor for the paper's AR settings (`0.2` = AR20).
+    pub fn with_ar(acceptable_range: f64) -> Self {
+        RuntimeConfig {
+            acceptable_range,
+            ..Self::default()
+        }
+    }
+}
+
+/// Region metadata the runtime needs (a scheme-agnostic mirror of the
+/// pass driver's `RegionSpec`, so this crate does not depend on
+/// `rskip-passes`).
+#[derive(Clone, Debug)]
+pub struct RegionInit {
+    /// Region id.
+    pub region: u32,
+    /// Whether a PP body exists.
+    pub has_body: bool,
+    /// Whether approximate memoization may be deployed.
+    pub memoizable: bool,
+    /// Per-loop acceptable-range override (pragma).
+    pub acceptable_range: Option<f64>,
+}
+
+/// The RSkip prediction runtime: implements the `rskip.*` intrinsics over
+/// per-region [`RegionState`].
+///
+/// # Example
+///
+/// ```
+/// use rskip_runtime::{PredictionRuntime, RuntimeConfig};
+/// use rskip_runtime::RegionInit;
+///
+/// let regions = vec![RegionInit {
+///     region: 0,
+///     has_body: true,
+///     memoizable: false,
+///     acceptable_range: None,
+/// }];
+/// let rt = PredictionRuntime::new(&regions, RuntimeConfig::with_ar(0.2));
+/// assert_eq!(rt.stats(0).elements, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PredictionRuntime {
+    regions: Vec<RegionState>,
+    inits: Vec<RegionInit>,
+    config: RuntimeConfig,
+}
+
+impl PredictionRuntime {
+    /// Creates an untrained runtime (no QoS table, no memoizer).
+    pub fn new(regions: &[RegionInit], config: RuntimeConfig) -> Self {
+        let max_id = regions.iter().map(|r| r.region).max().map_or(0, |m| m + 1);
+        let mut states = Vec::with_capacity(max_id as usize);
+        let mut inits = Vec::with_capacity(max_id as usize);
+        for id in 0..max_id {
+            let init = regions
+                .iter()
+                .find(|r| r.region == id)
+                .cloned()
+                .unwrap_or(RegionInit {
+                    region: id,
+                    has_body: false,
+                    memoizable: false,
+                    acceptable_range: None,
+                });
+            let ar = init.acceptable_range.unwrap_or(config.acceptable_range);
+            let mut state = RegionState::new(
+                DiConfig {
+                    tp: config.default_tp,
+                    ar,
+                },
+                init.has_body,
+                config.tick,
+            );
+            if !config.enable_di {
+                state.disable_di();
+            }
+            states.push(state);
+            inits.push(init);
+        }
+        PredictionRuntime {
+            regions: states,
+            inits,
+            config,
+        }
+    }
+
+    /// Creates a runtime and installs a trained model (QoS tables and
+    /// memoizers).
+    pub fn with_model(
+        regions: &[RegionInit],
+        config: RuntimeConfig,
+        model: &TrainedModel,
+    ) -> Self {
+        let mut rt = Self::new(regions, config);
+        for (id, rm) in &model.regions {
+            let Some(state) = rt.regions.get_mut(*id as usize) else {
+                continue;
+            };
+            state.set_qos(rm.qos.clone(), rm.default_tp);
+            if config.enable_memo {
+                if let Some(memo) = &rm.memo {
+                    let memoizable = rt
+                        .inits
+                        .get(*id as usize)
+                        .map(|i| i.memoizable)
+                        .unwrap_or(false);
+                    if memoizable {
+                        state.set_memoizer(memo.clone());
+                    }
+                }
+            }
+        }
+        rt
+    }
+
+    /// Counters for one region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region id is out of range.
+    pub fn stats(&self, region: u32) -> RegionStats {
+        self.regions[region as usize].stats()
+    }
+
+    /// Aggregate skip rate over all regions (the paper's per-benchmark
+    /// metric; our workloads have one region each).
+    pub fn total_skip_rate(&self) -> f64 {
+        let (mut skipped, mut total) = (0u64, 0u64);
+        for r in &self.regions {
+            let s = r.stats();
+            skipped += s.skipped_di + s.skipped_memo;
+            total += s.elements;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            skipped as f64 / total as f64
+        }
+    }
+
+    /// Total faults detected and recovered by re-computation.
+    pub fn total_faults_recovered(&self) -> u64 {
+        self.regions.iter().map(|r| r.stats().faults_recovered).sum()
+    }
+
+    /// Mutable access to one region's state (ablations and tests).
+    pub fn region_mut(&mut self, region: u32) -> &mut RegionState {
+        &mut self.regions[region as usize]
+    }
+
+    fn region_of(&mut self, args: &[Value]) -> &mut RegionState {
+        let id = args[0].as_i();
+        &mut self.regions[id as usize]
+    }
+}
+
+impl RuntimeHooks for PredictionRuntime {
+    fn intrinsic(&mut self, intr: Intrinsic, args: &[Value]) -> IntrinsicAction {
+        match intr {
+            Intrinsic::RegionEnter => {
+                let cost = self.region_of(args).enter();
+                IntrinsicAction::void(cost)
+            }
+            Intrinsic::RegionExit => {
+                let cost = self.region_of(args).exit();
+                IntrinsicAction::void(cost)
+            }
+            Intrinsic::SelectVersion => {
+                let enable_pp = self.config.enable_pp;
+                let state = self.region_of(args);
+                let pp = enable_pp && state.pp_useful();
+                IntrinsicAction::value(Value::I(pp as i64), costs::SELECT_VERSION)
+            }
+            Intrinsic::Observe => {
+                let iter = args[1].as_i();
+                let addr = args[2].as_i();
+                let value = args[3];
+                let rest = &args[4..];
+                let cost = self.region_of(&args[..1]).observe(iter, addr, value, rest);
+                IntrinsicAction::void(cost)
+            }
+            Intrinsic::NextPending => {
+                let (iter, cost) = self.region_of(args).next_pending();
+                IntrinsicAction::value(Value::I(iter), cost)
+            }
+            Intrinsic::PendingAddr => {
+                let (addr, cost) = self.region_of(args).pending_addr();
+                IntrinsicAction::value(Value::I(addr), cost)
+            }
+            Intrinsic::PendingArgI | Intrinsic::PendingArgF => {
+                let k = args[1].as_i() as usize;
+                let (v, cost) = self.region_of(args).pending_arg(k);
+                IntrinsicAction::value(v, cost)
+            }
+            Intrinsic::ResolveOk => {
+                let cost = self.region_of(args).resolve_ok();
+                IntrinsicAction::void(cost)
+            }
+            Intrinsic::ResolveFault => {
+                let cost = self.region_of(args).resolve_fault();
+                IntrinsicAction::void(cost)
+            }
+            Intrinsic::Detect => IntrinsicAction {
+                value: None,
+                cost: 1,
+                trap_detected: true,
+            },
+            Intrinsic::SigTick | Intrinsic::Print => IntrinsicAction::void(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_region() -> Vec<RegionInit> {
+        vec![RegionInit {
+            region: 0,
+            has_body: true,
+            memoizable: false,
+            acceptable_range: None,
+        }]
+    }
+
+    #[test]
+    fn select_version_honors_master_switch() {
+        let mut rt = PredictionRuntime::new(
+            &one_region(),
+            RuntimeConfig {
+                enable_pp: false,
+                ..RuntimeConfig::default()
+            },
+        );
+        let a = rt.intrinsic(Intrinsic::SelectVersion, &[Value::I(0)]);
+        assert_eq!(a.value, Some(Value::I(0)));
+
+        let mut rt = PredictionRuntime::new(&one_region(), RuntimeConfig::default());
+        let a = rt.intrinsic(Intrinsic::SelectVersion, &[Value::I(0)]);
+        assert_eq!(a.value, Some(Value::I(1)));
+    }
+
+    #[test]
+    fn bodyless_region_selects_cp() {
+        let regions = vec![RegionInit {
+            region: 0,
+            has_body: false,
+            memoizable: false,
+            acceptable_range: None,
+        }];
+        let mut rt = PredictionRuntime::new(&regions, RuntimeConfig::default());
+        let a = rt.intrinsic(Intrinsic::SelectVersion, &[Value::I(0)]);
+        assert_eq!(a.value, Some(Value::I(0)));
+    }
+
+    #[test]
+    fn full_intrinsic_protocol_round_trip() {
+        let mut rt = PredictionRuntime::new(&one_region(), RuntimeConfig::with_ar(0.2));
+        let r = Value::I(0);
+        rt.intrinsic(Intrinsic::RegionEnter, &[r]);
+        // A ramp plus one corrupted element.
+        for i in 0..50i64 {
+            let mut v = 100.0 + i as f64;
+            if i == 25 {
+                v += 1.0e6; // way outside AR
+            }
+            rt.intrinsic(
+                Intrinsic::Observe,
+                &[r, Value::I(i), Value::I(1000 + i), Value::F(v), Value::I(i)],
+            );
+        }
+        rt.intrinsic(Intrinsic::RegionExit, &[r]);
+
+        let mut pending = Vec::new();
+        loop {
+            let got = rt
+                .intrinsic(Intrinsic::NextPending, &[r])
+                .value
+                .unwrap()
+                .as_i();
+            if got < 0 {
+                break;
+            }
+            let addr = rt
+                .intrinsic(Intrinsic::PendingAddr, &[r])
+                .value
+                .unwrap()
+                .as_i();
+            assert_eq!(addr, 1000 + got);
+            let arg = rt
+                .intrinsic(Intrinsic::PendingArgI, &[r, Value::I(0)])
+                .value
+                .unwrap()
+                .as_i();
+            assert_eq!(arg, got);
+            pending.push(got);
+        }
+        assert!(pending.contains(&25), "corrupted element must be pending");
+        let stats = rt.stats(0);
+        assert!(stats.skip_rate() > 0.5, "skip rate {}", stats.skip_rate());
+        assert_eq!(
+            stats.skipped_di + stats.skipped_memo + pending.len() as u64,
+            50
+        );
+    }
+
+    #[test]
+    fn per_region_ar_override_wins() {
+        let regions = vec![RegionInit {
+            region: 0,
+            has_body: true,
+            memoizable: false,
+            acceptable_range: Some(0.0), // pragma: exact validation
+        }];
+        let mut rt = PredictionRuntime::new(&regions, RuntimeConfig::with_ar(1.0));
+        let r = Value::I(0);
+        rt.intrinsic(Intrinsic::RegionEnter, &[r]);
+        // Tiny per-element noise: accepted at AR=1.0, rejected at AR=0.
+        for i in 0..50i64 {
+            let v = 100.0 + i as f64 + if i % 7 == 3 { 0.01 } else { 0.0 };
+            rt.intrinsic(
+                Intrinsic::Observe,
+                &[r, Value::I(i), Value::I(i), Value::F(v), Value::I(i)],
+            );
+        }
+        rt.intrinsic(Intrinsic::RegionExit, &[r]);
+        // With AR = 0 every interior with noise fails validation.
+        assert!(rt.stats(0).recomputed > 5);
+    }
+
+    #[test]
+    fn detect_traps() {
+        let mut rt = PredictionRuntime::new(&one_region(), RuntimeConfig::default());
+        assert!(rt.intrinsic(Intrinsic::Detect, &[]).trap_detected);
+    }
+}

@@ -1,0 +1,83 @@
+//! Context signatures (paper §5).
+//!
+//! A signature summarizes the run-time context for QoS lookup. For dynamic
+//! interpolation the paper uses "histogram of slope changes which implies
+//! the impact of TP": the signature is the ranking of histogram bins by
+//! count — `"312"` means bin 3 has the largest count, then bin 1, then
+//! bin 2.
+
+/// Default histogram bin edges over relative slope changes. Bin `i` covers
+/// `edges[i-1] .. edges[i]` (bin 0 starts at 0); the last bin is open.
+pub const DEFAULT_EDGES: [f64; 4] = [0.05, 0.25, 1.0, 4.0];
+
+/// Builds the histogram of slope changes over the given bin edges
+/// (producing `edges.len() + 1` bins).
+pub fn histogram(slope_changes: &[f64], edges: &[f64]) -> Vec<u64> {
+    let mut counts = vec![0u64; edges.len() + 1];
+    for &r in slope_changes {
+        let bin = edges.partition_point(|&e| e <= r);
+        counts[bin] += 1;
+    }
+    counts
+}
+
+/// Generates the context signature: bins ranked by descending count
+/// (count ties broken by bin index), encoded as a digit string. Bins are
+/// 1-based in the encoding, matching the paper's `"312"` example.
+///
+/// # Example
+///
+/// ```
+/// use rskip_runtime::signature::{signature, DEFAULT_EDGES};
+/// // A smooth ramp: all slope changes tiny — bin 1 dominates.
+/// let sig = signature(&[0.0, 0.001, 0.002], &DEFAULT_EDGES);
+/// assert!(sig.starts_with('1'));
+/// ```
+pub fn signature(slope_changes: &[f64], edges: &[f64]) -> String {
+    let counts = histogram(slope_changes, edges);
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
+    order
+        .into_iter()
+        .take(3)
+        .map(|b| {
+            char::from_digit((b + 1) as u32, 10).expect("at most 9 bins supported")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_cover_ranges() {
+        let h = histogram(&[0.0, 0.04, 0.1, 0.9, 10.0], &DEFAULT_EDGES);
+        assert_eq!(h, vec![2, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn signature_ranks_bins() {
+        // Mostly mid-range changes, some small, few large.
+        let mut data = vec![0.5; 10];
+        data.extend(vec![0.01; 4]);
+        data.push(9.0);
+        let sig = signature(&data, &DEFAULT_EDGES);
+        assert_eq!(sig, "315"); // bin 3 (0.25..1.0), bin 1 (<0.05), bin 5 (>4.0)
+    }
+
+    #[test]
+    fn empty_input_is_deterministic() {
+        assert_eq!(signature(&[], &DEFAULT_EDGES), "123");
+    }
+
+    #[test]
+    fn signatures_distinguish_contexts() {
+        let smooth: Vec<f64> = vec![0.001; 50];
+        let jagged: Vec<f64> = vec![3.0; 50];
+        assert_ne!(
+            signature(&smooth, &DEFAULT_EDGES),
+            signature(&jagged, &DEFAULT_EDGES)
+        );
+    }
+}

@@ -1,0 +1,414 @@
+//! Offline training (paper §6).
+//!
+//! "During the offline training phase, RSkip will build prediction models
+//! and construct their QoS models. […] RSkip *simulates* its algorithm on
+//! samples by sweeping various parameters and monitors performance (e.g.,
+//! skip rate) to identify the best parameter for each signature."
+//!
+//! Two stages:
+//!
+//! 1. [`profile_module`] runs the protected program once per training
+//!    input with profiling hooks (skip-all semantics keep outputs exact)
+//!    and records every region's output sequence and `(args, output)`
+//!    samples.
+//! 2. [`train_from_profiles`] sweeps the TP grid by simulating the
+//!    dynamic-interpolation phase machine over the recorded outputs —
+//!    no program re-execution — selects the best TP per context
+//!    signature, and builds the memoization lookup table for memoizable
+//!    regions.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rskip_exec::{IntrinsicAction, Machine, RuntimeHooks};
+use rskip_ir::{Intrinsic, Module, Value};
+use rskip_predict::{DiConfig, DynamicInterpolation, MemoConfig, MemoTrainer, Memoizer};
+
+use crate::qos::QosTable;
+use crate::signature::{signature, DEFAULT_EDGES};
+
+/// Everything recorded about one region during profiling.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RegionProfile {
+    /// Output values in observation order (phase-machine simulation input).
+    pub outputs: Vec<f64>,
+    /// `(arguments, output)` pairs (memoization training input).
+    pub samples: Vec<(Vec<f64>, f64)>,
+}
+
+/// Profiling hooks: select PP, observe-and-record, never pend anything.
+struct ProfilingHooks {
+    profiles: Vec<RegionProfile>,
+}
+
+impl RuntimeHooks for ProfilingHooks {
+    fn intrinsic(&mut self, intr: Intrinsic, args: &[Value]) -> IntrinsicAction {
+        match intr {
+            Intrinsic::SelectVersion => IntrinsicAction::value(Value::I(1), 1),
+            Intrinsic::Observe => {
+                let region = args[0].as_i() as usize;
+                if region >= self.profiles.len() {
+                    self.profiles.resize_with(region + 1, RegionProfile::default);
+                }
+                let value = match args[3] {
+                    Value::F(v) => v,
+                    Value::I(v) => v as f64,
+                };
+                let inputs: Vec<f64> = args[4..]
+                    .iter()
+                    .map(|a| match a {
+                        Value::F(v) => *v,
+                        Value::I(v) => *v as f64,
+                    })
+                    .collect();
+                let p = &mut self.profiles[region];
+                p.outputs.push(value);
+                p.samples.push((inputs, value));
+                IntrinsicAction::void(0)
+            }
+            Intrinsic::NextPending => IntrinsicAction::value(Value::I(-1), 0),
+            Intrinsic::PendingAddr | Intrinsic::PendingArgI => {
+                IntrinsicAction::value(Value::I(0), 0)
+            }
+            Intrinsic::PendingArgF => IntrinsicAction::value(Value::F(0.0), 0),
+            _ => IntrinsicAction::void(0),
+        }
+    }
+}
+
+/// Runs `entry` once with profiling hooks and returns per-region profiles
+/// (indexed by region id). Call once per training input, accumulating with
+/// [`RegionProfile::merge`].
+///
+/// # Panics
+///
+/// Panics if the entry function is missing or the run traps — training
+/// runs on clean inputs must succeed.
+pub fn profile_module(module: &Module, entry: &str, args: &[Value]) -> Vec<RegionProfile> {
+    profile_module_with(module, entry, args, &[])
+}
+
+/// Like [`profile_module`], but loads the given `(global, values)` arrays
+/// into memory first (workload input loading).
+///
+/// # Panics
+///
+/// Panics on a missing entry function, missing globals, or a trapping run.
+pub fn profile_module_with(
+    module: &Module,
+    entry: &str,
+    args: &[Value],
+    init_arrays: &[(String, Vec<Value>)],
+) -> Vec<RegionProfile> {
+    let hooks = ProfilingHooks {
+        profiles: Vec::new(),
+    };
+    let mut machine = Machine::new(module, hooks);
+    for (name, values) in init_arrays {
+        machine.write_global(name, values);
+    }
+    let out = machine.run(entry, args);
+    assert!(
+        out.returned(),
+        "profiling run trapped: {:?}",
+        out.termination
+    );
+    let mut profiles = std::mem::take(&mut machine.hooks_mut().profiles);
+    profiles.resize_with(module.num_regions as usize, RegionProfile::default);
+    profiles
+}
+
+impl RegionProfile {
+    /// Merges another profile (e.g. from a second training input).
+    pub fn merge(&mut self, other: &RegionProfile) {
+        self.outputs.extend_from_slice(&other.outputs);
+        self.samples.extend(other.samples.iter().cloned());
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// TP grid to sweep.
+    pub tp_grid: Vec<f64>,
+    /// Acceptable range assumed during simulation (match deployment).
+    pub acceptable_range: f64,
+    /// Signature window length (observations per signature).
+    pub window: usize,
+    /// Memoization table construction parameters.
+    pub memo: MemoConfig,
+    /// Deploy the memoizer only if its training accuracy (within
+    /// `acceptable_range`) reaches this floor (§4.2: "if the lookup table
+    /// shows good prediction accuracy with training data, it will be
+    /// deployed").
+    pub memo_accuracy_floor: f64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            tp_grid: vec![0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0],
+            acceptable_range: 0.2,
+            window: 128,
+            memo: MemoConfig::default(),
+            memo_accuracy_floor: 0.8,
+        }
+    }
+}
+
+/// The trained per-region model.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RegionModel {
+    /// Signature → best TP.
+    pub qos: QosTable,
+    /// Overall best TP (used before the first signature match).
+    pub default_tp: f64,
+    /// The deployed memoizer, when trained and accurate enough.
+    pub memo: Option<Memoizer>,
+    /// Simulated skip rate at `default_tp` on the training data
+    /// (documentation/diagnostics).
+    pub trained_skip_rate: f64,
+}
+
+/// The trained model for all regions; serializable to JSON (the artifact
+/// the offline phase produces).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrainedModel {
+    /// Region id → model.
+    pub regions: BTreeMap<u32, RegionModel>,
+}
+
+impl TrainedModel {
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde errors (practically infallible for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Simulates DI over `outputs` with the given TP, returning
+/// `(overall skip rate, per-window (signature, accepted, total))`.
+fn simulate_di(
+    outputs: &[f64],
+    tp: f64,
+    ar: f64,
+    window: usize,
+) -> (f64, Vec<(String, u64, u64)>) {
+    let mut di = DynamicInterpolation::new(DiConfig { tp, ar });
+    let mut accepted_per_window: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut note = |accepted: &[u64]| {
+        for &seq in accepted {
+            *accepted_per_window.entry(seq as usize / window).or_insert(0) += 1;
+        }
+    };
+    for &v in outputs {
+        if let Some(cut) = di.observe(v) {
+            note(&cut.accepted);
+        }
+    }
+    if let Some(fin) = di.flush() {
+        note(&fin.accepted);
+    }
+    let total_accepted: u64 = accepted_per_window.values().sum();
+    let skip = if outputs.is_empty() {
+        0.0
+    } else {
+        total_accepted as f64 / outputs.len() as f64
+    };
+
+    // Window signatures are computed directly from consecutive slope
+    // changes — the same quantity the deployed runtime histograms.
+    let mut windows = Vec::new();
+    let n_windows = outputs.len().div_ceil(window);
+    for w in 0..n_windows {
+        let start = w * window;
+        let end = ((w + 1) * window).min(outputs.len());
+        let slice = &outputs[start..end];
+        let mut changes = Vec::new();
+        for i in 2..slice.len() {
+            let s1 = slice[i - 1] - slice[i - 2];
+            let s2 = slice[i] - slice[i - 1];
+            changes.push(rskip_predict::relative_difference(s2, s1));
+        }
+        let sig = signature(&changes, &DEFAULT_EDGES);
+        let acc = accepted_per_window.get(&w).copied().unwrap_or(0);
+        windows.push((sig, acc, (end - start) as u64));
+    }
+    (skip, windows)
+}
+
+/// Trains QoS tables and memoizers from profiles. `memoizable` flags which
+/// regions may deploy a lookup table (Fig. 4a candidates).
+pub fn train_from_profiles(
+    profiles: &[RegionProfile],
+    memoizable: &[bool],
+    config: &TrainingConfig,
+) -> TrainedModel {
+    let mut model = TrainedModel::default();
+    for (region, profile) in profiles.iter().enumerate() {
+        if profile.outputs.is_empty() {
+            continue;
+        }
+        // Sweep the TP grid; aggregate (signature, tp) -> (accepted, total).
+        let mut by_sig: BTreeMap<String, Vec<(f64, u64, u64)>> = BTreeMap::new();
+        let mut best_overall = (config.tp_grid[0], -1.0f64);
+        for &tp in &config.tp_grid {
+            let (skip, windows) =
+                simulate_di(&profile.outputs, tp, config.acceptable_range, config.window);
+            if skip > best_overall.1 {
+                best_overall = (tp, skip);
+            }
+            for (sig, acc, total) in windows {
+                by_sig.entry(sig).or_default().push((tp, acc, total));
+            }
+        }
+        let mut qos = QosTable::new();
+        for (sig, entries) in by_sig {
+            let mut best_tp = best_overall.0;
+            let mut best_rate = -1.0;
+            // Aggregate duplicates of the same tp.
+            let mut agg: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+            for (tp, acc, total) in entries {
+                let e = agg.entry(tp.to_bits()).or_insert((0, 0));
+                e.0 += acc;
+                e.1 += total;
+            }
+            for (tp_bits, (acc, total)) in agg {
+                let rate = acc as f64 / total.max(1) as f64;
+                if rate > best_rate {
+                    best_rate = rate;
+                    best_tp = f64::from_bits(tp_bits);
+                }
+            }
+            qos.insert(sig, best_tp);
+        }
+
+        // Memoization table.
+        let memo = if memoizable.get(region).copied().unwrap_or(false)
+            && !profile.samples.is_empty()
+        {
+            let arity = profile.samples[0].0.len();
+            if arity == 0 {
+                None
+            } else {
+                let mut trainer = MemoTrainer::new(arity);
+                for (inputs, output) in &profile.samples {
+                    trainer.add_sample(inputs, *output);
+                }
+                let memo = trainer.build(&config.memo);
+                let acc = memo.accuracy(trainer.samples(), config.acceptable_range);
+                (acc >= config.memo_accuracy_floor).then_some(memo)
+            }
+        } else {
+            None
+        };
+
+        model.regions.insert(
+            region as u32,
+            RegionModel {
+                qos,
+                default_tp: best_overall.0,
+                memo,
+                trained_skip_rate: best_overall.1.max(0.0),
+            },
+        );
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_profile(n: usize) -> RegionProfile {
+        RegionProfile {
+            outputs: (0..n).map(|k| 5.0 + k as f64 * 0.25).collect(),
+            samples: (0..n)
+                .map(|k| (vec![k as f64], 5.0 + k as f64 * 0.25))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn training_learns_high_skip_rate_on_smooth_data() {
+        let profiles = vec![ramp_profile(1024)];
+        let model = train_from_profiles(&profiles, &[false], &TrainingConfig::default());
+        let rm = &model.regions[&0];
+        assert!(rm.trained_skip_rate > 0.9, "{}", rm.trained_skip_rate);
+        assert!(!rm.qos.is_empty());
+        assert!(rm.memo.is_none());
+    }
+
+    #[test]
+    fn training_builds_memoizer_for_memoizable_regions() {
+        let mut p = RegionProfile::default();
+        for i in 0..4000 {
+            let x = (i % 50) as f64;
+            p.outputs.push(x * 3.0);
+            p.samples.push((vec![x], x * 3.0));
+        }
+        let model = train_from_profiles(&[p], &[true], &TrainingConfig::default());
+        assert!(model.regions[&0].memo.is_some());
+    }
+
+    #[test]
+    fn inaccurate_memoizer_is_not_deployed() {
+        // Output depends on a hidden quantity, not the recorded input:
+        // the table cannot be accurate.
+        let mut p = RegionProfile::default();
+        for i in 0..4000u64 {
+            let x = (i % 4) as f64;
+            let hidden = (i as f64 * 1.61803398875).fract() * 1000.0;
+            p.outputs.push(hidden);
+            p.samples.push((vec![x], hidden));
+        }
+        let model = train_from_profiles(&[p], &[true], &TrainingConfig::default());
+        assert!(model.regions[&0].memo.is_none());
+    }
+
+    #[test]
+    fn different_signatures_can_learn_different_tps() {
+        // First half smooth, second half jagged.
+        let mut outputs: Vec<f64> = (0..512).map(|k| k as f64).collect();
+        outputs.extend((0..512).map(|k| if k % 2 == 0 { 0.0 } else { 50.0 }));
+        let p = RegionProfile {
+            outputs,
+            samples: vec![],
+        };
+        let model = train_from_profiles(&[p], &[false], &TrainingConfig::default());
+        let qos = &model.regions[&0].qos;
+        assert!(qos.len() >= 2, "learned {} signatures", qos.len());
+    }
+
+    #[test]
+    fn model_serializes_round_trip() {
+        let profiles = vec![ramp_profile(256)];
+        let model = train_from_profiles(&profiles, &[false], &TrainingConfig::default());
+        let json = model.to_json().unwrap();
+        let back = TrainedModel::from_json(&json).unwrap();
+        assert_eq!(back.regions[&0].default_tp, model.regions[&0].default_tp);
+    }
+
+    #[test]
+    fn simulate_di_skip_rises_with_tp_on_noisy_data() {
+        let outputs: Vec<f64> = (0..2000)
+            .map(|k| (k as f64 * 0.37).sin() * 3.0 + 10.0)
+            .collect();
+        let (low, _) = simulate_di(&outputs, 0.01, 0.5, 128);
+        let (high, _) = simulate_di(&outputs, 5.0, 0.5, 128);
+        assert!(high > low, "high {high} vs low {low}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests over the prediction runtime's bookkeeping.
+
+use proptest::prelude::*;
+use rskip_ir::{Intrinsic, Value};
+use rskip_runtime::{PredictionRuntime, RegionInit, RuntimeConfig};
+use rskip_exec::RuntimeHooks;
+
+fn one_region() -> Vec<RegionInit> {
+    vec![RegionInit {
+        region: 0,
+        has_body: true,
+        memoizable: false,
+        acceptable_range: None,
+    }]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation law: every observed element is either skipped or comes
+    /// back out of the pending queue, across arbitrary streams, multiple
+    /// region entries and any AR/TP.
+    #[test]
+    fn observations_are_conserved(
+        runs in prop::collection::vec(
+            prop::collection::vec(-1e5f64..1e5, 1..80),
+            1..5,
+        ),
+        ar in 0.0f64..1.5,
+        tp in 0.01f64..10.0,
+    ) {
+        let mut rt = PredictionRuntime::new(
+            &one_region(),
+            RuntimeConfig {
+                default_tp: tp,
+                ..RuntimeConfig::with_ar(ar)
+            },
+        );
+        let r = Value::I(0);
+        let mut total = 0u64;
+        let mut drained = 0u64;
+        for (entry, values) in runs.iter().enumerate() {
+            rt.intrinsic(Intrinsic::RegionEnter, &[r]);
+            for (i, &v) in values.iter().enumerate() {
+                let iter = (entry * 1000 + i) as i64;
+                rt.intrinsic(
+                    Intrinsic::Observe,
+                    &[r, Value::I(iter), Value::I(iter), Value::F(v), Value::I(iter)],
+                );
+                total += 1;
+                // Drain opportunistically, like the transformed code does.
+                loop {
+                    let got = rt
+                        .intrinsic(Intrinsic::NextPending, &[r])
+                        .value
+                        .unwrap()
+                        .as_i();
+                    if got < 0 {
+                        break;
+                    }
+                    // The recorded fields are self-consistent.
+                    let addr = rt
+                        .intrinsic(Intrinsic::PendingAddr, &[r])
+                        .value
+                        .unwrap()
+                        .as_i();
+                    prop_assert_eq!(addr, got);
+                    let arg = rt
+                        .intrinsic(Intrinsic::PendingArgI, &[r, Value::I(0)])
+                        .value
+                        .unwrap()
+                        .as_i();
+                    prop_assert_eq!(arg, got);
+                    rt.intrinsic(Intrinsic::ResolveOk, &[r]);
+                    drained += 1;
+                }
+            }
+            rt.intrinsic(Intrinsic::RegionExit, &[r]);
+            loop {
+                let got = rt
+                    .intrinsic(Intrinsic::NextPending, &[r])
+                    .value
+                    .unwrap()
+                    .as_i();
+                if got < 0 {
+                    break;
+                }
+                rt.intrinsic(Intrinsic::ResolveOk, &[r]);
+                drained += 1;
+            }
+        }
+        let stats = rt.stats(0);
+        prop_assert_eq!(stats.elements, total);
+        prop_assert_eq!(stats.recomputed, drained);
+        prop_assert_eq!(stats.skipped_di + stats.skipped_memo + drained, total);
+        prop_assert_eq!(stats.mispredictions, drained);
+        prop_assert_eq!(stats.faults_recovered, 0);
+    }
+
+    /// Skip rate is monotone (non-strictly) in the acceptable range for a
+    /// fixed stream and TP.
+    #[test]
+    fn skip_rate_monotone_in_ar(
+        values in prop::collection::vec(1.0f64..1e4, 20..150),
+        tp in 0.05f64..5.0,
+    ) {
+        let run = |ar: f64| {
+            let mut rt = PredictionRuntime::new(
+                &one_region(),
+                RuntimeConfig { default_tp: tp, ..RuntimeConfig::with_ar(ar) },
+            );
+            let r = Value::I(0);
+            rt.intrinsic(Intrinsic::RegionEnter, &[r]);
+            for (i, &v) in values.iter().enumerate() {
+                rt.intrinsic(
+                    Intrinsic::Observe,
+                    &[r, Value::I(i as i64), Value::I(i as i64), Value::F(v), Value::I(0)],
+                );
+            }
+            rt.intrinsic(Intrinsic::RegionExit, &[r]);
+            rt.total_skip_rate()
+        };
+        let lo = run(0.05);
+        let hi = run(1.0);
+        prop_assert!(hi >= lo - 1e-12, "skip(ar=1.0)={hi} < skip(ar=0.05)={lo}");
+    }
+}

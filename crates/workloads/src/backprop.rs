@@ -1,0 +1,152 @@
+//! `backprop` — backward propagation for a fully connected layer
+//! (Rodinia backprop's backward half).
+//!
+//! Table 1: "A reduction loop". The hidden-layer error is back-propagated:
+//! `delta_h[i] = h_i · (1 − h_i) · Σ_j w[i][j] · delta_o[j]` — the target
+//! loop iterates over hidden units, each a reduction over output deltas.
+
+use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, Value};
+
+use crate::common::{
+    input_f64, rng, uniform_vec, values, Benchmark, InputSet, SizeProfile, WorkloadMeta,
+};
+use rand::Rng;
+
+/// The benchmark handle.
+pub struct BackProp;
+
+const META: WorkloadMeta = WorkloadMeta {
+    name: "backprop",
+    domain: "Machine learning",
+    description: "Backward propagation for the fully connected neural network",
+    pattern: "A reduction loop",
+    location: "-",
+};
+
+/// (hidden units, output units).
+pub(crate) fn sizes(size: SizeProfile) -> (i64, i64) {
+    match size {
+        SizeProfile::Tiny => (24, 12),
+        SizeProfile::Small => (96, 48),
+        SizeProfile::Full => (256, 128),
+    }
+}
+
+impl Benchmark for BackProp {
+    fn meta(&self) -> &'static WorkloadMeta {
+        &META
+    }
+
+    fn build(&self, size: SizeProfile) -> Module {
+        let (nh, no) = sizes(size);
+        let mut mb = ModuleBuilder::new("backprop");
+        let h = mb.global_zeroed("hidden", Ty::F64, nh as usize);
+        let w = mb.global_zeroed("weights", Ty::F64, (nh * no) as usize);
+        let d_out = mb.global_zeroed("delta_out", Ty::F64, no as usize);
+        let d_hid = mb.global_zeroed("delta_hidden", Ty::F64, nh as usize);
+
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let ih = f.new_block("i_header"); // target loop: hidden units
+        let pre = f.new_block("pre");
+        let jh = f.new_block("j_header");
+        let jb = f.new_block("j_body");
+        let fin = f.new_block("fin");
+        let exit = f.new_block("exit");
+
+        let i = f.def_reg(Ty::I64, "i");
+        let j = f.def_reg(Ty::I64, "j");
+        let acc = f.def_reg(Ty::F64, "acc");
+        let hv = f.def_reg(Ty::F64, "hv");
+
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(ih);
+
+        f.switch_to(ih);
+        let ci = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(nh));
+        f.cond_br(Operand::reg(ci), pre, exit);
+
+        f.switch_to(pre);
+        let ha = f.bin(BinOp::Add, Ty::I64, Operand::global(h), Operand::reg(i));
+        f.load_into(hv, Ty::F64, Operand::reg(ha));
+        f.mov(acc, Operand::imm_f(0.0));
+        f.mov(j, Operand::imm_i(0));
+        f.br(jh);
+
+        f.switch_to(jh);
+        let cj = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(j), Operand::imm_i(no));
+        f.cond_br(Operand::reg(cj), jb, fin);
+
+        f.switch_to(jb);
+        let wrow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(i), Operand::imm_i(no));
+        let wi = f.bin(BinOp::Add, Ty::I64, Operand::reg(wrow), Operand::reg(j));
+        let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(w), Operand::reg(wi));
+        let wv = f.load(Ty::F64, Operand::reg(wa));
+        let da = f.bin(BinOp::Add, Ty::I64, Operand::global(d_out), Operand::reg(j));
+        let dv = f.load(Ty::F64, Operand::reg(da));
+        let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(wv), Operand::reg(dv));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(j, BinOp::Add, Ty::I64, Operand::reg(j), Operand::imm_i(1));
+        f.br(jh);
+
+        f.switch_to(fin);
+        // delta = h * (1 - h) * acc
+        let one_minus = f.bin(BinOp::Sub, Ty::F64, Operand::imm_f(1.0), Operand::reg(hv));
+        let deriv = f.bin(BinOp::Mul, Ty::F64, Operand::reg(hv), Operand::reg(one_minus));
+        let delta = f.bin(BinOp::Mul, Ty::F64, Operand::reg(deriv), Operand::reg(acc));
+        let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(d_hid), Operand::reg(i));
+        f.store(Ty::F64, Operand::reg(oa), Operand::reg(delta));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(ih);
+
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    fn gen_input(&self, size: SizeProfile, seed: u64) -> InputSet {
+        let (nh, no) = sizes(size);
+        let mut r = rng(seed);
+        let hidden = uniform_vec(&mut r, nh as usize, 0.1, 0.9);
+        let delta_out = uniform_vec(&mut r, no as usize, -0.3, 0.3);
+        // Row-correlated weights so consecutive reductions drift slowly.
+        let mut weights = Vec::with_capacity((nh * no) as usize);
+        let mut base = uniform_vec(&mut r, no as usize, -0.5, 0.5);
+        for _ in 0..nh {
+            for b in base.iter_mut() {
+                *b += r.gen_range(-0.03..0.03);
+            }
+            weights.extend_from_slice(&base);
+        }
+        InputSet {
+            arrays: vec![
+                ("hidden".into(), values(&hidden)),
+                ("weights".into(), values(&weights)),
+                ("delta_out".into(), values(&delta_out)),
+            ],
+        }
+    }
+
+    fn output_global(&self) -> &'static str {
+        "delta_hidden"
+    }
+
+    fn golden(&self, size: SizeProfile, input: &InputSet) -> Vec<Value> {
+        let (nh, no) = sizes(size);
+        let h = input_f64(input, "hidden");
+        let w = input_f64(input, "weights");
+        let d = input_f64(input, "delta_out");
+        let mut out = Vec::with_capacity(nh as usize);
+        for i in 0..nh as usize {
+            let mut acc = 0.0f64;
+            for j in 0..no as usize {
+                acc += w[i * no as usize + j] * d[j];
+            }
+            let delta = (h[i] * (1.0 - h[i])) * acc;
+            out.push(Value::F(delta));
+        }
+        out
+    }
+}

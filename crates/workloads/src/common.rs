@@ -1,0 +1,140 @@
+//! Shared workload infrastructure: the [`Benchmark`] trait, size
+//! profiles, input sets and RNG helpers.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rskip_ir::{Module, Value};
+
+/// How big to build the workload.
+///
+/// The paper's inputs (e.g. 1024×1024 matrices) would take hours per
+/// fault-injection campaign on an interpreter; sizes are scaled down but
+/// the computational *pattern* — what the protection schemes act on — is
+/// identical. `EXPERIMENTS.md` records which profile produced each
+/// reported number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SizeProfile {
+    /// Minimal sizes for unit/integration tests.
+    Tiny,
+    /// Default evaluation size (seconds per timed run).
+    Small,
+    /// Larger runs for the headline numbers.
+    Full,
+}
+
+/// Static description of a workload (the paper's Table 1 row).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadMeta {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Application domain.
+    pub domain: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Computation type of the prediction target (Table 1 column).
+    pub pattern: &'static str,
+    /// Location of the detected loop (Table 1 column).
+    pub location: &'static str,
+}
+
+/// One generated input: named global arrays to load before a run.
+#[derive(Clone, Debug)]
+pub struct InputSet {
+    /// `(global name, values)` pairs.
+    pub arrays: Vec<(String, Vec<Value>)>,
+}
+
+impl InputSet {
+    /// Applies the input to a machine's memory.
+    pub fn apply<H: rskip_exec::RuntimeHooks>(&self, machine: &mut rskip_exec::Machine<'_, H>) {
+        for (name, values) in &self.arrays {
+            machine.write_global(name, values);
+        }
+    }
+}
+
+/// A reproducible benchmark: module construction, input generation and a
+/// bit-exact golden implementation.
+///
+/// `Send` so the evaluation harness can fan campaigns out across threads.
+pub trait Benchmark: Send {
+    /// Table-1 style metadata.
+    fn meta(&self) -> &'static WorkloadMeta;
+
+    /// Builds the unprotected IR module at the given size.
+    fn build(&self, size: SizeProfile) -> Module;
+
+    /// Generates a seeded input. Training inputs use seeds `1000 + k`,
+    /// test inputs `2000 + k`; generators must be deterministic in the
+    /// seed.
+    fn gen_input(&self, size: SizeProfile, seed: u64) -> InputSet;
+
+    /// The name of the global holding the program output.
+    fn output_global(&self) -> &'static str;
+
+    /// Computes the expected output natively, with bit-identical
+    /// arithmetic (same operations in the same order as the IR).
+    fn golden(&self, size: SizeProfile, input: &InputSet) -> Vec<Value>;
+}
+
+/// Deterministic RNG for input generation.
+pub(crate) fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// A vector of uniform floats in `[lo, hi)`.
+pub(crate) fn uniform_vec(rng: &mut ChaCha8Rng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// A smooth signal: a slowly varying random walk (the spatio-value
+/// similarity the paper's predictors exploit, §2).
+pub(crate) fn smooth_vec(rng: &mut ChaCha8Rng, n: usize, start: f64, step: f64) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n);
+    let mut x = start;
+    for _ in 0..n {
+        x += rng.gen_range(-step..step);
+        v.push(x);
+    }
+    v
+}
+
+/// Wraps `f64`s as IR values.
+pub(crate) fn values(v: &[f64]) -> Vec<Value> {
+    v.iter().map(|&x| Value::F(x)).collect()
+}
+
+/// Extracts `f64`s from an input array by global name.
+pub(crate) fn input_f64(input: &InputSet, name: &str) -> Vec<f64> {
+    input
+        .arrays
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("input has no array {name}"))
+        .1
+        .iter()
+        .map(|v| v.as_f())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = uniform_vec(&mut rng(7), 16, 0.0, 1.0);
+        let b = uniform_vec(&mut rng(7), 16, 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = uniform_vec(&mut rng(8), 16, 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn smooth_vec_has_small_steps() {
+        let v = smooth_vec(&mut rng(3), 100, 50.0, 0.5);
+        for w in v.windows(2) {
+            assert!((w[1] - w[0]).abs() < 0.5);
+        }
+    }
+}

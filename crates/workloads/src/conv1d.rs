@@ -1,0 +1,130 @@
+//! `conv1d` — 1-D convolution (signal processing / machine learning).
+//!
+//! Table 1: "A reduction loop, inside an outer loop". The outer loop over
+//! output elements is the prediction target; each element is a dot product
+//! of the kernel with a signal window. Consecutive windows overlap, so
+//! outputs exhibit the spatio-value similarity dynamic interpolation
+//! exploits.
+
+use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, Value};
+
+use crate::common::{
+    input_f64, rng, smooth_vec, uniform_vec, values, Benchmark, InputSet, SizeProfile,
+    WorkloadMeta,
+};
+
+/// The benchmark handle.
+pub struct Conv1d;
+
+const META: WorkloadMeta = WorkloadMeta {
+    name: "conv1d",
+    domain: "Signal processing, Machine learning",
+    description: "1D convolution",
+    pattern: "A reduction loop",
+    location: "Inside a outer loop",
+    };
+
+pub(crate) fn sizes(size: SizeProfile) -> (i64, i64) {
+    match size {
+        SizeProfile::Tiny => (48, 8),
+        SizeProfile::Small => (256, 16),
+        SizeProfile::Full => (1024, 32),
+    }
+}
+
+impl Benchmark for Conv1d {
+    fn meta(&self) -> &'static WorkloadMeta {
+        &META
+    }
+
+    fn build(&self, size: SizeProfile) -> Module {
+        let (n, k) = sizes(size);
+        let mut mb = ModuleBuilder::new("conv1d");
+        let sig = mb.global_zeroed("signal", Ty::F64, (n + k) as usize);
+        let w = mb.global_zeroed("kernel", Ty::F64, k as usize);
+        let out = mb.global_zeroed("out", Ty::F64, n as usize);
+
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let oh = f.new_block("outer_header");
+        let pre = f.new_block("pre");
+        let ih = f.new_block("inner_header");
+        let ib = f.new_block("inner_body");
+        let fin = f.new_block("fin");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        let kk = f.def_reg(Ty::I64, "k");
+        let acc = f.def_reg(Ty::F64, "acc");
+
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(oh);
+
+        f.switch_to(oh);
+        let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(n));
+        f.cond_br(Operand::reg(c), pre, exit);
+
+        f.switch_to(pre);
+        f.mov(acc, Operand::imm_f(0.0));
+        f.mov(kk, Operand::imm_i(0));
+        f.br(ih);
+
+        f.switch_to(ih);
+        let c2 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(kk), Operand::imm_i(k));
+        f.cond_br(Operand::reg(c2), ib, fin);
+
+        f.switch_to(ib);
+        let si = f.bin(BinOp::Add, Ty::I64, Operand::reg(i), Operand::reg(kk));
+        let sa = f.bin(BinOp::Add, Ty::I64, Operand::global(sig), Operand::reg(si));
+        let sv = f.load(Ty::F64, Operand::reg(sa));
+        let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(w), Operand::reg(kk));
+        let wv = f.load(Ty::F64, Operand::reg(wa));
+        let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(sv), Operand::reg(wv));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(kk, BinOp::Add, Ty::I64, Operand::reg(kk), Operand::imm_i(1));
+        f.br(ih);
+
+        f.switch_to(fin);
+        let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
+        f.store(Ty::F64, Operand::reg(oa), Operand::reg(acc));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(oh);
+
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    fn gen_input(&self, size: SizeProfile, seed: u64) -> InputSet {
+        let (n, k) = sizes(size);
+        let mut r = rng(seed);
+        let signal = smooth_vec(&mut r, (n + k) as usize, 100.0, 1.5);
+        let kernel = uniform_vec(&mut r, k as usize, 0.0, 0.2);
+        InputSet {
+            arrays: vec![
+                ("signal".into(), values(&signal)),
+                ("kernel".into(), values(&kernel)),
+            ],
+        }
+    }
+
+    fn output_global(&self) -> &'static str {
+        "out"
+    }
+
+    fn golden(&self, size: SizeProfile, input: &InputSet) -> Vec<Value> {
+        let (n, k) = sizes(size);
+        let signal = input_f64(input, "signal");
+        let kernel = input_f64(input, "kernel");
+        let mut out = Vec::with_capacity(n as usize);
+        for i in 0..n as usize {
+            let mut acc = 0.0f64;
+            for kk in 0..k as usize {
+                acc += signal[i + kk] * kernel[kk];
+            }
+            out.push(Value::F(acc));
+        }
+        out
+    }
+}

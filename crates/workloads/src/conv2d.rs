@@ -1,0 +1,204 @@
+//! `conv2d` — 2-D convolution with boundary handling.
+//!
+//! Table 1: "Nested reduction loops with conditional statement". The
+//! boundary check inside the innermost loop gives the target loop a
+//! complicated control flow — the case where SWIFT-R "cannot exploit the
+//! hardware parallelism well enough" and RSkip's benefit is largest
+//! (§7.1).
+
+use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, Value};
+
+use crate::common::{
+    input_f64, rng, smooth_vec, uniform_vec, values, Benchmark, InputSet, SizeProfile,
+    WorkloadMeta,
+};
+
+/// The benchmark handle.
+pub struct Conv2d;
+
+const META: WorkloadMeta = WorkloadMeta {
+    name: "conv2d",
+    domain: "Signal processing, Machine learning",
+    description: "2D convolution",
+    pattern: "Nested reduction loops with conditional statement",
+    location: "Inside a outer loop",
+};
+
+/// (image side, kernel side).
+pub(crate) fn sizes(size: SizeProfile) -> (i64, i64) {
+    match size {
+        SizeProfile::Tiny => (10, 3),
+        SizeProfile::Small => (24, 5),
+        SizeProfile::Full => (48, 7),
+    }
+}
+
+impl Benchmark for Conv2d {
+    fn meta(&self) -> &'static WorkloadMeta {
+        &META
+    }
+
+    fn build(&self, size: SizeProfile) -> Module {
+        let (n, k) = sizes(size);
+        let half = k / 2;
+        let mut mb = ModuleBuilder::new("conv2d");
+        let img = mb.global_zeroed("image", Ty::F64, (n * n) as usize);
+        let ker = mb.global_zeroed("kernel", Ty::F64, (k * k) as usize);
+        let out = mb.global_zeroed("out", Ty::F64, (n * n) as usize);
+
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let yh = f.new_block("y_header"); // outermost: rows
+        let yb = f.new_block("y_body");
+        let xh = f.new_block("x_header"); // target loop: columns
+        let pre = f.new_block("pre");
+        let kyh = f.new_block("ky_header");
+        let kyb = f.new_block("ky_body");
+        let kxh = f.new_block("kx_header");
+        let kxb = f.new_block("kx_body"); // bounds check
+        let kacc = f.new_block("k_accumulate"); // in-bounds accumulation
+        let kxl = f.new_block("kx_latch");
+        let kyl = f.new_block("ky_latch");
+        let fin = f.new_block("fin");
+        let xl = f.new_block("x_latch_exit"); // x loop exit -> y latch
+        let exit = f.new_block("exit");
+
+        let y = f.def_reg(Ty::I64, "y");
+        let x = f.def_reg(Ty::I64, "x");
+        let ky = f.def_reg(Ty::I64, "ky");
+        let kx = f.def_reg(Ty::I64, "kx");
+        let acc = f.def_reg(Ty::F64, "acc");
+        let iy = f.def_reg(Ty::I64, "iy");
+        let ix = f.def_reg(Ty::I64, "ix");
+
+        f.switch_to(entry);
+        f.mov(y, Operand::imm_i(0));
+        f.br(yh);
+
+        f.switch_to(yh);
+        let cy = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(y), Operand::imm_i(n));
+        f.cond_br(Operand::reg(cy), yb, exit);
+
+        f.switch_to(yb);
+        f.mov(x, Operand::imm_i(0));
+        f.br(xh);
+
+        f.switch_to(xh);
+        let cx = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(x), Operand::imm_i(n));
+        f.cond_br(Operand::reg(cx), pre, xl);
+
+        f.switch_to(pre);
+        f.mov(acc, Operand::imm_f(0.0));
+        f.mov(ky, Operand::imm_i(0));
+        f.br(kyh);
+
+        f.switch_to(kyh);
+        let cky = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(ky), Operand::imm_i(k));
+        f.cond_br(Operand::reg(cky), kyb, fin);
+
+        f.switch_to(kyb);
+        f.mov(kx, Operand::imm_i(0));
+        f.br(kxh);
+
+        f.switch_to(kxh);
+        let ckx = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(kx), Operand::imm_i(k));
+        f.cond_br(Operand::reg(ckx), kxb, kyl);
+
+        // Bounds check: iy = y + ky - half, ix = x + kx - half; accumulate
+        // only when 0 <= iy < n && 0 <= ix < n.
+        f.switch_to(kxb);
+        let t1 = f.bin(BinOp::Add, Ty::I64, Operand::reg(y), Operand::reg(ky));
+        f.bin_into(iy, BinOp::Sub, Ty::I64, Operand::reg(t1), Operand::imm_i(half));
+        let t2 = f.bin(BinOp::Add, Ty::I64, Operand::reg(x), Operand::reg(kx));
+        f.bin_into(ix, BinOp::Sub, Ty::I64, Operand::reg(t2), Operand::imm_i(half));
+        let ge_y = f.cmp(CmpOp::Ge, Ty::I64, Operand::reg(iy), Operand::imm_i(0));
+        let lt_y = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(iy), Operand::imm_i(n));
+        let ge_x = f.cmp(CmpOp::Ge, Ty::I64, Operand::reg(ix), Operand::imm_i(0));
+        let lt_x = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(ix), Operand::imm_i(n));
+        let a1 = f.bin(BinOp::And, Ty::I64, Operand::reg(ge_y), Operand::reg(lt_y));
+        let a2 = f.bin(BinOp::And, Ty::I64, Operand::reg(ge_x), Operand::reg(lt_x));
+        let ok = f.bin(BinOp::And, Ty::I64, Operand::reg(a1), Operand::reg(a2));
+        f.cond_br(Operand::reg(ok), kacc, kxl);
+
+        f.switch_to(kacc);
+        let row = f.bin(BinOp::Mul, Ty::I64, Operand::reg(iy), Operand::imm_i(n));
+        let idx = f.bin(BinOp::Add, Ty::I64, Operand::reg(row), Operand::reg(ix));
+        let ia = f.bin(BinOp::Add, Ty::I64, Operand::global(img), Operand::reg(idx));
+        let iv = f.load(Ty::F64, Operand::reg(ia));
+        let krow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(ky), Operand::imm_i(k));
+        let kidx = f.bin(BinOp::Add, Ty::I64, Operand::reg(krow), Operand::reg(kx));
+        let ka = f.bin(BinOp::Add, Ty::I64, Operand::global(ker), Operand::reg(kidx));
+        let kv = f.load(Ty::F64, Operand::reg(ka));
+        let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(iv), Operand::reg(kv));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.br(kxl);
+
+        f.switch_to(kxl);
+        f.bin_into(kx, BinOp::Add, Ty::I64, Operand::reg(kx), Operand::imm_i(1));
+        f.br(kxh);
+
+        f.switch_to(kyl);
+        f.bin_into(ky, BinOp::Add, Ty::I64, Operand::reg(ky), Operand::imm_i(1));
+        f.br(kyh);
+
+        f.switch_to(fin);
+        let orow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(y), Operand::imm_i(n));
+        let oidx = f.bin(BinOp::Add, Ty::I64, Operand::reg(orow), Operand::reg(x));
+        let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(oidx));
+        f.store(Ty::F64, Operand::reg(oa), Operand::reg(acc));
+        f.bin_into(x, BinOp::Add, Ty::I64, Operand::reg(x), Operand::imm_i(1));
+        f.br(xh);
+
+        f.switch_to(xl);
+        f.bin_into(y, BinOp::Add, Ty::I64, Operand::reg(y), Operand::imm_i(1));
+        f.br(yh);
+
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    fn gen_input(&self, size: SizeProfile, seed: u64) -> InputSet {
+        let (n, k) = sizes(size);
+        let mut r = rng(seed);
+        // Row-major smooth image: neighbouring pixels correlate.
+        let image = smooth_vec(&mut r, (n * n) as usize, 128.0, 2.0);
+        let kernel = uniform_vec(&mut r, (k * k) as usize, -0.05, 0.15);
+        InputSet {
+            arrays: vec![
+                ("image".into(), values(&image)),
+                ("kernel".into(), values(&kernel)),
+            ],
+        }
+    }
+
+    fn output_global(&self) -> &'static str {
+        "out"
+    }
+
+    fn golden(&self, size: SizeProfile, input: &InputSet) -> Vec<Value> {
+        let (n, k) = sizes(size);
+        let half = k / 2;
+        let image = input_f64(input, "image");
+        let kernel = input_f64(input, "kernel");
+        let mut out = Vec::with_capacity((n * n) as usize);
+        for y in 0..n {
+            for x in 0..n {
+                let mut acc = 0.0f64;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let iy = y + ky - half;
+                        let ix = x + kx - half;
+                        if iy >= 0 && iy < n && ix >= 0 && ix < n {
+                            acc += image[(iy * n + ix) as usize]
+                                * kernel[(ky * k + kx) as usize];
+                        }
+                    }
+                }
+                out.push(Value::F(acc));
+            }
+        }
+        out
+    }
+}

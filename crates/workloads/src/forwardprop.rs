@@ -1,0 +1,147 @@
+//! `forwardprop` — forward propagation for a fully connected layer
+//! (Rodinia backprop's forward half).
+//!
+//! Table 1: "A reduction loop". Each output unit is a weighted sum of the
+//! input layer followed by a sigmoid: the target loop iterates over output
+//! units.
+
+use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, UnOp, Value};
+
+use crate::common::{
+    input_f64, rng, uniform_vec, values, Benchmark, InputSet, SizeProfile, WorkloadMeta,
+};
+
+/// The benchmark handle.
+pub struct ForwardProp;
+
+const META: WorkloadMeta = WorkloadMeta {
+    name: "forwardprop",
+    domain: "Machine learning",
+    description: "Forward propagation for the fully connected neural network",
+    pattern: "A reduction loop",
+    location: "-",
+};
+
+/// (input units, output units).
+pub(crate) fn sizes(size: SizeProfile) -> (i64, i64) {
+    match size {
+        SizeProfile::Tiny => (24, 12),
+        SizeProfile::Small => (96, 48),
+        SizeProfile::Full => (256, 128),
+    }
+}
+
+impl Benchmark for ForwardProp {
+    fn meta(&self) -> &'static WorkloadMeta {
+        &META
+    }
+
+    fn build(&self, size: SizeProfile) -> Module {
+        let (ni, no) = sizes(size);
+        let mut mb = ModuleBuilder::new("forwardprop");
+        let x = mb.global_zeroed("input", Ty::F64, ni as usize);
+        let w = mb.global_zeroed("weights", Ty::F64, (ni * no) as usize);
+        let out = mb.global_zeroed("hidden", Ty::F64, no as usize);
+
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let jh = f.new_block("j_header"); // target loop: output units
+        let pre = f.new_block("pre");
+        let ih = f.new_block("i_header");
+        let ib = f.new_block("i_body");
+        let fin = f.new_block("fin");
+        let exit = f.new_block("exit");
+
+        let j = f.def_reg(Ty::I64, "j");
+        let i = f.def_reg(Ty::I64, "i");
+        let acc = f.def_reg(Ty::F64, "acc");
+
+        f.switch_to(entry);
+        f.mov(j, Operand::imm_i(0));
+        f.br(jh);
+
+        f.switch_to(jh);
+        let cj = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(j), Operand::imm_i(no));
+        f.cond_br(Operand::reg(cj), pre, exit);
+
+        f.switch_to(pre);
+        f.mov(acc, Operand::imm_f(0.0));
+        f.mov(i, Operand::imm_i(0));
+        f.br(ih);
+
+        f.switch_to(ih);
+        let ci = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(ni));
+        f.cond_br(Operand::reg(ci), ib, fin);
+
+        f.switch_to(ib);
+        // weights laid out [j][i] so unit j's weights are contiguous.
+        let wrow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(j), Operand::imm_i(ni));
+        let wi = f.bin(BinOp::Add, Ty::I64, Operand::reg(wrow), Operand::reg(i));
+        let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(w), Operand::reg(wi));
+        let wv = f.load(Ty::F64, Operand::reg(wa));
+        let xa = f.bin(BinOp::Add, Ty::I64, Operand::global(x), Operand::reg(i));
+        let xv = f.load(Ty::F64, Operand::reg(xa));
+        let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(wv), Operand::reg(xv));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(ih);
+
+        f.switch_to(fin);
+        // sigmoid(acc) = 1 / (1 + exp(-acc))
+        let negacc = f.un(UnOp::Neg, Ty::F64, Operand::reg(acc));
+        let e = f.un(UnOp::Exp, Ty::F64, Operand::reg(negacc));
+        let denom = f.bin(BinOp::Add, Ty::F64, Operand::imm_f(1.0), Operand::reg(e));
+        let sig = f.bin(BinOp::Div, Ty::F64, Operand::imm_f(1.0), Operand::reg(denom));
+        let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(j));
+        f.store(Ty::F64, Operand::reg(oa), Operand::reg(sig));
+        f.bin_into(j, BinOp::Add, Ty::I64, Operand::reg(j), Operand::imm_i(1));
+        f.br(jh);
+
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    fn gen_input(&self, size: SizeProfile, seed: u64) -> InputSet {
+        let (ni, no) = sizes(size);
+        let mut r = rng(seed);
+        let input = uniform_vec(&mut r, ni as usize, 0.0, 1.0);
+        // Correlated rows: consecutive units' weights (and hence
+        // activations) drift slowly.
+        let mut weights = Vec::with_capacity((ni * no) as usize);
+        let mut base = uniform_vec(&mut r, ni as usize, -0.2, 0.2);
+        for _ in 0..no {
+            for b in base.iter_mut() {
+                *b += rand::Rng::gen_range(&mut r, -0.02..0.02);
+            }
+            weights.extend_from_slice(&base);
+        }
+        InputSet {
+            arrays: vec![
+                ("input".into(), values(&input)),
+                ("weights".into(), values(&weights)),
+            ],
+        }
+    }
+
+    fn output_global(&self) -> &'static str {
+        "hidden"
+    }
+
+    fn golden(&self, size: SizeProfile, input: &InputSet) -> Vec<Value> {
+        let (ni, no) = sizes(size);
+        let x = input_f64(input, "input");
+        let w = input_f64(input, "weights");
+        let mut out = Vec::with_capacity(no as usize);
+        for j in 0..no as usize {
+            let mut acc = 0.0f64;
+            for i in 0..ni as usize {
+                acc += w[j * ni as usize + i] * x[i];
+            }
+            let sig = 1.0 / (1.0 + (-acc).exp());
+            out.push(Value::F(sig));
+        }
+        out
+    }
+}

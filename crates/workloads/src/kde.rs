@@ -1,0 +1,147 @@
+//! `kde` — Gaussian kernel density estimation (machine learning).
+//!
+//! Table 1: "Nested reduction loops, inside a outer loop". Each output
+//! `density[i] = Σ_j exp(-0.5·((x_i − x_j)/h)²) / (n·h·√(2π))` is an
+//! expensive transcendental reduction; densities of nearby query points
+//! vary smoothly — ideal dynamic-interpolation territory.
+
+use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, UnOp, Value};
+
+use crate::common::{
+    input_f64, rng, smooth_vec, values, Benchmark, InputSet, SizeProfile, WorkloadMeta,
+};
+
+/// The benchmark handle.
+pub struct Kde;
+
+const META: WorkloadMeta = WorkloadMeta {
+    name: "kde",
+    domain: "Machine learning",
+    description: "Kernel Density Estimation",
+    pattern: "Nested reduction loops",
+    location: "Inside a outer loop",
+};
+
+/// (query points, sample points).
+pub(crate) fn sizes(size: SizeProfile) -> (i64, i64) {
+    match size {
+        SizeProfile::Tiny => (16, 24),
+        SizeProfile::Small => (48, 96),
+        SizeProfile::Full => (128, 256),
+    }
+}
+
+const BANDWIDTH: f64 = 2.5;
+
+impl Benchmark for Kde {
+    fn meta(&self) -> &'static WorkloadMeta {
+        &META
+    }
+
+    fn build(&self, size: SizeProfile) -> Module {
+        let (nq, ns) = sizes(size);
+        let mut mb = ModuleBuilder::new("kde");
+        let q = mb.global_zeroed("queries", Ty::F64, nq as usize);
+        let s = mb.global_zeroed("samples", Ty::F64, ns as usize);
+        let out = mb.global_zeroed("density", Ty::F64, nq as usize);
+
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let ih = f.new_block("i_header"); // target loop
+        let pre = f.new_block("pre");
+        let jh = f.new_block("j_header");
+        let jb = f.new_block("j_body");
+        let fin = f.new_block("fin");
+        let exit = f.new_block("exit");
+
+        let i = f.def_reg(Ty::I64, "i");
+        let j = f.def_reg(Ty::I64, "j");
+        let acc = f.def_reg(Ty::F64, "acc");
+        let xi = f.def_reg(Ty::F64, "xi");
+
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(ih);
+
+        f.switch_to(ih);
+        let ci = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(nq));
+        f.cond_br(Operand::reg(ci), pre, exit);
+
+        f.switch_to(pre);
+        let qa = f.bin(BinOp::Add, Ty::I64, Operand::global(q), Operand::reg(i));
+        f.load_into(xi, Ty::F64, Operand::reg(qa));
+        f.mov(acc, Operand::imm_f(0.0));
+        f.mov(j, Operand::imm_i(0));
+        f.br(jh);
+
+        f.switch_to(jh);
+        let cj = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(j), Operand::imm_i(ns));
+        f.cond_br(Operand::reg(cj), jb, fin);
+
+        f.switch_to(jb);
+        let sa = f.bin(BinOp::Add, Ty::I64, Operand::global(s), Operand::reg(j));
+        let xj = f.load(Ty::F64, Operand::reg(sa));
+        let diff = f.bin(BinOp::Sub, Ty::F64, Operand::reg(xi), Operand::reg(xj));
+        let scaled = f.bin(BinOp::Div, Ty::F64, Operand::reg(diff), Operand::imm_f(BANDWIDTH));
+        let sq = f.bin(BinOp::Mul, Ty::F64, Operand::reg(scaled), Operand::reg(scaled));
+        let neg = f.bin(BinOp::Mul, Ty::F64, Operand::reg(sq), Operand::imm_f(-0.5));
+        let e = f.un(UnOp::Exp, Ty::F64, Operand::reg(neg));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(e));
+        f.bin_into(j, BinOp::Add, Ty::I64, Operand::reg(j), Operand::imm_i(1));
+        f.br(jh);
+
+        f.switch_to(fin);
+        // Normalization: acc / (ns * h * sqrt(2π)).
+        let norm = ns as f64 * BANDWIDTH * (2.0 * std::f64::consts::PI).sqrt();
+        let d = f.bin(BinOp::Div, Ty::F64, Operand::reg(acc), Operand::imm_f(norm));
+        let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
+        f.store(Ty::F64, Operand::reg(oa), Operand::reg(d));
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(ih);
+
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    fn gen_input(&self, size: SizeProfile, seed: u64) -> InputSet {
+        let (nq, ns) = sizes(size);
+        let mut r = rng(seed);
+        // Sorted-ish query sweep: consecutive densities follow trends.
+        let queries: Vec<f64> = (0..nq)
+            .map(|k| k as f64 * (40.0 / nq as f64))
+            .collect();
+        let samples = smooth_vec(&mut r, ns as usize, 20.0, 2.0);
+        InputSet {
+            arrays: vec![
+                ("queries".into(), values(&queries)),
+                ("samples".into(), values(&samples)),
+            ],
+        }
+    }
+
+    fn output_global(&self) -> &'static str {
+        "density"
+    }
+
+    fn golden(&self, size: SizeProfile, input: &InputSet) -> Vec<Value> {
+        let (nq, ns) = sizes(size);
+        let queries = input_f64(input, "queries");
+        let samples = input_f64(input, "samples");
+        let norm = ns as f64 * BANDWIDTH * (2.0 * std::f64::consts::PI).sqrt();
+        let mut out = Vec::with_capacity(nq as usize);
+        for &xi in queries.iter().take(nq as usize) {
+            let mut acc = 0.0f64;
+            for &xj in samples.iter().take(ns as usize) {
+                let diff = xi - xj;
+                let scaled = diff / BANDWIDTH;
+                let sq = scaled * scaled;
+                let neg = sq * -0.5;
+                acc += neg.exp();
+            }
+            out.push(Value::F(acc / norm));
+        }
+        out
+    }
+}

@@ -1,0 +1,94 @@
+//! # rskip-workloads — the nine evaluation benchmarks
+//!
+//! Reproduces the paper's Table 1 benchmark suite in the RSkip IR. The
+//! original evaluation used Rodinia, Parboil, PARSEC and darknet C
+//! programs; those exact sources (and their large inputs: 1024×1024
+//! matrices, a full YOLOv2 network) are out of scope for a self-contained
+//! simulator, so each workload is rebuilt from its computational pattern
+//! with scaled-down, configurable sizes:
+//!
+//! | name | domain | prediction-target pattern |
+//! |---|---|---|
+//! | `conv1d` | signal processing / ML | reduction loop inside an outer loop |
+//! | `conv2d` | signal processing / ML | nested reduction loops **with a conditional** |
+//! | `sgemm` | linear algebra | nested reduction loops |
+//! | `kde` | machine learning | nested reduction loops (Gaussian kernel) |
+//! | `forwardprop` | machine learning | reduction loop + activation |
+//! | `backprop` | machine learning | reduction loop |
+//! | `blackscholes` | finance | pure function call (6 inputs) — memoizable |
+//! | `lud` | linear algebra | reduction loop with varying trip count and in-place update |
+//! | `yolo_lite` | computer vision | conv reductions + argmax output (logical masking) |
+//!
+//! Each [`Benchmark`] provides the IR module, seeded input generation
+//! (training and test inputs never share seeds, matching the paper's "no
+//! intersection" requirement) and a *golden* native Rust implementation
+//! that performs bit-identical arithmetic — integration tests check the
+//! interpreter against it exactly.
+
+#![deny(missing_docs)]
+
+mod backprop;
+mod blackscholes;
+mod common;
+mod conv1d;
+mod conv2d;
+mod forwardprop;
+mod kde;
+mod lud;
+mod yolo;
+
+pub use common::{Benchmark, InputSet, SizeProfile, WorkloadMeta};
+
+mod sgemm;
+
+/// All nine benchmarks in the paper's Table 1 order.
+pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(conv1d::Conv1d),
+        Box::new(conv2d::Conv2d),
+        Box::new(sgemm::Sgemm),
+        Box::new(kde::Kde),
+        Box::new(forwardprop::ForwardProp),
+        Box::new(backprop::BackProp),
+        Box::new(blackscholes::BlackScholes),
+        Box::new(lud::Lud),
+        Box::new(yolo::YoloLite),
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn benchmark_by_name(name: &str) -> Option<Box<dyn Benchmark>> {
+    all_benchmarks().into_iter().find(|b| b.meta().name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_nine_benchmarks() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 9);
+        let names: Vec<&str> = all.iter().map(|b| b.meta().name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "conv1d",
+                "conv2d",
+                "sgemm",
+                "kde",
+                "forwardprop",
+                "backprop",
+                "blackscholes",
+                "lud",
+                "yolo_lite"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark_by_name("sgemm").is_some());
+        assert!(benchmark_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! `lud` — in-place LU decomposition (Rodinia).
+//!
+//! Table 1: "A reduction loop with a varying trip count, inside a outer
+//! loop". This is the paper's Fig. 4b example: the loop reads *and updates
+//! the same memory location* (`a[j*size+i]`), the case that needs the
+//! original value preserved for re-computation (§4.1.2) — our transform
+//! records it as a body argument. Both inner `j` loops (row update and
+//! column update) are prediction candidates with `no_alias` hints (the
+//! paper's pragma mechanism).
+
+use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, Value};
+
+use crate::common::{input_f64, rng, values, Benchmark, InputSet, SizeProfile, WorkloadMeta};
+use rand::Rng;
+
+/// The benchmark handle.
+pub struct Lud;
+
+const META: WorkloadMeta = WorkloadMeta {
+    name: "lud",
+    domain: "Linear algebra",
+    description: "LU decomposition",
+    pattern: "A reduction loop with a varying trip count",
+    location: "Inside a outer loop",
+};
+
+/// Matrix side length.
+pub(crate) fn sizes(size: SizeProfile) -> i64 {
+    match size {
+        SizeProfile::Tiny => 8,
+        SizeProfile::Small => 24,
+        SizeProfile::Full => 48,
+    }
+}
+
+impl Benchmark for Lud {
+    fn meta(&self) -> &'static WorkloadMeta {
+        &META
+    }
+
+    fn build(&self, size: SizeProfile) -> Module {
+        let n = sizes(size);
+        let mut mb = ModuleBuilder::new("lud");
+        let a = mb.global_zeroed("a", Ty::F64, (n * n) as usize);
+
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let ih = f.new_block("i_header");
+        let rj_init = f.new_block("rowj_init");
+        let rjh = f.new_block("rowj_header"); // candidate 1
+        let rpre = f.new_block("row_pre");
+        let rkh = f.new_block("rowk_header");
+        let rkb = f.new_block("rowk_body");
+        let rfin = f.new_block("row_fin");
+        let cj_init = f.new_block("colj_init");
+        let cjh = f.new_block("colj_header"); // candidate 2
+        let cpre = f.new_block("col_pre");
+        let ckh = f.new_block("colk_header");
+        let ckb = f.new_block("colk_body");
+        let cfin = f.new_block("col_fin");
+        let il = f.new_block("i_latch");
+        let exit = f.new_block("exit");
+
+        let i = f.def_reg(Ty::I64, "i");
+        let j = f.def_reg(Ty::I64, "j");
+        let k = f.def_reg(Ty::I64, "k");
+        let sum = f.def_reg(Ty::F64, "sum");
+        let addr = f.def_reg(Ty::I64, "addr");
+        let irow = f.def_reg(Ty::I64, "irow");
+
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(ih);
+
+        f.switch_to(ih);
+        let ci = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(n));
+        f.cond_br(Operand::reg(ci), rj_init, exit);
+
+        f.switch_to(rj_init);
+        f.bin_into(irow, BinOp::Mul, Ty::I64, Operand::reg(i), Operand::imm_i(n));
+        f.mov(j, Operand::reg(i));
+        f.br(rjh);
+
+        // --- Row update: a[i][j] -= Σ_{k<i} a[i][k] * a[k][j], j in i..n
+        f.switch_to(rjh);
+        let cj = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(j), Operand::imm_i(n));
+        f.cond_br(Operand::reg(cj), rpre, cj_init);
+
+        f.switch_to(rpre);
+        let idx = f.bin(BinOp::Add, Ty::I64, Operand::reg(irow), Operand::reg(j));
+        f.bin_into(addr, BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(idx));
+        f.load_into(sum, Ty::F64, Operand::reg(addr));
+        f.mov(k, Operand::imm_i(0));
+        f.br(rkh);
+
+        f.switch_to(rkh);
+        let ck = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(k), Operand::reg(i));
+        f.cond_br(Operand::reg(ck), rkb, rfin);
+
+        f.switch_to(rkb);
+        let ik = f.bin(BinOp::Add, Ty::I64, Operand::reg(irow), Operand::reg(k));
+        let ika = f.bin(BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(ik));
+        let ikv = f.load(Ty::F64, Operand::reg(ika));
+        let krow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(k), Operand::imm_i(n));
+        let kj = f.bin(BinOp::Add, Ty::I64, Operand::reg(krow), Operand::reg(j));
+        let kja = f.bin(BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(kj));
+        let kjv = f.load(Ty::F64, Operand::reg(kja));
+        let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(ikv), Operand::reg(kjv));
+        f.bin_into(sum, BinOp::Sub, Ty::F64, Operand::reg(sum), Operand::reg(prod));
+        f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
+        f.br(rkh);
+
+        f.switch_to(rfin);
+        f.store(Ty::F64, Operand::reg(addr), Operand::reg(sum));
+        f.bin_into(j, BinOp::Add, Ty::I64, Operand::reg(j), Operand::imm_i(1));
+        f.br(rjh);
+
+        // --- Column update: a[j][i] = (a[j][i] - Σ_{k<i} a[j][k]*a[k][i])
+        //     / a[i][i], j in i+1..n
+        f.switch_to(cj_init);
+        f.bin_into(j, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(cjh);
+
+        f.switch_to(cjh);
+        let cj2 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(j), Operand::imm_i(n));
+        f.cond_br(Operand::reg(cj2), cpre, il);
+
+        f.switch_to(cpre);
+        let jrow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(j), Operand::imm_i(n));
+        let ji = f.bin(BinOp::Add, Ty::I64, Operand::reg(jrow), Operand::reg(i));
+        f.bin_into(addr, BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(ji));
+        f.load_into(sum, Ty::F64, Operand::reg(addr));
+        f.mov(k, Operand::imm_i(0));
+        f.br(ckh);
+
+        f.switch_to(ckh);
+        let ck2 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(k), Operand::reg(i));
+        f.cond_br(Operand::reg(ck2), ckb, cfin);
+
+        f.switch_to(ckb);
+        let jk = f.bin(BinOp::Add, Ty::I64, Operand::reg(jrow), Operand::reg(k));
+        let jka = f.bin(BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(jk));
+        let jkv = f.load(Ty::F64, Operand::reg(jka));
+        let krow2 = f.bin(BinOp::Mul, Ty::I64, Operand::reg(k), Operand::imm_i(n));
+        let ki = f.bin(BinOp::Add, Ty::I64, Operand::reg(krow2), Operand::reg(i));
+        let kia = f.bin(BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(ki));
+        let kiv = f.load(Ty::F64, Operand::reg(kia));
+        let prod2 = f.bin(BinOp::Mul, Ty::F64, Operand::reg(jkv), Operand::reg(kiv));
+        f.bin_into(sum, BinOp::Sub, Ty::F64, Operand::reg(sum), Operand::reg(prod2));
+        f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
+        f.br(ckh);
+
+        f.switch_to(cfin);
+        let ii = f.bin(BinOp::Add, Ty::I64, Operand::reg(irow), Operand::reg(i));
+        let iia = f.bin(BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(ii));
+        let pivot = f.load(Ty::F64, Operand::reg(iia));
+        let div = f.bin(BinOp::Div, Ty::F64, Operand::reg(sum), Operand::reg(pivot));
+        f.store(Ty::F64, Operand::reg(addr), Operand::reg(div));
+        f.bin_into(j, BinOp::Add, Ty::I64, Operand::reg(j), Operand::imm_i(1));
+        f.br(cjh);
+
+        f.switch_to(il);
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(ih);
+
+        f.switch_to(exit);
+        f.ret(None);
+
+        // The paper's pragma: assert that slice loads never read cells
+        // written by other iterations of the same loop run (§4.1.2).
+        f.hint(rjh, true, None);
+        f.hint(cjh, true, None);
+        f.finish();
+        mb.finish()
+    }
+
+    fn gen_input(&self, size: SizeProfile, seed: u64) -> InputSet {
+        let n = sizes(size) as usize;
+        let mut r = rng(seed);
+        // Diagonally dominant (LU without pivoting stays stable) over a
+        // smooth random field: matrix entries drift slowly along rows, so
+        // consecutive factor elements follow local trends — the
+        // spatio-value similarity the paper's lud runs exhibit (Fig. 8b
+        // reports ~90% skip rates).
+        let mut a = vec![0.0f64; n * n];
+        for row in 0..n {
+            let mut v = r.gen_range(1.0..3.0);
+            for col in 0..n {
+                v += r.gen_range(-0.15..0.15);
+                a[row * n + col] = if row == col {
+                    n as f64 + v + r.gen_range(0.0..2.0)
+                } else {
+                    v
+                };
+            }
+        }
+        InputSet {
+            arrays: vec![("a".into(), values(&a))],
+        }
+    }
+
+    fn output_global(&self) -> &'static str {
+        "a"
+    }
+
+    fn golden(&self, size: SizeProfile, input: &InputSet) -> Vec<Value> {
+        let n = sizes(size) as usize;
+        let mut a = input_f64(input, "a");
+        for i in 0..n {
+            for j in i..n {
+                let mut sum = a[i * n + j];
+                for k in 0..i {
+                    sum -= a[i * n + k] * a[k * n + j];
+                }
+                a[i * n + j] = sum;
+            }
+            for j in (i + 1)..n {
+                let mut sum = a[j * n + i];
+                for k in 0..i {
+                    sum -= a[j * n + k] * a[k * n + i];
+                }
+                a[j * n + i] = sum / a[i * n + i];
+            }
+        }
+        a.into_iter().map(Value::F).collect()
+    }
+}

@@ -1,0 +1,163 @@
+//! `sgemm` — general matrix multiplication (Parboil-style).
+//!
+//! Table 1: "Nested reduction loops, inside a outer loop". The j-loop over
+//! one output row is the prediction target; each element is a dot product
+//! of row i of A with column j of B. The paper uses integer matrices; we
+//! keep `f64` cells (the IR's numeric type for prediction targets) with
+//! integer-valued contents, preserving exact arithmetic.
+
+use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, Value};
+
+use crate::common::{
+    input_f64, rng, values, Benchmark, InputSet, SizeProfile, WorkloadMeta,
+};
+use rand::Rng;
+
+/// The benchmark handle.
+pub struct Sgemm;
+
+const META: WorkloadMeta = WorkloadMeta {
+    name: "sgemm",
+    domain: "Linear algebra",
+    description: "General matrix multiplication",
+    pattern: "Nested reduction loops",
+    location: "Inside a outer loop",
+};
+
+/// Matrix side length.
+pub(crate) fn sizes(size: SizeProfile) -> i64 {
+    match size {
+        SizeProfile::Tiny => 10,
+        SizeProfile::Small => 28,
+        SizeProfile::Full => 64,
+    }
+}
+
+impl Benchmark for Sgemm {
+    fn meta(&self) -> &'static WorkloadMeta {
+        &META
+    }
+
+    fn build(&self, size: SizeProfile) -> Module {
+        let n = sizes(size);
+        let mut mb = ModuleBuilder::new("sgemm");
+        let a = mb.global_zeroed("a", Ty::F64, (n * n) as usize);
+        let b = mb.global_zeroed("b", Ty::F64, (n * n) as usize);
+        let c = mb.global_zeroed("c", Ty::F64, (n * n) as usize);
+
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        let ih = f.new_block("i_header");
+        let ib = f.new_block("i_body");
+        let jh = f.new_block("j_header"); // target loop
+        let pre = f.new_block("pre");
+        let kh = f.new_block("k_header");
+        let kb = f.new_block("k_body");
+        let fin = f.new_block("fin");
+        let jl = f.new_block("j_exit");
+        let exit = f.new_block("exit");
+
+        let i = f.def_reg(Ty::I64, "i");
+        let j = f.def_reg(Ty::I64, "j");
+        let k = f.def_reg(Ty::I64, "k");
+        let acc = f.def_reg(Ty::F64, "acc");
+        let arow = f.def_reg(Ty::I64, "arow");
+
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(ih);
+
+        f.switch_to(ih);
+        let ci = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(n));
+        f.cond_br(Operand::reg(ci), ib, exit);
+
+        f.switch_to(ib);
+        f.bin_into(arow, BinOp::Mul, Ty::I64, Operand::reg(i), Operand::imm_i(n));
+        f.mov(j, Operand::imm_i(0));
+        f.br(jh);
+
+        f.switch_to(jh);
+        let cj = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(j), Operand::imm_i(n));
+        f.cond_br(Operand::reg(cj), pre, jl);
+
+        f.switch_to(pre);
+        f.mov(acc, Operand::imm_f(0.0));
+        f.mov(k, Operand::imm_i(0));
+        f.br(kh);
+
+        f.switch_to(kh);
+        let ck = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(k), Operand::imm_i(n));
+        f.cond_br(Operand::reg(ck), kb, fin);
+
+        f.switch_to(kb);
+        let ai = f.bin(BinOp::Add, Ty::I64, Operand::reg(arow), Operand::reg(k));
+        let aa = f.bin(BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(ai));
+        let av = f.load(Ty::F64, Operand::reg(aa));
+        let brow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(k), Operand::imm_i(n));
+        let bi = f.bin(BinOp::Add, Ty::I64, Operand::reg(brow), Operand::reg(j));
+        let ba = f.bin(BinOp::Add, Ty::I64, Operand::global(b), Operand::reg(bi));
+        let bv = f.load(Ty::F64, Operand::reg(ba));
+        let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(av), Operand::reg(bv));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
+        f.br(kh);
+
+        f.switch_to(fin);
+        let oi = f.bin(BinOp::Add, Ty::I64, Operand::reg(arow), Operand::reg(j));
+        let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(c), Operand::reg(oi));
+        f.store(Ty::F64, Operand::reg(oa), Operand::reg(acc));
+        f.bin_into(j, BinOp::Add, Ty::I64, Operand::reg(j), Operand::imm_i(1));
+        f.br(jh);
+
+        f.switch_to(jl);
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.br(ih);
+
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    fn gen_input(&self, size: SizeProfile, seed: u64) -> InputSet {
+        let n = sizes(size) as usize;
+        let mut r = rng(seed);
+        // Integer-valued cells (the paper uses integer matrices); B gets
+        // smooth columns so consecutive c[i][j] along j follow trends.
+        let a: Vec<f64> = (0..n * n).map(|_| r.gen_range(0..8) as f64).collect();
+        let mut b = vec![0.0f64; n * n];
+        for col in 0..n {
+            let mut v = r.gen_range(0..6) as f64;
+            for row in 0..n {
+                if r.gen_range(0..4) == 0 {
+                    v = r.gen_range(0..6) as f64;
+                }
+                b[row * n + col] = v;
+            }
+        }
+        InputSet {
+            arrays: vec![("a".into(), values(&a)), ("b".into(), values(&b))],
+        }
+    }
+
+    fn output_global(&self) -> &'static str {
+        "c"
+    }
+
+    fn golden(&self, size: SizeProfile, input: &InputSet) -> Vec<Value> {
+        let n = sizes(size) as usize;
+        let a = input_f64(input, "a");
+        let b = input_f64(input, "b");
+        let mut c = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for k in 0..n {
+                    acc += a[i * n + k] * b[k * n + j];
+                }
+                c.push(Value::F(acc));
+            }
+        }
+        c
+    }
+}

@@ -1,0 +1,364 @@
+//! `yolo_lite` — a small darknet-style object classifier.
+//!
+//! Stands in for the paper's YOLOv2 (Table 1: "A reduction loop, inside a
+//! outer loop"; §7.2 notes its false negatives are "generally benign"). A
+//! full YOLOv2 is out of scope for an IR interpreter; this network keeps
+//! the property the paper's reliability discussion relies on: *after
+//! extensive computation through multiple layers, only a label with the
+//! highest probability is produced as the output*, so small numeric errors
+//! are logically masked by the final argmax.
+//!
+//! Pipeline: 3×3 conv (C filters, leaky ReLU) → 2×2 maxpool → dense layer
+//! → argmax label. The conv pixel loop and the dense class loop are both
+//! prediction candidates.
+
+use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, Value};
+
+use crate::common::{
+    input_f64, rng, smooth_vec, uniform_vec, values, Benchmark, InputSet, SizeProfile,
+    WorkloadMeta,
+};
+
+/// The benchmark handle.
+pub struct YoloLite;
+
+const META: WorkloadMeta = WorkloadMeta {
+    name: "yolo_lite",
+    domain: "Machine learning, Computer vision",
+    description: "Real time object detection (scaled-down darknet-style classifier)",
+    pattern: "A reduction loop",
+    location: "Inside a outer loop",
+};
+
+/// (image side, conv filters, classes).
+pub(crate) fn sizes(size: SizeProfile) -> (i64, i64, i64) {
+    match size {
+        SizeProfile::Tiny => (8, 2, 4),
+        SizeProfile::Small => (16, 4, 10),
+        SizeProfile::Full => (32, 8, 10),
+    }
+}
+
+impl Benchmark for YoloLite {
+    fn meta(&self) -> &'static WorkloadMeta {
+        &META
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn build(&self, size: SizeProfile) -> Module {
+        let (n, nc, ncls) = sizes(size);
+        let np = n * n; // pixels
+        let half_n = n / 2;
+        let npool = half_n * half_n;
+        let mut mb = ModuleBuilder::new("yolo_lite");
+        let img = mb.global_zeroed("image", Ty::F64, np as usize);
+        let w1 = mb.global_zeroed("conv_w", Ty::F64, (nc * 9) as usize);
+        let b1 = mb.global_zeroed("conv_b", Ty::F64, nc as usize);
+        let feat = mb.global_zeroed("features", Ty::F64, (nc * np) as usize);
+        let pooled = mb.global_zeroed("pooled", Ty::F64, (nc * npool) as usize);
+        let w2 = mb.global_zeroed("dense_w", Ty::F64, (ncls * nc * npool) as usize);
+        let scores = mb.global_zeroed("scores", Ty::F64, ncls as usize);
+        let label = mb.global_zeroed("label", Ty::I64, 1);
+
+        let mut f = mb.function("main", vec![], None);
+        let entry = f.entry_block();
+        // Conv layer.
+        let ch = f.new_block("c_header");
+        let cb = f.new_block("c_body");
+        let ph = f.new_block("p_header"); // candidate: pixel loop
+        let ppre = f.new_block("p_pre");
+        let kh = f.new_block("k_header");
+        let kb = f.new_block("k_body");
+        let pfin = f.new_block("p_fin");
+        let pl = f.new_block("p_exit");
+        // Maxpool layer.
+        let mh = f.new_block("m_header");
+        let mb_ = f.new_block("m_body");
+        // Dense layer.
+        let dh = f.new_block("d_header"); // candidate: class loop
+        let dpre = f.new_block("d_pre");
+        let uh = f.new_block("u_header");
+        let ub = f.new_block("u_body");
+        let dfin = f.new_block("d_fin");
+        // Argmax.
+        let ah = f.new_block("a_header");
+        let ab = f.new_block("a_body");
+        let atake = f.new_block("a_take");
+        let al = f.new_block("a_latch");
+        let fin = f.new_block("final");
+        let exit = f.new_block("exit");
+
+        let c = f.def_reg(Ty::I64, "c");
+        let p = f.def_reg(Ty::I64, "p");
+        let kk = f.def_reg(Ty::I64, "kk");
+        let acc = f.def_reg(Ty::F64, "acc");
+        let m = f.def_reg(Ty::I64, "m");
+        let d = f.def_reg(Ty::I64, "d");
+        let u = f.def_reg(Ty::I64, "u");
+        let best = f.def_reg(Ty::F64, "best");
+        let besti = f.def_reg(Ty::I64, "besti");
+        let ai = f.def_reg(Ty::I64, "ai");
+
+        f.switch_to(entry);
+        f.mov(c, Operand::imm_i(0));
+        f.br(ch);
+
+        f.switch_to(ch);
+        let cc = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(c), Operand::imm_i(nc));
+        f.cond_br(Operand::reg(cc), cb, mh);
+
+        f.switch_to(cb);
+        f.mov(p, Operand::imm_i(0));
+        f.br(ph);
+
+        f.switch_to(ph);
+        let cp = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(p), Operand::imm_i(np));
+        f.cond_br(Operand::reg(cp), ppre, pl);
+
+        f.switch_to(ppre);
+        f.mov(acc, Operand::imm_f(0.0));
+        f.mov(kk, Operand::imm_i(0));
+        f.br(kh);
+
+        f.switch_to(kh);
+        let ck = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(kk), Operand::imm_i(9));
+        f.cond_br(Operand::reg(ck), kb, pfin);
+
+        f.switch_to(kb);
+        // dy = kk/3 - 1, dx = kk%3 - 1; py = p/n + dy, px = p%n + dx.
+        let dy0 = f.bin(BinOp::Div, Ty::I64, Operand::reg(kk), Operand::imm_i(3));
+        let dy = f.bin(BinOp::Sub, Ty::I64, Operand::reg(dy0), Operand::imm_i(1));
+        let dx0 = f.bin(BinOp::Rem, Ty::I64, Operand::reg(kk), Operand::imm_i(3));
+        let dx = f.bin(BinOp::Sub, Ty::I64, Operand::reg(dx0), Operand::imm_i(1));
+        let py0 = f.bin(BinOp::Div, Ty::I64, Operand::reg(p), Operand::imm_i(n));
+        let py = f.bin(BinOp::Add, Ty::I64, Operand::reg(py0), Operand::reg(dy));
+        let px0 = f.bin(BinOp::Rem, Ty::I64, Operand::reg(p), Operand::imm_i(n));
+        let px = f.bin(BinOp::Add, Ty::I64, Operand::reg(px0), Operand::reg(dx));
+        let gey = f.cmp(CmpOp::Ge, Ty::I64, Operand::reg(py), Operand::imm_i(0));
+        let lty = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(py), Operand::imm_i(n));
+        let gex = f.cmp(CmpOp::Ge, Ty::I64, Operand::reg(px), Operand::imm_i(0));
+        let ltx = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(px), Operand::imm_i(n));
+        let b1_ = f.bin(BinOp::And, Ty::I64, Operand::reg(gey), Operand::reg(lty));
+        let b2_ = f.bin(BinOp::And, Ty::I64, Operand::reg(gex), Operand::reg(ltx));
+        let ok = f.bin(BinOp::And, Ty::I64, Operand::reg(b1_), Operand::reg(b2_));
+        // Clamp the address when out of bounds, zero the contribution.
+        let prow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(py), Operand::imm_i(n));
+        let pidx = f.bin(BinOp::Add, Ty::I64, Operand::reg(prow), Operand::reg(px));
+        let safe = f.select(Ty::I64, Operand::reg(ok), Operand::reg(pidx), Operand::imm_i(0));
+        let ia = f.bin(BinOp::Add, Ty::I64, Operand::global(img), Operand::reg(safe));
+        let iv = f.load(Ty::F64, Operand::reg(ia));
+        let wrow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(c), Operand::imm_i(9));
+        let wi = f.bin(BinOp::Add, Ty::I64, Operand::reg(wrow), Operand::reg(kk));
+        let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(w1), Operand::reg(wi));
+        let wv = f.load(Ty::F64, Operand::reg(wa));
+        let prod0 = f.bin(BinOp::Mul, Ty::F64, Operand::reg(iv), Operand::reg(wv));
+        let prod = f.select(Ty::F64, Operand::reg(ok), Operand::reg(prod0), Operand::imm_f(0.0));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(kk, BinOp::Add, Ty::I64, Operand::reg(kk), Operand::imm_i(1));
+        f.br(kh);
+
+        f.switch_to(pfin);
+        let ba = f.bin(BinOp::Add, Ty::I64, Operand::global(b1), Operand::reg(c));
+        let bv = f.load(Ty::F64, Operand::reg(ba));
+        let biased = f.bin(BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(bv));
+        let leak = f.bin(BinOp::Mul, Ty::F64, Operand::reg(biased), Operand::imm_f(0.1));
+        let act = f.bin(BinOp::Max, Ty::F64, Operand::reg(biased), Operand::reg(leak));
+        let frow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(c), Operand::imm_i(np));
+        let fi = f.bin(BinOp::Add, Ty::I64, Operand::reg(frow), Operand::reg(p));
+        let fa = f.bin(BinOp::Add, Ty::I64, Operand::global(feat), Operand::reg(fi));
+        f.store(Ty::F64, Operand::reg(fa), Operand::reg(act));
+        f.bin_into(p, BinOp::Add, Ty::I64, Operand::reg(p), Operand::imm_i(1));
+        f.br(ph);
+
+        f.switch_to(pl);
+        f.bin_into(c, BinOp::Add, Ty::I64, Operand::reg(c), Operand::imm_i(1));
+        f.br(ch);
+
+        // --- Maxpool 2x2 over a flat index m in 0..nc*npool. ---
+        f.switch_to(mh);
+        // m encodes (c, py, px) as c*npool + py*half_n + px.
+        let cm = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(m), Operand::imm_i(nc * npool));
+        f.cond_br(Operand::reg(cm), mb_, dh);
+        // m starts implicitly at 0 (registers are zero-initialized; set
+        // explicitly in the conv exit for clarity). Initialization happens
+        // in `pl`'s fall-through: add it before the mh branch instead.
+
+        f.switch_to(mb_);
+        let mc = f.bin(BinOp::Div, Ty::I64, Operand::reg(m), Operand::imm_i(npool));
+        let mrem = f.bin(BinOp::Rem, Ty::I64, Operand::reg(m), Operand::imm_i(npool));
+        let mpy = f.bin(BinOp::Div, Ty::I64, Operand::reg(mrem), Operand::imm_i(half_n));
+        let mpx = f.bin(BinOp::Rem, Ty::I64, Operand::reg(mrem), Operand::imm_i(half_n));
+        let sy = f.bin(BinOp::Mul, Ty::I64, Operand::reg(mpy), Operand::imm_i(2));
+        let sx = f.bin(BinOp::Mul, Ty::I64, Operand::reg(mpx), Operand::imm_i(2));
+        let base = f.bin(BinOp::Mul, Ty::I64, Operand::reg(mc), Operand::imm_i(np));
+        let r0 = f.bin(BinOp::Mul, Ty::I64, Operand::reg(sy), Operand::imm_i(n));
+        let i00 = f.bin(BinOp::Add, Ty::I64, Operand::reg(r0), Operand::reg(sx));
+        let a00 = f.bin(BinOp::Add, Ty::I64, Operand::reg(base), Operand::reg(i00));
+        let fa00 = f.bin(BinOp::Add, Ty::I64, Operand::global(feat), Operand::reg(a00));
+        let v00 = f.load(Ty::F64, Operand::reg(fa00));
+        let fa01 = f.bin(BinOp::Add, Ty::I64, Operand::reg(fa00), Operand::imm_i(1));
+        let v01 = f.load(Ty::F64, Operand::reg(fa01));
+        let fa10 = f.bin(BinOp::Add, Ty::I64, Operand::reg(fa00), Operand::imm_i(n));
+        let v10 = f.load(Ty::F64, Operand::reg(fa10));
+        let fa11 = f.bin(BinOp::Add, Ty::I64, Operand::reg(fa10), Operand::imm_i(1));
+        let v11 = f.load(Ty::F64, Operand::reg(fa11));
+        let m1 = f.bin(BinOp::Max, Ty::F64, Operand::reg(v00), Operand::reg(v01));
+        let m2 = f.bin(BinOp::Max, Ty::F64, Operand::reg(v10), Operand::reg(v11));
+        let m3 = f.bin(BinOp::Max, Ty::F64, Operand::reg(m1), Operand::reg(m2));
+        let pa = f.bin(BinOp::Add, Ty::I64, Operand::global(pooled), Operand::reg(m));
+        f.store(Ty::F64, Operand::reg(pa), Operand::reg(m3));
+        f.bin_into(m, BinOp::Add, Ty::I64, Operand::reg(m), Operand::imm_i(1));
+        f.br(mh);
+
+        // --- Dense layer: scores[d] = Σ_u w2[d][u] * pooled[u]. ---
+        f.switch_to(dh);
+        let cd = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(d), Operand::imm_i(ncls));
+        f.cond_br(Operand::reg(cd), dpre, ah);
+
+        f.switch_to(dpre);
+        f.mov(acc, Operand::imm_f(0.0));
+        f.mov(u, Operand::imm_i(0));
+        f.br(uh);
+
+        f.switch_to(uh);
+        let cu = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(u), Operand::imm_i(nc * npool));
+        f.cond_br(Operand::reg(cu), ub, dfin);
+
+        f.switch_to(ub);
+        let w2row = f.bin(BinOp::Mul, Ty::I64, Operand::reg(d), Operand::imm_i(nc * npool));
+        let w2i = f.bin(BinOp::Add, Ty::I64, Operand::reg(w2row), Operand::reg(u));
+        let w2a = f.bin(BinOp::Add, Ty::I64, Operand::global(w2), Operand::reg(w2i));
+        let w2v = f.load(Ty::F64, Operand::reg(w2a));
+        let pva = f.bin(BinOp::Add, Ty::I64, Operand::global(pooled), Operand::reg(u));
+        let pv = f.load(Ty::F64, Operand::reg(pva));
+        let dp = f.bin(BinOp::Mul, Ty::F64, Operand::reg(w2v), Operand::reg(pv));
+        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(dp));
+        f.bin_into(u, BinOp::Add, Ty::I64, Operand::reg(u), Operand::imm_i(1));
+        f.br(uh);
+
+        f.switch_to(dfin);
+        let sa = f.bin(BinOp::Add, Ty::I64, Operand::global(scores), Operand::reg(d));
+        f.store(Ty::F64, Operand::reg(sa), Operand::reg(acc));
+        f.bin_into(d, BinOp::Add, Ty::I64, Operand::reg(d), Operand::imm_i(1));
+        f.br(dh);
+
+        // --- Argmax over scores. ---
+        f.switch_to(ah);
+        let ca = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(ai), Operand::imm_i(ncls));
+        f.cond_br(Operand::reg(ca), ab, fin);
+
+        f.switch_to(ab);
+        let sca = f.bin(BinOp::Add, Ty::I64, Operand::global(scores), Operand::reg(ai));
+        let scv = f.load(Ty::F64, Operand::reg(sca));
+        let is_first = f.cmp(CmpOp::Eq, Ty::I64, Operand::reg(ai), Operand::imm_i(0));
+        let better = f.cmp(CmpOp::Gt, Ty::F64, Operand::reg(scv), Operand::reg(best));
+        let take = f.bin(BinOp::Or, Ty::I64, Operand::reg(is_first), Operand::reg(better));
+        f.cond_br(Operand::reg(take), atake, al);
+
+        f.switch_to(atake);
+        f.mov(best, Operand::reg(scv));
+        f.mov(besti, Operand::reg(ai));
+        f.br(al);
+
+        f.switch_to(al);
+        f.bin_into(ai, BinOp::Add, Ty::I64, Operand::reg(ai), Operand::imm_i(1));
+        f.br(ah);
+
+        f.switch_to(fin);
+        f.store(Ty::I64, Operand::global(label), Operand::reg(besti));
+        f.br(exit);
+
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    fn gen_input(&self, size: SizeProfile, seed: u64) -> InputSet {
+        let (n, nc, ncls) = sizes(size);
+        let np = n * n;
+        let npool = (n / 2) * (n / 2);
+        let mut r = rng(seed);
+        let image = smooth_vec(&mut r, np as usize, 0.5, 0.08);
+        let conv_w = uniform_vec(&mut r, (nc * 9) as usize, -0.3, 0.3);
+        let conv_b = uniform_vec(&mut r, nc as usize, -0.1, 0.1);
+        let dense_w = uniform_vec(&mut r, (ncls * nc * npool) as usize, -0.1, 0.1);
+        InputSet {
+            arrays: vec![
+                ("image".into(), values(&image)),
+                ("conv_w".into(), values(&conv_w)),
+                ("conv_b".into(), values(&conv_b)),
+                ("dense_w".into(), values(&dense_w)),
+            ],
+        }
+    }
+
+    fn output_global(&self) -> &'static str {
+        "label"
+    }
+
+    fn golden(&self, size: SizeProfile, input: &InputSet) -> Vec<Value> {
+        let (n, nc, ncls) = sizes(size);
+        let np = (n * n) as usize;
+        let half_n = (n / 2) as usize;
+        let npool = half_n * half_n;
+        let image = input_f64(input, "image");
+        let conv_w = input_f64(input, "conv_w");
+        let conv_b = input_f64(input, "conv_b");
+        let dense_w = input_f64(input, "dense_w");
+
+        let nn = n as usize;
+        let mut feat = vec![0.0f64; nc as usize * np];
+        for c in 0..nc as usize {
+            for p in 0..np {
+                let mut acc = 0.0f64;
+                for kk in 0..9usize {
+                    let dy = kk as i64 / 3 - 1;
+                    let dx = kk as i64 % 3 - 1;
+                    let py = p as i64 / n + dy;
+                    let px = p as i64 % n + dx;
+                    let ok = py >= 0 && py < n && px >= 0 && px < n;
+                    // Mirror the IR exactly: the load happens from a
+                    // clamped address, the product is zeroed when out of
+                    // bounds.
+                    let safe = if ok { (py * n + px) as usize } else { 0 };
+                    let prod0 = image[safe] * conv_w[c * 9 + kk];
+                    let prod = if ok { prod0 } else { 0.0 };
+                    acc += prod;
+                }
+                let biased = acc + conv_b[c];
+                let act = biased.max(biased * 0.1);
+                feat[c * np + p] = act;
+            }
+        }
+        let mut pooled = vec![0.0f64; nc as usize * npool];
+        for (m, cell) in pooled.iter_mut().enumerate() {
+            let c = m / npool;
+            let rem = m % npool;
+            let py = rem / half_n;
+            let px = rem % half_n;
+            let sy = py * 2;
+            let sx = px * 2;
+            let base = c * np;
+            let v00 = feat[base + sy * nn + sx];
+            let v01 = feat[base + sy * nn + sx + 1];
+            let v10 = feat[base + (sy + 1) * nn + sx];
+            let v11 = feat[base + (sy + 1) * nn + sx + 1];
+            *cell = v00.max(v01).max(v10.max(v11));
+        }
+        let units = nc as usize * npool;
+        let mut best = 0.0f64;
+        let mut besti = 0i64;
+        for d in 0..ncls as usize {
+            let mut acc = 0.0f64;
+            for u in 0..units {
+                acc += dense_w[d * units + u] * pooled[u];
+            }
+            if d == 0 || acc > best {
+                best = acc;
+                besti = d as i64;
+            }
+        }
+        vec![Value::I(besti)]
+    }
+}

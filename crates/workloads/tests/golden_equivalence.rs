@@ -1,0 +1,99 @@
+//! Every workload's IR must verify, execute, and reproduce its golden
+//! native implementation bit-exactly; and every workload must expose at
+//! least one prediction candidate to the compiler.
+
+use rskip_exec::{Machine, NoopHooks};
+use rskip_workloads::{all_benchmarks, SizeProfile};
+
+#[test]
+fn all_workloads_verify() {
+    for b in all_benchmarks() {
+        for size in [SizeProfile::Tiny, SizeProfile::Small] {
+            let m = b.build(size);
+            rskip_ir::Verifier::new(&m)
+                .verify()
+                .unwrap_or_else(|e| panic!("{} ({size:?}): {e}", b.meta().name));
+        }
+    }
+}
+
+#[test]
+fn interpreter_matches_golden_bit_exactly() {
+    for b in all_benchmarks() {
+        let name = b.meta().name;
+        let m = b.build(SizeProfile::Tiny);
+        for seed in [2000u64, 2001, 2002] {
+            let input = b.gen_input(SizeProfile::Tiny, seed);
+            let expect = b.golden(SizeProfile::Tiny, &input);
+            let mut machine = Machine::new(&m, NoopHooks);
+            input.apply(&mut machine);
+            let out = machine.run("main", &[]);
+            assert!(out.returned(), "{name}: {:?}", out.termination);
+            let got = machine.read_global(b.output_global());
+            assert_eq!(got.len(), expect.len(), "{name}: output length");
+            for (i, (a, e)) in got.iter().zip(&expect).enumerate() {
+                assert!(
+                    a.bit_eq(*e),
+                    "{name} seed {seed}: output[{i}] = {a:?}, expected {e:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_workload_has_prediction_candidates() {
+    use rskip_analysis::{find_candidates, DetectConfig};
+    for b in all_benchmarks() {
+        let m = b.build(SizeProfile::Tiny);
+        let cands = find_candidates(&m, &DetectConfig::default());
+        assert!(
+            !cands.is_empty(),
+            "{}: no candidates detected",
+            b.meta().name
+        );
+    }
+}
+
+#[test]
+fn blackscholes_candidate_is_a_memoizable_call() {
+    use rskip_analysis::{find_candidates, CandidateKind, DetectConfig};
+    let b = rskip_workloads::benchmark_by_name("blackscholes").unwrap();
+    let m = b.build(SizeProfile::Tiny);
+    let cands = find_candidates(&m, &DetectConfig::default());
+    assert_eq!(cands.len(), 1);
+    match &cands[0].kind {
+        CandidateKind::Call { callee, memoizable } => {
+            assert_eq!(callee, "BlkSchlsEqEuroNoDiv");
+            assert!(memoizable);
+        }
+        other => panic!("expected call pattern, got {other:?}"),
+    }
+}
+
+#[test]
+fn lud_candidates_use_in_place_updates() {
+    use rskip_analysis::{find_candidates, DetectConfig};
+    let b = rskip_workloads::benchmark_by_name("lud").unwrap();
+    let m = b.build(SizeProfile::Tiny);
+    let cands = find_candidates(&m, &DetectConfig::default());
+    assert_eq!(cands.len(), 2, "row and column update loops");
+    for c in &cands {
+        assert!(c.slice.aliased_load.is_some(), "in-place pattern detected");
+        assert!(c.no_alias, "pragma hint picked up");
+    }
+}
+
+#[test]
+fn training_and_test_inputs_do_not_intersect() {
+    for b in all_benchmarks() {
+        let train = b.gen_input(SizeProfile::Tiny, 1000);
+        let test = b.gen_input(SizeProfile::Tiny, 2000);
+        let differs = train
+            .arrays
+            .iter()
+            .zip(&test.arrays)
+            .any(|((_, a), (_, b))| a != b);
+        assert!(differs, "{}: inputs identical across seeds", b.meta().name);
+    }
+}

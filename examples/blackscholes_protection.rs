@@ -1,0 +1,90 @@
+//! The paper's flagship case study (Fig. 8a): blackscholes with dynamic
+//! interpolation alone versus with approximate memoization as the
+//! second-level predictor — after a full offline training phase.
+//!
+//! ```text
+//! cargo run --release --example blackscholes_protection
+//! ```
+
+use rskip::exec::{ExecConfig, Machine, NoopHooks, PipelineConfig};
+use rskip::passes::{protect, Scheme};
+use rskip::runtime::{
+    profile_module_with, train_from_profiles, PredictionRuntime, RuntimeConfig, TrainingConfig,
+};
+use rskip::workloads::{benchmark_by_name, SizeProfile};
+
+fn main() {
+    let bench = benchmark_by_name("blackscholes").expect("registry");
+    let size = SizeProfile::Small;
+    let module = bench.build(size);
+    let protected = protect(&module, Scheme::RSkip);
+    let inits = rskip::region_inits(&protected);
+
+    // --- Offline phase (paper §6): profile on training inputs, then train
+    // the QoS table and the memoization lookup table. ---
+    let mut profiles = Vec::new();
+    for seed in 1000..1004u64 {
+        let input = bench.gen_input(size, seed);
+        let p = profile_module_with(&protected.module, "main", &[], &input.arrays);
+        if profiles.is_empty() {
+            profiles = p;
+        } else {
+            for (a, b) in profiles.iter_mut().zip(&p) {
+                a.merge(b);
+            }
+        }
+    }
+    let memoizable: Vec<bool> = inits.iter().map(|i| i.memoizable).collect();
+    let model = train_from_profiles(&profiles, &memoizable, &TrainingConfig::default());
+    let rm = &model.regions[&0];
+    println!(
+        "trained: {} QoS signatures, default TP {}, memoizer: {}",
+        rm.qos.len(),
+        rm.default_tp,
+        if rm.memo.is_some() { "deployed" } else { "not deployed" }
+    );
+
+    // --- Deployment: sweep the acceptable range with and without the
+    // second-level predictor. ---
+    let timing = ExecConfig {
+        timing: Some(PipelineConfig::default()),
+        ..ExecConfig::default()
+    };
+    let input = bench.gen_input(size, 2000);
+    let golden = bench.golden(size, &input);
+
+    let mut base = Machine::with_config(&module, NoopHooks, timing.clone());
+    input.apply(&mut base);
+    let base_cycles = base.run("main", &[]).counters.cycles as f64;
+
+    println!("\n  AR    DI-only time  DI-only skip   DI+memo time  DI+memo skip");
+    for ar in [0.2, 0.5, 0.8, 1.0] {
+        let mut row = Vec::new();
+        for enable_memo in [false, true] {
+            let config = RuntimeConfig {
+                enable_memo,
+                ..RuntimeConfig::with_ar(ar)
+            };
+            let rt = PredictionRuntime::with_model(&inits, config, &model);
+            let mut machine = Machine::with_config(&protected.module, rt, timing.clone());
+            input.apply(&mut machine);
+            let out = machine.run("main", &[]);
+            assert!(out.returned());
+            let got = machine.read_global(bench.output_global());
+            assert!(got.iter().zip(&golden).all(|(a, b)| a.bit_eq(*b)));
+            row.push((
+                out.counters.cycles as f64 / base_cycles,
+                machine.hooks().total_skip_rate(),
+            ));
+        }
+        println!(
+            "  AR{:<4}   {:>8.2}x     {:>7.2}%       {:>8.2}x     {:>7.2}%",
+            (ar * 100.0) as u32,
+            row[0].0,
+            row[0].1 * 100.0,
+            row[1].0,
+            row[1].1 * 100.0,
+        );
+    }
+    println!("\n(the second-level predictor lifts the skip rate — paper Fig. 8a)");
+}

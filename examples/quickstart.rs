@@ -1,0 +1,75 @@
+//! Quickstart: protect a benchmark with RSkip, run it, and compare the
+//! cost against SWIFT-R and the unprotected baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rskip::exec::{ExecConfig, Machine, NoopHooks, PipelineConfig};
+use rskip::passes::{protect, Scheme};
+use rskip::runtime::{PredictionRuntime, RuntimeConfig};
+use rskip::workloads::{benchmark_by_name, SizeProfile};
+
+fn main() {
+    let bench = benchmark_by_name("conv1d").expect("registry");
+    let size = SizeProfile::Small;
+    let module = bench.build(size);
+    let input = bench.gen_input(size, 2000);
+
+    let timing = ExecConfig {
+        timing: Some(PipelineConfig::default()),
+        ..ExecConfig::default()
+    };
+
+    // Unprotected baseline.
+    let mut base = Machine::with_config(&module, NoopHooks, timing.clone());
+    input.apply(&mut base);
+    let base_out = base.run("main", &[]);
+    println!(
+        "unprotected : {:>9} instructions, {:>9} cycles (ipc {:.2})",
+        base_out.counters.retired,
+        base_out.counters.cycles,
+        base_out.counters.ipc()
+    );
+
+    // Conventional protection: SWIFT-R.
+    let swift_r = protect(&module, Scheme::SwiftR);
+    let mut sr = Machine::with_config(&swift_r.module, NoopHooks, timing.clone());
+    input.apply(&mut sr);
+    let sr_out = sr.run("main", &[]);
+    println!(
+        "SWIFT-R     : {:>9} instructions, {:>9} cycles ({:.2}x slowdown)",
+        sr_out.counters.retired,
+        sr_out.counters.cycles,
+        sr_out.counters.cycles as f64 / base_out.counters.cycles as f64
+    );
+
+    // Prediction-based protection: RSkip at AR20.
+    let rskip_build = protect(&module, Scheme::RSkip);
+    let rt = PredictionRuntime::new(
+        &rskip::region_inits(&rskip_build),
+        RuntimeConfig {
+            default_tp: 2.0,
+            ..RuntimeConfig::with_ar(0.2)
+        },
+    );
+    let mut pp = Machine::with_config(&rskip_build.module, rt, timing);
+    input.apply(&mut pp);
+    let pp_out = pp.run("main", &[]);
+    println!(
+        "RSkip (AR20): {:>9} instructions, {:>9} cycles ({:.2}x slowdown, {:.1}% skip rate)",
+        pp_out.counters.retired,
+        pp_out.counters.cycles,
+        pp_out.counters.cycles as f64 / base_out.counters.cycles as f64,
+        pp.hooks().total_skip_rate() * 100.0
+    );
+
+    // All three produce bit-identical outputs on a clean run.
+    let golden = bench.golden(size, &input);
+    let got = pp.read_global(bench.output_global());
+    assert!(
+        got.iter().zip(&golden).all(|(a, b)| a.bit_eq(*b)),
+        "protected output differs"
+    );
+    println!("outputs bit-identical to the native golden implementation ✓");
+}

@@ -1,0 +1,86 @@
+//! The offline training phase end to end (paper §6 and Fig. 6): profile a
+//! workload, sweep the tuning parameter by *simulating* dynamic
+//! interpolation over the sampled outputs, build a QoS table of
+//! (context signature → best TP) pairs, serialize the trained model, and
+//! watch run-time management adjust TP during deployment.
+//!
+//! ```text
+//! cargo run --release --example training_and_qos
+//! ```
+
+use rskip::exec::Machine;
+use rskip::passes::{protect, Scheme};
+use rskip::runtime::{
+    profile_module_with, train_from_profiles, PredictionRuntime, RuntimeConfig, TrainedModel,
+    TrainingConfig,
+};
+use rskip::workloads::{benchmark_by_name, SizeProfile};
+
+fn main() {
+    let bench = benchmark_by_name("sgemm").expect("registry");
+    let size = SizeProfile::Small;
+    let module = bench.build(size);
+    let protected = protect(&module, Scheme::RSkip);
+    let inits = rskip::region_inits(&protected);
+
+    // 1. Profile on training inputs (seeds 1000+; test inputs use 2000+ —
+    //    "without any intersection").
+    let mut profiles = Vec::new();
+    for seed in 1000..1004u64 {
+        let input = bench.gen_input(size, seed);
+        let p = profile_module_with(&protected.module, "main", &[], &input.arrays);
+        if profiles.is_empty() {
+            profiles = p;
+        } else {
+            for (a, b) in profiles.iter_mut().zip(&p) {
+                a.merge(b);
+            }
+        }
+    }
+    println!(
+        "profiled {} loop outputs across {} training inputs",
+        profiles.iter().map(|p| p.outputs.len()).sum::<usize>(),
+        4
+    );
+
+    // 2. Train: TP sweep by simulation, one QoS entry per signature.
+    let memoizable: Vec<bool> = inits.iter().map(|i| i.memoizable).collect();
+    let model = train_from_profiles(&profiles, &memoizable, &TrainingConfig::default());
+    for (region, rm) in &model.regions {
+        println!(
+            "region {region}: default TP {}, trained skip rate {:.1}%, QoS table:",
+            rm.default_tp,
+            rm.trained_skip_rate * 100.0
+        );
+        for (sig, tp) in rm.qos.iter() {
+            println!("    signature {sig:<4} -> TP {tp}");
+        }
+    }
+
+    // 3. The trained model is a JSON artifact.
+    let json = model.to_json().expect("serializable");
+    let restored = TrainedModel::from_json(&json).expect("round-trips");
+    println!("model serialized: {} bytes of JSON", json.len());
+
+    // 4. Deploy untrained vs trained on an unseen test input.
+    let input = bench.gen_input(size, 2000);
+    for (label, trained) in [("untrained", false), ("trained  ", true)] {
+        let config = RuntimeConfig::with_ar(0.2);
+        let rt = if trained {
+            PredictionRuntime::with_model(&inits, config, &restored)
+        } else {
+            PredictionRuntime::new(&inits, config)
+        };
+        let mut machine = Machine::new(&protected.module, rt);
+        input.apply(&mut machine);
+        let out = machine.run("main", &[]);
+        assert!(out.returned());
+        let stats = machine.hooks().stats(0);
+        println!(
+            "{label}: skip rate {:>5.1}%, {} TP adjustments by run-time management, {} instructions",
+            machine.hooks().total_skip_rate() * 100.0,
+            stats.tp_adjustments,
+            out.counters.retired,
+        );
+    }
+}

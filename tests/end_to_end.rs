@@ -1,0 +1,126 @@
+//! Workspace-level end-to-end test: the full pipeline — build, detect,
+//! transform, train, deploy, measure — on every workload, through the
+//! facade crate only.
+
+use rskip::exec::{ExecConfig, Machine, NoopHooks, PipelineConfig};
+use rskip::passes::{protect, Scheme};
+use rskip::runtime::{
+    profile_module_with, train_from_profiles, PredictionRuntime, RuntimeConfig, TrainingConfig,
+};
+use rskip::workloads::{all_benchmarks, SizeProfile};
+
+#[test]
+fn full_pipeline_on_every_workload() {
+    let size = SizeProfile::Tiny;
+    for bench in all_benchmarks() {
+        let name = bench.meta().name;
+        let module = bench.build(size);
+        let protected = protect(&module, Scheme::RSkip);
+        let inits = rskip::region_inits(&protected);
+        assert!(
+            inits.iter().any(|i| i.has_body),
+            "{name}: no PP region built"
+        );
+
+        // Train.
+        let mut profiles = Vec::new();
+        for seed in [1000u64, 1001] {
+            let input = bench.gen_input(size, seed);
+            let p = profile_module_with(&protected.module, "main", &[], &input.arrays);
+            if profiles.is_empty() {
+                profiles = p;
+            } else {
+                for (a, b) in profiles.iter_mut().zip(&p) {
+                    a.merge(b);
+                }
+            }
+        }
+        let memoizable: Vec<bool> = inits.iter().map(|i| i.memoizable).collect();
+        let model = train_from_profiles(&profiles, &memoizable, &TrainingConfig::default());
+
+        // Deploy on a fresh test input with timing; outputs must be
+        // bit-exact and the prediction machinery must engage.
+        let input = bench.gen_input(size, 2000);
+        let golden = bench.golden(size, &input);
+        let rt = PredictionRuntime::with_model(&inits, RuntimeConfig::with_ar(0.5), &model);
+        let mut machine = Machine::with_config(
+            &protected.module,
+            rt,
+            ExecConfig {
+                timing: Some(PipelineConfig::default()),
+                ..ExecConfig::default()
+            },
+        );
+        input.apply(&mut machine);
+        let out = machine.run("main", &[]);
+        assert!(out.returned(), "{name}: {:?}", out.termination);
+        assert!(out.counters.cycles > 0, "{name}: timing engaged");
+        for (i, (a, b)) in machine
+            .read_global(bench.output_global())
+            .iter()
+            .zip(&golden)
+            .enumerate()
+        {
+            assert!(a.bit_eq(*b), "{name}: output[{i}] differs");
+        }
+        let observed: u64 = (0..protected.module.num_regions)
+            .map(|r| machine.hooks().stats(r).elements)
+            .sum();
+        assert!(observed > 0, "{name}: prediction runtime never observed");
+    }
+}
+
+#[test]
+fn protected_builds_verify_and_print() {
+    // Every protected module still verifies and survives a print/parse
+    // round trip (the textual format covers transformed code too).
+    for bench in all_benchmarks() {
+        let name = bench.meta().name;
+        let module = bench.build(SizeProfile::Tiny);
+        for scheme in [Scheme::Unsafe, Scheme::Swift, Scheme::SwiftR, Scheme::RSkip] {
+            let p = protect(&module, scheme);
+            rskip::ir::Verifier::new(&p.module)
+                .verify()
+                .unwrap_or_else(|e| panic!("{name}/{scheme}: {e}"));
+            let text = rskip::ir::print_module(&p.module);
+            let back = rskip::ir::parse_module(&text)
+                .unwrap_or_else(|e| panic!("{name}/{scheme}: parse: {e}"));
+            assert_eq!(back, p.module, "{name}/{scheme}: round trip");
+        }
+    }
+}
+
+#[test]
+fn swift_r_overhead_is_within_paper_band() {
+    // The headline SWIFT-R numbers: ~3x dynamic instructions, ~2-3x time,
+    // with some IPC recovered through duplicate-level parallelism.
+    let mut time_ratios = Vec::new();
+    let mut instr_ratios = Vec::new();
+    for bench in all_benchmarks() {
+        let module = bench.build(SizeProfile::Small);
+        let input = bench.gen_input(SizeProfile::Small, 2000);
+        let config = ExecConfig {
+            timing: Some(PipelineConfig::default()),
+            ..ExecConfig::default()
+        };
+        let mut base = Machine::with_config(&module, NoopHooks, config.clone());
+        input.apply(&mut base);
+        let b = base.run("main", &[]);
+        let p = protect(&module, Scheme::SwiftR);
+        let mut sr = Machine::with_config(&p.module, NoopHooks, config);
+        input.apply(&mut sr);
+        let s = sr.run("main", &[]);
+        time_ratios.push(s.counters.cycles as f64 / b.counters.cycles as f64);
+        instr_ratios.push(s.counters.retired as f64 / b.counters.retired as f64);
+    }
+    let avg_time: f64 = time_ratios.iter().sum::<f64>() / time_ratios.len() as f64;
+    let avg_instr: f64 = instr_ratios.iter().sum::<f64>() / instr_ratios.len() as f64;
+    assert!(
+        (1.8..3.5).contains(&avg_time),
+        "SWIFT-R average slowdown {avg_time:.2} outside the paper band"
+    );
+    assert!(
+        (2.5..3.8).contains(&avg_instr),
+        "SWIFT-R average instruction overhead {avg_instr:.2} outside the paper band"
+    );
+}

@@ -1,0 +1,158 @@
+//! Reliability integration test: a reduced Statistical Fault Injection
+//! campaign must reproduce the paper's qualitative ordering
+//! (UNSAFE ≪ RSkip ≤ SWIFT-R) and the false-negative trend.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rskip::exec::{
+    classify_outcome, ExecConfig, InjectionPlan, Machine, NoopHooks, OutcomeClass,
+};
+use rskip::passes::{protect, Protected, Scheme};
+use rskip::runtime::{PredictionRuntime, RuntimeConfig};
+use rskip::workloads::{benchmark_by_name, SizeProfile};
+
+const RUNS: u32 = 120;
+
+fn campaign(
+    p: &Protected,
+    bench: &dyn rskip::workloads::Benchmark,
+    ar: f64,
+    seed0: u64,
+) -> (f64, u64) {
+    let size = SizeProfile::Tiny;
+    let input = bench.gen_input(size, 2000);
+    let golden = bench.golden(size, &input);
+    let inits = rskip::region_inits(p);
+
+    let clean = {
+        let rt = PredictionRuntime::new(&inits, RuntimeConfig::with_ar(ar));
+        let mut machine = Machine::new(&p.module, rt);
+        input.apply(&mut machine);
+        machine.run("main", &[]).counters
+    };
+    assert!(clean.region_retired > 0);
+    let config = ExecConfig {
+        step_limit: clean.retired * 20,
+        ..ExecConfig::default()
+    };
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed0);
+    let mut correct = 0u64;
+    let mut false_negatives = 0u64;
+    for _ in 0..RUNS {
+        let plan = InjectionPlan {
+            trigger: rng.gen_range(0..clean.region_retired),
+            seed: rng.gen(),
+            anywhere: false,
+        };
+        let rt = PredictionRuntime::new(&inits, RuntimeConfig::with_ar(ar));
+        let mut machine = Machine::with_config(&p.module, rt, config.clone());
+        input.apply(&mut machine);
+        machine.set_injection(plan);
+        let out = machine.run("main", &[]);
+        let handled = machine.hooks().total_faults_recovered() > 0;
+        let class = classify_outcome(&out, machine.read_global(bench.output_global()), &golden);
+        if class == OutcomeClass::Correct {
+            correct += 1;
+        } else if !handled {
+            false_negatives += 1;
+        }
+    }
+    (f64::from(correct as u32) / f64::from(RUNS), false_negatives)
+}
+
+#[test]
+fn protection_ordering_matches_the_paper() {
+    let bench = benchmark_by_name("conv1d").unwrap();
+    let module = bench.build(SizeProfile::Tiny);
+
+    let unsafe_build = protect(&module, Scheme::Unsafe);
+    let swift_r = protect(&module, Scheme::SwiftR);
+    let rskip_build = protect(&module, Scheme::RSkip);
+
+    let (unsafe_rate, _) = campaign(&unsafe_build, bench.as_ref(), 0.2, 7);
+    let (swift_r_rate, _) = campaign(&swift_r, bench.as_ref(), 0.2, 7);
+    let (ar20_rate, _) = campaign(&rskip_build, bench.as_ref(), 0.2, 7);
+
+    assert!(
+        unsafe_rate < swift_r_rate,
+        "UNSAFE {unsafe_rate:.3} should be below SWIFT-R {swift_r_rate:.3}"
+    );
+    assert!(
+        unsafe_rate + 0.05 < ar20_rate,
+        "UNSAFE {unsafe_rate:.3} should be well below AR20 {ar20_rate:.3}"
+    );
+    assert!(
+        swift_r_rate > 0.9,
+        "SWIFT-R protection rate {swift_r_rate:.3}"
+    );
+    assert!(ar20_rate > 0.85, "AR20 protection rate {ar20_rate:.3}");
+}
+
+#[test]
+fn detection_and_recovery_fire_under_injection() {
+    // Across a campaign, RSkip's re-computation recovery must actually
+    // trigger at least once (faults do land in the validated value chain).
+    let bench = benchmark_by_name("sgemm").unwrap();
+    let module = bench.build(SizeProfile::Tiny);
+    let p = protect(&module, Scheme::RSkip);
+    let inits = rskip::region_inits(&p);
+    let input = bench.gen_input(SizeProfile::Tiny, 2000);
+
+    let clean = {
+        let rt = PredictionRuntime::new(&inits, RuntimeConfig::with_ar(0.0));
+        let mut machine = Machine::new(&p.module, rt);
+        input.apply(&mut machine);
+        machine.run("main", &[]).counters
+    };
+    let config = ExecConfig {
+        step_limit: clean.retired * 20,
+        ..ExecConfig::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut recoveries = 0u64;
+    for _ in 0..200 {
+        let plan = InjectionPlan {
+            trigger: rng.gen_range(0..clean.region_retired),
+            seed: rng.gen(),
+            anywhere: false,
+        };
+        // AR 0: exact validation — every corrupted value in the validated
+        // chain is caught.
+        let rt = PredictionRuntime::new(&inits, RuntimeConfig::with_ar(0.0));
+        let mut machine = Machine::with_config(&p.module, rt, config.clone());
+        input.apply(&mut machine);
+        machine.set_injection(plan);
+        machine.run("main", &[]);
+        recoveries += machine.hooks().total_faults_recovered();
+    }
+    assert!(recoveries > 0, "recovery never fired in 200 injections");
+}
+
+#[test]
+fn injection_is_deterministic_given_the_seed() {
+    let bench = benchmark_by_name("kde").unwrap();
+    let module = bench.build(SizeProfile::Tiny);
+    let p = protect(&module, Scheme::Unsafe);
+    let input = bench.gen_input(SizeProfile::Tiny, 2000);
+
+    let run = || {
+        let mut machine = Machine::new(&p.module, NoopHooks);
+        input.apply(&mut machine);
+        machine.set_injection(InjectionPlan {
+            trigger: 123,
+            seed: 456,
+            anywhere: false,
+        });
+        let out = machine.run("main", &[]);
+        (
+            out.injection.clone(),
+            machine.read_global(bench.output_global()).to_vec(),
+        )
+    };
+    let (rec1, out1) = run();
+    let (rec2, out2) = run();
+    assert_eq!(rec1, rec2);
+    assert_eq!(out1.len(), out2.len());
+    assert!(out1.iter().zip(&out2).all(|(a, b)| a.bit_eq(*b)));
+}

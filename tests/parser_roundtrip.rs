@@ -1,0 +1,64 @@
+//! Workspace-level textual-format test: every workload module — and every
+//! protected build of it — survives print → parse → print with full
+//! structural equality, and the parsed module still executes identically.
+
+use rskip::exec::{Machine, NoopHooks};
+use rskip::ir::{parse_module, print_module, Verifier};
+use rskip::passes::{protect, Scheme};
+use rskip::workloads::{all_benchmarks, SizeProfile};
+
+#[test]
+fn workload_modules_round_trip() {
+    for bench in all_benchmarks() {
+        let name = bench.meta().name;
+        let module = bench.build(SizeProfile::Tiny);
+        let text = print_module(&module);
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(parsed, module, "{name}: structural mismatch");
+        assert_eq!(print_module(&parsed), text, "{name}: print not idempotent");
+        Verifier::new(&parsed).verify().unwrap();
+    }
+}
+
+#[test]
+fn parsed_modules_execute_identically() {
+    for bench in all_benchmarks() {
+        let name = bench.meta().name;
+        let module = bench.build(SizeProfile::Tiny);
+        let parsed = parse_module(&print_module(&module)).unwrap();
+        let input = bench.gen_input(SizeProfile::Tiny, 2000);
+
+        let run = |m: &rskip::ir::Module| {
+            let mut machine = Machine::new(m, NoopHooks);
+            input.apply(&mut machine);
+            let out = machine.run("main", &[]);
+            assert!(out.returned(), "{name}: {:?}", out.termination);
+            (
+                out.counters.retired,
+                machine.read_global(bench.output_global()).to_vec(),
+            )
+        };
+        let (instr_a, out_a) = run(&module);
+        let (instr_b, out_b) = run(&parsed);
+        assert_eq!(instr_a, instr_b, "{name}: instruction counts differ");
+        assert!(
+            out_a.iter().zip(&out_b).all(|(x, y)| x.bit_eq(*y)),
+            "{name}: outputs differ"
+        );
+    }
+}
+
+#[test]
+fn transformed_modules_round_trip() {
+    // The RSkip transform introduces intrinsics, outlined bodies and
+    // attribute-carrying functions — the format must cover them all.
+    let bench = rskip::workloads::benchmark_by_name("blackscholes").unwrap();
+    let module = bench.build(SizeProfile::Tiny);
+    let p = protect(&module, Scheme::RSkip);
+    let text = print_module(&p.module);
+    assert!(text.contains("rskip.observe("));
+    assert!(text.contains("rskip.select_version("));
+    assert!(text.contains("attrs outlined noprotect"));
+    let parsed = parse_module(&text).unwrap();
+    assert_eq!(parsed, p.module);
+}

@@ -1,0 +1,89 @@
+//! Cross-scheme semantic equivalence on randomized inputs: for every
+//! workload and every scheme, fault-free runs must produce bit-identical
+//! outputs, across multiple input seeds.
+
+use rskip::exec::Machine;
+use rskip::passes::{protect, Scheme};
+use rskip::runtime::{PredictionRuntime, RuntimeConfig};
+use rskip::workloads::{all_benchmarks, SizeProfile};
+
+#[test]
+fn all_schemes_agree_across_input_seeds() {
+    let size = SizeProfile::Tiny;
+    for bench in all_benchmarks() {
+        let name = bench.meta().name;
+        let module = bench.build(size);
+        let builds: Vec<_> = [Scheme::Unsafe, Scheme::Swift, Scheme::SwiftR, Scheme::RSkip]
+            .into_iter()
+            .map(|s| protect(&module, s))
+            .collect();
+        for seed in [2000u64, 2007, 2013, 2021] {
+            let input = bench.gen_input(size, seed);
+            let golden = bench.golden(size, &input);
+            for p in &builds {
+                let inits = rskip::region_inits(p);
+                let rt = PredictionRuntime::new(&inits, RuntimeConfig::with_ar(0.8));
+                let mut machine = Machine::new(&p.module, rt);
+                input.apply(&mut machine);
+                let out = machine.run("main", &[]);
+                assert!(
+                    out.returned(),
+                    "{name}/{}/seed {seed}: {:?}",
+                    p.scheme,
+                    out.termination
+                );
+                for (i, (a, b)) in machine
+                    .read_global(bench.output_global())
+                    .iter()
+                    .zip(&golden)
+                    .enumerate()
+                {
+                    assert!(
+                        a.bit_eq(*b),
+                        "{name}/{}/seed {seed}: output[{i}] = {a:?}, expected {b:?}",
+                        p.scheme
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rskip_pp_and_cp_paths_agree() {
+    // Force both dispatch decisions and compare: the PP and CP versions of
+    // every region must compute identical results.
+    let size = SizeProfile::Tiny;
+    for bench in all_benchmarks() {
+        let name = bench.meta().name;
+        let module = bench.build(size);
+        let p = protect(&module, Scheme::RSkip);
+        let inits = rskip::region_inits(&p);
+        let input = bench.gen_input(size, 2099);
+
+        let run = |enable_pp: bool| {
+            let rt = PredictionRuntime::new(
+                &inits,
+                RuntimeConfig {
+                    enable_pp,
+                    ..RuntimeConfig::with_ar(0.2)
+                },
+            );
+            let mut machine = Machine::new(&p.module, rt);
+            input.apply(&mut machine);
+            let out = machine.run("main", &[]);
+            assert!(out.returned(), "{name} pp={enable_pp}: {:?}", out.termination);
+            (
+                machine.read_global(bench.output_global()).to_vec(),
+                machine.hooks().stats(0).elements,
+            )
+        };
+        let (pp_out, pp_elements) = run(true);
+        let (cp_out, cp_elements) = run(false);
+        assert!(pp_elements > 0, "{name}: PP never engaged");
+        assert_eq!(cp_elements, 0, "{name}: CP path observed elements");
+        for (i, (a, b)) in pp_out.iter().zip(&cp_out).enumerate() {
+            assert!(a.bit_eq(*b), "{name}: PP/CP diverge at output[{i}]");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Integration test of the offline phase (paper §6): profiling, TP
+//! training, memoization construction, model serialization and the
+//! trained-vs-untrained deployment gap.
+
+use rskip::exec::Machine;
+use rskip::passes::{protect, Scheme};
+use rskip::runtime::{
+    profile_module_with, train_from_profiles, PredictionRuntime, RegionProfile, RuntimeConfig,
+    TrainedModel, TrainingConfig,
+};
+use rskip::workloads::{all_benchmarks, benchmark_by_name, SizeProfile};
+
+fn train(
+    bench: &dyn rskip::workloads::Benchmark,
+    p: &rskip::passes::Protected,
+    config: &TrainingConfig,
+) -> TrainedModel {
+    let mut profiles: Vec<RegionProfile> = Vec::new();
+    for seed in 1000..1004u64 {
+        let input = bench.gen_input(SizeProfile::Small, seed);
+        let prof = profile_module_with(&p.module, "main", &[], &input.arrays);
+        if profiles.is_empty() {
+            profiles = prof;
+        } else {
+            for (a, b) in profiles.iter_mut().zip(&prof) {
+                a.merge(b);
+            }
+        }
+    }
+    let memoizable: Vec<bool> = (0..p.module.num_regions)
+        .map(|id| {
+            p.regions
+                .iter()
+                .find(|r| r.region.0 == id)
+                .map(|r| r.memoizable)
+                .unwrap_or(false)
+        })
+        .collect();
+    train_from_profiles(&profiles, &memoizable, config)
+}
+
+#[test]
+fn training_improves_skip_rates_on_unseen_inputs() {
+    let mut improved = 0;
+    let mut total = 0;
+    for bench in all_benchmarks() {
+        let module = bench.build(SizeProfile::Small);
+        let p = protect(&module, Scheme::RSkip);
+        let inits = rskip::region_inits(&p);
+        let model = train(bench.as_ref(), &p, &TrainingConfig::default());
+
+        let input = bench.gen_input(SizeProfile::Small, 2000);
+        let run = |rt: PredictionRuntime| {
+            let mut machine = Machine::new(&p.module, rt);
+            input.apply(&mut machine);
+            assert!(machine.run("main", &[]).returned());
+            machine.hooks().total_skip_rate()
+        };
+        let untrained = run(PredictionRuntime::new(&inits, RuntimeConfig::with_ar(0.2)));
+        let trained = run(PredictionRuntime::with_model(
+            &inits,
+            RuntimeConfig::with_ar(0.2),
+            &model,
+        ));
+        total += 1;
+        if trained > untrained + 1e-9 {
+            improved += 1;
+        }
+        assert!(
+            trained + 0.05 >= untrained,
+            "{}: training hurt badly ({untrained:.3} -> {trained:.3})",
+            bench.meta().name
+        );
+    }
+    assert!(
+        improved * 3 >= total * 2,
+        "training improved only {improved}/{total} workloads"
+    );
+}
+
+#[test]
+fn blackscholes_training_deploys_a_memoizer() {
+    let bench = benchmark_by_name("blackscholes").unwrap();
+    let module = bench.build(SizeProfile::Small);
+    let p = protect(&module, Scheme::RSkip);
+    let model = train(bench.as_ref(), &p, &TrainingConfig::default());
+    let rm = &model.regions[&0];
+    assert!(
+        rm.memo.is_some(),
+        "memoizer not deployed (accuracy below the floor?)"
+    );
+
+    // With the memoizer, the skip rate clears what interpolation alone
+    // achieves at AR20 (the Fig. 8a gap).
+    let inits = rskip::region_inits(&p);
+    let input = bench.gen_input(SizeProfile::Small, 2000);
+    let run = |enable_memo: bool| {
+        let rt = PredictionRuntime::with_model(
+            &inits,
+            RuntimeConfig {
+                enable_memo,
+                ..RuntimeConfig::with_ar(0.2)
+            },
+            &model,
+        );
+        let mut machine = Machine::new(&p.module, rt);
+        input.apply(&mut machine);
+        assert!(machine.run("main", &[]).returned());
+        machine.hooks().total_skip_rate()
+    };
+    let di_only = run(false);
+    let with_memo = run(true);
+    assert!(
+        with_memo > di_only + 0.1,
+        "memoizer added nothing: DI {di_only:.3} vs full {with_memo:.3}"
+    );
+    assert!(with_memo > 0.7, "blackscholes skip rate {with_memo:.3}");
+}
+
+#[test]
+fn trained_model_round_trips_through_json() {
+    let bench = benchmark_by_name("conv1d").unwrap();
+    let module = bench.build(SizeProfile::Small);
+    let p = protect(&module, Scheme::RSkip);
+    let model = train(bench.as_ref(), &p, &TrainingConfig::default());
+    let json = model.to_json().unwrap();
+    let back = TrainedModel::from_json(&json).unwrap();
+
+    // The restored model drives deployment identically.
+    let inits = rskip::region_inits(&p);
+    let input = bench.gen_input(SizeProfile::Small, 2000);
+    let run = |m: &TrainedModel| {
+        let rt = PredictionRuntime::with_model(&inits, RuntimeConfig::with_ar(0.2), m);
+        let mut machine = Machine::new(&p.module, rt);
+        input.apply(&mut machine);
+        let out = machine.run("main", &[]);
+        (out.counters.retired, machine.hooks().total_skip_rate())
+    };
+    assert_eq!(run(&model), run(&back));
+}
+
+#[test]
+fn qos_tables_learn_multiple_signatures_on_mixed_contexts() {
+    // lud's row/column loops see varying trip counts and contexts; the QoS
+    // table should learn more than one signature for at least one region.
+    let bench = benchmark_by_name("lud").unwrap();
+    let module = bench.build(SizeProfile::Small);
+    let p = protect(&module, Scheme::RSkip);
+    let model = train(bench.as_ref(), &p, &TrainingConfig::default());
+    let signatures: usize = model.regions.values().map(|rm| rm.qos.len()).sum();
+    assert!(signatures >= 2, "only {signatures} learned signatures");
+}
