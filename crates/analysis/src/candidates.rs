@@ -325,7 +325,13 @@ mod tests {
         let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(g), Operand::reg(k));
         let v = f.load(Ty::F64, Operand::reg(addr));
         let sq = f.bin(BinOp::Mul, Ty::F64, Operand::reg(v), Operand::reg(v));
-        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(sq));
+        f.bin_into(
+            acc,
+            BinOp::Add,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(sq),
+        );
         f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
         f.br(ih);
         f.switch_to(fin);
@@ -381,7 +387,9 @@ mod tests {
         f.cond_br(Operand::reg(c), lb, exit);
         f.switch_to(lb);
         let x = f.un(UnOp::IntToFloat, Ty::F64, Operand::reg(i));
-        let p = f.call("price", vec![Operand::reg(x)], Some(Ty::F64)).unwrap();
+        let p = f
+            .call("price", vec![Operand::reg(x)], Some(Ty::F64))
+            .unwrap();
         let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
         f.store(Ty::F64, Operand::reg(addr), Operand::reg(p));
         f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));

@@ -131,7 +131,13 @@ mod tests {
         let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(4));
         f.cond_br(Operand::reg(c), body, exit);
         f.switch_to(body);
-        f.bin_into(i, rskip_ir::BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.bin_into(
+            i,
+            rskip_ir::BinOp::Add,
+            Ty::I64,
+            Operand::reg(i),
+            Operand::imm_i(1),
+        );
         f.br(header);
         f.switch_to(exit);
         f.ret(None);

@@ -157,10 +157,7 @@ impl CostModel {
     /// weighting). Used for the call-pattern threshold: "the user function
     /// call that has the number of instructions above threshold" (paper §4).
     pub fn function_cost(&self, f: &rskip_ir::Function) -> f64 {
-        f.blocks
-            .iter()
-            .map(|b| self.seq_cost(&b.insts) + 1.0)
-            .sum()
+        f.blocks.iter().map(|b| self.seq_cost(&b.insts) + 1.0).sum()
     }
 }
 
@@ -229,7 +226,13 @@ mod tests {
         let c2 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(k), Operand::imm_i(100));
         f.cond_br(Operand::reg(c2), ib, ol);
         f.switch_to(ib);
-        f.bin_into(acc, BinOp::Mul, Ty::F64, Operand::reg(acc), Operand::imm_f(1.01));
+        f.bin_into(
+            acc,
+            BinOp::Mul,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::imm_f(1.01),
+        );
         f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
         f.br(ih);
         f.switch_to(ol);
@@ -244,11 +247,7 @@ mod tests {
         let dom = crate::DomTree::new(func, &cfg);
         let forest = crate::LoopForest::new(func, &cfg, &dom);
         let model = CostModel::new();
-        let outer_idx = forest
-            .loops()
-            .iter()
-            .position(|l| l.depth == 0)
-            .unwrap();
+        let outer_idx = forest.loops().iter().position(|l| l.depth == 0).unwrap();
         let cost = model.loop_body_cost(func, &forest, outer_idx);
         // Inner loop runs 100 times with an FpMul (4.0) inside; the outer
         // body alone is a handful of units. The weighted cost must clearly

@@ -114,7 +114,12 @@ mod tests {
         let right = f.new_block("right");
         let join = f.new_block("join");
         f.switch_to(entry);
-        let c = f.cmp(CmpOp::Gt, Ty::I64, Operand::reg(f.param(0)), Operand::imm_i(0));
+        let c = f.cmp(
+            CmpOp::Gt,
+            Ty::I64,
+            Operand::reg(f.param(0)),
+            Operand::imm_i(0),
+        );
         f.cond_br(Operand::reg(c), left, right);
         f.switch_to(left);
         f.br(join);
@@ -160,7 +165,13 @@ mod tests {
         let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(4));
         f.cond_br(Operand::reg(c), body, exit);
         f.switch_to(body);
-        f.bin_into(i, rskip_ir::BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        f.bin_into(
+            i,
+            rskip_ir::BinOp::Add,
+            Ty::I64,
+            Operand::reg(i),
+            Operand::imm_i(1),
+        );
         f.br(header);
         f.switch_to(exit);
         f.ret(None);

@@ -40,7 +40,10 @@ impl std::fmt::Display for SliceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SliceError::Impure { block, idx } => {
-                write!(f, "slice includes side-effecting instruction {block}[{idx}]")
+                write!(
+                    f,
+                    "slice includes side-effecting instruction {block}[{idx}]"
+                )
             }
             SliceError::UnstructuredDef(r) => {
                 write!(f, "register {r} has an unstructured in-loop definition")
@@ -192,9 +195,7 @@ impl BackwardSlice {
                                 }
                                 // Subloop branch conditions feed control
                                 // flow; their registers are slice reads.
-                                if let Some(Operand::Reg(r)) =
-                                    f.block(sb).term.used_operand()
-                                {
+                                if let Some(Operand::Reg(r)) = f.block(sb).term.used_operand() {
                                     note_read(&mut slice, &mut reads_seen, r);
                                     worklist.push(r);
                                 }
@@ -315,14 +316,9 @@ mod tests {
         let cfg = Cfg::new(f);
         let dom = DomTree::new(f, &cfg);
         let forest = LoopForest::new(f, &cfg, &dom);
-        let outer_idx = forest
-            .loops()
-            .iter()
-            .position(|l| l.depth == 0)
-            .unwrap();
+        let outer_idx = forest.loops().iter().position(|l| l.depth == 0).unwrap();
         // The store is in block "fin" = bb5, instruction index 2.
-        let slice =
-            BackwardSlice::compute(f, &forest, outer_idx, rskip_ir::BlockId(5), 2).unwrap();
+        let slice = BackwardSlice::compute(f, &forest, outer_idx, rskip_ir::BlockId(5), 2).unwrap();
         assert_eq!(slice.subloops.len(), 1);
         assert!(!slice.is_single_call());
         // Slice contains: acc init + k init (pre), the whole inner body,
@@ -334,8 +330,8 @@ mod tests {
             .map(|(_, i)| *i)
             .collect();
         assert_eq!(fin_insts, vec![0]); // only `scaled = acc * 2.0`
-        // The outer IV is a read (address of load g[i+k]) but never defined
-        // by the slice. It is the first register allocated (`def_reg` order).
+                                        // The outer IV is a read (address of load g[i+k]) but never defined
+                                        // by the slice. It is the first register allocated (`def_reg` order).
         let i_reg = rskip_ir::Reg(0);
         assert!(slice.read_regs.contains(&i_reg));
         assert!(!slice.defined_regs.contains(&i_reg));
@@ -366,7 +362,9 @@ mod tests {
         f.cond_br(Operand::reg(c), lb, exit);
         f.switch_to(lb);
         let x = f.un(UnOp::IntToFloat, Ty::F64, Operand::reg(i));
-        let v = f.call("price", vec![Operand::reg(x)], Some(Ty::F64)).unwrap();
+        let v = f
+            .call("price", vec![Operand::reg(x)], Some(Ty::F64))
+            .unwrap();
         let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
         f.store(Ty::F64, Operand::reg(addr), Operand::reg(v));
         f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));

@@ -28,10 +28,7 @@ fn build_cfg(n: usize, edges: &[(usize, usize, Option<usize>)]) -> Module {
 }
 
 fn edge_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, Option<usize>)>> {
-    prop::collection::vec(
-        (0..n, 0..n, prop::option::of(0..n)),
-        0..(3 * n),
-    )
+    prop::collection::vec((0..n, 0..n, prop::option::of(0..n)), 0..(3 * n))
 }
 
 proptest! {

@@ -1,0 +1,90 @@
+//! Campaign throughput: fault-injection trials/sec, serial vs parallel.
+//!
+//! Runs a Fig.-9-style campaign (conv1d, Tiny, AR20, 120 SEU trials)
+//! through [`rskip_harness::campaign::Campaign`] on one thread and on the
+//! full worker pool, prints both as criterion benchmarks, and records the
+//! measured trials/sec plus the speedup in
+//! `results/BENCH_campaign.json`. The JSON also records the machine's
+//! hardware thread count: on a single-core container the parallel run
+//! cannot beat the serial one, and the file says so rather than
+//! extrapolating.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rskip_harness::build::{ArSetting, BenchSetup, EvalOptions};
+use rskip_harness::campaign::{num_threads, Campaign};
+use rskip_workloads::SizeProfile;
+
+const TRIALS: u32 = 120;
+
+fn timed_campaign(c: &Campaign<'_>, setup: &BenchSetup, threads: usize, reps: u32) -> f64 {
+    let make = || setup.runtime(ArSetting { percent: 20 });
+    // One warm-up pass, then the timed repetitions.
+    black_box(c.run_on(threads, make, |h| h.total_faults_recovered()));
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(c.run_on(threads, make, |h| h.total_faults_recovered()));
+    }
+    t0.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let opts = EvalOptions::at_size(SizeProfile::Tiny);
+    let setup = BenchSetup::prepare(
+        rskip_workloads::benchmark_by_name("conv1d").expect("registry"),
+        &opts,
+    );
+    let input = setup.test_input();
+    let golden = setup.bench.golden(opts.size, &input);
+    let make = || setup.runtime(ArSetting { percent: 20 });
+    let campaign = Campaign::new(
+        &setup.rskip.module,
+        &input,
+        &golden,
+        setup.bench.output_global(),
+        make,
+        0xBEEF,
+        TRIALS,
+    );
+
+    let hardware = std::thread::available_parallelism().map_or(1, usize::from);
+    let pool = num_threads();
+
+    c.bench_function("campaign/serial", |b| {
+        b.iter(|| black_box(campaign.run_on(1, make, |h| h.total_faults_recovered())))
+    });
+    c.bench_function("campaign/parallel", |b| {
+        b.iter(|| black_box(campaign.run_on(pool, make, |h| h.total_faults_recovered())))
+    });
+
+    // Determinism sanity: the numbers we are about to publish come from
+    // identical experiments.
+    let serial_stats = campaign.run_on(1, make, |h| h.total_faults_recovered());
+    let parallel_stats = campaign.run_on(pool, make, |h| h.total_faults_recovered());
+    assert_eq!(
+        serial_stats, parallel_stats,
+        "campaign not schedule-invariant"
+    );
+
+    let serial_secs = timed_campaign(&campaign, &setup, 1, 3);
+    let parallel_secs = timed_campaign(&campaign, &setup, pool, 3);
+    let serial_tps = f64::from(TRIALS) / serial_secs;
+    let parallel_tps = f64::from(TRIALS) / parallel_secs;
+    let speedup = serial_secs / parallel_secs;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"conv1d\",\n  \"scheme\": \"AR20\",\n  \"size\": \"Tiny\",\n  \"trials\": {TRIALS},\n  \"hardware_threads\": {hardware},\n  \"pool_threads\": {pool},\n  \"serial_secs\": {serial_secs:.6},\n  \"serial_trials_per_sec\": {serial_tps:.1},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"parallel_trials_per_sec\": {parallel_tps:.1},\n  \"speedup\": {speedup:.3},\n  \"note\": \"speedup is bounded by hardware_threads; on a single-core host serial and parallel throughput coincide\"\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_campaign.json"
+    );
+    std::fs::write(path, &json).expect("write results/BENCH_campaign.json");
+    println!(
+        "[campaign] {TRIALS} trials: serial {serial_tps:.1}/s, parallel({pool}) {parallel_tps:.1}/s, speedup {speedup:.2}x (hw threads: {hardware}) -> {path}"
+    );
+}
+
+criterion_group!(benches, bench_campaign_throughput);
+criterion_main!(benches);

@@ -12,7 +12,9 @@ use rskip_workloads::SizeProfile;
 fn bench_cost_ratio(c: &mut Criterion) {
     let ratio = rskip_harness::cost_ratio::run(&EvalOptions::at_size(SizeProfile::Tiny));
     let (a, b_, c_) = ratio.normalized();
-    println!("[cost_ratio] DI : memo : re-compute = {a:.2} : {b_:.2} : {c_:.2} (paper 1 : 1.84 : 4.18)");
+    println!(
+        "[cost_ratio] DI : memo : re-compute = {a:.2} : {b_:.2} : {c_:.2} (paper 1 : 1.84 : 4.18)"
+    );
 
     // Host-time microbenchmarks of the mechanisms.
     c.bench_function("cost/di_observe", |bch| {

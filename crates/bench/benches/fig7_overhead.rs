@@ -45,8 +45,7 @@ fn bench_fig7(c: &mut Criterion) {
             b.iter_batched(
                 || (),
                 |()| {
-                    let mut m =
-                        Machine::with_config(&setup.unprotected, NoopHooks, config.clone());
+                    let mut m = Machine::with_config(&setup.unprotected, NoopHooks, config.clone());
                     input.apply(&mut m);
                     m.run("main", &[])
                 },
@@ -70,8 +69,7 @@ fn bench_fig7(c: &mut Criterion) {
                 b.iter_batched(
                     || setup.runtime(ArSetting { percent: ar }),
                     |rt| {
-                        let mut m =
-                            Machine::with_config(&setup.rskip.module, rt, config.clone());
+                        let mut m = Machine::with_config(&setup.rskip.module, rt, config.clone());
                         input.apply(&mut m);
                         m.run("main", &[])
                     },

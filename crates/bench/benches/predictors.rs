@@ -63,5 +63,10 @@ fn bench_quantizer(c: &mut Criterion) {
     c.bench_function("quantizer_level", |b| b.iter(|| black_box(q.level(123.4))));
 }
 
-criterion_group!(benches, bench_interpolation, bench_memoization, bench_quantizer);
+criterion_group!(
+    benches,
+    bench_interpolation,
+    bench_memoization,
+    bench_quantizer
+);
 criterion_main!(benches);

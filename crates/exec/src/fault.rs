@@ -99,8 +99,7 @@ impl std::fmt::Display for OutcomeClass {
 pub fn classify_outcome(outcome: &RunOutcome, output: &[Value], golden: &[Value]) -> OutcomeClass {
     match &outcome.termination {
         Termination::Returned(_) => {
-            if output.len() == golden.len()
-                && output.iter().zip(golden).all(|(a, b)| a.bit_eq(*b))
+            if output.len() == golden.len() && output.iter().zip(golden).all(|(a, b)| a.bit_eq(*b))
             {
                 OutcomeClass::Correct
             } else {
@@ -110,9 +109,9 @@ pub fn classify_outcome(outcome: &RunOutcome, output: &[Value], golden: &[Value]
         Termination::Trapped(Trap::OutOfBounds { .. }) => OutcomeClass::Segfault,
         Termination::Trapped(Trap::StepLimit) => OutcomeClass::Hang,
         Termination::Trapped(Trap::FaultDetected) => OutcomeClass::Detected,
-        Termination::Trapped(
-            Trap::DivByZero | Trap::UnknownFunction(_) | Trap::StackOverflow,
-        ) => OutcomeClass::CoreDump,
+        Termination::Trapped(Trap::DivByZero | Trap::UnknownFunction(_) | Trap::StackOverflow) => {
+            OutcomeClass::CoreDump
+        }
     }
 }
 

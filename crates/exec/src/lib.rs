@@ -26,12 +26,14 @@
 #![deny(missing_docs)]
 
 mod counters;
+mod decoded;
 mod fault;
 mod hooks;
 mod machine;
 mod pipeline;
 
 pub use counters::Counters;
+pub use decoded::Decoded;
 pub use fault::{classify_outcome, InjectionPlan, InjectionRecord, OutcomeClass};
 pub use hooks::{IntrinsicAction, NoopHooks, RuntimeHooks};
 pub use machine::{run_simple, ExecConfig, Machine, RunOutcome, Termination, Trap};

@@ -1,16 +1,19 @@
 //! The IR interpreter.
+//!
+//! Executes the pre-decoded form built by [`Decoded`]: call targets and
+//! block successors are dense indices, instruction timing classes are
+//! pre-resolved, and call frames come from a per-machine pool, so the
+//! non-error hot path performs no string hashing and no heap allocation.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use rskip_ir::{
-    BinOp, CmpOp, Inst, Intrinsic, Module, Operand, Reg, Terminator, Ty, UnOp, Value,
-};
+use rskip_ir::{BinOp, CmpOp, Module, Operand, Reg, Ty, UnOp, Value};
 
 use crate::counters::Counters;
+use crate::decoded::{DInst, DStep, DTerm, Decoded};
 use crate::fault::{InjectionPlan, InjectionRecord};
 use crate::hooks::RuntimeHooks;
-use crate::pipeline::{class_of, Pipeline, PipelineConfig};
+use crate::pipeline::{Pipeline, PipelineConfig};
 
 /// Why a run stopped abnormally.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -102,14 +105,31 @@ impl Default for ExecConfig {
     }
 }
 
+#[derive(Default)]
 struct Frame {
-    func: usize,
+    func: u32,
     block: u32,
-    ip: usize,
+    ip: u32,
+    ret_dst: Option<Reg>,
     regs: Vec<Value>,
     written: Vec<bool>,
     ready: Vec<u64>,
-    ret_dst: Option<Reg>,
+}
+
+/// Either an internally-built decode or one shared by the caller (e.g.
+/// one decode per campaign, many machines across threads).
+enum Program<'m> {
+    Owned(Box<Decoded<'m>>),
+    Shared(&'m Decoded<'m>),
+}
+
+impl<'m> Program<'m> {
+    fn get(&self) -> &Decoded<'m> {
+        match self {
+            Program::Owned(d) => d,
+            Program::Shared(d) => d,
+        }
+    }
 }
 
 /// The interpreter: flat ECC-protected memory, a call stack of register
@@ -135,13 +155,14 @@ struct Frame {
 /// ));
 /// ```
 pub struct Machine<'m, H> {
-    module: &'m Module,
+    program: Program<'m>,
     hooks: H,
     config: ExecConfig,
     mem: Vec<Value>,
-    global_base: Vec<i64>,
-    fn_index: HashMap<&'m str, usize>,
     injection: Option<InjectionPlan>,
+    /// Recycled call frames: register vectors are reused across calls and
+    /// across runs instead of reallocated.
+    pool: Vec<Frame>,
 }
 
 impl<'m, H: RuntimeHooks> Machine<'m, H> {
@@ -150,37 +171,46 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
         Self::with_config(module, hooks, ExecConfig::default())
     }
 
-    /// Creates a machine with an explicit configuration.
+    /// Creates a machine with an explicit configuration, decoding the
+    /// module internally.
     pub fn with_config(module: &'m Module, hooks: H, config: ExecConfig) -> Self {
-        let mut global_base = Vec::with_capacity(module.globals.len());
-        let mut total = 0i64;
-        for g in &module.globals {
-            global_base.push(total);
-            total += g.len as i64;
-        }
+        Self::build(
+            Program::Owned(Box::new(Decoded::new(module))),
+            hooks,
+            config,
+        )
+    }
+
+    /// Creates a machine over a pre-built [`Decoded`], sharing it instead
+    /// of decoding again — campaign drivers decode once and hand the same
+    /// reference to every worker thread.
+    pub fn from_decoded(decoded: &'m Decoded<'m>, hooks: H, config: ExecConfig) -> Self {
+        Self::build(Program::Shared(decoded), hooks, config)
+    }
+
+    fn build(program: Program<'m>, hooks: H, config: ExecConfig) -> Self {
         let mut machine = Machine {
-            module,
+            program,
             hooks,
             config,
             mem: Vec::new(),
-            global_base,
-            fn_index: module
-                .functions
-                .iter()
-                .enumerate()
-                .map(|(i, f)| (f.name.as_str(), i))
-                .collect(),
             injection: None,
+            pool: Vec::new(),
         };
         machine.reset_memory();
         machine
     }
 
+    fn module(&self) -> &'m Module {
+        self.program.get().module
+    }
+
     /// Re-initializes memory from the global initializers.
     pub fn reset_memory(&mut self) {
+        let module = self.module();
         self.mem.clear();
-        self.mem.reserve(self.module.memory_cells());
-        for g in &self.module.globals {
+        self.mem.reserve(module.memory_cells());
+        for g in &module.globals {
             match &g.init {
                 Some(values) => self.mem.extend(values.iter().copied()),
                 None => self
@@ -192,9 +222,10 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
 
     /// The cell range of a global, by name.
     pub fn global_range(&self, name: &str) -> Option<std::ops::Range<usize>> {
-        let id = self.module.global_by_name(name)?;
-        let base = self.global_base[id.index()] as usize;
-        Some(base..base + self.module.global(id).len)
+        let module = self.module();
+        let id = module.global_by_name(name)?;
+        let base = self.program.get().global_base[id.index()] as usize;
+        Some(base..base + module.global(id).len)
     }
 
     /// Reads a global's cells.
@@ -251,489 +282,505 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
     /// mismatches — entry setup errors are caller bugs, unlike in-run traps
     /// which are reported in the outcome.
     pub fn run(&mut self, func: &str, args: &[Value]) -> RunOutcome {
-        let entry = *self
-            .fn_index
-            .get(func)
+        let prog = self.program.get();
+        let entry = prog
+            .function_index(func)
             .unwrap_or_else(|| panic!("no function @{func}"));
-        let f = &self.module.functions[entry];
-        assert_eq!(args.len(), f.params.len(), "argument count mismatch");
+        assert_eq!(
+            args.len(),
+            prog.funcs[entry].n_params,
+            "argument count mismatch"
+        );
 
-        let mut counters = Counters::default();
-        let mut pipeline = self.config.timing.map(Pipeline::new);
-        let mut prints = Vec::new();
-        let mut region_depth: u32 = 0;
-        let mut injection = self.injection.take();
-        let mut injected: Option<InjectionRecord> = None;
+        // Split the borrows: the decoded program is read-only for the whole
+        // run while memory, hooks and the frame pool are mutated.
+        let Machine {
+            program,
+            hooks,
+            config,
+            mem,
+            injection,
+            pool,
+        } = self;
+        exec_loop(
+            program.get(),
+            hooks,
+            config,
+            mem,
+            pool,
+            injection.take(),
+            entry,
+            args,
+        )
+    }
+}
 
-        let mut stack: Vec<Frame> = Vec::with_capacity(16);
-        stack.push(self.new_frame(entry, args, &[]));
+/// Pops a recycled frame (or a fresh one) and initializes it for `func`.
+fn acquire_frame(pool: &mut Vec<Frame>, prog: &Decoded<'_>, func: usize) -> Frame {
+    let init = &prog.funcs[func].reg_init;
+    let n = init.len();
+    let mut fr = pool.pop().unwrap_or_default();
+    fr.func = func as u32;
+    fr.block = 0;
+    fr.ip = 0;
+    fr.ret_dst = None;
+    fr.regs.clear();
+    fr.regs.extend_from_slice(init);
+    fr.written.clear();
+    fr.written.resize(n, false);
+    fr.ready.clear();
+    fr.ready.resize(n, 0);
+    fr
+}
 
-        let termination = loop {
-            // --- Fault injection at the instruction boundary. ---
-            if let Some(plan) = &injection {
-                let due = if plan.anywhere {
-                    counters.retired >= plan.trigger
-                } else {
-                    region_depth > 0 && counters.region_retired >= plan.trigger
-                };
-                if due {
-                    injected = self.inject(plan, &mut stack, counters.retired);
-                    injection = None;
+#[inline]
+fn eval(global_base: &[i64], frame: &Frame, op: Operand) -> Value {
+    match op {
+        Operand::Reg(r) => frame.regs[r.index()],
+        Operand::ImmI(v) => Value::I(v),
+        Operand::ImmF(v) => Value::F(v),
+        Operand::Global(g) => Value::I(global_base[g.index()]),
+    }
+}
+
+#[inline]
+fn operand_ready(frame: &Frame, op: Operand) -> u64 {
+    match op {
+        Operand::Reg(r) => frame.ready[r.index()],
+        _ => 0,
+    }
+}
+
+#[inline]
+fn write_reg(frame: &mut Frame, dst: Reg, v: Value, ready: u64) {
+    frame.regs[dst.index()] = v;
+    frame.written[dst.index()] = true;
+    frame.ready[dst.index()] = ready;
+}
+
+/// Timing: gather source readiness and issue into the pipeline model.
+#[inline]
+fn issue(frame: &Frame, pipeline: &mut Option<Pipeline>, step: &DStep, addr: Option<i64>) -> u64 {
+    match pipeline {
+        None => 0,
+        Some(p) => {
+            let mut ready = 0u64;
+            step.op.for_each_use(|op| {
+                if let Operand::Reg(r) = op {
+                    ready = ready.max(frame.ready[r.index()]);
                 }
-            }
+            });
+            p.issue(step.class, ready, addr)
+        }
+    }
+}
 
-            if counters.retired >= self.config.step_limit {
-                break Termination::Trapped(Trap::StepLimit);
-            }
+#[inline]
+fn load_cell(mem: &[Value], addr: i64) -> Result<Value, Trap> {
+    if addr < 0 || addr as usize >= mem.len() {
+        return Err(Trap::OutOfBounds { addr });
+    }
+    Ok(mem[addr as usize])
+}
 
-            let frame = stack.last_mut().expect("non-empty stack");
-            let fun = &self.module.functions[frame.func];
-            let block = &fun.blocks[frame.block as usize];
+#[inline]
+fn store_cell(mem: &mut [Value], addr: i64, v: Value) -> Result<(), Trap> {
+    if addr < 0 || addr as usize >= mem.len() {
+        return Err(Trap::OutOfBounds { addr });
+    }
+    mem[addr as usize] = v;
+    Ok(())
+}
 
-            if frame.ip < block.insts.len() {
-                let inst = &block.insts[frame.ip];
-                frame.ip += 1;
-                counters.retired += 1;
-                if region_depth > 0 {
-                    counters.region_retired += 1;
-                }
+#[allow(clippy::too_many_arguments)]
+fn exec_loop<H: RuntimeHooks>(
+    prog: &Decoded<'_>,
+    hooks: &mut H,
+    config: &ExecConfig,
+    mem: &mut [Value],
+    pool: &mut Vec<Frame>,
+    mut injection: Option<InjectionPlan>,
+    entry: usize,
+    args: &[Value],
+) -> RunOutcome {
+    let global_base = &prog.global_base;
+    let mut counters = Counters::default();
+    let mut pipeline = config.timing.map(Pipeline::new);
+    let mut prints = Vec::new();
+    let mut region_depth: u32 = 0;
+    let mut injected: Option<InjectionRecord> = None;
+    // Scratch for intrinsic argument values, reused across calls.
+    let mut scratch: Vec<Value> = Vec::new();
 
-                match self.step(
-                    inst,
-                    &mut stack,
-                    &mut counters,
-                    &mut pipeline,
-                    &mut prints,
-                    &mut region_depth,
-                ) {
-                    Ok(()) => {}
-                    Err(trap) => break Termination::Trapped(trap),
-                }
+    let mut stack: Vec<Frame> = Vec::with_capacity(16);
+    let mut first = acquire_frame(pool, prog, entry);
+    for (i, &a) in args.iter().enumerate() {
+        first.regs[i] = a;
+        first.written[i] = true;
+    }
+    stack.push(first);
+
+    let termination = loop {
+        // --- Fault injection at the instruction boundary. ---
+        if let Some(plan) = &injection {
+            let due = if plan.anywhere {
+                counters.retired >= plan.trigger
             } else {
-                // Terminator.
-                counters.retired += 1;
-                if region_depth > 0 {
-                    counters.region_retired += 1;
+                region_depth > 0 && counters.region_retired >= plan.trigger
+            };
+            if due {
+                injected = inject(prog, plan, &mut stack, counters.retired);
+                injection = None;
+            }
+        }
+
+        if counters.retired >= config.step_limit {
+            break Termination::Trapped(Trap::StepLimit);
+        }
+
+        let frame = stack.last_mut().expect("non-empty stack");
+        let block = &prog.funcs[frame.func as usize].blocks[frame.block as usize];
+
+        if (frame.ip as usize) < block.insts.len() {
+            let step = &block.insts[frame.ip as usize];
+            frame.ip += 1;
+            counters.retired += 1;
+            if region_depth > 0 {
+                counters.region_retired += 1;
+            }
+
+            match &step.op {
+                DInst::Mov { dst, src } => {
+                    let v = eval(global_base, frame, *src);
+                    let done = issue(frame, &mut pipeline, step, None);
+                    write_reg(frame, *dst, v, done);
                 }
-                match &block.term {
-                    Terminator::Br(t) => {
-                        let frame = stack.last_mut().expect("frame");
-                        frame.block = t.0;
-                        frame.ip = 0;
+                DInst::Bin {
+                    ty,
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    let a = eval(global_base, frame, *lhs);
+                    let b = eval(global_base, frame, *rhs);
+                    let v = match bin_op(*ty, *op, a, b) {
+                        Ok(v) => v,
+                        Err(trap) => break Termination::Trapped(trap),
+                    };
+                    let done = issue(frame, &mut pipeline, step, None);
+                    write_reg(frame, *dst, v, done);
+                }
+                DInst::Un { ty, op, dst, src } => {
+                    let a = eval(global_base, frame, *src);
+                    let v = un_op(*ty, *op, a);
+                    let done = issue(frame, &mut pipeline, step, None);
+                    write_reg(frame, *dst, v, done);
+                }
+                DInst::Cmp {
+                    ty,
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    let a = eval(global_base, frame, *lhs);
+                    let b = eval(global_base, frame, *rhs);
+                    let v = Value::I(cmp_op(*ty, *op, a, b) as i64);
+                    let done = issue(frame, &mut pipeline, step, None);
+                    write_reg(frame, *dst, v, done);
+                }
+                DInst::Select {
+                    dst,
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
+                    let c = eval(global_base, frame, *cond).as_i();
+                    let v = if c != 0 {
+                        eval(global_base, frame, *on_true)
+                    } else {
+                        eval(global_base, frame, *on_false)
+                    };
+                    let done = issue(frame, &mut pipeline, step, None);
+                    write_reg(frame, *dst, v, done);
+                }
+                DInst::Load { dst, addr } => {
+                    counters.loads += 1;
+                    let a = eval(global_base, frame, *addr).as_i();
+                    let v = match load_cell(mem, a) {
+                        Ok(v) => v,
+                        Err(trap) => break Termination::Trapped(trap),
+                    };
+                    let done = issue(frame, &mut pipeline, step, Some(a));
+                    write_reg(frame, *dst, v, done);
+                }
+                DInst::Store { addr, value } => {
+                    counters.stores += 1;
+                    let a = eval(global_base, frame, *addr).as_i();
+                    let v = eval(global_base, frame, *value);
+                    issue(frame, &mut pipeline, step, Some(a));
+                    if let Err(trap) = store_cell(mem, a, v) {
+                        break Termination::Trapped(trap);
                     }
-                    Terminator::CondBr(cond, t, fl) => {
-                        let frame = stack.last_mut().expect("frame");
-                        let c = Self::eval(&self.global_base, frame, *cond);
-                        let taken = c.as_i() != 0;
-                        counters.branches += 1;
-                        if let Some(p) = pipeline.as_mut() {
-                            let site = ((frame.func as u64) << 32) | frame.block as u64;
-                            let ready = Self::operand_ready(frame, *cond);
-                            p.branch(site, taken, ready);
+                }
+                DInst::Call { dst, target, args } => {
+                    counters.calls += 1;
+                    if stack.len() >= config.max_call_depth {
+                        break Termination::Trapped(Trap::StackOverflow);
+                    }
+                    let mut new = acquire_frame(pool, prog, *target as usize);
+                    let caller = stack.last_mut().expect("frame");
+                    for (i, &a) in args.iter().enumerate() {
+                        new.regs[i] = eval(global_base, caller, a);
+                        new.written[i] = true;
+                        if pipeline.is_some() {
+                            new.ready[i] = operand_ready(caller, a);
                         }
-                        let target = if taken { *t } else { *fl };
-                        frame.block = target.0;
-                        frame.ip = 0;
                     }
-                    Terminator::Ret(v) => {
-                        let frame = stack.last_mut().expect("frame");
-                        let value = v.map(|op| Self::eval(&self.global_base, frame, op));
-                        let ready = v.map(|op| Self::operand_ready(frame, op)).unwrap_or(0);
-                        let ret_dst = frame.ret_dst;
-                        stack.pop();
-                        match stack.last_mut() {
-                            None => break Termination::Returned(value),
-                            Some(caller) => {
-                                if let (Some(dst), Some(val)) = (ret_dst, value) {
-                                    caller.regs[dst.index()] = val;
-                                    caller.written[dst.index()] = true;
-                                    caller.ready[dst.index()] = ready;
+                    issue(caller, &mut pipeline, step, None);
+                    new.ret_dst = *dst;
+                    stack.push(new);
+                }
+                DInst::CallUnknown { name } => {
+                    counters.calls += 1;
+                    if stack.len() >= config.max_call_depth {
+                        break Termination::Trapped(Trap::StackOverflow);
+                    }
+                    break Termination::Trapped(Trap::UnknownFunction(name.to_string()));
+                }
+                DInst::IntrinsicCall { dst, intr, args } => {
+                    scratch.clear();
+                    for &a in args.iter() {
+                        scratch.push(eval(global_base, frame, a));
+                    }
+                    match intr {
+                        rskip_ir::Intrinsic::RegionEnter => region_depth += 1,
+                        rskip_ir::Intrinsic::RegionExit => {
+                            region_depth = region_depth.saturating_sub(1);
+                        }
+                        rskip_ir::Intrinsic::Print => prints.push(scratch[0]),
+                        _ => {}
+                    }
+                    let action = hooks.intrinsic(*intr, &scratch);
+                    counters.retired += action.cost;
+                    if region_depth > 0 {
+                        counters.region_retired += action.cost;
+                    }
+                    let frame = stack.last_mut().expect("frame");
+                    let done = match pipeline.as_mut() {
+                        None => 0,
+                        Some(p) => {
+                            let mut ready = 0u64;
+                            for &op in args.iter() {
+                                if let Operand::Reg(r) = op {
+                                    ready = ready.max(frame.ready[r.index()]);
                                 }
                             }
+                            p.issue_bulk(1 + action.cost, ready)
                         }
+                    };
+                    if action.trap_detected {
+                        break Termination::Trapped(Trap::FaultDetected);
+                    }
+                    if let (Some(d), Some(v)) = (dst, action.value) {
+                        write_reg(frame, *d, v, done);
                     }
                 }
             }
-        };
-
-        if let Some(p) = &pipeline {
-            counters.cycles = p.cycles();
-            counters.mispredicts = p.mispredicts();
-        }
-        RunOutcome {
-            termination,
-            counters,
-            injection: injected,
-            prints,
-        }
-    }
-
-    fn new_frame(&self, func: usize, args: &[Value], args_ready: &[u64]) -> Frame {
-        let f = &self.module.functions[func];
-        let n = f.regs.len();
-        let mut regs = Vec::with_capacity(n);
-        for info in &f.regs {
-            regs.push(Value::zero(info.ty));
-        }
-        let mut written = vec![false; n];
-        let mut ready = vec![0u64; n];
-        for (i, &a) in args.iter().enumerate() {
-            regs[i] = a;
-            written[i] = true;
-            if let Some(&r) = args_ready.get(i) {
-                ready[i] = r;
+        } else {
+            // Terminator.
+            counters.retired += 1;
+            if region_depth > 0 {
+                counters.region_retired += 1;
             }
-        }
-        Frame {
-            func,
-            block: 0,
-            ip: 0,
-            regs,
-            written,
-            ready,
-            ret_dst: None,
-        }
-    }
-
-    #[inline]
-    fn eval(global_base: &[i64], frame: &Frame, op: Operand) -> Value {
-        match op {
-            Operand::Reg(r) => frame.regs[r.index()],
-            Operand::ImmI(v) => Value::I(v),
-            Operand::ImmF(v) => Value::F(v),
-            Operand::Global(g) => Value::I(global_base[g.index()]),
-        }
-    }
-
-    #[inline]
-    fn operand_ready(frame: &Frame, op: Operand) -> u64 {
-        match op {
-            Operand::Reg(r) => frame.ready[r.index()],
-            _ => 0,
-        }
-    }
-
-    #[inline]
-    fn write_reg(frame: &mut Frame, dst: Reg, v: Value, ready: u64) {
-        frame.regs[dst.index()] = v;
-        frame.written[dst.index()] = true;
-        frame.ready[dst.index()] = ready;
-    }
-
-    fn step(
-        &mut self,
-        inst: &Inst,
-        stack: &mut Vec<Frame>,
-        counters: &mut Counters,
-        pipeline: &mut Option<Pipeline>,
-        prints: &mut Vec<Value>,
-        region_depth: &mut u32,
-    ) -> Result<(), Trap> {
-        let global_base = &self.global_base;
-        let frame = stack.last_mut().expect("frame");
-
-        // Timing: gather source readiness and issue.
-        let issue = |frame: &Frame,
-                     pipeline: &mut Option<Pipeline>,
-                     inst: &Inst,
-                     addr: Option<i64>|
-         -> u64 {
-            match pipeline {
-                None => 0,
-                Some(p) => {
-                    let mut ready = 0u64;
-                    inst.for_each_use(|op| {
-                        if let Operand::Reg(r) = op {
-                            ready = ready.max(frame.ready[r.index()]);
-                        }
-                    });
-                    p.issue(class_of(inst), ready, addr)
+            match &block.term {
+                DTerm::Br(t) => {
+                    frame.block = *t;
+                    frame.ip = 0;
                 }
-            }
-        };
-
-        match inst {
-            Inst::Mov { dst, src, .. } => {
-                let v = Self::eval(global_base, frame, *src);
-                let done = issue(frame, pipeline, inst, None);
-                Self::write_reg(frame, *dst, v, done);
-            }
-            Inst::Bin {
-                ty,
-                op,
-                dst,
-                lhs,
-                rhs,
-            } => {
-                let a = Self::eval(global_base, frame, *lhs);
-                let b = Self::eval(global_base, frame, *rhs);
-                let v = Self::bin_op(*ty, *op, a, b)?;
-                let done = issue(frame, pipeline, inst, None);
-                Self::write_reg(frame, *dst, v, done);
-            }
-            Inst::Un { ty, op, dst, src } => {
-                let a = Self::eval(global_base, frame, *src);
-                let v = Self::un_op(*ty, *op, a);
-                let done = issue(frame, pipeline, inst, None);
-                Self::write_reg(frame, *dst, v, done);
-            }
-            Inst::Cmp {
-                ty,
-                op,
-                dst,
-                lhs,
-                rhs,
-            } => {
-                let a = Self::eval(global_base, frame, *lhs);
-                let b = Self::eval(global_base, frame, *rhs);
-                let v = Value::I(Self::cmp_op(*ty, *op, a, b) as i64);
-                let done = issue(frame, pipeline, inst, None);
-                Self::write_reg(frame, *dst, v, done);
-            }
-            Inst::Select {
-                dst,
-                cond,
-                on_true,
-                on_false,
-                ..
-            } => {
-                let c = Self::eval(global_base, frame, *cond).as_i();
-                let v = if c != 0 {
-                    Self::eval(global_base, frame, *on_true)
-                } else {
-                    Self::eval(global_base, frame, *on_false)
-                };
-                let done = issue(frame, pipeline, inst, None);
-                Self::write_reg(frame, *dst, v, done);
-            }
-            Inst::Load { dst, addr, .. } => {
-                counters.loads += 1;
-                let a = Self::eval(global_base, frame, *addr).as_i();
-                let v = self.load_cell(a)?;
-                let frame = stack.last_mut().expect("frame");
-                let done = issue(frame, pipeline, inst, Some(a));
-                Self::write_reg(frame, *dst, v, done);
-            }
-            Inst::Store { addr, value, .. } => {
-                counters.stores += 1;
-                let a = Self::eval(global_base, frame, *addr).as_i();
-                let v = Self::eval(global_base, frame, *value);
-                issue(frame, pipeline, inst, Some(a));
-                self.store_cell(a, v)?;
-            }
-            Inst::Call { dst, callee, args } => {
-                counters.calls += 1;
-                if stack.len() >= self.config.max_call_depth {
-                    return Err(Trap::StackOverflow);
+                DTerm::CondBr {
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
+                    let c = eval(global_base, frame, *cond);
+                    let taken = c.as_i() != 0;
+                    counters.branches += 1;
+                    if let Some(p) = pipeline.as_mut() {
+                        let site = (u64::from(frame.func) << 32) | u64::from(frame.block);
+                        let ready = operand_ready(frame, *cond);
+                        p.branch(site, taken, ready);
+                    }
+                    frame.block = if taken { *on_true } else { *on_false };
+                    frame.ip = 0;
                 }
-                let target = *self
-                    .fn_index
-                    .get(callee.as_str())
-                    .ok_or_else(|| Trap::UnknownFunction(callee.clone()))?;
-                let frame = stack.last_mut().expect("frame");
-                let arg_vals: Vec<Value> = args
-                    .iter()
-                    .map(|a| Self::eval(global_base, frame, *a))
-                    .collect();
-                let args_ready: Vec<u64> = match pipeline {
-                    None => vec![0; args.len()],
-                    Some(_) => args
-                        .iter()
-                        .map(|a| Self::operand_ready(frame, *a))
-                        .collect(),
-                };
-                issue(frame, pipeline, inst, None);
-                let mut new = self.new_frame(target, &arg_vals, &args_ready);
-                new.ret_dst = *dst;
-                stack.push(new);
-            }
-            Inst::IntrinsicCall { dst, intr, args } => {
-                let arg_vals: Vec<Value> = args
-                    .iter()
-                    .map(|a| Self::eval(global_base, frame, *a))
-                    .collect();
-                match intr {
-                    Intrinsic::RegionEnter => *region_depth += 1,
-                    Intrinsic::RegionExit => *region_depth = region_depth.saturating_sub(1),
-                    Intrinsic::Print => prints.push(arg_vals[0]),
-                    _ => {}
-                }
-                let action = self.hooks.intrinsic(*intr, &arg_vals);
-                counters.retired += action.cost;
-                if *region_depth > 0 {
-                    counters.region_retired += action.cost;
-                }
-                let frame = stack.last_mut().expect("frame");
-                let done = match pipeline {
-                    None => 0,
-                    Some(p) => {
-                        let mut ready = 0u64;
-                        for (a, op) in arg_vals.iter().zip(args.iter()) {
-                            let _ = a;
-                            if let Operand::Reg(r) = op {
-                                ready = ready.max(frame.ready[r.index()]);
+                DTerm::Ret(v) => {
+                    let value = v.map(|op| eval(global_base, frame, op));
+                    let ready = v.map(|op| operand_ready(frame, op)).unwrap_or(0);
+                    let ret_dst = frame.ret_dst;
+                    let done = stack.pop().expect("frame");
+                    pool.push(done);
+                    match stack.last_mut() {
+                        None => break Termination::Returned(value),
+                        Some(caller) => {
+                            if let (Some(dst), Some(val)) = (ret_dst, value) {
+                                caller.regs[dst.index()] = val;
+                                caller.written[dst.index()] = true;
+                                caller.ready[dst.index()] = ready;
                             }
                         }
-                        p.issue_bulk(1 + action.cost, ready)
                     }
-                };
-                if action.trap_detected {
-                    return Err(Trap::FaultDetected);
-                }
-                if let (Some(d), Some(v)) = (dst, action.value) {
-                    Self::write_reg(frame, *d, v, done);
                 }
             }
         }
-        Ok(())
-    }
+    };
 
-    fn load_cell(&self, addr: i64) -> Result<Value, Trap> {
-        if addr < 0 || addr as usize >= self.mem.len() {
-            return Err(Trap::OutOfBounds { addr });
-        }
-        Ok(self.mem[addr as usize])
-    }
+    // Recycle whatever frames remain (mid-stack trap or normal exit).
+    pool.append(&mut stack);
 
-    fn store_cell(&mut self, addr: i64, v: Value) -> Result<(), Trap> {
-        if addr < 0 || addr as usize >= self.mem.len() {
-            return Err(Trap::OutOfBounds { addr });
-        }
-        self.mem[addr as usize] = v;
-        Ok(())
+    if let Some(p) = &pipeline {
+        counters.cycles = p.cycles();
+        counters.mispredicts = p.mispredicts();
     }
+    RunOutcome {
+        termination,
+        counters,
+        injection: injected,
+        prints,
+    }
+}
 
-    fn bin_op(ty: Ty, op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
-        Ok(match ty {
-            Ty::I64 => {
-                let (x, y) = (a.as_i(), b.as_i());
-                Value::I(match op {
-                    BinOp::Add => x.wrapping_add(y),
-                    BinOp::Sub => x.wrapping_sub(y),
-                    BinOp::Mul => x.wrapping_mul(y),
-                    BinOp::Div => {
-                        if y == 0 {
-                            return Err(Trap::DivByZero);
-                        }
-                        x.wrapping_div(y)
+fn bin_op(ty: Ty, op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
+    Ok(match ty {
+        Ty::I64 => {
+            let (x, y) = (a.as_i(), b.as_i());
+            Value::I(match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        return Err(Trap::DivByZero);
                     }
-                    BinOp::Rem => {
-                        if y == 0 {
-                            return Err(Trap::DivByZero);
-                        }
-                        x.wrapping_rem(y)
+                    x.wrapping_div(y)
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        return Err(Trap::DivByZero);
                     }
-                    BinOp::And => x & y,
-                    BinOp::Or => x | y,
-                    BinOp::Xor => x ^ y,
-                    BinOp::Shl => x.wrapping_shl((y & 63) as u32),
-                    BinOp::Shr => x.wrapping_shr((y & 63) as u32),
-                    BinOp::Min => x.min(y),
-                    BinOp::Max => x.max(y),
-                })
-            }
-            Ty::F64 => {
-                let (x, y) = (a.as_f(), b.as_f());
-                Value::F(match op {
-                    BinOp::Add => x + y,
-                    BinOp::Sub => x - y,
-                    BinOp::Mul => x * y,
-                    BinOp::Div => x / y,
-                    BinOp::Rem => x % y,
-                    BinOp::Min => x.min(y),
-                    BinOp::Max => x.max(y),
-                    BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr => {
-                        unreachable!("verifier rejects bitwise float ops")
-                    }
-                })
-            }
-        })
-    }
-
-    fn un_op(ty: Ty, op: UnOp, a: Value) -> Value {
-        match op {
-            UnOp::Neg => match ty {
-                Ty::I64 => Value::I(a.as_i().wrapping_neg()),
-                Ty::F64 => Value::F(-a.as_f()),
-            },
-            UnOp::Not => Value::I(!a.as_i()),
-            UnOp::Sqrt => Value::F(a.as_f().sqrt()),
-            UnOp::Exp => Value::F(a.as_f().exp()),
-            UnOp::Log => Value::F(a.as_f().ln()),
-            UnOp::Abs => match ty {
-                Ty::I64 => Value::I(a.as_i().wrapping_abs()),
-                Ty::F64 => Value::F(a.as_f().abs()),
-            },
-            UnOp::Floor => Value::F(a.as_f().floor()),
-            UnOp::IntToFloat => Value::F(a.as_i() as f64),
-            UnOp::FloatToInt => Value::I(a.as_f() as i64), // saturating in Rust
-        }
-    }
-
-    fn cmp_op(ty: Ty, op: CmpOp, a: Value, b: Value) -> bool {
-        match ty {
-            Ty::I64 => {
-                let (x, y) = (a.as_i(), b.as_i());
-                match op {
-                    CmpOp::Eq => x == y,
-                    CmpOp::Ne => x != y,
-                    CmpOp::Lt => x < y,
-                    CmpOp::Le => x <= y,
-                    CmpOp::Gt => x > y,
-                    CmpOp::Ge => x >= y,
+                    x.wrapping_rem(y)
                 }
-            }
-            Ty::F64 => {
-                let (x, y) = (a.as_f(), b.as_f());
-                match op {
-                    CmpOp::Eq => x == y,
-                    CmpOp::Ne => x != y,
-                    CmpOp::Lt => x < y,
-                    CmpOp::Le => x <= y,
-                    CmpOp::Gt => x > y,
-                    CmpOp::Ge => x >= y,
+                BinOp::And => x & y,
+                BinOp::Or => x | y,
+                BinOp::Xor => x ^ y,
+                BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+                BinOp::Shr => x.wrapping_shr((y & 63) as u32),
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+            })
+        }
+        Ty::F64 => {
+            let (x, y) = (a.as_f(), b.as_f());
+            Value::F(match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Rem => x % y,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr => {
+                    unreachable!("verifier rejects bitwise float ops")
                 }
+            })
+        }
+    })
+}
+
+fn un_op(ty: Ty, op: UnOp, a: Value) -> Value {
+    match op {
+        UnOp::Neg => match ty {
+            Ty::I64 => Value::I(a.as_i().wrapping_neg()),
+            Ty::F64 => Value::F(-a.as_f()),
+        },
+        UnOp::Not => Value::I(!a.as_i()),
+        UnOp::Sqrt => Value::F(a.as_f().sqrt()),
+        UnOp::Exp => Value::F(a.as_f().exp()),
+        UnOp::Log => Value::F(a.as_f().ln()),
+        UnOp::Abs => match ty {
+            Ty::I64 => Value::I(a.as_i().wrapping_abs()),
+            Ty::F64 => Value::F(a.as_f().abs()),
+        },
+        UnOp::Floor => Value::F(a.as_f().floor()),
+        UnOp::IntToFloat => Value::F(a.as_i() as f64),
+        UnOp::FloatToInt => Value::I(a.as_f() as i64), // saturating in Rust
+    }
+}
+
+fn cmp_op(ty: Ty, op: CmpOp, a: Value, b: Value) -> bool {
+    match ty {
+        Ty::I64 => {
+            let (x, y) = (a.as_i(), b.as_i());
+            match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }
+        Ty::F64 => {
+            let (x, y) = (a.as_f(), b.as_f());
+            match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
             }
         }
     }
+}
 
-    /// Flips one random bit of one random live register (SEU).
-    fn inject(
-        &self,
-        plan: &InjectionPlan,
-        stack: &mut [Frame],
-        at_retired: u64,
-    ) -> Option<InjectionRecord> {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(plan.seed);
+/// Flips one random bit of one random live register (SEU).
+fn inject(
+    prog: &Decoded<'_>,
+    plan: &InjectionPlan,
+    stack: &mut [Frame],
+    at_retired: u64,
+) -> Option<InjectionRecord> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(plan.seed);
 
-        // Gather live (written) registers across all active frames — the
-        // architectural register file is shared state on real hardware.
-        let mut targets: Vec<(usize, usize)> = Vec::new();
-        for (fi, frame) in stack.iter().enumerate() {
-            for (ri, &w) in frame.written.iter().enumerate() {
-                if w {
-                    targets.push((fi, ri));
-                }
+    // Gather live (written) registers across all active frames — the
+    // architectural register file is shared state on real hardware.
+    let mut targets: Vec<(usize, usize)> = Vec::new();
+    for (fi, frame) in stack.iter().enumerate() {
+        for (ri, &w) in frame.written.iter().enumerate() {
+            if w {
+                targets.push((fi, ri));
             }
         }
-        if targets.is_empty() {
-            return None;
-        }
-        let (fi, ri) = targets[rng.gen_range(0..targets.len())];
-        let bit = rng.gen_range(0..64u32);
-        let old = stack[fi].regs[ri];
-        let new = old.with_bit_flipped(bit);
-        stack[fi].regs[ri] = new;
-        Some(InjectionRecord {
-            function: self.module.functions[stack[fi].func].name.clone(),
-            reg: Reg(ri as u32),
-            bit,
-            at_retired,
-            old_bits: old.bits(),
-            new_bits: new.bits(),
-        })
     }
+    if targets.is_empty() {
+        return None;
+    }
+    let (fi, ri) = targets[rng.gen_range(0..targets.len())];
+    let bit = rng.gen_range(0..64u32);
+    let old = stack[fi].regs[ri];
+    let new = old.with_bit_flipped(bit);
+    stack[fi].regs[ri] = new;
+    Some(InjectionRecord {
+        function: prog.module.functions[stack[fi].func as usize].name.clone(),
+        reg: Reg(ri as u32),
+        bit,
+        at_retired,
+        old_bits: old.bits(),
+        new_bits: new.bits(),
+    })
 }
 
 /// Convenience: run a module's entry function on a fresh machine without
@@ -751,7 +798,7 @@ pub fn run_simple(module: &Module, func: &str, args: &[Value]) -> RunOutcome {
 mod tests {
     use super::*;
     use crate::hooks::NoopHooks;
-    use rskip_ir::ModuleBuilder;
+    use rskip_ir::{Intrinsic, ModuleBuilder};
 
     fn returned_i(outcome: &RunOutcome) -> i64 {
         match outcome.termination {
@@ -778,11 +825,7 @@ mod tests {
     #[test]
     fn loop_sums_global() {
         let mut mb = ModuleBuilder::new("m");
-        let g = mb.global_init(
-            "data",
-            Ty::I64,
-            (1..=10).map(Value::I).collect(),
-        );
+        let g = mb.global_init("data", Ty::I64, (1..=10).map(Value::I).collect());
         let mut f = mb.function("main", vec![], Some(Ty::I64));
         let entry = f.entry_block();
         let header = f.new_block("header");
@@ -822,8 +865,12 @@ mod tests {
         sq.ret(Some(Operand::reg(r)));
         sq.finish();
         let mut f = mb.function("main", vec![], Some(Ty::I64));
-        let a = f.call("square", vec![Operand::imm_i(9)], Some(Ty::I64)).unwrap();
-        let b = f.call("square", vec![Operand::reg(a)], Some(Ty::I64)).unwrap();
+        let a = f
+            .call("square", vec![Operand::imm_i(9)], Some(Ty::I64))
+            .unwrap();
+        let b = f
+            .call("square", vec![Operand::reg(a)], Some(Ty::I64))
+            .unwrap();
         f.ret(Some(Operand::reg(b)));
         f.finish();
         let m = mb.finish();
@@ -881,7 +928,12 @@ mod tests {
     fn float_division_by_zero_is_not_a_trap() {
         let mut mb = ModuleBuilder::new("m");
         let mut f = mb.function("main", vec![], Some(Ty::F64));
-        let d = f.bin(BinOp::Div, Ty::F64, Operand::imm_f(1.0), Operand::imm_f(0.0));
+        let d = f.bin(
+            BinOp::Div,
+            Ty::F64,
+            Operand::imm_f(1.0),
+            Operand::imm_f(0.0),
+        );
         f.ret(Some(Operand::reg(d)));
         f.finish();
         let m = mb.finish();
@@ -924,6 +976,82 @@ mod tests {
         let m = mb.finish();
         let out = run_simple(&m, "rec", &[]);
         assert_eq!(out.termination, Termination::Trapped(Trap::StackOverflow));
+    }
+
+    #[test]
+    fn unknown_callee_traps_when_reached() {
+        // The decoder marks the call unresolved; the trap fires only if the
+        // call actually executes.
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![Ty::I64], Some(Ty::I64));
+        let p = f.param(0);
+        let entry = f.entry_block();
+        let bad = f.new_block("bad");
+        let good = f.new_block("good");
+        f.switch_to(entry);
+        f.cond_br(Operand::reg(p), bad, good);
+        f.switch_to(bad);
+        f.call("missing", vec![], None);
+        f.ret(Some(Operand::imm_i(0)));
+        f.switch_to(good);
+        f.ret(Some(Operand::imm_i(7)));
+        f.finish();
+        let m = mb.finish();
+
+        let ok = run_simple(&m, "main", &[Value::I(0)]);
+        assert_eq!(returned_i(&ok), 7);
+
+        let bad = run_simple(&m, "main", &[Value::I(1)]);
+        assert_eq!(
+            bad.termination,
+            Termination::Trapped(Trap::UnknownFunction("missing".into()))
+        );
+    }
+
+    #[test]
+    fn shared_decode_matches_owned_decode() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![Ty::I64], Some(Ty::I64));
+        let p = f.param(0);
+        let x = f.bin(BinOp::Mul, Ty::I64, Operand::reg(p), Operand::reg(p));
+        f.ret(Some(Operand::reg(x)));
+        f.finish();
+        let m = mb.finish();
+
+        let decoded = Decoded::new(&m);
+        let mut shared = Machine::from_decoded(&decoded, NoopHooks, ExecConfig::default());
+        let mut owned = Machine::new(&m, NoopHooks);
+        for v in [-3i64, 0, 12] {
+            let a = shared.run("main", &[Value::I(v)]);
+            let b = owned.run("main", &[Value::I(v)]);
+            assert_eq!(a.termination, b.termination);
+            assert_eq!(a.counters.retired, b.counters.retired);
+        }
+    }
+
+    #[test]
+    fn frame_pool_reuses_allocations_across_runs() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut sq = mb.function("square", vec![Ty::I64], Some(Ty::I64));
+        let p = sq.param(0);
+        let r = sq.bin(BinOp::Mul, Ty::I64, Operand::reg(p), Operand::reg(p));
+        sq.ret(Some(Operand::reg(r)));
+        sq.finish();
+        let mut f = mb.function("main", vec![], Some(Ty::I64));
+        let a = f
+            .call("square", vec![Operand::imm_i(3)], Some(Ty::I64))
+            .unwrap();
+        f.ret(Some(Operand::reg(a)));
+        f.finish();
+        let m = mb.finish();
+
+        let mut machine = Machine::new(&m, NoopHooks);
+        for _ in 0..3 {
+            let out = machine.run("main", &[]);
+            assert_eq!(returned_i(&out), 9);
+        }
+        // Both frames of the deepest run were recycled.
+        assert_eq!(machine.pool.len(), 2);
     }
 
     #[test]
@@ -1000,7 +1128,11 @@ mod tests {
         );
         let out = machine.run("main", &[]);
         // Dependent FpMul chain: ~4 cycles per op, IPC well below 1.
-        assert!(out.counters.cycles >= 60, "cycles = {}", out.counters.cycles);
+        assert!(
+            out.counters.cycles >= 60,
+            "cycles = {}",
+            out.counters.cycles
+        );
         assert!(out.counters.ipc() < 1.0);
     }
 
@@ -1014,7 +1146,12 @@ mod tests {
                 if dependent {
                     v = f.bin(BinOp::Add, Ty::F64, Operand::reg(v), Operand::imm_f(1.0));
                 } else {
-                    f.bin(BinOp::Add, Ty::F64, Operand::imm_f(1.0), Operand::imm_f(1.0));
+                    f.bin(
+                        BinOp::Add,
+                        Ty::F64,
+                        Operand::imm_f(1.0),
+                        Operand::imm_f(1.0),
+                    );
                 }
             }
             f.ret(Some(Operand::reg(v)));

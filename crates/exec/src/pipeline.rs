@@ -475,10 +475,7 @@ mod tests {
         };
         let one = run(1);
         let three = run(3);
-        assert!(
-            (three as f64) < 1.5 * one as f64,
-            "one={one} three={three}"
-        );
+        assert!((three as f64) < 1.5 * one as f64, "one={one} three={three}");
         // And the shadow loads add no misses.
         let misses = |copies: usize| {
             let mut p = pipe();

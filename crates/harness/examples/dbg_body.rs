@@ -1,6 +1,6 @@
 use rskip_exec::{run_simple, Machine, NoopHooks};
-use rskip_passes::{protect, Scheme};
 use rskip_ir::Value;
+use rskip_passes::{protect, Scheme};
 use rskip_workloads::{benchmark_by_name, SizeProfile};
 
 fn main() {
@@ -13,7 +13,10 @@ fn main() {
     // call body(x=5, y=5) — args order from param_tys
     let args: Vec<Value> = bf.params.iter().map(|_| Value::I(5)).collect();
     let out = run_simple(&p.module, body_fn, &args);
-    println!("body dynamic retired: {} ({:?})", out.counters.retired, out.termination);
+    println!(
+        "body dynamic retired: {} ({:?})",
+        out.counters.retired, out.termination
+    );
 
     // total instructions of PP run minus SkipAll-style baseline:
     let input = b.gen_input(SizeProfile::Small, 2000);

@@ -8,20 +8,49 @@ fn main() {
     let m = b.build(SizeProfile::Small);
     let input = b.gen_input(SizeProfile::Small, 2000);
     let p = protect(&m, Scheme::RSkip);
-    let inits: Vec<RegionInit> = p.regions.iter().map(|r| RegionInit {
-        region: r.region.0, has_body: r.body_fn.is_some(),
-        memoizable: r.memoizable, acceptable_range: r.acceptable_range }).collect();
-    let rt = PredictionRuntime::new(&inits, RuntimeConfig { default_tp: 2.0, ..RuntimeConfig::with_ar(1.0) });
+    let inits: Vec<RegionInit> = p
+        .regions
+        .iter()
+        .map(|r| RegionInit {
+            region: r.region.0,
+            has_body: r.body_fn.is_some(),
+            memoizable: r.memoizable,
+            acceptable_range: r.acceptable_range,
+        })
+        .collect();
+    let rt = PredictionRuntime::new(
+        &inits,
+        RuntimeConfig {
+            default_tp: 2.0,
+            ..RuntimeConfig::with_ar(1.0)
+        },
+    );
     let mut ppm = Machine::new(&p.module, rt);
     input.apply(&mut ppm);
     let po = ppm.run("main", &[]);
-    println!("calls: {}  loads: {}  stores: {}  branches: {}  retired: {}",
-        po.counters.calls, po.counters.loads, po.counters.stores, po.counters.branches, po.counters.retired);
+    println!(
+        "calls: {}  loads: {}  stores: {}  branches: {}  retired: {}",
+        po.counters.calls,
+        po.counters.loads,
+        po.counters.stores,
+        po.counters.branches,
+        po.counters.retired
+    );
     // print the PP store block and neighbors
     let f = p.module.function("main").unwrap();
     for (id, blk) in f.iter_blocks() {
-        if blk.name.contains(".pp") || blk.name.contains("recheck") || blk.name.contains("dispatch") || blk.name.contains("pp_") {
-            println!("--- bb{} {} ({} insts) term={:?}", id.0, blk.name, blk.insts.len(), blk.term);
+        if blk.name.contains(".pp")
+            || blk.name.contains("recheck")
+            || blk.name.contains("dispatch")
+            || blk.name.contains("pp_")
+        {
+            println!(
+                "--- bb{} {} ({} insts) term={:?}",
+                id.0,
+                blk.name,
+                blk.insts.len(),
+                blk.term
+            );
         }
     }
 }

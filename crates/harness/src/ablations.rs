@@ -186,10 +186,7 @@ pub fn run_detection(options: &EvalOptions) -> Vec<SchemeCost> {
 
 /// Runs the width sensitivity sweep on conv1d.
 pub fn run_width(options: &EvalOptions) -> Vec<WidthPoint> {
-    let setup = BenchSetup::prepare(
-        benchmark_by_name("conv1d").expect("registry"),
-        options,
-    );
+    let setup = BenchSetup::prepare(benchmark_by_name("conv1d").expect("registry"), options);
     let input = setup.test_input();
     let ar100 = ArSetting { percent: 100 };
 
@@ -276,9 +273,7 @@ pub fn run_recovery(options: &EvalOptions, runs: u32) -> Vec<RecoveryPoint> {
             machine.set_injection(plan);
             let mut outcome = machine.run("main", &[]);
             total_instr += outcome.counters.retired;
-            if restart
-                && outcome.termination == Termination::Trapped(Trap::FaultDetected)
-            {
+            if restart && outcome.termination == Termination::Trapped(Trap::FaultDetected) {
                 // Checkpoint restart: restore the input image (memory is
                 // the only architectural state that survives a region) and
                 // re-execute. The SEU was one-shot, so the retry is clean.
@@ -322,12 +317,30 @@ impl Ablations {
                 .map(String::from)
                 .collect(),
         )
-        .with_title("Ablation §4.2.2: lookup-table construction (blackscholes; paper: 96.5% -> >99%)");
+        .with_title(
+            "Ablation §4.2.2: lookup-table construction (blackscholes; paper: 96.5% -> >99%)",
+        );
         let q = &self.quantization;
-        t.row(vec!["uniform (Paraprox)".into(), "equal".into(), percent(q.uniform_equal)]);
-        t.row(vec!["uniform (Paraprox)".into(), "tuned".into(), percent(q.uniform_tuned)]);
-        t.row(vec!["histogram (ours)".into(), "equal".into(), percent(q.histogram_equal)]);
-        t.row(vec!["histogram (ours)".into(), "tuned".into(), percent(q.histogram_tuned)]);
+        t.row(vec![
+            "uniform (Paraprox)".into(),
+            "equal".into(),
+            percent(q.uniform_equal),
+        ]);
+        t.row(vec![
+            "uniform (Paraprox)".into(),
+            "tuned".into(),
+            percent(q.uniform_tuned),
+        ]);
+        t.row(vec![
+            "histogram (ours)".into(),
+            "equal".into(),
+            percent(q.histogram_equal),
+        ]);
+        t.row(vec![
+            "histogram (ours)".into(),
+            "tuned".into(),
+            percent(q.histogram_tuned),
+        ]);
         out.push_str(&t.render());
         out.push('\n');
 
@@ -339,7 +352,11 @@ impl Ablations {
         )
         .with_title("Ablation: detection-only vs full protection (conv1d)");
         for s in &self.detection {
-            t.row(vec![s.scheme.clone(), ratio(s.norm_instr), ratio(s.norm_time)]);
+            t.row(vec![
+                s.scheme.clone(),
+                ratio(s.norm_instr),
+                ratio(s.norm_time),
+            ]);
         }
         out.push_str(&t.render());
         out.push('\n');
@@ -367,7 +384,9 @@ impl Ablations {
                 .map(String::from)
                 .collect(),
         )
-        .with_title("Ablation §8: detection + checkpoint restart vs inline TMR (conv1d, SEU campaign)");
+        .with_title(
+            "Ablation §8: detection + checkpoint restart vs inline TMR (conv1d, SEU campaign)",
+        );
         for r in &self.recovery {
             t.row(vec![
                 r.strategy.clone(),

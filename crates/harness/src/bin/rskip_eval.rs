@@ -49,14 +49,10 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--runs" => {
-                parsed.runs = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --runs: {e}"))?;
+                parsed.runs = value()?.parse().map_err(|e| format!("bad --runs: {e}"))?;
             }
             "--inputs" => {
-                parsed.inputs = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --inputs: {e}"))?;
+                parsed.inputs = value()?.parse().map_err(|e| format!("bad --inputs: {e}"))?;
             }
             "--out" => parsed.out = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),

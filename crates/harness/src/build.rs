@@ -3,9 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use rskip_exec::{
-    ExecConfig, Machine, NoopHooks, PipelineConfig, RunOutcome,
-};
+use rskip_exec::{ExecConfig, Machine, NoopHooks, PipelineConfig, RunOutcome};
 use rskip_ir::Module;
 use rskip_passes::{protect, Protected, Scheme};
 use rskip_runtime::{
@@ -243,10 +241,7 @@ mod tests {
         let base = setup.run_timed_plain(&setup.unprotected, &input);
         let sr = setup.run_timed_plain(&setup.swift_r.module, &input);
         assert!(sr.counters.cycles > base.counters.cycles);
-        let (pp, skip) = setup.run_timed_rskip(
-            setup.runtime(ArSetting { percent: 100 }),
-            &input,
-        );
+        let (pp, skip) = setup.run_timed_rskip(setup.runtime(ArSetting { percent: 100 }), &input);
         assert!(pp.counters.cycles > base.counters.cycles);
         assert!(skip > 0.0);
     }

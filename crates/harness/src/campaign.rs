@@ -1,0 +1,450 @@
+//! Parallel fault-injection campaigns.
+//!
+//! A [`Campaign`] is a fixed experiment: one protected module (decoded
+//! once), one input, one golden output, `trials` single-event-upset runs.
+//! Trials fan out across a scoped thread pool, and the result is
+//! **byte-identical regardless of thread count or schedule**:
+//!
+//! * each trial's randomness comes from its own
+//!   `ChaCha8Rng::seed_from_u64(trial_seed(seed0, trial))` — a SplitMix64
+//!   hash of the campaign seed and the trial index, never a shared
+//!   sequential stream;
+//! * trial outcomes are collected by index and folded left-to-right into
+//!   [`CampaignStats`], whose merge is commutative and associative
+//!   (monoidal) anyway.
+//!
+//! Thread count comes from the `RAYON_NUM_THREADS` environment variable
+//! when set (the conventional knob, honored even though the pool is
+//! hand-rolled `std::thread::scope`), else from
+//! `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+use rskip_exec::{
+    classify_outcome, Decoded, ExecConfig, InjectionPlan, Machine, OutcomeClass, RuntimeHooks,
+};
+use rskip_ir::{Module, Value};
+use rskip_workloads::InputSet;
+
+/// SplitMix64 hash of `(seed0, trial)` — the per-trial RNG seed.
+///
+/// Splitting the seed by trial index (instead of drawing trials from one
+/// sequential stream) is what makes campaigns schedule-independent: trial
+/// 17 sees the same randomness whether it runs first on one thread or
+/// last on eight.
+#[must_use]
+pub fn trial_seed(seed0: u64, trial: u32) -> u64 {
+    let mut z = seed0
+        ^ u64::from(trial)
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn parse_thread_override(v: &str) -> Option<usize> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// Worker count: `RAYON_NUM_THREADS` if set to a positive integer, else
+/// the machine's available parallelism.
+#[must_use]
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Some(n) = parse_thread_override(&v) {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Computes `f(0..n)` on `threads` scoped workers (dynamic work-stealing
+/// by atomic index) and returns the results **in index order** — the
+/// output is independent of scheduling.
+pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let threads = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("campaign worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed"))
+        .collect()
+}
+
+/// Computes `f(i, items[i])` on `threads` scoped workers, passing each
+/// item **by value**, and returns the results in index order. This is
+/// [`parallel_map_indexed`] for non-`Sync` items (e.g.
+/// `Box<dyn Benchmark>`): each slot is handed to exactly one worker.
+pub fn parallel_map_into<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    parallel_map_indexed(slots.len(), threads, |i| {
+        let item = slots[i]
+            .lock()
+            .expect("slot lock")
+            .take()
+            .expect("each slot taken once");
+        f(i, item)
+    })
+}
+
+/// Outcome-class counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ClassCounts {
+    /// Correct outputs (masked or recovered faults).
+    pub correct: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Segfaults.
+    pub segfault: u64,
+    /// Core dumps.
+    pub core_dump: u64,
+    /// Hangs.
+    pub hang: u64,
+    /// Detected-without-recovery.
+    pub detected: u64,
+}
+
+impl ClassCounts {
+    /// Adds one classified outcome.
+    pub fn add(&mut self, class: OutcomeClass) {
+        match class {
+            OutcomeClass::Correct => self.correct += 1,
+            OutcomeClass::Sdc => self.sdc += 1,
+            OutcomeClass::Segfault => self.segfault += 1,
+            OutcomeClass::CoreDump => self.core_dump += 1,
+            OutcomeClass::Hang => self.hang += 1,
+            OutcomeClass::Detected => self.detected += 1,
+        }
+    }
+
+    /// Component-wise sum (the monoid operation).
+    pub fn merge(&mut self, o: &ClassCounts) {
+        self.correct += o.correct;
+        self.sdc += o.sdc;
+        self.segfault += o.segfault;
+        self.core_dump += o.core_dump;
+        self.hang += o.hang;
+        self.detected += o.detected;
+    }
+
+    /// Total runs recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.correct + self.sdc + self.segfault + self.core_dump + self.hang + self.detected
+    }
+
+    /// Protection rate = correct / total (the paper's headline metric).
+    #[must_use]
+    pub fn protection_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of total for one count.
+    #[must_use]
+    pub fn rate(&self, v: u64) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            v as f64 / self.total() as f64
+        }
+    }
+}
+
+/// One trial's result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// The paper's outcome class for this run.
+    pub class: OutcomeClass,
+    /// Whether the scheme's explicit recovery machinery fired.
+    pub recovered: bool,
+}
+
+/// Campaign aggregate — a commutative monoid under [`merge`].
+///
+/// [`merge`]: CampaignStats::merge
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CampaignStats {
+    /// Outcome classes over all trials.
+    pub counts: ClassCounts,
+    /// Failing trials in which recovery never fired (false negatives).
+    pub false_negatives: ClassCounts,
+    /// Trials where recovery fired.
+    pub recoveries: u64,
+}
+
+impl CampaignStats {
+    /// Folds one trial in.
+    pub fn record(&mut self, t: TrialOutcome) {
+        self.counts.add(t.class);
+        if t.recovered {
+            self.recoveries += 1;
+        }
+        if t.class != OutcomeClass::Correct && !t.recovered {
+            self.false_negatives.add(t.class);
+        }
+    }
+
+    /// Combines two partial aggregates.
+    pub fn merge(&mut self, o: &CampaignStats) {
+        self.counts.merge(&o.counts);
+        self.false_negatives.merge(&o.false_negatives);
+        self.recoveries += o.recoveries;
+    }
+
+    /// Protection rate = correct / total.
+    #[must_use]
+    pub fn protection_rate(&self) -> f64 {
+        self.counts.protection_rate()
+    }
+}
+
+/// A statistical fault-injection campaign over one protected build.
+///
+/// Construction decodes the module once and performs one clean
+/// (injection-free) run to measure the region-instruction budget — the
+/// sampling space for injection instants — and the hang threshold. Every
+/// trial then shares the decode, the input, the golden output and the
+/// [`ExecConfig`]; per-trial state is only the machine, the hooks and the
+/// split-seeded plan.
+pub struct Campaign<'m> {
+    decoded: Decoded<'m>,
+    input: &'m InputSet,
+    golden: &'m [Value],
+    output: &'m str,
+    config: ExecConfig,
+    region_budget: u64,
+    seed0: u64,
+    trials: u32,
+}
+
+impl<'m> Campaign<'m> {
+    /// Prepares a campaign: decodes `module`, runs it clean with
+    /// `make_hooks()` to size the injection window and the step limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clean run never enters a protected region — the
+    /// build has nothing to inject into, which is an experiment-setup
+    /// bug.
+    pub fn new<H: RuntimeHooks>(
+        module: &'m Module,
+        input: &'m InputSet,
+        golden: &'m [Value],
+        output_global: &'m str,
+        make_hooks: impl Fn() -> H,
+        seed0: u64,
+        trials: u32,
+    ) -> Self {
+        let decoded = Decoded::new(module);
+        let clean = {
+            let mut machine = Machine::from_decoded(&decoded, make_hooks(), ExecConfig::default());
+            input.apply(&mut machine);
+            machine.run("main", &[]).counters
+        };
+        assert!(clean.region_retired > 0, "clean run never entered a region");
+        let config = ExecConfig {
+            step_limit: clean.retired.saturating_mul(20).max(1_000_000),
+            ..ExecConfig::default()
+        };
+        Campaign {
+            decoded,
+            input,
+            golden,
+            output: output_global,
+            config,
+            region_budget: clean.region_retired,
+            seed0,
+            trials,
+        }
+    }
+
+    /// Trial count.
+    #[must_use]
+    pub fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    /// The region-instruction budget injection instants are sampled from.
+    #[must_use]
+    pub fn region_budget(&self) -> u64 {
+        self.region_budget
+    }
+
+    /// The step-limited execution config shared by every trial.
+    #[must_use]
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// The deterministic injection plan of one trial.
+    #[must_use]
+    pub fn plan(&self, trial: u32) -> InjectionPlan {
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(self.seed0, trial));
+        InjectionPlan {
+            trigger: rng.gen_range(0..self.region_budget),
+            seed: rng.gen(),
+            anywhere: false,
+        }
+    }
+
+    /// Runs one trial and classifies it. `observe_recoveries` reads the
+    /// scheme's recovery counter off the hooks after the run (return 0
+    /// for schemes without explicit recovery).
+    pub fn run_trial<H: RuntimeHooks>(
+        &self,
+        trial: u32,
+        make_hooks: impl Fn() -> H,
+        observe_recoveries: impl Fn(&H) -> u64,
+    ) -> TrialOutcome {
+        let mut machine = Machine::from_decoded(&self.decoded, make_hooks(), self.config.clone());
+        self.input.apply(&mut machine);
+        machine.set_injection(self.plan(trial));
+        let out = machine.run("main", &[]);
+        let recovered = observe_recoveries(machine.hooks()) > 0;
+        let class = classify_outcome(&out, machine.read_global(self.output), self.golden);
+        TrialOutcome { class, recovered }
+    }
+
+    /// Runs the whole campaign on [`num_threads`] workers.
+    pub fn run<H: RuntimeHooks>(
+        &self,
+        make_hooks: impl Fn() -> H + Sync,
+        observe_recoveries: impl Fn(&H) -> u64 + Sync,
+    ) -> CampaignStats {
+        self.run_on(num_threads(), make_hooks, observe_recoveries)
+    }
+
+    /// Runs the whole campaign on an explicit worker count. Results are
+    /// identical for every `threads` value — see the module docs.
+    pub fn run_on<H: RuntimeHooks>(
+        &self,
+        threads: usize,
+        make_hooks: impl Fn() -> H + Sync,
+        observe_recoveries: impl Fn(&H) -> u64 + Sync,
+    ) -> CampaignStats {
+        let outcomes = parallel_map_indexed(self.trials as usize, threads, |i| {
+            self.run_trial(i as u32, &make_hooks, &observe_recoveries)
+        });
+        let mut stats = CampaignStats::default();
+        for t in outcomes {
+            stats.record(t);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_seeds_are_distinct_and_stable() {
+        let a = trial_seed(7, 0);
+        let b = trial_seed(7, 1);
+        let c = trial_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, trial_seed(7, 0));
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 2 "), Some(2));
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override("lots"), None);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for threads in [1, 2, 5] {
+            let out = parallel_map_indexed(17, threads, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn stats_fold_matches_merge_of_partials() {
+        let trials: Vec<TrialOutcome> = (0..10)
+            .map(|i| TrialOutcome {
+                class: if i % 3 == 0 {
+                    OutcomeClass::Correct
+                } else if i % 3 == 1 {
+                    OutcomeClass::Sdc
+                } else {
+                    OutcomeClass::Hang
+                },
+                recovered: i % 4 == 0,
+            })
+            .collect();
+        let mut whole = CampaignStats::default();
+        for &t in &trials {
+            whole.record(t);
+        }
+        let (left, right) = trials.split_at(4);
+        let mut a = CampaignStats::default();
+        let mut b = CampaignStats::default();
+        for &t in left {
+            a.record(t);
+        }
+        for &t in right {
+            b.record(t);
+        }
+        a.merge(&b);
+        assert_eq!(a.counts.total(), whole.counts.total());
+        assert_eq!(a.counts.sdc, whole.counts.sdc);
+        assert_eq!(a.false_negatives.total(), whole.false_negatives.total());
+        assert_eq!(a.recoveries, whole.recoveries);
+    }
+}

@@ -38,8 +38,7 @@ const ARGS: u64 = 6;
 pub fn run(options: &EvalOptions) -> CostRatio {
     // Per-element DI cost: the observe call plus the amortized phase-cut
     // classification.
-    let di =
-        (costs::OBSERVE_BASE + costs::OBSERVE_PER_ARG * ARGS + costs::CUT_PER_ELEMENT) as f64;
+    let di = (costs::OBSERVE_BASE + costs::OBSERVE_PER_ARG * ARGS + costs::CUT_PER_ELEMENT) as f64;
 
     // Second-level prediction pays the first level plus the lookup.
     let memo = di + (costs::MEMO_BASE + costs::MEMO_PER_INPUT * ARGS) as f64;
@@ -65,11 +64,15 @@ pub fn run(options: &EvalOptions) -> CostRatio {
         out.termination
     );
     let body_instr = out.counters.retired as f64;
-    let recheck = (costs::NEXT_PENDING + costs::PENDING_FIELD * (1 + ARGS) + costs::RESOLVE) as f64
-        + 3.0; // call + load + compare in the recheck block
+    let recheck =
+        (costs::NEXT_PENDING + costs::PENDING_FIELD * (1 + ARGS) + costs::RESOLVE) as f64 + 3.0; // call + load + compare in the recheck block
     let recompute = di + recheck + body_instr;
 
-    CostRatio { di, memo, recompute }
+    CostRatio {
+        di,
+        memo,
+        recompute,
+    }
 }
 
 impl CostRatio {

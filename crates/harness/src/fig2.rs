@@ -95,10 +95,17 @@ impl Fig2 {
     /// Renders the figure.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
-            ["benchmark", "Trend", "Top 10", "loop share", "trend cov", "top10 cov"]
-                .into_iter()
-                .map(String::from)
-                .collect(),
+            [
+                "benchmark",
+                "Trend",
+                "Top 10",
+                "loop share",
+                "trend cov",
+                "top10 cov",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
         )
         .with_title("Fig 2: coverage of predictable computations (% of dynamic instructions)");
         for r in &self.rows {
@@ -113,8 +120,7 @@ impl Fig2 {
         }
         let avg_t = self.rows.iter().map(|r| r.trend).sum::<f64>() / self.rows.len() as f64;
         let avg_k = self.rows.iter().map(|r| r.top10).sum::<f64>() / self.rows.len() as f64;
-        let avg_s =
-            self.rows.iter().map(|r| r.region_share).sum::<f64>() / self.rows.len() as f64;
+        let avg_s = self.rows.iter().map(|r| r.region_share).sum::<f64>() / self.rows.len() as f64;
         t.row(vec![
             "average".into(),
             percent(avg_t),

@@ -8,6 +8,7 @@
 use serde::Serialize;
 
 use crate::build::{ArSetting, BenchSetup, EvalOptions};
+use crate::campaign::{num_threads, parallel_map_into};
 use crate::report::{percent, ratio, TextTable};
 use crate::AR_SETTINGS;
 
@@ -73,15 +74,13 @@ pub fn run_bench(setup: &BenchSetup) -> Fig7Row {
     }
 }
 
-/// Runs Figure 7 over all benchmarks.
+/// Runs Figure 7 over all benchmarks in parallel (thread count from
+/// `RAYON_NUM_THREADS`, else available parallelism).
 pub fn run(options: &EvalOptions) -> Fig7 {
-    let rows = rskip_workloads::all_benchmarks()
-        .into_iter()
-        .map(|b| {
-            let setup = BenchSetup::prepare(b, options);
-            run_bench(&setup)
-        })
-        .collect();
+    let rows = parallel_map_into(rskip_workloads::all_benchmarks(), num_threads(), |_, b| {
+        let setup = BenchSetup::prepare(b, options);
+        run_bench(&setup)
+    });
     Fig7 { rows }
 }
 

@@ -8,6 +8,7 @@
 use serde::Serialize;
 
 use crate::build::{ArSetting, BenchSetup, EvalOptions};
+use crate::campaign::{num_threads, parallel_map_indexed};
 use crate::report::{percent, ratio, TextTable};
 use crate::AR_SETTINGS;
 
@@ -45,18 +46,18 @@ pub fn run_8a(options: &EvalOptions) -> Fig8a {
     let base = setup.run_timed_plain(&setup.unprotected, &input);
     let base_time = base.counters.cycles as f64;
 
-    let mut points = Vec::new();
-    for ar in AR_SETTINGS {
+    let points = parallel_map_indexed(AR_SETTINGS.len(), num_threads(), |i| {
+        let ar = AR_SETTINGS[i];
         let (di_out, di_skip) = setup.run_timed_rskip(setup.runtime_di_only(ar), &input);
         let (full_out, full_skip) = setup.run_timed_rskip(setup.runtime(ar), &input);
-        points.push(Fig8aPoint {
+        Fig8aPoint {
             ar: ar.percent,
             di_time: di_out.counters.cycles as f64 / base_time,
             di_skip,
             full_time: full_out.counters.cycles as f64 / base_time,
             full_skip,
-        });
-    }
+        }
+    });
     Fig8a { points }
 }
 
@@ -64,10 +65,16 @@ impl Fig8a {
     /// Renders the figure.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
-            ["AR", "time (DI only)", "skip (DI only)", "time (DI+memo)", "skip (DI+memo)"]
-                .into_iter()
-                .map(String::from)
-                .collect(),
+            [
+                "AR",
+                "time (DI only)",
+                "skip (DI only)",
+                "time (DI+memo)",
+                "skip (DI+memo)",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
         )
         .with_title("Fig 8a: blackscholes — presence of the second-level predictor");
         for p in &self.points {
@@ -113,20 +120,20 @@ pub fn run_8b(options: &EvalOptions, n_inputs: u32) -> Fig8b {
     let setup = BenchSetup::prepare(bench, options);
     let ar20 = ArSetting { percent: 20 };
 
-    let mut points = Vec::new();
-    for k in 0..n_inputs {
+    let points = parallel_map_indexed(n_inputs as usize, num_threads(), |i| {
+        let k = i as u32;
         let input = setup.bench.gen_input(options.size, 2000 + u64::from(k));
         let base = setup.run_timed_plain(&setup.unprotected, &input);
         let base_time = base.counters.cycles as f64;
         let sr = setup.run_timed_plain(&setup.swift_r.module, &input);
         let (pp, skip) = setup.run_timed_rskip(setup.runtime(ar20), &input);
-        points.push(Fig8bPoint {
+        Fig8bPoint {
             input_id: k + 1,
             swift_r_time: sr.counters.cycles as f64 / base_time,
             rskip_time: pp.counters.cycles as f64 / base_time,
             skip_rate: skip,
-        });
-    }
+        }
+    });
     Fig8b { points }
 }
 
@@ -161,8 +168,7 @@ impl Fig8b {
         t.row(vec![
             "average".into(),
             ratio(
-                self.points.iter().map(|p| p.swift_r_time).sum::<f64>()
-                    / self.points.len() as f64,
+                self.points.iter().map(|p| p.swift_r_time).sum::<f64>() / self.points.len() as f64,
             ),
             ratio(self.average_rskip_time()),
             percent(self.average_skip()),

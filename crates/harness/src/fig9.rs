@@ -8,16 +8,14 @@
 //! protection scheme never detected anything (for RSkip: a corrupted value
 //! slipped through fuzzy validation).
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
-use rskip_exec::{
-    classify_outcome, ExecConfig, InjectionPlan, Machine, NoopHooks, OutcomeClass,
-};
+use rskip_exec::NoopHooks;
 use rskip_workloads::InputSet;
 
 use crate::build::{ArSetting, BenchSetup, EvalOptions};
+pub use crate::campaign::ClassCounts;
+use crate::campaign::{num_threads, parallel_map_into, Campaign, CampaignStats};
 use crate::report::{percent, TextTable};
 use crate::AR_SETTINGS;
 
@@ -46,59 +44,6 @@ impl SchemeLabel {
             SchemeLabel::Unsafe => "UNSAFE".into(),
             SchemeLabel::SwiftR => "SWIFT-R".into(),
             SchemeLabel::Ar(p) => format!("AR{p}"),
-        }
-    }
-}
-
-/// Outcome-class counts.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
-pub struct ClassCounts {
-    /// Correct outputs (masked or recovered faults).
-    pub correct: u64,
-    /// Silent data corruptions.
-    pub sdc: u64,
-    /// Segfaults.
-    pub segfault: u64,
-    /// Core dumps.
-    pub core_dump: u64,
-    /// Hangs.
-    pub hang: u64,
-    /// Detected-without-recovery (not reached by these six schemes).
-    pub detected: u64,
-}
-
-impl ClassCounts {
-    /// Adds one classified outcome.
-    pub fn add(&mut self, class: OutcomeClass) {
-        match class {
-            OutcomeClass::Correct => self.correct += 1,
-            OutcomeClass::Sdc => self.sdc += 1,
-            OutcomeClass::Segfault => self.segfault += 1,
-            OutcomeClass::CoreDump => self.core_dump += 1,
-            OutcomeClass::Hang => self.hang += 1,
-            OutcomeClass::Detected => self.detected += 1,
-        }
-    }
-
-    /// Total runs recorded.
-    pub fn total(&self) -> u64 {
-        self.correct + self.sdc + self.segfault + self.core_dump + self.hang + self.detected
-    }
-
-    /// Protection rate = correct / total (the paper's headline metric).
-    pub fn protection_rate(&self) -> f64 {
-        if self.total() == 0 {
-            0.0
-        } else {
-            self.correct as f64 / self.total() as f64
-        }
-    }
-
-    fn rate(&self, v: u64) -> f64 {
-        if self.total() == 0 {
-            0.0
-        } else {
-            v as f64 / self.total() as f64
         }
     }
 }
@@ -160,95 +105,46 @@ fn run_campaign(
     runs: u32,
 ) -> Fig9Cell {
     let output = setup.bench.output_global();
+    let seed0 =
+        0x51_F0 ^ (runs as u64) << 32 ^ scheme_seed(scheme) ^ name_seed(setup.bench.meta().name);
 
-    // Clean instrumentation run: region-instruction budget for trigger
-    // sampling and the hang threshold.
-    let (module, clean_region, clean_total) = match scheme {
-        SchemeLabel::Unsafe => {
-            let m = &setup.unsafe_build.module;
-            let mut machine = Machine::new(m, NoopHooks);
-            input.apply(&mut machine);
-            let out = machine.run("main", &[]);
-            (m, out.counters.region_retired, out.counters.retired)
-        }
-        SchemeLabel::SwiftR => {
-            let m = &setup.swift_r.module;
-            let mut machine = Machine::new(m, NoopHooks);
-            input.apply(&mut machine);
-            let out = machine.run("main", &[]);
-            (m, out.counters.region_retired, out.counters.retired)
-        }
+    let stats: CampaignStats = match scheme {
         SchemeLabel::Ar(p) => {
-            let m = &setup.rskip.module;
-            let rt = setup.runtime(ArSetting { percent: p });
-            let mut machine = Machine::new(m, rt);
-            input.apply(&mut machine);
-            let out = machine.run("main", &[]);
-            (m, out.counters.region_retired, out.counters.retired)
+            let make = || setup.runtime(ArSetting { percent: p });
+            let campaign = Campaign::new(
+                &setup.rskip.module,
+                input,
+                golden,
+                output,
+                make,
+                seed0,
+                runs,
+            );
+            campaign.run(make, |h| h.total_faults_recovered())
+        }
+        _ => {
+            // SWIFT-R recovery is in-line voting; "handled" is not
+            // observable separately, and UNSAFE has no protection.
+            let module = match scheme {
+                SchemeLabel::Unsafe => &setup.unsafe_build.module,
+                _ => &setup.swift_r.module,
+            };
+            let campaign = Campaign::new(module, input, golden, output, || NoopHooks, seed0, runs);
+            campaign.run(|| NoopHooks, |_| 0)
         }
     };
-    assert!(clean_region > 0, "scheme {scheme:?} never entered a region");
-
-    let config = ExecConfig {
-        step_limit: clean_total.saturating_mul(20).max(1_000_000),
-        ..ExecConfig::default()
-    };
-
-    let mut counts = ClassCounts::default();
-    let mut false_negatives = ClassCounts::default();
-    let mut recoveries = 0u64;
-
-    let mut rng = ChaCha8Rng::seed_from_u64(
-        0x51_F0 ^ (runs as u64) << 32 ^ scheme_seed(scheme) ^ name_seed(setup.bench.meta().name),
-    );
-    for _ in 0..runs {
-        let plan = InjectionPlan {
-            trigger: rng.gen_range(0..clean_region),
-            seed: rng.gen(),
-            anywhere: false,
-        };
-
-        let (class, fault_handled) = match scheme {
-            SchemeLabel::Ar(p) => {
-                let rt = setup.runtime(ArSetting { percent: p });
-                let mut machine = Machine::with_config(module, rt, config.clone());
-                input.apply(&mut machine);
-                machine.set_injection(plan);
-                let out = machine.run("main", &[]);
-                let recovered = machine.hooks().total_faults_recovered() > 0;
-                let class = classify_outcome(&out, machine.read_global(output), golden);
-                (class, recovered)
-            }
-            _ => {
-                let mut machine = Machine::with_config(module, NoopHooks, config.clone());
-                input.apply(&mut machine);
-                machine.set_injection(plan);
-                let out = machine.run("main", &[]);
-                let class = classify_outcome(&out, machine.read_global(output), golden);
-                // SWIFT-R recovery is in-line voting; "handled" is not
-                // observable separately, and UNSAFE has no protection.
-                (class, false)
-            }
-        };
-        counts.add(class);
-        if fault_handled {
-            recoveries += 1;
-        }
-        // False negative: the run failed and the scheme's explicit
-        // detection/recovery machinery never fired.
-        if matches!(scheme, SchemeLabel::Ar(_))
-            && class != OutcomeClass::Correct
-            && !fault_handled
-        {
-            false_negatives.add(class);
-        }
-    }
 
     Fig9Cell {
         scheme,
-        counts,
-        false_negatives,
-        recoveries,
+        counts: stats.counts,
+        // False negatives are only meaningful for the AR schemes (the
+        // other schemes expose no observable detection signal).
+        false_negatives: if matches!(scheme, SchemeLabel::Ar(_)) {
+            stats.false_negatives
+        } else {
+            ClassCounts::default()
+        },
+        recoveries: stats.recoveries,
     }
 }
 
@@ -261,38 +157,19 @@ fn scheme_seed(s: SchemeLabel) -> u64 {
 }
 
 fn name_seed(name: &str) -> u64 {
-    name.bytes().fold(0u64, |h, b| {
-        h.wrapping_mul(131).wrapping_add(u64::from(b))
-    })
+    name.bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)))
 }
 
-/// Runs the campaign over all benchmarks, in parallel (one thread per
-/// benchmark).
+/// Runs the campaign over all benchmarks in parallel (thread count from
+/// `RAYON_NUM_THREADS`, else available parallelism).
 pub fn run(options: &EvalOptions, runs: u32) -> Fig9 {
     let benches = rskip_workloads::all_benchmarks();
-    let mut rows: Vec<Option<Fig9Row>> = Vec::new();
-    rows.resize_with(benches.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, b) in benches.into_iter().enumerate() {
-            let options = options.clone();
-            handles.push((
-                i,
-                scope.spawn(move |_| {
-                    let setup = BenchSetup::prepare(b, &options);
-                    run_bench(&setup, runs)
-                }),
-            ));
-        }
-        for (i, h) in handles {
-            rows[i] = Some(h.join().expect("campaign thread panicked"));
-        }
-    })
-    .expect("campaign scope");
-    Fig9 {
-        rows: rows.into_iter().map(|r| r.expect("row")).collect(),
-        runs,
-    }
+    let rows = parallel_map_into(benches, num_threads(), |_, b| {
+        let setup = BenchSetup::prepare(b, options);
+        run_bench(&setup, runs)
+    });
+    Fig9 { rows, runs }
 }
 
 impl Fig9 {
@@ -323,10 +200,18 @@ impl Fig9 {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let mut t = TextTable::new(
-            ["benchmark", "scheme", "Correct", "SDC", "Segfault", "Core dump", "Hang"]
-                .into_iter()
-                .map(String::from)
-                .collect(),
+            [
+                "benchmark",
+                "scheme",
+                "Correct",
+                "SDC",
+                "Segfault",
+                "Core dump",
+                "Hang",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
         )
         .with_title(format!(
             "Fig 9a: fault injection outcomes ({} SEUs per benchmark/scheme)",
@@ -361,10 +246,17 @@ impl Fig9 {
         out.push('\n');
 
         let mut t = TextTable::new(
-            ["benchmark", "scheme", "FN total", "FN SDC", "FN Segfault", "FN other"]
-                .into_iter()
-                .map(String::from)
-                .collect(),
+            [
+                "benchmark",
+                "scheme",
+                "FN total",
+                "FN SDC",
+                "FN Segfault",
+                "FN other",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
         )
         .with_title("Fig 9b: false negatives (failures the scheme never saw)");
         for row in &self.rows {

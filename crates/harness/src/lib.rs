@@ -32,6 +32,7 @@
 
 pub mod ablations;
 pub mod build;
+pub mod campaign;
 pub mod cost_ratio;
 pub mod fig2;
 pub mod fig7;
@@ -42,6 +43,7 @@ pub mod table1;
 pub mod tradeoff;
 
 pub use build::{ArSetting, BenchSetup, EvalOptions};
+pub use campaign::{Campaign, CampaignStats, ClassCounts};
 pub use report::TextTable;
 
 /// The paper's four acceptable-range settings.

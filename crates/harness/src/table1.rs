@@ -1,28 +1,38 @@
 //! Table 1 — benchmark characteristics.
 
+use crate::campaign::{num_threads, parallel_map_into};
 use crate::report::TextTable;
 use rskip_workloads::{all_benchmarks, SizeProfile};
 
 /// Renders the Table-1 equivalent for our workloads at `size`.
 pub fn render(size: SizeProfile) -> String {
     let mut t = TextTable::new(
-        ["benchmark", "application domain", "prediction-target pattern", "location", "input cells"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        [
+            "benchmark",
+            "application domain",
+            "prediction-target pattern",
+            "location",
+            "input cells",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
     )
     .with_title(format!("Table 1: selected benchmarks ({size:?} profile)"));
-    for b in all_benchmarks() {
+    let rows = parallel_map_into(all_benchmarks(), num_threads(), |_, b| {
         let meta = b.meta();
         let input = b.gen_input(size, 2000);
         let cells: usize = input.arrays.iter().map(|(_, v)| v.len()).sum();
-        t.row(vec![
+        vec![
             meta.name.into(),
             meta.domain.into(),
             meta.pattern.into(),
             meta.location.into(),
             cells.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.render()
 }

@@ -16,10 +16,7 @@ fn tiny_options() -> EvalOptions {
 #[test]
 fn fig2_produces_sane_coverage() {
     let opts = tiny_options();
-    let setup = BenchSetup::prepare(
-        rskip_workloads::benchmark_by_name("conv1d").unwrap(),
-        &opts,
-    );
+    let setup = BenchSetup::prepare(rskip_workloads::benchmark_by_name("conv1d").unwrap(), &opts);
     let row = rskip_harness::fig2::run_bench(&setup);
     assert!(row.trend > 0.5, "conv1d trend coverage {}", row.trend);
     assert!(row.region_share > 0.5);
@@ -29,12 +26,13 @@ fn fig2_produces_sane_coverage() {
 #[test]
 fn fig7_rows_have_the_papers_shape() {
     let opts = tiny_options();
-    let setup = BenchSetup::prepare(
-        rskip_workloads::benchmark_by_name("conv1d").unwrap(),
-        &opts,
-    );
+    let setup = BenchSetup::prepare(rskip_workloads::benchmark_by_name("conv1d").unwrap(), &opts);
     let row = rskip_harness::fig7::run_bench(&setup);
-    assert!(row.swift_r.norm_time > 1.5, "SWIFT-R {}", row.swift_r.norm_time);
+    assert!(
+        row.swift_r.norm_time > 1.5,
+        "SWIFT-R {}",
+        row.swift_r.norm_time
+    );
     assert!(row.swift_r.norm_instr > 2.0);
     for (ar, m) in &row.rskip {
         assert!(
@@ -78,10 +76,7 @@ fn fig8b_covers_requested_inputs() {
 #[test]
 fn fig9_mini_campaign_orders_schemes() {
     let opts = tiny_options();
-    let setup = BenchSetup::prepare(
-        rskip_workloads::benchmark_by_name("conv1d").unwrap(),
-        &opts,
-    );
+    let setup = BenchSetup::prepare(rskip_workloads::benchmark_by_name("conv1d").unwrap(), &opts);
     let row = rskip_harness::fig9::run_bench(&setup, 80);
     let rate = |s: SchemeLabel| {
         row.cells
@@ -94,7 +89,10 @@ fn fig9_mini_campaign_orders_schemes() {
     let unsafe_rate = rate(SchemeLabel::Unsafe);
     let swift_r = rate(SchemeLabel::SwiftR);
     let ar20 = rate(SchemeLabel::Ar(20));
-    assert!(unsafe_rate < swift_r, "UNSAFE {unsafe_rate} !< SWIFT-R {swift_r}");
+    assert!(
+        unsafe_rate < swift_r,
+        "UNSAFE {unsafe_rate} !< SWIFT-R {swift_r}"
+    );
     assert!(unsafe_rate < ar20, "UNSAFE {unsafe_rate} !< AR20 {ar20}");
     assert!(swift_r > 0.9);
     // Every run classified.
@@ -114,10 +112,7 @@ fn tradeoff_joins_consistently() {
     };
     let fig9 = rskip_harness::fig9::Fig9 {
         rows: vec![rskip_harness::fig9::run_bench(
-            &BenchSetup::prepare(
-                rskip_workloads::benchmark_by_name("conv1d").unwrap(),
-                &opts,
-            ),
+            &BenchSetup::prepare(rskip_workloads::benchmark_by_name("conv1d").unwrap(), &opts),
             40,
         )],
         runs: 40,
@@ -160,12 +155,7 @@ fn quantization_ablation_reproduces_the_papers_gap() {
 fn recovery_ablation_restart_matches_tmr_protection() {
     let points = rskip_harness::ablations::run_recovery(&tiny_options(), 150);
     assert_eq!(points.len(), 3);
-    let by = |label: &str| {
-        points
-            .iter()
-            .find(|p| p.strategy.contains(label))
-            .unwrap()
-    };
+    let by = |label: &str| points.iter().find(|p| p.strategy.contains(label)).unwrap();
     let abort = by("abort");
     let restart = by("restart");
     let tmr = by("TMR");

@@ -272,7 +272,12 @@ impl<'a> FunctionBuilder<'a> {
     /// Calls `callee(args...)`; when `ret_ty` is given a fresh destination
     /// register is allocated and returned. The verifier checks the call
     /// against the callee's actual signature once the module is complete.
-    pub fn call(&mut self, callee: impl Into<String>, args: Vec<Operand>, ret_ty: Option<Ty>) -> Option<Reg> {
+    pub fn call(
+        &mut self,
+        callee: impl Into<String>,
+        args: Vec<Operand>,
+        ret_ty: Option<Ty>,
+    ) -> Option<Reg> {
         let dst = ret_ty.map(|ty| self.func.new_reg(ty));
         self.push(Inst::Call {
             dst,

@@ -229,7 +229,11 @@ fn parse_inst(ctx: &FnCtx, text: &str, line: usize) -> PResult<Inst> {
         }
         [mnemonic, ty] => {
             let ty = parse_ty(ty, line)?;
-            if let Some(op) = BinOp::ALL.iter().copied().find(|b| b.mnemonic() == *mnemonic) {
+            if let Some(op) = BinOp::ALL
+                .iter()
+                .copied()
+                .find(|b| b.mnemonic() == *mnemonic)
+            {
                 expect(2)?;
                 Ok(Inst::Bin {
                     ty,
@@ -238,7 +242,11 @@ fn parse_inst(ctx: &FnCtx, text: &str, line: usize) -> PResult<Inst> {
                     lhs: ops[0],
                     rhs: ops[1],
                 })
-            } else if let Some(op) = UnOp::ALL.iter().copied().find(|u| u.mnemonic() == *mnemonic) {
+            } else if let Some(op) = UnOp::ALL
+                .iter()
+                .copied()
+                .find(|u| u.mnemonic() == *mnemonic)
+            {
                 expect(1)?;
                 Ok(Inst::Un {
                     ty,
@@ -406,7 +414,12 @@ pub fn parse_module(text: &str) -> PResult<Module> {
                 }
             };
             globals.insert(name.clone(), module.globals.len() as u32);
-            module.add_global(Global { name, ty, len, init });
+            module.add_global(Global {
+                name,
+                ty,
+                len,
+                init,
+            });
             continue;
         }
 
@@ -521,7 +534,13 @@ pub fn parse_module(text: &str) -> PResult<Module> {
                     .and_then(|n| n.parse().ok())
                     .ok_or_else(|| ParseIrError::new(lineno, "bad register in regs"))?;
                 if idx != f.regs.len() {
-                    return err(lineno, format!("registers must be declared in order; expected %{}", f.regs.len()));
+                    return err(
+                        lineno,
+                        format!(
+                            "registers must be declared in order; expected %{}",
+                            f.regs.len()
+                        ),
+                    );
                 }
                 let rest = rest.trim();
                 let (ty_str, name) = match rest.split_once('"') {
@@ -660,7 +679,12 @@ mod tests {
         f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(s));
         let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(g), Operand::imm_i(1));
         f.store(Ty::F64, Operand::reg(addr), Operand::reg(acc));
-        let c = f.cmp(CmpOp::Ge, Ty::F64, Operand::reg(acc), Operand::reg(f.param(1)));
+        let c = f.cmp(
+            CmpOp::Ge,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(f.param(1)),
+        );
         f.cond_br(Operand::reg(c), exit, body);
         f.switch_to(exit);
         f.ret(Some(Operand::reg(acc)));
@@ -669,7 +693,11 @@ mod tests {
 
         let mut main = mb.function("main", vec![], None);
         let r = main
-            .call("compute", vec![Operand::imm_i(5), Operand::imm_f(10.0)], Some(Ty::F64))
+            .call(
+                "compute",
+                vec![Operand::imm_i(5), Operand::imm_f(10.0)],
+                Some(Ty::F64),
+            )
             .unwrap();
         main.intrinsic(crate::Intrinsic::Print, vec![Operand::reg(r)]);
         main.ret(None);
@@ -714,7 +742,8 @@ bb0 "entry":
 
     #[test]
     fn rejects_unknown_mnemonic() {
-        let text = "module \"x\" regions 0\nfunc @f() -> void {\nbb0:\n  %0 = frob.i64 1\n  ret\n}\n";
+        let text =
+            "module \"x\" regions 0\nfunc @f() -> void {\nbb0:\n  %0 = frob.i64 1\n  ret\n}\n";
         let e = parse_module(text).unwrap_err();
         assert!(e.message.contains("unknown"), "{e}");
     }
@@ -727,15 +756,15 @@ bb0 "entry":
 
     #[test]
     fn rejects_missing_terminator() {
-        let text =
-            "module \"x\" regions 0\nfunc @f() -> void {\nbb0:\n  %0 = mov.i64 1\n}\n";
+        let text = "module \"x\" regions 0\nfunc @f() -> void {\nbb0:\n  %0 = mov.i64 1\n}\n";
         let e = parse_module(text).unwrap_err();
         assert!(e.message.contains("terminator"), "{e}");
     }
 
     #[test]
     fn rejects_unknown_global() {
-        let text = "module \"x\" regions 0\nfunc @f() -> void {\nbb0:\n  store.i64 @nope, 1\n  ret\n}\n";
+        let text =
+            "module \"x\" regions 0\nfunc @f() -> void {\nbb0:\n  store.i64 @nope, 1\n  ret\n}\n";
         let e = parse_module(text).unwrap_err();
         assert!(e.message.contains("unknown global"), "{e}");
     }

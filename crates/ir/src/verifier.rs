@@ -115,8 +115,7 @@ impl<'m> Verifier<'m> {
         for (bid, block) in f.iter_blocks() {
             let loc = |i: usize| format!("{}[{}]", block.name, i);
             for (i, inst) in block.insts.iter().enumerate() {
-                self.check_inst(f, inst)
-                    .map_err(|m| fail(loc(i), m))?;
+                self.check_inst(f, inst).map_err(|m| fail(loc(i), m))?;
             }
             match &block.term {
                 Terminator::Br(t) => {
@@ -230,7 +229,10 @@ impl<'m> Verifier<'m> {
                     crate::UnOp::Not if *ty == Ty::F64 => {
                         return Err("`not` is not defined on f64".into())
                     }
-                    crate::UnOp::Sqrt | crate::UnOp::Exp | crate::UnOp::Log | crate::UnOp::Floor
+                    crate::UnOp::Sqrt
+                    | crate::UnOp::Exp
+                    | crate::UnOp::Log
+                    | crate::UnOp::Floor
                         if *ty == Ty::I64 =>
                     {
                         return Err(format!("`{op}` is not defined on i64"))
@@ -364,7 +366,12 @@ mod tests {
     fn rejects_int_only_op_on_floats() {
         let mut mb = ModuleBuilder::new("bad");
         let mut f = mb.function("main", vec![], None);
-        f.bin(BinOp::Xor, Ty::F64, Operand::imm_f(1.0), Operand::imm_f(2.0));
+        f.bin(
+            BinOp::Xor,
+            Ty::F64,
+            Operand::imm_f(1.0),
+            Operand::imm_f(2.0),
+        );
         f.ret(None);
         f.finish();
         assert!(verify(&mb.finish()).is_err());

@@ -2,9 +2,7 @@
 //! that parses back to an identical module, and verifies.
 
 use proptest::prelude::*;
-use rskip_ir::{
-    BinOp, CmpOp, Intrinsic, ModuleBuilder, Operand, Reg, Ty, UnOp, Value, Verifier,
-};
+use rskip_ir::{BinOp, CmpOp, Intrinsic, ModuleBuilder, Operand, Reg, Ty, UnOp, Value, Verifier};
 
 #[derive(Debug, Clone)]
 enum GenInst {

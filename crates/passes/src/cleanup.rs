@@ -197,11 +197,7 @@ mod tests {
     /// cycle with rskip-workloads).
     fn rskip_workloads_stub() -> rskip_ir::Module {
         let mut mb = ModuleBuilder::new("m");
-        let g = mb.global_init(
-            "g",
-            Ty::F64,
-            (0..48).map(|k| Value::F(k as f64)).collect(),
-        );
+        let g = mb.global_init("g", Ty::F64, (0..48).map(|k| Value::F(k as f64)).collect());
         let out = mb.global_zeroed("out", Ty::F64, 32);
         let mut f = mb.function("main", vec![], None);
         let entry = f.entry_block();
@@ -231,7 +227,13 @@ mod tests {
         let gi = f.bin(BinOp::Add, Ty::I64, Operand::reg(i), Operand::reg(k));
         let ga = f.bin(BinOp::Add, Ty::I64, Operand::global(g), Operand::reg(gi));
         let gv = f.load(Ty::F64, Operand::reg(ga));
-        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(gv));
+        f.bin_into(
+            acc,
+            BinOp::Add,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(gv),
+        );
         f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
         f.br(ih);
         f.switch_to(fin);

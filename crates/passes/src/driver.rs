@@ -101,9 +101,9 @@ pub fn protect_with(module: &Module, scheme: Scheme, detect: &DetectConfig) -> P
     // expensive one.
     let mut kept: Vec<&rskip_analysis::CandidateLoop> = Vec::new();
     for c in &candidates {
-        let overlaps = kept.iter().any(|k| {
-            k.function == c.function && !k.target.blocks.is_disjoint(&c.target.blocks)
-        });
+        let overlaps = kept
+            .iter()
+            .any(|k| k.function == c.function && !k.target.blocks.is_disjoint(&c.target.blocks));
         if !overlaps {
             kept.push(c);
         }
@@ -139,9 +139,12 @@ pub fn protect_with(module: &Module, scheme: Scheme, detect: &DetectConfig) -> P
             for (i, cand) in kept.iter().enumerate() {
                 match &cand.kind {
                     CandidateKind::Call { callee, .. } => {
-                        prepared.push((i, BodySource::Callee {
-                            original: callee.clone(),
-                        }));
+                        prepared.push((
+                            i,
+                            BodySource::Callee {
+                                original: callee.clone(),
+                            },
+                        ));
                     }
                     CandidateKind::SliceLoop => match outline_body(module, cand, "tmp") {
                         Ok(ob) => prepared.push((i, BodySource::Outlined(ob))),

@@ -9,9 +9,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use rskip_analysis::{CandidateLoop, Cfg, DomTree, LoopForest};
-use rskip_ir::{
-    Block, BlockId, FuncAttrs, Function, Inst, Module, Operand, Reg, Terminator, Ty,
-};
+use rskip_ir::{Block, BlockId, FuncAttrs, Function, Inst, Module, Operand, Reg, Terminator, Ty};
 
 /// Why outlining failed; such candidates fall back to conventional
 /// protection.
@@ -140,11 +138,8 @@ pub fn outline_body(
             }
         })
         .collect();
-    let vindex: BTreeMap<BlockId, usize> = involved
-        .iter()
-        .enumerate()
-        .map(|(i, &b)| (b, i))
-        .collect();
+    let vindex: BTreeMap<BlockId, usize> =
+        involved.iter().enumerate().map(|(i, &b)| (b, i)).collect();
     let terminal_v = vindex[&cand.store_block];
 
     // Contract a CFG edge target through non-involved loop blocks.
@@ -419,7 +414,13 @@ mod tests {
         let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(w), Operand::reg(widx));
         let wv = f.load(Ty::F64, Operand::reg(wa));
         let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(gv), Operand::reg(wv));
-        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(
+            acc,
+            BinOp::Add,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(prod),
+        );
         f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
         f.br(ih);
         f.switch_to(fin);

@@ -147,11 +147,8 @@ pub fn apply_rskip(
             // The PP shell bypasses the slice's subloops entirely: rewire
             // every clone edge into a subloop header to the subloop's exit
             // block. The subloop clones become unreachable dead blocks.
-            let sub_blocks: BTreeSet<BlockId> = ob
-                .subloops
-                .iter()
-                .flat_map(|s| s.iter().copied())
-                .collect();
+            let sub_blocks: BTreeSet<BlockId> =
+                ob.subloops.iter().flat_map(|s| s.iter().copied()).collect();
             for sub in &ob.subloops {
                 // The subloop's unique exit target inside the target loop
                 // (original block-id space).
@@ -335,10 +332,7 @@ pub fn apply_rskip(
 
     // Split after the restore: the iteration tail (IV update, compare,
     // back edge) runs after the recheck loop drains.
-    let tail_insts: Vec<Inst> = f
-        .block_mut(pp_store_block)
-        .insts
-        .split_off(store_idx + 3);
+    let tail_insts: Vec<Inst> = f.block_mut(pp_store_block).insts.split_off(store_idx + 3);
     let tail_term = f.block(pp_store_block).term.clone();
     let cont = f.add_block(format!("region{}_pp_cont", region.0));
     f.block_mut(cont).insts = tail_insts;

@@ -181,7 +181,9 @@ fn transform_function(f: &mut Function) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rskip_exec::{run_simple, ExecConfig, InjectionPlan, Machine, NoopHooks, Termination, Trap};
+    use rskip_exec::{
+        run_simple, ExecConfig, InjectionPlan, Machine, NoopHooks, Termination, Trap,
+    };
     use rskip_ir::{BinOp, ModuleBuilder, Value, Verifier};
 
     fn loop_module() -> Module {
@@ -203,7 +205,13 @@ mod tests {
         f.cond_br(Operand::reg(c), body, exit);
         f.switch_to(body);
         let fi = f.un(rskip_ir::UnOp::IntToFloat, Ty::F64, Operand::reg(i));
-        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(fi));
+        f.bin_into(
+            acc,
+            BinOp::Add,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(fi),
+        );
         f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
         f.br(header);
         f.switch_to(exit);

@@ -47,7 +47,11 @@ impl Ctx {
     fn shadow_op(&self, op: Operand, which: u8) -> Operand {
         match op {
             Operand::Reg(r) if r.index() < self.n_orig => {
-                let s = if which == 1 { self.s1[r.index()] } else { self.s2[r.index()] };
+                let s = if which == 1 {
+                    self.s1[r.index()]
+                } else {
+                    self.s2[r.index()]
+                };
                 Operand::Reg(s)
             }
             other => other,
@@ -250,7 +254,11 @@ mod tests {
 
     fn sum_loop_module() -> Module {
         let mut mb = ModuleBuilder::new("m");
-        let g = mb.global_init("data", Ty::F64, (1..=8).map(|v| Value::F(v as f64)).collect());
+        let g = mb.global_init(
+            "data",
+            Ty::F64,
+            (1..=8).map(|v| Value::F(v as f64)).collect(),
+        );
         let out = mb.global_zeroed("out", Ty::F64, 1);
         let mut f = mb.function("main", vec![], Some(Ty::F64));
         let entry = f.entry_block();

@@ -18,7 +18,9 @@ pub(crate) fn redirect_entries(
         if loop_blocks.contains(&id) || id == new {
             continue;
         }
-        f.block_mut(id).term.map_successors(|t| if t == old { new } else { t });
+        f.block_mut(id)
+            .term
+            .map_successors(|t| if t == old { new } else { t });
     }
 }
 
@@ -69,11 +71,13 @@ pub fn add_region_markers(
 
     // Entry marker.
     let enter = f.add_block(format!("region{}_enter", region.0));
-    f.block_mut(enter).insts.push(rskip_ir::Inst::IntrinsicCall {
-        dst: None,
-        intr: Intrinsic::RegionEnter,
-        args: vec![Operand::imm_i(region.0 as i64)],
-    });
+    f.block_mut(enter)
+        .insts
+        .push(rskip_ir::Inst::IntrinsicCall {
+            dst: None,
+            intr: Intrinsic::RegionEnter,
+            args: vec![Operand::imm_i(region.0 as i64)],
+        });
     f.block_mut(enter).term = Terminator::Br(header);
     redirect_entries(f, loop_blocks, header, enter);
 
@@ -107,8 +111,8 @@ pub fn add_region_markers(
 mod tests {
     use super::*;
     use rskip_analysis::{Cfg, DomTree, LoopForest};
-    use rskip_ir::{BinOp, CmpOp, ModuleBuilder, Ty, Value, Verifier};
     use rskip_exec::{run_simple, Termination};
+    use rskip_ir::{BinOp, CmpOp, ModuleBuilder, Ty, Value, Verifier};
 
     fn counted_loop_module() -> rskip_ir::Module {
         let mut mb = ModuleBuilder::new("m");
@@ -154,10 +158,7 @@ mod tests {
         add_region_markers(&mut m, "main", &blocks, BlockId(1), region);
         Verifier::new(&m).verify().unwrap();
         let out = run_simple(&m, "main", &[]);
-        assert_eq!(
-            out.termination,
-            Termination::Returned(Some(Value::I(45)))
-        );
+        assert_eq!(out.termination, Termination::Returned(Some(Value::I(45))));
         // Region counters actually engaged.
         assert!(out.counters.region_retired > 0);
         assert!(out.counters.region_retired < out.counters.retired);

@@ -65,25 +65,55 @@ fn build_program(steps: &[Step], n: i64) -> rskip_ir::Module {
     for step in steps {
         match step {
             Step::AddI(k) => {
-                f.bin_into(ival, BinOp::Add, Ty::I64, Operand::reg(ival), Operand::imm_i(*k));
+                f.bin_into(
+                    ival,
+                    BinOp::Add,
+                    Ty::I64,
+                    Operand::reg(ival),
+                    Operand::imm_i(*k),
+                );
             }
             Step::MulF => {
-                f.bin_into(fval, BinOp::Mul, Ty::F64, Operand::reg(fval), Operand::imm_f(1.0625));
+                f.bin_into(
+                    fval,
+                    BinOp::Mul,
+                    Ty::F64,
+                    Operand::reg(fval),
+                    Operand::imm_f(1.0625),
+                );
             }
             Step::AddF => {
-                f.bin_into(fval, BinOp::Add, Ty::F64, Operand::reg(fval), Operand::imm_f(0.5));
+                f.bin_into(
+                    fval,
+                    BinOp::Add,
+                    Ty::F64,
+                    Operand::reg(fval),
+                    Operand::imm_f(0.5),
+                );
             }
             Step::Sqrt => {
                 let a = f.un(UnOp::Abs, Ty::F64, Operand::reg(fval));
                 f.un_into(fval, UnOp::Sqrt, Ty::F64, Operand::reg(a));
-                f.bin_into(fval, BinOp::Add, Ty::F64, Operand::reg(fval), Operand::imm_f(1.0));
+                f.bin_into(
+                    fval,
+                    BinOp::Add,
+                    Ty::F64,
+                    Operand::reg(fval),
+                    Operand::imm_f(1.0),
+                );
             }
             Step::LoadSig => {
                 let m = f.bin(BinOp::Rem, Ty::I64, Operand::reg(ival), Operand::imm_i(64));
                 let idx = f.un(UnOp::Abs, Ty::I64, Operand::reg(m));
                 let a = f.bin(BinOp::Add, Ty::I64, Operand::global(sig), Operand::reg(idx));
                 let v = f.load(Ty::F64, Operand::reg(a));
-                f.bin_into(fval, BinOp::Add, Ty::F64, Operand::reg(fval), Operand::reg(v));
+                f.bin_into(
+                    fval,
+                    BinOp::Add,
+                    Ty::F64,
+                    Operand::reg(fval),
+                    Operand::reg(v),
+                );
             }
             Step::StoreOut => {
                 let m = f.bin(BinOp::Rem, Ty::I64, Operand::reg(i), Operand::imm_i(64));
@@ -91,7 +121,12 @@ fn build_program(steps: &[Step], n: i64) -> rskip_ir::Module {
                 f.store(Ty::F64, Operand::reg(a), Operand::reg(fval));
             }
             Step::CmpSel => {
-                let c = f.cmp(CmpOp::Gt, Ty::F64, Operand::reg(fval), Operand::imm_f(100.0));
+                let c = f.cmp(
+                    CmpOp::Gt,
+                    Ty::F64,
+                    Operand::reg(fval),
+                    Operand::imm_f(100.0),
+                );
                 let sel = f.select(
                     Ty::F64,
                     Operand::reg(c),

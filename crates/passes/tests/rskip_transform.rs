@@ -11,9 +11,7 @@
 use std::collections::VecDeque;
 
 use rskip_exec::{ExecConfig, IntrinsicAction, Machine, NoopHooks, RuntimeHooks};
-use rskip_ir::{
-    BinOp, CmpOp, Intrinsic, ModuleBuilder, Operand, Ty, UnOp, Value, Verifier,
-};
+use rskip_ir::{BinOp, CmpOp, Intrinsic, ModuleBuilder, Operand, Ty, UnOp, Value, Verifier};
 use rskip_passes::{protect, Scheme};
 
 /// Mock runtime that marks every observation pending.
@@ -98,7 +96,9 @@ fn reduction_module(n: i64, k: i64) -> rskip_ir::Module {
     let g = mb.global_init(
         "g",
         Ty::F64,
-        (0..(n + k)).map(|v| Value::F((v as f64 * 0.37).sin() + 2.0)).collect(),
+        (0..(n + k))
+            .map(|v| Value::F((v as f64 * 0.37).sin() + 2.0))
+            .collect(),
     );
     let w = mb.global_init(
         "w",
@@ -137,7 +137,13 @@ fn reduction_module(n: i64, k: i64) -> rskip_ir::Module {
     let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(w), Operand::reg(kk));
     let wv = f.load(Ty::F64, Operand::reg(wa));
     let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(gv), Operand::reg(wv));
-    f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+    f.bin_into(
+        acc,
+        BinOp::Add,
+        Ty::F64,
+        Operand::reg(acc),
+        Operand::reg(prod),
+    );
     f.bin_into(kk, BinOp::Add, Ty::I64, Operand::reg(kk), Operand::imm_i(1));
     f.br(ih);
     f.switch_to(fin);
@@ -163,7 +169,9 @@ fn call_module(n: i64) -> rskip_ir::Module {
     let t = mb.global_init(
         "t",
         Ty::F64,
-        (0..n).map(|v| Value::F(0.5 + (v % 4) as f64 * 0.25)).collect(),
+        (0..n)
+            .map(|v| Value::F(0.5 + (v % 4) as f64 * 0.25))
+            .collect(),
     );
     let out = mb.global_zeroed("out", Ty::F64, n as usize);
 
@@ -197,7 +205,11 @@ fn call_module(n: i64) -> rskip_ir::Module {
     let ta = f.bin(BinOp::Add, Ty::I64, Operand::global(t), Operand::reg(i));
     let tv = f.load(Ty::F64, Operand::reg(ta));
     let p = f
-        .call("price", vec![Operand::reg(sv), Operand::reg(tv)], Some(Ty::F64))
+        .call(
+            "price",
+            vec![Operand::reg(sv), Operand::reg(tv)],
+            Some(Ty::F64),
+        )
         .unwrap();
     let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(i));
     f.store(Ty::F64, Operand::reg(oa), Operand::reg(p));
@@ -261,12 +273,7 @@ fn pp_with_full_skip_matches_golden() {
     let mut machine = Machine::new(&p.module, SkipAll::default());
     let out = machine.run("main", &[]);
     assert!(out.returned(), "{:?}", out.termination);
-    for (i, (a, b)) in machine
-        .read_global("out")
-        .iter()
-        .zip(&expect)
-        .enumerate()
-    {
+    for (i, (a, b)) in machine.read_global("out").iter().zip(&expect).enumerate() {
         assert!(a.bit_eq(*b), "out[{i}]: pp={a:?} golden={b:?}");
     }
     assert_eq!(machine.hooks().observed, 32);
@@ -333,7 +340,10 @@ fn call_pattern_transforms_and_matches_golden() {
     // it); the body clone is unprotected.
     let orig = p.module.function("price").unwrap();
     assert!(orig.attrs.protect);
-    let body = p.module.function(p.regions[0].body_fn.as_deref().unwrap()).unwrap();
+    let body = p
+        .module
+        .function(p.regions[0].body_fn.as_deref().unwrap())
+        .unwrap();
     assert!(!body.attrs.protect);
 }
 

@@ -374,8 +374,8 @@ mod tests {
         // One corrupted interior sample on an otherwise perfect line.
         let mut values: Vec<f64> = (0..20).map(|k| 100.0 + k as f64).collect();
         values[10] = 160.0; // way outside AR=0.2 of ~110
-        // TP huge so the corruption does not cut the phase; it must be
-        // caught by validation instead.
+                            // TP huge so the corruption does not cut the phase; it must be
+                            // caught by validation instead.
         let mut di = DynamicInterpolation::new(DiConfig { tp: 1e9, ar: 0.2 });
         let r = drive(&mut di, &values);
         assert!(r.pending.contains(&10), "corrupted element must be pending");
@@ -394,9 +394,7 @@ mod tests {
 
     #[test]
     fn higher_tp_yields_fewer_phases() {
-        let values: Vec<f64> = (0..300)
-            .map(|k| (k as f64 * 0.2).sin() * 5.0)
-            .collect();
+        let values: Vec<f64> = (0..300).map(|k| (k as f64 * 0.2).sin() * 5.0).collect();
         let run = |tp: f64| {
             let mut di = DynamicInterpolation::new(DiConfig { tp, ar: 0.5 });
             drive(&mut di, &values);
@@ -404,10 +402,7 @@ mod tests {
         };
         let low = run(0.05);
         let high = run(2.0);
-        assert!(
-            high < low,
-            "tp=2.0 gave {high} phases, tp=0.05 gave {low}"
-        );
+        assert!(high < low, "tp=2.0 gave {high} phases, tp=0.05 gave {low}");
     }
 
     #[test]

@@ -205,11 +205,7 @@ impl Memoizer {
     ///
     /// Panics if `inputs.len()` differs from the trained input count.
     pub fn predict(&mut self, inputs: &[f64]) -> Option<f64> {
-        assert_eq!(
-            inputs.len(),
-            self.quantizers.len(),
-            "input arity mismatch"
-        );
+        assert_eq!(inputs.len(), self.quantizers.len(), "input arity mismatch");
         self.stats.lookups += 1;
         let v = self.table[self.index(inputs)];
         if v.is_some() {
@@ -487,11 +483,7 @@ mod tests {
         // Output depends almost entirely on x; y is nearly irrelevant.
         let (t, cfg) = trained(|x, y| x * x * 10.0 + 0.001 * y, 4000);
         let memo = t.build(&cfg);
-        assert!(
-            memo.bits()[0] > memo.bits()[1],
-            "bits = {:?}",
-            memo.bits()
-        );
+        assert!(memo.bits()[0] > memo.bits()[1], "bits = {:?}", memo.bits());
         assert_eq!(memo.bits().iter().sum::<u32>(), 10);
     }
 

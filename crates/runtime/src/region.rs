@@ -368,7 +368,9 @@ mod tests {
     #[test]
     fn every_element_is_skipped_or_pending() {
         let mut state = RegionState::new(DiConfig { tp: 0.4, ar: 0.3 }, true, 32);
-        let values: Vec<f64> = (0..300).map(|k| (k as f64 * 0.21).sin() * 4.0 + 9.0).collect();
+        let values: Vec<f64> = (0..300)
+            .map(|k| (k as f64 * 0.21).sin() * 4.0 + 9.0)
+            .collect();
         state.enter();
         for (i, &v) in values.iter().enumerate() {
             state.observe(i as i64, i as i64, Value::F(v), &[]);

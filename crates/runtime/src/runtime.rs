@@ -133,11 +133,7 @@ impl PredictionRuntime {
 
     /// Creates a runtime and installs a trained model (QoS tables and
     /// memoizers).
-    pub fn with_model(
-        regions: &[RegionInit],
-        config: RuntimeConfig,
-        model: &TrainedModel,
-    ) -> Self {
+    pub fn with_model(regions: &[RegionInit], config: RuntimeConfig, model: &TrainedModel) -> Self {
         let mut rt = Self::new(regions, config);
         for (id, rm) in &model.regions {
             let Some(state) = rt.regions.get_mut(*id as usize) else {
@@ -187,7 +183,10 @@ impl PredictionRuntime {
 
     /// Total faults detected and recovered by re-computation.
     pub fn total_faults_recovered(&self) -> u64 {
-        self.regions.iter().map(|r| r.stats().faults_recovered).sum()
+        self.regions
+            .iter()
+            .map(|r| r.stats().faults_recovered)
+            .sum()
     }
 
     /// Mutable access to one region's state (ablations and tests).

@@ -40,9 +40,7 @@ pub fn signature(slope_changes: &[f64], edges: &[f64]) -> String {
     order
         .into_iter()
         .take(3)
-        .map(|b| {
-            char::from_digit((b + 1) as u32, 10).expect("at most 9 bins supported")
-        })
+        .map(|b| char::from_digit((b + 1) as u32, 10).expect("at most 9 bins supported"))
         .collect()
 }
 

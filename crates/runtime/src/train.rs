@@ -49,7 +49,8 @@ impl RuntimeHooks for ProfilingHooks {
             Intrinsic::Observe => {
                 let region = args[0].as_i() as usize;
                 if region >= self.profiles.len() {
-                    self.profiles.resize_with(region + 1, RegionProfile::default);
+                    self.profiles
+                        .resize_with(region + 1, RegionProfile::default);
                 }
                 let value = match args[3] {
                     Value::F(v) => v,
@@ -201,17 +202,14 @@ impl TrainedModel {
 
 /// Simulates DI over `outputs` with the given TP, returning
 /// `(overall skip rate, per-window (signature, accepted, total))`.
-fn simulate_di(
-    outputs: &[f64],
-    tp: f64,
-    ar: f64,
-    window: usize,
-) -> (f64, Vec<(String, u64, u64)>) {
+fn simulate_di(outputs: &[f64], tp: f64, ar: f64, window: usize) -> (f64, Vec<(String, u64, u64)>) {
     let mut di = DynamicInterpolation::new(DiConfig { tp, ar });
     let mut accepted_per_window: BTreeMap<usize, u64> = BTreeMap::new();
     let mut note = |accepted: &[u64]| {
         for &seq in accepted {
-            *accepted_per_window.entry(seq as usize / window).or_insert(0) += 1;
+            *accepted_per_window
+                .entry(seq as usize / window)
+                .or_insert(0) += 1;
         }
     };
     for &v in outputs {
@@ -297,24 +295,23 @@ pub fn train_from_profiles(
         }
 
         // Memoization table.
-        let memo = if memoizable.get(region).copied().unwrap_or(false)
-            && !profile.samples.is_empty()
-        {
-            let arity = profile.samples[0].0.len();
-            if arity == 0 {
-                None
-            } else {
-                let mut trainer = MemoTrainer::new(arity);
-                for (inputs, output) in &profile.samples {
-                    trainer.add_sample(inputs, *output);
+        let memo =
+            if memoizable.get(region).copied().unwrap_or(false) && !profile.samples.is_empty() {
+                let arity = profile.samples[0].0.len();
+                if arity == 0 {
+                    None
+                } else {
+                    let mut trainer = MemoTrainer::new(arity);
+                    for (inputs, output) in &profile.samples {
+                        trainer.add_sample(inputs, *output);
+                    }
+                    let memo = trainer.build(&config.memo);
+                    let acc = memo.accuracy(trainer.samples(), config.acceptable_range);
+                    (acc >= config.memo_accuracy_floor).then_some(memo)
                 }
-                let memo = trainer.build(&config.memo);
-                let acc = memo.accuracy(trainer.samples(), config.acceptable_range);
-                (acc >= config.memo_accuracy_floor).then_some(memo)
-            }
-        } else {
-            None
-        };
+            } else {
+                None
+            };
 
         model.regions.insert(
             region as u32,

@@ -55,7 +55,13 @@ fn smooth_conv(n: i64, k: i64) -> rskip_ir::Module {
     let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(w), Operand::reg(kk));
     let wv = f.load(Ty::F64, Operand::reg(wa));
     let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(gv), Operand::reg(wv));
-    f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+    f.bin_into(
+        acc,
+        BinOp::Add,
+        Ty::F64,
+        Operand::reg(acc),
+        Operand::reg(prod),
+    );
     f.bin_into(kk, BinOp::Add, Ty::I64, Operand::reg(kk), Operand::imm_i(1));
     f.br(ih);
     f.switch_to(fin);

@@ -1,9 +1,9 @@
 //! Property tests over the prediction runtime's bookkeeping.
 
 use proptest::prelude::*;
+use rskip_exec::RuntimeHooks;
 use rskip_ir::{Intrinsic, Value};
 use rskip_runtime::{PredictionRuntime, RegionInit, RuntimeConfig};
-use rskip_exec::RuntimeHooks;
 
 fn one_region() -> Vec<RegionInit> {
     vec![RegionInit {

@@ -86,14 +86,25 @@ impl Benchmark for BackProp {
         let da = f.bin(BinOp::Add, Ty::I64, Operand::global(d_out), Operand::reg(j));
         let dv = f.load(Ty::F64, Operand::reg(da));
         let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(wv), Operand::reg(dv));
-        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(
+            acc,
+            BinOp::Add,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(prod),
+        );
         f.bin_into(j, BinOp::Add, Ty::I64, Operand::reg(j), Operand::imm_i(1));
         f.br(jh);
 
         f.switch_to(fin);
         // delta = h * (1 - h) * acc
         let one_minus = f.bin(BinOp::Sub, Ty::F64, Operand::imm_f(1.0), Operand::reg(hv));
-        let deriv = f.bin(BinOp::Mul, Ty::F64, Operand::reg(hv), Operand::reg(one_minus));
+        let deriv = f.bin(
+            BinOp::Mul,
+            Ty::F64,
+            Operand::reg(hv),
+            Operand::reg(one_minus),
+        );
         let delta = f.bin(BinOp::Mul, Ty::F64, Operand::reg(deriv), Operand::reg(acc));
         let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(d_hid), Operand::reg(i));
         f.store(Ty::F64, Operand::reg(oa), Operand::reg(delta));

@@ -10,7 +10,9 @@
 //! free of nested calls, loads and stores — pure in the sense §4.2.1
 //! requires.
 
-use rskip_ir::{BinOp, CmpOp, FunctionBuilder, Module, ModuleBuilder, Operand, Reg, Ty, UnOp, Value};
+use rskip_ir::{
+    BinOp, CmpOp, FunctionBuilder, Module, ModuleBuilder, Operand, Reg, Ty, UnOp, Value,
+};
 
 use crate::common::{input_f64, rng, values, Benchmark, InputSet, SizeProfile, WorkloadMeta};
 use rand::Rng;
@@ -41,28 +43,68 @@ const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
 fn emit_cndf(f: &mut FunctionBuilder<'_>, x: Reg) -> Reg {
     let is_neg = f.cmp(CmpOp::Lt, Ty::F64, Operand::reg(x), Operand::imm_f(0.0));
     let ax = f.un(UnOp::Abs, Ty::F64, Operand::reg(x));
-    let kx = f.bin(BinOp::Mul, Ty::F64, Operand::imm_f(0.231_641_9), Operand::reg(ax));
+    let kx = f.bin(
+        BinOp::Mul,
+        Ty::F64,
+        Operand::imm_f(0.231_641_9),
+        Operand::reg(ax),
+    );
     let kd = f.bin(BinOp::Add, Ty::F64, Operand::imm_f(1.0), Operand::reg(kx));
     let k = f.bin(BinOp::Div, Ty::F64, Operand::imm_f(1.0), Operand::reg(kd));
     // Horner: k*(a1 + k*(a2 + k*(a3 + k*(a4 + k*a5))))
-    let mut poly = f.bin(BinOp::Mul, Ty::F64, Operand::reg(k), Operand::imm_f(1.330_274_429));
-    poly = f.bin(BinOp::Add, Ty::F64, Operand::imm_f(-1.821_255_978), Operand::reg(poly));
+    let mut poly = f.bin(
+        BinOp::Mul,
+        Ty::F64,
+        Operand::reg(k),
+        Operand::imm_f(1.330_274_429),
+    );
+    poly = f.bin(
+        BinOp::Add,
+        Ty::F64,
+        Operand::imm_f(-1.821_255_978),
+        Operand::reg(poly),
+    );
     poly = f.bin(BinOp::Mul, Ty::F64, Operand::reg(k), Operand::reg(poly));
-    poly = f.bin(BinOp::Add, Ty::F64, Operand::imm_f(1.781_477_937), Operand::reg(poly));
+    poly = f.bin(
+        BinOp::Add,
+        Ty::F64,
+        Operand::imm_f(1.781_477_937),
+        Operand::reg(poly),
+    );
     poly = f.bin(BinOp::Mul, Ty::F64, Operand::reg(k), Operand::reg(poly));
-    poly = f.bin(BinOp::Add, Ty::F64, Operand::imm_f(-0.356_563_782), Operand::reg(poly));
+    poly = f.bin(
+        BinOp::Add,
+        Ty::F64,
+        Operand::imm_f(-0.356_563_782),
+        Operand::reg(poly),
+    );
     poly = f.bin(BinOp::Mul, Ty::F64, Operand::reg(k), Operand::reg(poly));
-    poly = f.bin(BinOp::Add, Ty::F64, Operand::imm_f(0.319_381_530), Operand::reg(poly));
+    poly = f.bin(
+        BinOp::Add,
+        Ty::F64,
+        Operand::imm_f(0.319_381_530),
+        Operand::reg(poly),
+    );
     poly = f.bin(BinOp::Mul, Ty::F64, Operand::reg(k), Operand::reg(poly));
     // pdf = exp(-0.5*ax*ax) * inv_sqrt_2pi
     let sq = f.bin(BinOp::Mul, Ty::F64, Operand::reg(ax), Operand::reg(ax));
     let half = f.bin(BinOp::Mul, Ty::F64, Operand::reg(sq), Operand::imm_f(-0.5));
     let e = f.un(UnOp::Exp, Ty::F64, Operand::reg(half));
-    let pdf = f.bin(BinOp::Mul, Ty::F64, Operand::reg(e), Operand::imm_f(INV_SQRT_2PI));
+    let pdf = f.bin(
+        BinOp::Mul,
+        Ty::F64,
+        Operand::reg(e),
+        Operand::imm_f(INV_SQRT_2PI),
+    );
     let tail = f.bin(BinOp::Mul, Ty::F64, Operand::reg(pdf), Operand::reg(poly));
     let n = f.bin(BinOp::Sub, Ty::F64, Operand::imm_f(1.0), Operand::reg(tail));
     let one_minus = f.bin(BinOp::Sub, Ty::F64, Operand::imm_f(1.0), Operand::reg(n));
-    f.select(Ty::F64, Operand::reg(is_neg), Operand::reg(one_minus), Operand::reg(n))
+    f.select(
+        Ty::F64,
+        Operand::reg(is_neg),
+        Operand::reg(one_minus),
+        Operand::reg(n),
+    )
 }
 
 /// The bit-identical native mirror of [`emit_cndf`].
@@ -136,7 +178,12 @@ fn build_price_fn(mb: &mut ModuleBuilder) {
     let ratio = f.bin(BinOp::Div, Ty::F64, Operand::reg(s), Operand::reg(k));
     let log_sk = f.un(UnOp::Log, Ty::F64, Operand::reg(ratio));
     let v_sqr = f.bin(BinOp::Mul, Ty::F64, Operand::reg(v), Operand::reg(v));
-    let hv = f.bin(BinOp::Mul, Ty::F64, Operand::reg(v_sqr), Operand::imm_f(0.5));
+    let hv = f.bin(
+        BinOp::Mul,
+        Ty::F64,
+        Operand::reg(v_sqr),
+        Operand::imm_f(0.5),
+    );
     let rph = f.bin(BinOp::Add, Ty::F64, Operand::reg(r), Operand::reg(hv));
     let rt = f.bin(BinOp::Mul, Ty::F64, Operand::reg(rph), Operand::reg(t));
     let num = f.bin(BinOp::Add, Ty::F64, Operand::reg(log_sk), Operand::reg(rt));
@@ -158,7 +205,12 @@ fn build_price_fn(mb: &mut ModuleBuilder) {
     let sput = f.bin(BinOp::Mul, Ty::F64, Operand::reg(s), Operand::reg(omn1));
     let put = f.bin(BinOp::Sub, Ty::F64, Operand::reg(fput), Operand::reg(sput));
     let is_put = f.cmp(CmpOp::Ne, Ty::F64, Operand::reg(otype), Operand::imm_f(0.0));
-    let price = f.select(Ty::F64, Operand::reg(is_put), Operand::reg(put), Operand::reg(call));
+    let price = f.select(
+        Ty::F64,
+        Operand::reg(is_put),
+        Operand::reg(put),
+        Operand::reg(call),
+    );
     f.ret(Some(Operand::reg(price)));
     f.finish();
 }

@@ -56,8 +56,10 @@ impl InputSet {
 /// A reproducible benchmark: module construction, input generation and a
 /// bit-exact golden implementation.
 ///
-/// `Send` so the evaluation harness can fan campaigns out across threads.
-pub trait Benchmark: Send {
+/// `Send + Sync` so the evaluation harness can fan campaigns out across
+/// threads and share one prepared setup between workers (benchmarks are
+/// stateless).
+pub trait Benchmark: Send + Sync {
     /// Table-1 style metadata.
     fn meta(&self) -> &'static WorkloadMeta;
 

@@ -9,8 +9,7 @@
 use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, Value};
 
 use crate::common::{
-    input_f64, rng, smooth_vec, uniform_vec, values, Benchmark, InputSet, SizeProfile,
-    WorkloadMeta,
+    input_f64, rng, smooth_vec, uniform_vec, values, Benchmark, InputSet, SizeProfile, WorkloadMeta,
 };
 
 /// The benchmark handle.
@@ -22,7 +21,7 @@ const META: WorkloadMeta = WorkloadMeta {
     description: "1D convolution",
     pattern: "A reduction loop",
     location: "Inside a outer loop",
-    };
+};
 
 pub(crate) fn sizes(size: SizeProfile) -> (i64, i64) {
     match size {
@@ -80,7 +79,13 @@ impl Benchmark for Conv1d {
         let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(w), Operand::reg(kk));
         let wv = f.load(Ty::F64, Operand::reg(wa));
         let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(sv), Operand::reg(wv));
-        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(
+            acc,
+            BinOp::Add,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(prod),
+        );
         f.bin_into(kk, BinOp::Add, Ty::I64, Operand::reg(kk), Operand::imm_i(1));
         f.br(ih);
 

@@ -9,8 +9,7 @@
 use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, Value};
 
 use crate::common::{
-    input_f64, rng, smooth_vec, uniform_vec, values, Benchmark, InputSet, SizeProfile,
-    WorkloadMeta,
+    input_f64, rng, smooth_vec, uniform_vec, values, Benchmark, InputSet, SizeProfile, WorkloadMeta,
 };
 
 /// The benchmark handle.
@@ -108,9 +107,21 @@ impl Benchmark for Conv2d {
         // only when 0 <= iy < n && 0 <= ix < n.
         f.switch_to(kxb);
         let t1 = f.bin(BinOp::Add, Ty::I64, Operand::reg(y), Operand::reg(ky));
-        f.bin_into(iy, BinOp::Sub, Ty::I64, Operand::reg(t1), Operand::imm_i(half));
+        f.bin_into(
+            iy,
+            BinOp::Sub,
+            Ty::I64,
+            Operand::reg(t1),
+            Operand::imm_i(half),
+        );
         let t2 = f.bin(BinOp::Add, Ty::I64, Operand::reg(x), Operand::reg(kx));
-        f.bin_into(ix, BinOp::Sub, Ty::I64, Operand::reg(t2), Operand::imm_i(half));
+        f.bin_into(
+            ix,
+            BinOp::Sub,
+            Ty::I64,
+            Operand::reg(t2),
+            Operand::imm_i(half),
+        );
         let ge_y = f.cmp(CmpOp::Ge, Ty::I64, Operand::reg(iy), Operand::imm_i(0));
         let lt_y = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(iy), Operand::imm_i(n));
         let ge_x = f.cmp(CmpOp::Ge, Ty::I64, Operand::reg(ix), Operand::imm_i(0));
@@ -127,10 +138,21 @@ impl Benchmark for Conv2d {
         let iv = f.load(Ty::F64, Operand::reg(ia));
         let krow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(ky), Operand::imm_i(k));
         let kidx = f.bin(BinOp::Add, Ty::I64, Operand::reg(krow), Operand::reg(kx));
-        let ka = f.bin(BinOp::Add, Ty::I64, Operand::global(ker), Operand::reg(kidx));
+        let ka = f.bin(
+            BinOp::Add,
+            Ty::I64,
+            Operand::global(ker),
+            Operand::reg(kidx),
+        );
         let kv = f.load(Ty::F64, Operand::reg(ka));
         let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(iv), Operand::reg(kv));
-        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(
+            acc,
+            BinOp::Add,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(prod),
+        );
         f.br(kxl);
 
         f.switch_to(kxl);
@@ -144,7 +166,12 @@ impl Benchmark for Conv2d {
         f.switch_to(fin);
         let orow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(y), Operand::imm_i(n));
         let oidx = f.bin(BinOp::Add, Ty::I64, Operand::reg(orow), Operand::reg(x));
-        let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(oidx));
+        let oa = f.bin(
+            BinOp::Add,
+            Ty::I64,
+            Operand::global(out),
+            Operand::reg(oidx),
+        );
         f.store(Ty::F64, Operand::reg(oa), Operand::reg(acc));
         f.bin_into(x, BinOp::Add, Ty::I64, Operand::reg(x), Operand::imm_i(1));
         f.br(xh);
@@ -191,8 +218,7 @@ impl Benchmark for Conv2d {
                         let iy = y + ky - half;
                         let ix = x + kx - half;
                         if iy >= 0 && iy < n && ix >= 0 && ix < n {
-                            acc += image[(iy * n + ix) as usize]
-                                * kernel[(ky * k + kx) as usize];
+                            acc += image[(iy * n + ix) as usize] * kernel[(ky * k + kx) as usize];
                         }
                     }
                 }

@@ -82,7 +82,13 @@ impl Benchmark for ForwardProp {
         let xa = f.bin(BinOp::Add, Ty::I64, Operand::global(x), Operand::reg(i));
         let xv = f.load(Ty::F64, Operand::reg(xa));
         let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(wv), Operand::reg(xv));
-        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(
+            acc,
+            BinOp::Add,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(prod),
+        );
         f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
         f.br(ih);
 
@@ -91,7 +97,12 @@ impl Benchmark for ForwardProp {
         let negacc = f.un(UnOp::Neg, Ty::F64, Operand::reg(acc));
         let e = f.un(UnOp::Exp, Ty::F64, Operand::reg(negacc));
         let denom = f.bin(BinOp::Add, Ty::F64, Operand::imm_f(1.0), Operand::reg(e));
-        let sig = f.bin(BinOp::Div, Ty::F64, Operand::imm_f(1.0), Operand::reg(denom));
+        let sig = f.bin(
+            BinOp::Div,
+            Ty::F64,
+            Operand::imm_f(1.0),
+            Operand::reg(denom),
+        );
         let oa = f.bin(BinOp::Add, Ty::I64, Operand::global(out), Operand::reg(j));
         f.store(Ty::F64, Operand::reg(oa), Operand::reg(sig));
         f.bin_into(j, BinOp::Add, Ty::I64, Operand::reg(j), Operand::imm_i(1));

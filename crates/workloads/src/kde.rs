@@ -82,8 +82,18 @@ impl Benchmark for Kde {
         let sa = f.bin(BinOp::Add, Ty::I64, Operand::global(s), Operand::reg(j));
         let xj = f.load(Ty::F64, Operand::reg(sa));
         let diff = f.bin(BinOp::Sub, Ty::F64, Operand::reg(xi), Operand::reg(xj));
-        let scaled = f.bin(BinOp::Div, Ty::F64, Operand::reg(diff), Operand::imm_f(BANDWIDTH));
-        let sq = f.bin(BinOp::Mul, Ty::F64, Operand::reg(scaled), Operand::reg(scaled));
+        let scaled = f.bin(
+            BinOp::Div,
+            Ty::F64,
+            Operand::reg(diff),
+            Operand::imm_f(BANDWIDTH),
+        );
+        let sq = f.bin(
+            BinOp::Mul,
+            Ty::F64,
+            Operand::reg(scaled),
+            Operand::reg(scaled),
+        );
         let neg = f.bin(BinOp::Mul, Ty::F64, Operand::reg(sq), Operand::imm_f(-0.5));
         let e = f.un(UnOp::Exp, Ty::F64, Operand::reg(neg));
         f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(e));
@@ -109,9 +119,7 @@ impl Benchmark for Kde {
         let (nq, ns) = sizes(size);
         let mut r = rng(seed);
         // Sorted-ish query sweep: consecutive densities follow trends.
-        let queries: Vec<f64> = (0..nq)
-            .map(|k| k as f64 * (40.0 / nq as f64))
-            .collect();
+        let queries: Vec<f64> = (0..nq).map(|k| k as f64 * (40.0 / nq as f64)).collect();
         let samples = smooth_vec(&mut r, ns as usize, 20.0, 2.0);
         InputSet {
             arrays: vec![

@@ -77,7 +77,13 @@ impl Benchmark for Lud {
         f.cond_br(Operand::reg(ci), rj_init, exit);
 
         f.switch_to(rj_init);
-        f.bin_into(irow, BinOp::Mul, Ty::I64, Operand::reg(i), Operand::imm_i(n));
+        f.bin_into(
+            irow,
+            BinOp::Mul,
+            Ty::I64,
+            Operand::reg(i),
+            Operand::imm_i(n),
+        );
         f.mov(j, Operand::reg(i));
         f.br(rjh);
 
@@ -88,7 +94,13 @@ impl Benchmark for Lud {
 
         f.switch_to(rpre);
         let idx = f.bin(BinOp::Add, Ty::I64, Operand::reg(irow), Operand::reg(j));
-        f.bin_into(addr, BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(idx));
+        f.bin_into(
+            addr,
+            BinOp::Add,
+            Ty::I64,
+            Operand::global(a),
+            Operand::reg(idx),
+        );
         f.load_into(sum, Ty::F64, Operand::reg(addr));
         f.mov(k, Operand::imm_i(0));
         f.br(rkh);
@@ -106,7 +118,13 @@ impl Benchmark for Lud {
         let kja = f.bin(BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(kj));
         let kjv = f.load(Ty::F64, Operand::reg(kja));
         let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(ikv), Operand::reg(kjv));
-        f.bin_into(sum, BinOp::Sub, Ty::F64, Operand::reg(sum), Operand::reg(prod));
+        f.bin_into(
+            sum,
+            BinOp::Sub,
+            Ty::F64,
+            Operand::reg(sum),
+            Operand::reg(prod),
+        );
         f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
         f.br(rkh);
 
@@ -128,7 +146,13 @@ impl Benchmark for Lud {
         f.switch_to(cpre);
         let jrow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(j), Operand::imm_i(n));
         let ji = f.bin(BinOp::Add, Ty::I64, Operand::reg(jrow), Operand::reg(i));
-        f.bin_into(addr, BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(ji));
+        f.bin_into(
+            addr,
+            BinOp::Add,
+            Ty::I64,
+            Operand::global(a),
+            Operand::reg(ji),
+        );
         f.load_into(sum, Ty::F64, Operand::reg(addr));
         f.mov(k, Operand::imm_i(0));
         f.br(ckh);
@@ -146,7 +170,13 @@ impl Benchmark for Lud {
         let kia = f.bin(BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(ki));
         let kiv = f.load(Ty::F64, Operand::reg(kia));
         let prod2 = f.bin(BinOp::Mul, Ty::F64, Operand::reg(jkv), Operand::reg(kiv));
-        f.bin_into(sum, BinOp::Sub, Ty::F64, Operand::reg(sum), Operand::reg(prod2));
+        f.bin_into(
+            sum,
+            BinOp::Sub,
+            Ty::F64,
+            Operand::reg(sum),
+            Operand::reg(prod2),
+        );
         f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
         f.br(ckh);
 

@@ -8,9 +8,7 @@
 
 use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, Value};
 
-use crate::common::{
-    input_f64, rng, values, Benchmark, InputSet, SizeProfile, WorkloadMeta,
-};
+use crate::common::{input_f64, rng, values, Benchmark, InputSet, SizeProfile, WorkloadMeta};
 use rand::Rng;
 
 /// The benchmark handle.
@@ -72,7 +70,13 @@ impl Benchmark for Sgemm {
         f.cond_br(Operand::reg(ci), ib, exit);
 
         f.switch_to(ib);
-        f.bin_into(arow, BinOp::Mul, Ty::I64, Operand::reg(i), Operand::imm_i(n));
+        f.bin_into(
+            arow,
+            BinOp::Mul,
+            Ty::I64,
+            Operand::reg(i),
+            Operand::imm_i(n),
+        );
         f.mov(j, Operand::imm_i(0));
         f.br(jh);
 
@@ -98,7 +102,13 @@ impl Benchmark for Sgemm {
         let ba = f.bin(BinOp::Add, Ty::I64, Operand::global(b), Operand::reg(bi));
         let bv = f.load(Ty::F64, Operand::reg(ba));
         let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(av), Operand::reg(bv));
-        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        f.bin_into(
+            acc,
+            BinOp::Add,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(prod),
+        );
         f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
         f.br(kh);
 

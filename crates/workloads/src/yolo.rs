@@ -15,8 +15,7 @@
 use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, Value};
 
 use crate::common::{
-    input_f64, rng, smooth_vec, uniform_vec, values, Benchmark, InputSet, SizeProfile,
-    WorkloadMeta,
+    input_f64, rng, smooth_vec, uniform_vec, values, Benchmark, InputSet, SizeProfile, WorkloadMeta,
 };
 
 /// The benchmark handle.
@@ -144,16 +143,37 @@ impl Benchmark for YoloLite {
         // Clamp the address when out of bounds, zero the contribution.
         let prow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(py), Operand::imm_i(n));
         let pidx = f.bin(BinOp::Add, Ty::I64, Operand::reg(prow), Operand::reg(px));
-        let safe = f.select(Ty::I64, Operand::reg(ok), Operand::reg(pidx), Operand::imm_i(0));
-        let ia = f.bin(BinOp::Add, Ty::I64, Operand::global(img), Operand::reg(safe));
+        let safe = f.select(
+            Ty::I64,
+            Operand::reg(ok),
+            Operand::reg(pidx),
+            Operand::imm_i(0),
+        );
+        let ia = f.bin(
+            BinOp::Add,
+            Ty::I64,
+            Operand::global(img),
+            Operand::reg(safe),
+        );
         let iv = f.load(Ty::F64, Operand::reg(ia));
         let wrow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(c), Operand::imm_i(9));
         let wi = f.bin(BinOp::Add, Ty::I64, Operand::reg(wrow), Operand::reg(kk));
         let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(w1), Operand::reg(wi));
         let wv = f.load(Ty::F64, Operand::reg(wa));
         let prod0 = f.bin(BinOp::Mul, Ty::F64, Operand::reg(iv), Operand::reg(wv));
-        let prod = f.select(Ty::F64, Operand::reg(ok), Operand::reg(prod0), Operand::imm_f(0.0));
-        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+        let prod = f.select(
+            Ty::F64,
+            Operand::reg(ok),
+            Operand::reg(prod0),
+            Operand::imm_f(0.0),
+        );
+        f.bin_into(
+            acc,
+            BinOp::Add,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(prod),
+        );
         f.bin_into(kk, BinOp::Add, Ty::I64, Operand::reg(kk), Operand::imm_i(1));
         f.br(kh);
 
@@ -161,8 +181,18 @@ impl Benchmark for YoloLite {
         let ba = f.bin(BinOp::Add, Ty::I64, Operand::global(b1), Operand::reg(c));
         let bv = f.load(Ty::F64, Operand::reg(ba));
         let biased = f.bin(BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(bv));
-        let leak = f.bin(BinOp::Mul, Ty::F64, Operand::reg(biased), Operand::imm_f(0.1));
-        let act = f.bin(BinOp::Max, Ty::F64, Operand::reg(biased), Operand::reg(leak));
+        let leak = f.bin(
+            BinOp::Mul,
+            Ty::F64,
+            Operand::reg(biased),
+            Operand::imm_f(0.1),
+        );
+        let act = f.bin(
+            BinOp::Max,
+            Ty::F64,
+            Operand::reg(biased),
+            Operand::reg(leak),
+        );
         let frow = f.bin(BinOp::Mul, Ty::I64, Operand::reg(c), Operand::imm_i(np));
         let fi = f.bin(BinOp::Add, Ty::I64, Operand::reg(frow), Operand::reg(p));
         let fa = f.bin(BinOp::Add, Ty::I64, Operand::global(feat), Operand::reg(fi));
@@ -177,7 +207,12 @@ impl Benchmark for YoloLite {
         // --- Maxpool 2x2 over a flat index m in 0..nc*npool. ---
         f.switch_to(mh);
         // m encodes (c, py, px) as c*npool + py*half_n + px.
-        let cm = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(m), Operand::imm_i(nc * npool));
+        let cm = f.cmp(
+            CmpOp::Lt,
+            Ty::I64,
+            Operand::reg(m),
+            Operand::imm_i(nc * npool),
+        );
         f.cond_br(Operand::reg(cm), mb_, dh);
         // m starts implicitly at 0 (registers are zero-initialized; set
         // explicitly in the conv exit for clarity). Initialization happens
@@ -186,15 +221,30 @@ impl Benchmark for YoloLite {
         f.switch_to(mb_);
         let mc = f.bin(BinOp::Div, Ty::I64, Operand::reg(m), Operand::imm_i(npool));
         let mrem = f.bin(BinOp::Rem, Ty::I64, Operand::reg(m), Operand::imm_i(npool));
-        let mpy = f.bin(BinOp::Div, Ty::I64, Operand::reg(mrem), Operand::imm_i(half_n));
-        let mpx = f.bin(BinOp::Rem, Ty::I64, Operand::reg(mrem), Operand::imm_i(half_n));
+        let mpy = f.bin(
+            BinOp::Div,
+            Ty::I64,
+            Operand::reg(mrem),
+            Operand::imm_i(half_n),
+        );
+        let mpx = f.bin(
+            BinOp::Rem,
+            Ty::I64,
+            Operand::reg(mrem),
+            Operand::imm_i(half_n),
+        );
         let sy = f.bin(BinOp::Mul, Ty::I64, Operand::reg(mpy), Operand::imm_i(2));
         let sx = f.bin(BinOp::Mul, Ty::I64, Operand::reg(mpx), Operand::imm_i(2));
         let base = f.bin(BinOp::Mul, Ty::I64, Operand::reg(mc), Operand::imm_i(np));
         let r0 = f.bin(BinOp::Mul, Ty::I64, Operand::reg(sy), Operand::imm_i(n));
         let i00 = f.bin(BinOp::Add, Ty::I64, Operand::reg(r0), Operand::reg(sx));
         let a00 = f.bin(BinOp::Add, Ty::I64, Operand::reg(base), Operand::reg(i00));
-        let fa00 = f.bin(BinOp::Add, Ty::I64, Operand::global(feat), Operand::reg(a00));
+        let fa00 = f.bin(
+            BinOp::Add,
+            Ty::I64,
+            Operand::global(feat),
+            Operand::reg(a00),
+        );
         let v00 = f.load(Ty::F64, Operand::reg(fa00));
         let fa01 = f.bin(BinOp::Add, Ty::I64, Operand::reg(fa00), Operand::imm_i(1));
         let v01 = f.load(Ty::F64, Operand::reg(fa01));
@@ -205,7 +255,12 @@ impl Benchmark for YoloLite {
         let m1 = f.bin(BinOp::Max, Ty::F64, Operand::reg(v00), Operand::reg(v01));
         let m2 = f.bin(BinOp::Max, Ty::F64, Operand::reg(v10), Operand::reg(v11));
         let m3 = f.bin(BinOp::Max, Ty::F64, Operand::reg(m1), Operand::reg(m2));
-        let pa = f.bin(BinOp::Add, Ty::I64, Operand::global(pooled), Operand::reg(m));
+        let pa = f.bin(
+            BinOp::Add,
+            Ty::I64,
+            Operand::global(pooled),
+            Operand::reg(m),
+        );
         f.store(Ty::F64, Operand::reg(pa), Operand::reg(m3));
         f.bin_into(m, BinOp::Add, Ty::I64, Operand::reg(m), Operand::imm_i(1));
         f.br(mh);
@@ -221,23 +276,49 @@ impl Benchmark for YoloLite {
         f.br(uh);
 
         f.switch_to(uh);
-        let cu = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(u), Operand::imm_i(nc * npool));
+        let cu = f.cmp(
+            CmpOp::Lt,
+            Ty::I64,
+            Operand::reg(u),
+            Operand::imm_i(nc * npool),
+        );
         f.cond_br(Operand::reg(cu), ub, dfin);
 
         f.switch_to(ub);
-        let w2row = f.bin(BinOp::Mul, Ty::I64, Operand::reg(d), Operand::imm_i(nc * npool));
+        let w2row = f.bin(
+            BinOp::Mul,
+            Ty::I64,
+            Operand::reg(d),
+            Operand::imm_i(nc * npool),
+        );
         let w2i = f.bin(BinOp::Add, Ty::I64, Operand::reg(w2row), Operand::reg(u));
         let w2a = f.bin(BinOp::Add, Ty::I64, Operand::global(w2), Operand::reg(w2i));
         let w2v = f.load(Ty::F64, Operand::reg(w2a));
-        let pva = f.bin(BinOp::Add, Ty::I64, Operand::global(pooled), Operand::reg(u));
+        let pva = f.bin(
+            BinOp::Add,
+            Ty::I64,
+            Operand::global(pooled),
+            Operand::reg(u),
+        );
         let pv = f.load(Ty::F64, Operand::reg(pva));
         let dp = f.bin(BinOp::Mul, Ty::F64, Operand::reg(w2v), Operand::reg(pv));
-        f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(dp));
+        f.bin_into(
+            acc,
+            BinOp::Add,
+            Ty::F64,
+            Operand::reg(acc),
+            Operand::reg(dp),
+        );
         f.bin_into(u, BinOp::Add, Ty::I64, Operand::reg(u), Operand::imm_i(1));
         f.br(uh);
 
         f.switch_to(dfin);
-        let sa = f.bin(BinOp::Add, Ty::I64, Operand::global(scores), Operand::reg(d));
+        let sa = f.bin(
+            BinOp::Add,
+            Ty::I64,
+            Operand::global(scores),
+            Operand::reg(d),
+        );
         f.store(Ty::F64, Operand::reg(sa), Operand::reg(acc));
         f.bin_into(d, BinOp::Add, Ty::I64, Operand::reg(d), Operand::imm_i(1));
         f.br(dh);
@@ -248,11 +329,21 @@ impl Benchmark for YoloLite {
         f.cond_br(Operand::reg(ca), ab, fin);
 
         f.switch_to(ab);
-        let sca = f.bin(BinOp::Add, Ty::I64, Operand::global(scores), Operand::reg(ai));
+        let sca = f.bin(
+            BinOp::Add,
+            Ty::I64,
+            Operand::global(scores),
+            Operand::reg(ai),
+        );
         let scv = f.load(Ty::F64, Operand::reg(sca));
         let is_first = f.cmp(CmpOp::Eq, Ty::I64, Operand::reg(ai), Operand::imm_i(0));
         let better = f.cmp(CmpOp::Gt, Ty::F64, Operand::reg(scv), Operand::reg(best));
-        let take = f.bin(BinOp::Or, Ty::I64, Operand::reg(is_first), Operand::reg(better));
+        let take = f.bin(
+            BinOp::Or,
+            Ty::I64,
+            Operand::reg(is_first),
+            Operand::reg(better),
+        );
         f.cond_br(Operand::reg(take), atake, al);
 
         f.switch_to(atake);

@@ -28,7 +28,13 @@ fn run_ir(bench: &dyn rskip_workloads::Benchmark, input: &InputSet) -> Vec<Value
 fn conv1d_constant_signal_times_kernel_sum() {
     let b = benchmark_by_name("conv1d").unwrap();
     let mut input = b.gen_input(SizeProfile::Tiny, 2000);
-    let sig_len = input.arrays.iter().find(|(n, _)| n == "signal").unwrap().1.len();
+    let sig_len = input
+        .arrays
+        .iter()
+        .find(|(n, _)| n == "signal")
+        .unwrap()
+        .1
+        .len();
     replace_array(&mut input, "signal", vec![Value::F(2.0); sig_len]);
     let kernel: Vec<f64> = input
         .arrays
@@ -50,7 +56,13 @@ fn conv2d_impulse_kernel_reproduces_the_image() {
     let b = benchmark_by_name("conv2d").unwrap();
     let mut input = b.gen_input(SizeProfile::Tiny, 2000);
     // Kernel = centered delta.
-    let klen = input.arrays.iter().find(|(n, _)| n == "kernel").unwrap().1.len();
+    let klen = input
+        .arrays
+        .iter()
+        .find(|(n, _)| n == "kernel")
+        .unwrap()
+        .1
+        .len();
     let k = (klen as f64).sqrt() as usize;
     let mut delta = vec![Value::F(0.0); klen];
     delta[(k / 2) * k + k / 2] = Value::F(1.0);
@@ -66,7 +78,10 @@ fn conv2d_impulse_kernel_reproduces_the_image() {
         .collect();
     let out = run_ir(b.as_ref(), &input);
     for (o, i) in out.iter().zip(&image) {
-        assert!((o.as_f() - i).abs() < 1e-12, "impulse response must copy the image");
+        assert!(
+            (o.as_f() - i).abs() < 1e-12,
+            "impulse response must copy the image"
+        );
     }
 }
 
@@ -132,7 +147,13 @@ fn forwardprop_outputs_are_valid_probabilities() {
 fn backprop_zero_output_error_gives_zero_deltas() {
     let b = benchmark_by_name("backprop").unwrap();
     let mut input = b.gen_input(SizeProfile::Tiny, 2000);
-    let len = input.arrays.iter().find(|(n, _)| n == "delta_out").unwrap().1.len();
+    let len = input
+        .arrays
+        .iter()
+        .find(|(n, _)| n == "delta_out")
+        .unwrap()
+        .1
+        .len();
     replace_array(&mut input, "delta_out", vec![Value::F(0.0); len]);
     for v in run_ir(b.as_ref(), &input) {
         assert_eq!(v.as_f(), 0.0, "no error should back-propagate");
@@ -145,7 +166,13 @@ fn blackscholes_put_call_parity() {
     // evaluations on both sides of our formulation.
     let b = benchmark_by_name("blackscholes").unwrap();
     let mut call_input = b.gen_input(SizeProfile::Tiny, 2000);
-    let n = call_input.arrays.iter().find(|(x, _)| x == "otype").unwrap().1.len();
+    let n = call_input
+        .arrays
+        .iter()
+        .find(|(x, _)| x == "otype")
+        .unwrap()
+        .1
+        .len();
     replace_array(&mut call_input, "otype", vec![Value::F(0.0); n]);
     let mut put_input = call_input.clone();
     replace_array(&mut put_input, "otype", vec![Value::F(1.0); n]);

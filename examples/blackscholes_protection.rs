@@ -41,7 +41,11 @@ fn main() {
         "trained: {} QoS signatures, default TP {}, memoizer: {}",
         rm.qos.len(),
         rm.default_tp,
-        if rm.memo.is_some() { "deployed" } else { "not deployed" }
+        if rm.memo.is_some() {
+            "deployed"
+        } else {
+            "not deployed"
+        }
     );
 
     // --- Deployment: sweep the acceptable range with and without the

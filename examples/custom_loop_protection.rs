@@ -56,12 +56,28 @@ fn build_program() -> rskip::ir::Module {
 
     f.switch_to(ib);
     let si = f.bin(BinOp::Add, Ty::I64, Operand::reg(i), Operand::reg(k));
-    let sa = f.bin(BinOp::Add, Ty::I64, Operand::global(sensor), Operand::reg(si));
+    let sa = f.bin(
+        BinOp::Add,
+        Ty::I64,
+        Operand::global(sensor),
+        Operand::reg(si),
+    );
     let sv = f.load(Ty::F64, Operand::reg(sa));
-    let wa = f.bin(BinOp::Add, Ty::I64, Operand::global(weights), Operand::reg(k));
+    let wa = f.bin(
+        BinOp::Add,
+        Ty::I64,
+        Operand::global(weights),
+        Operand::reg(k),
+    );
     let wv = f.load(Ty::F64, Operand::reg(wa));
     let prod = f.bin(BinOp::Mul, Ty::F64, Operand::reg(sv), Operand::reg(wv));
-    f.bin_into(acc, BinOp::Add, Ty::F64, Operand::reg(acc), Operand::reg(prod));
+    f.bin_into(
+        acc,
+        BinOp::Add,
+        Ty::F64,
+        Operand::reg(acc),
+        Operand::reg(prod),
+    );
     f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
     f.br(ih);
 
@@ -81,7 +97,9 @@ fn build_program() -> rskip::ir::Module {
 
 fn main() {
     let module = build_program();
-    rskip::ir::Verifier::new(&module).verify().expect("verifies");
+    rskip::ir::Verifier::new(&module)
+        .verify()
+        .expect("verifies");
     println!("program:\n{}", rskip::ir::print_module(&module));
 
     // What does the compiler see?

@@ -8,9 +8,7 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rskip::exec::{
-    classify_outcome, ExecConfig, InjectionPlan, Machine, OutcomeClass,
-};
+use rskip::exec::{classify_outcome, ExecConfig, InjectionPlan, Machine, OutcomeClass};
 use rskip::passes::{protect, Scheme};
 use rskip::runtime::{PredictionRuntime, RuntimeConfig};
 use rskip::workloads::{benchmark_by_name, SizeProfile};
@@ -25,7 +23,10 @@ fn main() {
     let golden = bench.golden(size, &input);
 
     println!("{RUNS} SEU injections per scheme into sgemm's detected loop\n");
-    println!("{:<9} {:>9} {:>7} {:>9} {:>10} {:>6}", "scheme", "Correct", "SDC", "Segfault", "Core dump", "Hang");
+    println!(
+        "{:<9} {:>9} {:>7} {:>9} {:>10} {:>6}",
+        "scheme", "Correct", "SDC", "Segfault", "Core dump", "Hang"
+    );
 
     for scheme in [Scheme::Unsafe, Scheme::SwiftR, Scheme::RSkip] {
         let p = protect(&module, scheme);

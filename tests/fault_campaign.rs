@@ -1,12 +1,13 @@
 //! Reliability integration test: a reduced Statistical Fault Injection
 //! campaign must reproduce the paper's qualitative ordering
 //! (UNSAFE ≪ RSkip ≤ SWIFT-R) and the false-negative trend.
+//!
+//! Campaigns run through [`rskip::harness::Campaign`], which decodes the
+//! module once, sizes the injection window from a clean run, and fans
+//! trials across threads with split-seeded per-trial RNGs.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use rskip::exec::{
-    classify_outcome, ExecConfig, InjectionPlan, Machine, NoopHooks, OutcomeClass,
-};
+use rskip::exec::{InjectionPlan, Machine, NoopHooks};
+use rskip::harness::Campaign;
 use rskip::passes::{protect, Protected, Scheme};
 use rskip::runtime::{PredictionRuntime, RuntimeConfig};
 use rskip::workloads::{benchmark_by_name, SizeProfile};
@@ -24,41 +25,21 @@ fn campaign(
     let golden = bench.golden(size, &input);
     let inits = rskip::region_inits(p);
 
-    let clean = {
-        let rt = PredictionRuntime::new(&inits, RuntimeConfig::with_ar(ar));
-        let mut machine = Machine::new(&p.module, rt);
-        input.apply(&mut machine);
-        machine.run("main", &[]).counters
-    };
-    assert!(clean.region_retired > 0);
-    let config = ExecConfig {
-        step_limit: clean.retired * 20,
-        ..ExecConfig::default()
-    };
-
-    let mut rng = ChaCha8Rng::seed_from_u64(seed0);
-    let mut correct = 0u64;
-    let mut false_negatives = 0u64;
-    for _ in 0..RUNS {
-        let plan = InjectionPlan {
-            trigger: rng.gen_range(0..clean.region_retired),
-            seed: rng.gen(),
-            anywhere: false,
-        };
-        let rt = PredictionRuntime::new(&inits, RuntimeConfig::with_ar(ar));
-        let mut machine = Machine::with_config(&p.module, rt, config.clone());
-        input.apply(&mut machine);
-        machine.set_injection(plan);
-        let out = machine.run("main", &[]);
-        let handled = machine.hooks().total_faults_recovered() > 0;
-        let class = classify_outcome(&out, machine.read_global(bench.output_global()), &golden);
-        if class == OutcomeClass::Correct {
-            correct += 1;
-        } else if !handled {
-            false_negatives += 1;
-        }
-    }
-    (f64::from(correct as u32) / f64::from(RUNS), false_negatives)
+    // All per-trial setup (runtime construction, config cloning, machine
+    // building) lives inside the Campaign; the test only describes the
+    // experiment.
+    let make = || PredictionRuntime::new(&inits, RuntimeConfig::with_ar(ar));
+    let c = Campaign::new(
+        &p.module,
+        &input,
+        &golden,
+        bench.output_global(),
+        make,
+        seed0,
+        RUNS,
+    );
+    let stats = c.run(make, |h| h.total_faults_recovered());
+    (stats.protection_rate(), stats.false_negatives.total())
 }
 
 #[test]
@@ -93,40 +74,60 @@ fn protection_ordering_matches_the_paper() {
 fn detection_and_recovery_fire_under_injection() {
     // Across a campaign, RSkip's re-computation recovery must actually
     // trigger at least once (faults do land in the validated value chain).
+    // AR 0: exact validation — every corrupted value in the validated
+    // chain is caught.
     let bench = benchmark_by_name("sgemm").unwrap();
     let module = bench.build(SizeProfile::Tiny);
     let p = protect(&module, Scheme::RSkip);
     let inits = rskip::region_inits(&p);
     let input = bench.gen_input(SizeProfile::Tiny, 2000);
+    let golden = bench.golden(SizeProfile::Tiny, &input);
 
-    let clean = {
-        let rt = PredictionRuntime::new(&inits, RuntimeConfig::with_ar(0.0));
-        let mut machine = Machine::new(&p.module, rt);
-        input.apply(&mut machine);
-        machine.run("main", &[]).counters
-    };
-    let config = ExecConfig {
-        step_limit: clean.retired * 20,
-        ..ExecConfig::default()
-    };
-    let mut rng = ChaCha8Rng::seed_from_u64(99);
-    let mut recoveries = 0u64;
-    for _ in 0..200 {
-        let plan = InjectionPlan {
-            trigger: rng.gen_range(0..clean.region_retired),
-            seed: rng.gen(),
-            anywhere: false,
-        };
-        // AR 0: exact validation — every corrupted value in the validated
-        // chain is caught.
-        let rt = PredictionRuntime::new(&inits, RuntimeConfig::with_ar(0.0));
-        let mut machine = Machine::with_config(&p.module, rt, config.clone());
-        input.apply(&mut machine);
-        machine.set_injection(plan);
-        machine.run("main", &[]);
-        recoveries += machine.hooks().total_faults_recovered();
-    }
-    assert!(recoveries > 0, "recovery never fired in 200 injections");
+    let make = || PredictionRuntime::new(&inits, RuntimeConfig::with_ar(0.0));
+    let c = Campaign::new(
+        &p.module,
+        &input,
+        &golden,
+        bench.output_global(),
+        make,
+        99,
+        200,
+    );
+    let stats = c.run(make, |h| h.total_faults_recovered());
+    assert!(
+        stats.recoveries > 0,
+        "recovery never fired in 200 injections"
+    );
+}
+
+#[test]
+fn campaign_is_identical_across_thread_counts() {
+    // The determinism contract: trial RNGs are split-seeded by trial
+    // index and outcomes folded in trial order, so the aggregate is
+    // byte-identical no matter how trials are scheduled.
+    let bench = benchmark_by_name("conv1d").unwrap();
+    let module = bench.build(SizeProfile::Tiny);
+    let p = protect(&module, Scheme::RSkip);
+    let inits = rskip::region_inits(&p);
+    let input = bench.gen_input(SizeProfile::Tiny, 2000);
+    let golden = bench.golden(SizeProfile::Tiny, &input);
+
+    let make = || PredictionRuntime::new(&inits, RuntimeConfig::with_ar(0.2));
+    let c = Campaign::new(
+        &p.module,
+        &input,
+        &golden,
+        bench.output_global(),
+        make,
+        7,
+        60,
+    );
+    let observe = |h: &PredictionRuntime| h.total_faults_recovered();
+    let one = c.run_on(1, make, observe);
+    let four = c.run_on(4, make, observe);
+    let seven = c.run_on(7, make, observe);
+    assert_eq!(one, four, "1-thread vs 4-thread campaigns diverged");
+    assert_eq!(one, seven, "1-thread vs 7-thread campaigns diverged");
 }
 
 #[test]

@@ -72,7 +72,11 @@ fn rskip_pp_and_cp_paths_agree() {
             let mut machine = Machine::new(&p.module, rt);
             input.apply(&mut machine);
             let out = machine.run("main", &[]);
-            assert!(out.returned(), "{name} pp={enable_pp}: {:?}", out.termination);
+            assert!(
+                out.returned(),
+                "{name} pp={enable_pp}: {:?}",
+                out.termination
+            );
             (
                 machine.read_global(bench.output_global()).to_vec(),
                 machine.hooks().stats(0).elements,

@@ -1,0 +1,484 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic generate-and-check harness covering the strategy surface
+//! this workspace uses: numeric ranges, `any::<T>()`, `Just`,
+//! `prop_oneof!`, `prop_map`, tuples, `prop::collection::vec`,
+//! `prop::option::of` and `prop::num::f64::NORMAL`. Each test case draws
+//! from a ChaCha8 stream seeded from the test name and case index, so
+//! failures are reproducible by rerunning the same binary. There is no
+//! shrinking: the failing inputs are printed verbatim instead.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The per-case random source strategies draw from.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Builds the deterministic RNG for `(test, case)`.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let h = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+        TestRng(ChaCha8Rng::seed_from_u64(h ^ (u64::from(case) << 32)))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.0.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` below `n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.0.next_u64() % n as u64) as usize
+    }
+}
+
+/// Harness configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — skip the case.
+    Reject,
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| {
+            self.generate(rng)
+        }))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!` backend).
+pub fn union<T>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+where
+    T: 'static,
+{
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| {
+        let i = rng.below(options.len());
+        options[i].generate(rng)
+    }))
+}
+
+macro_rules! impl_range_strategy {
+    (int: $($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(int: u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `any::<T>()` — full-range arbitrary values.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Builds the arbitrary strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a full-range arbitrary distribution.
+pub trait ArbitraryValue {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Arbitrary bit patterns, NaN and infinities included — like
+        // proptest's `any::<f64>()` this exercises the full representation.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// `prop::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Vec strategy with a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.len.end.saturating_sub(self.len.start).max(1);
+            let n = self.len.start + rng.below(span);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Yields `None` for about a quarter of cases.
+    pub struct OptionStrategy<S>(S);
+
+    /// `prop::option::of(inner)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// `prop::num`.
+pub mod num {
+    /// `prop::num::f64`.
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy over normal (finite, non-zero-exponent-class) floats.
+        pub struct NormalF64;
+
+        /// `prop::num::f64::NORMAL`.
+        pub const NORMAL: NormalF64 = NormalF64;
+
+        impl Strategy for NormalF64 {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    let v = f64::from_bits(rng.next_u64());
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a boolean property inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// The proptest harness macro: generates one `#[test]` fn per property.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                let mut case_desc = String::new();
+                $(case_desc.push_str(&format!(
+                    "  {} = {:?}\n", stringify!($arg), &$arg
+                ));)*
+                let outcome: Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject) => continue,
+                    Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "proptest case {case} of {} failed: {msg}\ninputs:\n{case_desc}",
+                        stringify!($name)
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_compose(
+            xs in prop::collection::vec(0i64..100, 1..20),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| (0..100).contains(&x)));
+            if flag {
+                prop_assert_eq!(xs.len(), xs.len());
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_produce_all_arms(tag in prop_oneof![
+            Just(0u8),
+            (1u8..4).prop_map(|v| v),
+        ]) {
+            prop_assert!(tag < 4);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn normal_floats_are_normal() {
+        let mut rng = crate::TestRng::for_case("normal", 0);
+        for _ in 0..200 {
+            let v = crate::Strategy::generate(&prop::num::f64::NORMAL, &mut rng);
+            assert!(v.is_normal());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

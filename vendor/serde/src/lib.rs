@@ -1,0 +1,385 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, this vendored shim routes both
+//! serialization and deserialization through one concrete JSON-shaped value
+//! model, [`Content`]. `#[derive(Serialize, Deserialize)]` (from the
+//! sibling `serde_derive` stub) generates `to_content` / `from_content`
+//! impls that follow serde_json's default conventions: structs are objects,
+//! newtype structs are transparent, unit enum variants are strings, and
+//! data-carrying variants are single-key objects (externally tagged).
+//!
+//! Only what this workspace serializes is covered; the point is offline
+//! buildability with faithful JSON round-trips, not serde compatibility.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The JSON-shaped value model both traits serialize through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object; insertion order is preserved.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a `Map`.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// A deserialization error: a human-readable mismatch description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds a "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Content) -> Self {
+        DeError(format!("expected {what}, found {found:?}"))
+    }
+}
+
+/// Serialization into the [`Content`] model.
+pub trait Serialize {
+    /// Converts `self` into the value model.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization out of the [`Content`] model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the value model.
+    fn from_content(v: &Content) -> Result<Self, DeError>;
+}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// --- primitive impls ---------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Content) -> Result<Self, DeError> {
+                match v {
+                    Content::I64(n) => Ok(*n as $t),
+                    Content::U64(n) => Ok(*n as $t),
+                    _ => Err(DeError::expected("integer", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 { Content::I64(v as i64) } else { Content::U64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Content) -> Result<Self, DeError> {
+                match v {
+                    Content::I64(n) if *n >= 0 => Ok(*n as $t),
+                    Content::U64(n) => Ok(*n as $t),
+                    _ => Err(DeError::expected("unsigned integer", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Content) -> Result<Self, DeError> {
+                match v {
+                    Content::F64(n) => Ok(*n as $t),
+                    Content::I64(n) => Ok(*n as $t),
+                    Content::U64(n) => Ok(*n as $t),
+                    _ => Err(DeError::expected("number", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-char string", v)),
+        }
+    }
+}
+
+// --- composite impls ---------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(v: &Content) -> Result<Self, DeError> {
+                match v {
+                    Content::Seq(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            $t::from_content(
+                                it.next().ok_or_else(|| DeError::expected("longer tuple", v))?
+                            )?,
+                        )+))
+                    }
+                    _ => Err(DeError::expected("tuple (array)", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Map keys: serde_json stringifies integer keys; this trait mirrors that.
+pub trait MapKey: Ord + Sized {
+    /// The key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses an object key back.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError(format!("bad integer map key {s:?}")))
+            }
+        }
+    )*};
+}
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", v)),
+        }
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", v)),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(v: &Content) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_vec_roundtrip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let c = v.to_content();
+        assert_eq!(Vec::<Option<u32>>::from_content(&c).unwrap(), v);
+    }
+
+    #[test]
+    fn integer_keyed_maps_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(7u32, "x".to_string());
+        match m.to_content() {
+            Content::Map(entries) => assert_eq!(entries[0].0, "7"),
+            other => panic!("{other:?}"),
+        }
+        let back = BTreeMap::<u32, String>::from_content(&m.to_content()).unwrap();
+        assert_eq!(back, m);
+    }
+}

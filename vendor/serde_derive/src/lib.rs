@@ -1,0 +1,406 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! vendored shim's `Content` value model without `syn`/`quote`: the item is
+//! parsed directly from the `proc_macro::TokenStream`. Supported shapes are
+//! exactly what this workspace derives on — non-generic structs (named,
+//! tuple, unit) and non-generic enums with unit, tuple and struct variants.
+//! `#[serde(...)]` attributes are not supported (none are used here).
+//!
+//! Encoding conventions mirror serde_json defaults: structs → objects,
+//! newtype structs → transparent, unit variants → strings, data variants →
+//! externally tagged single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        kind: VariantKind,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at the current position.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    other => panic!("serde_derive stub: malformed attribute, found {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes one type (or field tail) up to a top-level comma, tracking
+/// angle-bracket depth so `Map<K, V>` commas don't split fields. Returns
+/// false when the stream is exhausted.
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut depth = 0i32;
+    for tok in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Parses the named fields of a brace group.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive stub: expected field name, found {other}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected ':' after {name}, found {other:?}"),
+        }
+        fields.push(name);
+        if !skip_type_until_comma(&mut iter) {
+            break;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a paren group (tuple struct / tuple variant).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut iter = group.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !skip_type_until_comma(&mut iter) {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive stub: expected variant name, found {other}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Consume the trailing comma (and reject discriminants, which this
+        // workspace does not use on serialized enums).
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!("serde_derive stub: unsupported token after variant: {other}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    // Skip everything (attrs, visibility) up to the struct/enum keyword.
+    let is_enum = loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(TokenTree::Ident(_)) => continue, // e.g. `union` would fall through to errors below
+            other => panic!("serde_derive stub: expected struct/enum, found {other:?}"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type {name} is not supported");
+        }
+    }
+    if is_enum {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive stub: expected enum body, found {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                kind: VariantKind::Struct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                kind: VariantKind::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                kind: VariantKind::Unit,
+            },
+            other => panic!("serde_derive stub: expected struct body, found {other:?}"),
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (vendored shim semantics).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut body = String::new();
+    let name = match &item {
+        Item::Struct { name, kind } => {
+            match kind {
+                VariantKind::Unit => body.push_str("::serde::Content::Null"),
+                VariantKind::Tuple(1) => {
+                    body.push_str("::serde::Serialize::to_content(&self.0)");
+                }
+                VariantKind::Tuple(n) => {
+                    body.push_str("::serde::Content::Seq(vec![");
+                    for i in 0..*n {
+                        body.push_str(&format!("::serde::Serialize::to_content(&self.{i}),"));
+                    }
+                    body.push_str("])");
+                }
+                VariantKind::Struct(fields) => {
+                    body.push_str("::serde::Content::Map(vec![");
+                    for f in fields {
+                        body.push_str(&format!(
+                            "(String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f})),"
+                        ));
+                    }
+                    body.push_str("])");
+                }
+            }
+            name.clone()
+        }
+        Item::Enum { name, variants } => {
+            body.push_str("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => body.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(String::from(\"{vn}\")),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", items.join(","))
+                        };
+                        body.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![(String::from(\"{vn}\"), {inner})]),",
+                            binds.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(String::from(\"{vn}\"), ::serde::Content::Map(vec![{}]))]),",
+                            fields.join(","),
+                            entries.join(",")
+                        ));
+                    }
+                }
+            }
+            body.push('}');
+            name.clone()
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (vendored shim semantics).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (name, body) = match &item {
+        Item::Struct { name, kind } => {
+            let body = match kind {
+                VariantKind::Unit => format!("Ok({name})"),
+                VariantKind::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_content(__v)?))")
+                }
+                VariantKind::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match __v {{\n\
+                           ::serde::Content::Seq(__items) if __items.len() == {n} =>\n\
+                               Ok({name}({})),\n\
+                           __other => Err(::serde::DeError::expected(\"{n}-element array for {name}\", __other)),\n\
+                         }}",
+                        items.join(",")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(__v.get(\"{f}\").unwrap_or(&::serde::Content::Null))?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match __v {{\n\
+                           ::serde::Content::Map(_) => Ok({name} {{ {} }}),\n\
+                           __other => Err(::serde::DeError::expected(\"object for {name}\", __other)),\n\
+                         }}",
+                        inits.join(",")
+                    )
+                }
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(__inner)?)),"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                               ::serde::Content::Seq(__items) if __items.len() == {n} => Ok({name}::{vn}({})),\n\
+                               __other => Err(::serde::DeError::expected(\"{n}-element array for {name}::{vn}\", __other)),\n\
+                             }},",
+                            items.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(__inner.get(\"{f}\").unwrap_or(&::serde::Content::Null))?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                            inits.join(",")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                   ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                       {unit_arms}\n\
+                       __other => Err(::serde::DeError(format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                   }},\n\
+                   ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                       let (__tag, __inner) = &__entries[0];\n\
+                       match __tag.as_str() {{\n\
+                           {data_arms}\n\
+                           __other => Err(::serde::DeError(format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                       }}\n\
+                   }}\n\
+                   __other => Err(::serde::DeError::expected(\"{name} variant\", __other)),\n\
+                 }}"
+            );
+            (name.clone(), body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             #[allow(unused_variables)]\n\
+             fn from_content(__v: &::serde::Content) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl must parse")
+}

@@ -1,0 +1,406 @@
+//! Offline stand-in for `serde_json`: a compact JSON emitter and a
+//! recursive-descent parser over the vendored `serde::Content` model.
+//!
+//! Covers the workspace's needs — [`to_string`], [`to_string_pretty`],
+//! [`from_str`] and an [`Error`] type — with faithful round-trips: floats
+//! are printed with Rust's shortest-round-trip formatting, non-finite
+//! floats become `null` (serde_json's behavior), and strings are escaped
+//! per RFC 8259.
+
+use serde::{Content, Deserialize, Serialize};
+
+/// A serialization or parse error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the vendored model; the `Result` mirrors serde_json's
+/// signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    emit(&value.to_content(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for the vendored model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    emit(&value.to_content(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns a parse or shape-mismatch error.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_content(&v).map_err(|e| Error(e.to_string()))
+}
+
+fn emit(v: &Content, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::F64(x) => {
+            if x.is_finite() {
+                // Shortest round-trip form; force a fractional part so the
+                // value parses back as a float-shaped number.
+                let s = x.to_string();
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => emit_str(s, out),
+        Content::Seq(items) => {
+            emit_block(items.iter().map(Emit::Bare), '[', ']', indent, depth, out)
+        }
+        Content::Map(entries) => emit_block(
+            entries.iter().map(|(k, v)| Emit::Keyed(k, v)),
+            '{',
+            '}',
+            indent,
+            depth,
+            out,
+        ),
+    }
+}
+
+enum Emit<'a> {
+    Bare(&'a Content),
+    Keyed(&'a str, &'a Content),
+}
+
+fn emit_block<'a>(
+    items: impl Iterator<Item = Emit<'a>>,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) {
+    out.push(open);
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        match item {
+            Emit::Bare(v) => emit(v, indent, depth + 1, out),
+            Emit::Keyed(k, v) => {
+                emit_str(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                emit(v, indent, depth + 1, out);
+            }
+        }
+    }
+    if !first {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn emit_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error("unexpected end of input".into())),
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(Error(format!("bad keyword at byte {}", self.pos)))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(Error(format!("bad keyword at byte {}", self.pos)))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(Error(format!("bad keyword at byte {}", self.pos)))
+                }
+            }
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => {
+                            return Err(Error(format!("expected ',' or ']' at byte {}", self.pos)))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => {
+                            return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos)))
+                        }
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("invalid UTF-8 in string".into()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            // BMP only; surrogate pairs are not emitted by
+                            // our writer.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(Error(format!("bad escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if text.is_empty() {
+            return Err(Error(format!("expected value at byte {start}")));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Content::I64(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Content::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn roundtrips_maps_and_numbers() {
+        let mut m: BTreeMap<String, f64> = BTreeMap::new();
+        m.insert("a".into(), 1.5);
+        m.insert("weird \"key\"\n".into(), -0.25);
+        let json = to_string(&m).unwrap();
+        let back: BTreeMap<String, f64> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![(1u64, "x".to_string()), (2, "y".to_string())];
+        let json = to_string_pretty(&v).unwrap();
+        assert!(json.contains('\n'));
+        let back: Vec<(u64, String)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_precision_roundtrips() {
+        let xs = vec![0.1f64, 1e-300, 123_456_789.123_456_79, -2.5e10, 3.0];
+        let json = to_string(&xs).unwrap();
+        let back: Vec<f64> = from_str(&json).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<f64>("1.0 x").is_err());
+    }
+}
