@@ -1,0 +1,20 @@
+//! # rskip-core — shared foundations of the RSkip workspace
+//!
+//! Two small pieces every layer agrees on:
+//!
+//! * [`plan`] — the [`ProtectionPlan`]: what the compile-time protection
+//!   pass decided per region, in exactly the shape the deployment runtime
+//!   consumes. `rskip-passes` produces it, `rskip-runtime` is configured
+//!   from it; neither crate depends on the other.
+//! * [`parallel`] — deterministic scoped-thread parallel maps shared by
+//!   the fault-injection campaign driver and the experiment engine.
+//!
+//! The crate has no dependencies (not even the vendored ones) so it can
+//! sit below every other workspace member.
+
+#![deny(missing_docs)]
+
+pub mod parallel;
+pub mod plan;
+
+pub use plan::{ProtectionPlan, RegionPlan};

@@ -1,0 +1,127 @@
+//! Deterministic parallel maps over scoped threads.
+//!
+//! Shared by the fault-injection campaign driver and the experiment
+//! engine. Work is distributed dynamically (atomic index), but results
+//! are always returned **in index order**, so output never depends on
+//! scheduling. Thread count comes from the `RAYON_NUM_THREADS`
+//! environment variable when set (the conventional knob, honored even
+//! though the pool is hand-rolled `std::thread::scope`), else from
+//! `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn parse_thread_override(v: &str) -> Option<usize> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// Worker count: `RAYON_NUM_THREADS` if set to a positive integer, else
+/// the machine's available parallelism.
+#[must_use]
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Some(n) = parse_thread_override(&v) {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Computes `f(0..n)` on `threads` scoped workers (dynamic work-stealing
+/// by atomic index) and returns the results **in index order** — the
+/// output is independent of scheduling.
+pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let threads = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("parallel-map worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed"))
+        .collect()
+}
+
+/// Computes `f(i, items[i])` on `threads` scoped workers, passing each
+/// item **by value**, and returns the results in index order. This is
+/// [`parallel_map_indexed`] for non-`Sync` items (e.g.
+/// `Box<dyn Benchmark>`): each slot is handed to exactly one worker.
+pub fn parallel_map_into<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    parallel_map_indexed(slots.len(), threads, |i| {
+        let item = slots[i]
+            .lock()
+            .unwrap_or_else(|_| panic!("input slot {i} poisoned by a panicking worker"))
+            .take()
+            .expect("each slot taken once");
+        f(i, item)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 2 "), Some(2));
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override("lots"), None);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for threads in [1, 2, 5] {
+            let out = parallel_map_indexed(17, threads, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_into_consumes_each_item_once() {
+        let items: Vec<String> = (0..9).map(|i| format!("item{i}")).collect();
+        let out = parallel_map_into(items, 3, |i, s| format!("{i}:{s}"));
+        assert_eq!(out[4], "4:item4");
+        assert_eq!(out.len(), 9);
+    }
+}

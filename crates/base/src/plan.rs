@@ -1,0 +1,84 @@
+//! The protection plan — the contract between the compile-time pass
+//! driver and the deployment runtime.
+//!
+//! The pass driver decides, per detected loop region, whether a
+//! prediction-protected (PP) body exists, whether approximate memoization
+//! may be deployed, and whether a pragma overrides the acceptable range.
+//! The runtime needs exactly those facts to size its region table. This
+//! module is that contract, so `rskip-runtime` no longer hand-maintains a
+//! mirror of `rskip-passes::RegionSpec`.
+
+/// What the protection pass decided for one region.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionPlan {
+    /// Region id (dense, 0-based).
+    pub region: u32,
+    /// Whether a PP body exists.
+    pub has_body: bool,
+    /// Whether approximate memoization may be deployed.
+    pub memoizable: bool,
+    /// Per-loop acceptable-range override (pragma).
+    pub acceptable_range: Option<f64>,
+}
+
+impl RegionPlan {
+    /// A plan for a region the pass left untouched (no PP body, nothing
+    /// deployable) — what the runtime assumes for ids it has no record of.
+    pub fn unprotected(region: u32) -> Self {
+        RegionPlan {
+            region,
+            has_body: false,
+            memoizable: false,
+            acceptable_range: None,
+        }
+    }
+}
+
+/// The full per-module plan: one entry per protected region.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProtectionPlan {
+    /// Per-region decisions, in no particular order (ids may be sparse).
+    pub regions: Vec<RegionPlan>,
+}
+
+impl ProtectionPlan {
+    /// The plan for one region id, if the pass recorded one.
+    pub fn region(&self, id: u32) -> Option<&RegionPlan> {
+        self.regions.iter().find(|r| r.region == id)
+    }
+
+    /// One past the highest region id mentioned (the runtime's region
+    /// table size).
+    pub fn num_regions(&self) -> u32 {
+        self.regions
+            .iter()
+            .map(|r| r.region)
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_sizing() {
+        let plan = ProtectionPlan {
+            regions: vec![
+                RegionPlan {
+                    region: 2,
+                    has_body: true,
+                    memoizable: false,
+                    acceptable_range: Some(0.5),
+                },
+                RegionPlan::unprotected(0),
+            ],
+        };
+        assert_eq!(plan.num_regions(), 3);
+        assert!(plan.region(2).unwrap().has_body);
+        assert!(!plan.region(0).unwrap().has_body);
+        assert!(plan.region(1).is_none());
+        assert_eq!(ProtectionPlan::default().num_regions(), 0);
+    }
+}

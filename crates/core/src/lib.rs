@@ -21,6 +21,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`ProtectionPlan`] | `rskip-core` | compiler↔runtime plan types, parallel utilities |
 //! | [`ir`] | `rskip-ir` | typed register IR, builder, verifier, parser |
 //! | [`analysis`] | `rskip-analysis` | CFG, dominators, loops, slices, candidates |
 //! | [`passes`] | `rskip-passes` | SWIFT, SWIFT-R, outliner, RSkip transform |
@@ -35,7 +36,7 @@
 //! ```
 //! use rskip::exec::{Machine, NoopHooks};
 //! use rskip::passes::{protect, Scheme};
-//! use rskip::runtime::{PredictionRuntime, RegionInit, RuntimeConfig};
+//! use rskip::runtime::{PredictionRuntime, RuntimeConfig};
 //! use rskip::workloads::{benchmark_by_name, SizeProfile};
 //!
 //! // 1. A workload (or build your own module with rskip::ir).
@@ -47,13 +48,7 @@
 //! let protected = protect(&module, Scheme::RSkip);
 //!
 //! // 3. Attach the prediction runtime and run.
-//! let inits: Vec<RegionInit> = protected.regions.iter().map(|r| RegionInit {
-//!     region: r.region.0,
-//!     has_body: r.body_fn.is_some(),
-//!     memoizable: r.memoizable,
-//!     acceptable_range: r.acceptable_range,
-//! }).collect();
-//! let rt = PredictionRuntime::new(&inits, RuntimeConfig::with_ar(0.2));
+//! let rt = PredictionRuntime::from_plan(&protected.plan(), RuntimeConfig::with_ar(0.2));
 //! let mut machine = Machine::new(&protected.module, rt);
 //! input.apply(&mut machine);
 //! let outcome = machine.run("main", &[]);
@@ -73,11 +68,14 @@ pub use rskip_predict as predict;
 pub use rskip_runtime as runtime;
 pub use rskip_workloads as workloads;
 
+pub use rskip_core::{ProtectionPlan, RegionPlan};
+
 use rskip_passes::Protected;
 use rskip_runtime::RegionInit;
 
 /// Converts a protected build's region specs into runtime init records —
-/// the glue every deployment needs.
+/// the glue every deployment needs. Equivalent to `p.plan().regions`;
+/// [`ProtectionPlan`] is the compiler↔runtime handoff type.
 ///
 /// # Example
 ///
@@ -91,13 +89,5 @@ use rskip_runtime::RegionInit;
 /// assert_eq!(inits.len(), p.regions.len());
 /// ```
 pub fn region_inits(p: &Protected) -> Vec<RegionInit> {
-    p.regions
-        .iter()
-        .map(|r| RegionInit {
-            region: r.region.0,
-            has_body: r.body_fn.is_some(),
-            memoizable: r.memoizable,
-            acceptable_range: r.acceptable_range,
-        })
-        .collect()
+    p.plan().regions
 }

@@ -1,5 +1,11 @@
 //! The runtime-hooks interface between the interpreter and the RSkip
 //! prediction runtime.
+//!
+//! The protocol is deliberately predictor-agnostic: intrinsics speak only
+//! in regions, iterations and pending work, never in terms of a specific
+//! prediction model. A runtime backed by one predictor or by a whole
+//! fallback chain (`rskip-predict`'s `Chain`) implements the same hooks
+//! unchanged.
 
 use rskip_ir::{Intrinsic, Value};
 

@@ -19,6 +19,7 @@ use rskip_runtime::{PredictionRuntime, RuntimeConfig};
 use rskip_workloads::benchmark_by_name;
 
 use crate::build::{region_inits, ArSetting, BenchSetup, EvalOptions};
+use crate::experiment::Engine;
 use crate::report::{percent, ratio, TextTable};
 
 /// Accuracy of each quantization strategy (fraction of training samples
@@ -186,7 +187,14 @@ pub fn run_detection(options: &EvalOptions) -> Vec<SchemeCost> {
 
 /// Runs the width sensitivity sweep on conv1d.
 pub fn run_width(options: &EvalOptions) -> Vec<WidthPoint> {
-    let setup = BenchSetup::prepare(benchmark_by_name("conv1d").expect("registry"), options);
+    run_width_with(
+        &BenchSetup::prepare(benchmark_by_name("conv1d").expect("registry"), options),
+        options,
+    )
+}
+
+/// Runs the width sensitivity sweep on a prepared conv1d setup.
+fn run_width_with(setup: &BenchSetup, options: &EvalOptions) -> Vec<WidthPoint> {
     let input = setup.test_input();
     let ar100 = ArSetting { percent: 100 };
 
@@ -296,14 +304,22 @@ pub fn run_recovery(options: &EvalOptions, runs: u32) -> Vec<RecoveryPoint> {
     out
 }
 
-/// Runs all ablations.
-pub fn run(options: &EvalOptions) -> Ablations {
+/// Runs all ablations through a shared [`Engine`] (the width sweep
+/// reuses the engine's cached conv1d setup; the other studies build raw
+/// modules, not setups).
+pub fn run_with(engine: &Engine) -> Ablations {
+    let options = engine.options();
     Ablations {
         quantization: run_quantization(options),
         detection: run_detection(options),
-        width: run_width(options),
+        width: run_width_with(&engine.setup("conv1d"), options),
         recovery: run_recovery(options, 300),
     }
+}
+
+/// Runs all ablations.
+pub fn run(options: &EvalOptions) -> Ablations {
+    run_with(&Engine::new(options.clone()))
 }
 
 impl Ablations {

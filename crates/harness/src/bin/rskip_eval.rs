@@ -95,43 +95,44 @@ fn main() {
         }
     };
     let options = EvalOptions::at_size(args.size);
+    // One engine per invocation: every figure shares the prepared
+    // setups, so `all` compiles/trains each benchmark exactly once.
+    let engine = rskip_harness::Engine::new(options.clone());
 
     match args.command.as_str() {
-        "table1" => print!("{}", rskip_harness::table1::render(args.size)),
+        "table1" => print!("{}", rskip_harness::table1::render_with(&engine)),
         "fig2" => {
-            let fig = rskip_harness::fig2::run(&options);
+            let fig = rskip_harness::fig2::run_with(&engine);
             save_json(&args.out, "fig2", &fig);
             print!("{}", fig.render());
         }
         "fig7" => {
-            let fig = rskip_harness::fig7::run(&options);
+            let fig = rskip_harness::fig7::run_with(&engine);
             save_json(&args.out, "fig7", &fig);
             print!("{}", fig.render());
         }
         "fig8a" => {
-            let fig = rskip_harness::fig8::run_8a(&options);
+            let fig = rskip_harness::fig8::run_8a_with(&engine);
             save_json(&args.out, "fig8a", &fig);
             print!("{}", fig.render());
         }
         "fig8b" => {
-            let fig = rskip_harness::fig8::run_8b(&options, args.inputs);
+            let fig = rskip_harness::fig8::run_8b_with(&engine, args.inputs);
             save_json(&args.out, "fig8b", &fig);
             print!("{}", fig.render());
         }
         "fig9" => {
-            let fig = rskip_harness::fig9::run(&options, args.runs);
+            let fig = rskip_harness::fig9::run_with(&engine, args.runs);
             save_json(&args.out, "fig9", &fig);
             print!("{}", fig.render());
         }
         "tradeoff" => {
-            let fig7 = rskip_harness::fig7::run(&options);
-            let fig9 = rskip_harness::fig9::run(&options, args.runs);
-            let t = rskip_harness::tradeoff::join(&fig7, &fig9);
+            let t = rskip_harness::tradeoff::run_with(&engine, args.runs);
             save_json(&args.out, "tradeoff", &t);
             print!("{}", t.render());
         }
         "ablations" => {
-            let a = rskip_harness::ablations::run(&options);
+            let a = rskip_harness::ablations::run_with(&engine);
             save_json(&args.out, "ablations", &a);
             print!("{}", a.render());
         }
@@ -141,24 +142,24 @@ fn main() {
             print!("{}", c.render());
         }
         "all" => {
-            print!("{}", rskip_harness::table1::render(args.size));
+            print!("{}", rskip_harness::table1::render_with(&engine));
             println!();
-            let fig2 = rskip_harness::fig2::run(&options);
+            let fig2 = rskip_harness::fig2::run_with(&engine);
             save_json(&args.out, "fig2", &fig2);
             print!("{}", fig2.render());
             println!();
-            let fig7 = rskip_harness::fig7::run(&options);
+            let fig7 = rskip_harness::fig7::run_with(&engine);
             save_json(&args.out, "fig7", &fig7);
             print!("{}", fig7.render());
-            let fig8a = rskip_harness::fig8::run_8a(&options);
+            let fig8a = rskip_harness::fig8::run_8a_with(&engine);
             save_json(&args.out, "fig8a", &fig8a);
             print!("{}", fig8a.render());
             println!();
-            let fig8b = rskip_harness::fig8::run_8b(&options, args.inputs);
+            let fig8b = rskip_harness::fig8::run_8b_with(&engine, args.inputs);
             save_json(&args.out, "fig8b", &fig8b);
             print!("{}", fig8b.render());
             println!();
-            let fig9 = rskip_harness::fig9::run(&options, args.runs);
+            let fig9 = rskip_harness::fig9::run_with(&engine, args.runs);
             save_json(&args.out, "fig9", &fig9);
             print!("{}", fig9.render());
             println!();
@@ -170,7 +171,7 @@ fn main() {
             save_json(&args.out, "cost_ratio", &c);
             print!("{}", c.render());
             println!();
-            let a = rskip_harness::ablations::run(&options);
+            let a = rskip_harness::ablations::run_with(&engine);
             save_json(&args.out, "ablations", &a);
             print!("{}", a.render());
         }

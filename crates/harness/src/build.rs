@@ -13,7 +13,7 @@ use rskip_runtime::{
 use rskip_workloads::{Benchmark, InputSet, SizeProfile};
 
 /// One acceptable-range setting (the paper's AR20..AR100).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize)]
 pub struct ArSetting {
     /// Relative difference threshold in percent.
     pub percent: u32,
@@ -87,17 +87,10 @@ pub struct BenchSetup {
     pub options: EvalOptions,
 }
 
-/// Converts pass-driver region specs into runtime init records.
+/// Converts pass-driver region specs into runtime init records (the
+/// shared [`ProtectionPlan`](rskip_core::ProtectionPlan) regions).
 pub fn region_inits(p: &Protected) -> Vec<RegionInit> {
-    p.regions
-        .iter()
-        .map(|r| RegionInit {
-            region: r.region.0,
-            has_body: r.body_fn.is_some(),
-            memoizable: r.memoizable,
-            acceptable_range: r.acceptable_range,
-        })
-        .collect()
+    p.plan().regions
 }
 
 impl BenchSetup {

@@ -17,8 +17,10 @@
 //! when set (the conventional knob, honored even though the pool is
 //! hand-rolled `std::thread::scope`), else from
 //! `std::thread::available_parallelism`.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! The deterministic worker pool itself lives in
+//! [`rskip_core::parallel`] so every layer shares one implementation;
+//! the utilities are re-exported here for compatibility.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -47,92 +49,7 @@ pub fn trial_seed(seed0: u64, trial: u32) -> u64 {
     z ^ (z >> 31)
 }
 
-fn parse_thread_override(v: &str) -> Option<usize> {
-    match v.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Some(n),
-        _ => None,
-    }
-}
-
-/// Worker count: `RAYON_NUM_THREADS` if set to a positive integer, else
-/// the machine's available parallelism.
-#[must_use]
-pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Some(n) = parse_thread_override(&v) {
-            return n;
-        }
-    }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// Computes `f(0..n)` on `threads` scoped workers (dynamic work-stealing
-/// by atomic index) and returns the results **in index order** — the
-/// output is independent of scheduling.
-pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let threads = threads.min(n);
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, v) in h.join().expect("campaign worker panicked") {
-                slots[i] = Some(v);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index computed"))
-        .collect()
-}
-
-/// Computes `f(i, items[i])` on `threads` scoped workers, passing each
-/// item **by value**, and returns the results in index order. This is
-/// [`parallel_map_indexed`] for non-`Sync` items (e.g.
-/// `Box<dyn Benchmark>`): each slot is handed to exactly one worker.
-pub fn parallel_map_into<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
-where
-    T: Send,
-    U: Send,
-    F: Fn(usize, T) -> U + Sync,
-{
-    let slots: Vec<std::sync::Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|t| std::sync::Mutex::new(Some(t)))
-        .collect();
-    parallel_map_indexed(slots.len(), threads, |i| {
-        let item = slots[i]
-            .lock()
-            .expect("slot lock")
-            .take()
-            .expect("each slot taken once");
-        f(i, item)
-    })
-}
+pub use rskip_core::parallel::{num_threads, parallel_map_indexed, parallel_map_into};
 
 /// Outcome-class counts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
@@ -396,22 +313,6 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, trial_seed(7, 0));
-    }
-
-    #[test]
-    fn thread_override_parsing() {
-        assert_eq!(parse_thread_override("4"), Some(4));
-        assert_eq!(parse_thread_override(" 2 "), Some(2));
-        assert_eq!(parse_thread_override("0"), None);
-        assert_eq!(parse_thread_override("lots"), None);
-    }
-
-    #[test]
-    fn parallel_map_preserves_index_order() {
-        for threads in [1, 2, 5] {
-            let out = parallel_map_indexed(17, threads, |i| i * i);
-            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
-        }
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! The unified experiment engine.
+//!
+//! Every figure used to build its own [`BenchSetup`]s, so `rskip-eval
+//! all` compiled, profiled and trained each benchmark once *per figure*.
+//! The engine fixes that with two pieces:
+//!
+//! * [`Engine`] — a concurrent cache of prepared setups keyed by
+//!   benchmark name. Each benchmark is built and trained at most once
+//!   per engine, no matter how many figures share it.
+//! * [`Sweep`] — a declarative experiment grid: benchmarks ×
+//!   [`SchemeVariant`]s, run either as timed single executions
+//!   ([`Sweep::timed`]) or as fault-injection campaigns
+//!   ([`Sweep::campaigns`]). The figures are thin projections of sweep
+//!   results into their historical shapes, so rendered output is
+//!   unchanged.
+//!
+//! Determinism: a sweep's numbers depend only on the options and the
+//! seeds (campaign seeds are derived per (benchmark, scheme, runs)
+//! exactly as before), never on scheduling — the engine parallelizes
+//! with the same deterministic worker pool the campaigns use.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+use rskip_exec::{NoopHooks, RunOutcome};
+
+use crate::build::{ArSetting, BenchSetup, EvalOptions};
+use crate::campaign::{
+    num_threads, parallel_map_indexed, parallel_map_into, Campaign, CampaignStats,
+};
+use crate::AR_SETTINGS;
+
+/// Names of every registered benchmark, in registry order.
+pub fn all_bench_names() -> Vec<String> {
+    rskip_workloads::all_benchmarks()
+        .iter()
+        .map(|b| b.meta().name.to_string())
+        .collect()
+}
+
+/// A shared cache of prepared benchmark setups.
+///
+/// Cloning an `Arc<BenchSetup>` out of the cache is cheap; preparation
+/// (compile under every scheme, profile, train per AR) happens at most
+/// once per benchmark for the engine's lifetime.
+pub struct Engine {
+    options: EvalOptions,
+    cache: Mutex<BTreeMap<String, Arc<BenchSetup>>>,
+}
+
+impl Engine {
+    /// An engine with an empty cache.
+    pub fn new(options: EvalOptions) -> Self {
+        Engine {
+            options,
+            cache: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The options every setup is prepared with.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// The prepared setup for `name`, preparing it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown benchmark name.
+    pub fn setup(&self, name: &str) -> Arc<BenchSetup> {
+        if let Some(s) = self.lock().get(name) {
+            return Arc::clone(s);
+        }
+        let bench = rskip_workloads::benchmark_by_name(name)
+            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        let prepared = Arc::new(BenchSetup::prepare(bench, &self.options));
+        Arc::clone(self.lock().entry(name.to_string()).or_insert(prepared))
+    }
+
+    /// Prepares every missing setup among `names` in parallel.
+    pub fn warm(&self, names: &[String]) {
+        let missing: Vec<String> = {
+            let cache = self.lock();
+            let mut seen = std::collections::BTreeSet::new();
+            names
+                .iter()
+                .filter(|n| !cache.contains_key(*n) && seen.insert(n.as_str()))
+                .cloned()
+                .collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let prepared = parallel_map_into(missing, num_threads(), |_, name| {
+            let bench = rskip_workloads::benchmark_by_name(&name)
+                .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+            let setup = Arc::new(BenchSetup::prepare(bench, &self.options));
+            (name, setup)
+        });
+        let mut cache = self.lock();
+        for (name, setup) in prepared {
+            cache.entry(name).or_insert(setup);
+        }
+    }
+
+    /// Warms `names`, then maps `f` over their setups in parallel,
+    /// returning results in `names` order.
+    pub fn over<T: Send>(&self, names: &[String], f: impl Fn(&BenchSetup) -> T + Sync) -> Vec<T> {
+        self.warm(names);
+        parallel_map_indexed(names.len(), num_threads(), |i| f(&self.setup(&names[i])))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<BenchSetup>>> {
+        self.cache
+            .lock()
+            .unwrap_or_else(|_| panic!("engine cache poisoned by a panicking worker"))
+    }
+}
+
+/// One column of an experiment grid: a protection scheme as deployed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum SchemeVariant {
+    /// UNSAFE build (region markers only, no protection).
+    Unsafe,
+    /// SWIFT-R build.
+    SwiftR,
+    /// RSkip with the full predictor chain at the given AR.
+    RSkip(ArSetting),
+    /// RSkip with only the first-level predictor (Fig. 8a's DI-only
+    /// series).
+    RSkipDiOnly(ArSetting),
+}
+
+impl SchemeVariant {
+    /// The RSkip variants for every paper AR setting.
+    pub fn rskip_all_ars() -> Vec<SchemeVariant> {
+        AR_SETTINGS
+            .iter()
+            .map(|&a| SchemeVariant::RSkip(a))
+            .collect()
+    }
+}
+
+/// Per-scheme normalized metrics of one timed run.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct SchemeMetrics {
+    /// Execution time (cycles) / unprotected.
+    pub norm_time: f64,
+    /// Retired instructions / unprotected.
+    pub norm_instr: f64,
+    /// IPC / unprotected.
+    pub norm_ipc: f64,
+    /// Skip rate (0 for conventional schemes).
+    pub skip_rate: f64,
+}
+
+/// Runs `variant` once on `input` and normalizes against `base`.
+pub fn timed_cell(
+    setup: &BenchSetup,
+    variant: SchemeVariant,
+    input: &rskip_workloads::InputSet,
+    base: &RunOutcome,
+) -> SchemeMetrics {
+    let (out, skip) = match variant {
+        SchemeVariant::Unsafe => (
+            setup.run_timed_plain(&setup.unsafe_build.module, input),
+            0.0,
+        ),
+        SchemeVariant::SwiftR => (setup.run_timed_plain(&setup.swift_r.module, input), 0.0),
+        SchemeVariant::RSkip(ar) => setup.run_timed_rskip(setup.runtime(ar), input),
+        SchemeVariant::RSkipDiOnly(ar) => setup.run_timed_rskip(setup.runtime_di_only(ar), input),
+    };
+    SchemeMetrics {
+        norm_time: out.counters.cycles as f64 / base.counters.cycles as f64,
+        norm_instr: out.counters.retired as f64 / base.counters.retired as f64,
+        norm_ipc: out.counters.ipc() / base.counters.ipc(),
+        skip_rate: skip,
+    }
+}
+
+/// One benchmark's timed measurements across a sweep's schemes.
+#[derive(Clone, Debug, Serialize)]
+pub struct TimedRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// One cell per sweep scheme, in sweep order.
+    pub cells: Vec<(SchemeVariant, SchemeMetrics)>,
+}
+
+/// One benchmark's campaign results across a sweep's schemes.
+#[derive(Clone, Debug, Serialize)]
+pub struct CampaignRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// One cell per sweep scheme, in sweep order.
+    pub cells: Vec<(SchemeVariant, CampaignStats)>,
+}
+
+/// A declarative experiment grid: benchmarks × schemes.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// Benchmark names (rows).
+    pub benches: Vec<String>,
+    /// Scheme variants (columns).
+    pub schemes: Vec<SchemeVariant>,
+}
+
+impl Sweep {
+    /// A sweep over explicit benchmarks and schemes.
+    pub fn new(benches: Vec<String>, schemes: Vec<SchemeVariant>) -> Self {
+        Sweep { benches, schemes }
+    }
+
+    /// A sweep over every registered benchmark.
+    pub fn all_benches(schemes: Vec<SchemeVariant>) -> Self {
+        Sweep::new(all_bench_names(), schemes)
+    }
+
+    /// Runs each (benchmark, scheme) cell as one timed execution on the
+    /// benchmark's default test input, normalized to the unprotected
+    /// build. Benchmarks run in parallel; each benchmark's schemes run
+    /// in sweep order.
+    pub fn timed(&self, engine: &Engine) -> Vec<TimedRow> {
+        engine.over(&self.benches, |setup| {
+            let input = setup.test_input();
+            let base = setup.run_timed_plain(&setup.unprotected, &input);
+            TimedRow {
+                bench: setup.bench.meta().name.to_string(),
+                cells: self
+                    .schemes
+                    .iter()
+                    .map(|&v| (v, timed_cell(setup, v, &input, &base)))
+                    .collect(),
+            }
+        })
+    }
+
+    /// Runs each (benchmark, scheme) cell as a `runs`-trial
+    /// fault-injection campaign. Seeds are derived per (benchmark,
+    /// scheme, runs), so results are independent of scheduling and of
+    /// which other cells the sweep contains.
+    pub fn campaigns(&self, engine: &Engine, runs: u32) -> Vec<CampaignRow> {
+        engine.over(&self.benches, |setup| {
+            let input = setup.test_input();
+            let golden = setup.bench.golden(setup.options.size, &input);
+            let name = setup.bench.meta().name;
+            let cells = self
+                .schemes
+                .iter()
+                .map(|&v| (v, run_campaign_cell(setup, v, &input, &golden, runs)))
+                .collect();
+            CampaignRow {
+                bench: name.to_string(),
+                cells,
+            }
+        })
+    }
+}
+
+/// Campaign seed component per scheme (stable across sweeps: the seed a
+/// (benchmark, scheme) cell uses never depends on the sweep around it).
+fn scheme_seed(v: SchemeVariant) -> u64 {
+    match v {
+        SchemeVariant::Unsafe => 1,
+        SchemeVariant::SwiftR => 2,
+        SchemeVariant::RSkip(ar) => 100 + u64::from(ar.percent),
+        SchemeVariant::RSkipDiOnly(ar) => 300 + u64::from(ar.percent),
+    }
+}
+
+/// Campaign seed component per benchmark name.
+fn name_seed(name: &str) -> u64 {
+    name.bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)))
+}
+
+/// Runs one (benchmark, scheme) fault-injection campaign cell with the
+/// cell's deterministic seed.
+pub fn run_campaign_cell(
+    setup: &BenchSetup,
+    variant: SchemeVariant,
+    input: &rskip_workloads::InputSet,
+    golden: &[rskip_ir::Value],
+    runs: u32,
+) -> CampaignStats {
+    let output = setup.bench.output_global();
+    let seed0 =
+        0x51_F0 ^ (runs as u64) << 32 ^ scheme_seed(variant) ^ name_seed(setup.bench.meta().name);
+
+    match variant {
+        SchemeVariant::RSkip(ar) => {
+            let make = || setup.runtime(ar);
+            let campaign = Campaign::new(
+                &setup.rskip.module,
+                input,
+                golden,
+                output,
+                make,
+                seed0,
+                runs,
+            );
+            campaign.run(make, |h| h.total_faults_recovered())
+        }
+        SchemeVariant::RSkipDiOnly(ar) => {
+            let make = || setup.runtime_di_only(ar);
+            let campaign = Campaign::new(
+                &setup.rskip.module,
+                input,
+                golden,
+                output,
+                make,
+                seed0,
+                runs,
+            );
+            campaign.run(make, |h| h.total_faults_recovered())
+        }
+        SchemeVariant::Unsafe | SchemeVariant::SwiftR => {
+            // SWIFT-R recovery is in-line voting; "handled" is not
+            // observable separately, and UNSAFE has no protection.
+            let module = match variant {
+                SchemeVariant::Unsafe => &setup.unsafe_build.module,
+                _ => &setup.swift_r.module,
+            };
+            let campaign = Campaign::new(module, input, golden, output, || NoopHooks, seed0, runs);
+            campaign.run(|| NoopHooks, |_| 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rskip_workloads::SizeProfile;
+
+    fn tiny_engine() -> Engine {
+        Engine::new(EvalOptions {
+            size: SizeProfile::Tiny,
+            train_seeds: vec![1000, 1001],
+            ..EvalOptions::default()
+        })
+    }
+
+    #[test]
+    fn engine_caches_setups() {
+        let engine = tiny_engine();
+        let a = engine.setup("conv1d");
+        let b = engine.setup("conv1d");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+    }
+
+    #[test]
+    fn timed_sweep_normalizes_against_unprotected() {
+        let engine = tiny_engine();
+        let sweep = Sweep::new(
+            vec!["conv1d".into()],
+            vec![
+                SchemeVariant::SwiftR,
+                SchemeVariant::RSkip(ArSetting { percent: 100 }),
+            ],
+        );
+        let rows = sweep.timed(&engine);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.bench, "conv1d");
+        let (v0, swift_r) = row.cells[0];
+        assert_eq!(v0, SchemeVariant::SwiftR);
+        assert!(swift_r.norm_time > 1.0, "SWIFT-R must cost something");
+        assert_eq!(swift_r.skip_rate, 0.0);
+        let (_, rskip) = row.cells[1];
+        assert!(rskip.skip_rate > 0.0, "RSkip must skip something");
+    }
+
+    #[test]
+    fn campaign_sweep_is_reproducible_and_sweep_independent() {
+        let engine = tiny_engine();
+        let wide = Sweep::new(
+            vec!["conv1d".into()],
+            vec![SchemeVariant::Unsafe, SchemeVariant::SwiftR],
+        );
+        let narrow = Sweep::new(vec!["conv1d".into()], vec![SchemeVariant::SwiftR]);
+        let wide_rows = wide.campaigns(&engine, 12);
+        let narrow_rows = narrow.campaigns(&engine, 12);
+        // The SWIFT-R cell is identical whether or not UNSAFE ran too.
+        assert_eq!(wide_rows[0].cells[1].1, narrow_rows[0].cells[0].1);
+        assert_eq!(wide_rows[0].cells[1].1.counts.total(), 12);
+    }
+}

@@ -79,16 +79,16 @@ pub fn run_bench(setup: &BenchSetup) -> Fig2Row {
     }
 }
 
+/// Runs Figure 2 through a shared [`Engine`](crate::experiment::Engine).
+pub fn run_with(engine: &crate::experiment::Engine) -> Fig2 {
+    let names = crate::experiment::all_bench_names();
+    let rows = engine.over(&names, run_bench);
+    Fig2 { rows }
+}
+
 /// Runs Figure 2 over all benchmarks.
 pub fn run(options: &EvalOptions) -> Fig2 {
-    let rows = rskip_workloads::all_benchmarks()
-        .into_iter()
-        .map(|b| {
-            let setup = BenchSetup::prepare(b, options);
-            run_bench(&setup)
-        })
-        .collect();
-    Fig2 { rows }
+    run_with(&crate::experiment::Engine::new(options.clone()))
 }
 
 impl Fig2 {

@@ -8,22 +8,11 @@
 use serde::Serialize;
 
 use crate::build::{ArSetting, BenchSetup, EvalOptions};
-use crate::campaign::{num_threads, parallel_map_into};
+use crate::experiment::{Engine, SchemeVariant, Sweep, TimedRow};
 use crate::report::{percent, ratio, TextTable};
 use crate::AR_SETTINGS;
 
-/// Per-scheme normalized metrics.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
-pub struct SchemeMetrics {
-    /// Execution time (cycles) / unprotected.
-    pub norm_time: f64,
-    /// Retired instructions / unprotected.
-    pub norm_instr: f64,
-    /// IPC / unprotected.
-    pub norm_ipc: f64,
-    /// Skip rate (0 for conventional schemes).
-    pub skip_rate: f64,
-}
+pub use crate::experiment::SchemeMetrics;
 
 /// One benchmark's Figure-7 measurements.
 #[derive(Clone, Debug, Serialize)]
@@ -43,45 +32,57 @@ pub struct Fig7 {
     pub rows: Vec<Fig7Row>,
 }
 
-/// Runs Figure 7 for one prepared benchmark.
-pub fn run_bench(setup: &BenchSetup) -> Fig7Row {
-    let input = setup.test_input();
-    let base = setup.run_timed_plain(&setup.unprotected, &input);
-    let base_time = base.counters.cycles as f64;
-    let base_instr = base.counters.retired as f64;
-    let base_ipc = base.counters.ipc();
+/// The sweep schemes of Figure 7, in column order.
+fn schemes() -> Vec<SchemeVariant> {
+    let mut v = vec![SchemeVariant::SwiftR];
+    v.extend(SchemeVariant::rskip_all_ars());
+    v
+}
 
-    let metrics = |out: &rskip_exec::RunOutcome, skip: f64| SchemeMetrics {
-        norm_time: out.counters.cycles as f64 / base_time,
-        norm_instr: out.counters.retired as f64 / base_instr,
-        norm_ipc: out.counters.ipc() / base_ipc,
-        skip_rate: skip,
-    };
-
-    let sr = setup.run_timed_plain(&setup.swift_r.module, &input);
-    let swift_r = metrics(&sr, 0.0);
-
-    let mut rskip = Vec::new();
-    for ar in AR_SETTINGS {
-        let (out, skip) = setup.run_timed_rskip(setup.runtime(ar), &input);
-        rskip.push((ar.percent, metrics(&out, skip)));
-    }
-
+fn from_timed_row(row: TimedRow) -> Fig7Row {
+    let mut cells = row.cells.into_iter();
+    let (_, swift_r) = cells.next().expect("SWIFT-R column");
+    let rskip = cells
+        .map(|(v, m)| match v {
+            SchemeVariant::RSkip(ar) => (ar.percent, m),
+            other => panic!("unexpected fig7 column {other:?}"),
+        })
+        .collect();
     Fig7Row {
-        bench: setup.bench.meta().name.to_string(),
+        bench: row.bench,
         swift_r,
         rskip,
     }
 }
 
+/// Runs Figure 7 for one prepared benchmark.
+pub fn run_bench(setup: &BenchSetup) -> Fig7Row {
+    let input = setup.test_input();
+    let base = setup.run_timed_plain(&setup.unprotected, &input);
+    from_timed_row(TimedRow {
+        bench: setup.bench.meta().name.to_string(),
+        cells: schemes()
+            .into_iter()
+            .map(|v| (v, crate::experiment::timed_cell(setup, v, &input, &base)))
+            .collect(),
+    })
+}
+
+/// Runs Figure 7 through a shared [`Engine`] (each benchmark is prepared
+/// at most once per engine).
+pub fn run_with(engine: &Engine) -> Fig7 {
+    let rows = Sweep::all_benches(schemes())
+        .timed(engine)
+        .into_iter()
+        .map(from_timed_row)
+        .collect();
+    Fig7 { rows }
+}
+
 /// Runs Figure 7 over all benchmarks in parallel (thread count from
 /// `RAYON_NUM_THREADS`, else available parallelism).
 pub fn run(options: &EvalOptions) -> Fig7 {
-    let rows = parallel_map_into(rskip_workloads::all_benchmarks(), num_threads(), |_, b| {
-        let setup = BenchSetup::prepare(b, options);
-        run_bench(&setup)
-    });
-    Fig7 { rows }
+    run_with(&Engine::new(options.clone()))
 }
 
 impl Fig7 {

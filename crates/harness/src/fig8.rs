@@ -7,8 +7,9 @@
 
 use serde::Serialize;
 
-use crate::build::{ArSetting, BenchSetup, EvalOptions};
+use crate::build::{ArSetting, EvalOptions};
 use crate::campaign::{num_threads, parallel_map_indexed};
+use crate::experiment::{Engine, SchemeVariant, Sweep};
 use crate::report::{percent, ratio, TextTable};
 use crate::AR_SETTINGS;
 
@@ -34,31 +35,41 @@ pub struct Fig8a {
     pub points: Vec<Fig8aPoint>,
 }
 
-/// Runs Fig. 8a (blackscholes ablation).
-///
-/// # Panics
-///
-/// Panics if the blackscholes benchmark is missing (registry bug).
-pub fn run_8a(options: &EvalOptions) -> Fig8a {
-    let bench = rskip_workloads::benchmark_by_name("blackscholes").expect("registry");
-    let setup = BenchSetup::prepare(bench, options);
-    let input = setup.test_input();
-    let base = setup.run_timed_plain(&setup.unprotected, &input);
-    let base_time = base.counters.cycles as f64;
-
-    let points = parallel_map_indexed(AR_SETTINGS.len(), num_threads(), |i| {
-        let ar = AR_SETTINGS[i];
-        let (di_out, di_skip) = setup.run_timed_rskip(setup.runtime_di_only(ar), &input);
-        let (full_out, full_skip) = setup.run_timed_rskip(setup.runtime(ar), &input);
-        Fig8aPoint {
-            ar: ar.percent,
-            di_time: di_out.counters.cycles as f64 / base_time,
-            di_skip,
-            full_time: full_out.counters.cycles as f64 / base_time,
-            full_skip,
-        }
-    });
+/// Runs Fig. 8a (blackscholes ablation) through a shared [`Engine`]:
+/// one sweep over blackscholes with interleaved DI-only / full-chain
+/// columns per AR.
+pub fn run_8a_with(engine: &Engine) -> Fig8a {
+    let schemes: Vec<SchemeVariant> = AR_SETTINGS
+        .iter()
+        .flat_map(|&ar| [SchemeVariant::RSkipDiOnly(ar), SchemeVariant::RSkip(ar)])
+        .collect();
+    let rows = Sweep::new(vec!["blackscholes".into()], schemes).timed(engine);
+    let row = rows.into_iter().next().expect("one blackscholes row");
+    let points = row
+        .cells
+        .chunks_exact(2)
+        .map(|pair| {
+            let (di_v, di) = pair[0];
+            let (full_v, full) = pair[1];
+            let ar = match (di_v, full_v) {
+                (SchemeVariant::RSkipDiOnly(a), SchemeVariant::RSkip(b)) if a == b => a,
+                other => panic!("unexpected fig8a column pair {other:?}"),
+            };
+            Fig8aPoint {
+                ar: ar.percent,
+                di_time: di.norm_time,
+                di_skip: di.skip_rate,
+                full_time: full.norm_time,
+                full_skip: full.skip_rate,
+            }
+        })
+        .collect();
     Fig8a { points }
+}
+
+/// Runs Fig. 8a (blackscholes ablation).
+pub fn run_8a(options: &EvalOptions) -> Fig8a {
+    run_8a_with(&Engine::new(options.clone()))
 }
 
 impl Fig8a {
@@ -110,14 +121,14 @@ pub struct Fig8b {
     pub points: Vec<Fig8bPoint>,
 }
 
-/// Runs Fig. 8b (lud input-diversity sweep) over `n_inputs` test inputs.
+/// Runs Fig. 8b (lud input-diversity sweep) through a shared [`Engine`].
 ///
-/// # Panics
-///
-/// Panics if the lud benchmark is missing (registry bug).
-pub fn run_8b(options: &EvalOptions, n_inputs: u32) -> Fig8b {
-    let bench = rskip_workloads::benchmark_by_name("lud").expect("registry");
-    let setup = BenchSetup::prepare(bench, options);
+/// The input axis is not a scheme grid — each point re-measures the same
+/// three builds on a fresh test input — so this stays a custom loop over
+/// the engine's cached lud setup.
+pub fn run_8b_with(engine: &Engine, n_inputs: u32) -> Fig8b {
+    let setup = engine.setup("lud");
+    let options = engine.options();
     let ar20 = ArSetting { percent: 20 };
 
     let points = parallel_map_indexed(n_inputs as usize, num_threads(), |i| {
@@ -135,6 +146,11 @@ pub fn run_8b(options: &EvalOptions, n_inputs: u32) -> Fig8b {
         }
     });
     Fig8b { points }
+}
+
+/// Runs Fig. 8b (lud input-diversity sweep) over `n_inputs` test inputs.
+pub fn run_8b(options: &EvalOptions, n_inputs: u32) -> Fig8b {
+    run_8b_with(&Engine::new(options.clone()), n_inputs)
 }
 
 impl Fig8b {

@@ -10,12 +10,10 @@
 
 use serde::Serialize;
 
-use rskip_exec::NoopHooks;
-use rskip_workloads::InputSet;
-
-use crate::build::{ArSetting, BenchSetup, EvalOptions};
+use crate::build::{BenchSetup, EvalOptions};
+use crate::campaign::CampaignStats;
 pub use crate::campaign::ClassCounts;
-use crate::campaign::{num_threads, parallel_map_into, Campaign, CampaignStats};
+use crate::experiment::{CampaignRow, Engine, SchemeVariant, Sweep};
 use crate::report::{percent, TextTable};
 use crate::AR_SETTINGS;
 
@@ -44,6 +42,24 @@ impl SchemeLabel {
             SchemeLabel::Unsafe => "UNSAFE".into(),
             SchemeLabel::SwiftR => "SWIFT-R".into(),
             SchemeLabel::Ar(p) => format!("AR{p}"),
+        }
+    }
+
+    fn variant(self) -> SchemeVariant {
+        match self {
+            SchemeLabel::Unsafe => SchemeVariant::Unsafe,
+            SchemeLabel::SwiftR => SchemeVariant::SwiftR,
+            SchemeLabel::Ar(p) => SchemeVariant::RSkip(crate::build::ArSetting { percent: p }),
+        }
+    }
+
+    fn from_variant(v: SchemeVariant) -> SchemeLabel {
+        match v {
+            SchemeVariant::Unsafe => SchemeLabel::Unsafe,
+            SchemeVariant::SwiftR => SchemeLabel::SwiftR,
+            SchemeVariant::RSkip(ar) | SchemeVariant::RSkipDiOnly(ar) => {
+                SchemeLabel::Ar(ar.percent)
+            }
         }
     }
 }
@@ -80,60 +96,16 @@ pub struct Fig9 {
     pub runs: u32,
 }
 
-/// Runs the campaign for one prepared benchmark.
-pub fn run_bench(setup: &BenchSetup, runs: u32) -> Fig9Row {
-    let input = setup.test_input();
-    let golden = setup.bench.golden(setup.options.size, &input);
-    let name = setup.bench.meta().name;
-
-    let mut cells = Vec::new();
-    for scheme in SchemeLabel::all() {
-        let cell = run_campaign(setup, scheme, &input, &golden, runs);
-        cells.push(cell);
-    }
-    Fig9Row {
-        bench: name.to_string(),
-        cells,
-    }
+/// The sweep schemes of Figure 9, in column order.
+fn schemes() -> Vec<SchemeVariant> {
+    SchemeLabel::all()
+        .into_iter()
+        .map(SchemeLabel::variant)
+        .collect()
 }
 
-fn run_campaign(
-    setup: &BenchSetup,
-    scheme: SchemeLabel,
-    input: &InputSet,
-    golden: &[rskip_ir::Value],
-    runs: u32,
-) -> Fig9Cell {
-    let output = setup.bench.output_global();
-    let seed0 =
-        0x51_F0 ^ (runs as u64) << 32 ^ scheme_seed(scheme) ^ name_seed(setup.bench.meta().name);
-
-    let stats: CampaignStats = match scheme {
-        SchemeLabel::Ar(p) => {
-            let make = || setup.runtime(ArSetting { percent: p });
-            let campaign = Campaign::new(
-                &setup.rskip.module,
-                input,
-                golden,
-                output,
-                make,
-                seed0,
-                runs,
-            );
-            campaign.run(make, |h| h.total_faults_recovered())
-        }
-        _ => {
-            // SWIFT-R recovery is in-line voting; "handled" is not
-            // observable separately, and UNSAFE has no protection.
-            let module = match scheme {
-                SchemeLabel::Unsafe => &setup.unsafe_build.module,
-                _ => &setup.swift_r.module,
-            };
-            let campaign = Campaign::new(module, input, golden, output, || NoopHooks, seed0, runs);
-            campaign.run(|| NoopHooks, |_| 0)
-        }
-    };
-
+fn cell_from(variant: SchemeVariant, stats: CampaignStats) -> Fig9Cell {
+    let scheme = SchemeLabel::from_variant(variant);
     Fig9Cell {
         scheme,
         counts: stats.counts,
@@ -148,28 +120,50 @@ fn run_campaign(
     }
 }
 
-fn scheme_seed(s: SchemeLabel) -> u64 {
-    match s {
-        SchemeLabel::Unsafe => 1,
-        SchemeLabel::SwiftR => 2,
-        SchemeLabel::Ar(p) => 100 + u64::from(p),
+fn from_campaign_row(row: CampaignRow) -> Fig9Row {
+    Fig9Row {
+        bench: row.bench,
+        cells: row
+            .cells
+            .into_iter()
+            .map(|(v, s)| cell_from(v, s))
+            .collect(),
     }
 }
 
-fn name_seed(name: &str) -> u64 {
-    name.bytes()
-        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)))
+/// Runs the campaign for one prepared benchmark.
+pub fn run_bench(setup: &BenchSetup, runs: u32) -> Fig9Row {
+    let input = setup.test_input();
+    let golden = setup.bench.golden(setup.options.size, &input);
+    Fig9Row {
+        bench: setup.bench.meta().name.to_string(),
+        cells: schemes()
+            .into_iter()
+            .map(|v| {
+                cell_from(
+                    v,
+                    crate::experiment::run_campaign_cell(setup, v, &input, &golden, runs),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Runs the campaign through a shared [`Engine`] (each benchmark is
+/// prepared at most once per engine).
+pub fn run_with(engine: &Engine, runs: u32) -> Fig9 {
+    let rows = Sweep::all_benches(schemes())
+        .campaigns(engine, runs)
+        .into_iter()
+        .map(from_campaign_row)
+        .collect();
+    Fig9 { rows, runs }
 }
 
 /// Runs the campaign over all benchmarks in parallel (thread count from
 /// `RAYON_NUM_THREADS`, else available parallelism).
 pub fn run(options: &EvalOptions, runs: u32) -> Fig9 {
-    let benches = rskip_workloads::all_benchmarks();
-    let rows = parallel_map_into(benches, num_threads(), |_, b| {
-        let setup = BenchSetup::prepare(b, options);
-        run_bench(&setup, runs)
-    });
-    Fig9 { rows, runs }
+    run_with(&Engine::new(options.clone()), runs)
 }
 
 impl Fig9 {

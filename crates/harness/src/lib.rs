@@ -34,6 +34,7 @@ pub mod ablations;
 pub mod build;
 pub mod campaign;
 pub mod cost_ratio;
+pub mod experiment;
 pub mod fig2;
 pub mod fig7;
 pub mod fig8;
@@ -44,6 +45,7 @@ pub mod tradeoff;
 
 pub use build::{ArSetting, BenchSetup, EvalOptions};
 pub use campaign::{Campaign, CampaignStats, ClassCounts};
+pub use experiment::{Engine, SchemeVariant, Sweep};
 pub use report::TextTable;
 
 /// The paper's four acceptable-range settings.

@@ -4,6 +4,13 @@ use crate::campaign::{num_threads, parallel_map_into};
 use crate::report::TextTable;
 use rskip_workloads::{all_benchmarks, SizeProfile};
 
+/// Renders Table 1 through a shared [`Engine`](crate::experiment::Engine)
+/// (the table reads workload metadata only, so it needs just the
+/// engine's size profile — no setups are prepared).
+pub fn render_with(engine: &crate::experiment::Engine) -> String {
+    render(engine.options().size)
+}
+
 /// Renders the Table-1 equivalent for our workloads at `size`.
 pub fn render(size: SizeProfile) -> String {
     let mut t = TextTable::new(

@@ -4,6 +4,7 @@
 use serde::Serialize;
 
 use crate::build::{ArSetting, EvalOptions};
+use crate::experiment::Engine;
 use crate::fig7::Fig7;
 use crate::fig9::{Fig9, SchemeLabel};
 use crate::report::{percent, ratio, TextTable};
@@ -47,11 +48,18 @@ pub fn join(fig7: &Fig7, fig9: &Fig9) -> Tradeoff {
     Tradeoff { points }
 }
 
+/// Runs both underlying experiments through a shared [`Engine`] (each
+/// benchmark is built and trained once, not once per figure) and joins
+/// them.
+pub fn run_with(engine: &Engine, runs: u32) -> Tradeoff {
+    let fig7 = crate::fig7::run_with(engine);
+    let fig9 = crate::fig9::run_with(engine, runs);
+    join(&fig7, &fig9)
+}
+
 /// Runs both underlying experiments and joins them.
 pub fn run(options: &EvalOptions, runs: u32) -> Tradeoff {
-    let fig7 = crate::fig7::run(options);
-    let fig9 = crate::fig9::run(options, runs);
-    join(&fig7, &fig9)
+    run_with(&Engine::new(options.clone()), runs)
 }
 
 impl Tradeoff {

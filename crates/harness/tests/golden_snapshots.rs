@@ -1,0 +1,87 @@
+//! Golden snapshot tests: the rendered small-profile figure output must
+//! stay byte-for-byte identical across refactors of the predictor chain
+//! and the experiment engine.
+//!
+//! The goldens under `tests/golden/` were captured from `rskip-eval`
+//! before the chain/engine rewrite; any diff here means observable
+//! behaviour changed. Regenerate deliberately with e.g.
+//! `target/release/rskip-eval fig7 --size small > crates/harness/tests/golden/fig7_small.txt`.
+
+use rskip_harness::build::EvalOptions;
+use rskip_harness::{fig7, fig8, fig9, table1, tradeoff, Engine};
+use rskip_workloads::SizeProfile;
+
+fn small_engine() -> Engine {
+    Engine::new(EvalOptions::at_size(SizeProfile::Small))
+}
+
+fn assert_golden(actual: &str, expected: &str, what: &str) {
+    assert!(
+        actual == expected,
+        "{what} drifted from its golden snapshot.\n--- golden ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn table1_small_matches_golden() {
+    assert_golden(
+        &table1::render(SizeProfile::Small),
+        include_str!("golden/table1_small.txt"),
+        "table1 --size small",
+    );
+}
+
+#[test]
+fn fig7_and_fig8_small_match_goldens() {
+    // One engine: fig7, fig8a and fig8b share prepared setups
+    // (blackscholes and lud are built once).
+    let engine = small_engine();
+    assert_golden(
+        &fig7::run_with(&engine).render(),
+        include_str!("golden/fig7_small.txt"),
+        "fig7 --size small",
+    );
+    assert_golden(
+        &fig8::run_8a_with(&engine).render(),
+        include_str!("golden/fig8a_small.txt"),
+        "fig8a --size small",
+    );
+    assert_golden(
+        &fig8::run_8b_with(&engine, 6).render(),
+        include_str!("golden/fig8b_small_6.txt"),
+        "fig8b --size small --inputs 6",
+    );
+}
+
+// The fault-injection figures re-run every benchmark 40 times per scheme;
+// that is minutes of work in the debug profile, so they are opt-in:
+// `cargo test -p rskip-harness --release -- --ignored`.
+
+#[test]
+#[ignore = "fault-injection campaigns are slow in debug builds; run with --ignored"]
+fn fig9_and_tradeoff_small_match_goldens() {
+    let engine = small_engine();
+    let f7 = fig7::run_with(&engine);
+    let f9 = fig9::run_with(&engine, 40);
+    assert_golden(
+        &f9.render(),
+        include_str!("golden/fig9_small_40.txt"),
+        "fig9 --size small --runs 40",
+    );
+    assert_golden(
+        &tradeoff::join(&f7, &f9).render(),
+        include_str!("golden/tradeoff_small_40.txt"),
+        "tradeoff --size small --runs 40",
+    );
+}
+
+#[test]
+#[ignore = "recovery ablation runs 300 campaigns; run with --ignored"]
+fn ablations_small_matches_golden() {
+    let engine = small_engine();
+    assert_golden(
+        &rskip_harness::ablations::run_with(&engine).render(),
+        include_str!("golden/ablations_small.txt"),
+        "ablations --size small",
+    );
+}

@@ -242,16 +242,13 @@ pub enum Intrinsic {
     /// `detect()` — SWIFT (detection-only) mismatch handler: records a
     /// detected, unrecoverable fault and traps.
     Detect,
-    /// `sig_tick(region)` — periodic observation point for run-time
-    /// management: regenerate the context signature and adjust TP.
-    SigTick,
     /// `print(value)` — debugging aid; ignored by the timing model.
     Print,
 }
 
 impl Intrinsic {
     /// All intrinsics.
-    pub const ALL: [Intrinsic; 13] = [
+    pub const ALL: [Intrinsic; 12] = [
         Intrinsic::RegionEnter,
         Intrinsic::RegionExit,
         Intrinsic::SelectVersion,
@@ -263,7 +260,6 @@ impl Intrinsic {
         Intrinsic::ResolveOk,
         Intrinsic::ResolveFault,
         Intrinsic::Detect,
-        Intrinsic::SigTick,
         Intrinsic::Print,
     ];
 
@@ -281,7 +277,6 @@ impl Intrinsic {
             Intrinsic::ResolveOk => "resolve_ok",
             Intrinsic::ResolveFault => "resolve_fault",
             Intrinsic::Detect => "detect",
-            Intrinsic::SigTick => "sig_tick",
             Intrinsic::Print => "print",
         }
     }

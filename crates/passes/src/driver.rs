@@ -2,6 +2,7 @@
 //! into a protected one (paper Fig. 3's compiler box).
 
 use rskip_analysis::{find_candidates, CandidateKind, DetectConfig};
+use rskip_core::{ProtectionPlan, RegionPlan};
 use rskip_ir::{Module, RegionId, Ty};
 
 use crate::outline::outline_body;
@@ -64,6 +65,18 @@ pub struct RegionSpec {
     pub estimated_cost: f64,
 }
 
+impl RegionSpec {
+    /// The runtime-facing slice of this spec as a shared [`RegionPlan`].
+    pub fn plan(&self) -> RegionPlan {
+        RegionPlan {
+            region: self.region.0,
+            has_body: self.body_fn.is_some(),
+            memoizable: self.memoizable,
+            acceptable_range: self.acceptable_range,
+        }
+    }
+}
+
 /// A protected build: the transformed module plus region metadata.
 #[derive(Clone, Debug)]
 pub struct Protected {
@@ -73,6 +86,17 @@ pub struct Protected {
     pub regions: Vec<RegionSpec>,
     /// The scheme that was applied.
     pub scheme: Scheme,
+}
+
+impl Protected {
+    /// The [`ProtectionPlan`] to hand to the prediction runtime: one
+    /// [`RegionPlan`] per region, carrying exactly the metadata the
+    /// runtime consumes.
+    pub fn plan(&self) -> ProtectionPlan {
+        ProtectionPlan {
+            regions: self.regions.iter().map(RegionSpec::plan).collect(),
+        }
+    }
 }
 
 /// Protects `module` under `scheme` with default detection thresholds.

@@ -41,6 +41,7 @@ pub use cleanup::remove_unreachable_blocks;
 pub use driver::{protect, protect_with, Protected, RegionSpec, Scheme};
 pub use outline::{outline_body, OutlineError, OutlinedBody};
 pub use rskip::{apply_rskip, BodySource, RSkipError};
+pub use rskip_core::{ProtectionPlan, RegionPlan};
 pub use swift::apply_swift;
 pub use swift_r::apply_swift_r;
 pub use util::{add_region_markers, clone_loop_blocks};

@@ -1,0 +1,499 @@
+//! The predictor chain — the paper's ordered fallback (Fig. 4) as a
+//! combinator.
+//!
+//! A [`Chain`] owns an ordered list of [`Predictor`] links. Each element
+//! is offered to the first enabled link; when a link *rejects* an
+//! element (its own, or one it had buffered), the element cascades to
+//! the next enabled link, and an element rejected by the last link falls
+//! out of the chain as "re-compute". Acceptances are attributed to the
+//! link that produced them, which generalizes the historical
+//! `skipped_di` / `skipped_memo` counters to any number of links.
+//!
+//! The chain is itself a [`Predictor`], so chains nest.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::predictor::{Element, Predictor, Resolution};
+
+/// Per-link attribution counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkStats {
+    /// The link's [`Predictor::name`].
+    pub name: &'static str,
+    /// Elements offered to this link.
+    pub attempts: u64,
+    /// Elements this link accepted (re-computation skipped).
+    pub accepted: u64,
+    /// Whether the link is currently enabled.
+    pub enabled: bool,
+}
+
+/// The outcome of feeding or flushing the chain: every resolved element
+/// appears exactly once, either accepted (with the index of the
+/// accepting link) or rejected by the whole chain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChainOutcome {
+    /// `(sequence number, accepting link index)` per skipped element.
+    pub accepted: Vec<(u64, usize)>,
+    /// Sequence numbers no link accepted — re-computation territory.
+    pub rejected: Vec<u64>,
+    /// Modeled cost of the prediction attempts performed (sum of
+    /// [`Predictor::attempt_cost`] over every offer).
+    pub cost: u64,
+}
+
+impl ChainOutcome {
+    /// Elements resolved (accepted or rejected) by this outcome.
+    pub fn resolved(&self) -> usize {
+        self.accepted.len() + self.rejected.len()
+    }
+}
+
+impl From<ChainOutcome> for Resolution {
+    fn from(out: ChainOutcome) -> Resolution {
+        Resolution {
+            accepted: out.accepted.into_iter().map(|(s, _)| s).collect(),
+            rejected: out.rejected,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Link {
+    predictor: Box<dyn Predictor>,
+    enabled: bool,
+    attempts: u64,
+    accepted: u64,
+}
+
+/// An ordered fallback chain of predictors.
+#[derive(Clone, Debug, Default)]
+pub struct Chain {
+    links: Vec<Link>,
+    /// Elements deferred by a link, keyed by sequence number; the value
+    /// remembers which link is holding the element.
+    held: BTreeMap<u64, (usize, Element)>,
+}
+
+impl Chain {
+    /// An empty chain (every element is rejected).
+    pub fn new() -> Self {
+        Chain::default()
+    }
+
+    /// Appends a link; returns its index.
+    pub fn push(&mut self, predictor: Box<dyn Predictor>) -> usize {
+        self.links.push(Link {
+            predictor,
+            enabled: true,
+            attempts: 0,
+            accepted: 0,
+        });
+        self.links.len() - 1
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when the chain has no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Whether link `k` is enabled (false for out-of-range indices).
+    pub fn enabled(&self, k: usize) -> bool {
+        self.links.get(k).map(|l| l.enabled).unwrap_or(false)
+    }
+
+    /// Enables or disables link `k`. A disabled link receives no new
+    /// elements but still flushes the ones it holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn set_enabled(&mut self, k: usize, enabled: bool) {
+        self.links[k].enabled = enabled;
+    }
+
+    /// True while at least one link is enabled.
+    pub fn any_enabled(&self) -> bool {
+        self.links.iter().any(|l| l.enabled)
+    }
+
+    /// Per-link attribution counters, in chain order.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        self.links
+            .iter()
+            .map(|l| LinkStats {
+                name: l.predictor.name(),
+                attempts: l.attempts,
+                accepted: l.accepted,
+                enabled: l.enabled,
+            })
+            .collect()
+    }
+
+    /// Shared read access to link `k`'s predictor (stats reporting).
+    pub fn predictor(&self, k: usize) -> &dyn Predictor {
+        &*self.links[k].predictor
+    }
+
+    /// One human-readable report line per link.
+    pub fn reports(&self) -> Vec<String> {
+        self.links
+            .iter()
+            .map(|l| format!("{}: {}", l.predictor.name(), l.predictor.report()))
+            .collect()
+    }
+
+    /// Region entry: resets every link. The previous exit must have
+    /// flushed all held elements.
+    pub fn begin(&mut self) {
+        debug_assert!(self.held.is_empty(), "unflushed elements held in chain");
+        self.held.clear();
+        for l in &mut self.links {
+            l.predictor.reset();
+        }
+    }
+
+    /// Offers one element to the chain; any elements resolved as a
+    /// consequence (this one, or ones previously held) are in the
+    /// outcome.
+    pub fn feed(&mut self, elem: Element) -> ChainOutcome {
+        let mut out = ChainOutcome::default();
+        self.cascade(0, elem, &mut out);
+        out
+    }
+
+    /// Region exit: flushes every link in order. Elements a link rejects
+    /// at flush cascade through the links after it, exactly as they
+    /// would on a live rejection.
+    pub fn finish(&mut self) -> ChainOutcome {
+        let mut out = ChainOutcome::default();
+        for k in 0..self.links.len() {
+            let res = self.links[k].predictor.flush();
+            self.apply_held(k, res, &mut out);
+        }
+        // Backstop: anything still held (a buggy link that never resolved
+        // an element) is rejected rather than leaked.
+        let leftovers: Vec<u64> = self.held.keys().copied().collect();
+        for seq in leftovers {
+            self.held.remove(&seq);
+            out.rejected.push(seq);
+        }
+        out
+    }
+
+    /// Adjusts every link's tuning parameter.
+    pub fn set_tuning(&mut self, tp: f64) {
+        for l in &mut self.links {
+            l.predictor.set_tuning(tp);
+        }
+    }
+
+    /// The first link with a tuning parameter reports it.
+    pub fn tuning(&self) -> Option<f64> {
+        self.links.iter().find_map(|l| l.predictor.tuning())
+    }
+
+    /// Concatenated signature material from every link.
+    pub fn drain_signal(&mut self) -> Vec<f64> {
+        let mut all = Vec::new();
+        for l in &mut self.links {
+            all.extend(l.predictor.drain_signal());
+        }
+        all
+    }
+
+    /// Feeds `elem` to the first enabled link at index `from` or later,
+    /// cascading rejections down the chain FIFO (preserving resolution
+    /// order for the caller's pending queue).
+    fn cascade(&mut self, from: usize, elem: Element, out: &mut ChainOutcome) {
+        let mut queue: VecDeque<(usize, Element)> = VecDeque::new();
+        queue.push_back((from, elem));
+        while let Some((from, elem)) = queue.pop_front() {
+            let Some(k) = (from..self.links.len()).find(|&k| self.links[k].enabled) else {
+                out.rejected.push(elem.seq);
+                continue;
+            };
+            self.links[k].attempts += 1;
+            out.cost += self.links[k].predictor.attempt_cost(elem.args.len());
+            let res = self.links[k].predictor.observe(&elem);
+            let seq = elem.seq;
+            let mut own = Some(elem);
+            for s in res.accepted {
+                if s == seq {
+                    if own.take().is_some() {
+                        self.links[k].accepted += 1;
+                        out.accepted.push((s, k));
+                    }
+                } else if let Some((holder, _)) = self.held.remove(&s) {
+                    debug_assert_eq!(holder, k, "link resolved an element it never held");
+                    self.links[k].accepted += 1;
+                    out.accepted.push((s, k));
+                }
+            }
+            for s in res.rejected {
+                if s == seq {
+                    if let Some(e) = own.take() {
+                        queue.push_back((k + 1, e));
+                    }
+                } else if let Some((holder, e)) = self.held.remove(&s) {
+                    debug_assert_eq!(holder, k, "link resolved an element it never held");
+                    queue.push_back((k + 1, e));
+                }
+            }
+            if let Some(e) = own {
+                self.held.insert(seq, (k, e));
+            }
+        }
+    }
+
+    /// Applies a flush resolution of link `k`: acceptances are
+    /// attributed to `k`, rejections cascade to the links after it.
+    fn apply_held(&mut self, k: usize, res: Resolution, out: &mut ChainOutcome) {
+        for s in res.accepted {
+            if let Some((holder, _)) = self.held.remove(&s) {
+                debug_assert_eq!(holder, k, "link flushed an element it never held");
+                self.links[k].accepted += 1;
+                out.accepted.push((s, k));
+            }
+        }
+        for s in res.rejected {
+            if let Some((holder, e)) = self.held.remove(&s) {
+                debug_assert_eq!(holder, k, "link flushed an element it never held");
+                self.cascade(k + 1, e, out);
+            }
+        }
+    }
+}
+
+impl Predictor for Chain {
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+
+    fn acceptable_range(&self) -> f64 {
+        self.links
+            .first()
+            .map(|l| l.predictor.acceptable_range())
+            .unwrap_or(0.0)
+    }
+
+    fn observe(&mut self, elem: &Element) -> Resolution {
+        self.feed(elem.clone()).into()
+    }
+
+    fn flush(&mut self) -> Resolution {
+        self.finish().into()
+    }
+
+    fn reset(&mut self) {
+        self.begin();
+    }
+
+    fn set_tuning(&mut self, tp: f64) {
+        Chain::set_tuning(self, tp);
+    }
+
+    fn tuning(&self) -> Option<f64> {
+        Chain::tuning(self)
+    }
+
+    fn drain_signal(&mut self) -> Vec<f64> {
+        Chain::drain_signal(self)
+    }
+
+    fn report(&self) -> String {
+        self.reports().join("; ")
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{DiPredictor, LastValue, MemoPredictor};
+    use crate::{DiConfig, MemoConfig, MemoTrainer};
+
+    fn elem(seq: u64, value: f64) -> Element {
+        Element {
+            seq,
+            value,
+            args: vec![value],
+        }
+    }
+
+    fn drive(chain: &mut Chain, values: &[(u64, f64)]) -> ChainOutcome {
+        let mut total = ChainOutcome::default();
+        chain.begin();
+        for &(s, v) in values {
+            let out = chain.feed(elem(s, v));
+            total.accepted.extend(out.accepted);
+            total.rejected.extend(out.rejected);
+            total.cost += out.cost;
+        }
+        let fin = chain.finish();
+        total.accepted.extend(fin.accepted);
+        total.rejected.extend(fin.rejected);
+        total.cost += fin.cost;
+        total
+    }
+
+    #[test]
+    fn empty_chain_rejects_everything() {
+        let mut chain = Chain::new();
+        let out = drive(&mut chain, &[(0, 1.0), (1, 2.0)]);
+        assert_eq!(out.accepted.len(), 0);
+        assert_eq!(out.rejected, vec![0, 1]);
+        assert!(!chain.any_enabled());
+    }
+
+    #[test]
+    fn second_level_catches_first_level_rejects() {
+        // Alternating values defeat interpolation; a memo keyed on the
+        // (single) argument predicts them exactly.
+        let mut trainer = MemoTrainer::new(1);
+        for i in 0..1000 {
+            let x = (i % 2) as f64;
+            trainer.add_sample(&[x], 5.0 + x * 100.0);
+        }
+        let memo = trainer.build(&MemoConfig {
+            table_bits: 6,
+            hist_bins: 32,
+        });
+        let mut chain = Chain::new();
+        chain.push(Box::new(DiPredictor::new(DiConfig { tp: 0.2, ar: 0.1 })));
+        chain.push(Box::new(MemoPredictor::new(memo, 0.1).with_costs(6, 3)));
+
+        let values: Vec<(u64, f64)> = (0..200u64)
+            .map(|i| (i, 5.0 + (i % 2) as f64 * 100.0))
+            .collect();
+        // Feed values whose args equal x = i % 2.
+        let mut total = ChainOutcome::default();
+        chain.begin();
+        for &(s, v) in &values {
+            let out = chain.feed(Element {
+                seq: s,
+                value: v,
+                args: vec![(s % 2) as f64],
+            });
+            total.accepted.extend(out.accepted);
+            total.rejected.extend(out.rejected);
+            total.cost += out.cost;
+        }
+        let fin = chain.finish();
+        total.accepted.extend(fin.accepted);
+        total.rejected.extend(fin.rejected);
+
+        let stats = chain.link_stats();
+        assert_eq!(stats[0].name, "di");
+        assert_eq!(stats[1].name, "memo");
+        assert!(
+            stats[1].accepted > 100,
+            "memo accepted {}",
+            stats[1].accepted
+        );
+        // Every element resolved exactly once.
+        assert_eq!(total.resolved(), 200);
+        // Attribution sums match the outcome.
+        let attributed: u64 = stats.iter().map(|s| s.accepted).sum();
+        assert_eq!(attributed as usize, total.accepted.len());
+    }
+
+    #[test]
+    fn disabled_link_passes_elements_through() {
+        let mut chain = Chain::new();
+        let di = chain.push(Box::new(DiPredictor::new(DiConfig { tp: 0.3, ar: 0.2 })));
+        chain.push(Box::new(LastValue::new(0.05)));
+        chain.set_enabled(di, false);
+
+        // Constant values: DI would accept interiors, but it is disabled;
+        // last-value accepts every repeat instead.
+        let values: Vec<(u64, f64)> = (0..50u64).map(|i| (i, 7.0)).collect();
+        let out = drive(&mut chain, &values);
+        let stats = chain.link_stats();
+        assert_eq!(stats[0].attempts, 0);
+        assert_eq!(stats[1].attempts, 50);
+        assert_eq!(stats[1].accepted, 49); // all but the first
+        assert_eq!(out.rejected, vec![0]);
+    }
+
+    #[test]
+    fn three_link_chain_attributes_per_link() {
+        let mut trainer = MemoTrainer::new(1);
+        for i in 0..500 {
+            let x = (i % 2) as f64;
+            trainer.add_sample(&[x], 5.0 + x * 100.0);
+        }
+        let memo = trainer.build(&MemoConfig {
+            table_bits: 6,
+            hist_bins: 32,
+        });
+        let mut chain = Chain::new();
+        chain.push(Box::new(DiPredictor::new(DiConfig { tp: 0.2, ar: 0.1 })));
+        chain.push(Box::new(MemoPredictor::new(memo, 0.1)));
+        chain.push(Box::new(LastValue::new(0.01)));
+
+        // A burst the memo does not know (args = 9) with repeated values:
+        // DI rejects (alternating), memo misses, last-value accepts the
+        // repeats.
+        chain.begin();
+        let mut accepted_by = [0usize; 3];
+        let mut rejected = 0usize;
+        for (s, v) in [
+            (0u64, 3.0),
+            (1, 900.0),
+            (2, 3.0),
+            (3, 900.0),
+            (4, 3.0),
+            (5, 900.0),
+        ] {
+            let out = chain.feed(Element {
+                seq: s,
+                value: v,
+                args: vec![9.0],
+            });
+            for (_, k) in out.accepted {
+                accepted_by[k] += 1;
+            }
+            rejected += out.rejected.len();
+        }
+        let fin = chain.finish();
+        for (_, k) in fin.accepted {
+            accepted_by[k] += 1;
+        }
+        rejected += fin.rejected.len();
+        assert_eq!(accepted_by.iter().sum::<usize>() + rejected, 6);
+        let stats = chain.link_stats();
+        assert_eq!(stats[2].name, "last-value");
+        assert_eq!(stats[2].accepted as usize, accepted_by[2]);
+    }
+
+    #[test]
+    fn chain_nests_as_a_predictor() {
+        let mut inner = Chain::new();
+        inner.push(Box::new(LastValue::new(0.05)));
+        let mut outer = Chain::new();
+        outer.push(Box::new(inner));
+        outer.begin();
+        outer.feed(elem(0, 4.0));
+        let out = outer.feed(elem(1, 4.0));
+        assert_eq!(out.accepted, vec![(1, 0)]);
+        assert_eq!(outer.link_stats()[0].name, "chain");
+    }
+
+    #[test]
+    fn tuning_broadcast_reaches_di() {
+        let mut chain = Chain::new();
+        chain.push(Box::new(DiPredictor::new(DiConfig { tp: 0.5, ar: 0.2 })));
+        assert_eq!(chain.tuning(), Some(0.5));
+        Chain::set_tuning(&mut chain, 0.9);
+        assert_eq!(chain.tuning(), Some(0.9));
+    }
+}

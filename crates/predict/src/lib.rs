@@ -22,28 +22,43 @@
 
 #![deny(missing_docs)]
 
+pub mod chain;
 mod interpolation;
 mod memo;
+pub mod predictor;
 pub mod trend;
 
+pub use chain::{Chain, ChainOutcome, LinkStats};
 pub use interpolation::{CutResult, DiConfig, DiStats, DynamicInterpolation};
 pub use memo::{MemoConfig, MemoStats, MemoTrainer, Memoizer, Quantizer};
+pub use predictor::{DiPredictor, Element, LastValue, MemoPredictor, Predictor, Resolution};
 
 /// Relative difference `|a - b| / max(|b|, eps)` — the fuzzy-validation
 /// metric ("relative difference is used to define acceptable range", §2).
 ///
 /// `b` is the reference (the prediction); `eps` guards tiny denominators.
 ///
+/// The result is always comparable: a NaN operand (or an ∞ − ∞ / ∞ ÷ ∞
+/// indeterminate) yields [`f64::INFINITY`], never NaN, so
+/// `relative_difference(a, b) <= ar` is `false` — a non-finite prediction
+/// never validates — rather than silently false through NaN ordering.
+///
 /// # Example
 ///
 /// ```
 /// let d = rskip_predict::relative_difference(11.0, 10.0);
 /// assert!((d - 0.1).abs() < 1e-12);
+/// assert_eq!(rskip_predict::relative_difference(1.0, f64::NAN), f64::INFINITY);
 /// ```
 pub fn relative_difference(a: f64, b: f64) -> f64 {
     const EPS: f64 = 1e-12;
     let denom = b.abs().max(EPS);
-    (a - b).abs() / denom
+    let d = (a - b).abs() / denom;
+    if d.is_nan() {
+        f64::INFINITY
+    } else {
+        d
+    }
 }
 
 #[cfg(test)]
@@ -64,5 +79,25 @@ mod tests {
         let d = relative_difference(1.0, 0.0);
         assert!(d.is_finite());
         assert!(d > 1e6);
+    }
+
+    #[test]
+    // The negated `<= ar` form below is literally the expression every
+    // validator writes; the test asserts that exact shape.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn relative_difference_never_returns_nan() {
+        // NaN on either side: infinite distance, never validates.
+        assert_eq!(relative_difference(f64::NAN, 10.0), f64::INFINITY);
+        assert_eq!(relative_difference(10.0, f64::NAN), f64::INFINITY);
+        assert_eq!(relative_difference(f64::NAN, f64::NAN), f64::INFINITY);
+        // Indeterminate forms from infinite operands collapse the same way.
+        assert_eq!(
+            relative_difference(f64::INFINITY, f64::INFINITY),
+            f64::INFINITY
+        );
+        assert_eq!(relative_difference(3.0, f64::INFINITY), f64::INFINITY);
+        assert_eq!(relative_difference(f64::INFINITY, 3.0), f64::INFINITY);
+        // And the contract is what validation relies on: `<= ar` is false.
+        assert!(!(relative_difference(f64::NAN, 1.0) <= 1.0));
     }
 }

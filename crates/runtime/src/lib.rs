@@ -36,6 +36,7 @@ mod train;
 
 pub use qos::QosTable;
 pub use region::{RegionState, RegionStats};
+pub use rskip_core::{ProtectionPlan, RegionPlan};
 pub use runtime::{PredictionRuntime, RegionInit, RuntimeConfig};
 pub use train::{
     profile_module, profile_module_with, train_from_profiles, RegionModel, RegionProfile,

@@ -1,24 +1,34 @@
 //! Per-region prediction state.
+//!
+//! A region owns one predictor [`Chain`] (dynamic interpolation first,
+//! approximate memoization second when trained, plus any predictors
+//! registered through [`RegionState::push_predictor`]) and the machinery
+//! around it: the observation buffer, the pending re-computation queue,
+//! the modeled cost accounting and the run-time management tick.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use rskip_ir::Value;
-use rskip_predict::{relative_difference, DiConfig, DynamicInterpolation, Memoizer};
+use rskip_predict::{
+    Chain, DiConfig, DiPredictor, Element, LinkStats, MemoPredictor, Memoizer, Predictor,
+};
 
 use crate::costs;
 use crate::qos::QosTable;
 use crate::signature::{signature, DEFAULT_EDGES};
 
 /// Aggregate per-region counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// Skips are attributed per chain link ([`links`](Self::links)); the
+/// historical `skipped_di` / `skipped_memo` counters survive as accessors
+/// over link 0 and the fallback links.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RegionStats {
     /// Loop outputs observed.
     pub elements: u64,
-    /// Elements accepted by dynamic interpolation (re-computation
-    /// skipped).
-    pub skipped_di: u64,
-    /// Elements accepted by approximate memoization (second level).
-    pub skipped_memo: u64,
+    /// Per-predictor attribution, in chain order (link 0 is the
+    /// first-level predictor).
+    pub links: Vec<LinkStats>,
     /// Elements handed to the recheck loop.
     pub recomputed: u64,
     /// Re-computations that matched (mispredictions — run-time overhead,
@@ -26,8 +36,6 @@ pub struct RegionStats {
     pub mispredictions: u64,
     /// Re-computations that mismatched: faults detected and recovered.
     pub faults_recovered: u64,
-    /// Memoization attempts.
-    pub memo_attempts: u64,
     /// TP adjustments performed by run-time management.
     pub tp_adjustments: u64,
     /// Region entries.
@@ -35,12 +43,39 @@ pub struct RegionStats {
 }
 
 impl RegionStats {
+    /// Elements accepted by any predictor (re-computation skipped).
+    pub fn total_skipped(&self) -> u64 {
+        self.links.iter().map(|l| l.accepted).sum()
+    }
+
+    /// Elements accepted by the first-level predictor (dynamic
+    /// interpolation in the paper's configuration).
+    pub fn skipped_di(&self) -> u64 {
+        self.links.first().map(|l| l.accepted).unwrap_or(0)
+    }
+
+    /// Elements accepted by the fallback levels (approximate memoization
+    /// in the paper's configuration).
+    pub fn skipped_memo(&self) -> u64 {
+        self.links.iter().skip(1).map(|l| l.accepted).sum()
+    }
+
+    /// Prediction attempts by the fallback levels.
+    pub fn memo_attempts(&self) -> u64 {
+        self.links.iter().skip(1).map(|l| l.attempts).sum()
+    }
+
+    /// Attribution for the link named `name`, if present.
+    pub fn link(&self, name: &str) -> Option<&LinkStats> {
+        self.links.iter().find(|l| l.name == name)
+    }
+
     /// The paper's skip rate: skipped / observed.
     pub fn skip_rate(&self) -> f64 {
         if self.elements == 0 {
             0.0
         } else {
-            (self.skipped_di + self.skipped_memo) as f64 / self.elements as f64
+            self.total_skipped() as f64 / self.elements as f64
         }
     }
 
@@ -50,7 +85,7 @@ impl RegionStats {
         if self.elements == 0 {
             0.0
         } else {
-            self.skipped_di as f64 / self.elements as f64
+            self.skipped_di() as f64 / self.elements as f64
         }
     }
 }
@@ -60,19 +95,15 @@ impl RegionStats {
 struct Obs {
     iter: i64,
     addr: i64,
-    value: f64,
     args: Vec<Value>,
 }
 
 /// The runtime state of one protected region.
 #[derive(Clone, Debug)]
 pub struct RegionState {
-    di: DynamicInterpolation,
-    memo: Option<Memoizer>,
-    di_enabled: bool,
-    memo_enabled: bool,
-    /// Acceptable range for the memoization fuzzy validation (same AR as
-    /// the interpolation's).
+    /// The ordered predictor fallback — the only predictor storage.
+    chain: Chain,
+    /// Acceptable range handed to newly installed fallback predictors.
     ar: f64,
     /// Whether the transform built a PP version for this region.
     has_body: bool,
@@ -83,20 +114,26 @@ pub struct RegionState {
     qos: QosTable,
     tick_period: u64,
     since_tick: u64,
-    stats: RegionStats,
-    /// Observation threshold after which poor DI performance disables it.
+    elements: u64,
+    recomputed: u64,
+    mispredictions: u64,
+    faults_recovered: u64,
+    tp_adjustments: u64,
+    entries: u64,
+    /// Observation threshold after which poor first-level performance
+    /// disables it.
     disable_check_at: u64,
 }
 
 impl RegionState {
-    /// Creates region state with the given predictor configuration.
+    /// Creates region state with the paper's first-level predictor
+    /// installed as chain link 0.
     pub fn new(di_config: DiConfig, has_body: bool, tick_period: u64) -> Self {
+        let mut chain = Chain::new();
+        chain.push(Box::new(DiPredictor::new(di_config)));
         RegionState {
             ar: di_config.ar,
-            di: DynamicInterpolation::new(di_config),
-            memo: None,
-            di_enabled: true,
-            memo_enabled: false,
+            chain,
             has_body,
             buffer: BTreeMap::new(),
             pending: VecDeque::new(),
@@ -105,63 +142,110 @@ impl RegionState {
             qos: QosTable::new(),
             tick_period,
             since_tick: 0,
-            stats: RegionStats::default(),
+            elements: 0,
+            recomputed: 0,
+            mispredictions: 0,
+            faults_recovered: 0,
+            tp_adjustments: 0,
+            entries: 0,
             disable_check_at: 4096,
         }
     }
 
-    /// Installs a trained memoizer (second-level predictor).
+    /// Installs a trained memoizer as the second-level predictor, with
+    /// the modeled per-attempt lookup cost.
     pub fn set_memoizer(&mut self, memo: Memoizer) {
-        self.memo = Some(memo);
-        self.memo_enabled = true;
+        self.chain.push(Box::new(
+            MemoPredictor::new(memo, self.ar).with_costs(costs::MEMO_BASE, costs::MEMO_PER_INPUT),
+        ));
+    }
+
+    /// Appends an arbitrary predictor to the fallback chain; returns its
+    /// link index. This is the extension point for predictors beyond the
+    /// paper's two — no runtime changes needed.
+    pub fn push_predictor(&mut self, predictor: Box<dyn Predictor>) -> usize {
+        self.chain.push(predictor)
     }
 
     /// Installs a trained QoS table and starting TP.
     pub fn set_qos(&mut self, qos: QosTable, default_tp: f64) {
         self.qos = qos;
-        self.di.set_tp(default_tp);
+        self.chain.set_tuning(default_tp);
     }
 
     /// Current counters.
     pub fn stats(&self) -> RegionStats {
-        self.stats
+        RegionStats {
+            elements: self.elements,
+            links: self.chain.link_stats(),
+            recomputed: self.recomputed,
+            mispredictions: self.mispredictions,
+            faults_recovered: self.faults_recovered,
+            tp_adjustments: self.tp_adjustments,
+            entries: self.entries,
+        }
+    }
+
+    /// One human-readable report line per chain link.
+    pub fn predictor_reports(&self) -> Vec<String> {
+        self.chain.reports()
     }
 
     /// Whether the PP version is worth selecting.
     pub fn pp_useful(&self) -> bool {
-        self.has_body && (self.di_enabled || self.memo_enabled)
+        self.has_body && self.chain.any_enabled()
     }
 
-    /// Whether dynamic interpolation is still enabled.
+    /// Whether the first-level predictor is still enabled.
     pub fn di_enabled(&self) -> bool {
-        self.di_enabled
+        self.chain.enabled(0)
     }
 
-    /// Disables dynamic interpolation (every element falls through to the
-    /// second-level predictor or re-computation). Exposed for ablations.
+    /// Disables the first-level predictor (every element falls through
+    /// to the fallback levels or re-computation). Exposed for ablations.
     pub fn disable_di(&mut self) {
-        self.di_enabled = false;
+        self.chain.set_enabled(0, false);
+    }
+
+    /// Whether chain link `k` is enabled.
+    pub fn link_enabled(&self, k: usize) -> bool {
+        self.chain.enabled(k)
+    }
+
+    /// Enables or disables chain link `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range link index.
+    pub fn set_link_enabled(&mut self, k: usize, enabled: bool) {
+        self.chain.set_enabled(k, enabled);
     }
 
     /// Region entry: fresh numbering (the previous exit flushed state).
     pub fn enter(&mut self) -> u64 {
-        self.stats.entries += 1;
+        self.entries += 1;
         self.seq = 0;
-        self.di.reset();
+        self.chain.begin();
         debug_assert!(self.buffer.is_empty(), "unflushed observations");
         costs::REGION_ENTER
     }
 
-    /// Region exit: flush the open phase; its classification lands in the
-    /// pending queue / skip counters exactly like a normal cut.
+    /// Region exit: flush the chain; its classification lands in the
+    /// pending queue / skip counters exactly like a live resolution.
     pub fn exit(&mut self) -> u64 {
         let mut cost = costs::REGION_EXIT;
-        if let Some(cut) = self.di.flush() {
-            cost += self.process_cut(cut.accepted, cut.pending);
-        }
-        // Anything still buffered (DI disabled path) goes pending.
+        let out = self.chain.finish();
+        cost += self.absorb(out);
+        // Anything still buffered (nothing in practice — the chain
+        // resolves every fed element) goes pending.
         let rest: Vec<u64> = self.buffer.keys().copied().collect();
-        cost += self.process_cut(Vec::new(), rest);
+        for seq in rest {
+            if let Some(obs) = self.buffer.remove(&seq) {
+                cost += costs::CUT_PER_ELEMENT;
+                self.recomputed += 1;
+                self.pending.push_back(obs);
+            }
+        }
         cost
     }
 
@@ -172,7 +256,7 @@ impl RegionState {
             Value::I(v) => v as f64,
         };
         let mut cost = costs::OBSERVE_BASE + costs::OBSERVE_PER_ARG * args.len() as u64;
-        self.stats.elements += 1;
+        self.elements += 1;
         let seq = self.seq;
         self.seq += 1;
         self.buffer.insert(
@@ -180,20 +264,23 @@ impl RegionState {
             Obs {
                 iter,
                 addr,
-                value: v,
                 args: args.to_vec(),
             },
         );
 
-        if self.di_enabled {
-            if let Some(cut) = self.di.observe(v) {
-                cost += self.process_cut(cut.accepted, cut.pending);
-            }
-        } else {
-            // Without the first-level predictor every element goes to the
-            // second level immediately.
-            cost += self.process_cut(Vec::new(), vec![seq]);
-        }
+        let elem = Element {
+            seq,
+            value: v,
+            args: args
+                .iter()
+                .map(|a| match a {
+                    Value::F(v) => *v,
+                    Value::I(v) => *v as f64,
+                })
+                .collect(),
+        };
+        let out = self.chain.feed(elem);
+        cost += self.absorb(out);
 
         // Periodic run-time management (§5).
         self.since_tick += 1;
@@ -204,40 +291,21 @@ impl RegionState {
         cost
     }
 
-    /// Classifies elements after a phase cut: accepted skip; rejected try
-    /// memoization; leftovers become pending re-computations.
-    fn process_cut(&mut self, accepted: Vec<u64>, rejected: Vec<u64>) -> u64 {
-        let mut cost = costs::CUT_PER_ELEMENT * (accepted.len() + rejected.len()) as u64;
-        for seq in accepted {
-            if self.buffer.remove(&seq).is_some() {
-                self.stats.skipped_di += 1;
-            }
+    /// Applies a chain outcome: accepted elements leave the buffer as
+    /// skips (the chain attributed them per link), rejected elements
+    /// become pending re-computations. Returns the modeled cost: the
+    /// per-element classification charge plus the chain's prediction
+    /// attempts.
+    fn absorb(&mut self, out: rskip_predict::ChainOutcome) -> u64 {
+        let cost = costs::CUT_PER_ELEMENT * out.resolved() as u64 + out.cost;
+        for (seq, _link) in out.accepted {
+            self.buffer.remove(&seq);
         }
-        for seq in rejected {
+        for seq in out.rejected {
             let Some(obs) = self.buffer.remove(&seq) else {
                 continue;
             };
-            if self.memo_enabled {
-                if let Some(memo) = self.memo.as_mut() {
-                    self.stats.memo_attempts += 1;
-                    cost += costs::MEMO_BASE + costs::MEMO_PER_INPUT * obs.args.len() as u64;
-                    let inputs: Vec<f64> = obs
-                        .args
-                        .iter()
-                        .map(|a| match a {
-                            Value::F(v) => *v,
-                            Value::I(v) => *v as f64,
-                        })
-                        .collect();
-                    if let Some(pred) = memo.predict(&inputs) {
-                        if relative_difference(obs.value, pred) <= self.ar {
-                            self.stats.skipped_memo += 1;
-                            continue;
-                        }
-                    }
-                }
-            }
-            self.stats.recomputed += 1;
+            self.recomputed += 1;
             self.pending.push_back(obs);
         }
         cost
@@ -282,13 +350,13 @@ impl RegionState {
 
     /// Re-computation matched: misprediction only.
     pub fn resolve_ok(&mut self) -> u64 {
-        self.stats.mispredictions += 1;
+        self.mispredictions += 1;
         costs::RESOLVE
     }
 
     /// Re-computation mismatched: a fault was detected and recovered.
     pub fn resolve_fault(&mut self) -> u64 {
-        self.stats.faults_recovered += 1;
+        self.faults_recovered += 1;
         costs::RESOLVE
     }
 
@@ -296,30 +364,35 @@ impl RegionState {
     /// signature, look the TP up, keep the previous TP on a miss; check
     /// the disable conditions.
     fn tick(&mut self) -> u64 {
-        let changes = self.di.take_slope_changes();
+        let changes = self.chain.drain_signal();
         if !changes.is_empty() && !self.qos.is_empty() {
             let sig = signature(&changes, &DEFAULT_EDGES);
             if let Some(tp) = self.qos.lookup(&sig) {
-                if (tp - self.di.config().tp).abs() > f64::EPSILON {
-                    self.di.set_tp(tp);
-                    self.stats.tp_adjustments += 1;
+                let current = self.chain.tuning().unwrap_or(tp);
+                if (tp - current).abs() > f64::EPSILON {
+                    self.chain.set_tuning(tp);
+                    self.tp_adjustments += 1;
                 }
             }
         }
-        // Disable DI at persistently poor accuracy (§5; the paper never
-        // observed this in its benchmarks, and neither do ours in
-        // practice).
-        if self.di_enabled && self.stats.elements >= self.disable_check_at {
-            if self.stats.di_skip_rate() < 0.02 {
-                self.di_enabled = false;
+        let links = self.chain.link_stats();
+        // Disable the first level at persistently poor accuracy (§5; the
+        // paper never observed this in its benchmarks, and neither do
+        // ours in practice).
+        if self.chain.enabled(0) && self.elements >= self.disable_check_at {
+            let di_rate = links[0].accepted as f64 / self.elements as f64;
+            if di_rate < 0.02 {
+                self.chain.set_enabled(0, false);
             }
             self.disable_check_at *= 4;
         }
-        // Disable memoization at poor run-time accuracy.
-        if self.memo_enabled && self.stats.memo_attempts >= 512 {
-            let hit_rate = self.stats.skipped_memo as f64 / self.stats.memo_attempts as f64;
-            if hit_rate < 0.05 {
-                self.memo_enabled = false;
+        // Disable fallback levels at poor run-time accuracy.
+        for (k, l) in links.iter().enumerate().skip(1) {
+            if l.enabled && l.attempts >= 512 {
+                let hit_rate = l.accepted as f64 / l.attempts as f64;
+                if hit_rate < 0.05 {
+                    self.chain.set_enabled(k, false);
+                }
             }
         }
         costs::SIG_TICK
@@ -381,7 +454,7 @@ mod tests {
             drained += 1;
         }
         let stats = state.stats();
-        assert_eq!(stats.skipped_di + stats.skipped_memo + drained, 300);
+        assert_eq!(stats.total_skipped() + drained, 300);
         assert_eq!(stats.recomputed, drained);
     }
 
@@ -409,12 +482,14 @@ mod tests {
         state.exit();
         let stats = state.stats();
         assert!(
-            stats.skipped_memo > 100,
+            stats.skipped_memo() > 100,
             "memo skips: {} (attempts {})",
-            stats.skipped_memo,
-            stats.memo_attempts
+            stats.skipped_memo(),
+            stats.memo_attempts()
         );
         assert!(stats.skip_rate() > 0.5);
+        // The same numbers are visible by link name.
+        assert_eq!(stats.link("memo").unwrap().accepted, stats.skipped_memo());
     }
 
     #[test]
@@ -442,7 +517,8 @@ mod tests {
         state.exit();
         assert_eq!(state.stats().recomputed, 50);
         assert_eq!(state.stats().skip_rate(), 0.0);
-        assert!(!state.pp_useful() || state.memo.is_some());
+        // No enabled predictor left: the PP version is not worth it.
+        assert!(!state.pp_useful());
     }
 
     #[test]
@@ -468,5 +544,51 @@ mod tests {
         while state.next_pending().0 >= 0 {}
         assert_eq!(state.stats().entries, 3);
         assert_eq!(state.stats().elements, 60);
+    }
+
+    #[test]
+    fn third_predictor_registers_through_the_trait() {
+        // A last-value predictor rides as link 2 with its own
+        // attribution — no runtime code knows it exists.
+        let mut state = RegionState::new(DiConfig { tp: 0.2, ar: 0.05 }, true, 64);
+        let k = state.push_predictor(Box::new(rskip_predict::LastValue::new(0.05)));
+        assert_eq!(k, 1);
+        state.enter();
+        // Alternating plateau: DI cuts constantly; last-value accepts
+        // every second element (the repeat of the previous value).
+        for i in 0..100i64 {
+            let v = if i % 4 < 2 { 5.0 } else { 80.0 };
+            state.observe(i, i, Value::F(v), &[]);
+        }
+        state.exit();
+        let stats = state.stats();
+        let lv = stats.link("last-value").expect("third link present");
+        assert!(lv.attempts > 0);
+        assert_eq!(
+            stats.total_skipped(),
+            stats.skipped_di() + lv.accepted,
+            "attribution is per link"
+        );
+        assert_eq!(
+            stats.total_skipped() + stats.recomputed,
+            stats.elements,
+            "every element resolved exactly once"
+        );
+    }
+
+    #[test]
+    fn per_link_disable_is_honored() {
+        let mut state = RegionState::new(DiConfig { tp: 0.2, ar: 0.05 }, true, 64);
+        let k = state.push_predictor(Box::new(rskip_predict::LastValue::new(0.05)));
+        state.set_link_enabled(k, false);
+        assert!(!state.link_enabled(k));
+        state.enter();
+        for i in 0..40i64 {
+            state.observe(i, i, Value::F(7.0), &[]);
+        }
+        state.exit();
+        assert_eq!(state.stats().links[k].attempts, 0);
+        // Still useful: link 0 remains enabled.
+        assert!(state.pp_useful());
     }
 }

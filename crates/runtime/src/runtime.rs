@@ -1,5 +1,6 @@
 //! The intrinsic handler wiring region state to the execution substrate.
 
+use rskip_core::{ProtectionPlan, RegionPlan};
 use rskip_exec::{IntrinsicAction, RuntimeHooks};
 use rskip_ir::{Intrinsic, Value};
 use rskip_predict::DiConfig;
@@ -52,20 +53,11 @@ impl RuntimeConfig {
     }
 }
 
-/// Region metadata the runtime needs (a scheme-agnostic mirror of the
-/// pass driver's `RegionSpec`, so this crate does not depend on
-/// `rskip-passes`).
-#[derive(Clone, Debug)]
-pub struct RegionInit {
-    /// Region id.
-    pub region: u32,
-    /// Whether a PP body exists.
-    pub has_body: bool,
-    /// Whether approximate memoization may be deployed.
-    pub memoizable: bool,
-    /// Per-loop acceptable-range override (pragma).
-    pub acceptable_range: Option<f64>,
-}
+/// Region metadata the runtime needs. This is the shared
+/// [`RegionPlan`] from `rskip-core` — the pass driver produces it (as
+/// part of a [`ProtectionPlan`]) and the runtime consumes it, so the two
+/// layers agree on one type instead of mirroring each other's structs.
+pub type RegionInit = RegionPlan;
 
 /// The RSkip prediction runtime: implements the `rskip.*` intrinsics over
 /// per-region [`RegionState`].
@@ -103,12 +95,7 @@ impl PredictionRuntime {
                 .iter()
                 .find(|r| r.region == id)
                 .cloned()
-                .unwrap_or(RegionInit {
-                    region: id,
-                    has_body: false,
-                    memoizable: false,
-                    acceptable_range: None,
-                });
+                .unwrap_or_else(|| RegionInit::unprotected(id));
             let ar = init.acceptable_range.unwrap_or(config.acceptable_range);
             let mut state = RegionState::new(
                 DiConfig {
@@ -129,6 +116,21 @@ impl PredictionRuntime {
             inits,
             config,
         }
+    }
+
+    /// Creates an untrained runtime from a whole [`ProtectionPlan`].
+    pub fn from_plan(plan: &ProtectionPlan, config: RuntimeConfig) -> Self {
+        Self::new(&plan.regions, config)
+    }
+
+    /// Creates a runtime from a [`ProtectionPlan`] and installs a trained
+    /// model.
+    pub fn from_trained_plan(
+        plan: &ProtectionPlan,
+        config: RuntimeConfig,
+        model: &TrainedModel,
+    ) -> Self {
+        Self::with_model(&plan.regions, config, model)
     }
 
     /// Creates a runtime and installs a trained model (QoS tables and
@@ -171,7 +173,7 @@ impl PredictionRuntime {
         let (mut skipped, mut total) = (0u64, 0u64);
         for r in &self.regions {
             let s = r.stats();
-            skipped += s.skipped_di + s.skipped_memo;
+            skipped += s.total_skipped();
             total += s.elements;
         }
         if total == 0 {
@@ -251,7 +253,7 @@ impl RuntimeHooks for PredictionRuntime {
                 cost: 1,
                 trap_detected: true,
             },
-            Intrinsic::SigTick | Intrinsic::Print => IntrinsicAction::void(0),
+            Intrinsic::Print => IntrinsicAction::void(0),
         }
     }
 }
@@ -322,7 +324,7 @@ mod tests {
             let got = rt
                 .intrinsic(Intrinsic::NextPending, &[r])
                 .value
-                .unwrap()
+                .expect("rskip.next_pending must return an iteration index for region 0")
                 .as_i();
             if got < 0 {
                 break;
@@ -330,13 +332,13 @@ mod tests {
             let addr = rt
                 .intrinsic(Intrinsic::PendingAddr, &[r])
                 .value
-                .unwrap()
+                .expect("rskip.pending_addr must return the recorded address for region 0")
                 .as_i();
             assert_eq!(addr, 1000 + got);
             let arg = rt
                 .intrinsic(Intrinsic::PendingArgI, &[r, Value::I(0)])
                 .value
-                .unwrap()
+                .expect("rskip.pending_arg_i must return the recorded argument for region 0")
                 .as_i();
             assert_eq!(arg, got);
             pending.push(got);
@@ -344,10 +346,7 @@ mod tests {
         assert!(pending.contains(&25), "corrupted element must be pending");
         let stats = rt.stats(0);
         assert!(stats.skip_rate() > 0.5, "skip rate {}", stats.skip_rate());
-        assert_eq!(
-            stats.skipped_di + stats.skipped_memo + pending.len() as u64,
-            50
-        );
+        assert_eq!(stats.total_skipped() + pending.len() as u64, 50);
     }
 
     #[test]

@@ -92,7 +92,7 @@ proptest! {
         let stats = rt.stats(0);
         prop_assert_eq!(stats.elements, total);
         prop_assert_eq!(stats.recomputed, drained);
-        prop_assert_eq!(stats.skipped_di + stats.skipped_memo + drained, total);
+        prop_assert_eq!(stats.total_skipped() + drained, total);
         prop_assert_eq!(stats.mispredictions, drained);
         prop_assert_eq!(stats.faults_recovered, 0);
     }
