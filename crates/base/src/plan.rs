@@ -56,6 +56,32 @@ impl ProtectionPlan {
             .max()
             .map_or(0, |m| m + 1)
     }
+
+    /// A stable textual fingerprint of the plan, independent of the
+    /// `regions` vector's order. Content-hash cache keys for persisted
+    /// training artifacts include it, so any change to what the pass
+    /// decided invalidates stored models. (`rskip-core` is dependency-
+    /// free, so this is text the store layer hashes, not a hash itself.)
+    pub fn fingerprint(&self) -> String {
+        let mut parts: Vec<String> = self
+            .regions
+            .iter()
+            .map(|r| {
+                // The override is fingerprinted by bit pattern: exact,
+                // and no two distinct floats ever collide.
+                let ar = match r.acceptable_range {
+                    Some(v) => format!("{:016x}", v.to_bits()),
+                    None => "none".to_string(),
+                };
+                format!(
+                    "r{}:body={},memo={},ar={ar}",
+                    r.region, r.has_body as u8, r.memoizable as u8
+                )
+            })
+            .collect();
+        parts.sort();
+        parts.join(";")
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +106,36 @@ mod tests {
         assert!(!plan.region(0).unwrap().has_body);
         assert!(plan.region(1).is_none());
         assert_eq!(ProtectionPlan::default().num_regions(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_content_sensitive() {
+        let a = RegionPlan {
+            region: 0,
+            has_body: true,
+            memoizable: false,
+            acceptable_range: None,
+        };
+        let b = RegionPlan {
+            region: 1,
+            has_body: false,
+            memoizable: true,
+            acceptable_range: Some(0.5),
+        };
+        let fwd = ProtectionPlan {
+            regions: vec![a.clone(), b.clone()],
+        };
+        let rev = ProtectionPlan {
+            regions: vec![b, a],
+        };
+        assert_eq!(fwd.fingerprint(), rev.fingerprint());
+
+        let mut changed = fwd.clone();
+        changed.regions[0].memoizable = true;
+        assert_ne!(fwd.fingerprint(), changed.fingerprint());
+
+        let mut ar_changed = fwd.clone();
+        ar_changed.regions[1].acceptable_range = Some(0.8);
+        assert_ne!(fwd.fingerprint(), ar_changed.fingerprint());
     }
 }

@@ -14,6 +14,7 @@ use std::time::Instant;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rskip_harness::build::{ArSetting, BenchSetup, EvalOptions};
 use rskip_harness::campaign::{num_threads, Campaign};
+use rskip_harness::Store;
 use rskip_workloads::SizeProfile;
 
 const TRIALS: u32 = 120;
@@ -31,10 +32,22 @@ fn timed_campaign(c: &Campaign<'_>, setup: &BenchSetup, threads: usize, reps: u3
 
 fn bench_campaign_throughput(c: &mut Criterion) {
     let opts = EvalOptions::at_size(SizeProfile::Tiny);
-    let setup = BenchSetup::prepare(
-        rskip_workloads::benchmark_by_name("conv1d").expect("registry"),
-        &opts,
-    );
+
+    // Preparation goes through the persistent model store so the JSON
+    // also captures warm-start effectiveness: the first prepare misses
+    // (profiles + trains + saves), the second is served from disk.
+    let store_dir = std::env::temp_dir().join(format!("rskip-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = Store::open(&store_dir);
+    let bench_of = || rskip_workloads::benchmark_by_name("conv1d").expect("registry");
+    let cold = BenchSetup::prepare_with_store(bench_of(), &opts, Some(&store));
+    let setup = BenchSetup::prepare_with_store(bench_of(), &opts, Some(&store));
+    let store_cold = format!("{:?}", cold.prep.store);
+    let store_warm = format!("{:?}", setup.prep.store);
+    let cold_prep_secs = cold.prep.prep_nanos as f64 / 1e9;
+    let warm_prep_secs = setup.prep.prep_nanos as f64 / 1e9;
+    drop(cold);
+    let _ = std::fs::remove_dir_all(&store_dir);
     let input = setup.test_input();
     let golden = setup.bench.golden(opts.size, &input);
     let make = || setup.runtime(ArSetting { percent: 20 });
@@ -74,7 +87,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     let speedup = serial_secs / parallel_secs;
 
     let json = format!(
-        "{{\n  \"benchmark\": \"conv1d\",\n  \"scheme\": \"AR20\",\n  \"size\": \"Tiny\",\n  \"trials\": {TRIALS},\n  \"hardware_threads\": {hardware},\n  \"pool_threads\": {pool},\n  \"serial_secs\": {serial_secs:.6},\n  \"serial_trials_per_sec\": {serial_tps:.1},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"parallel_trials_per_sec\": {parallel_tps:.1},\n  \"speedup\": {speedup:.3},\n  \"note\": \"speedup is bounded by hardware_threads; on a single-core host serial and parallel throughput coincide\"\n}}\n"
+        "{{\n  \"benchmark\": \"conv1d\",\n  \"scheme\": \"AR20\",\n  \"size\": \"Tiny\",\n  \"trials\": {TRIALS},\n  \"hardware_threads\": {hardware},\n  \"pool_threads\": {pool},\n  \"serial_secs\": {serial_secs:.6},\n  \"serial_trials_per_sec\": {serial_tps:.1},\n  \"parallel_secs\": {parallel_secs:.6},\n  \"parallel_trials_per_sec\": {parallel_tps:.1},\n  \"speedup\": {speedup:.3},\n  \"model_store\": {{\n    \"cold\": \"{store_cold}\",\n    \"warm\": \"{store_warm}\",\n    \"cold_prep_secs\": {cold_prep_secs:.6},\n    \"warm_prep_secs\": {warm_prep_secs:.6}\n  }},\n  \"note\": \"speedup is bounded by hardware_threads; on a single-core host serial and parallel throughput coincide\"\n}}\n"
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

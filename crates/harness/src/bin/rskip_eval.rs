@@ -9,14 +9,27 @@
 //! rskip-eval fig9   [--size ...] [--runs N]
 //! rskip-eval tradeoff [--size ...] [--runs N]
 //! rskip-eval cost-ratio
-//! rskip-eval all    [--size ...] [--runs N] [--out DIR]
+//! rskip-eval all    [--size ...] [--runs N] [--out DIR] [--store DIR]
+//! rskip-eval train  [--size ...] [--store DIR]
+//! rskip-eval inspect [--store DIR]
+//! rskip-eval verify  [--store DIR]
 //! ```
 //!
 //! With `--out DIR`, raw results are also written as JSON.
+//!
+//! The model-store commands persist the offline training phase:
+//! `train` profiles and trains every benchmark and saves the artifacts;
+//! a later `all --store DIR` warm-starts from them and performs zero
+//! profiling/training executions (the footer reports hits and misses);
+//! `verify` recomputes every checksum and exits nonzero on any
+//! corruption; `inspect` lists each artifact's sections. `--store`
+//! defaults to `results/store` for the store commands and is opt-in for
+//! the figure commands.
 
 use std::path::PathBuf;
 
 use rskip_harness::build::EvalOptions;
+use rskip_harness::Store;
 use rskip_workloads::SizeProfile;
 
 struct Args {
@@ -25,6 +38,7 @@ struct Args {
     runs: u32,
     inputs: u32,
     out: Option<PathBuf>,
+    store: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         runs: 200,
         inputs: 20,
         out: None,
+        store: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -55,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
                 parsed.inputs = value()?.parse().map_err(|e| format!("bad --inputs: {e}"))?;
             }
             "--out" => parsed.out = Some(PathBuf::from(value()?)),
+            "--store" => parsed.store = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -62,9 +78,20 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: rskip-eval <table1|fig2|fig7|fig8a|fig8b|fig9|tradeoff|cost-ratio|ablations|all> \
-     [--size tiny|small|full] [--runs N] [--inputs N] [--out DIR]"
+    "usage: rskip-eval <table1|fig2|fig7|fig8a|fig8b|fig9|tradeoff|cost-ratio|ablations|all\
+     |train|inspect|verify> \
+     [--size tiny|small|full] [--runs N] [--inputs N] [--out DIR] [--store DIR]"
         .to_string()
+}
+
+/// The store for the dedicated store commands: `--store` or the default
+/// location.
+fn store_or_default(args: &Args) -> Store {
+    Store::open(
+        args.store
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results/store")),
+    )
 }
 
 fn save_json(out: &Option<PathBuf>, name: &str, value: &impl serde::Serialize) {
@@ -95,9 +122,55 @@ fn main() {
         }
     };
     let options = EvalOptions::at_size(args.size);
+
+    // The store commands never run figures; dispatch them first.
+    match args.command.as_str() {
+        "train" => {
+            let store = store_or_default(&args);
+            eprintln!("training into {}", store.dir().display());
+            let engine = rskip_harness::Engine::with_store(options, Some(store));
+            engine.warm(&rskip_harness::experiment::all_bench_names());
+            println!("{}", engine.store_stats().render_footer());
+            return;
+        }
+        "inspect" => {
+            let store = store_or_default(&args);
+            print!("{}", store.describe());
+            return;
+        }
+        "verify" => {
+            let store = store_or_default(&args);
+            let reports = store.verify();
+            if reports.is_empty() {
+                println!("{}: no artifacts", store.dir().display());
+                return;
+            }
+            let mut bad = 0usize;
+            for report in &reports {
+                if report.errors.is_empty() {
+                    println!("ok   {}", report.path.display());
+                } else {
+                    bad += 1;
+                    println!("FAIL {}", report.path.display());
+                    for e in &report.errors {
+                        println!("     {e}");
+                    }
+                }
+            }
+            println!("{} artifacts, {} corrupt", reports.len(), bad);
+            if bad > 0 {
+                std::process::exit(1);
+            }
+            return;
+        }
+        _ => {}
+    }
+
     // One engine per invocation: every figure shares the prepared
     // setups, so `all` compiles/trains each benchmark exactly once.
-    let engine = rskip_harness::Engine::new(options.clone());
+    // With `--store`, the engine warm-starts from saved artifacts.
+    let engine =
+        rskip_harness::Engine::with_store(options.clone(), args.store.clone().map(Store::open));
 
     match args.command.as_str() {
         "table1" => print!("{}", rskip_harness::table1::render_with(&engine)),
@@ -174,6 +247,10 @@ fn main() {
             let a = rskip_harness::ablations::run_with(&engine);
             save_json(&args.out, "ablations", &a);
             print!("{}", a.render());
+            if engine.store().is_some() {
+                println!();
+                println!("{}", engine.store_stats().render_footer());
+            }
         }
         other => {
             eprintln!("unknown command `{other}`\n{}", usage());

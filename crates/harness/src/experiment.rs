@@ -25,8 +25,9 @@ use std::sync::{Arc, Mutex};
 use serde::Serialize;
 
 use rskip_exec::{NoopHooks, RunOutcome};
+use rskip_store::Store;
 
-use crate::build::{ArSetting, BenchSetup, EvalOptions};
+use crate::build::{ArSetting, BenchSetup, EvalOptions, StoreOutcome};
 use crate::campaign::{
     num_threads, parallel_map_indexed, parallel_map_into, Campaign, CampaignStats,
 };
@@ -47,14 +48,23 @@ pub fn all_bench_names() -> Vec<String> {
 /// once per benchmark for the engine's lifetime.
 pub struct Engine {
     options: EvalOptions,
+    store: Option<Store>,
     cache: Mutex<BTreeMap<String, Arc<BenchSetup>>>,
 }
 
 impl Engine {
-    /// An engine with an empty cache.
+    /// An engine with an empty cache and no persistent store.
     pub fn new(options: EvalOptions) -> Self {
+        Self::with_store(options, None)
+    }
+
+    /// An engine that consults (and fills) a persistent model store:
+    /// setups whose artifacts are intact skip profiling and training
+    /// entirely.
+    pub fn with_store(options: EvalOptions, store: Option<Store>) -> Self {
         Engine {
             options,
+            store,
             cache: Mutex::new(BTreeMap::new()),
         }
     }
@@ -62,6 +72,11 @@ impl Engine {
     /// The options every setup is prepared with.
     pub fn options(&self) -> &EvalOptions {
         &self.options
+    }
+
+    /// The persistent store, when one is configured.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
     }
 
     /// The prepared setup for `name`, preparing it on first use.
@@ -75,8 +90,35 @@ impl Engine {
         }
         let bench = rskip_workloads::benchmark_by_name(name)
             .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-        let prepared = Arc::new(BenchSetup::prepare(bench, &self.options));
+        let prepared = Arc::new(BenchSetup::prepare_with_store(
+            bench,
+            &self.options,
+            self.store.as_ref(),
+        ));
         Arc::clone(self.lock().entry(name.to_string()).or_insert(prepared))
+    }
+
+    /// Aggregated store/preparation statistics over every setup prepared
+    /// so far (the `rskip-eval` report footer).
+    pub fn store_stats(&self) -> StoreStats {
+        let mut stats = StoreStats::default();
+        for setup in self.lock().values() {
+            let p = &setup.prep;
+            match p.store {
+                StoreOutcome::Disabled => stats.disabled += 1,
+                StoreOutcome::Miss => stats.misses += 1,
+                StoreOutcome::Hit => stats.hits += 1,
+                StoreOutcome::Partial { retrained } => {
+                    stats.partial += 1;
+                    stats.retrained_models += retrained;
+                }
+                StoreOutcome::Rejected => stats.rejected += 1,
+            }
+            stats.profile_runs += p.profile_runs;
+            stats.trained_ars += p.trained_ars;
+            stats.prep_nanos += p.prep_nanos;
+        }
+        stats
     }
 
     /// Prepares every missing setup among `names` in parallel.
@@ -96,7 +138,11 @@ impl Engine {
         let prepared = parallel_map_into(missing, num_threads(), |_, name| {
             let bench = rskip_workloads::benchmark_by_name(&name)
                 .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-            let setup = Arc::new(BenchSetup::prepare(bench, &self.options));
+            let setup = Arc::new(BenchSetup::prepare_with_store(
+                bench,
+                &self.options,
+                self.store.as_ref(),
+            ));
             (name, setup)
         });
         let mut cache = self.lock();
@@ -116,6 +162,55 @@ impl Engine {
         self.cache
             .lock()
             .unwrap_or_else(|_| panic!("engine cache poisoned by a panicking worker"))
+    }
+}
+
+/// Aggregated persistent-store statistics for a whole engine run.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct StoreStats {
+    /// Setups served entirely from intact artifacts.
+    pub hits: usize,
+    /// Setups with no artifact (trained from scratch, then saved).
+    pub misses: usize,
+    /// Setups recovered from damaged artifacts.
+    pub partial: usize,
+    /// Setups whose artifact could not be trusted at all.
+    pub rejected: usize,
+    /// Setups prepared with no store configured.
+    pub disabled: usize,
+    /// Per-AR models retrained while recovering damaged artifacts.
+    pub retrained_models: usize,
+    /// Profiling executions actually performed.
+    pub profile_runs: u64,
+    /// Per-AR training invocations actually performed.
+    pub trained_ars: usize,
+    /// Wall-clock nanoseconds spent profiling + training.
+    pub prep_nanos: u64,
+}
+
+impl StoreStats {
+    /// The report footer line, e.g.
+    /// `model store: 5 hits, 0 misses · 0 profiling runs, 0 models trained · train time 0.00s`.
+    pub fn render_footer(&self) -> String {
+        let mut head = format!("{} hits, {} misses", self.hits, self.misses);
+        if self.partial > 0 {
+            head.push_str(&format!(
+                ", {} partial ({} models retrained)",
+                self.partial, self.retrained_models
+            ));
+        }
+        if self.rejected > 0 {
+            head.push_str(&format!(", {} rejected", self.rejected));
+        }
+        if self.disabled > 0 {
+            head.push_str(&format!(", {} without store", self.disabled));
+        }
+        format!(
+            "model store: {head} · {} profiling runs, {} models trained · train time {:.2}s",
+            self.profile_runs,
+            self.trained_ars,
+            self.prep_nanos as f64 / 1e9,
+        )
     }
 }
 

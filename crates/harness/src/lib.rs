@@ -43,10 +43,11 @@ pub mod report;
 pub mod table1;
 pub mod tradeoff;
 
-pub use build::{ArSetting, BenchSetup, EvalOptions};
+pub use build::{ArSetting, BenchSetup, EvalOptions, PrepStats, StoreOutcome};
 pub use campaign::{Campaign, CampaignStats, ClassCounts};
-pub use experiment::{Engine, SchemeVariant, Sweep};
+pub use experiment::{Engine, SchemeVariant, StoreStats, Sweep};
 pub use report::TextTable;
+pub use rskip_store::Store;
 
 /// The paper's four acceptable-range settings.
 pub const AR_SETTINGS: [ArSetting; 4] = [

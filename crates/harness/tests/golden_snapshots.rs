@@ -8,7 +8,7 @@
 //! `target/release/rskip-eval fig7 --size small > crates/harness/tests/golden/fig7_small.txt`.
 
 use rskip_harness::build::EvalOptions;
-use rskip_harness::{fig7, fig8, fig9, table1, tradeoff, Engine};
+use rskip_harness::{fig7, fig8, fig9, table1, tradeoff, Engine, Store};
 use rskip_workloads::SizeProfile;
 
 fn small_engine() -> Engine {
@@ -51,6 +51,40 @@ fn fig7_and_fig8_small_match_goldens() {
         include_str!("golden/fig8b_small_6.txt"),
         "fig8b --size small --inputs 6",
     );
+}
+
+#[test]
+fn fig7_warm_started_from_store_matches_golden_byte_for_byte() {
+    // Cold engine fills the store; a second engine — as a fresh process
+    // would — warm-starts every model from disk. The rendered figure
+    // must be byte-identical to the golden (and hence to the cold run):
+    // deployment from the store is observationally equivalent to
+    // training in-process.
+    let dir = std::env::temp_dir().join(format!("rskip-golden-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let options = EvalOptions::at_size(SizeProfile::Small);
+    let cold = Engine::with_store(options.clone(), Some(Store::open(&dir)));
+    assert_golden(
+        &fig7::run_with(&cold).render(),
+        include_str!("golden/fig7_small.txt"),
+        "fig7 --size small (cold, store-backed)",
+    );
+    drop(cold);
+
+    let warm = Engine::with_store(options, Some(Store::open(&dir)));
+    assert_golden(
+        &fig7::run_with(&warm).render(),
+        include_str!("golden/fig7_small.txt"),
+        "fig7 --size small (warm-started)",
+    );
+    let stats = warm.store_stats();
+    assert_eq!(stats.misses, 0, "warm engine must not train anything");
+    assert_eq!(stats.profile_runs, 0);
+    assert_eq!(stats.trained_ars, 0);
+    assert!(stats.hits > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 // The fault-injection figures re-run every benchmark 40 times per scheme;

@@ -1,0 +1,190 @@
+//! Warm-start behaviour of the persistent model store.
+//!
+//! The headline acceptance check lives in `cold_then_warm_hit_performs_
+//! zero_training_executions`: after a cold `prepare` has filled the
+//! store, a *fresh* engine preparing the same benchmark must perform
+//! zero profiling executions and zero training invocations — verified
+//! both through the per-setup [`PrepStats`] and through the global
+//! profiling/training counters in `rskip-runtime`. The remaining tests
+//! cover selective retraining from damaged artifacts and cache-key
+//! sensitivity.
+//!
+//! The zero-execution test measures global counter deltas, so each test
+//! here uses its own store directory and the counter test tolerates
+//! concurrent increments only in its *cold* phase (the warm phase
+//! re-checks via per-setup stats, which are race-free).
+
+use rskip_harness::{EvalOptions, Store, StoreOutcome};
+use rskip_runtime::{profiling_run_count, training_run_count};
+use rskip_store::format;
+use rskip_workloads::SizeProfile;
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rskip-warm-{}-{}-{tag}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_options() -> EvalOptions {
+    EvalOptions {
+        size: SizeProfile::Tiny,
+        train_seeds: vec![1000, 1001],
+        ..EvalOptions::default()
+    }
+}
+
+fn prepare(store: &Store, options: &EvalOptions) -> rskip_harness::BenchSetup {
+    let bench = rskip_workloads::benchmark_by_name("conv1d").expect("registered benchmark");
+    rskip_harness::BenchSetup::prepare_with_store(bench, options, Some(store))
+}
+
+#[test]
+fn cold_then_warm_hit_performs_zero_training_executions() {
+    let store = Store::open(temp_dir("hit"));
+    let options = tiny_options();
+
+    let cold = prepare(&store, &options);
+    assert_eq!(cold.prep.store, StoreOutcome::Miss, "store starts empty");
+    assert!(cold.prep.profile_runs > 0, "cold prepare must profile");
+    assert!(cold.prep.trained_ars > 0, "cold prepare must train");
+
+    // A second preparation — as a fresh process would see it — must be
+    // served entirely from the artifact: no profiling, no training.
+    let profile_before = profiling_run_count();
+    let train_before = training_run_count();
+    let warm = prepare(&store, &options);
+    assert_eq!(warm.prep.store, StoreOutcome::Hit);
+    assert_eq!(warm.prep.profile_runs, 0);
+    assert_eq!(warm.prep.trained_ars, 0);
+    assert_eq!(
+        profiling_run_count() - profile_before,
+        0,
+        "warm hit must not execute a single profiling run"
+    );
+    assert_eq!(
+        training_run_count() - train_before,
+        0,
+        "warm hit must not invoke training"
+    );
+
+    // And the deployed models are the ones that were trained cold.
+    for (ar, model) in &cold.models {
+        assert_eq!(
+            format!("{:?}", warm.models[ar]),
+            format!("{model:?}"),
+            "warm model for {ar:?} must equal the cold-trained one"
+        );
+    }
+
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+#[test]
+fn damaged_model_section_is_selectively_retrained() {
+    let store = Store::open(temp_dir("partial"));
+    let options = tiny_options();
+    let cold = prepare(&store, &options);
+    assert_eq!(cold.prep.store, StoreOutcome::Miss);
+
+    // Corrupt exactly one `models/…` section payload in place.
+    let path = store.list().pop().expect("artifact saved");
+    let mut bytes = std::fs::read(&path).expect("read artifact");
+    let target = {
+        let sections = format::decode(&bytes).expect("artifact intact");
+        let damaged = sections
+            .iter()
+            .find(|s| s.name.starts_with("models/"))
+            .expect("artifact has model sections");
+        let pos = bytes
+            .windows(damaged.payload.len())
+            .position(|w| w == &damaged.payload[..])
+            .expect("payload bytes present");
+        (pos, damaged.name.clone())
+    };
+    bytes[target.0] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("write corrupted artifact");
+
+    let warm = prepare(&store, &options);
+    assert_eq!(
+        warm.prep.store,
+        StoreOutcome::Partial { retrained: 1 },
+        "exactly the damaged {} must be retrained",
+        target.1
+    );
+    assert_eq!(
+        warm.prep.profile_runs, 0,
+        "profiles survived, so retraining must not re-profile"
+    );
+    assert_eq!(warm.prep.trained_ars, 1);
+
+    // Recovery re-saves a clean artifact: next load is a full hit.
+    let healed = prepare(&store, &options);
+    assert_eq!(healed.prep.store, StoreOutcome::Hit);
+
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+#[test]
+fn changed_configuration_misses_the_cache() {
+    let store = Store::open(temp_dir("key"));
+    let options = tiny_options();
+    let cold = prepare(&store, &options);
+    assert_eq!(cold.prep.store, StoreOutcome::Miss);
+
+    // Same benchmark, different training seeds → different cache key →
+    // the stale artifact must not be served.
+    let reseeded = EvalOptions {
+        train_seeds: vec![7000, 7001],
+        ..options.clone()
+    };
+    let other = prepare(&store, &reseeded);
+    assert_eq!(
+        other.prep.store,
+        StoreOutcome::Miss,
+        "a config change must never reuse stale models"
+    );
+    assert!(other.prep.trained_ars > 0);
+
+    // Both artifacts now coexist; the original key still hits.
+    assert_eq!(store.list().len(), 2);
+    let warm = prepare(&store, &options);
+    assert_eq!(warm.prep.store, StoreOutcome::Hit);
+
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+#[test]
+fn rejected_artifact_retrains_from_scratch_and_heals() {
+    let store = Store::open(temp_dir("rejected"));
+    let options = tiny_options();
+    let cold = prepare(&store, &options);
+    assert_eq!(cold.prep.store, StoreOutcome::Miss);
+
+    // Corrupt the header: nothing in the file can be trusted.
+    let path = store.list().pop().expect("artifact saved");
+    let mut bytes = std::fs::read(&path).expect("read artifact");
+    bytes[0] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("write corrupted artifact");
+
+    let recovered = prepare(&store, &options);
+    assert_eq!(recovered.prep.store, StoreOutcome::Rejected);
+    assert!(
+        recovered.prep.profile_runs > 0,
+        "nothing usable: re-profile"
+    );
+    assert!(recovered.prep.trained_ars > 0);
+
+    let healed = prepare(&store, &options);
+    assert_eq!(healed.prep.store, StoreOutcome::Hit);
+
+    std::fs::remove_dir_all(store.dir()).ok();
+}

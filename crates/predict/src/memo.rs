@@ -135,6 +135,28 @@ impl Quantizer {
         }
     }
 
+    /// The sorted level boundaries (persistent-store export).
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Rebuilds a quantizer from stored boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or unsorted boundaries — [`level`](Self::level)
+    /// binary-searches them, so an unsorted vector (e.g. from a corrupted
+    /// but checksum-colliding artifact) would misclassify silently.
+    pub fn from_boundaries(boundaries: Vec<f64>) -> Result<Self, String> {
+        if boundaries.iter().any(|b| !b.is_finite()) {
+            return Err("quantizer boundary is not finite".to_string());
+        }
+        if boundaries.windows(2).any(|w| w[0] > w[1]) {
+            return Err("quantizer boundaries are not sorted".to_string());
+        }
+        Ok(Quantizer { boundaries })
+    }
+
     /// Maps an input to its level index in `0..levels`.
     pub fn level(&self, x: f64) -> usize {
         self.boundaries.partition_point(|&b| b < x)
@@ -168,6 +190,61 @@ impl Memoizer {
     /// Per-input address-bit allocation chosen by bit tuning.
     pub fn bits(&self) -> &[u32] {
         &self.bits
+    }
+
+    /// The per-input quantizers (persistent-store export).
+    pub fn quantizers(&self) -> &[Quantizer] {
+        &self.quantizers
+    }
+
+    /// The raw lookup table (persistent-store export).
+    pub fn table(&self) -> &[Option<f64>] {
+        &self.table
+    }
+
+    /// Reassembles a memoizer from stored parts, with fresh statistics.
+    ///
+    /// # Errors
+    ///
+    /// Rejects inconsistent parts — mismatched quantizer/bit arity, a
+    /// table whose length is not `2^(sum of bits)`, or a bit budget large
+    /// enough to be a corruption artifact rather than a trained model.
+    /// The checks make it impossible for checksum-valid-but-wrong data to
+    /// build a memoizer that indexes out of bounds.
+    pub fn from_parts(
+        quantizers: Vec<Quantizer>,
+        bits: Vec<u32>,
+        table: Vec<Option<f64>>,
+    ) -> Result<Self, String> {
+        if quantizers.len() != bits.len() {
+            return Err(format!(
+                "memoizer has {} quantizers but {} bit allocations",
+                quantizers.len(),
+                bits.len()
+            ));
+        }
+        if bits.iter().any(|&b| b == 0 || b > 24) {
+            return Err(format!("implausible per-input bit allocation {bits:?}"));
+        }
+        let total: u32 = bits.iter().sum();
+        if total > 30 {
+            return Err(format!(
+                "total address width {total} bits exceeds the 30-bit cap"
+            ));
+        }
+        let expected = 1usize << total;
+        if table.len() != expected {
+            return Err(format!(
+                "table has {} entries, address width {total} requires {expected}",
+                table.len()
+            ));
+        }
+        Ok(Memoizer {
+            quantizers,
+            bits,
+            table,
+            stats: MemoStats::default(),
+        })
     }
 
     /// Lookup statistics.

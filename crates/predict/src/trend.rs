@@ -77,7 +77,10 @@ pub fn top_k_coverage(values: &[f64], k: usize, ar: f64) -> f64 {
         e.0 += 1;
     }
     let mut freq: Vec<(u64, f64)> = counts.into_values().collect();
-    freq.sort_by_key(|&(count, _)| std::cmp::Reverse(count));
+    // Equal counts at the k-boundary must not be broken by HashMap
+    // iteration order, or the selected top-k set (and the coverage)
+    // varies from process to process.
+    freq.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.total_cmp(&b.1)));
     let top: Vec<f64> = freq.iter().take(k).map(|&(_, v)| v).collect();
 
     let covered = values

@@ -32,13 +32,15 @@ mod qos;
 mod region;
 mod runtime;
 pub mod signature;
+pub mod stored;
 mod train;
 
 pub use qos::QosTable;
 pub use region::{RegionState, RegionStats};
 pub use rskip_core::{ProtectionPlan, RegionPlan};
 pub use runtime::{PredictionRuntime, RegionInit, RuntimeConfig};
+pub use stored::{export_profiles, import_profiles};
 pub use train::{
-    profile_module, profile_module_with, train_from_profiles, RegionModel, RegionProfile,
-    TrainedModel, TrainingConfig,
+    profile_module, profile_module_with, profiling_run_count, train_from_profiles,
+    training_run_count, RegionModel, RegionProfile, TrainedModel, TrainingConfig,
 };

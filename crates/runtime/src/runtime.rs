@@ -1,9 +1,12 @@
 //! The intrinsic handler wiring region state to the execution substrate.
 
+use std::sync::Arc;
+
 use rskip_core::{ProtectionPlan, RegionPlan};
 use rskip_exec::{IntrinsicAction, RuntimeHooks};
 use rskip_ir::{Intrinsic, Value};
 use rskip_predict::DiConfig;
+use rskip_store::StoredModels;
 
 use crate::costs;
 use crate::region::{RegionState, RegionStats};
@@ -82,6 +85,11 @@ pub struct PredictionRuntime {
     regions: Vec<RegionState>,
     inits: Vec<RegionInit>,
     config: RuntimeConfig,
+    /// The installed trained model, kept for [`export_models`]
+    /// (`Arc`: campaign harnesses construct one runtime per trial).
+    ///
+    /// [`export_models`]: Self::export_models
+    installed: Option<Arc<TrainedModel>>,
 }
 
 impl PredictionRuntime {
@@ -115,6 +123,7 @@ impl PredictionRuntime {
             regions: states,
             inits,
             config,
+            installed: None,
         }
     }
 
@@ -136,15 +145,33 @@ impl PredictionRuntime {
     /// Creates a runtime and installs a trained model (QoS tables and
     /// memoizers).
     pub fn with_model(regions: &[RegionInit], config: RuntimeConfig, model: &TrainedModel) -> Self {
+        Self::with_model_arc(regions, config, Arc::new(model.clone()))
+    }
+
+    /// Like [`with_model`](Self::with_model) but shares an existing
+    /// `Arc`, so harnesses constructing one runtime per campaign trial
+    /// don't deep-copy the model every time.
+    pub fn with_model_arc(
+        regions: &[RegionInit],
+        config: RuntimeConfig,
+        model: Arc<TrainedModel>,
+    ) -> Self {
         let mut rt = Self::new(regions, config);
+        rt.install(model);
+        rt
+    }
+
+    /// Installs a trained model into the region states and records it for
+    /// [`export_models`](Self::export_models).
+    fn install(&mut self, model: Arc<TrainedModel>) {
         for (id, rm) in &model.regions {
-            let Some(state) = rt.regions.get_mut(*id as usize) else {
+            let Some(state) = self.regions.get_mut(*id as usize) else {
                 continue;
             };
             state.set_qos(rm.qos.clone(), rm.default_tp);
-            if config.enable_memo {
+            if self.config.enable_memo {
                 if let Some(memo) = &rm.memo {
-                    let memoizable = rt
+                    let memoizable = self
                         .inits
                         .get(*id as usize)
                         .map(|i| i.memoizable)
@@ -155,7 +182,29 @@ impl PredictionRuntime {
                 }
             }
         }
-        rt
+        self.installed = Some(model);
+    }
+
+    /// Deploys models loaded from the persistent store — the warm-start
+    /// path that replaces profiling and training entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the stored data is structurally
+    /// inconsistent (the store's checksums catch corruption; this catches
+    /// checksum-valid-but-wrong data) — the runtime is left untouched.
+    pub fn warm_start(&mut self, stored: &StoredModels) -> Result<(), String> {
+        let model = TrainedModel::try_from(stored)?;
+        self.install(Arc::new(model));
+        Ok(())
+    }
+
+    /// Exports the installed model in its persistent form, or `None` for
+    /// an untrained runtime.
+    pub fn export_models(&self) -> Option<StoredModels> {
+        self.installed
+            .as_ref()
+            .map(|m| StoredModels::from(m.as_ref()))
     }
 
     /// Counters for one region.

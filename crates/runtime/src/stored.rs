@@ -1,0 +1,169 @@
+//! Conversions between live training artifacts and their persistent
+//! plain-data form (`rskip-store` DTOs).
+//!
+//! Export is infallible — a live [`TrainedModel`] is always
+//! representable. Import is **fallible**: stored data whose checksums
+//! passed can still be structurally inconsistent (schema drift, a
+//! hand-edited artifact), and such data must be rejected with a
+//! description, never installed as a silently-wrong predictor.
+
+use std::collections::BTreeMap;
+
+use rskip_predict::Memoizer;
+use rskip_store::{StoredDiModel, StoredMemoModel, StoredModels, StoredProfile, StoredRegionModel};
+
+use crate::qos::QosTable;
+use crate::train::{RegionModel, RegionProfile, TrainedModel};
+
+impl From<&RegionModel> for StoredRegionModel {
+    fn from(rm: &RegionModel) -> Self {
+        StoredRegionModel {
+            di: StoredDiModel {
+                signature_tp: rm.qos.iter().map(|(s, tp)| (s.to_string(), tp)).collect(),
+                default_tp: rm.default_tp,
+                trained_skip_rate: rm.trained_skip_rate,
+            },
+            memo: rm.memo.as_ref().map(StoredMemoModel::from),
+        }
+    }
+}
+
+impl From<&TrainedModel> for StoredModels {
+    fn from(m: &TrainedModel) -> Self {
+        StoredModels {
+            regions: m
+                .regions
+                .iter()
+                .map(|(&id, rm)| (id, StoredRegionModel::from(rm)))
+                .collect(),
+        }
+    }
+}
+
+impl TryFrom<&StoredRegionModel> for RegionModel {
+    type Error = String;
+
+    fn try_from(s: &StoredRegionModel) -> Result<Self, String> {
+        if !s.di.default_tp.is_finite() || s.di.default_tp < 0.0 {
+            return Err(format!("default TP {} is not usable", s.di.default_tp));
+        }
+        let mut qos = QosTable::new();
+        for (sig, &tp) in &s.di.signature_tp {
+            if !tp.is_finite() || tp < 0.0 {
+                return Err(format!("signature `{sig}` maps to unusable TP {tp}"));
+            }
+            qos.insert(sig.clone(), tp);
+        }
+        let memo = match &s.memo {
+            None => None,
+            Some(m) => Some(Memoizer::try_from(m)?),
+        };
+        Ok(RegionModel {
+            qos,
+            default_tp: s.di.default_tp,
+            memo,
+            trained_skip_rate: s.di.trained_skip_rate,
+        })
+    }
+}
+
+impl TryFrom<&StoredModels> for TrainedModel {
+    type Error = String;
+
+    fn try_from(s: &StoredModels) -> Result<Self, String> {
+        let mut regions = BTreeMap::new();
+        for (&id, rm) in &s.regions {
+            let rm = RegionModel::try_from(rm).map_err(|e| format!("region {id}: {e}"))?;
+            regions.insert(id, rm);
+        }
+        Ok(TrainedModel { regions })
+    }
+}
+
+impl From<&RegionProfile> for StoredProfile {
+    fn from(p: &RegionProfile) -> Self {
+        StoredProfile {
+            outputs: p.outputs.clone(),
+            samples: p.samples.clone(),
+        }
+    }
+}
+
+impl From<&StoredProfile> for RegionProfile {
+    fn from(p: &StoredProfile) -> Self {
+        RegionProfile {
+            outputs: p.outputs.clone(),
+            samples: p.samples.clone(),
+        }
+    }
+}
+
+/// Exports a profile slice to its stored form.
+pub fn export_profiles(profiles: &[RegionProfile]) -> Vec<StoredProfile> {
+    profiles.iter().map(StoredProfile::from).collect()
+}
+
+/// Imports stored profiles back to live form.
+pub fn import_profiles(stored: &[StoredProfile]) -> Vec<RegionProfile> {
+    stored.iter().map(RegionProfile::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train_from_profiles, TrainingConfig};
+
+    fn trained() -> TrainedModel {
+        let mut p = RegionProfile::default();
+        for i in 0..4000 {
+            let x = (i % 50) as f64;
+            p.outputs.push(x * 3.0);
+            p.samples.push((vec![x], x * 3.0));
+        }
+        train_from_profiles(&[p], &[true], &TrainingConfig::default())
+    }
+
+    #[test]
+    fn trained_model_round_trips_through_dto() {
+        let model = trained();
+        assert!(
+            model.regions[&0].memo.is_some(),
+            "fixture must train a memo"
+        );
+        let dto = StoredModels::from(&model);
+        let back = TrainedModel::try_from(&dto).expect("exported model must re-import");
+        // Re-exporting the imported model is byte-identical DTO-wise.
+        assert_eq!(StoredModels::from(&back), dto);
+        let rm = &back.regions[&0];
+        assert_eq!(rm.default_tp, model.regions[&0].default_tp);
+        assert_eq!(rm.qos, model.regions[&0].qos);
+    }
+
+    #[test]
+    fn unusable_tp_is_rejected() {
+        let mut dto = StoredModels::from(&trained());
+        dto.regions.get_mut(&0).unwrap().di.default_tp = f64::NAN;
+        assert!(TrainedModel::try_from(&dto).is_err());
+
+        let mut dto = StoredModels::from(&trained());
+        dto.regions
+            .get_mut(&0)
+            .unwrap()
+            .di
+            .signature_tp
+            .insert("bad".to_string(), f64::INFINITY);
+        assert!(TrainedModel::try_from(&dto).is_err());
+    }
+
+    #[test]
+    fn profiles_round_trip() {
+        let p = RegionProfile {
+            outputs: vec![1.0, 2.5, -3.0],
+            samples: vec![(vec![1.0, 2.0], 3.0), (vec![], 0.0)],
+        };
+        let stored = export_profiles(std::slice::from_ref(&p));
+        let back = import_profiles(&stored);
+        assert_eq!(back[0].outputs, p.outputs);
+        assert_eq!(back[0].samples, p.samples);
+    }
+}

@@ -18,6 +18,7 @@
 //!    regions.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +28,22 @@ use rskip_predict::{DiConfig, DynamicInterpolation, MemoConfig, MemoTrainer, Mem
 
 use crate::qos::QosTable;
 use crate::signature::{signature, DEFAULT_EDGES};
+
+/// Process-wide count of profiling executions — warm-start tests assert
+/// that a warm store performs *zero* of them.
+static PROFILE_RUNS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of [`train_from_profiles`] invocations.
+static TRAIN_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of profiling executions performed by this process so far.
+pub fn profiling_run_count() -> u64 {
+    PROFILE_RUNS.load(Ordering::Relaxed)
+}
+
+/// Number of training invocations performed by this process so far.
+pub fn training_run_count() -> u64 {
+    TRAIN_CALLS.load(Ordering::Relaxed)
+}
 
 /// Everything recorded about one region during profiling.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -102,6 +119,7 @@ pub fn profile_module_with(
     args: &[Value],
     init_arrays: &[(String, Vec<Value>)],
 ) -> Vec<RegionProfile> {
+    PROFILE_RUNS.fetch_add(1, Ordering::Relaxed);
     let hooks = ProfilingHooks {
         profiles: Vec::new(),
     };
@@ -255,6 +273,7 @@ pub fn train_from_profiles(
     memoizable: &[bool],
     config: &TrainingConfig,
 ) -> TrainedModel {
+    TRAIN_CALLS.fetch_add(1, Ordering::Relaxed);
     let mut model = TrainedModel::default();
     for (region, profile) in profiles.iter().enumerate() {
         if profile.outputs.is_empty() {

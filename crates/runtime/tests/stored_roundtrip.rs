@@ -1,0 +1,136 @@
+//! Property tests: the persistent DTO forms of the training artifacts
+//! round-trip losslessly through the live objects.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rskip_runtime::{export_profiles, import_profiles, RegionProfile, TrainedModel};
+use rskip_store::{
+    StoredDiModel, StoredMemoModel, StoredModels, StoredQuantizer, StoredRegionModel,
+};
+
+/// A structurally valid memo DTO: per-input bit widths in 1..=3,
+/// sorted finite boundaries, and a table of exactly `2^(sum of bits)`
+/// entries.
+fn memo_strategy() -> impl Strategy<Value = StoredMemoModel> {
+    (
+        prop::collection::vec(1u32..4, 1..3),
+        prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 0..6), 1..3),
+        prop::collection::vec(prop::option::of(-1e6f64..1e6), 1..9),
+    )
+        .prop_map(|(bits, boundary_pool, cell_pool)| {
+            let quantizers = bits
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    let mut b = boundary_pool[i % boundary_pool.len()].clone();
+                    b.sort_by(f64::total_cmp);
+                    StoredQuantizer { boundaries: b }
+                })
+                .collect();
+            let total: u32 = bits.iter().sum();
+            let table = (0..1usize << total)
+                .map(|i| cell_pool[i % cell_pool.len()])
+                .collect();
+            StoredMemoModel {
+                quantizers,
+                bits,
+                table,
+            }
+        })
+}
+
+fn region_model_strategy() -> impl Strategy<Value = StoredRegionModel> {
+    (
+        prop::collection::vec((0u32..10_000, 0.0f64..100.0), 0..6),
+        0.0f64..100.0,
+        0.0f64..1.0,
+        prop::option::of(memo_strategy()),
+    )
+        .prop_map(|(sigs, default_tp, skip, memo)| StoredRegionModel {
+            di: StoredDiModel {
+                signature_tp: sigs
+                    .into_iter()
+                    .map(|(sig, tp)| (sig.to_string(), tp))
+                    .collect(),
+                default_tp,
+                trained_skip_rate: skip,
+            },
+            memo,
+        })
+}
+
+fn models_strategy() -> impl Strategy<Value = StoredModels> {
+    prop::collection::vec((0u32..8, region_model_strategy()), 0..4).prop_map(|entries| {
+        StoredModels {
+            regions: entries.into_iter().collect::<BTreeMap<_, _>>(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DTO → live `TrainedModel` → DTO is the identity for every
+    /// structurally valid artifact (run-time statistics excluded — they
+    /// are reset on import by design and never stored).
+    #[test]
+    fn stored_models_round_trip_is_lossless(stored in models_strategy()) {
+        let live = TrainedModel::try_from(&stored)
+            .expect("structurally valid DTOs must import");
+        let back = StoredModels::from(&live);
+        prop_assert_eq!(back, stored);
+    }
+
+    /// JSON serialization of the DTO is itself a lossless round trip —
+    /// the on-disk bytes decode to the exact artifact that was saved.
+    #[test]
+    fn stored_models_json_round_trip(stored in models_strategy()) {
+        let json = serde_json::to_string(&stored).expect("DTOs serialize");
+        let parsed: StoredModels = serde_json::from_str(&json).expect("and re-parse");
+        prop_assert_eq!(parsed, stored);
+    }
+
+    /// Profile export/import is lossless.
+    #[test]
+    fn profiles_round_trip_is_lossless(
+        outputs in prop::collection::vec(-1e9f64..1e9, 0..64),
+        samples in prop::collection::vec(
+            (prop::collection::vec(-1e3f64..1e3, 0..4), -1e3f64..1e3),
+            0..32,
+        ),
+    ) {
+        let live = vec![RegionProfile { outputs, samples }];
+        let back = import_profiles(&export_profiles(&live));
+        prop_assert_eq!(back[0].outputs.clone(), live[0].outputs.clone());
+        prop_assert_eq!(back[0].samples.clone(), live[0].samples.clone());
+    }
+}
+
+/// A corrupted-but-parseable DTO must fail import, not panic or install.
+#[test]
+fn inconsistent_dto_fails_import() {
+    let mut stored = StoredModels::default();
+    stored.regions.insert(
+        0,
+        StoredRegionModel {
+            di: StoredDiModel {
+                signature_tp: BTreeMap::new(),
+                default_tp: 0.5,
+                trained_skip_rate: 0.5,
+            },
+            memo: Some(StoredMemoModel {
+                quantizers: vec![StoredQuantizer {
+                    boundaries: vec![1.0],
+                }],
+                bits: vec![2],
+                table: vec![None; 3], // should be 4
+            }),
+        },
+    );
+    let err = TrainedModel::try_from(&stored).unwrap_err();
+    assert!(
+        err.contains("region 0"),
+        "error must locate the region: {err}"
+    );
+}

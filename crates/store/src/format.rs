@@ -1,0 +1,570 @@
+//! The sectioned binary container (`.rsm` files).
+//!
+//! ```text
+//! offset 0   magic          b"RSKM"
+//!        4   version        u16 LE  (currently 1)
+//!        6   section count  u16 LE
+//!        8   per section:   name_len u16 LE, name bytes (UTF-8),
+//!                           payload_len u64 LE, payload CRC-32 u32 LE
+//!        …   header CRC-32  u32 LE  (over everything above)
+//!        …   payloads       concatenated, in section-table order
+//!  last 8    file digest    FNV-1a 64 LE (over everything above)
+//! ```
+//!
+//! Integrity is layered so corruption is *located*, not just detected:
+//! a flipped byte in a payload fails that section's CRC (reported with
+//! the section name and file offset), a flipped byte in the section
+//! table fails the header CRC, and a flipped trailer byte fails the
+//! whole-file digest. [`decode`] stops at the first problem;
+//! [`validate`] collects every problem for `rskip-eval verify`.
+
+use std::path::PathBuf;
+
+use crate::digest::{crc32, fnv1a64};
+
+/// File magic: "RSKip Model".
+pub const MAGIC: [u8; 4] = *b"RSKM";
+/// Current container version.
+pub const VERSION: u16 = 1;
+
+/// One named section and its raw payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// Section name (e.g. `"meta"`, `"models/AR20"`).
+    pub name: String,
+    /// Raw payload (JSON-encoded DTOs in the model store).
+    pub payload: Vec<u8>,
+}
+
+/// Everything that can go wrong reading or writing a store file.
+///
+/// Every integrity variant carries enough detail to point at the broken
+/// bytes: the section name and absolute file offset for payload
+/// corruption, the expected/actual checksum everywhere.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Filesystem-level failure.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// Stringified OS error.
+        detail: String,
+    },
+    /// The file ends before a required field.
+    Truncated {
+        /// Offset at which more bytes were needed.
+        offset: usize,
+        /// Bytes required at that offset.
+        needed: usize,
+        /// Actual file length.
+        len: usize,
+    },
+    /// The file does not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The container version is newer than this reader.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u16,
+    },
+    /// The section table failed its CRC — lengths and names are
+    /// untrustworthy, nothing can be selectively recovered.
+    HeaderChecksum {
+        /// CRC recorded in the file.
+        expected: u32,
+        /// CRC recomputed over the header bytes.
+        actual: u32,
+    },
+    /// The declared sizes do not add up to the file size.
+    SizeMismatch {
+        /// File length implied by the section table.
+        expected: usize,
+        /// Actual file length.
+        actual: usize,
+    },
+    /// One section's payload failed its CRC.
+    SectionChecksum {
+        /// Section name.
+        section: String,
+        /// Absolute file offset of the payload.
+        offset: usize,
+        /// CRC recorded in the section table.
+        expected: u32,
+        /// CRC recomputed over the payload bytes.
+        actual: u32,
+    },
+    /// The whole-file digest failed (trailer corruption, or corruption
+    /// the finer checks somehow missed).
+    FileDigest {
+        /// Digest recorded in the trailer.
+        expected: u64,
+        /// Digest recomputed over the file body.
+        actual: u64,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// Section name.
+        section: String,
+    },
+    /// A section's payload passed its CRC but did not decode as the
+    /// expected DTO (schema drift, or a hand-edited file).
+    Decode {
+        /// Section name.
+        section: String,
+        /// Parser/conversion error.
+        detail: String,
+    },
+    /// The artifact's recorded cache key does not match the requested
+    /// one (e.g. a renamed file) — the models belong to another binary.
+    KeyMismatch {
+        /// Key the caller asked for.
+        expected: String,
+        /// Key recorded in the artifact.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, detail } => write!(f, "{}: {detail}", path.display()),
+            StoreError::Truncated {
+                offset,
+                needed,
+                len,
+            } => write!(
+                f,
+                "truncated: need {needed} bytes at offset {offset}, file is {len} bytes"
+            ),
+            StoreError::BadMagic { found } => {
+                write!(f, "bad magic {found:?} (expected {MAGIC:?})")
+            }
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported container version {found} (reader supports {VERSION})")
+            }
+            StoreError::HeaderChecksum { expected, actual } => write!(
+                f,
+                "section table corrupt: header CRC {actual:08x} != recorded {expected:08x}"
+            ),
+            StoreError::SizeMismatch { expected, actual } => write!(
+                f,
+                "file size {actual} does not match the {expected} bytes the section table declares"
+            ),
+            StoreError::SectionChecksum {
+                section,
+                offset,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "section `{section}` corrupt at offset {offset}: CRC {actual:08x} != recorded {expected:08x}"
+            ),
+            StoreError::FileDigest { expected, actual } => write!(
+                f,
+                "file digest {actual:016x} != recorded {expected:016x}"
+            ),
+            StoreError::MissingSection { section } => {
+                write!(f, "required section `{section}` is missing")
+            }
+            StoreError::Decode { section, detail } => {
+                write!(f, "section `{section}` failed to decode: {detail}")
+            }
+            StoreError::KeyMismatch { expected, found } => write!(
+                f,
+                "cache-key mismatch: artifact was trained for {found}, this binary needs {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Serializes sections into the container format.
+pub fn encode(sections: &[Section]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u16).to_le_bytes());
+    for s in sections {
+        out.extend_from_slice(&(s.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(s.name.as_bytes());
+        out.extend_from_slice(&(s.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(&s.payload).to_le_bytes());
+    }
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    for s in sections {
+        out.extend_from_slice(&s.payload);
+    }
+    let digest = fnv1a64(&out);
+    out.extend_from_slice(&digest.to_le_bytes());
+    out
+}
+
+/// A parsed section table entry plus where its payload lives.
+struct Entry {
+    name: String,
+    len: usize,
+    crc: u32,
+    /// Absolute payload offset, filled in after the table is parsed.
+    offset: usize,
+}
+
+/// Little-endian field reader with truncation reporting.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(StoreError::Truncated {
+                offset: self.pos,
+                needed: n,
+                len: self.bytes.len(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Parses magic, version and the CRC-protected section table. On success
+/// the entries carry absolute payload offsets.
+fn parse_header(bytes: &[u8]) -> Result<Vec<Entry>, StoreError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: magic.try_into().unwrap(),
+        });
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let count = r.u16()? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = r.u16()? as usize;
+        let name_bytes = r.take(name_len)?;
+        let name = String::from_utf8(name_bytes.to_vec()).map_err(|e| StoreError::Decode {
+            section: String::from("<header>"),
+            detail: format!("non-UTF-8 section name: {e}"),
+        })?;
+        let len = r.u64()? as usize;
+        let crc = r.u32()?;
+        entries.push(Entry {
+            name,
+            len,
+            crc,
+            offset: 0,
+        });
+    }
+    let header_end = r.pos;
+    let recorded = r.u32()?;
+    let actual = crc32(&bytes[..header_end]);
+    if recorded != actual {
+        return Err(StoreError::HeaderChecksum {
+            expected: recorded,
+            actual,
+        });
+    }
+    let mut offset = r.pos;
+    for e in &mut entries {
+        e.offset = offset;
+        offset += e.len;
+    }
+    let expected_len = offset + 8;
+    if expected_len != bytes.len() {
+        return Err(StoreError::SizeMismatch {
+            expected: expected_len,
+            actual: bytes.len(),
+        });
+    }
+    Ok(entries)
+}
+
+fn section_error(bytes: &[u8], e: &Entry) -> Option<StoreError> {
+    let actual = crc32(&bytes[e.offset..e.offset + e.len]);
+    (actual != e.crc).then(|| StoreError::SectionChecksum {
+        section: e.name.clone(),
+        offset: e.offset,
+        expected: e.crc,
+        actual,
+    })
+}
+
+fn digest_error(bytes: &[u8]) -> Option<StoreError> {
+    let body = &bytes[..bytes.len() - 8];
+    let recorded = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let actual = fnv1a64(body);
+    (actual != recorded).then_some(StoreError::FileDigest {
+        expected: recorded,
+        actual,
+    })
+}
+
+/// Strictly decodes a container: every check must pass.
+///
+/// Checks run from the most to the least specific, so the returned error
+/// locates the corruption as precisely as possible: header first, then
+/// each section's CRC (with name and offset), then the whole-file digest.
+pub fn decode(bytes: &[u8]) -> Result<Vec<Section>, StoreError> {
+    let entries = parse_header(bytes)?;
+    for e in &entries {
+        if let Some(err) = section_error(bytes, e) {
+            return Err(err);
+        }
+    }
+    if let Some(err) = digest_error(bytes) {
+        return Err(err);
+    }
+    Ok(entries
+        .into_iter()
+        .map(|e| Section {
+            payload: bytes[e.offset..e.offset + e.len].to_vec(),
+            name: e.name,
+        })
+        .collect())
+}
+
+/// Collects *every* integrity problem in the container (for
+/// `rskip-eval verify`). An empty vector means the file is intact.
+pub fn validate(bytes: &[u8]) -> Vec<StoreError> {
+    let entries = match parse_header(bytes) {
+        Ok(e) => e,
+        Err(e) => return vec![e],
+    };
+    let mut errors: Vec<StoreError> = entries
+        .iter()
+        .filter_map(|e| section_error(bytes, e))
+        .collect();
+    if let Some(err) = digest_error(bytes) {
+        errors.push(err);
+    }
+    errors
+}
+
+/// Leniently decodes a container: sections whose CRC passes are
+/// returned, everything broken is reported. Used for selective
+/// retraining — an intact `profiles` section can warm-start training of
+/// a corrupted `models/…` section. Returns `Err` only when the header
+/// itself is unusable (then nothing is recoverable).
+pub fn decode_lenient(bytes: &[u8]) -> Result<(Vec<Section>, Vec<StoreError>), StoreError> {
+    let entries = parse_header(bytes)?;
+    let mut sections = Vec::new();
+    let mut errors = Vec::new();
+    for e in &entries {
+        match section_error(bytes, e) {
+            Some(err) => errors.push(err),
+            None => sections.push(Section {
+                name: e.name.clone(),
+                payload: bytes[e.offset..e.offset + e.len].to_vec(),
+            }),
+        }
+    }
+    if let Some(err) = digest_error(bytes) {
+        // Only worth reporting when no finer check already explains it.
+        if errors.is_empty() {
+            errors.push(err);
+        }
+    }
+    Ok((sections, errors))
+}
+
+/// A one-line-per-section human-readable description (for
+/// `rskip-eval inspect`).
+pub fn describe(bytes: &[u8]) -> Result<String, StoreError> {
+    use std::fmt::Write as _;
+    let entries = parse_header(bytes)?;
+    let mut out = String::new();
+    for e in &entries {
+        let status = match section_error(bytes, e) {
+            None => "ok",
+            Some(_) => "CORRUPT",
+        };
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>8} bytes  crc32 {:08x}  offset {:>8}  {status}",
+            e.name, e.len, e.crc, e.offset
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Section> {
+        vec![
+            Section {
+                name: "meta".into(),
+                payload: br#"{"bench":"x"}"#.to_vec(),
+            },
+            Section {
+                name: "models/AR20".into(),
+                payload: vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+            },
+            Section {
+                name: "empty".into(),
+                payload: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let sections = sample();
+        let bytes = encode(&sections);
+        assert_eq!(decode(&bytes).unwrap(), sections);
+        assert!(validate(&bytes).is_empty());
+    }
+
+    #[test]
+    fn payload_flip_names_the_section_and_offset() {
+        let sections = sample();
+        let bytes = encode(&sections);
+        // Find the "models/AR20" payload: it follows the meta payload.
+        let meta_len = sections[0].payload.len();
+        let payload_start = bytes.len() - 8 - 9 - meta_len + meta_len; // header…meta | models | digest
+        let mut corrupt = bytes.clone();
+        let idx = payload_start;
+        corrupt[idx] ^= 0x01;
+        match decode(&corrupt) {
+            Err(StoreError::SectionChecksum {
+                section, offset, ..
+            }) => {
+                assert_eq!(section, "models/AR20");
+                assert_eq!(offset, idx);
+            }
+            other => panic!("expected SectionChecksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_flip_is_header_checksum() {
+        let bytes = encode(&sample());
+        let mut corrupt = bytes.clone();
+        corrupt[10] ^= 0x40; // inside the first name length / name area
+        assert!(matches!(
+            decode(&corrupt),
+            Err(StoreError::HeaderChecksum { .. }) | Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn magic_and_version_flips() {
+        let bytes = encode(&sample());
+        let mut m = bytes.clone();
+        m[0] ^= 0xFF;
+        assert!(matches!(decode(&m), Err(StoreError::BadMagic { .. })));
+        let mut v = bytes.clone();
+        v[5] ^= 0x01;
+        assert!(matches!(
+            decode(&v),
+            Err(StoreError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn trailer_flip_is_file_digest() {
+        let bytes = encode(&sample());
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x80;
+        assert!(matches!(
+            decode(&corrupt),
+            Err(StoreError::FileDigest { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let bytes = encode(&sample());
+        assert!(matches!(
+            decode(&bytes[..6]),
+            Err(StoreError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 3]),
+            Err(StoreError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lenient_recovers_intact_sections() {
+        let sections = sample();
+        let bytes = encode(&sections);
+        // Corrupt the models payload; meta and empty must survive.
+        let mut corrupt = bytes.clone();
+        let meta_len = sections[0].payload.len();
+        let models_start = bytes.len() - 8 - 9;
+        let _ = meta_len;
+        corrupt[models_start + 4] ^= 0x10;
+        let (ok, errors) = decode_lenient(&corrupt).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[0].name, "meta");
+        assert_eq!(ok[1].name, "empty");
+        assert_eq!(errors.len(), 1);
+        assert!(
+            matches!(&errors[0], StoreError::SectionChecksum { section, .. } if section == "models/AR20")
+        );
+    }
+
+    #[test]
+    fn validate_collects_all_problems() {
+        let sections = sample();
+        let mut bytes = encode(&sections);
+        let models_start = bytes.len() - 8 - 9;
+        let meta_start = models_start - sections[0].payload.len();
+        bytes[meta_start] ^= 0x01;
+        bytes[models_start] ^= 0x01;
+        let errors = validate(&bytes);
+        assert_eq!(
+            errors
+                .iter()
+                .filter(|e| matches!(e, StoreError::SectionChecksum { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn describe_lists_sections() {
+        let bytes = encode(&sample());
+        let d = describe(&bytes).unwrap();
+        assert!(d.contains("meta"));
+        assert!(d.contains("models/AR20"));
+        assert!(d.contains("ok"));
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = StoreError::SectionChecksum {
+            section: "plan".into(),
+            offset: 77,
+            expected: 1,
+            actual: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("plan") && s.contains("77"));
+    }
+}

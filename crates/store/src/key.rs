@@ -1,0 +1,128 @@
+//! Content-hash cache keys.
+//!
+//! An artifact is addressed by a hash of everything its models depend on:
+//! the printed module IR, the protection-plan fingerprint, and the
+//! training configuration (size profile, training seeds, AR settings).
+//! Change any of those and the key changes, so a stale artifact can never
+//! be loaded against a mismatched binary — the lookup simply misses.
+//!
+//! Parts are length-prefixed before hashing, so `("ab", "c")` and
+//! `("a", "bc")` produce different keys.
+
+use crate::digest::Fnv1a64;
+
+/// A 64-bit content-hash cache key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// Starts building a key from hashed parts.
+    pub fn builder() -> CacheKeyBuilder {
+        CacheKeyBuilder(Fnv1a64::new())
+    }
+
+    /// The raw hash value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The key as 16 lowercase hex digits (used in artifact filenames).
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses a key from its [`hex`](Self::hex) form.
+    pub fn parse(s: &str) -> Option<CacheKey> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(CacheKey)
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Accumulates length-prefixed parts into a [`CacheKey`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheKeyBuilder(Fnv1a64);
+
+impl CacheKeyBuilder {
+    /// Absorbs one binary part (length-prefixed).
+    pub fn part(mut self, bytes: &[u8]) -> Self {
+        self.0.update(&(bytes.len() as u64).to_le_bytes());
+        self.0.update(bytes);
+        self
+    }
+
+    /// Absorbs one textual part.
+    pub fn text(self, s: &str) -> Self {
+        self.part(s.as_bytes())
+    }
+
+    /// Absorbs a sequence of integers (e.g. training seeds).
+    pub fn ints(mut self, values: &[u64]) -> Self {
+        self.0.update(&(values.len() as u64).to_le_bytes());
+        for v in values {
+            self.0.update(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Finishes the key.
+    pub fn finish(self) -> CacheKey {
+        CacheKey(self.0.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let k = CacheKey::builder().text("module ir").text("plan").finish();
+        assert_eq!(CacheKey::parse(&k.hex()), Some(k));
+        assert_eq!(k.hex().len(), 16);
+        assert_eq!(format!("{k}"), k.hex());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(CacheKey::parse(""), None);
+        assert_eq!(CacheKey::parse("xyz"), None);
+        assert_eq!(CacheKey::parse("00112233445566778"), None); // 17 chars
+        assert_eq!(CacheKey::parse("001122334455667g"), None);
+    }
+
+    #[test]
+    fn length_prefix_prevents_part_sliding() {
+        let a = CacheKey::builder().text("ab").text("c").finish();
+        let b = CacheKey::builder().text("a").text("bc").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn any_part_change_changes_the_key() {
+        let base = CacheKey::builder()
+            .text("ir")
+            .text("plan")
+            .ints(&[1000, 1001])
+            .finish();
+        let ir = CacheKey::builder()
+            .text("ir2")
+            .text("plan")
+            .ints(&[1000, 1001])
+            .finish();
+        let seeds = CacheKey::builder()
+            .text("ir")
+            .text("plan")
+            .ints(&[1000, 1002])
+            .finish();
+        assert_ne!(base, ir);
+        assert_ne!(base, seeds);
+    }
+}

@@ -1,0 +1,55 @@
+//! # rskip-store — persistent, integrity-checked model store
+//!
+//! The layer between RSkip's offline training phase and online
+//! deployment: everything training produces — the per-signature TP
+//! selections, memoization tables and QoS models of paper §6, plus the
+//! compile-time `ProtectionPlan` handoff — is persisted as a versioned,
+//! checksummed artifact that survives process restarts and can be
+//! shipped to a fleet.
+//!
+//! Fittingly for a fault-protection system, the store assumes its own
+//! bits can flip:
+//!
+//! * every section payload carries a CRC-32, the section table a CRC-32
+//!   of its own, and the file a trailing FNV-1a-64 digest — a single
+//!   flipped byte anywhere is detected and reported as a typed
+//!   [`StoreError`] with section and offset detail, never deployed as a
+//!   garbage predictor;
+//! * a corrupted section is *selectively* recoverable: intact sections
+//!   still warm-start, and the stored training profiles let a damaged
+//!   model section be retrained without re-profiling;
+//! * artifacts are addressed by a [`CacheKey`] — a content hash of the
+//!   module IR and the training configuration — and the key is recorded
+//!   inside the artifact, so a stale or renamed file can never be loaded
+//!   against a mismatched binary.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "RSKM" | version u16 | section table | header CRC-32
+//!              | payloads…   | file FNV-1a-64 digest
+//! ```
+//!
+//! Payloads are serde-JSON-encoded plain-data DTOs ([`dto`]); the
+//! conversions to live runtime objects are fallible, so even
+//! checksum-valid-but-inconsistent data is rejected with a description
+//! instead of misbehaving at prediction time.
+
+#![deny(missing_docs)]
+
+pub mod digest;
+pub mod dto;
+pub mod format;
+mod key;
+mod store;
+
+pub use dto::{
+    StoredDiModel, StoredMemoModel, StoredModels, StoredPlan, StoredProfile, StoredQuantizer,
+    StoredRegionModel, StoredRegionPlan,
+};
+pub use format::{Section, StoreError, MAGIC, VERSION};
+pub use key::{CacheKey, CacheKeyBuilder};
+pub use store::{
+    ArtifactMeta, FileReport, LoadOutcome, ModelArtifact, PartialArtifact, Store, ARTIFACT_EXT,
+    SECTION_META, SECTION_MODELS_PREFIX, SECTION_PLAN, SECTION_PROFILES,
+};
