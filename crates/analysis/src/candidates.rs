@@ -12,6 +12,7 @@ use crate::cfg::Cfg;
 use crate::cost::CostModel;
 use crate::dom::DomTree;
 use crate::loops::{InductionVar, Loop, LoopForest};
+use crate::purity::Purity;
 use crate::slice::BackwardSlice;
 
 /// What kind of computation produces the protected value.
@@ -84,29 +85,13 @@ impl DetectConfig {
     }
 }
 
-/// True if the callee is re-executable: no stores, no intrinsics, no
-/// nested calls. `allow_loads` distinguishes re-executability (loads fine
-/// under the no-alias discipline) from memoizability (no loads at all —
-/// the lookup table must be a pure function of the arguments, §4.2.1:
-/// "the computation should generate the identical output on the same input
-/// set without any side effect").
-fn callee_is_reexecutable(module: &Module, name: &str, allow_loads: bool) -> bool {
-    let Some(f) = module.function(name) else {
-        return false;
-    };
-    for block in &f.blocks {
-        for inst in &block.insts {
-            match inst {
-                Inst::Store { .. } | Inst::IntrinsicCall { .. } | Inst::Call { .. } => {
-                    return false
-                }
-                Inst::Load { .. } if !allow_loads => return false,
-                _ => {}
-            }
-        }
-    }
-    true
-}
+// Callee re-executability and memoizability are decided by the
+// interprocedural effect summaries in [`crate::purity`]: re-execution
+// tolerates loads (the no-alias discipline covers them) but nothing
+// stronger, while memoization demands strict purity — "the computation
+// should generate the identical output on the same input set without any
+// side effect" (§4.2.1). Unlike the original syntactic scan this admits
+// callees whose nested calls are themselves pure.
 
 /// Weighted static cost of one evaluation of the slice.
 fn slice_cost(
@@ -170,6 +155,7 @@ fn slice_cost(
 /// ```
 pub fn find_candidates(module: &Module, config: &DetectConfig) -> Vec<CandidateLoop> {
     let model = CostModel::new();
+    let purity = Purity::analyze(module);
     let mut out = Vec::new();
 
     for f in &module.functions {
@@ -219,7 +205,7 @@ pub fn find_candidates(module: &Module, config: &DetectConfig) -> Vec<CandidateL
                     let cost = slice_cost(module, f, &forest, &slice, &model);
                     let kind = if slice.subloops.is_empty() && slice.calls.len() == 1 {
                         let callee = slice.calls[0].clone();
-                        if !callee_is_reexecutable(module, &callee, true) {
+                        if !purity.is_reexecutable(&callee) {
                             continue;
                         }
                         // The Fig. 4a pattern stores the call result
@@ -246,7 +232,7 @@ pub fn find_candidates(module: &Module, config: &DetectConfig) -> Vec<CandidateL
                         if callee_cost < config.min_callee_cost {
                             continue;
                         }
-                        let memoizable = callee_is_reexecutable(module, &callee, false);
+                        let memoizable = purity.is_memoizable(&callee);
                         CandidateKind::Call { callee, memoizable }
                     } else if !slice.subloops.is_empty() && slice.calls.is_empty() {
                         if cost < config.min_slice_cost {
@@ -456,8 +442,9 @@ mod tests {
     #[test]
     fn callee_purity_analysis() {
         let m = call_pattern(true);
-        assert!(callee_is_reexecutable(&m, "price", false));
-        assert!(!callee_is_reexecutable(&m, "main", true)); // has store+call
-        assert!(!callee_is_reexecutable(&m, "ghost", true));
+        let purity = Purity::analyze(&m);
+        assert!(purity.is_memoizable("price"));
+        assert!(!purity.is_reexecutable("main")); // has a store
+        assert!(!purity.is_reexecutable("ghost"));
     }
 }

@@ -1,0 +1,794 @@
+//! Static protection-coverage linting of transformed IR (`rskip-lint`).
+//!
+//! The protection passes promise that inside the sphere of replication
+//! every live value has a redundant copy, and that nothing *leaves* the
+//! sphere — through a store, a branch decision, a call, a load address, a
+//! region exit or a return — without first passing a validation point
+//! (SWIFT's compare-and-branch-to-detector, SWIFT-R's majority vote).
+//! This module checks both properties statically, so a transformation bug
+//! surfaces as a typed, source-located diagnostic instead of a mysterious
+//! detection miss in a fault campaign.
+//!
+//! ## How it works
+//!
+//! A forward dataflow runs over each protected function. The state at a
+//! program point is a *replica partition* — a value numbering where two
+//! registers share a class exactly when the pass intends them to hold the
+//! same value (original + shadows) — plus a per-register *validated* flag.
+//! Pure instructions are hash-consed within a block (duplicated/triplicated
+//! clones are emitted adjacent to their originals, so they meet in the
+//! table); `mov` propagates class and validity; loads, calls and
+//! intrinsics produce fresh classes. The two validation idioms are
+//! recognized structurally:
+//!
+//! * **check** (SWIFT): `t = cmp.ne a, a'` over one class, followed by
+//!   `condbr t, detect, cont` where `detect` fires the [`Intrinsic::Detect`]
+//!   trap — the class becomes validated on the `cont` edge;
+//! * **vote** (SWIFT-R): `t = cmp.eq a, a'` over one class, then
+//!   `m = select t, a, a''` with all three operands in that class — `m` is
+//!   validated (and deliberately *not* added to the class: a flip of `m`
+//!   after the vote has no remaining redundancy).
+//!
+//! At joins the partitions are intersected, so a replica relation only
+//! survives if it holds on every path. Every sync point then demands a
+//! validated (or constant) operand; anything else is an *unprotected
+//! window*.
+//!
+//! ## The coverage map and its fault-model contract
+//!
+//! [`CoverageReport::map`] records, per instruction boundary, which
+//! registers the analysis claims *covered*: flip any single bit of such a
+//! register at that boundary and the run must end correct (fault masked or
+//! repaired by a vote) or detected — never silent data corruption. The
+//! claim is deliberately conservative about the instants where even a
+//! correctly transformed module is vulnerable (the classic
+//! window-of-vulnerability between a validation and its consuming
+//! instruction):
+//!
+//! * a register needs `>= 2` replicas under the check discipline and
+//!   `>= 3` under the vote discipline (mid-fan-out copies are unclaimed);
+//! * a class that has already been validated is unclaimed from the check
+//!   onward (a post-check flip sails past the comparison);
+//! * the operands of a vote `select` are unclaimed at the boundary right
+//!   before it (the agreement bit `t` is already computed).
+//!
+//! `crates/exec`'s exhaustive single-fault enumeration cross-validates
+//! exactly this contract in both directions.
+
+use std::collections::HashMap;
+
+use rskip_ir::{
+    BlockId, CmpOp, Function, Inst, InstLoc, Intrinsic, Module, Operand, Reg, Terminator, Ty,
+};
+
+use crate::purity::{memoization_blockers, Purity};
+
+/// Which validation discipline the linted scheme uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValidationModel {
+    /// SWIFT: duplication with compare-and-branch-to-detector checks.
+    /// Intrinsic arguments are not synchronization points (SWIFT leaves
+    /// them unchecked), and two replicas suffice for a coverage claim.
+    Detect,
+    /// SWIFT-R (and the SWIFT-R shell around RSkip regions): triplication
+    /// with majority votes. Intrinsic arguments are voted, and a coverage
+    /// claim needs three replicas so a single flip always loses the vote.
+    Vote,
+}
+
+/// The kind of an unprotected window (or purity violation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoverageKind {
+    /// A store's address operand is not validated.
+    UnprotectedStoreAddr,
+    /// A store's value operand is not validated.
+    UnprotectedStoreValue,
+    /// A conditional branch decides control flow on an unvalidated value.
+    UnprotectedBranch,
+    /// A return value leaves the sphere unvalidated.
+    UnprotectedReturn,
+    /// A call argument leaves the sphere unvalidated.
+    UnprotectedCallArg,
+    /// A load dereferences an unvalidated address.
+    UnprotectedLoadAddr,
+    /// A runtime-intrinsic argument is not validated (vote model only).
+    UnprotectedIntrinsicArg,
+    /// A memoized region body is not a pure function of its arguments.
+    ImpureMemoizedBody,
+}
+
+impl CoverageKind {
+    /// Stable kebab-case name (used by reports and `--json` output).
+    pub fn name(self) -> &'static str {
+        match self {
+            CoverageKind::UnprotectedStoreAddr => "unprotected-store-addr",
+            CoverageKind::UnprotectedStoreValue => "unprotected-store-value",
+            CoverageKind::UnprotectedBranch => "unprotected-branch",
+            CoverageKind::UnprotectedReturn => "unprotected-return",
+            CoverageKind::UnprotectedCallArg => "unprotected-call-arg",
+            CoverageKind::UnprotectedLoadAddr => "unprotected-load-addr",
+            CoverageKind::UnprotectedIntrinsicArg => "unprotected-intrinsic-arg",
+            CoverageKind::ImpureMemoizedBody => "impure-memoized-body",
+        }
+    }
+}
+
+impl std::fmt::Display for CoverageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One typed, source-located lint diagnostic.
+#[derive(Clone, Debug)]
+pub struct CoverageDiag {
+    /// What went wrong.
+    pub kind: CoverageKind,
+    /// Where.
+    pub loc: InstLoc,
+    /// Human-readable detail (offending register, reason).
+    pub message: String,
+}
+
+impl std::fmt::Display for CoverageDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}: {}", self.kind, self.loc, self.message)
+    }
+}
+
+/// Per-function coverage counters.
+#[derive(Clone, Debug)]
+pub struct FunctionCoverage {
+    /// Function name.
+    pub function: String,
+    /// Total instructions (excluding terminators).
+    pub insts: usize,
+    /// Definitions whose value ends its defining block with the replica
+    /// count the model demands.
+    pub protected_defs: usize,
+    /// Register operands at sync points that were validated.
+    pub validated_uses: usize,
+    /// Diagnostics raised in this function.
+    pub unprotected: usize,
+}
+
+/// Which registers are claimed covered at which instruction boundaries.
+///
+/// A boundary is identified by `(block, ip)` where `ip` counts
+/// instructions within the block and `ip == insts.len()` denotes the
+/// boundary before the terminator — the same coordinates the interpreter
+/// uses for its injection points.
+#[derive(Clone, Debug, Default)]
+pub struct CoverageMap {
+    covered: HashMap<String, std::collections::HashSet<(u32, u32, u32)>>,
+}
+
+impl CoverageMap {
+    /// True when a single-bit flip of `reg`, at the boundary before
+    /// instruction `ip` of `block` in `function`, is claimed to be masked
+    /// or detected.
+    pub fn is_covered(&self, function: &str, block: BlockId, ip: usize, reg: Reg) -> bool {
+        self.covered
+            .get(function)
+            .is_some_and(|s| s.contains(&(block.0, ip as u32, reg.0)))
+    }
+
+    /// Total number of (boundary, register) claims.
+    pub fn claims(&self) -> usize {
+        self.covered.values().map(|s| s.len()).sum()
+    }
+
+    fn claim(&mut self, function: &str, block: BlockId, ip: usize, reg: u32) {
+        self.covered
+            .entry(function.to_string())
+            .or_default()
+            .insert((block.0, ip as u32, reg));
+    }
+}
+
+/// The result of linting one module under one validation model.
+#[derive(Clone, Debug)]
+pub struct CoverageReport {
+    /// Per-function counters (protected functions only).
+    pub functions: Vec<FunctionCoverage>,
+    /// All diagnostics, in program order.
+    pub diags: Vec<CoverageDiag>,
+    /// The per-boundary covered-register claims.
+    pub map: CoverageMap,
+}
+
+impl CoverageReport {
+    /// True when no diagnostics were raised.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+/// A pure instruction's shape, used to hash-cons replicas within a block.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum PureKey {
+    Mov(Ty, OpDesc),
+    Bin(rskip_ir::BinOp, Ty, OpDesc, OpDesc),
+    Un(rskip_ir::UnOp, Ty, OpDesc),
+    Cmp(CmpOp, Ty, OpDesc, OpDesc),
+    Select(Ty, OpDesc, OpDesc, OpDesc),
+}
+
+/// An operand under value numbering (floats by bit pattern).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum OpDesc {
+    Vn(u32),
+    ImmI(i64),
+    ImmF(u64),
+    Global(u32),
+}
+
+/// Dataflow state at a block boundary. `vn[r]` is `r`'s replica class;
+/// entry states are kept canonical (each class represented by its lowest
+/// member) so fixpoint comparison is well-defined.
+#[derive(Clone, PartialEq)]
+struct State {
+    vn: Vec<u32>,
+    /// Validated on *every* path — grants sync points.
+    validated_all: Vec<bool>,
+    /// Validated on *some* path — withdraws coverage claims.
+    validated_any: Vec<bool>,
+}
+
+impl State {
+    fn initial(n: usize) -> State {
+        State {
+            vn: (0..n as u32).collect(),
+            validated_all: vec![false; n],
+            validated_any: vec![false; n],
+        }
+    }
+
+    /// Renames classes to their lowest member, forgetting block-local ids.
+    fn canonicalize(&mut self) {
+        let mut first: HashMap<u32, u32> = HashMap::new();
+        for r in 0..self.vn.len() {
+            let raw = self.vn[r];
+            let rep = *first.entry(raw).or_insert(r as u32);
+            self.vn[r] = rep;
+        }
+    }
+
+    /// Partition intersection: two registers stay in one class only if
+    /// they share a class in both inputs.
+    fn meet(&self, other: &State) -> State {
+        let n = self.vn.len();
+        let mut pairs: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut out = State::initial(n);
+        for r in 0..n {
+            let key = (self.vn[r], other.vn[r]);
+            let rep = *pairs.entry(key).or_insert(r as u32);
+            out.vn[r] = rep;
+            out.validated_all[r] = self.validated_all[r] && other.validated_all[r];
+            out.validated_any[r] = self.validated_any[r] || other.validated_any[r];
+        }
+        out
+    }
+}
+
+/// Per-function context shared by the fixpoint and the reporting pass.
+struct FnCx<'f> {
+    f: &'f Function,
+    model: ValidationModel,
+    /// Blocks containing a `Detect` intrinsic (SWIFT's trap blocks).
+    detect_blocks: Vec<bool>,
+    /// Minimum replica count for a coverage claim.
+    min_replicas: usize,
+}
+
+/// Everything the reporting pass accumulates.
+#[derive(Default)]
+struct Report {
+    diags: Vec<CoverageDiag>,
+    validated_uses: usize,
+    protected_defs: usize,
+    map: CoverageMap,
+}
+
+/// Lints every protected (and not outlined) function of `module` under
+/// `model`. The module is expected to be the *output* of a protection
+/// pass; linting untransformed code simply reports every sync point as
+/// unprotected.
+pub fn lint_module(module: &Module, model: ValidationModel) -> CoverageReport {
+    let mut report = CoverageReport {
+        functions: Vec::new(),
+        diags: Vec::new(),
+        map: CoverageMap::default(),
+    };
+    for f in &module.functions {
+        if !f.attrs.protect || f.attrs.outlined {
+            continue;
+        }
+        let (cov, mut diags, map) = lint_function(f, model);
+        report.functions.push(cov);
+        report.diags.append(&mut diags);
+        for (k, v) in map.covered {
+            report.map.covered.insert(k, v);
+        }
+    }
+    report
+}
+
+/// Checks that a memoized region body (and everything it calls) is a pure
+/// function of its arguments, reporting each blocker as a diagnostic.
+pub fn lint_memoized_body(module: &Module, body_fn: &str) -> Vec<CoverageDiag> {
+    let purity = Purity::analyze(module);
+    memoization_blockers(module, &purity, body_fn)
+        .into_iter()
+        .map(|(loc, reason)| CoverageDiag {
+            kind: CoverageKind::ImpureMemoizedBody,
+            loc,
+            message: reason,
+        })
+        .collect()
+}
+
+fn lint_function(
+    f: &Function,
+    model: ValidationModel,
+) -> (FunctionCoverage, Vec<CoverageDiag>, CoverageMap) {
+    let cx = FnCx {
+        f,
+        model,
+        detect_blocks: f
+            .blocks
+            .iter()
+            .map(|b| {
+                b.insts.iter().any(|i| {
+                    matches!(
+                        i,
+                        Inst::IntrinsicCall {
+                            intr: Intrinsic::Detect,
+                            ..
+                        }
+                    )
+                })
+            })
+            .collect(),
+        min_replicas: match model {
+            ValidationModel::Detect => 2,
+            ValidationModel::Vote => 3,
+        },
+    };
+
+    // Reverse postorder for fast convergence.
+    let rpo = reverse_postorder(f);
+
+    // Fixpoint over canonical entry states. States only refine (classes
+    // split, validated_all shrinks, validated_any grows), so this
+    // terminates.
+    let mut at_entry: HashMap<usize, State> = HashMap::new();
+    at_entry.insert(f.entry().index(), State::initial(f.regs.len()));
+    loop {
+        let mut changed = false;
+        for &b in &rpo {
+            let Some(entry) = at_entry.get(&b).cloned() else {
+                continue;
+            };
+            for (succ, mut out) in flow(&cx, BlockId(b as u32), entry, None) {
+                out.canonicalize();
+                let slot = at_entry.get_mut(&succ.index());
+                match slot {
+                    None => {
+                        at_entry.insert(succ.index(), out);
+                        changed = true;
+                    }
+                    Some(prev) => {
+                        let mut met = prev.meet(&out);
+                        met.canonicalize();
+                        if met != *prev {
+                            *prev = met;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Reporting pass over the stable states.
+    let mut report = Report::default();
+    for &b in &rpo {
+        let Some(entry) = at_entry.get(&b).cloned() else {
+            continue;
+        };
+        let _ = flow(&cx, BlockId(b as u32), entry, Some(&mut report));
+    }
+
+    let insts: usize = f.blocks.iter().map(|b| b.insts.len()).sum();
+    let cov = FunctionCoverage {
+        function: f.name.clone(),
+        insts,
+        protected_defs: report.protected_defs,
+        validated_uses: report.validated_uses,
+        unprotected: report.diags.len(),
+    };
+    (cov, report.diags, report.map)
+}
+
+fn reverse_postorder(f: &Function) -> Vec<usize> {
+    let n = f.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit phase marker.
+    let mut stack = vec![(f.entry().index(), false)];
+    while let Some((b, expanded)) = stack.pop() {
+        if expanded {
+            post.push(b);
+            continue;
+        }
+        if visited[b] {
+            continue;
+        }
+        visited[b] = true;
+        stack.push((b, true));
+        for s in f.blocks[b].term.successors() {
+            if !visited[s.index()] {
+                stack.push((s.index(), false));
+            }
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Transfers `entry` through block `bid`, returning the per-successor out
+/// states. With `report`, also emits diagnostics, counters and coverage
+/// claims (run only once the states are stable).
+fn flow(
+    cx: &FnCx<'_>,
+    bid: BlockId,
+    entry: State,
+    mut report: Option<&mut Report>,
+) -> Vec<(BlockId, State)> {
+    let f = cx.f;
+    let block = f.block(bid);
+    let n = f.regs.len();
+    let mut st = entry;
+    let mut next_vn = n as u32;
+    let mut avail: HashMap<PureKey, u32> = HashMap::new();
+    // Agreement/disagreement predicates produced by cmp over one class:
+    // reg holding the predicate -> the class it judges.
+    let mut eq_cmp: HashMap<u32, u32> = HashMap::new();
+    let mut ne_cmp: HashMap<u32, u32> = HashMap::new();
+
+    let desc = |st: &State, op: Operand| match op {
+        Operand::Reg(r) => OpDesc::Vn(st.vn[r.index()]),
+        Operand::ImmI(v) => OpDesc::ImmI(v),
+        Operand::ImmF(v) => OpDesc::ImmF(v.to_bits()),
+        Operand::Global(g) => OpDesc::Global(g.index() as u32),
+    };
+    let class_of = |st: &State, op: Operand| match op {
+        Operand::Reg(r) => Some(st.vn[r.index()]),
+        _ => None,
+    };
+
+    // Records the coverage claims for the boundary before `ip`
+    // (`ip == insts.len()` is the terminator boundary).
+    let record_boundary = |st: &State,
+                           eq_cmp: &HashMap<u32, u32>,
+                           ne_cmp: &HashMap<u32, u32>,
+                           ip: usize,
+                           report: &mut Report| {
+        // Classes consumed by the *next* instruction in a way that
+        // bypasses future validation: a vote select reads its class with
+        // the agreement bit already fixed; a recognized check branch has
+        // already compared.
+        let mut excluded_class: Option<u32> = None;
+        if ip < block.insts.len() {
+            if let Inst::Select {
+                cond: Operand::Reg(t),
+                on_true,
+                on_false,
+                ..
+            } = &block.insts[ip]
+            {
+                if let Some(&c) = eq_cmp.get(&t.0) {
+                    if class_of(st, *on_true) == Some(c) && class_of(st, *on_false) == Some(c) {
+                        excluded_class = Some(c);
+                    }
+                }
+            }
+        } else if let Terminator::CondBr(Operand::Reg(t), bt, _) = &block.term {
+            if let Some(&c) = ne_cmp.get(&t.0) {
+                if cx.detect_blocks[bt.index()] {
+                    excluded_class = Some(c);
+                }
+            }
+        }
+        let mut sizes: HashMap<u32, usize> = HashMap::new();
+        for &v in &st.vn {
+            *sizes.entry(v).or_insert(0) += 1;
+        }
+        for r in 0..n {
+            let class = st.vn[r];
+            if sizes[&class] < cx.min_replicas
+                || st.validated_any[r]
+                || excluded_class == Some(class)
+            {
+                continue;
+            }
+            report.map.claim(&f.name, bid, ip, r as u32);
+        }
+    };
+
+    // A sync point: `op` leaves the sphere of replication here.
+    let sync = |st: &State,
+                op: Operand,
+                kind: CoverageKind,
+                loc: InstLoc,
+                report: &mut Option<&mut Report>| {
+        let Some(report) = report.as_deref_mut() else {
+            return;
+        };
+        let Operand::Reg(r) = op else { return };
+        if st.validated_all[r.index()] {
+            report.validated_uses += 1;
+        } else {
+            report.diags.push(CoverageDiag {
+                kind,
+                loc,
+                message: format!("%{} is not validated by a check or vote", r.0),
+            });
+        }
+    };
+
+    let mut def_vns: Vec<(usize, u32)> = Vec::new();
+    let set_def = |st: &mut State,
+                   def_vns: &mut Vec<(usize, u32)>,
+                   dst: Reg,
+                   vn: u32,
+                   all: bool,
+                   any: bool| {
+        st.vn[dst.index()] = vn;
+        st.validated_all[dst.index()] = all;
+        st.validated_any[dst.index()] = any;
+        def_vns.push((dst.index(), vn));
+    };
+
+    for (i, inst) in block.insts.iter().enumerate() {
+        if let Some(report) = report.as_deref_mut() {
+            record_boundary(&st, &eq_cmp, &ne_cmp, i, report);
+        }
+        let loc = || InstLoc::inst(&f.name, bid, block.name.clone(), i);
+        // A redefined register no longer holds the predicate a cmp
+        // produced.
+        if let Some(d) = inst.dst() {
+            eq_cmp.remove(&d.0);
+            ne_cmp.remove(&d.0);
+        }
+        match inst {
+            Inst::Mov { ty, dst, src } => match src {
+                Operand::Reg(s) => {
+                    let (vn, all, any) = (
+                        st.vn[s.index()],
+                        st.validated_all[s.index()],
+                        st.validated_any[s.index()],
+                    );
+                    set_def(&mut st, &mut def_vns, *dst, vn, all, any);
+                }
+                _ => {
+                    let key = PureKey::Mov(*ty, desc(&st, *src));
+                    let vn = *avail.entry(key).or_insert_with(|| {
+                        next_vn += 1;
+                        next_vn - 1
+                    });
+                    set_def(&mut st, &mut def_vns, *dst, vn, false, false);
+                }
+            },
+            Inst::Select {
+                ty,
+                dst,
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let vote_class = match cond {
+                    Operand::Reg(t) => eq_cmp.get(&t.0).copied().filter(|&c| {
+                        class_of(&st, *on_true) == Some(c) && class_of(&st, *on_false) == Some(c)
+                    }),
+                    _ => None,
+                };
+                if let Some(_c) = vote_class {
+                    // Majority vote: the result is validated but carries no
+                    // redundancy of its own.
+                    next_vn += 1;
+                    set_def(&mut st, &mut def_vns, *dst, next_vn - 1, true, true);
+                } else {
+                    let key = PureKey::Select(
+                        *ty,
+                        desc(&st, *cond),
+                        desc(&st, *on_true),
+                        desc(&st, *on_false),
+                    );
+                    let vn = *avail.entry(key).or_insert_with(|| {
+                        next_vn += 1;
+                        next_vn - 1
+                    });
+                    set_def(&mut st, &mut def_vns, *dst, vn, false, false);
+                }
+            }
+            Inst::Bin {
+                ty,
+                op,
+                dst,
+                lhs,
+                rhs,
+            } => {
+                let key = PureKey::Bin(*op, *ty, desc(&st, *lhs), desc(&st, *rhs));
+                let vn = *avail.entry(key).or_insert_with(|| {
+                    next_vn += 1;
+                    next_vn - 1
+                });
+                set_def(&mut st, &mut def_vns, *dst, vn, false, false);
+            }
+            Inst::Un { ty, op, dst, src } => {
+                let key = PureKey::Un(*op, *ty, desc(&st, *src));
+                let vn = *avail.entry(key).or_insert_with(|| {
+                    next_vn += 1;
+                    next_vn - 1
+                });
+                set_def(&mut st, &mut def_vns, *dst, vn, false, false);
+            }
+            Inst::Cmp {
+                ty,
+                op,
+                dst,
+                lhs,
+                rhs,
+            } => {
+                let same_class = match (class_of(&st, *lhs), class_of(&st, *rhs)) {
+                    (Some(a), Some(b)) => (a == b).then_some(a),
+                    _ => None,
+                };
+                let key = PureKey::Cmp(*op, *ty, desc(&st, *lhs), desc(&st, *rhs));
+                let vn = *avail.entry(key).or_insert_with(|| {
+                    next_vn += 1;
+                    next_vn - 1
+                });
+                set_def(&mut st, &mut def_vns, *dst, vn, false, false);
+                if let Some(c) = same_class {
+                    match op {
+                        CmpOp::Eq => {
+                            eq_cmp.insert(dst.0, c);
+                        }
+                        CmpOp::Ne => {
+                            ne_cmp.insert(dst.0, c);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Inst::Load { dst, addr, .. } => {
+                sync(
+                    &st,
+                    *addr,
+                    CoverageKind::UnprotectedLoadAddr,
+                    loc(),
+                    &mut report,
+                );
+                next_vn += 1;
+                set_def(&mut st, &mut def_vns, *dst, next_vn - 1, false, false);
+            }
+            Inst::Store { addr, value, .. } => {
+                sync(
+                    &st,
+                    *addr,
+                    CoverageKind::UnprotectedStoreAddr,
+                    loc(),
+                    &mut report,
+                );
+                sync(
+                    &st,
+                    *value,
+                    CoverageKind::UnprotectedStoreValue,
+                    loc(),
+                    &mut report,
+                );
+            }
+            Inst::Call { dst, args, .. } => {
+                for a in args {
+                    sync(
+                        &st,
+                        *a,
+                        CoverageKind::UnprotectedCallArg,
+                        loc(),
+                        &mut report,
+                    );
+                }
+                if let Some(d) = dst {
+                    next_vn += 1;
+                    set_def(&mut st, &mut def_vns, *d, next_vn - 1, false, false);
+                }
+            }
+            Inst::IntrinsicCall { dst, intr, args } => {
+                if cx.model == ValidationModel::Vote && *intr != Intrinsic::Detect {
+                    for a in args {
+                        sync(
+                            &st,
+                            *a,
+                            CoverageKind::UnprotectedIntrinsicArg,
+                            loc(),
+                            &mut report,
+                        );
+                    }
+                }
+                if let Some(d) = dst {
+                    next_vn += 1;
+                    set_def(&mut st, &mut def_vns, *d, next_vn - 1, false, false);
+                }
+            }
+        }
+    }
+
+    // Terminator boundary and sync checks.
+    if let Some(report) = report.as_deref_mut() {
+        record_boundary(&st, &eq_cmp, &ne_cmp, block.insts.len(), report);
+    }
+    let term_loc = || InstLoc::term(&f.name, bid, block.name.clone());
+    let mut outs: Vec<(BlockId, State)> = Vec::new();
+    match &block.term {
+        Terminator::Br(t) => outs.push((*t, st.clone())),
+        Terminator::Ret(v) => {
+            if let Some(v) = v {
+                sync(
+                    &st,
+                    *v,
+                    CoverageKind::UnprotectedReturn,
+                    term_loc(),
+                    &mut report,
+                );
+            }
+        }
+        Terminator::CondBr(c, bt, bf) => {
+            let checked_class = match c {
+                Operand::Reg(t) if cx.detect_blocks[bt.index()] => ne_cmp.get(&t.0).copied(),
+                _ => None,
+            };
+            if let Some(class) = checked_class {
+                // SWIFT check: the detect edge traps; the fall-through edge
+                // continues with the class validated.
+                outs.push((*bt, st.clone()));
+                let mut ok = st.clone();
+                for r in 0..n {
+                    if ok.vn[r] == class {
+                        ok.validated_all[r] = true;
+                        ok.validated_any[r] = true;
+                    }
+                }
+                outs.push((*bf, ok));
+            } else {
+                sync(
+                    &st,
+                    *c,
+                    CoverageKind::UnprotectedBranch,
+                    term_loc(),
+                    &mut report,
+                );
+                outs.push((*bt, st.clone()));
+                outs.push((*bf, st.clone()));
+            }
+        }
+    }
+
+    // Count definitions that end the block with full redundancy.
+    if let Some(report) = report {
+        let mut sizes: HashMap<u32, usize> = HashMap::new();
+        for &v in &st.vn {
+            *sizes.entry(v).or_insert(0) += 1;
+        }
+        report.protected_defs += def_vns
+            .iter()
+            .filter(|(_, vn)| sizes.get(vn).copied().unwrap_or(0) >= cx.min_replicas)
+            .count();
+    }
+    outs
+}

@@ -18,23 +18,38 @@
 //!   stores of expensively-computed values, where the value is produced by
 //!   an inner reduction loop (paper Fig. 4b) or a pure user function call
 //!   (paper Fig. 4a).
+//! * [`Purity`] — interprocedural side-effect inference
+//!   (`Pure < ReadOnly < Impure` fixpoint); [`memoization_blockers`]
+//!   explains *why* a body is not memoizable.
+//! * [`lint_module`] / [`lint_memoized_body`] — `rskip-lint`: the
+//!   protection-coverage verifier that re-derives replica classes from the
+//!   transformed IR and diagnoses every store, branch, region exit or
+//!   return not dominated by a vote/check as a typed unprotected window
+//!   (see `DESIGN.md` §4.9).
 
 #![deny(missing_docs)]
 
 mod candidates;
 mod cfg;
 mod cost;
+mod coverage;
 mod defuse;
 mod dom;
 mod liveness;
 mod loops;
+mod purity;
 mod slice;
 
 pub use candidates::{find_candidates, CandidateKind, CandidateLoop, DetectConfig};
 pub use cfg::Cfg;
 pub use cost::{CostModel, InstClass};
+pub use coverage::{
+    lint_memoized_body, lint_module, CoverageDiag, CoverageKind, CoverageMap, CoverageReport,
+    FunctionCoverage, ValidationModel,
+};
 pub use defuse::{DefSite, DefUse, UseSite};
 pub use dom::DomTree;
 pub use liveness::Liveness;
 pub use loops::{InductionVar, Loop, LoopForest};
+pub use purity::{memoization_blockers, Effect, Purity};
 pub use slice::{BackwardSlice, SliceError};

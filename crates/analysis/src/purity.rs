@@ -1,0 +1,223 @@
+//! Interprocedural side-effect and purity inference.
+//!
+//! Approximate memoization (paper §4.2.1) is only sound for computations
+//! that "generate the identical output on the same input set without any
+//! side effect", and re-execution recovery only for code whose replay
+//! cannot be observed. This module infers, per function, a conservative
+//! effect summary on a three-point lattice:
+//!
+//! ```text
+//! Pure  <  ReadOnly  <  Impure
+//! ```
+//!
+//! * [`Effect::Pure`] — output depends only on the arguments: no loads, no
+//!   stores, no intrinsics, and only calls to `Pure` functions.
+//! * [`Effect::ReadOnly`] — may read memory but never writes it or invokes
+//!   runtime intrinsics; re-execution is safe under the no-alias
+//!   discipline, memoization is not.
+//! * [`Effect::Impure`] — everything else (stores, intrinsics, calls to
+//!   unknown or impure functions).
+//!
+//! Summaries are computed by a monotone fixpoint over the call graph, so
+//! call chains (and recursion) are handled: a function calling only pure
+//! functions stays pure.
+
+use std::collections::HashMap;
+
+use rskip_ir::{Inst, InstLoc, Module};
+
+/// Conservative side-effect summary of one function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Effect {
+    /// Output is a function of the arguments alone.
+    Pure,
+    /// Reads memory; never writes it, never calls intrinsics.
+    ReadOnly,
+    /// Writes memory, invokes runtime intrinsics, or calls something
+    /// unknown/impure.
+    Impure,
+}
+
+/// Per-function effect summaries for a whole module.
+#[derive(Clone, Debug)]
+pub struct Purity {
+    effects: HashMap<String, Effect>,
+}
+
+impl Purity {
+    /// Infers effect summaries for every function in `module` by a
+    /// monotone interprocedural fixpoint.
+    pub fn analyze(module: &Module) -> Self {
+        let mut effects: HashMap<String, Effect> = module
+            .functions
+            .iter()
+            .map(|f| (f.name.clone(), Effect::Pure))
+            .collect();
+        // Effects only ever climb the lattice, so iteration terminates in
+        // at most `2 * |functions|` rounds.
+        loop {
+            let mut changed = false;
+            for f in &module.functions {
+                let mut effect = Effect::Pure;
+                for block in &f.blocks {
+                    for inst in &block.insts {
+                        let inst_effect = match inst {
+                            Inst::Store { .. } | Inst::IntrinsicCall { .. } => Effect::Impure,
+                            Inst::Load { .. } => Effect::ReadOnly,
+                            Inst::Call { callee, .. } => effects
+                                .get(callee.as_str())
+                                .copied()
+                                .unwrap_or(Effect::Impure),
+                            _ => Effect::Pure,
+                        };
+                        effect = effect.max(inst_effect);
+                    }
+                }
+                let slot = effects.get_mut(&f.name).expect("function summarized");
+                if *slot != effect {
+                    *slot = effect;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Purity { effects };
+            }
+        }
+    }
+
+    /// The effect summary for `name`; unknown functions are [`Effect::Impure`].
+    pub fn effect(&self, name: &str) -> Effect {
+        self.effects.get(name).copied().unwrap_or(Effect::Impure)
+    }
+
+    /// True when `name` may be re-executed for recovery: no writes or
+    /// intrinsics anywhere in its call tree (loads are fine under the
+    /// no-alias discipline).
+    pub fn is_reexecutable(&self, name: &str) -> bool {
+        self.effect(name) <= Effect::ReadOnly
+    }
+
+    /// True when `name` may back an approximate-memoization table: a pure
+    /// function of its arguments (§4.2.1).
+    pub fn is_memoizable(&self, name: &str) -> bool {
+        self.effect(name) == Effect::Pure
+    }
+}
+
+/// Every instruction in `root` that disqualifies it from memoization,
+/// with a reason. A pure callee contributes nothing by definition and an
+/// impure one is reported at its call site, so only `root`'s own
+/// instructions are walked.
+pub fn memoization_blockers(
+    module: &Module,
+    purity: &Purity,
+    root: &str,
+) -> Vec<(InstLoc, String)> {
+    let mut out = Vec::new();
+    let Some(f) = module.function(root) else {
+        return out;
+    };
+    for (bid, block) in f.iter_blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            let reason = match inst {
+                Inst::Store { .. } => Some("stores to memory".to_string()),
+                Inst::Load { .. } => Some("loads from memory".to_string()),
+                Inst::IntrinsicCall { intr, .. } => {
+                    Some(format!("invokes runtime intrinsic `{intr}`"))
+                }
+                Inst::Call { callee, .. } if !purity.is_memoizable(callee) => {
+                    Some(format!("calls impure function @{callee}"))
+                }
+                _ => None,
+            };
+            if let Some(reason) = reason {
+                out.push((InstLoc::inst(root, bid, block.name.clone(), i), reason));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rskip_ir::{BinOp, ModuleBuilder, Operand, Ty};
+
+    fn module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global_zeroed("g", Ty::I64, 4);
+
+        // pure leaf
+        let mut f = mb.function("leaf", vec![Ty::I64], Some(Ty::I64));
+        let p = f.param(0);
+        let x = f.bin(BinOp::Mul, Ty::I64, Operand::reg(p), Operand::imm_i(3));
+        f.ret(Some(Operand::reg(x)));
+        f.finish();
+
+        // pure wrapper: calls only the pure leaf
+        let mut f = mb.function("wrapper", vec![Ty::I64], Some(Ty::I64));
+        let p = f.param(0);
+        let r = f
+            .call("leaf", vec![Operand::reg(p)], Some(Ty::I64))
+            .unwrap();
+        f.ret(Some(Operand::reg(r)));
+        f.finish();
+
+        // read-only: loads a global
+        let mut f = mb.function("reader", vec![], Some(Ty::I64));
+        let v = f.load(Ty::I64, Operand::global(g));
+        f.ret(Some(Operand::reg(v)));
+        f.finish();
+
+        // impure: stores
+        let mut f = mb.function("writer", vec![], None);
+        f.store(Ty::I64, Operand::global(g), Operand::imm_i(1));
+        f.ret(None);
+        f.finish();
+
+        // impure by transitivity: calls writer
+        let mut f = mb.function("caller", vec![], None);
+        f.call("writer", vec![], None);
+        f.ret(None);
+        f.finish();
+
+        mb.finish()
+    }
+
+    #[test]
+    fn classifies_the_lattice() {
+        let m = module();
+        let p = Purity::analyze(&m);
+        assert_eq!(p.effect("leaf"), Effect::Pure);
+        assert_eq!(p.effect("wrapper"), Effect::Pure);
+        assert_eq!(p.effect("reader"), Effect::ReadOnly);
+        assert_eq!(p.effect("writer"), Effect::Impure);
+        assert_eq!(p.effect("caller"), Effect::Impure);
+        assert_eq!(p.effect("ghost"), Effect::Impure);
+    }
+
+    #[test]
+    fn memoizable_is_strictly_pure() {
+        let m = module();
+        let p = Purity::analyze(&m);
+        assert!(p.is_memoizable("leaf"));
+        assert!(p.is_memoizable("wrapper"));
+        assert!(!p.is_memoizable("reader"));
+        assert!(p.is_reexecutable("reader"));
+        assert!(!p.is_reexecutable("writer"));
+        assert!(!p.is_reexecutable("ghost"));
+    }
+
+    #[test]
+    fn blockers_carry_locations_and_reasons() {
+        let m = module();
+        let p = Purity::analyze(&m);
+        assert!(memoization_blockers(&m, &p, "leaf").is_empty());
+        let b = memoization_blockers(&m, &p, "caller");
+        assert_eq!(b.len(), 1);
+        assert!(b[0].1.contains("@writer"), "{}", b[0].1);
+        assert_eq!(b[0].0.position(), "entry[0]");
+        let b = memoization_blockers(&m, &p, "reader");
+        assert!(b[0].1.contains("loads"), "{}", b[0].1);
+    }
+}

@@ -1,0 +1,181 @@
+//! A hand-broken protected-module corpus: each module reproduces one
+//! concrete protection-pass bug, and each test asserts the *exact*
+//! diagnostic kind and source location `rskip-lint` reports for it. The
+//! clean control build proves the corpus modules would otherwise pass.
+
+use rskip_analysis::{lint_memoized_body, lint_module, CoverageKind, ValidationModel};
+use rskip_ir::{BinOp, BlockId, CmpOp, InstLoc, Module, ModuleBuilder, Operand, Ty, Verifier};
+
+/// Builds a minimal hand-triplicated (SWIFT-R-style) module:
+///
+/// ```text
+/// entry[0..3]  a/a1/a2   = 7            (triplicated seed)
+/// entry[3..6]  x/x1/x2   = aN * 3       (triplicated compute)
+/// entry[6]     t         = x == x1
+/// entry[7]     m         = select t, x, x2   (majority vote)
+/// entry[8]     out      <- m                 (validated store)
+/// ```
+///
+/// `breakage` rewrites the straight-line recipe to inject one bug.
+enum Breakage {
+    /// The control: a correctly protected store.
+    None,
+    /// The third shadow compute is a bare copy instead of the cloned
+    /// multiply — the replica diverges and the vote no longer covers it.
+    DroppedShadowOp,
+    /// The store consumes the raw primary replica, skipping the vote.
+    SkippedVote,
+}
+
+fn triplicated_store(breakage: Breakage) -> Module {
+    let mut mb = ModuleBuilder::new("corpus");
+    let out = mb.global_zeroed("out", Ty::I64, 1);
+    let mut f = mb.function("main", vec![], None);
+
+    let a = f.mov_new(Ty::I64, Operand::imm_i(7));
+    let a1 = f.mov_new(Ty::I64, Operand::imm_i(7));
+    let a2 = f.mov_new(Ty::I64, Operand::imm_i(7));
+    let x = f.bin(BinOp::Mul, Ty::I64, Operand::reg(a), Operand::imm_i(3));
+    let x1 = f.bin(BinOp::Mul, Ty::I64, Operand::reg(a1), Operand::imm_i(3));
+    let x2 = match breakage {
+        // The pass was supposed to clone the multiply for the third
+        // replica; a bare mov leaves x2 carrying the un-multiplied seed.
+        Breakage::DroppedShadowOp => f.mov_new(Ty::I64, Operand::reg(a2)),
+        _ => f.bin(BinOp::Mul, Ty::I64, Operand::reg(a2), Operand::imm_i(3)),
+    };
+    match breakage {
+        Breakage::SkippedVote => {
+            // No compare, no vote: the raw primary goes straight to memory.
+            f.store(Ty::I64, Operand::global(out), Operand::reg(x));
+        }
+        _ => {
+            let t = f.cmp(CmpOp::Eq, Ty::I64, Operand::reg(x), Operand::reg(x1));
+            let m = f.select(Ty::I64, Operand::reg(t), Operand::reg(x), Operand::reg(x2));
+            f.store(Ty::I64, Operand::global(out), Operand::reg(m));
+        }
+    }
+    f.ret(None);
+    f.finish();
+    mb.finish()
+}
+
+fn lint(module: &Module) -> rskip_analysis::CoverageReport {
+    Verifier::new(module)
+        .verify()
+        .expect("corpus modules must verify — the bugs are semantic, not structural");
+    lint_module(module, ValidationModel::Vote)
+}
+
+#[test]
+fn control_module_lints_clean() {
+    let report = lint(&triplicated_store(Breakage::None));
+    assert!(
+        report.is_clean(),
+        "control must be clean:\n{}",
+        report
+            .diags
+            .iter()
+            .map(|d| format!("  {d}\n"))
+            .collect::<String>()
+    );
+    assert!(report.map.claims() > 0);
+}
+
+#[test]
+fn dropped_shadow_op_is_diagnosed_at_the_store() {
+    let report = lint(&triplicated_store(Breakage::DroppedShadowOp));
+    assert_eq!(
+        report.diags.len(),
+        1,
+        "exactly one window: {:?}",
+        report.diags
+    );
+    let d = &report.diags[0];
+    // The divergent replica breaks the vote, so the *store* at entry[8]
+    // consumes an unvalidated value.
+    assert_eq!(d.kind, CoverageKind::UnprotectedStoreValue);
+    assert_eq!(d.loc, InstLoc::inst("main", BlockId(0), "entry", 8));
+}
+
+#[test]
+fn skipped_vote_is_diagnosed_at_the_store() {
+    let report = lint(&triplicated_store(Breakage::SkippedVote));
+    assert_eq!(
+        report.diags.len(),
+        1,
+        "exactly one window: {:?}",
+        report.diags
+    );
+    let d = &report.diags[0];
+    // Without the vote the store at entry[6] consumes the raw replica.
+    assert_eq!(d.kind, CoverageKind::UnprotectedStoreValue);
+    assert_eq!(d.loc, InstLoc::inst("main", BlockId(0), "entry", 6));
+}
+
+#[test]
+fn unvalidated_branch_condition_is_diagnosed_at_the_terminator() {
+    let mut mb = ModuleBuilder::new("corpus");
+    let out = mb.global_zeroed("out", Ty::I64, 1);
+    let mut f = mb.function("main", vec![], None);
+    let entry = f.entry_block();
+    let yes = f.new_block("yes");
+    let no = f.new_block("no");
+    f.switch_to(entry);
+    let a = f.mov_new(Ty::I64, Operand::imm_i(7));
+    // Single-replica condition, never checked or voted.
+    let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(a), Operand::imm_i(10));
+    f.cond_br(Operand::reg(c), yes, no);
+    f.switch_to(yes);
+    f.store(Ty::I64, Operand::global(out), Operand::imm_i(1));
+    f.ret(None);
+    f.switch_to(no);
+    f.ret(None);
+    f.finish();
+    let module = mb.finish();
+
+    let report = lint(&module);
+    assert!(
+        report
+            .diags
+            .iter()
+            .any(|d| d.kind == CoverageKind::UnprotectedBranch
+                && d.loc == InstLoc::term("main", BlockId(0), "entry")),
+        "expected an unprotected-branch diagnostic at entry[term], got:\n{}",
+        report
+            .diags
+            .iter()
+            .map(|d| format!("  {d}\n"))
+            .collect::<String>()
+    );
+}
+
+#[test]
+fn impure_call_inside_memoized_body_is_diagnosed() {
+    let mut mb = ModuleBuilder::new("corpus");
+    let log = mb.global_zeroed("log", Ty::I64, 1);
+
+    // The memoized body calls a helper that writes to memory — replaying
+    // or memoizing the body would change observable state.
+    let mut helper = mb.function("bump", vec![], None);
+    helper.store(Ty::I64, Operand::global(log), Operand::imm_i(1));
+    helper.ret(None);
+    helper.finish();
+
+    let mut body = mb.function("body", vec![Ty::I64], Some(Ty::I64));
+    let p = body.param(0);
+    body.call("bump", vec![], None);
+    let r = body.bin(BinOp::Mul, Ty::I64, Operand::reg(p), Operand::reg(p));
+    body.ret(Some(Operand::reg(r)));
+    body.finish();
+    let module = mb.finish();
+
+    let diags = lint_memoized_body(&module, "body");
+    assert_eq!(diags.len(), 1, "exactly one blocker: {diags:?}");
+    assert_eq!(diags[0].kind, CoverageKind::ImpureMemoizedBody);
+    assert_eq!(diags[0].loc, InstLoc::inst("body", BlockId(0), "entry", 0));
+    assert!(
+        diags[0].message.contains("impure function @bump"),
+        "message names the impure callee: {}",
+        diags[0].message
+    );
+}

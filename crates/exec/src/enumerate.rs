@@ -1,0 +1,198 @@
+//! Exhaustive single-bit fault enumeration — the dynamic cross-check of
+//! `rskip-lint`'s static coverage claims.
+//!
+//! Statistical campaigns ([`crate::InjectionPlan`]) sample the fault space;
+//! this module *covers* it for micro-regions: a clean traced run records
+//! every instruction boundary together with the registers live (written) at
+//! that instant, then one deterministic run per `(boundary, register, bit)`
+//! triple flips exactly that bit at exactly that instant
+//! ([`crate::ExactFlip`]) and classifies the outcome against the clean
+//! run's memory image.
+//!
+//! The resulting [`Probe`] list carries the *static* coordinates of each
+//! flip — function, block, next-instruction index — which are exactly the
+//! coordinates `rskip-lint`'s coverage map speaks in. That makes the
+//! cross-validation contract checkable in both directions:
+//!
+//! * every probe the linter claims covered must end **Correct** (the fault
+//!   was masked or repaired by a majority vote) or **Detected** (a SWIFT
+//!   check caught it) — never a silent corruption;
+//! * a module with unprotected-window diagnostics must yield at least one
+//!   unclaimed probe that ends in silent data corruption, witnessing the
+//!   window dynamically.
+//!
+//! Enumeration cost is `boundaries × live registers × bits` full runs, so
+//! [`enumerate_flips`] refuses traces longer than a caller-supplied bound —
+//! this is a verification tool for micro-regions, not a campaign engine.
+
+use rskip_ir::{BlockId, Module, Reg, Value};
+
+use crate::decoded::Decoded;
+use crate::fault::{classify_outcome, ExactFlip, OutcomeClass};
+use crate::hooks::RuntimeHooks;
+use crate::machine::{ExecConfig, Machine, Termination};
+
+/// One boundary of the clean census run: where the innermost frame stood
+/// and which registers held live values.
+pub(crate) struct TraceEntry {
+    pub(crate) func: u32,
+    pub(crate) block: u32,
+    pub(crate) ip: u32,
+    pub(crate) written: Vec<Reg>,
+}
+
+impl TraceEntry {
+    pub(crate) fn capture(func: u32, block: u32, ip: u32, written: &[bool]) -> Self {
+        TraceEntry {
+            func,
+            block,
+            ip,
+            written: written
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w)
+                .map(|(i, _)| Reg(i as u32))
+                .collect(),
+        }
+    }
+}
+
+/// One enumerated flip and its classified outcome.
+#[derive(Clone, Debug)]
+pub struct Probe {
+    /// The instruction boundary the flip fired at.
+    pub at: u64,
+    /// Function the innermost frame was executing.
+    pub function: String,
+    /// Block of the next instruction at flip time.
+    pub block: BlockId,
+    /// Index of the next instruction (`== insts.len()` ⇒ terminator).
+    pub ip: usize,
+    /// The flipped register.
+    pub reg: Reg,
+    /// The flipped bit.
+    pub bit: u32,
+    /// What the corrupted run did.
+    pub outcome: OutcomeClass,
+}
+
+/// The result of one exhaustive enumeration.
+#[derive(Clone, Debug)]
+pub struct Enumeration {
+    /// Instruction boundaries of the clean run (the trace length).
+    pub boundaries: u64,
+    /// Every enumerated probe, in `(at, reg, bit)` order.
+    pub probes: Vec<Probe>,
+}
+
+impl Enumeration {
+    /// Probes that ended in silent data corruption.
+    pub fn sdc_probes(&self) -> impl Iterator<Item = &Probe> {
+        self.probes
+            .iter()
+            .filter(|p| p.outcome == OutcomeClass::Sdc)
+    }
+}
+
+/// Why an enumeration could not run.
+#[derive(Clone, Debug)]
+pub enum EnumError {
+    /// The clean (fault-free) run did not return normally, so there is no
+    /// golden image to classify against.
+    CleanRunFailed(Termination),
+    /// The clean run crossed more boundaries than the caller's limit —
+    /// the region is too large for exhaustive enumeration.
+    TooLong {
+        /// Boundaries the clean run actually crossed.
+        boundaries: u64,
+        /// The caller-supplied limit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for EnumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnumError::CleanRunFailed(t) => write!(f, "clean run did not return: {t:?}"),
+            EnumError::TooLong { boundaries, limit } => write!(
+                f,
+                "clean run crosses {boundaries} boundaries, over the enumeration limit {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+/// Exhaustively enumerates single-bit register flips over a micro-region.
+///
+/// Runs `entry(args)` once cleanly to capture the golden memory image and
+/// the boundary census, then re-runs it once per
+/// `(boundary, live register, bit)` combination with an [`ExactFlip`]
+/// armed. `make_hooks` must hand back fresh hooks per run so runs stay
+/// independent and deterministic. `bits` selects the bit positions swept
+/// (pass `&(0..64).collect::<Vec<_>>()` for the full sweep);
+/// `max_boundaries` bounds the clean-run length this tool accepts.
+///
+/// # Panics
+///
+/// Panics if `entry` does not exist or the argument count mismatches
+/// (entry setup errors are caller bugs, as with [`Machine::run`]).
+pub fn enumerate_flips<H: RuntimeHooks>(
+    module: &Module,
+    entry: &str,
+    args: &[Value],
+    exec: &ExecConfig,
+    mut make_hooks: impl FnMut() -> H,
+    bits: &[u32],
+    max_boundaries: u64,
+) -> Result<Enumeration, EnumError> {
+    let decoded = Decoded::new(module);
+
+    let mut trace = Vec::new();
+    let mut clean = Machine::from_decoded(&decoded, make_hooks(), exec.clone());
+    let outcome = clean.run_traced(entry, args, &mut trace);
+    if !outcome.returned() {
+        return Err(EnumError::CleanRunFailed(outcome.termination));
+    }
+    if trace.len() as u64 > max_boundaries {
+        return Err(EnumError::TooLong {
+            boundaries: trace.len() as u64,
+            limit: max_boundaries,
+        });
+    }
+    let golden = clean.memory().to_vec();
+
+    let mut probes = Vec::new();
+    for (at, entry_at) in trace.iter().enumerate() {
+        let function = &module.functions[entry_at.func as usize].name;
+        for &reg in &entry_at.written {
+            for &bit in bits {
+                let mut m = Machine::from_decoded(&decoded, make_hooks(), exec.clone());
+                m.set_exact_flip(ExactFlip {
+                    at: at as u64,
+                    reg,
+                    bit,
+                });
+                let out = m.run(entry, args);
+                debug_assert!(
+                    out.injection.is_some(),
+                    "census said %{reg:?} was live at boundary {at}"
+                );
+                probes.push(Probe {
+                    at: at as u64,
+                    function: function.clone(),
+                    block: BlockId(entry_at.block),
+                    ip: entry_at.ip as usize,
+                    reg,
+                    bit,
+                    outcome: classify_outcome(&out, m.memory(), &golden),
+                });
+            }
+        }
+    }
+    Ok(Enumeration {
+        boundaries: trace.len() as u64,
+        probes,
+    })
+}

@@ -1,6 +1,6 @@
 //! Single Event Upset injection plans and outcome classification (§7.2).
 
-use rskip_ir::{Reg, Value};
+use rskip_ir::{BlockId, Reg, Value};
 
 use crate::machine::{RunOutcome, Termination, Trap};
 
@@ -22,11 +22,37 @@ pub struct InjectionPlan {
     pub anywhere: bool,
 }
 
+/// One deterministic single-bit flip, for exhaustive enumeration: at the
+/// `at`-th instruction boundary (counting every executed instruction and
+/// terminator, anywhere in the program), flip bit `bit` of register `reg`
+/// in the innermost active frame.
+///
+/// Unlike [`InjectionPlan`] there is no randomness: a full enumeration
+/// sweeps `at` over every boundary of a clean trace, `reg` over the
+/// registers written at that boundary and `bit` over bit positions —
+/// see [`crate::enumerate_flips`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExactFlip {
+    /// The instruction boundary to fire at: the flip happens after `at`
+    /// instructions/terminators have executed, before the next one.
+    pub at: u64,
+    /// Register to flip in the innermost (currently executing) frame. If
+    /// it has not been written yet the flip is skipped (dead target).
+    pub reg: Reg,
+    /// The bit position to flip (0–63).
+    pub bit: u32,
+}
+
 /// What an injection actually did.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InjectionRecord {
     /// Function whose frame was hit.
     pub function: String,
+    /// The block the hit frame was executing.
+    pub block: BlockId,
+    /// Index of the next instruction of that block at flip time
+    /// (`== insts.len()` means the terminator was next).
+    pub ip: usize,
     /// The register hit.
     pub reg: Reg,
     /// The flipped bit position (0–63).

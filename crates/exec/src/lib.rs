@@ -18,6 +18,10 @@
 //!   per run, flipping one uniformly random bit of one uniformly random
 //!   live register at a uniformly random dynamic instant *inside the
 //!   detected loop regions* (paper §7.2).
+//! * [`enumerate_flips`] — exhaustive single-bit flip enumeration over
+//!   micro-regions: the dynamic cross-check of `rskip-lint`'s static
+//!   protection-coverage claims (every claimed-covered fault must be
+//!   masked or detected; unprotected windows must be witnessed by SDC).
 //! * [`OutcomeClass`] — the five outcome classes of §7.2 (Correct / SDC /
 //!   Segfault / Core dump / Hang), derived from the run's termination and a
 //!   bit-exact output comparison ("our evaluation considers even small
@@ -27,6 +31,7 @@
 
 mod counters;
 mod decoded;
+mod enumerate;
 mod fault;
 mod hooks;
 mod machine;
@@ -34,7 +39,8 @@ mod pipeline;
 
 pub use counters::Counters;
 pub use decoded::Decoded;
-pub use fault::{classify_outcome, InjectionPlan, InjectionRecord, OutcomeClass};
+pub use enumerate::{enumerate_flips, EnumError, Enumeration, Probe};
+pub use fault::{classify_outcome, ExactFlip, InjectionPlan, InjectionRecord, OutcomeClass};
 pub use hooks::{IntrinsicAction, NoopHooks, RuntimeHooks};
 pub use machine::{run_simple, ExecConfig, Machine, RunOutcome, Termination, Trap};
 pub use pipeline::{class_of, latency_of, latency_of_class, OpClass, Pipeline, PipelineConfig};

@@ -11,7 +11,8 @@ use rskip_ir::{BinOp, CmpOp, Module, Operand, Reg, Ty, UnOp, Value};
 
 use crate::counters::Counters;
 use crate::decoded::{DInst, DStep, DTerm, Decoded};
-use crate::fault::{InjectionPlan, InjectionRecord};
+use crate::enumerate::TraceEntry;
+use crate::fault::{ExactFlip, InjectionPlan, InjectionRecord};
 use crate::hooks::RuntimeHooks;
 use crate::pipeline::{Pipeline, PipelineConfig};
 
@@ -116,6 +117,12 @@ struct Frame {
     ready: Vec<u64>,
 }
 
+/// An armed fault for the next run: random SEU or deterministic flip.
+enum ArmedFault {
+    Random(InjectionPlan),
+    Exact(ExactFlip),
+}
+
 /// Either an internally-built decode or one shared by the caller (e.g.
 /// one decode per campaign, many machines across threads).
 enum Program<'m> {
@@ -159,7 +166,7 @@ pub struct Machine<'m, H> {
     hooks: H,
     config: ExecConfig,
     mem: Vec<Value>,
-    injection: Option<InjectionPlan>,
+    injection: Option<ArmedFault>,
     /// Recycled call frames: register vectors are reused across calls and
     /// across runs instead of reallocated.
     pool: Vec<Frame>,
@@ -271,7 +278,13 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
 
     /// Arms single-event-upset injection for the next run.
     pub fn set_injection(&mut self, plan: InjectionPlan) {
-        self.injection = Some(plan);
+        self.injection = Some(ArmedFault::Random(plan));
+    }
+
+    /// Arms one deterministic single-bit flip for the next run
+    /// (exhaustive-enumeration mode).
+    pub fn set_exact_flip(&mut self, flip: ExactFlip) {
+        self.injection = Some(ArmedFault::Exact(flip));
     }
 
     /// Runs `func` with `args` to completion.
@@ -282,6 +295,26 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
     /// mismatches — entry setup errors are caller bugs, unlike in-run traps
     /// which are reported in the outcome.
     pub fn run(&mut self, func: &str, args: &[Value]) -> RunOutcome {
+        self.run_inner(func, args, None)
+    }
+
+    /// Runs `func`, recording one [`TraceEntry`] per instruction boundary
+    /// (enumeration census).
+    pub(crate) fn run_traced(
+        &mut self,
+        func: &str,
+        args: &[Value],
+        trace: &mut Vec<TraceEntry>,
+    ) -> RunOutcome {
+        self.run_inner(func, args, Some(trace))
+    }
+
+    fn run_inner(
+        &mut self,
+        func: &str,
+        args: &[Value],
+        trace: Option<&mut Vec<TraceEntry>>,
+    ) -> RunOutcome {
         let prog = self.program.get();
         let entry = prog
             .function_index(func)
@@ -309,6 +342,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             mem,
             pool,
             injection.take(),
+            trace,
             entry,
             args,
         )
@@ -399,7 +433,8 @@ fn exec_loop<H: RuntimeHooks>(
     config: &ExecConfig,
     mem: &mut [Value],
     pool: &mut Vec<Frame>,
-    mut injection: Option<InjectionPlan>,
+    mut injection: Option<ArmedFault>,
+    mut trace: Option<&mut Vec<TraceEntry>>,
     entry: usize,
     args: &[Value],
 ) -> RunOutcome {
@@ -409,6 +444,11 @@ fn exec_loop<H: RuntimeHooks>(
     let mut prints = Vec::new();
     let mut region_depth: u32 = 0;
     let mut injected: Option<InjectionRecord> = None;
+    // Instruction boundaries crossed so far. Differs from
+    // `counters.retired` because intrinsic actions charge extra modeled
+    // instructions; [`ExactFlip`] and the enumeration census count actual
+    // boundaries so they stay in lockstep across runs.
+    let mut boundary: u64 = 0;
     // Scratch for intrinsic argument values, reused across calls.
     let mut scratch: Vec<Value> = Vec::new();
 
@@ -422,14 +462,24 @@ fn exec_loop<H: RuntimeHooks>(
 
     let termination = loop {
         // --- Fault injection at the instruction boundary. ---
-        if let Some(plan) = &injection {
-            let due = if plan.anywhere {
-                counters.retired >= plan.trigger
-            } else {
-                region_depth > 0 && counters.region_retired >= plan.trigger
+        if let Some(armed) = &injection {
+            let due = match armed {
+                ArmedFault::Random(plan) => {
+                    if plan.anywhere {
+                        counters.retired >= plan.trigger
+                    } else {
+                        region_depth > 0 && counters.region_retired >= plan.trigger
+                    }
+                }
+                ArmedFault::Exact(flip) => boundary >= flip.at,
             };
             if due {
-                injected = inject(prog, plan, &mut stack, counters.retired);
+                injected = match armed {
+                    ArmedFault::Random(plan) => inject(prog, plan, &mut stack, counters.retired),
+                    ArmedFault::Exact(flip) => {
+                        inject_exact(prog, flip, &mut stack, counters.retired)
+                    }
+                };
                 injection = None;
             }
         }
@@ -439,6 +489,15 @@ fn exec_loop<H: RuntimeHooks>(
         }
 
         let frame = stack.last_mut().expect("non-empty stack");
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(TraceEntry::capture(
+                frame.func,
+                frame.block,
+                frame.ip,
+                &frame.written,
+            ));
+        }
+        boundary += 1;
         let block = &prog.funcs[frame.func as usize].blocks[frame.block as usize];
 
         if (frame.ip as usize) < block.insts.len() {
@@ -775,8 +834,40 @@ fn inject(
     stack[fi].regs[ri] = new;
     Some(InjectionRecord {
         function: prog.module.functions[stack[fi].func as usize].name.clone(),
+        block: rskip_ir::BlockId(stack[fi].block),
+        ip: stack[fi].ip as usize,
         reg: Reg(ri as u32),
         bit,
+        at_retired,
+        old_bits: old.bits(),
+        new_bits: new.bits(),
+    })
+}
+
+/// Flips the planned bit of the planned register in the innermost frame,
+/// or does nothing if that register has not been written yet (a flip in a
+/// never-written register is architecturally invisible: the verifier
+/// guarantees such registers are never read on this path).
+fn inject_exact(
+    prog: &Decoded<'_>,
+    flip: &ExactFlip,
+    stack: &mut [Frame],
+    at_retired: u64,
+) -> Option<InjectionRecord> {
+    let frame = stack.last_mut()?;
+    let ri = flip.reg.index();
+    if ri >= frame.regs.len() || !frame.written[ri] {
+        return None;
+    }
+    let old = frame.regs[ri];
+    let new = old.with_bit_flipped(flip.bit);
+    frame.regs[ri] = new;
+    Some(InjectionRecord {
+        function: prog.module.functions[frame.func as usize].name.clone(),
+        block: rskip_ir::BlockId(frame.block),
+        ip: frame.ip as usize,
+        reg: flip.reg,
+        bit: flip.bit,
         at_retired,
         old_bits: old.bits(),
         new_bits: new.bits(),

@@ -12,10 +12,18 @@
 //! rskip-eval all    [--size ...] [--runs N] [--out DIR] [--store DIR]
 //! rskip-eval train  [--size ...] [--store DIR]
 //! rskip-eval inspect [--store DIR]
-//! rskip-eval verify  [--store DIR]
+//! rskip-eval verify  [--store DIR] [--json]
+//! rskip-eval lint   [--size ...] [--json]
 //! ```
 //!
 //! With `--out DIR`, raw results are also written as JSON.
+//!
+//! `lint` protects every workload under every scheme and runs the
+//! `rskip-lint` coverage verifier, printing per-scheme protected /
+//! validated / unprotected counts; it exits 1 if any unprotected-window
+//! diagnostic is found and 0 on a clean suite. `--json` swaps the table
+//! for machine-readable output (same exit-code contract). `verify
+//! --json` does the same for store integrity reports.
 //!
 //! The model-store commands persist the offline training phase:
 //! `train` profiles and trains every benchmark and saves the artifacts;
@@ -39,6 +47,7 @@ struct Args {
     inputs: u32,
     out: Option<PathBuf>,
     store: Option<PathBuf>,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         inputs: 20,
         out: None,
         store: None,
+        json: false,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -71,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => parsed.out = Some(PathBuf::from(value()?)),
             "--store" => parsed.store = Some(PathBuf::from(value()?)),
+            "--json" => parsed.json = true,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -79,8 +90,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: rskip-eval <table1|fig2|fig7|fig8a|fig8b|fig9|tradeoff|cost-ratio|ablations|all\
-     |train|inspect|verify> \
-     [--size tiny|small|full] [--runs N] [--inputs N] [--out DIR] [--store DIR]"
+     |lint|train|inspect|verify> \
+     [--size tiny|small|full] [--runs N] [--inputs N] [--out DIR] [--store DIR] [--json]"
         .to_string()
 }
 
@@ -141,24 +152,78 @@ fn main() {
         "verify" => {
             let store = store_or_default(&args);
             let reports = store.verify();
-            if reports.is_empty() {
-                println!("{}: no artifacts", store.dir().display());
-                return;
-            }
-            let mut bad = 0usize;
-            for report in &reports {
-                if report.errors.is_empty() {
-                    println!("ok   {}", report.path.display());
-                } else {
-                    bad += 1;
-                    println!("FAIL {}", report.path.display());
-                    for e in &report.errors {
-                        println!("     {e}");
+            let bad = reports.iter().filter(|r| !r.errors.is_empty()).count();
+            if args.json {
+                #[derive(serde::Serialize)]
+                struct FileJson {
+                    path: String,
+                    errors: Vec<String>,
+                }
+                #[derive(serde::Serialize)]
+                struct VerifyJson {
+                    store: String,
+                    artifacts: usize,
+                    corrupt: usize,
+                    reports: Vec<FileJson>,
+                }
+                let json = VerifyJson {
+                    store: store.dir().display().to_string(),
+                    artifacts: reports.len(),
+                    corrupt: bad,
+                    reports: reports
+                        .iter()
+                        .map(|r| FileJson {
+                            path: r.path.display().to_string(),
+                            errors: r.errors.iter().map(|e| e.to_string()).collect(),
+                        })
+                        .collect(),
+                };
+                match serde_json::to_string_pretty(&json) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => {
+                        eprintln!("serialization failed: {e}");
+                        std::process::exit(2);
                     }
                 }
+            } else if reports.is_empty() {
+                println!("{}: no artifacts", store.dir().display());
+            } else {
+                for report in &reports {
+                    if report.errors.is_empty() {
+                        println!("ok   {}", report.path.display());
+                    } else {
+                        println!("FAIL {}", report.path.display());
+                        for e in &report.errors {
+                            println!("     {e}");
+                        }
+                    }
+                }
+                println!("{} artifacts, {} corrupt", reports.len(), bad);
             }
-            println!("{} artifacts, {} corrupt", reports.len(), bad);
             if bad > 0 {
+                std::process::exit(1);
+            }
+            return;
+        }
+        "lint" => {
+            let report = rskip_harness::lint::run(args.size);
+            if args.json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(json) => println!("{json}"),
+                    Err(e) => {
+                        eprintln!("serialization failed: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                print!("{}", report.render());
+            }
+            save_json(&args.out, "lint", &report);
+            if !report.is_clean() {
+                eprintln!(
+                    "rskip-eval lint: {} unprotected-window diagnostics",
+                    report.diagnostics()
+                );
                 std::process::exit(1);
             }
             return;

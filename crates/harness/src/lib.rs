@@ -13,6 +13,7 @@
 //! | [`tradeoff`] | §7.3 — protection-rate vs slowdown table |
 //! | [`cost_ratio`] | §2 — DI : memoization : re-computation cost ratio |
 //! | [`ablations`] | §4.2.2 quantization comparison, detection-only baseline, pipeline sensitivity |
+//! | [`lint`] | `rskip-eval lint` — static protection-coverage verification of every build |
 //!
 //! The `rskip-eval` binary drives everything:
 //!
@@ -39,6 +40,7 @@ pub mod fig2;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod lint;
 pub mod report;
 pub mod table1;
 pub mod tradeoff;

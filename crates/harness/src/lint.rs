@@ -1,0 +1,227 @@
+//! `rskip-eval lint` — static protection-coverage verification across the
+//! whole benchmark suite.
+//!
+//! Every workload is protected under every scheme and handed to
+//! `rskip-lint` ([`rskip_analysis::lint_module`] plus the memoized-body
+//! purity check). The result is one [`LintCell`] per benchmark × scheme
+//! with per-function protected / validated / unprotected instruction
+//! counts and every diagnostic, rendered as a coverage table (the CI
+//! `lint-protection` artifact) or serialized with `--json`.
+//!
+//! Exit-code hygiene lives in the binary: any diagnostic anywhere makes
+//! `rskip-eval lint` exit nonzero, so CI can gate on a clean suite.
+
+use rskip_analysis::{lint_memoized_body, lint_module, CoverageDiag, DetectConfig};
+use rskip_passes::{transform, Scheme};
+use rskip_workloads::{all_benchmarks, SizeProfile};
+use serde::Serialize;
+
+use crate::report::TextTable;
+
+/// The schemes the linter covers (everything that promises protection).
+pub const LINTED_SCHEMES: [Scheme; 3] = [Scheme::Swift, Scheme::SwiftR, Scheme::RSkip];
+
+/// One diagnostic in serializable form.
+#[derive(Clone, Debug, Serialize)]
+pub struct LintDiag {
+    /// Stable kebab-case diagnostic kind.
+    pub kind: String,
+    /// `@function at block[i]` location string.
+    pub location: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl From<&CoverageDiag> for LintDiag {
+    fn from(d: &CoverageDiag) -> Self {
+        LintDiag {
+            kind: d.kind.name().to_string(),
+            location: d.loc.to_string(),
+            message: d.message.clone(),
+        }
+    }
+}
+
+/// Per-function coverage counters in serializable form.
+#[derive(Clone, Debug, Serialize)]
+pub struct LintFunction {
+    /// Function name.
+    pub function: String,
+    /// Instructions linted.
+    pub instructions: usize,
+    /// Definitions that end their block with full replica redundancy.
+    pub protected_defs: usize,
+    /// Sync-point uses that consumed a validated value.
+    pub validated_uses: usize,
+    /// Unprotected windows diagnosed in this function.
+    pub unprotected: usize,
+}
+
+/// One benchmark × scheme lint result.
+#[derive(Clone, Debug, Serialize)]
+pub struct LintCell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scheme label (`SWIFT`, `SWIFT-R`, `RSkip`).
+    pub scheme: String,
+    /// Coverage-map claims (boundary × register pairs claimed covered).
+    pub claims: usize,
+    /// Per-function counters.
+    pub functions: Vec<LintFunction>,
+    /// Every diagnostic (empty for a clean build).
+    pub diagnostics: Vec<LintDiag>,
+}
+
+/// The whole suite's lint run.
+#[derive(Clone, Debug, Serialize)]
+pub struct LintReport {
+    /// Size profile label the suite was built at.
+    pub size: String,
+    /// One cell per benchmark × scheme.
+    pub cells: Vec<LintCell>,
+}
+
+impl LintReport {
+    /// Total diagnostics across the suite.
+    pub fn diagnostics(&self) -> usize {
+        self.cells.iter().map(|c| c.diagnostics.len()).sum()
+    }
+
+    /// True when no unprotected window was found anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics() == 0
+    }
+
+    /// Renders the coverage table plus a per-scheme summary.
+    pub fn render(&self) -> String {
+        let mut out = format!("== rskip-lint: protection coverage ({}) ==\n", self.size);
+        let mut table = TextTable::new(vec![
+            "benchmark".into(),
+            "scheme".into(),
+            "fns".into(),
+            "insts".into(),
+            "protected".into(),
+            "validated".into(),
+            "unprotected".into(),
+        ]);
+        for cell in &self.cells {
+            let insts: usize = cell.functions.iter().map(|f| f.instructions).sum();
+            let prot: usize = cell.functions.iter().map(|f| f.protected_defs).sum();
+            let val: usize = cell.functions.iter().map(|f| f.validated_uses).sum();
+            table.row(vec![
+                cell.benchmark.clone(),
+                cell.scheme.clone(),
+                cell.functions.len().to_string(),
+                insts.to_string(),
+                prot.to_string(),
+                val.to_string(),
+                cell.diagnostics.len().to_string(),
+            ]);
+        }
+        out.push_str(&table.render());
+
+        for scheme in LINTED_SCHEMES {
+            let label = scheme.label();
+            let cells = self.cells.iter().filter(|c| c.scheme == label);
+            let (mut benches, mut clean, mut diags) = (0usize, 0usize, 0usize);
+            for c in cells {
+                benches += 1;
+                if c.diagnostics.is_empty() {
+                    clean += 1;
+                }
+                diags += c.diagnostics.len();
+            }
+            out.push_str(&format!(
+                "{label}: {clean}/{benches} benchmarks clean, {diags} unprotected windows\n"
+            ));
+        }
+
+        for cell in &self.cells {
+            for d in &cell.diagnostics {
+                out.push_str(&format!(
+                    "{} [{}] {} {}: {}\n",
+                    cell.benchmark, cell.scheme, d.kind, d.location, d.message
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Lints every benchmark under every protected scheme at `size`.
+///
+/// # Panics
+///
+/// Panics if a protection pass produces a module that fails IR
+/// verification — that is a pass bug the lint run cannot report around.
+pub fn run(size: SizeProfile) -> LintReport {
+    let detect = DetectConfig::default();
+    let mut cells = Vec::new();
+    for bench in all_benchmarks() {
+        let module = bench.build(size);
+        for scheme in LINTED_SCHEMES {
+            let protected = transform(&module, scheme, &detect)
+                .unwrap_or_else(|e| panic!("{} under {scheme}: {e}", bench.meta().name));
+            let model = scheme
+                .validation_model()
+                .expect("linted schemes have a model");
+            let report = lint_module(&protected.module, model);
+            let mut diagnostics: Vec<LintDiag> = report.diags.iter().map(LintDiag::from).collect();
+            for spec in &protected.regions {
+                if !spec.memoizable {
+                    continue;
+                }
+                let Some(body_fn) = spec.body_fn.as_deref() else {
+                    continue;
+                };
+                diagnostics.extend(
+                    lint_memoized_body(&protected.module, body_fn)
+                        .iter()
+                        .map(LintDiag::from),
+                );
+            }
+            cells.push(LintCell {
+                benchmark: bench.meta().name.to_string(),
+                scheme: scheme.label().to_string(),
+                claims: report.map.claims(),
+                functions: report
+                    .functions
+                    .iter()
+                    .map(|f| LintFunction {
+                        function: f.function.clone(),
+                        instructions: f.insts,
+                        protected_defs: f.protected_defs,
+                        validated_uses: f.validated_uses,
+                        unprotected: f.unprotected,
+                    })
+                    .collect(),
+                diagnostics,
+            });
+        }
+    }
+    let size_label = match size {
+        SizeProfile::Tiny => "tiny",
+        SizeProfile::Small => "small",
+        SizeProfile::Full => "full",
+    };
+    LintReport {
+        size: size_label.to_string(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_suite_lints_clean() {
+        let report = run(SizeProfile::Tiny);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.cells.len(), all_benchmarks().len() * 3);
+        assert!(report.cells.iter().all(|c| c.claims > 0));
+        let rendered = report.render();
+        assert!(rendered.contains("SWIFT-R:"));
+        assert!(rendered.contains("benchmarks clean"));
+    }
+}

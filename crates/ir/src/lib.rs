@@ -70,6 +70,7 @@ mod inst;
 mod module;
 mod parser;
 mod printer;
+mod span;
 mod types;
 mod verifier;
 
@@ -80,5 +81,6 @@ pub use inst::{BinOp, CmpOp, Inst, Intrinsic, Terminator, UnOp};
 pub use module::{Global, GlobalId, Module, RegionId};
 pub use parser::parse_module;
 pub use printer::{print_function, print_module};
+pub use span::InstLoc;
 pub use types::{Operand, Reg, Ty, Value};
 pub use verifier::Verifier;

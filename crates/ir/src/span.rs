@@ -1,0 +1,88 @@
+//! Source-located diagnostic spans.
+//!
+//! Analyses and verifiers report problems against concrete instruction
+//! positions. [`InstLoc`] is the shared span type: function, block and
+//! instruction index (or the block terminator), displayed in the same
+//! `block[i]` shape the verifier's error strings use, so diagnostics from
+//! different layers read uniformly.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::function::BlockId;
+
+/// The location of one instruction (or terminator) inside a module.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InstLoc {
+    /// Name of the containing function.
+    pub function: String,
+    /// The containing block.
+    pub block: BlockId,
+    /// The block's human-readable label.
+    pub block_name: String,
+    /// Instruction index within the block; `None` designates the
+    /// terminator.
+    pub index: Option<usize>,
+}
+
+impl InstLoc {
+    /// A span for instruction `index` of `block`.
+    pub fn inst(
+        function: impl Into<String>,
+        block: BlockId,
+        block_name: impl Into<String>,
+        index: usize,
+    ) -> Self {
+        InstLoc {
+            function: function.into(),
+            block,
+            block_name: block_name.into(),
+            index: Some(index),
+        }
+    }
+
+    /// A span for the terminator of `block`.
+    pub fn term(
+        function: impl Into<String>,
+        block: BlockId,
+        block_name: impl Into<String>,
+    ) -> Self {
+        InstLoc {
+            function: function.into(),
+            block,
+            block_name: block_name.into(),
+            index: None,
+        }
+    }
+
+    /// The `block[i]` / `block[term]` suffix (the verifier's location
+    /// string format, without the function).
+    pub fn position(&self) -> String {
+        match self.index {
+            Some(i) => format!("{}[{}]", self.block_name, i),
+            None => format!("{}[term]", self.block_name),
+        }
+    }
+}
+
+impl fmt::Display for InstLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} at {}", self.function, self.position())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_like_verifier_locations() {
+        let l = InstLoc::inst("main", BlockId(2), "body", 3);
+        assert_eq!(l.position(), "body[3]");
+        assert_eq!(l.to_string(), "@main at body[3]");
+        let t = InstLoc::term("main", BlockId(2), "body");
+        assert_eq!(t.position(), "body[term]");
+        assert_ne!(l, t);
+    }
+}

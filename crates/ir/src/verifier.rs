@@ -2,9 +2,11 @@
 //!
 //! The verifier enforces the invariants the rest of the system relies on:
 //! well-typed operands, valid register/block/global references, matching
-//! call signatures and sane intrinsic arities. Passes are expected to leave
-//! modules verifiable; the test suites run the verifier after every
-//! transformation.
+//! call signatures, sane intrinsic arities, and definite assignment: every
+//! register read must be dominated by a write on all paths from the entry
+//! (parameters count as written on entry; unreachable blocks are exempt).
+//! Passes are expected to leave modules verifiable; the test suites run the
+//! verifier after every transformation.
 
 use crate::error::VerifyError;
 use crate::function::Function;
@@ -159,6 +161,110 @@ impl<'m> Verifier<'m> {
                 },
             }
             let _ = bid;
+        }
+        self.check_def_before_use(f)
+    }
+
+    /// Definite-assignment dataflow: a register read is only legal when a
+    /// write dominates it on every path from the entry. Parameters are
+    /// defined on entry; blocks unreachable from the entry are skipped
+    /// (mid-pass modules may carry dead blocks until cleanup).
+    fn check_def_before_use(&self, f: &Function) -> Result<(), VerifyError> {
+        let fail = |location: String, message: String| VerifyError {
+            function: f.name.clone(),
+            location,
+            message,
+        };
+
+        let n_blocks = f.blocks.len();
+        let words = f.regs.len().div_ceil(64);
+        let bit = |set: &[u64], r: Reg| (set[r.index() / 64] >> (r.index() % 64)) & 1 == 1;
+        let set_bit = |set: &mut [u64], r: Reg| set[r.index() / 64] |= 1 << (r.index() % 64);
+
+        // Reachability from the entry block.
+        let mut reachable = vec![false; n_blocks];
+        let mut stack = vec![f.entry()];
+        reachable[f.entry().index()] = true;
+        while let Some(b) = stack.pop() {
+            for s in f.block(b).term.successors() {
+                if !reachable[s.index()] {
+                    reachable[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+
+        // Per-block generated definitions.
+        let mut defs: Vec<Vec<u64>> = vec![vec![0u64; words]; n_blocks];
+        for (bid, block) in f.iter_blocks() {
+            for inst in &block.insts {
+                if let Some(d) = inst.dst() {
+                    set_bit(&mut defs[bid.index()], d);
+                }
+            }
+        }
+
+        // Forward dataflow to a fixpoint: definitely-assigned-at-entry is
+        // the intersection over predecessors (top = all-ones so the meet
+        // over not-yet-seen edges is neutral); the entry starts with only
+        // the parameters.
+        let mut at_entry: Vec<Vec<u64>> = vec![vec![u64::MAX; words]; n_blocks];
+        let entry_set = &mut at_entry[f.entry().index()];
+        entry_set.iter_mut().for_each(|w| *w = 0);
+        for p in 0..f.params.len() {
+            set_bit(entry_set, Reg(p as u32));
+        }
+        let mut worklist: Vec<usize> = vec![f.entry().index()];
+        while let Some(b) = worklist.pop() {
+            let mut out = at_entry[b].clone();
+            for (w, d) in out.iter_mut().zip(&defs[b]) {
+                *w |= d;
+            }
+            for s in f.blocks[b].term.successors() {
+                let succ = &mut at_entry[s.index()];
+                let mut changed = false;
+                for (w, o) in succ.iter_mut().zip(&out) {
+                    let next = *w & o;
+                    changed |= next != *w;
+                    *w = next;
+                }
+                if changed {
+                    worklist.push(s.index());
+                }
+            }
+        }
+
+        // Linear scan flagging the first use that is not definitely
+        // assigned.
+        for (bid, block) in f.iter_blocks() {
+            if !reachable[bid.index()] {
+                continue;
+            }
+            let mut defined = at_entry[bid.index()].clone();
+            let check_use = |defined: &[u64], op: Operand, loc: String| match op {
+                Operand::Reg(r) if !bit(defined, r) => Err(fail(
+                    loc,
+                    format!("use of register %{} before definition", r.0),
+                )),
+                _ => Ok(()),
+            };
+            for (i, inst) in block.insts.iter().enumerate() {
+                let mut bad = None;
+                inst.for_each_use(|op| {
+                    if bad.is_none() {
+                        bad = check_use(&defined, op, format!("{}[{}]", block.name, i)).err();
+                    }
+                });
+                if let Some(e) = bad {
+                    return Err(e);
+                }
+                if let Some(d) = inst.dst() {
+                    set_bit(&mut defined, d);
+                }
+            }
+            if let Some(op) = block.term.used_operand() {
+                check_use(&defined, op, format!("{}[term]", block.name))?;
+            }
         }
         Ok(())
     }
@@ -524,5 +630,148 @@ mod tests {
         let b = Block::new("x");
         assert_eq!(b.name, "x");
         assert!(b.insts.is_empty());
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_straight_line() {
+        let mut m = Module::new("bad");
+        let mut f = Function::new("f", vec![], Some(Ty::I64));
+        let x = f.new_reg(Ty::I64);
+        let y = f.new_reg(Ty::I64);
+        // %y = %x + 1 with %x never written.
+        f.blocks[0].insts.push(Inst::Bin {
+            ty: Ty::I64,
+            op: BinOp::Add,
+            dst: y,
+            lhs: Operand::reg(x),
+            rhs: Operand::imm_i(1),
+        });
+        f.blocks[0].term = Terminator::Ret(Some(Operand::reg(y)));
+        m.add_function(f);
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("before definition"), "{e}");
+        assert_eq!(e.location, "entry[0]");
+    }
+
+    #[test]
+    fn rejects_cross_block_use_preceding_its_def() {
+        // entry -> use -> def -> use: the def does not dominate the first
+        // use even though a textual def exists in the function.
+        let mut m = Module::new("bad");
+        let mut f = Function::new("f", vec![], None);
+        let x = f.new_reg(Ty::I64);
+        let use_bb = f.add_block("use");
+        let def_bb = f.add_block("def");
+        f.blocks[0].term = Terminator::Br(use_bb);
+        f.block_mut(use_bb).insts.push(Inst::Store {
+            ty: Ty::I64,
+            addr: Operand::imm_i(0),
+            value: Operand::reg(x),
+        });
+        f.block_mut(use_bb).term = Terminator::Br(def_bb);
+        f.block_mut(def_bb).insts.push(Inst::Mov {
+            ty: Ty::I64,
+            dst: x,
+            src: Operand::imm_i(7),
+        });
+        f.block_mut(def_bb).term = Terminator::Ret(None);
+        m.add_function(f);
+        let e = verify(&m).unwrap_err();
+        assert!(
+            e.message.contains("use of register %0 before definition"),
+            "{e}"
+        );
+        assert_eq!(e.location, "use[0]");
+    }
+
+    #[test]
+    fn rejects_def_on_only_one_path_to_join() {
+        // cond ? (def x) : (skip) ; join reads x — not definitely assigned.
+        let mut m = Module::new("bad");
+        let mut f = Function::new("f", vec![Ty::I64], Some(Ty::I64));
+        let x = f.new_reg(Ty::I64);
+        let then_bb = f.add_block("then");
+        let else_bb = f.add_block("else");
+        let join_bb = f.add_block("join");
+        f.blocks[0].term = Terminator::CondBr(Operand::reg(Reg(0)), then_bb, else_bb);
+        f.block_mut(then_bb).insts.push(Inst::Mov {
+            ty: Ty::I64,
+            dst: x,
+            src: Operand::imm_i(1),
+        });
+        f.block_mut(then_bb).term = Terminator::Br(join_bb);
+        f.block_mut(else_bb).term = Terminator::Br(join_bb);
+        f.block_mut(join_bb).term = Terminator::Ret(Some(Operand::reg(x)));
+        m.add_function(f);
+        let e = verify(&m).unwrap_err();
+        assert!(e.message.contains("before definition"), "{e}");
+        assert_eq!(e.location, "join[term]");
+    }
+
+    #[test]
+    fn accepts_def_on_all_paths_to_join() {
+        let mut m = Module::new("ok");
+        let mut f = Function::new("f", vec![Ty::I64], Some(Ty::I64));
+        let x = f.new_reg(Ty::I64);
+        let then_bb = f.add_block("then");
+        let else_bb = f.add_block("else");
+        let join_bb = f.add_block("join");
+        f.blocks[0].term = Terminator::CondBr(Operand::reg(Reg(0)), then_bb, else_bb);
+        for (bb, v) in [(then_bb, 1), (else_bb, 2)] {
+            f.block_mut(bb).insts.push(Inst::Mov {
+                ty: Ty::I64,
+                dst: x,
+                src: Operand::imm_i(v),
+            });
+            f.block_mut(bb).term = Terminator::Br(join_bb);
+        }
+        f.block_mut(join_bb).term = Terminator::Ret(Some(Operand::reg(x)));
+        m.add_function(f);
+        verify(&m).unwrap();
+    }
+
+    #[test]
+    fn accepts_loop_carried_def() {
+        // i defined in the entry, read and redefined in the loop body: the
+        // back edge must not poison the analysis.
+        let mut mb = ModuleBuilder::new("ok");
+        let mut f = mb.function("f", vec![], None);
+        let entry = f.entry_block();
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.def_reg(Ty::I64, "i");
+        f.switch_to(entry);
+        f.mov(i, Operand::imm_i(0));
+        f.br(body);
+        f.switch_to(body);
+        f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+        let c = f.cmp(
+            crate::CmpOp::Lt,
+            Ty::I64,
+            Operand::reg(i),
+            Operand::imm_i(4),
+        );
+        f.cond_br(Operand::reg(c), body, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        verify(&mb.finish()).unwrap();
+    }
+
+    #[test]
+    fn unreachable_blocks_are_exempt_from_def_before_use() {
+        let mut m = Module::new("ok");
+        let mut f = Function::new("f", vec![], None);
+        let x = f.new_reg(Ty::I64);
+        let dead = f.add_block("dead");
+        f.blocks[0].term = Terminator::Ret(None);
+        f.block_mut(dead).insts.push(Inst::Store {
+            ty: Ty::I64,
+            addr: Operand::imm_i(0),
+            value: Operand::reg(x),
+        });
+        f.block_mut(dead).term = Terminator::Ret(None);
+        m.add_function(f);
+        verify(&m).unwrap();
     }
 }

@@ -1,9 +1,19 @@
 //! The scheme driver: one entry point that turns an unprotected module
 //! into a protected one (paper Fig. 3's compiler box).
+//!
+//! Every [`protect_with`] call ends with the `rskip-lint` post-pass hook:
+//! the transformed module is re-verified, its protection coverage is
+//! linted under the scheme's validation model, and memoized region bodies
+//! are checked for purity. A transformation bug therefore fails the build
+//! with a typed [`PassError`] instead of surfacing as a detection miss in
+//! a fault campaign.
 
-use rskip_analysis::{find_candidates, CandidateKind, DetectConfig};
+use rskip_analysis::{
+    find_candidates, lint_memoized_body, lint_module, CandidateKind, CoverageDiag, CoverageReport,
+    DetectConfig, ValidationModel,
+};
 use rskip_core::{ProtectionPlan, RegionPlan};
-use rskip_ir::{Module, RegionId, Ty};
+use rskip_ir::{Module, RegionId, Ty, VerifyError};
 
 use crate::outline::outline_body;
 use crate::rskip::{apply_rskip, BodySource};
@@ -35,6 +45,17 @@ impl Scheme {
             Scheme::Swift => "SWIFT",
             Scheme::SwiftR => "SWIFT-R",
             Scheme::RSkip => "RSkip",
+        }
+    }
+
+    /// The validation discipline this scheme's coverage promise uses —
+    /// `None` for [`Scheme::Unsafe`], which promises nothing and is
+    /// therefore never linted.
+    pub fn validation_model(self) -> Option<ValidationModel> {
+        match self {
+            Scheme::Unsafe => None,
+            Scheme::Swift => Some(ValidationModel::Detect),
+            Scheme::SwiftR | Scheme::RSkip => Some(ValidationModel::Vote),
         }
     }
 }
@@ -99,9 +120,81 @@ impl Protected {
     }
 }
 
+/// A failure raised by [`protect_with`]: either an invalid input module,
+/// or — far more seriously — evidence that a protection pass produced a
+/// module that fails verification or leaves unprotected windows.
+#[derive(Clone, Debug)]
+pub enum PassError {
+    /// The input module does not verify; nothing was transformed.
+    InputVerify(VerifyError),
+    /// The transformed module fails IR verification — a pass bug.
+    OutputVerify {
+        /// The scheme whose output failed to verify.
+        scheme: Scheme,
+        /// The verifier's complaint.
+        error: VerifyError,
+    },
+    /// The post-pass coverage lint found unprotected windows — the
+    /// transformed module does not honour the scheme's fault-protection
+    /// contract.
+    Coverage {
+        /// The scheme whose output failed the lint.
+        scheme: Scheme,
+        /// Every unprotected-window diagnostic, source-located.
+        diags: Vec<CoverageDiag>,
+    },
+    /// A region was marked memoizable but its body function has side
+    /// effects, so replaying or memoizing it would change program state.
+    MemoizedImpure {
+        /// The offending body function.
+        body_fn: String,
+        /// One diagnostic per impure instruction.
+        diags: Vec<CoverageDiag>,
+    },
+}
+
+impl std::fmt::Display for PassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PassError::InputVerify(e) => write!(f, "input module fails verification: {e}"),
+            PassError::OutputVerify { scheme, error } => {
+                write!(f, "{scheme} output fails verification: {error}")
+            }
+            PassError::Coverage { scheme, diags } => {
+                writeln!(
+                    f,
+                    "{scheme} output fails the protection-coverage lint ({} diagnostics):",
+                    diags.len()
+                )?;
+                for d in diags.iter().take(8) {
+                    writeln!(f, "  {d}")?;
+                }
+                if diags.len() > 8 {
+                    writeln!(f, "  ... and {} more", diags.len() - 8)?;
+                }
+                Ok(())
+            }
+            PassError::MemoizedImpure { body_fn, diags } => {
+                writeln!(f, "memoizable body @{body_fn} is impure:")?;
+                for d in diags {
+                    writeln!(f, "  {d}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
 /// Protects `module` under `scheme` with default detection thresholds.
+///
+/// # Panics
+///
+/// Panics on any [`PassError`] — use [`protect_with`] to handle failures
+/// as values.
 pub fn protect(module: &Module, scheme: Scheme) -> Protected {
-    protect_with(module, scheme, &DetectConfig::default())
+    protect_with(module, scheme, &DetectConfig::default()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Protects `module` under `scheme` with explicit detection thresholds.
@@ -110,14 +203,31 @@ pub fn protect(module: &Module, scheme: Scheme) -> Protected {
 /// detected loops, so the fault-injection scope of §7.2 ("faults are only
 /// injected into the detected loops") is identical across schemes.
 ///
-/// # Panics
-///
-/// Panics if the input module does not verify — callers are expected to
-/// hand over verified modules.
-pub fn protect_with(module: &Module, scheme: Scheme, detect: &DetectConfig) -> Protected {
+/// After transforming, the driver re-verifies the output and runs the
+/// `rskip-lint` coverage and purity checks, so a buggy pass surfaces here
+/// as a typed error rather than as silent missed detections downstream.
+pub fn protect_with(
+    module: &Module,
+    scheme: Scheme,
+    detect: &DetectConfig,
+) -> Result<Protected, PassError> {
+    let protected = transform(module, scheme, detect)?;
+    lint_protected(&protected.module, scheme, &protected.regions)?;
+    Ok(protected)
+}
+
+/// Runs the protection pipeline *without* the post-pass lint hook — the
+/// transformation and output verification only. This is the entry point
+/// for the `rskip-eval lint` front-end, which wants the coverage report
+/// (diagnostics included) as data rather than as an error.
+pub fn transform(
+    module: &Module,
+    scheme: Scheme,
+    detect: &DetectConfig,
+) -> Result<Protected, PassError> {
     rskip_ir::Verifier::new(module)
         .verify()
-        .expect("input module must verify");
+        .map_err(PassError::InputVerify)?;
     let mut out = module.clone();
     let candidates = find_candidates(module, detect);
 
@@ -237,14 +347,50 @@ pub fn protect_with(module: &Module, scheme: Scheme, detect: &DetectConfig) -> P
     // blocks the transforms stranded.
     crate::cleanup::remove_unreachable_blocks(&mut out);
 
-    debug_assert!(
-        rskip_ir::Verifier::new(&out).verify().is_ok(),
-        "protected module fails verification: {:?}",
-        rskip_ir::Verifier::new(&out).verify()
-    );
-    Protected {
+    rskip_ir::Verifier::new(&out)
+        .verify()
+        .map_err(|error| PassError::OutputVerify { scheme, error })?;
+    Ok(Protected {
         module: out,
         regions,
         scheme,
+    })
+}
+
+/// The `rskip-lint` post-pass hook: coverage-lint the transformed module
+/// under the scheme's validation model and purity-check every memoized
+/// region body. Returns the coverage report so callers (the harness's
+/// `lint` subcommand) can surface per-function statistics.
+pub fn lint_protected(
+    module: &Module,
+    scheme: Scheme,
+    regions: &[RegionSpec],
+) -> Result<Option<CoverageReport>, PassError> {
+    // Unprotected builds have nothing to promise.
+    let Some(model) = scheme.validation_model() else {
+        return Ok(None);
+    };
+    let report = lint_module(module, model);
+    if !report.is_clean() {
+        return Err(PassError::Coverage {
+            scheme,
+            diags: report.diags.clone(),
+        });
     }
+    for spec in regions {
+        let Some(body_fn) = spec.body_fn.as_deref() else {
+            continue;
+        };
+        if !spec.memoizable {
+            continue;
+        }
+        let diags = lint_memoized_body(module, body_fn);
+        if !diags.is_empty() {
+            return Err(PassError::MemoizedImpure {
+                body_fn: body_fn.to_string(),
+                diags,
+            });
+        }
+    }
+    Ok(Some(report))
 }

@@ -38,7 +38,9 @@ mod swift_r;
 mod util;
 
 pub use cleanup::remove_unreachable_blocks;
-pub use driver::{protect, protect_with, Protected, RegionSpec, Scheme};
+pub use driver::{
+    lint_protected, protect, protect_with, transform, PassError, Protected, RegionSpec, Scheme,
+};
 pub use outline::{outline_body, OutlineError, OutlinedBody};
 pub use rskip::{apply_rskip, BodySource, RSkipError};
 pub use rskip_core::{ProtectionPlan, RegionPlan};

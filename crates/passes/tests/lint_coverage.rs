@@ -1,0 +1,54 @@
+//! Every workload × protected scheme must lint clean: the protection
+//! passes promise full sync-point validation, and `rskip-lint` is the
+//! static check of that promise. A diagnostic here means a pass bug (or a
+//! linter bug), not a workload bug.
+
+use rskip_analysis::{lint_module, ValidationModel};
+use rskip_passes::{protect, Scheme};
+use rskip_workloads::{all_benchmarks, SizeProfile};
+
+fn model_for(scheme: Scheme) -> ValidationModel {
+    match scheme {
+        Scheme::Swift => ValidationModel::Detect,
+        Scheme::SwiftR | Scheme::RSkip => ValidationModel::Vote,
+        Scheme::Unsafe => unreachable!("unsafe code is never linted"),
+    }
+}
+
+#[test]
+fn all_workloads_lint_clean_under_all_schemes() {
+    for bench in all_benchmarks() {
+        let module = bench.build(SizeProfile::Tiny);
+        for scheme in [Scheme::Swift, Scheme::SwiftR, Scheme::RSkip] {
+            let protected = protect(&module, scheme);
+            let report = lint_module(&protected.module, model_for(scheme));
+            assert!(
+                report.is_clean(),
+                "{} under {scheme}: {} unprotected windows\n{}",
+                bench.meta().name,
+                report.diags.len(),
+                report
+                    .diags
+                    .iter()
+                    .take(12)
+                    .map(|d| format!("  {d}\n"))
+                    .collect::<String>()
+            );
+            assert!(
+                report.map.claims() > 0,
+                "{} under {scheme}: empty coverage map",
+                bench.meta().name
+            );
+        }
+    }
+}
+
+#[test]
+fn unprotected_module_floods_diagnostics() {
+    let module = all_benchmarks()[0].build(SizeProfile::Tiny);
+    let report = lint_module(&module, ValidationModel::Detect);
+    assert!(
+        !report.is_clean(),
+        "untransformed code must not pass the lint"
+    );
+}

@@ -100,6 +100,15 @@ impl Benchmark for YoloLite {
 
         f.switch_to(entry);
         f.mov(c, Operand::imm_i(0));
+        // Later loop counters and the argmax running state are read in
+        // their headers before any other write; definite assignment
+        // requires explicit initialization (the verifier rejects reliance
+        // on the interpreter's zeroed register file).
+        f.mov(m, Operand::imm_i(0));
+        f.mov(d, Operand::imm_i(0));
+        f.mov(ai, Operand::imm_i(0));
+        f.mov(best, Operand::imm_f(0.0));
+        f.mov(besti, Operand::imm_i(0));
         f.br(ch);
 
         f.switch_to(ch);
@@ -214,9 +223,6 @@ impl Benchmark for YoloLite {
             Operand::imm_i(nc * npool),
         );
         f.cond_br(Operand::reg(cm), mb_, dh);
-        // m starts implicitly at 0 (registers are zero-initialized; set
-        // explicitly in the conv exit for clarity). Initialization happens
-        // in `pl`'s fall-through: add it before the mh branch instead.
 
         f.switch_to(mb_);
         let mc = f.bin(BinOp::Div, Ty::I64, Operand::reg(m), Operand::imm_i(npool));
