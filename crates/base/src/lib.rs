@@ -17,4 +17,4 @@
 pub mod parallel;
 pub mod plan;
 
-pub use plan::{ProtectionPlan, RegionPlan};
+pub use plan::{ProtectionPlan, RegionPlan, SupervisorPolicy};

@@ -151,6 +151,7 @@ mod tests {
             termination: t,
             counters: Counters::default(),
             injection: None,
+            state_injection: None,
             prints: Vec::new(),
         }
     }

@@ -57,6 +57,19 @@ pub trait RuntimeHooks {
     /// `print` intrinsic itself but still forwards them here so the runtime
     /// can maintain per-region state.
     fn intrinsic(&mut self, intr: Intrinsic, args: &[Value]) -> IntrinsicAction;
+
+    /// Flips one bit of the runtime's *own* live state (predictor phase
+    /// registers, memo-table entries, pending re-computation records,
+    /// counters) — the fault model for SEUs striking the protection
+    /// machinery itself rather than the protected program's data.
+    /// Returns a site label, or `None` when the runtime holds no live
+    /// state of the requested kind right now (the machine keeps the
+    /// fault armed and retries on the next opportunity). The default —
+    /// for hooks without runtime state — has nothing to corrupt.
+    fn flip_runtime_state(&mut self, seed: u64) -> Option<String> {
+        let _ = seed;
+        None
+    }
 }
 
 /// Hooks for runs without a prediction runtime: version selection always
@@ -87,6 +100,10 @@ impl RuntimeHooks for NoopHooks {
 impl<H: RuntimeHooks + ?Sized> RuntimeHooks for &mut H {
     fn intrinsic(&mut self, intr: Intrinsic, args: &[Value]) -> IntrinsicAction {
         (**self).intrinsic(intr, args)
+    }
+
+    fn flip_runtime_state(&mut self, seed: u64) -> Option<String> {
+        (**self).flip_runtime_state(seed)
     }
 }
 

@@ -73,6 +73,10 @@ pub struct RunOutcome {
     /// The fault actually injected, if an [`InjectionPlan`] was armed and
     /// found a target.
     pub injection: Option<InjectionRecord>,
+    /// The runtime-state fault actually injected, if one was armed with
+    /// [`Machine::set_runtime_state_flip`] and the hooks reported a live
+    /// target site.
+    pub state_injection: Option<String>,
     /// Values printed through the `print` intrinsic.
     pub prints: Vec<Value>,
 }
@@ -117,10 +121,12 @@ struct Frame {
     ready: Vec<u64>,
 }
 
-/// An armed fault for the next run: random SEU or deterministic flip.
+/// An armed fault for the next run: random SEU, deterministic flip, or a
+/// strike against the prediction runtime's own metadata.
 enum ArmedFault {
     Random(InjectionPlan),
     Exact(ExactFlip),
+    RuntimeState { trigger: u64, seed: u64 },
 }
 
 /// Either an internally-built decode or one shared by the caller (e.g.
@@ -287,6 +293,19 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
         self.injection = Some(ArmedFault::Exact(flip));
     }
 
+    /// Arms a single-event upset against the prediction runtime's *own*
+    /// state for the next run: once `trigger` region instructions have
+    /// retired, [`RuntimeHooks::flip_runtime_state`] is asked to flip one
+    /// bit of live predictor metadata. If the hooks hold no live state of
+    /// the chosen kind at that boundary the fault stays armed and retries
+    /// at every later one, inside or outside a region — predictor
+    /// metadata (unlike program state) persists across region
+    /// activations, and some of it is only resident briefly (a pending
+    /// re-computation record lives from rejection to replay).
+    pub fn set_runtime_state_flip(&mut self, trigger: u64, seed: u64) {
+        self.injection = Some(ArmedFault::RuntimeState { trigger, seed });
+    }
+
     /// Runs `func` with `args` to completion.
     ///
     /// # Panics
@@ -444,6 +463,7 @@ fn exec_loop<H: RuntimeHooks>(
     let mut prints = Vec::new();
     let mut region_depth: u32 = 0;
     let mut injected: Option<InjectionRecord> = None;
+    let mut state_injected: Option<String> = None;
     // Instruction boundaries crossed so far. Differs from
     // `counters.retired` because intrinsic actions charge extra modeled
     // instructions; [`ExactFlip`] and the enumeration census count actual
@@ -472,15 +492,32 @@ fn exec_loop<H: RuntimeHooks>(
                     }
                 }
                 ArmedFault::Exact(flip) => boundary >= flip.at,
+                // The runtime's own metadata outlives region activations
+                // (the pending queue, for one, drains in the post-exit
+                // flush recheck), so once the trigger count is reached the
+                // strike may land at any boundary, in or out of a region.
+                ArmedFault::RuntimeState { trigger, .. } => counters.region_retired >= *trigger,
             };
             if due {
-                injected = match armed {
-                    ArmedFault::Random(plan) => inject(prog, plan, &mut stack, counters.retired),
-                    ArmedFault::Exact(flip) => {
-                        inject_exact(prog, flip, &mut stack, counters.retired)
+                match armed {
+                    ArmedFault::Random(plan) => {
+                        injected = inject(prog, plan, &mut stack, counters.retired);
+                        injection = None;
                     }
-                };
-                injection = None;
+                    ArmedFault::Exact(flip) => {
+                        injected = inject_exact(prog, flip, &mut stack, counters.retired);
+                        injection = None;
+                    }
+                    ArmedFault::RuntimeState { seed, .. } => {
+                        // The runtime may hold no live state of the chosen
+                        // kind at this boundary; keep the fault armed and
+                        // retry at the next one.
+                        if let Some(site) = hooks.flip_runtime_state(*seed) {
+                            state_injected = Some(site);
+                            injection = None;
+                        }
+                    }
+                }
             }
         }
 
@@ -706,6 +743,7 @@ fn exec_loop<H: RuntimeHooks>(
         termination,
         counters,
         injection: injected,
+        state_injection: state_injected,
         prints,
     }
 }

@@ -14,6 +14,7 @@
 //! rskip-eval inspect [--store DIR]
 //! rskip-eval verify  [--store DIR] [--json]
 //! rskip-eval lint   [--size ...] [--json]
+//! rskip-eval supervise [--size ...] [--runs N]
 //! ```
 //!
 //! With `--out DIR`, raw results are also written as JSON.
@@ -24,6 +25,13 @@
 //! diagnostic is found and 0 on a clean suite. `--json` swaps the table
 //! for machine-readable output (same exit-code contract). `verify
 //! --json` does the same for store integrity reports.
+//!
+//! `supervise` replays a drifting-input workload with and without the
+//! runtime supervisor and runs the runtime-state SEU campaign with
+//! hardening off and on; it exits 1 if any built-in acceptance check
+//! fails (breaker never opened under drift, breaker opened on the
+//! stationary control, hardened metadata SDCs, SDC-free rate below the
+//! always-predict baseline, or stationary skip retention under 50%).
 //!
 //! The model-store commands persist the offline training phase:
 //! `train` profiles and trains every benchmark and saves the artifacts;
@@ -90,7 +98,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: rskip-eval <table1|fig2|fig7|fig8a|fig8b|fig9|tradeoff|cost-ratio|ablations|all\
-     |lint|train|inspect|verify> \
+     |supervise|lint|train|inspect|verify> \
      [--size tiny|small|full] [--runs N] [--inputs N] [--out DIR] [--store DIR] [--json]"
         .to_string()
 }
@@ -273,6 +281,18 @@ fn main() {
             let a = rskip_harness::ablations::run_with(&engine);
             save_json(&args.out, "ablations", &a);
             print!("{}", a.render());
+        }
+        "supervise" => {
+            let s = rskip_harness::supervisor_exp::run_with(&engine, args.runs);
+            save_json(&args.out, "supervise", &s);
+            print!("{}", s.render());
+            let violations = s.check();
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("rskip-eval supervise: FAIL {v}");
+                }
+                std::process::exit(1);
+            }
         }
         "cost-ratio" => {
             let c = rskip_harness::cost_ratio::run(&options);

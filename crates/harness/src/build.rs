@@ -14,6 +14,7 @@ use rskip_runtime::{
 };
 use rskip_store::{
     ArtifactMeta, CacheKey, LoadOutcome, ModelArtifact, Store, StoredModels, StoredPlan,
+    StoredSupervisorPolicy,
 };
 use rskip_workloads::{Benchmark, InputSet, SizeProfile};
 
@@ -328,6 +329,11 @@ impl BenchSetup {
                         .iter()
                         .map(|(ar, m)| (ar.label(), StoredModels::from(m.as_ref())))
                         .collect(),
+                    supervisor: rskip
+                        .plan()
+                        .supervisor
+                        .as_ref()
+                        .map(StoredSupervisorPolicy::from),
                 };
                 if let Err(e) = store.save(&artifact) {
                     warn(&format!("save failed: {e}"));

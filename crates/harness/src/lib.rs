@@ -14,6 +14,7 @@
 //! | [`cost_ratio`] | §2 — DI : memoization : re-computation cost ratio |
 //! | [`ablations`] | §4.2.2 quantization comparison, detection-only baseline, pipeline sensitivity |
 //! | [`lint`] | `rskip-eval lint` — static protection-coverage verification of every build |
+//! | [`supervisor_exp`] | `rskip-eval supervise` — drift replay + runtime-state SEU campaign |
 //!
 //! The `rskip-eval` binary drives everything:
 //!
@@ -42,6 +43,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod lint;
 pub mod report;
+pub mod supervisor_exp;
 pub mod table1;
 pub mod tradeoff;
 

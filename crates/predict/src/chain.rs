@@ -140,6 +140,21 @@ impl Chain {
         &*self.links[k].predictor
     }
 
+    /// Mutable access to link `k`'s predictor (state-fault injection and
+    /// hardening control).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn predictor_mut(&mut self, k: usize) -> &mut dyn Predictor {
+        &mut *self.links[k].predictor
+    }
+
+    /// Total hardening detections across every link.
+    pub fn total_detections(&self) -> u64 {
+        self.links.iter().map(|l| l.predictor.detections()).sum()
+    }
+
     /// One human-readable report line per link.
     pub fn reports(&self) -> Vec<String> {
         self.links
@@ -308,6 +323,35 @@ impl Predictor for Chain {
 
     fn report(&self) -> String {
         self.reports().join("; ")
+    }
+
+    fn flip_state_bit(&mut self, seed: u64) -> Option<String> {
+        // Start at a seed-chosen link and rotate until one has live
+        // state, so links that are momentarily empty do not mask the
+        // injection.
+        let n = self.links.len();
+        if n == 0 {
+            return None;
+        }
+        let start = (seed as usize) % n;
+        for off in 0..n {
+            let k = (start + off) % n;
+            let name = self.links[k].predictor.name();
+            if let Some(site) = self.links[k].predictor.flip_state_bit(seed) {
+                return Some(format!("{name}/{site}"));
+            }
+        }
+        None
+    }
+
+    fn detections(&self) -> u64 {
+        self.total_detections()
+    }
+
+    fn set_harden(&mut self, on: bool) {
+        for l in &mut self.links {
+            l.predictor.set_harden(on);
+        }
     }
 
     fn clone_box(&self) -> Box<dyn Predictor> {

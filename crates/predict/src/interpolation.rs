@@ -119,6 +119,14 @@ pub struct DynamicInterpolation {
     /// for context signatures (§5).
     slope_changes: Vec<f64>,
     slope_window: usize,
+    /// Self-protection: when set, the phase registers (first/last endpoint
+    /// values and the running slope) are held in triplicate and
+    /// majority-voted before every use.
+    harden: bool,
+    /// Two redundant copies of `[first value, last value, last slope]`.
+    shadow: [[f64; 3]; 2],
+    /// Voting rounds that found a corrupted register.
+    detections: u64,
 }
 
 impl DynamicInterpolation {
@@ -133,6 +141,9 @@ impl DynamicInterpolation {
             stats: DiStats::default(),
             slope_changes: Vec::new(),
             slope_window: 256,
+            harden: false,
+            shadow: [[0.0; 3]; 2],
+            detections: 0,
         }
     }
 
@@ -169,14 +180,104 @@ impl DynamicInterpolation {
         std::mem::take(&mut self.slope_changes)
     }
 
+    /// Enables or disables phase-register hardening: with hardening on,
+    /// the first/last endpoint values and the running slope are duplicated
+    /// into two shadow copies and majority-voted before each use, so a
+    /// bit flip in one copy repairs instead of steering phase decisions.
+    pub fn set_harden(&mut self, on: bool) {
+        self.harden = on;
+        self.sync_shadows();
+    }
+
+    /// Voting rounds that found (and voted out) a corrupted phase register.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Flips one bit in a live phase register — an SEU aimed at the
+    /// protection machinery itself. Returns the site label, or `None` when
+    /// the phase buffer is empty (nothing live to corrupt).
+    pub fn flip_state_bit(&mut self, seed: u64) -> Option<String> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut sites = vec!["first"];
+        if self.buf.len() >= 2 {
+            sites.push("last");
+            sites.push("slope");
+        }
+        let site = sites[(seed as usize) % sites.len()];
+        let bit = ((seed >> 32) % 64) as u32;
+        let flip = |v: f64| f64::from_bits(v.to_bits() ^ (1u64 << bit));
+        match site {
+            "first" => self.buf[0].1 = flip(self.buf[0].1),
+            "last" => {
+                let n = self.buf.len() - 1;
+                self.buf[n].1 = flip(self.buf[n].1);
+            }
+            _ => self.last_slope = flip(self.last_slope),
+        }
+        Some(format!("di.{site} bit {bit}"))
+    }
+
+    /// Refreshes both shadow copies from the primary registers. Called
+    /// after every legitimate mutation; an injected flip (which touches
+    /// only the primary) is then outvoted at the next use.
+    fn sync_shadows(&mut self) {
+        if !self.harden {
+            return;
+        }
+        let first = self.buf.first().map_or(0.0, |&(_, v)| v);
+        let last = self.buf.last().map_or(0.0, |&(_, v)| v);
+        let regs = [first, last, self.last_slope];
+        self.shadow = [regs, regs];
+    }
+
+    /// Majority-votes each live register against its two shadow copies,
+    /// repairing the primary when it is outvoted.
+    fn verify_repair(&mut self) {
+        if !self.harden || self.buf.is_empty() {
+            return;
+        }
+        let vote = |p: f64, a: f64, b: f64| -> (f64, bool) {
+            let (pb, ab, bb) = (p.to_bits(), a.to_bits(), b.to_bits());
+            if pb == ab && pb == bb {
+                (p, false)
+            } else if ab == bb {
+                // Primary outvoted by the two agreeing copies.
+                (a, true)
+            } else {
+                // Three-way disagreement (or a corrupted copy): trust the
+                // primary, but record that the check fired.
+                (p, true)
+            }
+        };
+        let (first, hit0) = vote(self.buf[0].1, self.shadow[0][0], self.shadow[1][0]);
+        self.buf[0].1 = first;
+        let mut hits = hit0 as u64;
+        if self.buf.len() >= 2 {
+            let n = self.buf.len() - 1;
+            let (last, hit1) = vote(self.buf[n].1, self.shadow[0][1], self.shadow[1][1]);
+            self.buf[n].1 = last;
+            let (slope, hit2) = vote(self.last_slope, self.shadow[0][2], self.shadow[1][2]);
+            self.last_slope = slope;
+            hits += hit1 as u64 + hit2 as u64;
+        }
+        self.detections += hits;
+        if hits > 0 {
+            self.sync_shadows();
+        }
+    }
+
     /// Observes the next loop output. Returns a [`CutResult`] when this
     /// observation closed a phase.
     pub fn observe(&mut self, value: f64) -> Option<CutResult> {
+        self.verify_repair();
         let seq = self.seq;
         self.seq += 1;
         self.stats.observed += 1;
 
-        match self.buf.len() {
+        let result = match self.buf.len() {
             0 => {
                 // Setup stage (Fig. 5a).
                 self.buf.push((seq, value));
@@ -215,13 +316,16 @@ impl DynamicInterpolation {
                     Some(result)
                 }
             }
-        }
+        };
+        self.sync_shadows();
+        result
     }
 
     /// Closes the final phase (region exit). Every remaining element is
     /// classified: interiors validated against the endpoint line, endpoints
     /// pending.
     pub fn flush(&mut self) -> Option<CutResult> {
+        self.verify_repair();
         if self.buf.is_empty() {
             return None;
         }
@@ -236,6 +340,7 @@ impl DynamicInterpolation {
         self.buf.clear();
         self.seq = 0; // next region entry starts fresh numbering
         self.region_phases = 0;
+        self.sync_shadows();
         Some(result)
     }
 
@@ -245,6 +350,7 @@ impl DynamicInterpolation {
         self.seq = 0;
         self.last_slope = 0.0;
         self.region_phases = 0;
+        self.sync_shadows();
     }
 
     fn note_endpoints(&mut self, n: u64) {
@@ -465,5 +571,48 @@ mod tests {
     fn empty_flush_returns_none() {
         let mut di = DynamicInterpolation::new(DiConfig::default());
         assert!(di.flush().is_none());
+    }
+
+    #[test]
+    fn hardened_di_votes_out_a_flipped_endpoint() {
+        // Same ramp through a hardened and a pristine machine; flip a
+        // phase register mid-stream in the hardened one. The vote must
+        // repair it: classifications stay identical, detection recorded.
+        let values: Vec<f64> = (0..60).map(|k| 3.0 + 0.5 * k as f64).collect();
+        let cfg = DiConfig { tp: 0.1, ar: 0.1 };
+        let mut clean = DynamicInterpolation::new(cfg);
+        let mut hard = DynamicInterpolation::new(cfg);
+        hard.set_harden(true);
+        for (k, &v) in values.iter().enumerate() {
+            if k == 30 {
+                let site = hard.flip_state_bit(0x0017_0000_0001).expect("live target");
+                assert!(site.starts_with("di."));
+            }
+            assert_eq!(clean.observe(v).is_some(), hard.observe(v).is_some());
+        }
+        let a = clean.flush().unwrap();
+        let b = hard.flush().unwrap();
+        assert_eq!(a, b, "vote must fully mask the flip");
+        assert!(hard.detections() >= 1);
+    }
+
+    #[test]
+    fn unhardened_flip_goes_undetected() {
+        let mut di = DynamicInterpolation::new(DiConfig { tp: 0.1, ar: 0.1 });
+        for k in 0..10 {
+            di.observe(k as f64);
+        }
+        assert!(di.flip_state_bit(0x003f_0000_0002).is_some());
+        for k in 10..20 {
+            di.observe(k as f64);
+        }
+        di.flush();
+        assert_eq!(di.detections(), 0);
+    }
+
+    #[test]
+    fn flip_with_no_live_state_returns_none() {
+        let mut di = DynamicInterpolation::new(DiConfig::default());
+        assert!(di.flip_state_bit(42).is_none());
     }
 }

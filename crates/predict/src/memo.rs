@@ -297,6 +297,24 @@ impl Memoizer {
         self.table[self.index(inputs)]
     }
 
+    /// Flips one bit in a populated table entry — an SEU aimed at the
+    /// memoization table itself. The entry is chosen by `seed` among the
+    /// populated cells; returns the site label, or `None` when the table
+    /// has no populated entry to corrupt.
+    pub fn corrupt_table_bit(&mut self, seed: u64) -> Option<String> {
+        let populated: Vec<usize> = (0..self.table.len())
+            .filter(|&i| self.table[i].is_some())
+            .collect();
+        if populated.is_empty() {
+            return None;
+        }
+        let idx = populated[(seed as usize) % populated.len()];
+        let bit = ((seed >> 32) % 64) as u32;
+        let v = self.table[idx].expect("entry is populated");
+        self.table[idx] = Some(f64::from_bits(v.to_bits() ^ (1u64 << bit)));
+        Some(format!("memo[{idx}] bit {bit}"))
+    }
+
     /// Fraction of samples predicted within `ar` relative difference.
     pub fn accuracy(&self, samples: &[(Vec<f64>, f64)], ar: f64) -> f64 {
         if samples.is_empty() {

@@ -149,6 +149,28 @@ pub trait Predictor: std::fmt::Debug + Send + Sync {
         String::new()
     }
 
+    /// Flips one bit of this predictor's live state — a fault aimed at
+    /// the protection machinery itself (SEU campaigns over runtime
+    /// metadata). Returns a site label, or `None` when the predictor
+    /// holds no corruptible state right now. Default: stateless.
+    fn flip_state_bit(&mut self, seed: u64) -> Option<String> {
+        let _ = seed;
+        None
+    }
+
+    /// Self-check firings: how often hardening detected (and contained)
+    /// corrupted internal state. Zero for predictors without
+    /// self-checking state.
+    fn detections(&self) -> u64 {
+        0
+    }
+
+    /// Enables or disables state hardening (shadow copies, voting,
+    /// checksums). Default: nothing to harden.
+    fn set_harden(&mut self, on: bool) {
+        let _ = on;
+    }
+
     /// Clones this predictor behind the trait object (campaigns clone a
     /// trained runtime per trial).
     fn clone_box(&self) -> Box<dyn Predictor>;
@@ -247,7 +269,19 @@ impl Predictor for DiPredictor {
     }
 
     fn report(&self) -> String {
-        format!("{:?}", self.di.stats())
+        format!("{:?} detections={}", self.di.stats(), self.di.detections())
+    }
+
+    fn flip_state_bit(&mut self, seed: u64) -> Option<String> {
+        self.di.flip_state_bit(seed)
+    }
+
+    fn detections(&self) -> u64 {
+        self.di.detections()
+    }
+
+    fn set_harden(&mut self, on: bool) {
+        self.di.set_harden(on);
     }
 
     fn clone_box(&self) -> Box<dyn Predictor> {
@@ -263,6 +297,10 @@ pub struct MemoPredictor {
     ar: f64,
     base_cost: u64,
     per_input_cost: u64,
+    /// Hardening: a shadow copy of the table; lookups are cross-checked
+    /// and a disagreement (one copy corrupted) degrades to a miss.
+    shadow: Option<Box<Memoizer>>,
+    detections: u64,
 }
 
 impl MemoPredictor {
@@ -273,6 +311,8 @@ impl MemoPredictor {
             ar,
             base_cost: 0,
             per_input_cost: 0,
+            shadow: None,
+            detections: 0,
         }
     }
 
@@ -301,7 +341,23 @@ impl Predictor for MemoPredictor {
     }
 
     fn predict(&mut self, elem: &Element) -> Option<f64> {
-        self.memo.predict(&elem.args)
+        let primary = self.memo.predict(&elem.args);
+        if let Some(shadow) = &self.shadow {
+            let check = shadow.predict_quiet(&elem.args);
+            let same = match (primary, check) {
+                (Some(a), Some(b)) => a.to_bits() == b.to_bits(),
+                (None, None) => true,
+                _ => false,
+            };
+            if !same {
+                // One copy is corrupted; we cannot tell which, so degrade
+                // the lookup to a miss — the chain falls through to the
+                // next link or to exact re-computation.
+                self.detections += 1;
+                return None;
+            }
+        }
+        primary
     }
 
     fn attempt_cost(&self, n_args: usize) -> u64 {
@@ -309,7 +365,19 @@ impl Predictor for MemoPredictor {
     }
 
     fn report(&self) -> String {
-        format!("{:?}", self.memo.stats())
+        format!("{:?} detections={}", self.memo.stats(), self.detections)
+    }
+
+    fn flip_state_bit(&mut self, seed: u64) -> Option<String> {
+        self.memo.corrupt_table_bit(seed)
+    }
+
+    fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    fn set_harden(&mut self, on: bool) {
+        self.shadow = on.then(|| Box::new(self.memo.clone()));
     }
 
     fn clone_box(&self) -> Box<dyn Predictor> {
@@ -418,6 +486,49 @@ mod tests {
             args: vec![2.0],
         });
         assert_eq!(miss, Resolution::reject_one(4));
+    }
+
+    #[test]
+    fn hardened_memo_turns_a_corrupted_entry_into_a_miss() {
+        // Single trained cell so the injected flip hits the same entry the
+        // lookup reads. The shadow cross-check must degrade the corrupted
+        // lookup to a miss (fall through to re-computation), not serve it.
+        let mut trainer = crate::MemoTrainer::new(1);
+        for _ in 0..50 {
+            trainer.add_sample(&[2.0], 20.0);
+        }
+        let memo = trainer.build(&crate::MemoConfig {
+            table_bits: 4,
+            hist_bins: 16,
+        });
+        let mut p = MemoPredictor::new(memo.clone(), 0.1);
+        p.set_harden(true);
+        let site = p.flip_state_bit(62 << 32).expect("populated entry");
+        assert!(site.starts_with("memo["), "site = {site}");
+        let e = Element {
+            seq: 0,
+            value: 20.0,
+            args: vec![2.0],
+        };
+        assert_eq!(p.predict(&e), None, "cross-check must miss, not serve");
+        assert_eq!(p.detections(), 1);
+
+        // Unhardened control: the corrupted value is served as-is.
+        let mut bare = MemoPredictor::new(memo, 0.1);
+        bare.flip_state_bit(62 << 32).expect("populated entry");
+        assert!(bare.predict(&e).is_some());
+        assert_eq!(bare.detections(), 0);
+    }
+
+    #[test]
+    fn empty_memo_has_no_state_to_flip() {
+        let trainer = crate::MemoTrainer::new(1);
+        let memo = trainer.build(&crate::MemoConfig {
+            table_bits: 2,
+            hist_bins: 4,
+        });
+        let mut p = MemoPredictor::new(memo, 0.1);
+        assert!(p.flip_state_bit(7).is_none());
     }
 
     #[test]

@@ -33,13 +33,15 @@ mod region;
 mod runtime;
 pub mod signature;
 pub mod stored;
+pub mod supervisor;
 mod train;
 
 pub use qos::QosTable;
 pub use region::{RegionState, RegionStats};
-pub use rskip_core::{ProtectionPlan, RegionPlan};
-pub use runtime::{PredictionRuntime, RegionInit, RuntimeConfig};
+pub use rskip_core::{ProtectionPlan, RegionPlan, SupervisorPolicy};
+pub use runtime::{PredictionRuntime, RegionInit, RuntimeConfig, StateFaultTarget};
 pub use stored::{export_profiles, import_profiles};
+pub use supervisor::{DemotionCauses, Supervisor, SupervisorState, SupervisorStats};
 pub use train::{
     profile_module, profile_module_with, profiling_run_count, train_from_profiles,
     training_run_count, RegionModel, RegionProfile, TrainedModel, TrainingConfig,

@@ -33,6 +33,20 @@ impl QosTable {
         self.entries.get(signature).copied()
     }
 
+    /// True when any trained signature shares `signature`'s dominant
+    /// (leading) bin. Exact lookup is the right granularity for TP
+    /// tuning, but too fine for drift detection: the rank order of the
+    /// *lesser* histogram bins flips with per-tick sampling noise, while
+    /// a change of the dominant slope-change bin means the input
+    /// distribution itself has moved. The runtime supervisor uses this
+    /// coarser test for its drift-demotion signal.
+    pub fn known_context(&self, signature: &str) -> bool {
+        match signature.chars().next() {
+            Some(lead) => self.entries.keys().any(|k| k.starts_with(lead)),
+            None => false,
+        }
+    }
+
     /// Number of learned signatures.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -60,6 +74,17 @@ mod tests {
         assert_eq!(t.lookup("312"), Some(0.8));
         assert_eq!(t.lookup("123"), None);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn known_context_matches_on_the_dominant_bin() {
+        let mut t = QosTable::new();
+        t.insert("123", 0.8);
+        assert!(t.known_context("123"));
+        assert!(t.known_context("132")); // lesser bins reordered: same context
+        assert!(!t.known_context("312")); // dominant bin moved: drift
+        assert!(!t.known_context(""));
+        assert!(!QosTable::new().known_context("123"));
     }
 
     #[test]

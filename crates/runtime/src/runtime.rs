@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use rskip_core::{ProtectionPlan, RegionPlan};
+use rskip_core::{ProtectionPlan, RegionPlan, SupervisorPolicy};
 use rskip_exec::{IntrinsicAction, RuntimeHooks};
 use rskip_ir::{Intrinsic, Value};
 use rskip_predict::DiConfig;
@@ -10,7 +10,46 @@ use rskip_store::StoredModels;
 
 use crate::costs;
 use crate::region::{RegionState, RegionStats};
+use crate::supervisor::SupervisorState;
 use crate::train::TrainedModel;
+
+/// Which class of live runtime state a state-fault injection targets —
+/// the SEU campaign over the protection machinery's *own* metadata
+/// rather than the protected program's data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateFaultTarget {
+    /// A populated memoization-table entry.
+    MemoTable,
+    /// A dynamic-interpolation phase register (endpoint values, running
+    /// slope).
+    DiPhase,
+    /// A pending re-computation record (recorded iteration, address, or
+    /// arguments) — the one class whose corruption can overwrite correct
+    /// memory on replay.
+    PendingQueue,
+    /// An aggregate statistics counter.
+    Counters,
+}
+
+impl StateFaultTarget {
+    /// Every target class, in campaign order.
+    pub const ALL: [StateFaultTarget; 4] = [
+        StateFaultTarget::MemoTable,
+        StateFaultTarget::DiPhase,
+        StateFaultTarget::PendingQueue,
+        StateFaultTarget::Counters,
+    ];
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StateFaultTarget::MemoTable => "memo-table",
+            StateFaultTarget::DiPhase => "di-phase",
+            StateFaultTarget::PendingQueue => "pending-queue",
+            StateFaultTarget::Counters => "counters",
+        }
+    }
+}
 
 /// Deployment-time configuration of the prediction runtime.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,6 +70,16 @@ pub struct RuntimeConfig {
     pub enable_di: bool,
     /// Enable the second-level predictor where a memoizer is installed.
     pub enable_memo: bool,
+    /// Install a per-region runtime supervisor (online health monitor
+    /// and circuit breaker). `None` reproduces the historical
+    /// always-predict behavior. When constructing from a
+    /// [`ProtectionPlan`], `None` here falls back to the plan's own
+    /// deployed policy.
+    pub supervisor: Option<SupervisorPolicy>,
+    /// Harden the runtime's own metadata: shadow-voted DI phase
+    /// registers, cross-checked memo lookups, checksummed pending
+    /// records, invariant-clamped counters.
+    pub harden: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -42,6 +91,8 @@ impl Default for RuntimeConfig {
             enable_pp: true,
             enable_di: true,
             enable_memo: true,
+            supervisor: None,
+            harden: false,
         }
     }
 }
@@ -90,6 +141,9 @@ pub struct PredictionRuntime {
     ///
     /// [`export_models`]: Self::export_models
     installed: Option<Arc<TrainedModel>>,
+    /// Target class for [`RuntimeHooks::flip_runtime_state`] injections;
+    /// `None` lets the seed pick the class.
+    state_fault_target: Option<StateFaultTarget>,
 }
 
 impl PredictionRuntime {
@@ -116,6 +170,12 @@ impl PredictionRuntime {
             if !config.enable_di {
                 state.disable_di();
             }
+            if let Some(policy) = config.supervisor {
+                state.set_supervisor(policy);
+            }
+            if config.harden {
+                state.set_harden(true);
+            }
             states.push(state);
             inits.push(init);
         }
@@ -124,12 +184,22 @@ impl PredictionRuntime {
             inits,
             config,
             installed: None,
+            state_fault_target: None,
         }
+    }
+
+    /// An explicit `supervisor` in the deployment config wins; otherwise
+    /// the plan's deployed policy applies.
+    fn merge_plan_policy(plan: &ProtectionPlan, mut config: RuntimeConfig) -> RuntimeConfig {
+        if config.supervisor.is_none() {
+            config.supervisor = plan.supervisor;
+        }
+        config
     }
 
     /// Creates an untrained runtime from a whole [`ProtectionPlan`].
     pub fn from_plan(plan: &ProtectionPlan, config: RuntimeConfig) -> Self {
-        Self::new(&plan.regions, config)
+        Self::new(&plan.regions, Self::merge_plan_policy(plan, config))
     }
 
     /// Creates a runtime from a [`ProtectionPlan`] and installs a trained
@@ -139,7 +209,7 @@ impl PredictionRuntime {
         config: RuntimeConfig,
         model: &TrainedModel,
     ) -> Self {
-        Self::with_model(&plan.regions, config, model)
+        Self::with_model(&plan.regions, Self::merge_plan_policy(plan, config), model)
     }
 
     /// Creates a runtime and installs a trained model (QoS tables and
@@ -240,6 +310,41 @@ impl PredictionRuntime {
             .sum()
     }
 
+    /// Total hardening self-checks that fired across all regions.
+    pub fn total_metadata_detections(&self) -> u64 {
+        self.regions.iter().map(|r| r.metadata_detections()).sum()
+    }
+
+    /// Regions whose breaker is currently *not* Predicting (Degraded or
+    /// Probing).
+    pub fn degraded_region_count(&self) -> usize {
+        self.regions
+            .iter()
+            .filter(|r| {
+                r.supervisor()
+                    .is_some_and(|s| s.state() != SupervisorState::Predicting)
+            })
+            .count()
+    }
+
+    /// Regions that were demoted at least once over their lifetime.
+    pub fn demoted_region_count(&self) -> usize {
+        self.regions
+            .iter()
+            .filter(|r| {
+                r.supervisor()
+                    .is_some_and(|s| s.stats().demotions.total() > 0)
+            })
+            .count()
+    }
+
+    /// Pins the target class for subsequent
+    /// [`RuntimeHooks::flip_runtime_state`] injections (`None`: the seed
+    /// picks the class).
+    pub fn set_state_fault_target(&mut self, target: Option<StateFaultTarget>) {
+        self.state_fault_target = target;
+    }
+
     /// Mutable access to one region's state (ablations and tests).
     pub fn region_mut(&mut self, region: u32) -> &mut RegionState {
         &mut self.regions[region as usize]
@@ -304,6 +409,26 @@ impl RuntimeHooks for PredictionRuntime {
             },
             Intrinsic::Print => IntrinsicAction::void(0),
         }
+    }
+
+    fn flip_runtime_state(&mut self, seed: u64) -> Option<String> {
+        if self.regions.is_empty() {
+            return None;
+        }
+        let target = self
+            .state_fault_target
+            .unwrap_or(StateFaultTarget::ALL[(seed % 4) as usize]);
+        // Rotate over regions from a seed-chosen start so a region with
+        // no live state of the target class does not mask the injection.
+        let n = self.regions.len();
+        let start = (seed as usize / 4) % n;
+        for off in 0..n {
+            let id = (start + off) % n;
+            if let Some(site) = self.regions[id].flip_state(target, seed) {
+                return Some(format!("region {id}: {} {site}", target.label()));
+            }
+        }
+        None
     }
 }
 

@@ -25,6 +25,14 @@ pub fn histogram(slope_changes: &[f64], edges: &[f64]) -> Vec<u64> {
 /// (count ties broken by bin index), encoded as a digit string. Bins are
 /// 1-based in the encoding, matching the paper's `"312"` example.
 ///
+/// Bins beyond the ninth encode as base-36 digits (`'a'` for bin 10,
+/// `'b'` for bin 11, …), so signatures over up to 9 bins — every
+/// configuration the paper uses — are byte-identical to the historical
+/// decimal encoding, and wider histograms no longer panic. The encoding
+/// caps at 35 bins: any later bin clamps to `'z'`, which keeps the
+/// function total (a pathological edge vector degrades signature
+/// resolution instead of aborting a deployment).
+///
 /// # Example
 ///
 /// ```
@@ -37,11 +45,14 @@ pub fn signature(slope_changes: &[f64], edges: &[f64]) -> String {
     let counts = histogram(slope_changes, edges);
     let mut order: Vec<usize> = (0..counts.len()).collect();
     order.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
-    order
-        .into_iter()
-        .take(3)
-        .map(|b| char::from_digit((b + 1) as u32, 10).expect("at most 9 bins supported"))
-        .collect()
+    order.into_iter().take(3).map(bin_digit).collect()
+}
+
+/// Encodes a 0-based bin index as its 1-based base-36 digit, clamped at
+/// `'z'` (bin 35 and beyond).
+fn bin_digit(bin: usize) -> char {
+    let capped = (bin as u64 + 1).min(35) as u32;
+    char::from_digit(capped, 36).expect("digit is clamped below the radix")
 }
 
 #[cfg(test)]
@@ -67,6 +78,41 @@ mod tests {
     #[test]
     fn empty_input_is_deterministic() {
         assert_eq!(signature(&[], &DEFAULT_EDGES), "123");
+    }
+
+    #[test]
+    fn nine_bins_keep_the_decimal_encoding() {
+        // 8 edges → 9 bins, the historical `expect` boundary. Load the
+        // ninth bin (everything above the last edge) so it ranks first:
+        // its digit must still be the decimal '9'.
+        let edges: Vec<f64> = (1..=8).map(f64::from).collect();
+        let mut data = vec![100.0; 10]; // bin 9 (open-ended)
+        data.extend(vec![0.5; 4]); // bin 1
+        data.push(1.5); // bin 2
+        let sig = signature(&data, &edges);
+        assert_eq!(sig, "912");
+        assert!(sig.chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn tenth_bin_encodes_as_base36_without_panicking() {
+        // 9 edges → 10 bins: the old encoding panicked here. The tenth
+        // bin now encodes as 'a'.
+        let edges: Vec<f64> = (1..=9).map(f64::from).collect();
+        let mut data = vec![100.0; 10]; // bin 10 (open-ended)
+        data.extend(vec![0.5; 4]); // bin 1
+        data.push(1.5); // bin 2
+        let sig = signature(&data, &edges);
+        assert_eq!(sig, "a12");
+    }
+
+    #[test]
+    fn bins_beyond_the_cap_clamp_to_z() {
+        // 40 edges → 41 bins; ranked bins past index 34 all encode 'z'.
+        let edges: Vec<f64> = (1..=40).map(f64::from).collect();
+        let data = vec![1000.0; 5]; // the 41st, open-ended bin dominates
+        let sig = signature(&data, &edges);
+        assert!(sig.starts_with('z'), "sig = {sig}");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use rskip_core::{ProtectionPlan, RegionPlan};
+use rskip_core::{ProtectionPlan, RegionPlan, SupervisorPolicy};
 use rskip_predict::{Memoizer, Quantizer};
 
 /// One quantizer's sorted level boundaries.
@@ -90,6 +90,60 @@ pub struct StoredPlan {
     pub regions: Vec<StoredRegionPlan>,
 }
 
+/// The runtime-supervisor policy in plain-data form — the payload of the
+/// optional `supervisor` section. Artifacts written before the section
+/// existed simply lack it; the loader treats that as "no policy", so old
+/// `.rsm` files keep loading unchanged (forward compatibility).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StoredSupervisorPolicy {
+    /// Resolved elements per health window.
+    pub window: u32,
+    /// Demote when a window's reject rate exceeds this.
+    pub max_reject_rate: f64,
+    /// Demote when a window's detected-fault rate exceeds this.
+    pub max_fault_rate: f64,
+    /// Demote after this many consecutive unknown-signature ticks.
+    pub drift_windows: u32,
+    /// Elements to hold a demoted region before probing.
+    pub cooldown: u32,
+    /// In Probing, feed every `probe_stride`-th element to the chain.
+    pub probe_stride: u32,
+    /// Probed elements per promotion decision.
+    pub probe_window: u32,
+    /// Minimum probe agreement to promote.
+    pub min_probe_agreement: f64,
+}
+
+impl From<&SupervisorPolicy> for StoredSupervisorPolicy {
+    fn from(p: &SupervisorPolicy) -> Self {
+        StoredSupervisorPolicy {
+            window: p.window,
+            max_reject_rate: p.max_reject_rate,
+            max_fault_rate: p.max_fault_rate,
+            drift_windows: p.drift_windows,
+            cooldown: p.cooldown,
+            probe_stride: p.probe_stride,
+            probe_window: p.probe_window,
+            min_probe_agreement: p.min_probe_agreement,
+        }
+    }
+}
+
+impl From<&StoredSupervisorPolicy> for SupervisorPolicy {
+    fn from(p: &StoredSupervisorPolicy) -> Self {
+        SupervisorPolicy {
+            window: p.window,
+            max_reject_rate: p.max_reject_rate,
+            max_fault_rate: p.max_fault_rate,
+            drift_windows: p.drift_windows,
+            cooldown: p.cooldown,
+            probe_stride: p.probe_stride,
+            probe_window: p.probe_window,
+            min_probe_agreement: p.min_probe_agreement,
+        }
+    }
+}
+
 /// One region's raw training profile. Stored so a corrupted model
 /// section can be *retrained* without re-profiling, and so figure 2
 /// (which analyzes the sampled outputs) runs on the warm path.
@@ -139,6 +193,9 @@ impl From<&StoredPlan> for ProtectionPlan {
     fn from(p: &StoredPlan) -> Self {
         ProtectionPlan {
             regions: p.regions.iter().map(RegionPlan::from).collect(),
+            // The supervisor policy travels in its own optional section;
+            // the artifact loader reattaches it after decoding the plan.
+            supervisor: None,
         }
     }
 }
@@ -244,11 +301,31 @@ mod tests {
                 },
                 RegionPlan::unprotected(0),
             ],
+            supervisor: None,
         };
         let dto = StoredPlan::from(&plan);
         assert_eq!(ProtectionPlan::from(&dto), plan);
         let json = serde_json::to_string(&dto).unwrap();
         let parsed: StoredPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, dto);
+    }
+
+    #[test]
+    fn supervisor_policy_round_trips_through_the_dto() {
+        let live = SupervisorPolicy {
+            window: 64,
+            max_reject_rate: 0.4,
+            max_fault_rate: 0.02,
+            drift_windows: 3,
+            cooldown: 256,
+            probe_stride: 8,
+            probe_window: 16,
+            min_probe_agreement: 0.9,
+        };
+        let dto = StoredSupervisorPolicy::from(&live);
+        assert_eq!(SupervisorPolicy::from(&dto), live);
+        let json = serde_json::to_string(&dto).unwrap();
+        let parsed: StoredSupervisorPolicy = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed, dto);
     }
 

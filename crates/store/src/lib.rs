@@ -45,11 +45,11 @@ mod store;
 
 pub use dto::{
     StoredDiModel, StoredMemoModel, StoredModels, StoredPlan, StoredProfile, StoredQuantizer,
-    StoredRegionModel, StoredRegionPlan,
+    StoredRegionModel, StoredRegionPlan, StoredSupervisorPolicy,
 };
 pub use format::{Section, StoreError, MAGIC, VERSION};
 pub use key::{CacheKey, CacheKeyBuilder};
 pub use store::{
     ArtifactMeta, FileReport, LoadOutcome, ModelArtifact, PartialArtifact, Store, ARTIFACT_EXT,
-    SECTION_META, SECTION_MODELS_PREFIX, SECTION_PLAN, SECTION_PROFILES,
+    SECTION_META, SECTION_MODELS_PREFIX, SECTION_PLAN, SECTION_PROFILES, SECTION_SUPERVISOR,
 };

@@ -19,7 +19,7 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
-use crate::dto::{StoredModels, StoredPlan, StoredProfile};
+use crate::dto::{StoredModels, StoredPlan, StoredProfile, StoredSupervisorPolicy};
 use crate::format::{self, Section, StoreError};
 use crate::key::CacheKey;
 
@@ -34,6 +34,10 @@ pub const SECTION_PLAN: &str = "plan";
 pub const SECTION_PROFILES: &str = "profiles";
 /// Prefix of the per-AR model sections (`models/AR20`, …).
 pub const SECTION_MODELS_PREFIX: &str = "models/";
+/// The optional runtime-supervisor policy. Absent in artifacts written
+/// before the supervisor existed; the loader treats absence as "no
+/// policy" so old files still produce a full [`LoadOutcome::Hit`].
+pub const SECTION_SUPERVISOR: &str = "supervisor";
 
 /// Provenance of one artifact.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -61,6 +65,10 @@ pub struct ModelArtifact {
     pub profiles: Vec<StoredProfile>,
     /// AR label (e.g. `"AR20"`) → trained models.
     pub models: BTreeMap<String, StoredModels>,
+    /// Runtime-supervisor policy, when the plan ships one. `None` both
+    /// for supervisor-less deployments and for artifacts predating the
+    /// section.
+    pub supervisor: Option<StoredSupervisorPolicy>,
 }
 
 /// What survived of a damaged artifact.
@@ -76,6 +84,8 @@ pub struct PartialArtifact {
     pub profiles: Option<Vec<StoredProfile>>,
     /// The model sections that were intact.
     pub models: BTreeMap<String, StoredModels>,
+    /// The supervisor policy, if its section existed and was intact.
+    pub supervisor: Option<StoredSupervisorPolicy>,
     /// Why the rest is missing.
     pub errors: Vec<StoreError>,
 }
@@ -137,6 +147,9 @@ impl ModelArtifact {
             json_section(SECTION_PLAN, &self.plan),
             json_section(SECTION_PROFILES, &self.profiles),
         ];
+        if let Some(sup) = &self.supervisor {
+            sections.push(json_section(SECTION_SUPERVISOR, sup));
+        }
         for (label, models) in &self.models {
             sections.push(json_section(
                 &format!("{SECTION_MODELS_PREFIX}{label}"),
@@ -238,12 +251,18 @@ impl Store {
         let mut plan: Option<StoredPlan> = None;
         let mut profiles: Option<Vec<StoredProfile>> = None;
         let mut models: BTreeMap<String, StoredModels> = BTreeMap::new();
+        let mut supervisor: Option<StoredSupervisorPolicy> = None;
         for s in &sections {
             if s.name == SECTION_META {
                 continue;
             } else if s.name == SECTION_PLAN {
                 match json_decode_section(s) {
                     Ok(p) => plan = Some(p),
+                    Err(e) => errors.push(e),
+                }
+            } else if s.name == SECTION_SUPERVISOR {
+                match json_decode_section(s) {
+                    Ok(p) => supervisor = Some(p),
                     Err(e) => errors.push(e),
                 }
             } else if s.name == SECTION_PROFILES {
@@ -261,18 +280,22 @@ impl Store {
             }
         }
 
+        // The supervisor section is optional: its absence (old files) is
+        // not an error and does not demote the outcome.
         match (plan, profiles, errors.is_empty()) {
             (Some(plan), Some(profiles), true) => LoadOutcome::Hit(Box::new(ModelArtifact {
                 meta,
                 plan,
                 profiles,
                 models,
+                supervisor,
             })),
             (plan, profiles, _) => LoadOutcome::Partial(Box::new(PartialArtifact {
                 meta,
                 plan,
                 profiles,
                 models,
+                supervisor,
                 errors,
             })),
         }
@@ -354,6 +377,8 @@ fn decode_check(s: &Section) -> Option<StoreError> {
         check(json_decode_section::<StoredPlan>(s).map(|_| ()))
     } else if s.name == SECTION_PROFILES {
         check(json_decode_section::<Vec<StoredProfile>>(s).map(|_| ()))
+    } else if s.name == SECTION_SUPERVISOR {
+        check(json_decode_section::<StoredSupervisorPolicy>(s).map(|_| ()))
     } else if s.name.starts_with(SECTION_MODELS_PREFIX) {
         check(json_decode_section::<StoredModels>(s).map(|_| ()))
     } else {
@@ -415,6 +440,7 @@ mod tests {
                 samples: vec![(vec![1.0], 1.0)],
             }],
             models,
+            supervisor: None,
         }
     }
 
@@ -436,6 +462,96 @@ mod tests {
         let reports = store.verify();
         assert_eq!(reports.len(), 1);
         assert!(reports[0].errors.is_empty());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn supervisor_section_round_trips() {
+        let store = temp_store();
+        let mut artifact = sample_artifact(key());
+        artifact.supervisor = Some(StoredSupervisorPolicy {
+            window: 64,
+            max_reject_rate: 0.4,
+            max_fault_rate: 0.02,
+            drift_windows: 3,
+            cooldown: 256,
+            probe_stride: 8,
+            probe_window: 16,
+            min_probe_agreement: 0.9,
+        });
+        store.save(&artifact).unwrap();
+        match store.load("conv1d", key()) {
+            LoadOutcome::Hit(loaded) => {
+                assert_eq!(*loaded, artifact);
+                assert_eq!(loaded.supervisor, artifact.supervisor);
+            }
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        // verify sees the section and finds it intact.
+        let reports = store.verify();
+        assert!(reports[0].errors.is_empty());
+        assert!(store.describe().contains(SECTION_SUPERVISOR));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn old_artifact_without_supervisor_section_still_hits() {
+        // Forward compatibility: an artifact written by a pre-supervisor
+        // build has no `supervisor` section. Rebuild such a file from the
+        // raw sections and check the load outcome is an unchanged Hit.
+        let store = temp_store();
+        let artifact = sample_artifact(key());
+        let path = store.save(&artifact).unwrap();
+        let sections: Vec<Section> = format::decode(&fs::read(&path).unwrap())
+            .unwrap()
+            .into_iter()
+            .filter(|s| s.name != SECTION_SUPERVISOR)
+            .collect();
+        assert!(sections.iter().all(|s| s.name != SECTION_SUPERVISOR));
+        fs::write(&path, format::encode(&sections)).unwrap();
+        match store.load("conv1d", key()) {
+            LoadOutcome::Hit(loaded) => {
+                assert!(loaded.supervisor.is_none());
+                assert_eq!(*loaded, artifact);
+            }
+            other => panic!("expected Hit for legacy artifact, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_supervisor_section_demotes_to_partial() {
+        let store = temp_store();
+        let mut artifact = sample_artifact(key());
+        artifact.supervisor = Some(StoredSupervisorPolicy {
+            window: 64,
+            max_reject_rate: 0.4,
+            max_fault_rate: 0.02,
+            drift_windows: 3,
+            cooldown: 256,
+            probe_stride: 8,
+            probe_window: 16,
+            min_probe_agreement: 0.9,
+        });
+        let path = store.save(&artifact).unwrap();
+        // Schema damage behind a valid checksum: wrong JSON shape.
+        let mut sections = format::decode(&fs::read(&path).unwrap()).unwrap();
+        sections
+            .iter_mut()
+            .find(|s| s.name == SECTION_SUPERVISOR)
+            .unwrap()
+            .payload = b"[1,2,3]".to_vec();
+        fs::write(&path, format::encode(&sections)).unwrap();
+        match store.load("conv1d", key()) {
+            LoadOutcome::Partial(p) => {
+                assert!(p.supervisor.is_none());
+                assert!(p.plan.is_some());
+                assert!(p.errors.iter().any(
+                    |e| matches!(e, StoreError::Decode { section, .. } if section == SECTION_SUPERVISOR),
+                ));
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -60,6 +60,7 @@ fn sample_artifact() -> ModelArtifact {
             samples: vec![(vec![0.5, 0.25], 1.0), (vec![1.5, 0.75], 2.0)],
         }],
         models: per_ar,
+        supervisor: None,
     }
 }
 

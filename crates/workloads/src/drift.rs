@@ -1,0 +1,147 @@
+//! Piecewise-regime input streams for the runtime-supervisor experiment.
+//!
+//! A drifting workload alternates between a *stationary* regime — smooth
+//! random-walk signals of the kind the QoS table was trained on — and a
+//! *drifting* regime whose jagged wide-range signals produce context
+//! signatures the table has never seen and trends dynamic interpolation
+//! cannot follow. Each step is a complete `conv1d`-compatible
+//! [`InputSet`], so a replay is just the same module run once per step
+//! with fresh inputs.
+
+use crate::common::{rng, smooth_vec, uniform_vec, values, InputSet, SizeProfile};
+use crate::conv1d;
+
+/// The input regime of one replay phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Regime {
+    /// Smooth random-walk signal — the distribution training saw.
+    Stationary,
+    /// Jagged wide-range noise: untrained signatures, hostile to
+    /// interpolation.
+    Drifting,
+}
+
+impl Regime {
+    /// Short label for reports (`stationary` / `drifting`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Regime::Stationary => "stationary",
+            Regime::Drifting => "drifting",
+        }
+    }
+}
+
+/// One step of a drifting replay: which phase it belongs to and the input
+/// to load before the run.
+#[derive(Clone, Debug)]
+pub struct DriftStep {
+    /// Global step index across the whole replay.
+    pub step: usize,
+    /// Index of the phase this step belongs to.
+    pub phase: usize,
+    /// The phase's regime.
+    pub regime: Regime,
+    /// The `conv1d` input for this step.
+    pub input: InputSet,
+}
+
+/// The canonical replay schedule: stationary warm-up, a drift burst, a
+/// stationary recovery, a second drift burst, and a final recovery —
+/// exercising demotion, probing and promotion twice.
+pub fn standard_schedule(steps_per_phase: usize) -> Vec<(Regime, usize)> {
+    vec![
+        (Regime::Stationary, steps_per_phase),
+        (Regime::Drifting, steps_per_phase),
+        (Regime::Stationary, steps_per_phase),
+        (Regime::Drifting, steps_per_phase),
+        (Regime::Stationary, steps_per_phase),
+    ]
+}
+
+/// An all-stationary control schedule of the same length as
+/// [`standard_schedule`] — the supervisor should never open the breaker
+/// on it.
+pub fn stationary_schedule(steps_per_phase: usize) -> Vec<(Regime, usize)> {
+    vec![(Regime::Stationary, 5 * steps_per_phase)]
+}
+
+/// Expands a phase schedule into per-step `conv1d` inputs. Deterministic
+/// in `seed0`; step `k` uses seed `seed0 + k` so schedules of different
+/// shapes still generate identical inputs for identical `(seed0, k)`.
+pub fn drift_replay(size: SizeProfile, phases: &[(Regime, usize)], seed0: u64) -> Vec<DriftStep> {
+    let (n, k) = conv1d::sizes(size);
+    let mut steps = Vec::new();
+    for (phase, &(regime, len)) in phases.iter().enumerate() {
+        for _ in 0..len {
+            let step = steps.len();
+            let mut r = rng(seed0 + step as u64);
+            let signal = match regime {
+                Regime::Stationary => smooth_vec(&mut r, (n + k) as usize, 100.0, 1.5),
+                Regime::Drifting => uniform_vec(&mut r, (n + k) as usize, 0.0, 1000.0),
+            };
+            let kernel = uniform_vec(&mut r, k as usize, 0.0, 0.2);
+            steps.push(DriftStep {
+                step,
+                phase,
+                regime,
+                input: InputSet {
+                    arrays: vec![
+                        ("signal".into(), values(&signal)),
+                        ("kernel".into(), values(&kernel)),
+                    ],
+                },
+            });
+        }
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{input_f64, Benchmark};
+    use crate::conv1d::Conv1d;
+
+    #[test]
+    fn replay_is_deterministic_and_phase_labelled() {
+        let phases = standard_schedule(3);
+        let a = drift_replay(SizeProfile::Tiny, &phases, 9000);
+        let b = drift_replay(SizeProfile::Tiny, &phases, 9000);
+        assert_eq!(a.len(), 15);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.input.arrays, y.input.arrays);
+            assert_eq!(x.regime, y.regime);
+        }
+        assert_eq!(a[0].regime, Regime::Stationary);
+        assert_eq!(a[4].phase, 1);
+        assert_eq!(a[4].regime, Regime::Drifting);
+    }
+
+    #[test]
+    fn regimes_differ_in_roughness() {
+        let steps = drift_replay(
+            SizeProfile::Tiny,
+            &[(Regime::Stationary, 1), (Regime::Drifting, 1)],
+            9100,
+        );
+        let rough = |s: &DriftStep| -> f64 {
+            let v = input_f64(&s.input, "signal");
+            v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (v.len() - 1) as f64
+        };
+        assert!(
+            rough(&steps[1]) > 10.0 * rough(&steps[0]),
+            "drifting signal must be far rougher than stationary"
+        );
+    }
+
+    #[test]
+    fn steps_are_valid_conv1d_inputs() {
+        let steps = drift_replay(SizeProfile::Tiny, &standard_schedule(1), 9200);
+        for s in &steps {
+            // The golden implementation indexes the full window; it
+            // panics if the shapes are wrong.
+            let out = Conv1d.golden(SizeProfile::Tiny, &s.input);
+            assert_eq!(out.len(), conv1d::sizes(SizeProfile::Tiny).0 as usize);
+        }
+    }
+}

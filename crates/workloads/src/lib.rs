@@ -32,6 +32,7 @@ mod blackscholes;
 mod common;
 mod conv1d;
 mod conv2d;
+pub mod drift;
 mod forwardprop;
 mod kde;
 mod lud;
