@@ -1,0 +1,116 @@
+//! Content-hash primitives shared across the workspace.
+//!
+//! Two checksums, both implemented inline because the build environment
+//! is offline and must not pull in checksum crates:
+//!
+//! * CRC-32 (IEEE 802.3 polynomial) — per-payload integrity in the
+//!   model store;
+//! * FNV-1a 64 — whole-file digests, store cache keys, and the
+//!   executor's decoded-unit cache key (a content hash of the printed
+//!   module IR).
+//!
+//! `rskip-store` re-exports these under `rskip_store::digest` for
+//! compatibility; new users should take them from here so crates below
+//! the store (notably `rskip-exec`) don't grow an upward dependency.
+
+/// CRC-32 (IEEE, reflected polynomial `0xEDB88320`) of `bytes`.
+///
+/// This is the same checksum as zlib's `crc32()` / the `crc32fast` crate,
+/// so stored files can be cross-checked with standard tooling.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit hash of `bytes`.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Incremental FNV-1a 64 hasher (cache keys hash several parts without
+/// concatenating them into one buffer).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a64(u64);
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a64 {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check values (zlib / IEEE).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn fnv1a64_known_vectors() {
+        // Reference values from the FNV specification.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv1a64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_both() {
+        let a = b"some artifact payload".to_vec();
+        let mut b = a.clone();
+        b[7] ^= 0x10;
+        assert_ne!(crc32(&a), crc32(&b));
+        assert_ne!(fnv1a64(&a), fnv1a64(&b));
+    }
+}

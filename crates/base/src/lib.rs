@@ -1,6 +1,6 @@
 //! # rskip-core — shared foundations of the RSkip workspace
 //!
-//! Two small pieces every layer agrees on:
+//! Three small pieces every layer agrees on:
 //!
 //! * [`plan`] — the [`ProtectionPlan`]: what the compile-time protection
 //!   pass decided per region, in exactly the shape the deployment runtime
@@ -8,12 +8,15 @@
 //!   from it; neither crate depends on the other.
 //! * [`parallel`] — deterministic scoped-thread parallel maps shared by
 //!   the fault-injection campaign driver and the experiment engine.
+//! * [`digest`] — CRC-32 / FNV-1a-64 content hashes shared by the model
+//!   store and the executor's decoded-unit cache.
 //!
 //! The crate has no dependencies (not even the vendored ones) so it can
 //! sit below every other workspace member.
 
 #![deny(missing_docs)]
 
+pub mod digest;
 pub mod parallel;
 pub mod plan;
 

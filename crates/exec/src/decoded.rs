@@ -1,27 +1,42 @@
 //! Pre-decoded module representation: the interpreter's executable form.
 //!
-//! [`Decoded`] is built once per [`Module`] and turns every name- or
-//! id-keyed reference into a dense index so the interpreter's hot loop is
-//! pure array indexing:
+//! [`Decoded`] pairs a borrowed [`Module`] with an [`Arc`]-shared
+//! [`DecodedUnit`] — the fully owned decode+fusion output. The unit turns
+//! every name- or id-keyed reference into a dense index so the
+//! interpreter's hot loop is pure array indexing:
 //!
-//! * call targets become function indices (the `HashMap<&str, usize>`
+//! * call targets become function indices (the `HashMap<String, usize>`
 //!   lookup and its `String` error clone happen at decode time, not per
 //!   call);
 //! * block targets become `u32` block indices;
 //! * each instruction carries its pre-computed [`OpClass`] so the timing
 //!   model never re-classifies;
 //! * per-function register counts and zero-initial register images are
-//!   precomputed, so call frames are a `memcpy` from a pooled allocation.
+//!   precomputed, so call frames are a `memcpy` from a pooled allocation;
+//! * the direct-threaded instruction stream ([`crate::threaded`]) and its
+//!   superinstruction fusion overlay are built once alongside the
+//!   match-dispatch form.
+//!
+//! Units are cached process-wide, keyed by an FNV-1a-64 content hash of
+//! the printed module IR: two structurally identical modules — a campaign
+//! and an experiment-engine sweep cell over the same protected build, or
+//! repeated `Machine::with_config` constructions — share one decode.
+//! [`decode_cache_stats`] exposes hit/miss counters so tests and benches
+//! can assert exactly how many decodes a workload performed.
 //!
 //! A `Decoded` is immutable and [`Sync`]: campaign drivers build it once
 //! and share it by reference across worker threads, each thread running
 //! its own [`crate::Machine`] over it.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use rskip_core::digest::fnv1a64;
 use rskip_ir::{BinOp, CmpOp, Inst, Intrinsic, Module, Operand, Reg, Terminator, Ty, UnOp, Value};
 
 use crate::pipeline::{class_of, OpClass};
+use crate::threaded::ThreadedModule;
 
 /// A module lowered to the interpreter's dense executable form.
 ///
@@ -31,11 +46,21 @@ use crate::pipeline::{class_of, OpClass};
 /// across campaign worker threads).
 pub struct Decoded<'m> {
     pub(crate) module: &'m Module,
+    pub(crate) unit: Arc<DecodedUnit>,
+}
+
+/// The owned decode+fusion output shared through the process-wide cache.
+///
+/// Public only as the [`Deref`](std::ops::Deref) target of [`Decoded`];
+/// all fields are crate-private.
+pub struct DecodedUnit {
     pub(crate) funcs: Box<[DFunc]>,
     /// First memory cell of each global.
     pub(crate) global_base: Box<[i64]>,
     /// Name → function index; used only for cold entry-point lookup.
-    pub(crate) fn_index: HashMap<&'m str, usize>,
+    pub(crate) fn_index: HashMap<String, usize>,
+    /// The direct-threaded instruction stream (fusion overlay included).
+    pub(crate) threaded: ThreadedModule,
 }
 
 pub(crate) struct DFunc {
@@ -126,14 +151,99 @@ pub(crate) enum DTerm {
     Ret(Option<Operand>),
 }
 
+/// Hit/miss counters of the process-wide decoded-unit cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Lookups served from an already-built unit.
+    pub hits: u64,
+    /// Lookups that had to decode (and fuse) from scratch.
+    pub misses: u64,
+}
+
+static DECODE_HITS: AtomicU64 = AtomicU64::new(0);
+static DECODE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Far above any real workload's distinct-module count; on overflow the
+/// cache is cleared rather than grown without bound.
+const CACHE_CAP: usize = 4096;
+
+fn unit_cache() -> &'static Mutex<HashMap<u64, Arc<DecodedUnit>>> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<DecodedUnit>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Snapshot of the decoded-unit cache counters.
+///
+/// The counters are process-global; tests that assert exact decode counts
+/// should run in their own test binary (or measure deltas while no other
+/// decodes are in flight).
+#[must_use]
+pub fn decode_cache_stats() -> DecodeCacheStats {
+    DecodeCacheStats {
+        hits: DECODE_HITS.load(Ordering::Relaxed),
+        misses: DECODE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
 impl<'m> Decoded<'m> {
-    /// Lowers `module` to its executable form.
+    /// Lowers `module` to its executable form, sharing the decode+fusion
+    /// output through the process-wide content-hash cache.
     pub fn new(module: &'m Module) -> Self {
-        let fn_index: HashMap<&'m str, usize> = module
+        let key = fnv1a64(rskip_ir::print_module(module).as_bytes());
+        // Build under the lock: concurrent first decodes of the same
+        // module must still perform exactly one decode, so the cache-count
+        // assertions in tests and the engine stay deterministic.
+        let mut cache = unit_cache().lock().unwrap_or_else(|e| e.into_inner());
+        let unit = match cache.get(&key) {
+            Some(unit) => {
+                DECODE_HITS.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(unit)
+            }
+            None => {
+                DECODE_MISSES.fetch_add(1, Ordering::Relaxed);
+                if cache.len() >= CACHE_CAP {
+                    cache.clear();
+                }
+                let unit = Arc::new(DecodedUnit::build(module));
+                cache.insert(key, Arc::clone(&unit));
+                unit
+            }
+        };
+        Decoded { module, unit }
+    }
+
+    /// The module this decode was built from.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// Function index by name (cold path: entry-point resolution).
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.unit.fn_index.get(name).copied()
+    }
+
+    /// Static superinstruction-fusion statistics of this decode.
+    #[must_use]
+    pub fn fusion_stats(&self) -> crate::fuse::FusionStats {
+        self.unit.threaded.fusion
+    }
+}
+
+impl std::ops::Deref for Decoded<'_> {
+    type Target = DecodedUnit;
+
+    fn deref(&self) -> &DecodedUnit {
+        &self.unit
+    }
+}
+
+impl DecodedUnit {
+    fn build(module: &Module) -> Self {
+        let fn_index: HashMap<String, usize> = module
             .functions
             .iter()
             .enumerate()
-            .map(|(i, f)| (f.name.as_str(), i))
+            .map(|(i, f)| (f.name.clone(), i))
             .collect();
 
         let mut global_base = Vec::with_capacity(module.globals.len());
@@ -143,7 +253,7 @@ impl<'m> Decoded<'m> {
             total += g.len as i64;
         }
 
-        let funcs = module
+        let funcs: Box<[DFunc]> = module
             .functions
             .iter()
             .map(|f| {
@@ -169,26 +279,18 @@ impl<'m> Decoded<'m> {
             })
             .collect();
 
-        Decoded {
-            module,
+        let threaded = crate::threaded::build(&funcs);
+
+        DecodedUnit {
             funcs,
             global_base: global_base.into_boxed_slice(),
             fn_index,
+            threaded,
         }
-    }
-
-    /// The module this decode was built from.
-    pub fn module(&self) -> &'m Module {
-        self.module
-    }
-
-    /// Function index by name (cold path: entry-point resolution).
-    pub fn function_index(&self, name: &str) -> Option<usize> {
-        self.fn_index.get(name).copied()
     }
 }
 
-fn decode_inst(inst: &Inst, fn_index: &HashMap<&str, usize>) -> DStep {
+fn decode_inst(inst: &Inst, fn_index: &HashMap<String, usize>) -> DStep {
     let class = class_of(inst);
     let op = match inst {
         Inst::Mov { dst, src, .. } => DInst::Mov {

@@ -58,7 +58,7 @@ impl TraceEntry {
 }
 
 /// One enumerated flip and its classified outcome.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Probe {
     /// The instruction boundary the flip fired at.
     pub at: u64,

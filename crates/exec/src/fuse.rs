@@ -1,0 +1,286 @@
+//! Superinstruction fusion: a decode-time peephole over the
+//! direct-threaded stream.
+//!
+//! [`fuse_function`] scans each block's flattened [`TStep`]s and, where a
+//! hot multi-instruction idiom appears, installs a *fused* handler at the
+//! first constituent's pc. The constituents' ordinary single-step
+//! entries stay in the stream at their original pcs, so the overlay never
+//! changes reachability: branch targets only ever enter at block heads,
+//! and when the executor cannot take the fused path (an injection or the
+//! step limit could fire mid-group — see the fuel logic in
+//! [`crate::threaded`]) it runs the step's `single` handler and falls
+//! through to the retained entries.
+//!
+//! Patterns, longest first at each pc:
+//!
+//! | pattern          | shape                                                    |
+//! |------------------|----------------------------------------------------------|
+//! | `load_bin_store` | `load d,[a] ; bin d2,(d∘x) ; store [c],d2`               |
+//! | `load_bin`       | `load d,[a] ; bin d2,x,y` (any following bin)            |
+//! | `bin_store`      | `bin d,x,y ; store [c],d`                                |
+//! | `bin_load`       | `bin d,x,y ; load d2,[d]` (address compute then load)    |
+//! | `cmp_br`         | `cmp d,x,y ; condbr d` (compare feeding the terminator)  |
+//!
+//! These patterns merge their constituents into *one* specialized
+//! handler call. A second, generic pass then tiles every remaining
+//! straight-line run with `pair`/`triple` steps that chain the
+//! constituents' own single handlers back-to-back, eliminating the
+//! dispatch-loop overhead (event/fuel check, step fetch) between them.
+//! A chained constituent other than the last must be a plain
+//! non-control instruction; the last may be anything — terminators and
+//! calls update the interpreter state themselves, and an intrinsic in
+//! last position resynchronizes the event fuel before the loop's next
+//! check, exactly as it does unfused.
+//!
+//! Fused payload sharing is deliberate: every fused [`TStep`] keeps the
+//! first constituent's operands in the slots its `single` handler reads
+//! (`a`/`b`/`dst`/`class`), so decomposition needs no second table.
+//!
+//! Calls and intrinsics never sit in a *non-final* group position:
+//! intrinsics resynchronize the event fuel (their modeled cost advances
+//! counters non-uniformly) and calls swap frames, so a step after either
+//! would run against stale bookkeeping. In last position both are fine —
+//! control returns to the dispatch loop immediately after, exactly as
+//! unfused.
+
+use rskip_ir::Operand;
+
+use crate::decoded::{DBlock, DInst, DTerm};
+use crate::threaded::{Handler, TStep, FUSED, F_LOAD_ON_LHS};
+
+/// Static per-decode fusion counts, by pattern.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// `load ; bin ; store` groups installed (width 3).
+    pub load_bin_store: u64,
+    /// `load ; bin` groups installed (width 2).
+    pub load_bin: u64,
+    /// `bin ; store` groups installed (width 2).
+    pub bin_store: u64,
+    /// `bin ; load` address-compute groups installed (width 2).
+    pub bin_load: u64,
+    /// `cmp ; condbr` groups installed (width 2, spans the terminator).
+    pub cmp_br: u64,
+    /// Generic two-wide chained groups installed by the tiling pass.
+    pub pair: u64,
+    /// Generic three-wide chained groups installed by the tiling pass.
+    pub triple: u64,
+}
+
+impl FusionStats {
+    /// Total fused groups installed across all patterns.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.load_bin_store
+            + self.load_bin
+            + self.bin_store
+            + self.bin_load
+            + self.cmp_br
+            + self.pair
+            + self.triple
+    }
+}
+
+/// The fused entry points, provided by [`crate::threaded`] so this module
+/// stays free of handler internals.
+pub(crate) struct FusedHandlers {
+    pub(crate) cmp_br: Handler,
+    pub(crate) load_bin: Handler,
+    pub(crate) bin_store: Handler,
+    pub(crate) load_bin_store: Handler,
+    pub(crate) bin_load: Handler,
+    pub(crate) pair: Handler,
+    pub(crate) triple: Handler,
+}
+
+/// Whether an instruction may sit in a non-final slot of a chained
+/// group: plain data flow only — no control transfer (the following
+/// constituent's position would be unknowable at decode time) and no
+/// intrinsic (its cost advance must be followed by an event check).
+fn is_plain(inst: &DInst) -> bool {
+    matches!(
+        inst,
+        DInst::Mov { .. }
+            | DInst::Bin { .. }
+            | DInst::Un { .. }
+            | DInst::Cmp { .. }
+            | DInst::Select { .. }
+            | DInst::Load { .. }
+            | DInst::Store { .. }
+    )
+}
+
+/// Installs the fusion overlay over one function's flattened stream.
+pub(crate) fn fuse_function(
+    code: &mut [TStep],
+    blocks: &[DBlock],
+    block_entry: &[u32],
+    stats: &mut FusionStats,
+) {
+    for (bi, b) in blocks.iter().enumerate() {
+        let entry = block_entry[bi] as usize;
+        let insts = &b.insts;
+        for i in 0..insts.len() {
+            let pc = entry + i;
+            // Width 3: load ; bin(dst∘x) ; store [..], bin.dst
+            if i + 2 < insts.len() {
+                if let (
+                    DInst::Load { dst: ld, addr },
+                    DInst::Bin {
+                        ty,
+                        op,
+                        dst: bd,
+                        lhs,
+                        rhs,
+                    },
+                    DInst::Store {
+                        addr: saddr,
+                        value: Operand::Reg(sv),
+                    },
+                ) = (&insts[i].op, &insts[i + 1].op, &insts[i + 2].op)
+                {
+                    let on_lhs = *lhs == Operand::Reg(*ld);
+                    if sv == bd && (on_lhs || *rhs == Operand::Reg(*ld)) {
+                        let st = &mut code[pc];
+                        st.run = FUSED.load_bin_store;
+                        st.width = 3;
+                        st.a = *addr;
+                        // `dst`/`class` already hold the load's payload.
+                        st.ty = *ty;
+                        st.bop = *op;
+                        st.dst2 = *bd;
+                        st.b = if on_lhs { *rhs } else { *lhs };
+                        if on_lhs {
+                            st.flags |= F_LOAD_ON_LHS;
+                        }
+                        st.class2 = insts[i + 1].class;
+                        st.c = *saddr;
+                        st.class3 = insts[i + 2].class;
+                        stats.load_bin_store += 1;
+                        continue;
+                    }
+                }
+            }
+            // Width 2 within the block.
+            if i + 1 < insts.len() {
+                match (&insts[i].op, &insts[i + 1].op) {
+                    (
+                        DInst::Load { .. },
+                        DInst::Bin {
+                            ty,
+                            op,
+                            dst: bd,
+                            lhs,
+                            rhs,
+                        },
+                    ) => {
+                        let st = &mut code[pc];
+                        st.run = FUSED.load_bin;
+                        st.width = 2;
+                        st.ty = *ty;
+                        st.bop = *op;
+                        st.dst2 = *bd;
+                        st.b = *lhs;
+                        st.c = *rhs;
+                        st.class2 = insts[i + 1].class;
+                        stats.load_bin += 1;
+                        continue;
+                    }
+                    (
+                        DInst::Bin { dst: bd, .. },
+                        DInst::Store {
+                            addr: saddr,
+                            value: Operand::Reg(sv),
+                        },
+                    ) if sv == bd => {
+                        let st = &mut code[pc];
+                        st.run = FUSED.bin_store;
+                        st.width = 2;
+                        // `ty`/`bop`/`a`/`b`/`dst` are the bin's already.
+                        st.c = *saddr;
+                        st.class2 = insts[i + 1].class;
+                        stats.bin_store += 1;
+                        continue;
+                    }
+                    (
+                        DInst::Bin { dst: bd, .. },
+                        DInst::Load {
+                            dst: ld,
+                            addr: Operand::Reg(ar),
+                        },
+                    ) if ar == bd => {
+                        let st = &mut code[pc];
+                        st.run = FUSED.bin_load;
+                        st.width = 2;
+                        st.dst2 = *ld;
+                        st.class2 = insts[i + 1].class;
+                        stats.bin_load += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // Width 2 spanning the terminator: cmp feeding its condbr.
+            // (The generic tiling pass below covers everything else.)
+            if i + 1 == insts.len() {
+                if let (
+                    DInst::Cmp { dst, .. },
+                    DTerm::CondBr {
+                        cond: Operand::Reg(c),
+                        ..
+                    },
+                ) = (&insts[i].op, &b.term)
+                {
+                    if c == dst {
+                        let term = &code[pc + 1];
+                        let (t1, t2, site) = (term.t1, term.t2, term.site);
+                        let st = &mut code[pc];
+                        st.run = FUSED.cmp_br;
+                        st.width = 2;
+                        // `ty`/`cop`/`a`/`b`/`dst` are the cmp's already.
+                        st.t1 = t1;
+                        st.t2 = t2;
+                        st.site = site;
+                        stats.cmp_br += 1;
+                    }
+                }
+            }
+        }
+
+        // Generic tiling pass: chain leftover width-1 runs as
+        // pair/triple groups. Specialized groups installed above are
+        // kept as atoms (their width is already > 1).
+        let n = insts.len(); // position n is the terminator
+        let mut i = 0usize;
+        while i <= n {
+            let pc = entry + i;
+            let w = code[pc].width as usize;
+            if w > 1 {
+                i += w;
+                continue;
+            }
+            if i < n && is_plain(&insts[i].op) {
+                let mid_ok =
+                    |j: usize| j < n && is_plain(&insts[j].op) && code[entry + j].width == 1;
+                let last_ok = |j: usize| j <= n && code[entry + j].width == 1;
+                if mid_ok(i + 1) && last_ok(i + 2) {
+                    let st = &mut code[pc];
+                    st.run = FUSED.triple;
+                    st.width = 3;
+                    stats.triple += 1;
+                    i += 3;
+                    continue;
+                }
+                if last_ok(i + 1) {
+                    let st = &mut code[pc];
+                    st.run = FUSED.pair;
+                    st.width = 2;
+                    stats.pair += 1;
+                    i += 2;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+}

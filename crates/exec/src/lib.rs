@@ -26,6 +26,11 @@
 //!   Segfault / Core dump / Hang), derived from the run's termination and a
 //!   bit-exact output comparison ("our evaluation considers even small
 //!   output errors as bad quality").
+//! * [`ExecTier`] — selectable execution engines over one decode: the
+//!   reference match-dispatch interpreter (semantics oracle) and a
+//!   direct-threaded tier with superinstruction fusion (the default,
+//!   observationally identical, several times faster). Decodes are shared
+//!   process-wide through a content-hash cache ([`decode_cache_stats`]).
 
 #![deny(missing_docs)]
 
@@ -33,14 +38,17 @@ mod counters;
 mod decoded;
 mod enumerate;
 mod fault;
+mod fuse;
 mod hooks;
 mod machine;
 mod pipeline;
+mod threaded;
 
 pub use counters::Counters;
-pub use decoded::Decoded;
+pub use decoded::{decode_cache_stats, DecodeCacheStats, Decoded};
 pub use enumerate::{enumerate_flips, EnumError, Enumeration, Probe};
 pub use fault::{classify_outcome, ExactFlip, InjectionPlan, InjectionRecord, OutcomeClass};
+pub use fuse::FusionStats;
 pub use hooks::{IntrinsicAction, NoopHooks, RuntimeHooks};
-pub use machine::{run_simple, ExecConfig, Machine, RunOutcome, Termination, Trap};
+pub use machine::{run_simple, ExecConfig, ExecTier, Machine, RunOutcome, Termination, Trap};
 pub use pipeline::{class_of, latency_of, latency_of_class, OpClass, Pipeline, PipelineConfig};

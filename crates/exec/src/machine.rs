@@ -64,7 +64,10 @@ pub enum Termination {
 }
 
 /// The result of one [`Machine::run`].
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every observable field — the tier-equivalence
+/// suite asserts whole outcomes at once with it.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunOutcome {
     /// How the run ended.
     pub termination: Termination,
@@ -88,6 +91,80 @@ impl RunOutcome {
     }
 }
 
+/// Which execution engine runs the decoded program.
+///
+/// Every tier is observationally identical — byte-identical memory,
+/// counters, timing and injection records ([`crate::threaded`] documents
+/// the exactness argument; `tests/tier_equivalence.rs` in the harness
+/// crate enforces it). They differ only in speed:
+///
+/// * [`ExecTier::Match`] — the reference match-dispatch interpreter in
+///   this module. Kept as the semantics oracle; traced (census) runs
+///   always use it.
+/// * [`ExecTier::ThreadedNoFuse`] — direct-threaded dispatch: one
+///   pre-selected handler `fn` pointer per flattened instruction.
+/// * [`ExecTier::Threaded`] — direct-threaded dispatch plus the
+///   decode-time superinstruction fusion overlay. The default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecTier {
+    /// Reference match-dispatch interpreter (semantics oracle).
+    Match,
+    /// Direct-threaded dispatch with fusion disabled.
+    ThreadedNoFuse,
+    /// Direct-threaded dispatch with superinstruction fusion (default).
+    Threaded,
+}
+
+impl ExecTier {
+    /// Parses a tier name as used by `--tier` flags and the
+    /// `RSKIP_EXEC_TIER` environment override.
+    pub fn parse(s: &str) -> Option<ExecTier> {
+        match s {
+            "match" => Some(ExecTier::Match),
+            "threaded-nofuse" => Some(ExecTier::ThreadedNoFuse),
+            "threaded" => Some(ExecTier::Threaded),
+            _ => None,
+        }
+    }
+
+    /// Stable display name (inverse of [`ExecTier::parse`]).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecTier::Match => "match",
+            ExecTier::ThreadedNoFuse => "threaded-nofuse",
+            ExecTier::Threaded => "threaded",
+        }
+    }
+
+    /// The process-wide default tier: `RSKIP_EXEC_TIER` if set (read
+    /// once), otherwise [`ExecTier::Threaded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `RSKIP_EXEC_TIER` value — silently
+    /// falling back would invalidate any benchmark or experiment the
+    /// override was meant to steer.
+    pub fn from_env() -> ExecTier {
+        static TIER: std::sync::OnceLock<ExecTier> = std::sync::OnceLock::new();
+        *TIER.get_or_init(|| match std::env::var("RSKIP_EXEC_TIER") {
+            Ok(s) => ExecTier::parse(&s).unwrap_or_else(|| {
+                panic!(
+                    "RSKIP_EXEC_TIER={s:?} is not a tier \
+                     (expected: match | threaded-nofuse | threaded)"
+                )
+            }),
+            Err(_) => ExecTier::Threaded,
+        })
+    }
+}
+
+impl fmt::Display for ExecTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Interpreter configuration.
 #[derive(Clone, Debug)]
 pub struct ExecConfig {
@@ -98,6 +175,8 @@ pub struct ExecConfig {
     pub timing: Option<PipelineConfig>,
     /// Maximum call depth.
     pub max_call_depth: usize,
+    /// Execution engine (defaults to [`ExecTier::from_env`]).
+    pub tier: ExecTier,
 }
 
 impl Default for ExecConfig {
@@ -106,6 +185,7 @@ impl Default for ExecConfig {
             step_limit: 500_000_000,
             timing: None,
             max_call_depth: 1024,
+            tier: ExecTier::from_env(),
         }
     }
 }
@@ -123,7 +203,7 @@ struct Frame {
 
 /// An armed fault for the next run: random SEU, deterministic flip, or a
 /// strike against the prediction runtime's own metadata.
-enum ArmedFault {
+pub(crate) enum ArmedFault {
     Random(InjectionPlan),
     Exact(ExactFlip),
     RuntimeState { trigger: u64, seed: u64 },
@@ -176,6 +256,8 @@ pub struct Machine<'m, H> {
     /// Recycled call frames: register vectors are reused across calls and
     /// across runs instead of reallocated.
     pool: Vec<Frame>,
+    /// Recycled frames of the direct-threaded tier (flat-pc layout).
+    tpool: Vec<crate::threaded::TFrame>,
 }
 
 impl<'m, H: RuntimeHooks> Machine<'m, H> {
@@ -209,6 +291,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             mem: Vec::new(),
             injection: None,
             pool: Vec::new(),
+            tpool: Vec::new(),
         };
         machine.reset_memory();
         machine
@@ -353,7 +436,23 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             mem,
             injection,
             pool,
+            tpool,
         } = self;
+        // Traced (census) runs always go through the reference loop: the
+        // trace wants (block, ip) program points, and the oracle tier is
+        // what the census is defined against.
+        if trace.is_none() && config.tier != ExecTier::Match {
+            return crate::threaded::exec_threaded(
+                program.get(),
+                hooks,
+                config,
+                mem,
+                tpool,
+                injection.take(),
+                entry,
+                args,
+            );
+        }
         exec_loop(
             program.get(),
             hooks,
@@ -748,7 +847,7 @@ fn exec_loop<H: RuntimeHooks>(
     }
 }
 
-fn bin_op(ty: Ty, op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
+pub(crate) fn bin_op(ty: Ty, op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
     Ok(match ty {
         Ty::I64 => {
             let (x, y) = (a.as_i(), b.as_i());
@@ -795,7 +894,7 @@ fn bin_op(ty: Ty, op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
     })
 }
 
-fn un_op(ty: Ty, op: UnOp, a: Value) -> Value {
+pub(crate) fn un_op(ty: Ty, op: UnOp, a: Value) -> Value {
     match op {
         UnOp::Neg => match ty {
             Ty::I64 => Value::I(a.as_i().wrapping_neg()),
@@ -815,7 +914,7 @@ fn un_op(ty: Ty, op: UnOp, a: Value) -> Value {
     }
 }
 
-fn cmp_op(ty: Ty, op: CmpOp, a: Value, b: Value) -> bool {
+pub(crate) fn cmp_op(ty: Ty, op: CmpOp, a: Value, b: Value) -> bool {
     match ty {
         Ty::I64 => {
             let (x, y) = (a.as_i(), b.as_i());
@@ -1174,13 +1273,35 @@ mod tests {
         f.finish();
         let m = mb.finish();
 
-        let mut machine = Machine::new(&m, NoopHooks);
+        let mut machine = Machine::with_config(
+            &m,
+            NoopHooks,
+            ExecConfig {
+                tier: ExecTier::Match,
+                ..ExecConfig::default()
+            },
+        );
         for _ in 0..3 {
             let out = machine.run("main", &[]);
             assert_eq!(returned_i(&out), 9);
         }
         // Both frames of the deepest run were recycled.
         assert_eq!(machine.pool.len(), 2);
+
+        // Same property for the threaded tier's own pool.
+        let mut machine = Machine::with_config(
+            &m,
+            NoopHooks,
+            ExecConfig {
+                tier: ExecTier::Threaded,
+                ..ExecConfig::default()
+            },
+        );
+        for _ in 0..3 {
+            let out = machine.run("main", &[]);
+            assert_eq!(returned_i(&out), 9);
+        }
+        assert_eq!(machine.tpool.len(), 2);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! rskip-eval verify  [--store DIR] [--json]
 //! rskip-eval lint   [--size ...] [--json]
 //! rskip-eval supervise [--size ...] [--runs N]
+//! rskip-eval bench  [--size ...] [--runs N] [--bench NAME] [--tier match|threaded-nofuse|threaded] [--json]
 //! ```
 //!
 //! With `--out DIR`, raw results are also written as JSON.
@@ -25,6 +26,14 @@
 //! diagnostic is found and 0 on a clean suite. `--json` swaps the table
 //! for machine-readable output (same exit-code contract). `verify
 //! --json` does the same for store integrity reports.
+//!
+//! `bench` measures serial fault-injection-campaign throughput per
+//! execution tier (reference `match` interpreter vs the direct-threaded
+//! tier with and without superinstruction fusion) and prints trials/sec,
+//! fusion counts and decode-cache activity. Without `--tier` it measures
+//! all tiers and exits 1 if the threaded tier is not faster than
+//! `match`; `--tier` (or the `RSKIP_EXEC_TIER` environment variable)
+//! narrows the measurement to one tier with no comparison gate.
 //!
 //! `supervise` replays a drifting-input workload with and without the
 //! runtime supervisor and runs the runtime-state SEU campaign with
@@ -56,6 +65,8 @@ struct Args {
     out: Option<PathBuf>,
     store: Option<PathBuf>,
     json: bool,
+    tier: Option<rskip_exec::ExecTier>,
+    bench: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +80,8 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         store: None,
         json: false,
+        tier: None,
+        bench: "conv1d".to_string(),
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -87,6 +100,13 @@ fn parse_args() -> Result<Args, String> {
             "--inputs" => {
                 parsed.inputs = value()?.parse().map_err(|e| format!("bad --inputs: {e}"))?;
             }
+            "--tier" => {
+                let v = value()?;
+                parsed.tier = Some(rskip_exec::ExecTier::parse(&v).ok_or(format!(
+                    "unknown tier `{v}` (match | threaded-nofuse | threaded)"
+                ))?);
+            }
+            "--bench" => parsed.bench = value()?,
             "--out" => parsed.out = Some(PathBuf::from(value()?)),
             "--store" => parsed.store = Some(PathBuf::from(value()?)),
             "--json" => parsed.json = true,
@@ -98,8 +118,9 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: rskip-eval <table1|fig2|fig7|fig8a|fig8b|fig9|tradeoff|cost-ratio|ablations|all\
-     |supervise|lint|train|inspect|verify> \
-     [--size tiny|small|full] [--runs N] [--inputs N] [--out DIR] [--store DIR] [--json]"
+     |supervise|lint|train|inspect|verify|bench> \
+     [--size tiny|small|full] [--runs N] [--inputs N] [--out DIR] [--store DIR] [--json] \
+     [--tier match|threaded-nofuse|threaded] [--bench NAME]"
         .to_string()
 }
 
@@ -292,6 +313,51 @@ fn main() {
                     eprintln!("rskip-eval supervise: FAIL {v}");
                 }
                 std::process::exit(1);
+            }
+        }
+        "bench" => {
+            let setup = engine.setup(&args.bench);
+            let ar = rskip_harness::ArSetting { percent: 20 };
+            // `--tier` (or an explicit RSKIP_EXEC_TIER) narrows to one
+            // tier; otherwise measure all tiers and gate on the speedup.
+            let single = args.tier.or_else(|| {
+                std::env::var("RSKIP_EXEC_TIER")
+                    .ok()
+                    .map(|_| rskip_exec::ExecTier::from_env())
+            });
+            let report = match single {
+                Some(t) => rskip_harness::throughput::measure_tier_subset(
+                    &setup,
+                    ar,
+                    args.runs,
+                    0xC0FF_EE00,
+                    5,
+                    &[t],
+                ),
+                None => {
+                    rskip_harness::throughput::measure_tiers(&setup, ar, args.runs, 0xC0FF_EE00, 5)
+                }
+            };
+            if args.json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => {
+                        eprintln!("serialization failed: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                print!("{}", report.render());
+            }
+            save_json(&args.out, "bench", &report);
+            if single.is_none() {
+                let speedup = rskip_harness::throughput::threaded_speedup(&report);
+                if speedup < 1.0 {
+                    eprintln!(
+                        "rskip-eval bench: FAIL threaded tier slower than match ({speedup:.2}x)"
+                    );
+                    std::process::exit(1);
+                }
             }
         }
         "cost-ratio" => {

@@ -226,6 +226,13 @@ impl<'m> Campaign<'m> {
         }
     }
 
+    /// Selects the execution tier for every subsequent trial (the tiers
+    /// are observationally identical, so this changes throughput only).
+    /// Defaults to [`rskip_exec::ExecTier::from_env`].
+    pub fn set_tier(&mut self, tier: rskip_exec::ExecTier) {
+        self.config.tier = tier;
+    }
+
     /// Trial count.
     #[must_use]
     pub fn trials(&self) -> u32 {

@@ -45,6 +45,7 @@ pub mod lint;
 pub mod report;
 pub mod supervisor_exp;
 pub mod table1;
+pub mod throughput;
 pub mod tradeoff;
 
 pub use build::{ArSetting, BenchSetup, EvalOptions, PrepStats, StoreOutcome};

@@ -9,10 +9,10 @@
 //! cover selective retraining from damaged artifacts and cache-key
 //! sensitivity.
 //!
-//! The zero-execution test measures global counter deltas, so each test
-//! here uses its own store directory and the counter test tolerates
-//! concurrent increments only in its *cold* phase (the warm phase
-//! re-checks via per-setup stats, which are race-free).
+//! The zero-execution test measures global counter deltas, which other
+//! tests' cold prepares would perturb when the default test runner
+//! interleaves them; every test therefore serializes on [`SERIAL`] (each
+//! still uses its own store directory).
 
 use rskip_harness::{EvalOptions, Store, StoreOutcome};
 use rskip_runtime::{profiling_run_count, training_run_count};
@@ -21,6 +21,11 @@ use rskip_workloads::SizeProfile;
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: the global-counter deltas below
+/// must not observe a sibling test's cold prepare.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
 
@@ -49,6 +54,7 @@ fn prepare(store: &Store, options: &EvalOptions) -> rskip_harness::BenchSetup {
 
 #[test]
 fn cold_then_warm_hit_performs_zero_training_executions() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let store = Store::open(temp_dir("hit"));
     let options = tiny_options();
 
@@ -90,6 +96,7 @@ fn cold_then_warm_hit_performs_zero_training_executions() {
 
 #[test]
 fn damaged_model_section_is_selectively_retrained() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let store = Store::open(temp_dir("partial"));
     let options = tiny_options();
     let cold = prepare(&store, &options);
@@ -135,6 +142,7 @@ fn damaged_model_section_is_selectively_retrained() {
 
 #[test]
 fn changed_configuration_misses_the_cache() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let store = Store::open(temp_dir("key"));
     let options = tiny_options();
     let cold = prepare(&store, &options);
@@ -164,6 +172,7 @@ fn changed_configuration_misses_the_cache() {
 
 #[test]
 fn rejected_artifact_retrains_from_scratch_and_heals() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let store = Store::open(temp_dir("rejected"));
     let options = tiny_options();
     let cold = prepare(&store, &options);

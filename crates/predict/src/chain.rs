@@ -73,6 +73,12 @@ pub struct Chain {
     /// Elements deferred by a link, keyed by sequence number; the value
     /// remembers which link is holding the element.
     held: BTreeMap<u64, (usize, Element)>,
+    /// Reusable cascade work queue — `feed` runs once per observed loop
+    /// element, so its queue must not allocate on every call. Taken at
+    /// the start of a cascade and put back (empty) at the end; a
+    /// re-entrant cascade (flush rejections) just sees an already-taken
+    /// queue and falls back to a fresh one.
+    scratch: VecDeque<(usize, Element)>,
 }
 
 impl Chain {
@@ -226,7 +232,7 @@ impl Chain {
     /// cascading rejections down the chain FIFO (preserving resolution
     /// order for the caller's pending queue).
     fn cascade(&mut self, from: usize, elem: Element, out: &mut ChainOutcome) {
-        let mut queue: VecDeque<(usize, Element)> = VecDeque::new();
+        let mut queue = std::mem::take(&mut self.scratch);
         queue.push_back((from, elem));
         while let Some((from, elem)) = queue.pop_front() {
             let Some(k) = (from..self.links.len()).find(|&k| self.links[k].enabled) else {
@@ -264,6 +270,7 @@ impl Chain {
                 self.held.insert(seq, (k, e));
             }
         }
+        self.scratch = queue;
     }
 
     /// Applies a flush resolution of link `k`: acceptances are

@@ -352,7 +352,7 @@ impl RegionState {
         self.elements += 1;
         let seq = self.seq;
         self.seq += 1;
-        let obs = Obs {
+        let make_obs = || Obs {
             iter,
             addr,
             args: args.to_vec(),
@@ -371,7 +371,6 @@ impl RegionState {
             None => true,
         };
         if feed {
-            self.buffer.insert(seq, obs);
             let elem = Element {
                 seq,
                 value: v,
@@ -384,11 +383,33 @@ impl RegionState {
                     .collect(),
             };
             let out = self.chain.feed(elem);
-            cost += self.absorb(out);
+            // Fast path: the chain resolved exactly this element right
+            // away (the overwhelmingly common case — the first link
+            // accepts or rejects synchronously). The observation record
+            // never needs to enter the buffer, and on acceptance it
+            // never needs to be materialized at all. Identical
+            // bookkeeping and modeled cost to the general path below.
+            let solo =
+                (out.rejected.is_empty() && out.accepted.len() == 1 && out.accepted[0].0 == seq)
+                    || (out.accepted.is_empty() && out.rejected == [seq]);
+            if solo {
+                let accepted = out.rejected.is_empty();
+                cost += costs::CUT_PER_ELEMENT + out.cost;
+                if let Some(sup) = self.supervisor.as_mut() {
+                    sup.record(accepted);
+                }
+                if !accepted {
+                    self.recomputed += 1;
+                    self.pending.push_back(make_obs());
+                }
+            } else {
+                self.buffer.insert(seq, make_obs());
+                cost += self.absorb(out);
+            }
         } else {
             cost += costs::CUT_PER_ELEMENT;
             self.recomputed += 1;
-            self.pending.push_back(obs);
+            self.pending.push_back(make_obs());
         }
 
         // Periodic run-time management (§5).
