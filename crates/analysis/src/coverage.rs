@@ -34,16 +34,15 @@
 //! validated (or constant) operand; anything else is an *unprotected
 //! window*.
 //!
-//! ## The coverage map and its fault-model contract
+//! ## The coverage map and its per-fault-model contract
 //!
 //! [`CoverageReport::map`] records, per instruction boundary, which
-//! registers the analysis claims *covered*: flip any single bit of such a
-//! register at that boundary and the run must end correct (fault masked or
-//! repaired by a vote) or detected — never silent data corruption. The
-//! claim is deliberately conservative about the instants where even a
-//! correctly transformed module is vulnerable (the classic
-//! window-of-vulnerability between a validation and its consuming
-//! instruction):
+//! registers the analysis claims *covered*: corrupt such a register at
+//! that boundary and the run must end correct (fault masked or repaired
+//! by a vote) or detected — never silent data corruption. The claim is
+//! deliberately conservative about the instants where even a correctly
+//! transformed module is vulnerable (the classic window-of-vulnerability
+//! between a validation and its consuming instruction):
 //!
 //! * a register needs `>= 2` replicas under the check discipline and
 //!   `>= 3` under the vote discipline (mid-fan-out copies are unclaimed);
@@ -52,8 +51,31 @@
 //! * the operands of a vote `select` are unclaimed at the boundary right
 //!   before it (the agreement bit `t` is already computed).
 //!
-//! `crates/exec`'s exhaustive single-fault enumeration cross-validates
-//! exactly this contract in both directions.
+//! The claim is *value-agnostic*: the recognizers establish that a
+//! diverged register loses a comparison or a majority vote, whichever
+//! bits diverge. One register map therefore serves two of the three
+//! fault models in [`rskip-exec`'s taxonomy]: a single-bit SEU and a
+//! multi-bit burst both corrupt exactly one register, so
+//! [`CoverageMap::is_covered`] is the contract for both.
+//!
+//! Instruction-skip faults need their own map. Skipping an instruction
+//! leaves its *destination* stale rather than bit-flipped, so a skip at
+//! `(block, ip)` is claimed covered ([`CoverageMap::is_skip_covered`])
+//! exactly when the instruction is pure (register-to-register: `mov`,
+//! `bin`, `un`, `cmp`, `select`) and its destination is covered at the
+//! *next* boundary `(block, ip + 1)` — the stale value is then just
+//! another corruption of a redundant, not-yet-validated register.
+//! Loads, stores, calls, intrinsics and terminators are never
+//! skip-claimed: a skipped load feeds its stale destination to the
+//! shadow copy (both replicas agree on the wrong value), and a skipped
+//! store or terminator corrupts memory or control flow outside the
+//! replica partition's vocabulary.
+//!
+//! `crates/exec`'s exhaustive fault enumeration cross-validates both
+//! contracts in both directions (`tests/cross_validate.rs` for the
+//! register models, `tests/cross_validate_skip.rs` for skip).
+//!
+//! [`rskip-exec`'s taxonomy]: https://arxiv.org/abs/1402.6461
 
 use std::collections::HashMap;
 
@@ -161,16 +183,27 @@ pub struct FunctionCoverage {
 #[derive(Clone, Debug, Default)]
 pub struct CoverageMap {
     covered: HashMap<String, std::collections::HashSet<(u32, u32, u32)>>,
+    skip_covered: HashMap<String, std::collections::HashSet<(u32, u32)>>,
 }
 
 impl CoverageMap {
-    /// True when a single-bit flip of `reg`, at the boundary before
-    /// instruction `ip` of `block` in `function`, is claimed to be masked
-    /// or detected.
+    /// True when a corruption of `reg` — any single-bit flip *or*
+    /// multi-bit burst, the claim is value-agnostic — at the boundary
+    /// before instruction `ip` of `block` in `function`, is claimed to be
+    /// masked or detected.
     pub fn is_covered(&self, function: &str, block: BlockId, ip: usize, reg: Reg) -> bool {
         self.covered
             .get(function)
             .is_some_and(|s| s.contains(&(block.0, ip as u32, reg.0)))
+    }
+
+    /// True when skipping the instruction at `(block, ip)` of `function`
+    /// (it retires as a bubble, leaving its destination stale) is claimed
+    /// to be masked or detected.
+    pub fn is_skip_covered(&self, function: &str, block: BlockId, ip: usize) -> bool {
+        self.skip_covered
+            .get(function)
+            .is_some_and(|s| s.contains(&(block.0, ip as u32)))
     }
 
     /// Total number of (boundary, register) claims.
@@ -178,11 +211,23 @@ impl CoverageMap {
         self.covered.values().map(|s| s.len()).sum()
     }
 
+    /// Total number of skip-covered instruction claims.
+    pub fn skip_claims(&self) -> usize {
+        self.skip_covered.values().map(|s| s.len()).sum()
+    }
+
     fn claim(&mut self, function: &str, block: BlockId, ip: usize, reg: u32) {
         self.covered
             .entry(function.to_string())
             .or_default()
             .insert((block.0, ip as u32, reg));
+    }
+
+    fn claim_skip(&mut self, function: &str, block: BlockId, ip: usize) {
+        self.skip_covered
+            .entry(function.to_string())
+            .or_default()
+            .insert((block.0, ip as u32));
     }
 }
 
@@ -309,6 +354,33 @@ pub fn lint_module(module: &Module, model: ValidationModel) -> CoverageReport {
         report.diags.append(&mut diags);
         for (k, v) in map.covered {
             report.map.covered.insert(k, v);
+        }
+    }
+    // Skip-fault contract post-pass: a pure instruction whose stale
+    // destination would still be a covered corruption at the next
+    // boundary can safely retire as a bubble.
+    for f in &module.functions {
+        if !f.attrs.protect || f.attrs.outlined {
+            continue;
+        }
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ip, inst) in b.insts.iter().enumerate() {
+                let dst = match inst {
+                    Inst::Mov { dst, .. }
+                    | Inst::Bin { dst, .. }
+                    | Inst::Un { dst, .. }
+                    | Inst::Cmp { dst, .. }
+                    | Inst::Select { dst, .. } => *dst,
+                    Inst::Load { .. }
+                    | Inst::Store { .. }
+                    | Inst::Call { .. }
+                    | Inst::IntrinsicCall { .. } => continue,
+                };
+                let block = BlockId(bi as u32);
+                if report.map.is_covered(&f.name, block, ip + 1, dst) {
+                    report.map.claim_skip(&f.name, block, ip);
+                }
+            }
         }
     }
     report

@@ -3,7 +3,7 @@
 //! injected run per scheme.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rskip_exec::{ExecConfig, InjectionPlan, Machine, NoopHooks};
+use rskip_exec::{ExecConfig, FaultModel, InjectionPlan, Machine, NoopHooks};
 use rskip_harness::build::{ArSetting, BenchSetup, EvalOptions};
 use rskip_harness::fig9::SchemeLabel;
 use rskip_workloads::SizeProfile;
@@ -42,6 +42,7 @@ fn bench_fig9(c: &mut Criterion) {
                     trigger: 500,
                     seed: 7,
                     anywhere: false,
+                    model: FaultModel::SingleBitSeu,
                 });
                 m.run("main", &[])
             },
@@ -58,6 +59,7 @@ fn bench_fig9(c: &mut Criterion) {
                     trigger: 500,
                     seed: 7,
                     anywhere: false,
+                    model: FaultModel::SingleBitSeu,
                 });
                 m.run("main", &[])
             },

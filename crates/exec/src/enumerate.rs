@@ -1,16 +1,31 @@
-//! Exhaustive single-bit fault enumeration — the dynamic cross-check of
+//! Exhaustive fault enumeration — the dynamic cross-check of
 //! `rskip-lint`'s static coverage claims.
 //!
 //! Statistical campaigns ([`crate::InjectionPlan`]) sample the fault space;
 //! this module *covers* it for micro-regions: a clean traced run records
 //! every instruction boundary together with the registers live (written) at
-//! that instant, then one deterministic run per `(boundary, register, bit)`
-//! triple flips exactly that bit at exactly that instant
-//! ([`crate::ExactFlip`]) and classifies the outcome against the clean
-//! run's memory image.
+//! that instant, then one deterministic run per enumerated case arms an
+//! [`crate::ExactFault`] at exactly that instant and classifies the outcome
+//! against the clean run's memory image. What "a case" is depends on the
+//! [`FaultModel`]:
+//!
+//! * [`FaultModel::SingleBitSeu`] — one case per
+//!   `(boundary, live register, bit)` triple (the original sweep,
+//!   [`enumerate_flips`]);
+//! * [`FaultModel::MultiBitBurst`] — one case per
+//!   `(boundary, live register, window start)` triple, with window starts
+//!   taken from `bits`, clamped so the window fits in 64 bits and
+//!   deduplicated (clamping collisions are logged in
+//!   [`Enumeration::notes`]);
+//! * [`FaultModel::InstructionSkip`] — one case per dynamic instruction
+//!   boundary (there is nothing else to sweep: the skipped instruction
+//!   *is* the fault). Intrinsic-call boundaries are excluded — the skip
+//!   model never swallows the runtime interface (see
+//!   [`FaultModel::InstructionSkip`]) — and the exclusion count is noted
+//!   in [`Enumeration::notes`].
 //!
 //! The resulting [`Probe`] list carries the *static* coordinates of each
-//! flip — function, block, next-instruction index — which are exactly the
+//! fault — function, block, next-instruction index — which are exactly the
 //! coordinates `rskip-lint`'s coverage map speaks in. That makes the
 //! cross-validation contract checkable in both directions:
 //!
@@ -21,14 +36,14 @@
 //!   unclaimed probe that ends in silent data corruption, witnessing the
 //!   window dynamically.
 //!
-//! Enumeration cost is `boundaries × live registers × bits` full runs, so
-//! [`enumerate_flips`] refuses traces longer than a caller-supplied bound —
-//! this is a verification tool for micro-regions, not a campaign engine.
+//! Enumeration cost is one full run per case, so [`enumerate_faults`]
+//! refuses traces longer than a caller-supplied bound — this is a
+//! verification tool for micro-regions, not a campaign engine.
 
 use rskip_ir::{BlockId, Module, Reg, Value};
 
 use crate::decoded::Decoded;
-use crate::fault::{classify_outcome, ExactFlip, OutcomeClass};
+use crate::fault::{classify_outcome, ExactFault, ExactFaultKind, FaultModel, OutcomeClass};
 use crate::hooks::RuntimeHooks;
 use crate::machine::{ExecConfig, Machine, Termination};
 
@@ -57,23 +72,32 @@ impl TraceEntry {
     }
 }
 
-/// One enumerated flip and its classified outcome.
+/// One enumerated fault and its classified outcome.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Probe {
-    /// The instruction boundary the flip fired at.
+    /// The instruction boundary the fault fired at.
     pub at: u64,
     /// Function the innermost frame was executing.
     pub function: String,
-    /// Block of the next instruction at flip time.
+    /// Block of the next instruction at fire time.
     pub block: BlockId,
     /// Index of the next instruction (`== insts.len()` ⇒ terminator).
     pub ip: usize,
-    /// The flipped register.
-    pub reg: Reg,
-    /// The flipped bit.
-    pub bit: u32,
+    /// The deterministic fault that was applied.
+    pub kind: ExactFaultKind,
     /// What the corrupted run did.
     pub outcome: OutcomeClass,
+}
+
+impl Probe {
+    /// The register the fault targeted, if any (skip probes target the
+    /// instruction itself).
+    pub fn reg(&self) -> Option<Reg> {
+        match self.kind {
+            ExactFaultKind::BitFlip { reg, .. } | ExactFaultKind::Burst { reg, .. } => Some(reg),
+            ExactFaultKind::Skip => None,
+        }
+    }
 }
 
 /// The result of one exhaustive enumeration.
@@ -81,8 +105,12 @@ pub struct Probe {
 pub struct Enumeration {
     /// Instruction boundaries of the clean run (the trace length).
     pub boundaries: u64,
-    /// Every enumerated probe, in `(at, reg, bit)` order.
+    /// Every enumerated probe, in `(at, target, effect)` order.
     pub probes: Vec<Probe>,
+    /// Human-readable notes about coverage caps applied during the sweep
+    /// (e.g. burst windows clamped into range and merged). Empty when the
+    /// sweep ran exactly as requested.
+    pub notes: Vec<String>,
 }
 
 impl Enumeration {
@@ -124,15 +152,11 @@ impl std::fmt::Display for EnumError {
 
 impl std::error::Error for EnumError {}
 
-/// Exhaustively enumerates single-bit register flips over a micro-region.
-///
-/// Runs `entry(args)` once cleanly to capture the golden memory image and
-/// the boundary census, then re-runs it once per
-/// `(boundary, live register, bit)` combination with an [`ExactFlip`]
-/// armed. `make_hooks` must hand back fresh hooks per run so runs stay
-/// independent and deterministic. `bits` selects the bit positions swept
-/// (pass `&(0..64).collect::<Vec<_>>()` for the full sweep);
-/// `max_boundaries` bounds the clean-run length this tool accepts.
+/// Exhaustively enumerates single-bit register flips over a micro-region:
+/// [`enumerate_faults`] under [`FaultModel::SingleBitSeu`], kept as the
+/// named entry point the original cross-validation contract is phrased
+/// in. `bits` selects the bit positions swept (pass
+/// `&(0..64).collect::<Vec<_>>()` for the full sweep).
 ///
 /// # Panics
 ///
@@ -143,7 +167,45 @@ pub fn enumerate_flips<H: RuntimeHooks>(
     entry: &str,
     args: &[Value],
     exec: &ExecConfig,
+    make_hooks: impl FnMut() -> H,
+    bits: &[u32],
+    max_boundaries: u64,
+) -> Result<Enumeration, EnumError> {
+    enumerate_faults(
+        module,
+        entry,
+        args,
+        exec,
+        make_hooks,
+        FaultModel::SingleBitSeu,
+        bits,
+        max_boundaries,
+    )
+}
+
+/// Exhaustively enumerates the fault space of `model` over a
+/// micro-region.
+///
+/// Runs `entry(args)` once cleanly to capture the golden memory image and
+/// the boundary census, then re-runs it once per enumerated case with an
+/// [`ExactFault`] armed (see the module docs for what each model
+/// enumerates). `make_hooks` must hand back fresh hooks per run so runs
+/// stay independent and deterministic. `bits` selects the bit positions
+/// (SEU) or window start positions (burst) swept, and is ignored for
+/// skip; `max_boundaries` bounds the clean-run length this tool accepts.
+///
+/// # Panics
+///
+/// Panics if `entry` does not exist or the argument count mismatches
+/// (entry setup errors are caller bugs, as with [`Machine::run`]).
+#[allow(clippy::too_many_arguments)]
+pub fn enumerate_faults<H: RuntimeHooks>(
+    module: &Module,
+    entry: &str,
+    args: &[Value],
+    exec: &ExecConfig,
     mut make_hooks: impl FnMut() -> H,
+    model: FaultModel,
     bits: &[u32],
     max_boundaries: u64,
 ) -> Result<Enumeration, EnumError> {
@@ -163,36 +225,110 @@ pub fn enumerate_flips<H: RuntimeHooks>(
     }
     let golden = clean.memory().to_vec();
 
+    let mut notes = Vec::new();
+    // The per-register effects swept at each boundary (empty for skip,
+    // which has exactly one per-boundary case instead).
+    let effects: Vec<ExactFaultKind> = match model {
+        FaultModel::SingleBitSeu => bits
+            .iter()
+            .map(|&bit| ExactFaultKind::BitFlip { reg: Reg(0), bit })
+            .collect(),
+        FaultModel::MultiBitBurst { width } => {
+            let w = width.clamp(1, 64);
+            let mut starts: Vec<u32> = Vec::new();
+            let mut clamped = 0u32;
+            for &b in bits {
+                let s = b.min(64 - w);
+                if s != b {
+                    clamped += 1;
+                }
+                if !starts.contains(&s) {
+                    starts.push(s);
+                }
+            }
+            if clamped > 0 || starts.len() < bits.len() {
+                notes.push(format!(
+                    "burst:{w}: {clamped} window starts clamped into 0..={}, \
+                     {} distinct windows kept of {} requested",
+                    64 - w,
+                    starts.len(),
+                    bits.len()
+                ));
+            }
+            starts
+                .into_iter()
+                .map(|start| ExactFaultKind::Burst {
+                    reg: Reg(0),
+                    start,
+                    width: w,
+                })
+                .collect()
+        }
+        FaultModel::InstructionSkip => Vec::new(),
+    };
+
     let mut probes = Vec::new();
+    let mut intrinsic_boundaries = 0u64;
     for (at, entry_at) in trace.iter().enumerate() {
         let function = &module.functions[entry_at.func as usize].name;
+        let mut probe_one = |kind: ExactFaultKind| {
+            let mut m = Machine::from_decoded(&decoded, make_hooks(), exec.clone());
+            m.set_exact_fault(ExactFault {
+                at: at as u64,
+                kind,
+            });
+            let out = m.run(entry, args);
+            debug_assert!(
+                out.injection.is_some(),
+                "census said {kind:?} had a live target at boundary {at}"
+            );
+            probes.push(Probe {
+                at: at as u64,
+                function: function.clone(),
+                block: BlockId(entry_at.block),
+                ip: entry_at.ip as usize,
+                kind,
+                outcome: classify_outcome(&out, m.memory(), &golden),
+            });
+        };
+        if model == FaultModel::InstructionSkip {
+            // An armed skip holds fire over intrinsic boundaries, so a
+            // probe here would really strike (and be classified at) a
+            // later boundary under the census label of this one.
+            let next_is_intrinsic = module.functions[entry_at.func as usize].blocks
+                [entry_at.block as usize]
+                .insts
+                .get(entry_at.ip as usize)
+                .is_some_and(|inst| matches!(inst, rskip_ir::Inst::IntrinsicCall { .. }));
+            if next_is_intrinsic {
+                intrinsic_boundaries += 1;
+            } else {
+                probe_one(ExactFaultKind::Skip);
+            }
+            continue;
+        }
         for &reg in &entry_at.written {
-            for &bit in bits {
-                let mut m = Machine::from_decoded(&decoded, make_hooks(), exec.clone());
-                m.set_exact_flip(ExactFlip {
-                    at: at as u64,
-                    reg,
-                    bit,
-                });
-                let out = m.run(entry, args);
-                debug_assert!(
-                    out.injection.is_some(),
-                    "census said %{reg:?} was live at boundary {at}"
-                );
-                probes.push(Probe {
-                    at: at as u64,
-                    function: function.clone(),
-                    block: BlockId(entry_at.block),
-                    ip: entry_at.ip as usize,
-                    reg,
-                    bit,
-                    outcome: classify_outcome(&out, m.memory(), &golden),
-                });
+            for effect in &effects {
+                let kind = match *effect {
+                    ExactFaultKind::BitFlip { bit, .. } => ExactFaultKind::BitFlip { reg, bit },
+                    ExactFaultKind::Burst { start, width, .. } => {
+                        ExactFaultKind::Burst { reg, start, width }
+                    }
+                    ExactFaultKind::Skip => unreachable!(),
+                };
+                probe_one(kind);
             }
         }
+    }
+    if intrinsic_boundaries > 0 {
+        notes.push(format!(
+            "skip: {intrinsic_boundaries} intrinsic-call boundaries excluded \
+             (the runtime interface is not a skip target)"
+        ));
     }
     Ok(Enumeration {
         boundaries: trace.len() as u64,
         probes,
+        notes,
     })
 }

@@ -1,12 +1,110 @@
-//! Single Event Upset injection plans and outcome classification (§7.2).
+//! Fault models, injection plans and outcome classification (§7.2).
+//!
+//! The paper's evaluation is single-bit-SEU only; this module lifts the
+//! fault model into a pluggable [`FaultModel`] so campaigns, exhaustive
+//! enumeration and the lint contract can also reason about multi-bit
+//! bursts and instruction-skip faults (Moro et al., arXiv 1402.6461).
 
 use rskip_ir::{BlockId, Reg, Value};
+use serde::Serialize;
 
 use crate::machine::{RunOutcome, Termination, Trap};
 
-/// One armed SEU: at the `trigger`-th retired instruction (counted inside
-/// protection regions unless `anywhere`), flip one random bit of one random
-/// live register.
+/// The transient-fault model a campaign or enumeration samples from.
+///
+/// Every model shares the same *trigger* semantics (a dynamic instant
+/// drawn over region-scoped retired instructions) and differs only in the
+/// *effect* applied at that instant:
+///
+/// * [`FaultModel::SingleBitSeu`] — the paper's model: flip one uniformly
+///   random bit of one uniformly random live register.
+/// * [`FaultModel::MultiBitBurst`] — flip `width` *contiguous* bits of one
+///   random live register (a charge-sharing multi-bit upset). The window
+///   start is drawn uniformly from the positions where the whole window
+///   fits in 64 bits.
+/// * [`FaultModel::InstructionSkip`] — the next instruction (or
+///   terminator) is fetched but not executed, as if replaced by a bubble:
+///   it still retires (counters advance) but has no architectural effect.
+///   Models clock/voltage-glitch attacks and marginal fetch faults.
+///   Intrinsic calls — the predictor-runtime interface — are never skip
+///   targets: they execute host-side, where a swallowed call has no
+///   emulated failure mode (it would desync the runtime's own metadata,
+///   which is the separate runtime-state campaign's fault space). An
+///   armed skip holds fire over an intrinsic boundary and strikes the
+///   next architectural instruction instead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize)]
+pub enum FaultModel {
+    /// Single Event Upset: one random bit of one random live register.
+    #[default]
+    SingleBitSeu,
+    /// Contiguous multi-bit upset of `width` bits in one live register.
+    MultiBitBurst {
+        /// Number of adjacent bits flipped (clamped to 1..=64).
+        width: u32,
+    },
+    /// The instruction at the trigger boundary retires without executing
+    /// (intrinsic-call boundaries are held over, never swallowed).
+    InstructionSkip,
+}
+
+impl FaultModel {
+    /// Parses a fault-model name as used by `--fault-model` flags:
+    /// `seu`, `skip`, or `burst:N` (N in 1..=64; plain `burst` means
+    /// `burst:4`).
+    pub fn parse(s: &str) -> Option<FaultModel> {
+        match s {
+            "seu" => Some(FaultModel::SingleBitSeu),
+            "skip" => Some(FaultModel::InstructionSkip),
+            "burst" => Some(FaultModel::MultiBitBurst { width: 4 }),
+            _ => {
+                let width: u32 = s.strip_prefix("burst:")?.parse().ok()?;
+                (1..=64)
+                    .contains(&width)
+                    .then_some(FaultModel::MultiBitBurst { width })
+            }
+        }
+    }
+
+    /// Stable display name (inverse of [`FaultModel::parse`]).
+    pub fn label(self) -> String {
+        match self {
+            FaultModel::SingleBitSeu => "seu".to_string(),
+            FaultModel::MultiBitBurst { width } => format!("burst:{width}"),
+            FaultModel::InstructionSkip => "skip".to_string(),
+        }
+    }
+
+    /// A seed perturbation mixed into campaign base seeds so different
+    /// models draw independent trigger/seed streams. `SingleBitSeu` maps
+    /// to 0 so pre-existing SEU campaigns keep their exact seeds (and
+    /// goldens).
+    pub fn seed_tag(self) -> u64 {
+        match self {
+            FaultModel::SingleBitSeu => 0,
+            FaultModel::MultiBitBurst { width } => 0xB0_0057 ^ ((width as u64) << 24),
+            FaultModel::InstructionSkip => 0x5C_1B00,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Clamps a burst window into 0..64 and builds its flip mask, returning
+/// `(start, width, mask)` as actually applied.
+pub(crate) fn burst_window(start: u32, width: u32) -> (u32, u32, u64) {
+    let w = width.clamp(1, 64);
+    let s = start.min(64 - w);
+    let mask = if w == 64 { !0 } else { ((1u64 << w) - 1) << s };
+    (s, w, mask)
+}
+
+/// One armed random fault: at the `trigger`-th retired instruction
+/// (counted inside protection regions unless `anywhere`), apply the
+/// effect of `model` to a random live target.
 ///
 /// Deterministic given `seed` — campaigns are reproducible.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -14,18 +112,22 @@ pub struct InjectionPlan {
     /// Fire when this many instructions have retired (region-scoped count
     /// unless `anywhere` is set).
     pub trigger: u64,
-    /// RNG seed for target/bit selection.
+    /// RNG seed for target selection.
     pub seed: u64,
     /// When true, count *all* retired instructions instead of only those
     /// inside protection regions. The paper injects "only into the detected
     /// loops"; `anywhere` exists for whole-program studies and tests.
     pub anywhere: bool,
+    /// The fault effect sampled at the trigger.
+    pub model: FaultModel,
 }
 
-/// One deterministic single-bit flip, for exhaustive enumeration: at the
-/// `at`-th instruction boundary (counting every executed instruction and
-/// terminator, anywhere in the program), flip bit `bit` of register `reg`
-/// in the innermost active frame.
+/// One deterministic single-bit flip — the SEU-specific legacy form of
+/// [`ExactFault`], kept because the original cross-validation suite and
+/// enumeration API are phrased in terms of it: at the `at`-th instruction
+/// boundary (counting every executed instruction and terminator, anywhere
+/// in the program), flip bit `bit` of register `reg` in the innermost
+/// active frame.
 ///
 /// Unlike [`InjectionPlan`] there is no randomness: a full enumeration
 /// sweeps `at` over every boundary of a clean trace, `reg` over the
@@ -39,8 +141,114 @@ pub struct ExactFlip {
     /// Register to flip in the innermost (currently executing) frame. If
     /// it has not been written yet the flip is skipped (dead target).
     pub reg: Reg,
-    /// The bit position to flip (0–63).
+    /// The bit position to flip.
     pub bit: u32,
+}
+
+/// One deterministic fault for exhaustive enumeration, generalizing
+/// [`ExactFlip`] across fault models: at the `at`-th instruction boundary
+/// apply `kind` to the innermost active frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExactFault {
+    /// The instruction boundary to fire at: the effect happens after `at`
+    /// instructions/terminators have executed, before the next one.
+    pub at: u64,
+    /// The deterministic effect applied at that boundary.
+    pub kind: ExactFaultKind,
+}
+
+/// The deterministic effect of an [`ExactFault`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExactFaultKind {
+    /// Flip bit `bit` of register `reg` (dead target if unwritten).
+    BitFlip {
+        /// Register to flip in the innermost frame.
+        reg: Reg,
+        /// The bit position to flip.
+        bit: u32,
+    },
+    /// Flip `width` contiguous bits of `reg` starting at `start` (dead
+    /// target if `reg` is unwritten; the window is clamped into 0..64).
+    Burst {
+        /// Register to corrupt in the innermost frame.
+        reg: Reg,
+        /// Lowest bit position of the window.
+        start: u32,
+        /// Window width in bits.
+        width: u32,
+    },
+    /// Skip the instruction or terminator at the boundary: it retires as
+    /// a bubble with no architectural effect. Dead target if the boundary
+    /// lies past the end of the program.
+    Skip,
+}
+
+impl From<ExactFlip> for ExactFault {
+    fn from(flip: ExactFlip) -> ExactFault {
+        ExactFault {
+            at: flip.at,
+            kind: ExactFaultKind::BitFlip {
+                reg: flip.reg,
+                bit: flip.bit,
+            },
+        }
+    }
+}
+
+/// What an injected fault actually did — the model-aware payload of an
+/// [`InjectionRecord`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEffect {
+    /// One bit of one live register was flipped.
+    BitFlip {
+        /// The register hit.
+        reg: Reg,
+        /// The flipped bit position.
+        bit: u32,
+        /// Register bits before the flip.
+        old_bits: u64,
+        /// Register bits after the flip.
+        new_bits: u64,
+    },
+    /// A contiguous window of bits in one live register was flipped.
+    Burst {
+        /// The register hit.
+        reg: Reg,
+        /// Lowest bit position of the flipped window.
+        start: u32,
+        /// Window width in bits.
+        width: u32,
+        /// Register bits before the flip.
+        old_bits: u64,
+        /// Register bits after the flip.
+        new_bits: u64,
+    },
+    /// The instruction (or terminator) at the boundary was skipped.
+    SkippedInstruction,
+}
+
+impl FaultEffect {
+    /// The register the effect corrupted, if any (skips touch no
+    /// register).
+    pub fn reg(&self) -> Option<Reg> {
+        match self {
+            FaultEffect::BitFlip { reg, .. } | FaultEffect::Burst { reg, .. } => Some(*reg),
+            FaultEffect::SkippedInstruction => None,
+        }
+    }
+
+    /// The XOR mask actually applied to the register bits (0 for skips).
+    pub fn flipped_bits(&self) -> u64 {
+        match self {
+            FaultEffect::BitFlip {
+                old_bits, new_bits, ..
+            }
+            | FaultEffect::Burst {
+                old_bits, new_bits, ..
+            } => old_bits ^ new_bits,
+            FaultEffect::SkippedInstruction => 0,
+        }
+    }
 }
 
 /// What an injection actually did.
@@ -50,19 +258,13 @@ pub struct InjectionRecord {
     pub function: String,
     /// The block the hit frame was executing.
     pub block: BlockId,
-    /// Index of the next instruction of that block at flip time
+    /// Index of the next instruction of that block at fire time
     /// (`== insts.len()` means the terminator was next).
     pub ip: usize,
-    /// The register hit.
-    pub reg: Reg,
-    /// The flipped bit position (0–63).
-    pub bit: u32,
     /// Retired-instruction count at injection time.
     pub at_retired: u64,
-    /// Register bits before the flip.
-    pub old_bits: u64,
-    /// Register bits after the flip.
-    pub new_bits: u64,
+    /// The model-specific effect that was applied.
+    pub effect: FaultEffect,
 }
 
 /// The five outcome classes of the paper's reliability evaluation (§7.2),
@@ -135,9 +337,13 @@ pub fn classify_outcome(outcome: &RunOutcome, output: &[Value], golden: &[Value]
         Termination::Trapped(Trap::OutOfBounds { .. }) => OutcomeClass::Segfault,
         Termination::Trapped(Trap::StepLimit) => OutcomeClass::Hang,
         Termination::Trapped(Trap::FaultDetected) => OutcomeClass::Detected,
-        Termination::Trapped(Trap::DivByZero | Trap::UnknownFunction(_) | Trap::StackOverflow) => {
-            OutcomeClass::CoreDump
-        }
+        Termination::Trapped(
+            Trap::DivByZero
+            | Trap::UnknownFunction(_)
+            | Trap::StackOverflow
+            | Trap::CodeRunoff
+            | Trap::RuntimeAbort,
+        ) => OutcomeClass::CoreDump,
     }
 }
 
@@ -206,6 +412,14 @@ mod tests {
         );
         assert_eq!(
             classify_outcome(
+                &outcome(Termination::Trapped(Trap::CodeRunoff)),
+                &golden,
+                &golden
+            ),
+            OutcomeClass::CoreDump
+        );
+        assert_eq!(
+            classify_outcome(
                 &outcome(Termination::Trapped(Trap::FaultDetected)),
                 &golden,
                 &golden
@@ -218,5 +432,53 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(OutcomeClass::Sdc.label(), "SDC");
         assert_eq!(OutcomeClass::CoreDump.label(), "Core dump");
+    }
+
+    #[test]
+    fn fault_model_parse_roundtrip() {
+        for s in ["seu", "skip", "burst:1", "burst:4", "burst:64"] {
+            let m = FaultModel::parse(s).expect("parses");
+            assert_eq!(m.label(), s, "label must invert parse");
+        }
+        assert_eq!(
+            FaultModel::parse("burst"),
+            Some(FaultModel::MultiBitBurst { width: 4 })
+        );
+        for s in ["", "burst:0", "burst:65", "burst:x", "SEU", "flip"] {
+            assert_eq!(FaultModel::parse(s), None, "{s:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn seed_tags_are_distinct_and_seu_is_zero() {
+        let models = [
+            FaultModel::SingleBitSeu,
+            FaultModel::MultiBitBurst { width: 2 },
+            FaultModel::MultiBitBurst { width: 4 },
+            FaultModel::InstructionSkip,
+        ];
+        assert_eq!(FaultModel::SingleBitSeu.seed_tag(), 0);
+        for (i, a) in models.iter().enumerate() {
+            for b in &models[i + 1..] {
+                assert_ne!(a.seed_tag(), b.seed_tag(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_windows_are_contiguous_and_clamped() {
+        assert_eq!(burst_window(0, 1), (0, 1, 1));
+        assert_eq!(burst_window(3, 4), (3, 4, 0b1111 << 3));
+        assert_eq!(burst_window(0, 64), (0, 64, !0));
+        // Window clamped so it never shifts out of the register.
+        assert_eq!(burst_window(63, 4), (60, 4, 0b1111 << 60));
+        assert_eq!(burst_window(200, 8), (56, 8, 0xFFu64 << 56));
+        for (start, width) in [(0u32, 3u32), (17, 5), (56, 8), (63, 1)] {
+            let (s, w, m) = burst_window(start, width);
+            assert_eq!((s, w), (start, width));
+            assert_eq!(m.count_ones(), width);
+            // Contiguity: shifting out trailing zeros leaves 2^w - 1.
+            assert_eq!(m >> m.trailing_zeros(), (1u64 << width) - 1);
+        }
     }
 }

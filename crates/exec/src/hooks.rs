@@ -25,6 +25,12 @@ pub struct IntrinsicAction {
     /// [`Trap::FaultDetected`](crate::Trap::FaultDetected) (the SWIFT
     /// detection-only handler).
     pub trap_detected: bool,
+    /// When true, the runtime observed a violation of its calling
+    /// protocol that would abort the host process (e.g. a pending-field
+    /// read with no pending element); the machine traps with
+    /// [`Trap::RuntimeAbort`](crate::Trap::RuntimeAbort). Only reachable
+    /// under fault injection.
+    pub trap_abort: bool,
 }
 
 impl IntrinsicAction {
@@ -34,6 +40,7 @@ impl IntrinsicAction {
             value: None,
             cost,
             trap_detected: false,
+            trap_abort: false,
         }
     }
 
@@ -43,6 +50,17 @@ impl IntrinsicAction {
             value: Some(v),
             cost,
             trap_detected: false,
+            trap_abort: false,
+        }
+    }
+
+    /// A protocol-violation abort with the given cost.
+    pub fn abort(cost: u64) -> Self {
+        IntrinsicAction {
+            value: None,
+            cost,
+            trap_detected: false,
+            trap_abort: true,
         }
     }
 }
@@ -90,6 +108,7 @@ impl RuntimeHooks for NoopHooks {
                 value: None,
                 cost: 1,
                 trap_detected: true,
+                trap_abort: false,
             },
             _ => IntrinsicAction::void(0),
         }

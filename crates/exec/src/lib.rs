@@ -14,12 +14,14 @@
 //!   reproduces the architectural effect the paper's §7.1 relies on:
 //!   independent duplicated instructions raise IPC, while dependent
 //!   validation compare/branch chains stall.
-//! * [`InjectionPlan`] — the gem5-SFI substitute: one Single Event Upset
-//!   per run, flipping one uniformly random bit of one uniformly random
-//!   live register at a uniformly random dynamic instant *inside the
-//!   detected loop regions* (paper §7.2).
-//! * [`enumerate_flips`] — exhaustive single-bit flip enumeration over
-//!   micro-regions: the dynamic cross-check of `rskip-lint`'s static
+//! * [`InjectionPlan`] — the gem5-SFI substitute: one fault per run,
+//!   drawn from a pluggable [`FaultModel`] (the paper's single-bit SEU,
+//!   a contiguous multi-bit burst, or an instruction skip à la Moro et
+//!   al.) at a uniformly random dynamic instant *inside the detected
+//!   loop regions* (paper §7.2).
+//! * [`enumerate_faults`] — exhaustive fault enumeration over
+//!   micro-regions per fault model ([`enumerate_flips`] is the
+//!   single-bit form): the dynamic cross-check of `rskip-lint`'s static
 //!   protection-coverage claims (every claimed-covered fault must be
 //!   masked or detected; unprotected windows must be witnessed by SDC).
 //! * [`OutcomeClass`] — the five outcome classes of §7.2 (Correct / SDC /
@@ -46,8 +48,11 @@ mod threaded;
 
 pub use counters::Counters;
 pub use decoded::{decode_cache_stats, DecodeCacheStats, Decoded};
-pub use enumerate::{enumerate_flips, EnumError, Enumeration, Probe};
-pub use fault::{classify_outcome, ExactFlip, InjectionPlan, InjectionRecord, OutcomeClass};
+pub use enumerate::{enumerate_faults, enumerate_flips, EnumError, Enumeration, Probe};
+pub use fault::{
+    classify_outcome, ExactFault, ExactFaultKind, ExactFlip, FaultEffect, FaultModel,
+    InjectionPlan, InjectionRecord, OutcomeClass,
+};
 pub use fuse::FusionStats;
 pub use hooks::{IntrinsicAction, NoopHooks, RuntimeHooks};
 pub use machine::{run_simple, ExecConfig, ExecTier, Machine, RunOutcome, Termination, Trap};

@@ -12,7 +12,10 @@ use rskip_ir::{BinOp, CmpOp, Module, Operand, Reg, Ty, UnOp, Value};
 use crate::counters::Counters;
 use crate::decoded::{DInst, DStep, DTerm, Decoded};
 use crate::enumerate::TraceEntry;
-use crate::fault::{ExactFlip, InjectionPlan, InjectionRecord};
+use crate::fault::{
+    burst_window, ExactFault, ExactFaultKind, ExactFlip, FaultEffect, FaultModel, InjectionPlan,
+    InjectionRecord,
+};
 use crate::hooks::RuntimeHooks;
 use crate::pipeline::{Pipeline, PipelineConfig};
 
@@ -37,6 +40,16 @@ pub enum Trap {
     /// The SWIFT detection handler fired: a fault was detected but the
     /// scheme has no recovery.
     FaultDetected,
+    /// Control fell off the end of a function's code — only reachable
+    /// when an instruction-skip fault swallows the terminator of a
+    /// function's last block — *Core dump*.
+    CodeRunoff,
+    /// The prediction runtime observed a violation of its calling
+    /// protocol (e.g. a pending-field read with no pending element) that
+    /// would abort the host process. Only reachable under fault
+    /// injection, when a corrupted or skipped branch steers transformed
+    /// code into the wrong intrinsic sequence — *Core dump*.
+    RuntimeAbort,
 }
 
 impl fmt::Display for Trap {
@@ -48,6 +61,8 @@ impl fmt::Display for Trap {
             Trap::StackOverflow => write!(f, "call stack overflow"),
             Trap::StepLimit => write!(f, "dynamic instruction budget exhausted"),
             Trap::FaultDetected => write!(f, "fault detected (no recovery)"),
+            Trap::CodeRunoff => write!(f, "control ran off the end of a function"),
+            Trap::RuntimeAbort => write!(f, "runtime protocol violation (host abort)"),
         }
     }
 }
@@ -201,11 +216,12 @@ struct Frame {
     ready: Vec<u64>,
 }
 
-/// An armed fault for the next run: random SEU, deterministic flip, or a
-/// strike against the prediction runtime's own metadata.
+/// An armed fault for the next run: a random draw from a fault model, a
+/// deterministic exact fault, or a strike against the prediction
+/// runtime's own metadata.
 pub(crate) enum ArmedFault {
     Random(InjectionPlan),
-    Exact(ExactFlip),
+    Exact(ExactFault),
     RuntimeState { trigger: u64, seed: u64 },
 }
 
@@ -365,15 +381,23 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
         &mut self.hooks
     }
 
-    /// Arms single-event-upset injection for the next run.
+    /// Arms random fault injection for the next run. The plan's
+    /// [`FaultModel`] selects the effect sampled at the trigger.
     pub fn set_injection(&mut self, plan: InjectionPlan) {
         self.injection = Some(ArmedFault::Random(plan));
     }
 
     /// Arms one deterministic single-bit flip for the next run
-    /// (exhaustive-enumeration mode).
+    /// (exhaustive-enumeration mode, SEU shorthand for
+    /// [`Machine::set_exact_fault`]).
     pub fn set_exact_flip(&mut self, flip: ExactFlip) {
-        self.injection = Some(ArmedFault::Exact(flip));
+        self.set_exact_fault(flip.into());
+    }
+
+    /// Arms one deterministic fault of any model for the next run
+    /// (exhaustive-enumeration mode).
+    pub fn set_exact_fault(&mut self, fault: ExactFault) {
+        self.injection = Some(ArmedFault::Exact(fault));
     }
 
     /// Arms a single-event upset against the prediction runtime's *own*
@@ -590,7 +614,7 @@ fn exec_loop<H: RuntimeHooks>(
                         region_depth > 0 && counters.region_retired >= plan.trigger
                     }
                 }
-                ArmedFault::Exact(flip) => boundary >= flip.at,
+                ArmedFault::Exact(fault) => boundary >= fault.at,
                 // The runtime's own metadata outlives region activations
                 // (the pending queue, for one, drains in the post-exit
                 // flush recheck), so once the trigger count is reached the
@@ -598,13 +622,43 @@ fn exec_loop<H: RuntimeHooks>(
                 ArmedFault::RuntimeState { trigger, .. } => counters.region_retired >= *trigger,
             };
             if due {
+                // A skip fault swallows the instruction the boundary is
+                // about to execute; the effect (counters, position) is
+                // applied here and the loop restarts at the next
+                // boundary.
+                let skips = matches!(
+                    armed,
+                    ArmedFault::Random(InjectionPlan {
+                        model: FaultModel::InstructionSkip,
+                        ..
+                    }) | ArmedFault::Exact(ExactFault {
+                        kind: ExactFaultKind::Skip,
+                        ..
+                    })
+                );
                 match armed {
+                    // The skip model strikes architectural instructions
+                    // only; over an intrinsic boundary the fault holds
+                    // fire (fall through, execute the intrinsic) and
+                    // retries at the next boundary, like a runtime-state
+                    // fault with no live target.
+                    _ if skips && skip_target_is_intrinsic(prog, &stack) => {}
+                    _ if skips => {
+                        let (record, trap) =
+                            fire_skip(prog, &mut stack, &mut counters, &mut boundary, region_depth);
+                        injected = Some(record);
+                        injection = None;
+                        if let Some(trap) = trap {
+                            break Termination::Trapped(trap);
+                        }
+                        continue;
+                    }
                     ArmedFault::Random(plan) => {
                         injected = inject(prog, plan, &mut stack, counters.retired);
                         injection = None;
                     }
-                    ArmedFault::Exact(flip) => {
-                        injected = inject_exact(prog, flip, &mut stack, counters.retired);
+                    ArmedFault::Exact(fault) => {
+                        injected = inject_exact(prog, fault, &mut stack, counters.retired);
                         injection = None;
                     }
                     ArmedFault::RuntimeState { seed, .. } => {
@@ -778,6 +832,9 @@ fn exec_loop<H: RuntimeHooks>(
                     if action.trap_detected {
                         break Termination::Trapped(Trap::FaultDetected);
                     }
+                    if action.trap_abort {
+                        break Termination::Trapped(Trap::RuntimeAbort);
+                    }
                     if let (Some(d), Some(v)) = (dst, action.value) {
                         write_reg(frame, *d, v, done);
                     }
@@ -941,7 +998,9 @@ pub(crate) fn cmp_op(ty: Ty, op: CmpOp, a: Value, b: Value) -> bool {
     }
 }
 
-/// Flips one random bit of one random live register (SEU).
+/// Applies the random register effect of `plan.model` (SEU bit flip or
+/// burst) to one random live register. Skip faults never reach here —
+/// they fire through [`fire_skip`].
 fn inject(
     prog: &Decoded<'_>,
     plan: &InjectionPlan,
@@ -964,51 +1023,153 @@ fn inject(
     if targets.is_empty() {
         return None;
     }
+    // The target draw precedes the effect draw for every model, so the
+    // SEU stream (and with it every pre-existing campaign golden) is
+    // unchanged by the generalization.
     let (fi, ri) = targets[rng.gen_range(0..targets.len())];
-    let bit = rng.gen_range(0..64u32);
     let old = stack[fi].regs[ri];
-    let new = old.with_bit_flipped(bit);
+    let (new, effect) = match plan.model {
+        FaultModel::InstructionSkip => unreachable!("skip faults fire through fire_skip"),
+        FaultModel::SingleBitSeu => {
+            let bit = rng.gen_range(0..64u32);
+            let new = old.with_bit_flipped(bit);
+            let effect = FaultEffect::BitFlip {
+                reg: Reg(ri as u32),
+                bit,
+                old_bits: old.bits(),
+                new_bits: new.bits(),
+            };
+            (new, effect)
+        }
+        FaultModel::MultiBitBurst { width } => {
+            let w = width.clamp(1, 64);
+            let (start, w, mask) = burst_window(rng.gen_range(0..(65 - w)), w);
+            let new = old.with_bits_flipped(mask);
+            let effect = FaultEffect::Burst {
+                reg: Reg(ri as u32),
+                start,
+                width: w,
+                old_bits: old.bits(),
+                new_bits: new.bits(),
+            };
+            (new, effect)
+        }
+    };
     stack[fi].regs[ri] = new;
     Some(InjectionRecord {
         function: prog.module.functions[stack[fi].func as usize].name.clone(),
         block: rskip_ir::BlockId(stack[fi].block),
         ip: stack[fi].ip as usize,
-        reg: Reg(ri as u32),
-        bit,
         at_retired,
-        old_bits: old.bits(),
-        new_bits: new.bits(),
+        effect,
     })
 }
 
-/// Flips the planned bit of the planned register in the innermost frame,
-/// or does nothing if that register has not been written yet (a flip in a
-/// never-written register is architecturally invisible: the verifier
-/// guarantees such registers are never read on this path).
+/// Applies the planned register effect (bit flip or burst) in the
+/// innermost frame, or does nothing if that register has not been written
+/// yet (a fault in a never-written register is architecturally invisible:
+/// the verifier guarantees such registers are never read on this path).
+/// Skip faults never reach here — they fire through [`fire_skip`].
 fn inject_exact(
     prog: &Decoded<'_>,
-    flip: &ExactFlip,
+    fault: &ExactFault,
     stack: &mut [Frame],
     at_retired: u64,
 ) -> Option<InjectionRecord> {
     let frame = stack.last_mut()?;
-    let ri = flip.reg.index();
+    let (reg, mask) = match fault.kind {
+        ExactFaultKind::BitFlip { reg, bit } => (reg, 1u64 << bit.min(63)),
+        ExactFaultKind::Burst { reg, start, width } => (reg, burst_window(start, width).2),
+        ExactFaultKind::Skip => unreachable!("skip faults fire through fire_skip"),
+    };
+    let ri = reg.index();
     if ri >= frame.regs.len() || !frame.written[ri] {
         return None;
     }
     let old = frame.regs[ri];
-    let new = old.with_bit_flipped(flip.bit);
+    let new = old.with_bits_flipped(mask);
     frame.regs[ri] = new;
+    let effect = match fault.kind {
+        ExactFaultKind::BitFlip { reg, bit } => FaultEffect::BitFlip {
+            reg,
+            bit,
+            old_bits: old.bits(),
+            new_bits: new.bits(),
+        },
+        ExactFaultKind::Burst { reg, start, width } => {
+            let (start, width, _) = burst_window(start, width);
+            FaultEffect::Burst {
+                reg,
+                start,
+                width,
+                old_bits: old.bits(),
+                new_bits: new.bits(),
+            }
+        }
+        ExactFaultKind::Skip => unreachable!(),
+    };
     Some(InjectionRecord {
         function: prog.module.functions[frame.func as usize].name.clone(),
         block: rskip_ir::BlockId(frame.block),
         ip: frame.ip as usize,
-        reg: flip.reg,
-        bit: flip.bit,
         at_retired,
-        old_bits: old.bits(),
-        new_bits: new.bits(),
+        effect,
     })
+}
+
+/// True when the step the innermost frame would execute next is an
+/// intrinsic call — the one shape a skip fault must hold fire over (the
+/// runtime interface executes host-side; swallowing a call would desync
+/// the runtime's own metadata rather than the emulated program state).
+fn skip_target_is_intrinsic(prog: &Decoded<'_>, stack: &[Frame]) -> bool {
+    let frame = stack.last().expect("non-empty stack");
+    prog.funcs[frame.func as usize].blocks[frame.block as usize]
+        .insts
+        .get(frame.ip as usize)
+        .is_some_and(|step| matches!(step.op, DInst::IntrinsicCall { .. }))
+}
+
+/// Fires an instruction-skip fault: the instruction or terminator the
+/// innermost frame would execute next retires as a bubble — counters and
+/// the boundary census advance exactly as for a real retirement — but
+/// nothing executes, and control falls through to the next instruction
+/// (for a skipped terminator: the next block in layout order). Skipping
+/// the terminator of a function's last block leaves nothing to fall
+/// through to: [`Trap::CodeRunoff`].
+fn fire_skip(
+    prog: &Decoded<'_>,
+    stack: &mut [Frame],
+    counters: &mut Counters,
+    boundary: &mut u64,
+    region_depth: u32,
+) -> (InjectionRecord, Option<Trap>) {
+    let frame = stack.last_mut().expect("non-empty stack");
+    let record = InjectionRecord {
+        function: prog.module.functions[frame.func as usize].name.clone(),
+        block: rskip_ir::BlockId(frame.block),
+        ip: frame.ip as usize,
+        at_retired: counters.retired,
+        effect: FaultEffect::SkippedInstruction,
+    };
+    // The bubble still retires.
+    *boundary += 1;
+    counters.retired += 1;
+    if region_depth > 0 {
+        counters.region_retired += 1;
+    }
+    let func = &prog.funcs[frame.func as usize];
+    let block = &func.blocks[frame.block as usize];
+    let trap = if (frame.ip as usize) < block.insts.len() {
+        frame.ip += 1;
+        None
+    } else if (frame.block as usize) + 1 < func.blocks.len() {
+        frame.block += 1;
+        frame.ip = 0;
+        None
+    } else {
+        Some(Trap::CodeRunoff)
+    };
+    (record, trap)
 }
 
 /// Convenience: run a module's entry function on a fresh machine without
@@ -1472,10 +1633,11 @@ mod tests {
                 trigger: 500,
                 seed,
                 anywhere: false,
+                model: FaultModel::SingleBitSeu,
             });
             let out = machine.run("main", &[]);
             let rec = out.injection.expect("target found");
-            assert_eq!((rec.old_bits ^ rec.new_bits).count_ones(), 1);
+            assert_eq!(rec.effect.flipped_bits().count_ones(), 1);
             if machine.read_global("out") != golden.as_slice() {
                 corrupted += 1;
             }
@@ -1501,9 +1663,205 @@ mod tests {
             trigger: 0,
             seed: 1,
             anywhere: false,
+            model: FaultModel::SingleBitSeu,
         });
         let out = machine.run("main", &[]);
         assert!(out.injection.is_none());
         assert_eq!(returned_i(&out), 3);
+    }
+
+    /// A three-instruction straight-line function for exact-fault probes:
+    /// `x = 1 + 2; y = x * 10; ret y`.
+    fn straight_line() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Some(Ty::I64));
+        let x = f.bin(BinOp::Add, Ty::I64, Operand::imm_i(1), Operand::imm_i(2));
+        let y = f.bin(BinOp::Mul, Ty::I64, Operand::reg(x), Operand::imm_i(10));
+        f.ret(Some(Operand::reg(y)));
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn skip_fault_turns_instruction_into_bubble() {
+        // Skipping `y = x * 10` leaves y at its frame-init value, so the
+        // ret returns stale data instead of 30 — while the retired count
+        // still includes the bubble.
+        let m = straight_line();
+        // Clean run: boundaries are 0:(add) 1:(mul) 2:(ret).
+        let clean = run_simple(&m, "main", &[]);
+        assert_eq!(returned_i(&clean), 30);
+        assert_eq!(clean.counters.retired, 3);
+
+        // Skip the mul at boundary 1: y keeps the frame-default value.
+        let mut machine = Machine::new(&m, NoopHooks);
+        machine.set_exact_fault(ExactFault {
+            at: 1,
+            kind: ExactFaultKind::Skip,
+        });
+        let out = machine.run("main", &[]);
+        let rec = out.injection.as_ref().expect("skip fired");
+        assert_eq!(rec.effect, FaultEffect::SkippedInstruction);
+        assert_eq!(rec.at_retired, 1);
+        assert_eq!(rec.ip, 1, "records the skipped instruction's position");
+        // The bubble still retires: same dynamic instruction count.
+        assert_eq!(out.counters.retired, clean.counters.retired);
+        assert_ne!(returned_i(&out), 30, "skipped mul must change the result");
+    }
+
+    #[test]
+    fn skipping_final_terminator_runs_off_the_code() {
+        let m = straight_line();
+        let mut machine = Machine::new(&m, NoopHooks);
+        machine.set_exact_fault(ExactFault {
+            at: 2,
+            kind: ExactFaultKind::Skip,
+        });
+        let out = machine.run("main", &[]);
+        assert!(out.injection.is_some(), "skip of the ret fires");
+        assert_eq!(
+            out.termination,
+            Termination::Trapped(Trap::CodeRunoff),
+            "skipping the last block's terminator leaves nothing to run"
+        );
+    }
+
+    #[test]
+    fn skip_past_program_end_never_fires() {
+        // Dead-target accounting: the boundary census of the program is
+        // 0..3, so a skip armed at boundary 1000 must report *no*
+        // injection rather than silently pretending it fired.
+        let m = straight_line();
+        let mut machine = Machine::new(&m, NoopHooks);
+        machine.set_exact_fault(ExactFault {
+            at: 1000,
+            kind: ExactFaultKind::Skip,
+        });
+        let out = machine.run("main", &[]);
+        assert!(out.injection.is_none(), "skip past program end is dead");
+        assert_eq!(returned_i(&out), 30);
+    }
+
+    #[test]
+    fn skip_holds_fire_over_intrinsic_boundary() {
+        // Boundaries: 0:(x = 1 + 2) 1:(print x) 2:(y = x * 10) 3:(ret y).
+        // A skip armed at the print boundary must not swallow the
+        // intrinsic; it holds fire and strikes the mul instead.
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = mb.function("main", vec![], Some(Ty::I64));
+        let x = f.bin(BinOp::Add, Ty::I64, Operand::imm_i(1), Operand::imm_i(2));
+        f.intrinsic(Intrinsic::Print, vec![Operand::reg(x)]);
+        let y = f.bin(BinOp::Mul, Ty::I64, Operand::reg(x), Operand::imm_i(10));
+        f.ret(Some(Operand::reg(y)));
+        f.finish();
+        let m = mb.finish();
+
+        let mut machine = Machine::new(&m, NoopHooks);
+        machine.set_exact_fault(ExactFault {
+            at: 1,
+            kind: ExactFaultKind::Skip,
+        });
+        let out = machine.run("main", &[]);
+        let rec = out.injection.as_ref().expect("held skip fires later");
+        assert_eq!(rec.effect, FaultEffect::SkippedInstruction);
+        assert_eq!(
+            rec.ip, 2,
+            "strikes the mul after the intrinsic, not the intrinsic"
+        );
+        assert_eq!(
+            out.prints,
+            vec![Value::I(3)],
+            "the intrinsic still executed"
+        );
+        assert_ne!(returned_i(&out), 30, "the mul was the instruction skipped");
+    }
+
+    #[test]
+    fn burst_on_unwritten_register_never_fires() {
+        let m = straight_line();
+        // Reg 1 (y) is unwritten at boundary 1 (only x has been written).
+        let mut machine = Machine::new(&m, NoopHooks);
+        machine.set_exact_fault(ExactFault {
+            at: 1,
+            kind: ExactFaultKind::Burst {
+                reg: Reg(1),
+                start: 0,
+                width: 8,
+            },
+        });
+        let out = machine.run("main", &[]);
+        assert!(out.injection.is_none(), "burst on dead register is dead");
+        assert_eq!(returned_i(&out), 30);
+    }
+
+    #[test]
+    fn exact_burst_flips_the_window() {
+        let m = straight_line();
+        // x = 3 at boundary 1; flip bits 0..4 of it: 3 ^ 0b1111 = 12, so
+        // the ret returns 120.
+        let mut machine = Machine::new(&m, NoopHooks);
+        machine.set_exact_fault(ExactFault {
+            at: 1,
+            kind: ExactFaultKind::Burst {
+                reg: Reg(0),
+                start: 0,
+                width: 4,
+            },
+        });
+        let out = machine.run("main", &[]);
+        let rec = out.injection.as_ref().expect("burst fired");
+        match rec.effect {
+            FaultEffect::Burst {
+                reg,
+                start,
+                width,
+                old_bits,
+                new_bits,
+            } => {
+                assert_eq!((reg, start, width), (Reg(0), 0, 4));
+                assert_eq!(old_bits ^ new_bits, 0b1111);
+            }
+            ref other => panic!("expected burst effect, got {other:?}"),
+        }
+        assert_eq!(returned_i(&out), 120);
+    }
+
+    #[test]
+    fn random_burst_flips_a_contiguous_window() {
+        let m = straight_line();
+        for seed in 0..16 {
+            let mut machine = Machine::new(&m, NoopHooks);
+            machine.set_injection(InjectionPlan {
+                trigger: 1,
+                seed,
+                anywhere: true,
+                model: FaultModel::MultiBitBurst { width: 5 },
+            });
+            let out = machine.run("main", &[]);
+            let rec = out.injection.as_ref().expect("live target exists");
+            let mask = rec.effect.flipped_bits();
+            assert_eq!(mask.count_ones(), 5, "seed {seed}: window width");
+            assert_eq!(
+                mask >> mask.trailing_zeros(),
+                0b11111,
+                "seed {seed}: window contiguity"
+            );
+        }
+    }
+
+    #[test]
+    fn random_skip_fires_as_bubble() {
+        let m = straight_line();
+        let mut machine = Machine::new(&m, NoopHooks);
+        machine.set_injection(InjectionPlan {
+            trigger: 1,
+            seed: 7,
+            anywhere: true,
+            model: FaultModel::InstructionSkip,
+        });
+        let out = machine.run("main", &[]);
+        let rec = out.injection.as_ref().expect("skip fired");
+        assert_eq!(rec.effect, FaultEffect::SkippedInstruction);
+        assert_ne!(returned_i(&out), 30);
     }
 }

@@ -41,14 +41,25 @@
 //!   per-instruction steps.
 //!
 //! Traced runs (the enumeration census) always use the reference loop;
-//! probe replays with [`crate::ExactFlip`] run threaded and fire at the
+//! probe replays with [`crate::ExactFault`] run threaded and fire at the
 //! identical boundary.
+//!
+//! Instruction-skip faults ride the same machinery: a skip is an armed
+//! event, so `next_check` already forces the loop to a genuine
+//! single-instruction boundary (decomposing any fused group) before it
+//! can fire. Firing then advances `pc` by one — exactly the reference
+//! tier's fall-through to the next instruction or next block in layout
+//! order, because flattening emits blocks in index order — and running
+//! off the end of the function's code is the same [`Trap::CodeRunoff`].
 
 use rskip_ir::{Intrinsic, Module, Operand, Reg, Value};
 
 use crate::counters::Counters;
 use crate::decoded::{DFunc, DInst, DTerm, Decoded};
-use crate::fault::InjectionRecord;
+use crate::fault::{
+    burst_window, ExactFault, ExactFaultKind, FaultEffect, FaultModel, InjectionPlan,
+    InjectionRecord,
+};
 use crate::fuse;
 use crate::hooks::RuntimeHooks;
 use crate::machine::{bin_op, cmp_op, un_op, ArmedFault, ExecConfig, ExecTier};
@@ -541,6 +552,9 @@ fn h_intrinsic(ctx: &mut Ctx<'_>, st: &TStep) -> Control {
     ctx.next_check = ctx.boundary;
     if action.trap_detected {
         return halt(ctx, Trap::FaultDetected);
+    }
+    if action.trap_abort {
+        return halt(ctx, Trap::RuntimeAbort);
     }
     if st.flags & F_HAS_DST != 0 {
         if let Some(v) = action.value {
@@ -1163,11 +1177,34 @@ fn handle_events(ctx: &mut Ctx<'_>) -> Option<Termination> {
                     ctx.region_depth > 0 && ctx.counters.region_retired >= plan.trigger
                 }
             }
-            ArmedFault::Exact(flip) => ctx.boundary >= flip.at,
+            ArmedFault::Exact(fault) => ctx.boundary >= fault.at,
             ArmedFault::RuntimeState { trigger, .. } => ctx.counters.region_retired >= *trigger,
         };
         if due {
             match &armed {
+                // Skip faults swallow the step at the current pc; see the
+                // module docs for the decomposition argument.
+                ArmedFault::Random(InjectionPlan {
+                    model: FaultModel::InstructionSkip,
+                    ..
+                })
+                | ArmedFault::Exact(ExactFault {
+                    kind: ExactFaultKind::Skip,
+                    ..
+                }) => {
+                    // Over an intrinsic boundary the skip holds fire and
+                    // retries at the next one (the reference loop's rule);
+                    // the intrinsic itself forces that re-check.
+                    if skip_target_is_intrinsic(ctx) {
+                        ctx.injection = Some(armed);
+                    } else {
+                        let (record, trap) = fire_skip(ctx);
+                        ctx.injected = Some(record);
+                        if let Some(trap) = trap {
+                            return Some(Termination::Trapped(trap));
+                        }
+                    }
+                }
                 ArmedFault::Random(plan) => {
                     ctx.injected = inject_random(
                         ctx.module,
@@ -1178,11 +1215,11 @@ fn handle_events(ctx: &mut Ctx<'_>) -> Option<Termination> {
                         ctx.counters.retired,
                     );
                 }
-                ArmedFault::Exact(flip) => {
+                ArmedFault::Exact(fault) => {
                     ctx.injected = inject_exact(
                         ctx.module,
                         ctx.tprog,
-                        flip,
+                        fault,
                         &mut ctx.frame,
                         ctx.counters.retired,
                     );
@@ -1218,7 +1255,9 @@ fn next_check(ctx: &Ctx<'_>) -> u64 {
         let f = match armed {
             ArmedFault::Random(plan) => {
                 if plan.anywhere {
-                    plan.trigger - ctx.counters.retired
+                    // `.max(1)`: a due skip held over an intrinsic stays
+                    // armed past its trigger — retry at the next boundary.
+                    (plan.trigger.saturating_sub(ctx.counters.retired)).max(1)
                 } else if ctx.counters.region_retired >= plan.trigger {
                     // Due-ness now only awaits a RegionEnter, which is an
                     // intrinsic and forces its own re-check.
@@ -1227,7 +1266,9 @@ fn next_check(ctx: &Ctx<'_>) -> u64 {
                     plan.trigger - ctx.counters.region_retired
                 }
             }
-            ArmedFault::Exact(flip) => flip.at - ctx.boundary,
+            // `.max(1)` as above: an exact skip held over an intrinsic is
+            // already past `at` and retries at the next boundary.
+            ArmedFault::Exact(fault) => (fault.at.saturating_sub(ctx.boundary)).max(1),
             ArmedFault::RuntimeState { trigger, .. } => {
                 if ctx.counters.region_retired >= *trigger {
                     // Armed and due, but the hooks held no live target:
@@ -1243,13 +1284,13 @@ fn next_check(ctx: &Ctx<'_>) -> u64 {
     ctx.boundary.saturating_add(fuel)
 }
 
-/// Threaded-tier twin of the reference SEU injector: identical target
+/// Threaded-tier twin of the reference random injector: identical target
 /// enumeration order (outermost frame first, running frame last), RNG
-/// stream and record fields.
+/// stream, effect sampling and record fields.
 fn inject_random(
     module: &Module,
     tprog: &ThreadedModule,
-    plan: &crate::fault::InjectionPlan,
+    plan: &InjectionPlan,
     stack: &mut [TFrame],
     frame: &mut TFrame,
     at_retired: u64,
@@ -1270,49 +1311,126 @@ fn inject_random(
         return None;
     }
     let (fi, ri) = targets[rng.gen_range(0..targets.len())];
-    let bit = rng.gen_range(0..64u32);
     let fr: &mut TFrame = if fi < n_stack { &mut stack[fi] } else { frame };
     let old = fr.regs[ri];
-    let new = old.with_bit_flipped(bit);
+    let (new, effect) = match plan.model {
+        FaultModel::InstructionSkip => unreachable!("skip faults fire through fire_skip"),
+        FaultModel::SingleBitSeu => {
+            let bit = rng.gen_range(0..64u32);
+            let new = old.with_bit_flipped(bit);
+            let effect = FaultEffect::BitFlip {
+                reg: Reg(ri as u32),
+                bit,
+                old_bits: old.bits(),
+                new_bits: new.bits(),
+            };
+            (new, effect)
+        }
+        FaultModel::MultiBitBurst { width } => {
+            let w = width.clamp(1, 64);
+            let (start, w, mask) = burst_window(rng.gen_range(0..(65 - w)), w);
+            let new = old.with_bits_flipped(mask);
+            let effect = FaultEffect::Burst {
+                reg: Reg(ri as u32),
+                start,
+                width: w,
+                old_bits: old.bits(),
+                new_bits: new.bits(),
+            };
+            (new, effect)
+        }
+    };
     fr.regs[ri] = new;
     let (block, ip) = tprog.funcs[fr.func as usize].loc[fr.pc as usize];
     Some(InjectionRecord {
         function: module.functions[fr.func as usize].name.clone(),
         block: rskip_ir::BlockId(block),
         ip: ip as usize,
-        reg: Reg(ri as u32),
-        bit,
         at_retired,
-        old_bits: old.bits(),
-        new_bits: new.bits(),
+        effect,
     })
 }
 
-/// Threaded-tier twin of the reference exact-flip injector (innermost
+/// Threaded-tier twin of the reference exact-fault injector (innermost
 /// frame only; a never-written register is architecturally invisible).
 fn inject_exact(
     module: &Module,
     tprog: &ThreadedModule,
-    flip: &crate::fault::ExactFlip,
+    fault: &ExactFault,
     frame: &mut TFrame,
     at_retired: u64,
 ) -> Option<InjectionRecord> {
-    let ri = flip.reg.index();
+    let (reg, mask) = match fault.kind {
+        ExactFaultKind::BitFlip { reg, bit } => (reg, 1u64 << bit.min(63)),
+        ExactFaultKind::Burst { reg, start, width } => (reg, burst_window(start, width).2),
+        ExactFaultKind::Skip => unreachable!("skip faults fire through fire_skip"),
+    };
+    let ri = reg.index();
     if ri >= frame.regs.len() || !frame.written[ri] {
         return None;
     }
     let old = frame.regs[ri];
-    let new = old.with_bit_flipped(flip.bit);
+    let new = old.with_bits_flipped(mask);
     frame.regs[ri] = new;
+    let effect = match fault.kind {
+        ExactFaultKind::BitFlip { reg, bit } => FaultEffect::BitFlip {
+            reg,
+            bit,
+            old_bits: old.bits(),
+            new_bits: new.bits(),
+        },
+        ExactFaultKind::Burst { reg, start, width } => {
+            let (start, width, _) = burst_window(start, width);
+            FaultEffect::Burst {
+                reg,
+                start,
+                width,
+                old_bits: old.bits(),
+                new_bits: new.bits(),
+            }
+        }
+        ExactFaultKind::Skip => unreachable!(),
+    };
     let (block, ip) = tprog.funcs[frame.func as usize].loc[frame.pc as usize];
     Some(InjectionRecord {
         function: module.functions[frame.func as usize].name.clone(),
         block: rskip_ir::BlockId(block),
         ip: ip as usize,
-        reg: flip.reg,
-        bit: flip.bit,
         at_retired,
-        old_bits: old.bits(),
-        new_bits: new.bits(),
+        effect,
     })
+}
+
+/// Threaded-tier twin of the reference hold-fire rule: true when the
+/// step at the current pc is an intrinsic call, which a skip fault must
+/// never swallow (the runtime interface executes host-side; swallowing a
+/// call would desync the runtime's own metadata rather than the emulated
+/// program state).
+fn skip_target_is_intrinsic(ctx: &Ctx<'_>) -> bool {
+    let (block, ip) = ctx.tprog.funcs[ctx.frame.func as usize].loc[ctx.frame.pc as usize];
+    ctx.dfuncs[ctx.frame.func as usize].blocks[block as usize]
+        .insts
+        .get(ip as usize)
+        .is_some_and(|step| matches!(step.op, DInst::IntrinsicCall { .. }))
+}
+
+/// Threaded-tier twin of the reference skip path: the step at the
+/// current pc retires as a bubble and control falls through to the next
+/// flat step, which is the next instruction or the next block in layout
+/// order — exactly the reference tier's fall-through. Running past the
+/// function's last step is [`Trap::CodeRunoff`].
+fn fire_skip(ctx: &mut Ctx<'_>) -> (InjectionRecord, Option<Trap>) {
+    let (block, ip) = ctx.tprog.funcs[ctx.frame.func as usize].loc[ctx.frame.pc as usize];
+    let record = InjectionRecord {
+        function: ctx.module.functions[ctx.frame.func as usize].name.clone(),
+        block: rskip_ir::BlockId(block),
+        ip: ip as usize,
+        at_retired: ctx.counters.retired,
+        effect: FaultEffect::SkippedInstruction,
+    };
+    // The bubble still retires.
+    tick(ctx);
+    ctx.frame.pc += 1;
+    let trap = (ctx.frame.pc as usize >= ctx.code.len()).then_some(Trap::CodeRunoff);
+    (record, trap)
 }

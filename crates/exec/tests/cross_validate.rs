@@ -100,19 +100,19 @@ fn assert_covered_faults_harmless(module: &Module, model: ValidationModel) {
 
     let mut claimed = 0usize;
     for p in &en.probes {
-        if !report.map.is_covered(&p.function, p.block, p.ip, p.reg) {
+        let Some(reg) = p.reg() else { continue };
+        if !report.map.is_covered(&p.function, p.block, p.ip, reg) {
             continue;
         }
         claimed += 1;
         assert!(
             matches!(p.outcome, OutcomeClass::Correct | OutcomeClass::Detected),
-            "claimed-covered flip escaped: {:?} at {}:{}[{}] %{} bit {} -> {}",
+            "claimed-covered flip escaped: {:?} at {}:{}[{}] {:?} -> {}",
             p.outcome,
             p.function,
             p.block.0,
             p.ip,
-            p.reg.0,
-            p.bit,
+            p.kind,
             p.outcome,
         );
     }
@@ -241,7 +241,7 @@ fn dropped_vote_window_is_witnessed_by_sdc() {
     // The window is real: some flip of the raw (unvoted) register slips
     // through to the output unrepaired and undetected.
     assert!(
-        en.sdc_probes().any(|p| p.reg == raw),
+        en.sdc_probes().any(|p| p.reg() == Some(raw)),
         "no undetected corruption ever witnessed the dropped-vote window"
     );
 }

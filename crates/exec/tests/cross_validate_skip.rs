@@ -1,0 +1,243 @@
+//! Cross-validation of `rskip-lint`'s *per-model* coverage claims against
+//! exhaustive fault enumeration, mirroring `tests/cross_validate.rs` for
+//! the two fault models the paper's SEU campaign never exercises:
+//!
+//! 1. every instruction the linter claims skip-covered must, when it
+//!    retires as a bubble, leave the run masked or detected — an SDC
+//!    under a claimed skip is a linter (or pass) bug;
+//! 2. multi-bit bursts ride the same register claims as single-bit SEUs
+//!    (the recognizers are value-agnostic), so a claimed-covered burst
+//!    must be equally harmless;
+//! 3. a hand-broken module must be witnessed by an undetected skip
+//!    corruption, so the contract is falsifiable in both directions.
+
+use rskip_analysis::{lint_module, ValidationModel};
+use rskip_exec::{enumerate_faults, ExecConfig, FaultModel, NoopHooks, OutcomeClass};
+use rskip_ir::{BinOp, CmpOp, Inst, Module, ModuleBuilder, Operand, Reg, Ty, Value, Verifier};
+use rskip_passes::{apply_swift, apply_swift_r};
+
+/// Burst window starts swept per (boundary, register); the enumerator
+/// clamps starts so the window fits in 64 bits.
+const STARTS: [u32; 5] = [0, 1, 7, 31, 62];
+
+const MAX_BOUNDARIES: u64 = 4096;
+
+fn exec_config() -> ExecConfig {
+    ExecConfig {
+        // A corrupted loop counter can spin; bound each probe run.
+        step_limit: 100_000,
+        ..ExecConfig::default()
+    }
+}
+
+/// The same micro workload as `cross_validate.rs`: sum five array
+/// elements into an output cell.
+fn micro_module() -> Module {
+    let mut mb = ModuleBuilder::new("micro");
+    let a = mb.global_init(
+        "a",
+        Ty::I64,
+        [3, 1, 4, 1, 5].into_iter().map(Value::I).collect(),
+    );
+    let out = mb.global_zeroed("out", Ty::I64, 1);
+
+    let mut f = mb.function("main", vec![], None);
+    let entry = f.entry_block();
+    let header = f.new_block("header");
+    let body = f.new_block("body");
+    let exit = f.new_block("exit");
+    let i = f.def_reg(Ty::I64, "i");
+    let s = f.def_reg(Ty::I64, "s");
+
+    f.switch_to(entry);
+    f.mov(i, Operand::imm_i(0));
+    f.mov(s, Operand::imm_i(0));
+    f.br(header);
+
+    f.switch_to(header);
+    let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(5));
+    f.cond_br(Operand::reg(c), body, exit);
+
+    f.switch_to(body);
+    let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(i));
+    let v = f.load(Ty::I64, Operand::reg(addr));
+    f.bin_into(s, BinOp::Add, Ty::I64, Operand::reg(s), Operand::reg(v));
+    f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+    f.br(header);
+
+    f.switch_to(exit);
+    f.store(Ty::I64, Operand::global(out), Operand::reg(s));
+    f.ret(None);
+    f.finish();
+    mb.finish()
+}
+
+/// Direction 1 for skips: no claimed skip-covered bubble may end in
+/// silent corruption.
+fn assert_claimed_skips_harmless(module: &Module, model: ValidationModel) {
+    Verifier::new(module).verify().expect("module verifies");
+    let report = lint_module(module, model);
+    assert!(report.is_clean(), "protected micro module must lint clean");
+    assert!(report.map.skip_claims() > 0, "skip-coverage map is empty");
+
+    let en = enumerate_faults(
+        module,
+        "main",
+        &[],
+        &exec_config(),
+        || NoopHooks,
+        FaultModel::InstructionSkip,
+        &[],
+        MAX_BOUNDARIES,
+    )
+    .expect("enumeration runs");
+    assert!(!en.probes.is_empty(), "skip enumeration produced no probes");
+
+    let mut claimed = 0usize;
+    for p in &en.probes {
+        if !report.map.is_skip_covered(&p.function, p.block, p.ip) {
+            continue;
+        }
+        claimed += 1;
+        assert!(
+            matches!(p.outcome, OutcomeClass::Correct | OutcomeClass::Detected),
+            "claimed-covered skip escaped: {:?} at {}:{}[{}]",
+            p.outcome,
+            p.function,
+            p.block.0,
+            p.ip,
+        );
+    }
+    // The sweep must actually exercise claimed instructions, or the
+    // assertion above is vacuous.
+    assert!(
+        claimed > 0,
+        "no enumerated skip ever hit a claimed-covered instruction"
+    );
+}
+
+#[test]
+fn swift_r_claimed_skips_are_masked() {
+    let mut m = micro_module();
+    apply_swift_r(&mut m);
+    assert_claimed_skips_harmless(&m, ValidationModel::Vote);
+}
+
+#[test]
+fn swift_claimed_skips_are_masked_or_detected() {
+    let mut m = micro_module();
+    apply_swift(&mut m);
+    assert_claimed_skips_harmless(&m, ValidationModel::Detect);
+}
+
+/// Direction 1 for bursts: the register claims are value-agnostic, so a
+/// claimed-covered multi-bit burst must be as harmless as a single flip.
+#[test]
+fn swift_r_claimed_bursts_are_masked() {
+    let mut m = micro_module();
+    apply_swift_r(&mut m);
+    let report = lint_module(&m, ValidationModel::Vote);
+    assert!(report.is_clean());
+
+    let en = enumerate_faults(
+        &m,
+        "main",
+        &[],
+        &exec_config(),
+        || NoopHooks,
+        FaultModel::MultiBitBurst { width: 4 },
+        &STARTS,
+        MAX_BOUNDARIES,
+    )
+    .expect("enumeration runs");
+
+    let mut claimed = 0usize;
+    for p in &en.probes {
+        let Some(reg) = p.reg() else { continue };
+        if !report.map.is_covered(&p.function, p.block, p.ip, reg) {
+            continue;
+        }
+        claimed += 1;
+        assert!(
+            matches!(p.outcome, OutcomeClass::Correct | OutcomeClass::Detected),
+            "claimed-covered burst escaped: {:?} at {}:{}[{}] {:?}",
+            p.outcome,
+            p.function,
+            p.block.0,
+            p.ip,
+            p.kind,
+        );
+    }
+    assert!(
+        claimed > en.probes.len() / 10,
+        "only {claimed} of {} burst probes hit claimed-covered state",
+        en.probes.len()
+    );
+}
+
+/// Rewrites the store of the sum to consume a raw replica instead of the
+/// majority-vote result (same breakage as `cross_validate.rs`). Returns
+/// the raw register now feeding the store.
+fn unvote_one_store(module: &mut Module, func: &str) -> Reg {
+    let f = module
+        .functions
+        .iter_mut()
+        .find(|f| f.name == func)
+        .expect("function exists");
+    let mut vote_arm: Vec<(Reg, Operand)> = Vec::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            if let Inst::Select { dst, on_true, .. } = *inst {
+                vote_arm.push((dst, on_true));
+            }
+        }
+    }
+    for b in f.blocks.iter_mut() {
+        for inst in b.insts.iter_mut() {
+            if let Inst::Store { value, .. } = inst {
+                if let Operand::Reg(v) = *value {
+                    if let Some((_, arm)) = vote_arm.iter().find(|(d, _)| *d == v) {
+                        *value = *arm;
+                        if let Operand::Reg(raw) = *arm {
+                            return raw;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    panic!("no voted store found to break");
+}
+
+/// Direction 2: the dropped-vote window must be witnessed by an
+/// *undetected skip* — some bubble leaves a stale value that reaches the
+/// output unrepaired. The skip contract is falsifiable, not vacuous.
+#[test]
+fn dropped_vote_window_is_witnessed_by_skip_sdc() {
+    let mut m = micro_module();
+    apply_swift_r(&mut m);
+    unvote_one_store(&mut m, "main");
+    Verifier::new(&m)
+        .verify()
+        .expect("broken module still verifies");
+
+    let report = lint_module(&m, ValidationModel::Vote);
+    assert!(!report.is_clean(), "dropped vote must be diagnosed");
+
+    let en = enumerate_faults(
+        &m,
+        "main",
+        &[],
+        &exec_config(),
+        || NoopHooks,
+        FaultModel::InstructionSkip,
+        &[],
+        MAX_BOUNDARIES,
+    )
+    .expect("enumeration runs");
+
+    assert!(
+        en.sdc_probes().next().is_some(),
+        "no undetected skip corruption ever witnessed the dropped-vote window"
+    );
+}

@@ -237,7 +237,9 @@ fn run_width_with(setup: &BenchSetup, options: &EvalOptions) -> Vec<WidthPoint> 
 pub fn run_recovery(options: &EvalOptions, runs: u32) -> Vec<RecoveryPoint> {
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
-    use rskip_exec::{classify_outcome, InjectionPlan, OutcomeClass, Termination, Trap};
+    use rskip_exec::{
+        classify_outcome, FaultModel, InjectionPlan, OutcomeClass, Termination, Trap,
+    };
 
     let bench = benchmark_by_name("conv1d").expect("registry");
     let module = bench.build(options.size);
@@ -275,6 +277,7 @@ pub fn run_recovery(options: &EvalOptions, runs: u32) -> Vec<RecoveryPoint> {
                 trigger: rng.gen_range(0..clean_region),
                 seed: rng.gen(),
                 anywhere: false,
+                model: FaultModel::SingleBitSeu,
             };
             let mut machine = Machine::with_config(&p.module, NoopHooks, config.clone());
             input.apply(&mut machine);

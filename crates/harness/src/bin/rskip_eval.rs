@@ -16,6 +16,7 @@
 //! rskip-eval lint   [--size ...] [--json]
 //! rskip-eval supervise [--size ...] [--runs N]
 //! rskip-eval bench  [--size ...] [--runs N] [--bench NAME] [--tier match|threaded-nofuse|threaded] [--json]
+//! rskip-eval campaign [--size ...] [--runs N] [--bench NAME] [--fault-model seu|skip|burst:N[,..]] [--json]
 //! ```
 //!
 //! With `--out DIR`, raw results are also written as JSON.
@@ -26,6 +27,16 @@
 //! diagnostic is found and 0 on a clean suite. `--json` swaps the table
 //! for machine-readable output (same exit-code contract). `verify
 //! --json` does the same for store integrity reports.
+//!
+//! `campaign` runs one benchmark's statistical fault-injection campaign
+//! (UNSAFE, SWIFT-R, AR20) under a set of fault models. `--fault-model`
+//! takes `seu`, `skip` or `burst:N` (N adjacent bits; plain `burst` is
+//! `burst:4`), may repeat or hold a comma list, and defaults to all three
+//! (`seu,skip,burst:4`). Model seeds are composition-independent: the
+//! `seu` column is byte-identical to `fig9`'s conv1d numbers at equal
+//! `--runs`, no matter which other models ran. `--json` prints the
+//! machine-readable report; it exits 1 if any cell classifies the wrong
+//! trial count or never fires its fault.
 //!
 //! `bench` measures serial fault-injection-campaign throughput per
 //! execution tier (reference `match` interpreter vs the direct-threaded
@@ -67,6 +78,7 @@ struct Args {
     json: bool,
     tier: Option<rskip_exec::ExecTier>,
     bench: String,
+    fault_models: Vec<rskip_exec::FaultModel>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         tier: None,
         bench: "conv1d".to_string(),
+        fault_models: Vec::new(),
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -107,6 +120,14 @@ fn parse_args() -> Result<Args, String> {
                 ))?);
             }
             "--bench" => parsed.bench = value()?,
+            "--fault-model" => {
+                for part in value()?.split(',') {
+                    let m = rskip_exec::FaultModel::parse(part).ok_or(format!(
+                        "unknown fault model `{part}` (seu | skip | burst:N, N in 1..=64)"
+                    ))?;
+                    parsed.fault_models.push(m);
+                }
+            }
             "--out" => parsed.out = Some(PathBuf::from(value()?)),
             "--store" => parsed.store = Some(PathBuf::from(value()?)),
             "--json" => parsed.json = true,
@@ -118,9 +139,10 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: rskip-eval <table1|fig2|fig7|fig8a|fig8b|fig9|tradeoff|cost-ratio|ablations|all\
-     |supervise|lint|train|inspect|verify|bench> \
+     |supervise|lint|train|inspect|verify|bench|campaign> \
      [--size tiny|small|full] [--runs N] [--inputs N] [--out DIR] [--store DIR] [--json] \
-     [--tier match|threaded-nofuse|threaded] [--bench NAME]"
+     [--tier match|threaded-nofuse|threaded] [--bench NAME] \
+     [--fault-model seu|skip|burst:N[,...]]"
         .to_string()
 }
 
@@ -358,6 +380,38 @@ fn main() {
                     );
                     std::process::exit(1);
                 }
+            }
+        }
+        "campaign" => {
+            let models = if args.fault_models.is_empty() {
+                rskip_harness::fault_models::default_models()
+            } else {
+                args.fault_models.clone()
+            };
+            let report = rskip_harness::fault_models::run_with(
+                &engine,
+                vec![args.bench.clone()],
+                args.runs,
+                &models,
+            );
+            if args.json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => {
+                        eprintln!("serialization failed: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                print!("{}", report.render());
+            }
+            save_json(&args.out, "fault_models", &report);
+            let violations = report.check();
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("rskip-eval campaign: FAIL {v}");
+                }
+                std::process::exit(1);
             }
         }
         "cost-ratio" => {

@@ -1,9 +1,10 @@
 //! Parallel fault-injection campaigns.
 //!
 //! A [`Campaign`] is a fixed experiment: one protected module (decoded
-//! once), one input, one golden output, `trials` single-event-upset runs.
-//! Trials fan out across a scoped thread pool, and the result is
-//! **byte-identical regardless of thread count or schedule**:
+//! once), one input, one golden output, `trials` fault-injection runs
+//! drawn from one [`FaultModel`] (single-bit SEU by default). Trials fan
+//! out across a scoped thread pool, and the result is **byte-identical
+//! regardless of thread count or schedule**:
 //!
 //! * each trial's randomness comes from its own
 //!   `ChaCha8Rng::seed_from_u64(trial_seed(seed0, trial))` — a SplitMix64
@@ -27,7 +28,8 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
 use rskip_exec::{
-    classify_outcome, Decoded, ExecConfig, InjectionPlan, Machine, OutcomeClass, RuntimeHooks,
+    classify_outcome, Decoded, ExecConfig, FaultModel, InjectionPlan, Machine, OutcomeClass,
+    RuntimeHooks,
 };
 use rskip_ir::{Module, Value};
 use rskip_workloads::InputSet;
@@ -125,6 +127,11 @@ pub struct TrialOutcome {
     pub class: OutcomeClass,
     /// Whether the scheme's explicit recovery machinery fired.
     pub recovered: bool,
+    /// Whether the armed fault actually landed. A trial whose trigger the
+    /// run never reached, or whose drawn target was dead, is a clean run
+    /// in disguise — [`CampaignStats`] counts it separately instead of
+    /// letting it inflate the protection rate silently.
+    pub fired: bool,
 }
 
 /// Campaign aggregate — a commutative monoid under [`merge`].
@@ -138,6 +145,10 @@ pub struct CampaignStats {
     pub false_negatives: ClassCounts,
     /// Trials where recovery fired.
     pub recoveries: u64,
+    /// Trials whose armed fault never landed (trigger past the run's
+    /// dynamic length, or a dead drawn target): effectively clean runs,
+    /// counted so they can be reported rather than silently dropped.
+    pub not_fired: u64,
 }
 
 impl CampaignStats {
@@ -150,6 +161,9 @@ impl CampaignStats {
         if t.class != OutcomeClass::Correct && !t.recovered {
             self.false_negatives.add(t.class);
         }
+        if !t.fired {
+            self.not_fired += 1;
+        }
     }
 
     /// Combines two partial aggregates.
@@ -157,6 +171,7 @@ impl CampaignStats {
         self.counts.merge(&o.counts);
         self.false_negatives.merge(&o.false_negatives);
         self.recoveries += o.recoveries;
+        self.not_fired += o.not_fired;
     }
 
     /// Protection rate = correct / total.
@@ -183,6 +198,7 @@ pub struct Campaign<'m> {
     region_budget: u64,
     seed0: u64,
     trials: u32,
+    model: FaultModel,
 }
 
 impl<'m> Campaign<'m> {
@@ -223,7 +239,16 @@ impl<'m> Campaign<'m> {
             region_budget: clean.region_retired,
             seed0,
             trials,
+            model: FaultModel::SingleBitSeu,
         }
+    }
+
+    /// Selects the fault model every subsequent trial draws from
+    /// (defaults to [`FaultModel::SingleBitSeu`], the paper's model).
+    /// The trigger/seed stream is independent of the model, so two
+    /// campaigns differing only here inject at identical instants.
+    pub fn set_fault_model(&mut self, model: FaultModel) {
+        self.model = model;
     }
 
     /// Selects the execution tier for every subsequent trial (the tiers
@@ -259,6 +284,7 @@ impl<'m> Campaign<'m> {
             trigger: rng.gen_range(0..self.region_budget),
             seed: rng.gen(),
             anywhere: false,
+            model: self.model,
         }
     }
 
@@ -276,8 +302,13 @@ impl<'m> Campaign<'m> {
         machine.set_injection(self.plan(trial));
         let out = machine.run("main", &[]);
         let recovered = observe_recoveries(machine.hooks()) > 0;
+        let fired = out.injection.is_some() || out.state_injection.is_some();
         let class = classify_outcome(&out, machine.read_global(self.output), self.golden);
-        TrialOutcome { class, recovered }
+        TrialOutcome {
+            class,
+            recovered,
+            fired,
+        }
     }
 
     /// Runs the whole campaign on [`num_threads`] workers.
@@ -334,6 +365,7 @@ mod tests {
                     OutcomeClass::Hang
                 },
                 recovered: i % 4 == 0,
+                fired: i % 5 != 0,
             })
             .collect();
         let mut whole = CampaignStats::default();
@@ -354,5 +386,7 @@ mod tests {
         assert_eq!(a.counts.sdc, whole.counts.sdc);
         assert_eq!(a.false_negatives.total(), whole.false_negatives.total());
         assert_eq!(a.recoveries, whole.recoveries);
+        assert_eq!(a.not_fired, whole.not_fired);
+        assert_eq!(whole.not_fired, 2, "trials 0 and 5 never fired");
     }
 }

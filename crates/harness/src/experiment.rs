@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
 
-use rskip_exec::{NoopHooks, RunOutcome};
+use rskip_exec::{FaultModel, NoopHooks, RunOutcome};
 use rskip_store::Store;
 
 use crate::build::{ArSetting, BenchSetup, EvalOptions, StoreOutcome};
@@ -293,6 +293,16 @@ pub struct CampaignRow {
     pub cells: Vec<(SchemeVariant, CampaignStats)>,
 }
 
+/// One benchmark's campaign results across a schemes × fault-models grid.
+#[derive(Clone, Debug, Serialize)]
+pub struct ModelCampaignRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// One cell per (scheme, fault model) pair, in sweep-major order
+    /// (every model for the first scheme, then the next scheme).
+    pub cells: Vec<(SchemeVariant, FaultModel, CampaignStats)>,
+}
+
 /// A declarative experiment grid: benchmarks × schemes.
 #[derive(Clone, Debug)]
 pub struct Sweep {
@@ -352,6 +362,38 @@ impl Sweep {
             }
         })
     }
+
+    /// Runs each (benchmark, scheme, fault model) cell as a `runs`-trial
+    /// campaign. Seeds fold in the model's tag, so cells that differ only
+    /// in fault model share trigger instants but draw model-appropriate
+    /// effects — and the SEU column is byte-identical to
+    /// [`Sweep::campaigns`].
+    pub fn model_campaigns(
+        &self,
+        engine: &Engine,
+        runs: u32,
+        models: &[FaultModel],
+    ) -> Vec<ModelCampaignRow> {
+        engine.over(&self.benches, |setup| {
+            let input = setup.test_input();
+            let golden = setup.bench.golden(setup.options.size, &input);
+            let name = setup.bench.meta().name;
+            let mut cells = Vec::with_capacity(self.schemes.len() * models.len());
+            for &v in &self.schemes {
+                for &m in models {
+                    cells.push((
+                        v,
+                        m,
+                        run_campaign_cell_model(setup, v, m, &input, &golden, runs),
+                    ));
+                }
+            }
+            ModelCampaignRow {
+                bench: name.to_string(),
+                cells,
+            }
+        })
+    }
 }
 
 /// Campaign seed component per scheme (stable across sweeps: the seed a
@@ -372,7 +414,7 @@ fn name_seed(name: &str) -> u64 {
 }
 
 /// Runs one (benchmark, scheme) fault-injection campaign cell with the
-/// cell's deterministic seed.
+/// cell's deterministic seed, under the paper's single-bit SEU model.
 pub fn run_campaign_cell(
     setup: &BenchSetup,
     variant: SchemeVariant,
@@ -380,14 +422,41 @@ pub fn run_campaign_cell(
     golden: &[rskip_ir::Value],
     runs: u32,
 ) -> CampaignStats {
+    run_campaign_cell_model(
+        setup,
+        variant,
+        FaultModel::SingleBitSeu,
+        input,
+        golden,
+        runs,
+    )
+}
+
+/// Runs one (benchmark, scheme, fault model) campaign cell.
+///
+/// The seed folds in [`FaultModel::seed_tag`], which is zero for the SEU
+/// model — so SEU cells are bit-identical to the historical
+/// [`run_campaign_cell`] results, while skip/burst cells get their own
+/// deterministic streams that do not depend on which other models ran.
+pub fn run_campaign_cell_model(
+    setup: &BenchSetup,
+    variant: SchemeVariant,
+    model: FaultModel,
+    input: &rskip_workloads::InputSet,
+    golden: &[rskip_ir::Value],
+    runs: u32,
+) -> CampaignStats {
     let output = setup.bench.output_global();
-    let seed0 =
-        0x51_F0 ^ (runs as u64) << 32 ^ scheme_seed(variant) ^ name_seed(setup.bench.meta().name);
+    let seed0 = 0x51_F0
+        ^ (runs as u64) << 32
+        ^ scheme_seed(variant)
+        ^ name_seed(setup.bench.meta().name)
+        ^ model.seed_tag();
 
     match variant {
         SchemeVariant::RSkip(ar) => {
             let make = || setup.runtime(ar);
-            let campaign = Campaign::new(
+            let mut campaign = Campaign::new(
                 &setup.rskip.module,
                 input,
                 golden,
@@ -396,11 +465,12 @@ pub fn run_campaign_cell(
                 seed0,
                 runs,
             );
+            campaign.set_fault_model(model);
             campaign.run(make, |h| h.total_faults_recovered())
         }
         SchemeVariant::RSkipDiOnly(ar) => {
             let make = || setup.runtime_di_only(ar);
-            let campaign = Campaign::new(
+            let mut campaign = Campaign::new(
                 &setup.rskip.module,
                 input,
                 golden,
@@ -409,6 +479,7 @@ pub fn run_campaign_cell(
                 seed0,
                 runs,
             );
+            campaign.set_fault_model(model);
             campaign.run(make, |h| h.total_faults_recovered())
         }
         SchemeVariant::Unsafe | SchemeVariant::SwiftR => {
@@ -418,7 +489,9 @@ pub fn run_campaign_cell(
                 SchemeVariant::Unsafe => &setup.unsafe_build.module,
                 _ => &setup.swift_r.module,
             };
-            let campaign = Campaign::new(module, input, golden, output, || NoopHooks, seed0, runs);
+            let mut campaign =
+                Campaign::new(module, input, golden, output, || NoopHooks, seed0, runs);
+            campaign.set_fault_model(model);
             campaign.run(|| NoopHooks, |_| 0)
         }
     }
@@ -480,5 +553,35 @@ mod tests {
         // The SWIFT-R cell is identical whether or not UNSAFE ran too.
         assert_eq!(wide_rows[0].cells[1].1, narrow_rows[0].cells[0].1);
         assert_eq!(wide_rows[0].cells[1].1.counts.total(), 12);
+    }
+
+    #[test]
+    fn model_grid_seu_column_matches_legacy_campaigns() {
+        let engine = tiny_engine();
+        let sweep = Sweep::new(vec!["conv1d".into()], vec![SchemeVariant::SwiftR]);
+        let legacy = sweep.campaigns(&engine, 10);
+        let grid = sweep.model_campaigns(
+            &engine,
+            10,
+            &[
+                FaultModel::SingleBitSeu,
+                FaultModel::InstructionSkip,
+                FaultModel::MultiBitBurst { width: 4 },
+            ],
+        );
+        let row = &grid[0];
+        assert_eq!(row.cells.len(), 3);
+        let (v, m, ref seu) = row.cells[0];
+        assert_eq!(v, SchemeVariant::SwiftR);
+        assert_eq!(m, FaultModel::SingleBitSeu);
+        // seed_tag(SEU) == 0: the SEU column reproduces the legacy cell.
+        assert_eq!(*seu, legacy[0].cells[0].1);
+        for (_, _, stats) in &row.cells {
+            assert_eq!(stats.counts.total(), 10);
+        }
+        // A model-only change must not be a silent no-op: the grid is
+        // deterministic, so re-running reproduces every cell.
+        let again = sweep.model_campaigns(&engine, 10, &[FaultModel::InstructionSkip]);
+        assert_eq!(again[0].cells[0].2, row.cells[1].2);
     }
 }

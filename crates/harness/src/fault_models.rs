@@ -1,0 +1,203 @@
+//! The fault-model campaign experiment (`rskip-eval campaign`).
+//!
+//! The paper evaluates reliability under single-bit SEUs only (§7.2).
+//! This experiment re-runs the same statistical campaign under every
+//! requested [`FaultModel`] — SEU, instruction skip, multi-bit burst —
+//! so the protection schemes can be compared across fault models the
+//! paper's hardware testbed could not produce. Seeds fold in the model
+//! tag, so the SEU column is byte-identical to Fig. 9's numbers and
+//! every cell is independent of which other models were requested.
+
+use serde::Serialize;
+
+use rskip_exec::FaultModel;
+
+use crate::campaign::CampaignStats;
+use crate::experiment::{Engine, SchemeVariant, Sweep};
+use crate::report::{percent, TextTable};
+use crate::AR_SETTINGS;
+
+/// The default model set: the paper's SEU plus one of each extension.
+pub fn default_models() -> Vec<FaultModel> {
+    vec![
+        FaultModel::SingleBitSeu,
+        FaultModel::InstructionSkip,
+        FaultModel::MultiBitBurst { width: 4 },
+    ]
+}
+
+/// The schemes of the fault-model grid, in column order: the three
+/// deployment baselines plus RSkip at the paper's strictest AR.
+fn schemes() -> Vec<SchemeVariant> {
+    vec![
+        SchemeVariant::Unsafe,
+        SchemeVariant::SwiftR,
+        SchemeVariant::RSkip(AR_SETTINGS[0]),
+    ]
+}
+
+/// Scheme column label.
+fn scheme_label(v: SchemeVariant) -> String {
+    match v {
+        SchemeVariant::Unsafe => "UNSAFE".into(),
+        SchemeVariant::SwiftR => "SWIFT-R".into(),
+        SchemeVariant::RSkip(ar) => format!("AR{}", ar.percent),
+        SchemeVariant::RSkipDiOnly(ar) => format!("AR{}-DI", ar.percent),
+    }
+}
+
+/// One (scheme, fault model) campaign cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct ModelCell {
+    /// Scheme column label (`UNSAFE`, `SWIFT-R`, `AR20`, ...).
+    pub scheme: String,
+    /// Fault model, structured.
+    pub model: FaultModel,
+    /// Fault model label (`seu`, `skip`, `burst:N`).
+    pub model_label: String,
+    /// Campaign outcome statistics.
+    pub stats: CampaignStats,
+}
+
+/// One benchmark's cells across the schemes × models grid.
+#[derive(Clone, Debug, Serialize)]
+pub struct ModelRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Scheme-major cells (every model for a scheme, then the next).
+    pub cells: Vec<ModelCell>,
+}
+
+/// The whole fault-model campaign report.
+#[derive(Clone, Debug, Serialize)]
+pub struct FaultModelsReport {
+    /// Injections per (benchmark, scheme, model).
+    pub runs: u32,
+    /// Model labels, in request order.
+    pub models: Vec<String>,
+    /// Per-benchmark rows.
+    pub rows: Vec<ModelRow>,
+}
+
+/// Runs the campaign for `benches` under every model in `models`.
+pub fn run_with(
+    engine: &Engine,
+    benches: Vec<String>,
+    runs: u32,
+    models: &[FaultModel],
+) -> FaultModelsReport {
+    let rows = Sweep::new(benches, schemes())
+        .model_campaigns(engine, runs, models)
+        .into_iter()
+        .map(|row| ModelRow {
+            bench: row.bench,
+            cells: row
+                .cells
+                .into_iter()
+                .map(|(v, m, stats)| ModelCell {
+                    scheme: scheme_label(v),
+                    model: m,
+                    model_label: m.label(),
+                    stats,
+                })
+                .collect(),
+        })
+        .collect();
+    FaultModelsReport {
+        runs,
+        models: models.iter().map(|m| m.label()).collect(),
+        rows,
+    }
+}
+
+impl FaultModelsReport {
+    /// Renders the outcome-class table, one line per
+    /// (benchmark, scheme, model) cell.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            [
+                "benchmark",
+                "scheme",
+                "model",
+                "Correct",
+                "SDC",
+                "Segfault",
+                "Core dump",
+                "Hang",
+                "not fired",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        )
+        .with_title(format!(
+            "Fault-model campaign ({} injections per cell; models: {})",
+            self.runs,
+            self.models.join(", ")
+        ));
+        for row in &self.rows {
+            for c in &row.cells {
+                let k = &c.stats.counts;
+                t.row(vec![
+                    row.bench.clone(),
+                    c.scheme.clone(),
+                    c.model_label.clone(),
+                    percent(k.rate(k.correct)),
+                    percent(k.rate(k.sdc)),
+                    percent(k.rate(k.segfault)),
+                    percent(k.rate(k.core_dump)),
+                    percent(k.rate(k.hang)),
+                    format!("{}", c.stats.not_fired),
+                ]);
+            }
+        }
+        t.render()
+    }
+
+    /// Sanity checks a finished report; returns human-readable
+    /// violations (empty on a healthy report). Used by CI.
+    pub fn check(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        for row in &self.rows {
+            for c in &row.cells {
+                let total = c.stats.counts.total();
+                if total != u64::from(self.runs) {
+                    bad.push(format!(
+                        "{}/{}/{}: {total} trials classified, expected {}",
+                        row.bench, c.scheme, c.model_label, self.runs
+                    ));
+                }
+                if c.stats.not_fired == total {
+                    bad.push(format!(
+                        "{}/{}/{}: no trial ever fired its fault",
+                        row.bench, c.scheme, c.model_label
+                    ));
+                }
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::EvalOptions;
+    use rskip_workloads::SizeProfile;
+
+    #[test]
+    fn conv1d_grid_covers_all_models_and_fires() {
+        let engine = Engine::new(EvalOptions {
+            size: SizeProfile::Tiny,
+            train_seeds: vec![1000, 1001],
+            ..EvalOptions::default()
+        });
+        let report = run_with(&engine, vec!["conv1d".into()], 8, &default_models());
+        assert_eq!(report.models, vec!["seu", "skip", "burst:4"]);
+        assert_eq!(report.rows.len(), 1);
+        // 3 schemes × 3 models.
+        assert_eq!(report.rows[0].cells.len(), 9);
+        assert!(report.check().is_empty(), "{:?}", report.check());
+        assert!(!report.render().is_empty());
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`ablations`] | §4.2.2 quantization comparison, detection-only baseline, pipeline sensitivity |
 //! | [`lint`] | `rskip-eval lint` — static protection-coverage verification of every build |
 //! | [`supervisor_exp`] | `rskip-eval supervise` — drift replay + runtime-state SEU campaign |
+//! | [`fault_models`] | `rskip-eval campaign` — Fig. 9's campaign under SEU, skip and burst fault models |
 //!
 //! The `rskip-eval` binary drives everything:
 //!
@@ -37,6 +38,7 @@ pub mod build;
 pub mod campaign;
 pub mod cost_ratio;
 pub mod experiment;
+pub mod fault_models;
 pub mod fig2;
 pub mod fig7;
 pub mod fig8;

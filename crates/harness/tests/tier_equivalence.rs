@@ -16,7 +16,9 @@
 //!    the [`ExactFlip`] mid-group decomposition path that ordinary runs
 //!    rarely stress.
 
-use rskip_exec::{enumerate_flips, ExecConfig, ExecTier, Machine, NoopHooks};
+use rskip_exec::{
+    enumerate_faults, enumerate_flips, ExecConfig, ExecTier, FaultModel, Machine, NoopHooks,
+};
 use rskip_harness::throughput::TIERS;
 use rskip_harness::{ArSetting, Campaign, Engine, EvalOptions};
 use rskip_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand, Ty, Value};
@@ -175,6 +177,86 @@ fn campaign_trials_are_byte_identical_per_trial() {
     );
 }
 
+/// Campaigns under the non-SEU fault models, compared trial-by-trial
+/// across tiers and in aggregate across worker counts. Skip faults
+/// exercise the bubble-retire path (and the threaded tier's fused-group
+/// decomposition); bursts exercise the windowed multi-bit injector.
+#[test]
+fn skip_and_burst_campaigns_are_deterministic_across_tiers_and_threads() {
+    let engine = tiny_engine();
+    let setup = engine.setup("conv1d");
+    let ar = ArSetting { percent: 20 };
+    let input = setup.test_input();
+    let golden = setup.bench.golden(setup.options.size, &input);
+    let make = || setup.runtime(ar);
+    let trials = 16u32;
+
+    for model in [
+        FaultModel::InstructionSkip,
+        FaultModel::MultiBitBurst { width: 4 },
+    ] {
+        let mut campaign = Campaign::new(
+            &setup.rskip.module,
+            &input,
+            &golden,
+            setup.bench.output_global(),
+            make,
+            0xD1FF_5EED ^ model.seed_tag(),
+            trials,
+        );
+        campaign.set_fault_model(model);
+
+        let mut injected = 0u32;
+        for trial in 0..trials {
+            let mut reference = None;
+            for &tier in &TIERS {
+                let mut config = campaign.config().clone();
+                config.tier = tier;
+                let mut machine = Machine::with_config(&setup.rskip.module, make(), config);
+                input.apply(&mut machine);
+                machine.set_injection(campaign.plan(trial));
+                let out = machine.run("main", &[]);
+                let snapshot = (
+                    out,
+                    machine.memory().to_vec(),
+                    machine.hooks().total_faults_recovered(),
+                );
+                match &reference {
+                    None => {
+                        if snapshot.0.injection.is_some() {
+                            injected += 1;
+                        }
+                        reference = Some(snapshot);
+                    }
+                    Some(r) => assert_eq!(
+                        *r,
+                        snapshot,
+                        "{} trial {trial} diverges under {tier}",
+                        model.label()
+                    ),
+                }
+            }
+        }
+        assert!(
+            injected > trials / 2,
+            "{}: only {injected} of {trials} trials armed an injection",
+            model.label()
+        );
+
+        // Aggregate determinism across worker counts: the campaign's
+        // result depends on seeds only, never on scheduling.
+        let serial = campaign.run_on(1, make, |h| h.total_faults_recovered());
+        let parallel = campaign.run_on(3, make, |h| h.total_faults_recovered());
+        assert_eq!(
+            serial,
+            parallel,
+            "{}: stats diverge across thread counts",
+            model.label()
+        );
+        assert_eq!(serial.counts.total(), u64::from(trials));
+    }
+}
+
 /// A micro workload small enough for exhaustive flip enumeration: sum
 /// five array elements through a loop (loads, stores, compares, branches
 /// and loop-carried state).
@@ -254,6 +336,61 @@ fn exact_flip_enumeration_verdicts_agree_across_tiers() {
                         r.probes, en.probes,
                         "{label}: probe verdicts diverge under {tier}"
                     );
+                }
+            }
+        }
+    }
+}
+
+/// The same exhaustive agreement, for the other two fault models: every
+/// skip and burst probe's verdict must be identical under every tier.
+/// Skip probes in particular force the threaded tier to decompose fused
+/// groups and retire a bubble at an exact boundary.
+#[test]
+fn skip_and_burst_enumeration_verdicts_agree_across_tiers() {
+    let plain = micro_module();
+    let mut protected = micro_module();
+    apply_swift_r(&mut protected);
+    let starts = [0u32, 1, 31, 62];
+
+    for (model, bits) in [
+        (FaultModel::InstructionSkip, &[][..]),
+        (FaultModel::MultiBitBurst { width: 5 }, &starts[..]),
+    ] {
+        for (label, module) in [("plain", &plain), ("swift-r", &protected)] {
+            let mut reference = None;
+            for &tier in &TIERS {
+                let config = ExecConfig {
+                    step_limit: 100_000,
+                    tier,
+                    ..ExecConfig::default()
+                };
+                let en = enumerate_faults(
+                    module,
+                    "main",
+                    &[],
+                    &config,
+                    || NoopHooks,
+                    model,
+                    bits,
+                    4096,
+                )
+                .expect("enumeration runs");
+                assert!(
+                    !en.probes.is_empty(),
+                    "{label}/{}: empty sweep is vacuous",
+                    model.label()
+                );
+                match &reference {
+                    None => reference = Some(en),
+                    Some(r) => {
+                        assert_eq!(
+                            r.probes,
+                            en.probes,
+                            "{label}/{}: probe verdicts diverge under {tier}",
+                            model.label()
+                        );
+                    }
                 }
             }
         }

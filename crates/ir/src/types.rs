@@ -108,6 +108,16 @@ impl Value {
         Value::from_bits(self.ty(), self.bits() ^ (1u64 << bit))
     }
 
+    /// Returns a copy with every bit set in `mask` flipped in the
+    /// representation.
+    ///
+    /// This is the multi-bit generalization of [`Value::with_bit_flipped`]
+    /// used by burst fault models (a contiguous mask models a
+    /// charge-sharing multi-bit upset, but any mask is accepted).
+    pub fn with_bits_flipped(self, mask: u64) -> Self {
+        Value::from_bits(self.ty(), self.bits() ^ mask)
+    }
+
     /// Bit-exact equality (distinguishes `-0.0` from `0.0`, and compares
     /// NaNs by representation). Used for output comparison, where the paper
     /// counts *any* deviation as corrupted output.
@@ -250,6 +260,17 @@ mod tests {
             assert_eq!((flipped.bits() ^ v.bits()).count_ones(), 1);
             assert!(flipped.with_bit_flipped(bit).bit_eq(v));
         }
+    }
+
+    #[test]
+    fn mask_flip_flips_exactly_the_mask() {
+        let v = Value::I(0x1234_5678_9abc_def0);
+        for mask in [0u64, 1, 0b1111 << 3, !0, 0xFF << 56] {
+            let flipped = v.with_bits_flipped(mask);
+            assert_eq!(flipped.bits() ^ v.bits(), mask);
+            assert!(flipped.with_bits_flipped(mask).bit_eq(v));
+        }
+        assert_eq!(Value::F(1.5).with_bits_flipped(0xF0).ty(), Ty::F64);
     }
 
     #[test]

@@ -182,7 +182,7 @@ fn transform_function(f: &mut Function) {
 mod tests {
     use super::*;
     use rskip_exec::{
-        run_simple, ExecConfig, InjectionPlan, Machine, NoopHooks, Termination, Trap,
+        run_simple, ExecConfig, FaultModel, InjectionPlan, Machine, NoopHooks, Termination, Trap,
     };
     use rskip_ir::{BinOp, ModuleBuilder, Value, Verifier};
 
@@ -272,6 +272,7 @@ mod tests {
                     trigger,
                     seed,
                     anywhere: false,
+                    model: FaultModel::SingleBitSeu,
                 });
                 let out = machine.run("main", &[]);
                 if out.injection.is_none() {

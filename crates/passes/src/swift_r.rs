@@ -352,7 +352,7 @@ mod tests {
     /// reaches memory or control flow.
     #[test]
     fn recovers_from_every_single_register_fault() {
-        use rskip_exec::{ExecConfig, InjectionPlan, Machine, NoopHooks};
+        use rskip_exec::{ExecConfig, FaultModel, InjectionPlan, Machine, NoopHooks};
 
         let mut m = sum_loop_module();
         // Mark the loop as a region so injection has scope.
@@ -385,6 +385,7 @@ mod tests {
                     trigger,
                     seed,
                     anywhere: false,
+                    model: FaultModel::SingleBitSeu,
                 });
                 let out = machine.run("main", &[]);
                 if out.injection.is_none() {

@@ -244,13 +244,16 @@ proptest! {
             NoopHooks,
             rskip_exec::ExecConfig { step_limit: 5_000_000, ..Default::default() },
         );
-        machine.set_injection(rskip_exec::InjectionPlan { trigger, seed, anywhere: false });
+        machine.set_injection(rskip_exec::InjectionPlan {
+            trigger,
+            seed,
+            anywhere: false,
+            model: rskip_exec::FaultModel::SingleBitSeu,
+        });
         let out = machine.run("main", &[]);
         if let Some(rec) = &out.injection {
-            if rec.function == "main"
-                && rec.reg.0 >= n_orig
-                && rec.reg.0 < 3 * n_orig
-            {
+            let reg = rec.effect.reg().map_or(u32::MAX, |r| r.0);
+            if rec.function == "main" && reg >= n_orig && reg < 3 * n_orig {
                 prop_assert_eq!(&out.termination, &golden.1, "shadow fault changed termination");
                 for (i, (a, b)) in machine.read_global("out").iter().zip(&golden.0).enumerate() {
                     prop_assert!(a.bit_eq(*b), "shadow fault corrupted out[{i}]");

@@ -530,29 +530,22 @@ impl RegionState {
         (-1, costs::NEXT_PENDING)
     }
 
-    /// Address of the current pending element.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called without a preceding successful
-    /// [`next_pending`](Self::next_pending) — transformed code never does.
-    pub fn pending_addr(&self) -> (i64, u64) {
-        (
-            self.current.as_ref().expect("pending element").addr,
-            costs::PENDING_FIELD,
-        )
+    /// Address of the current pending element, or `None` when there is
+    /// no current element. Fault-free transformed code always gates
+    /// pending-field reads on a successful
+    /// [`next_pending`](Self::next_pending), so `None` means an injected
+    /// fault steered control past that gate — the runtime treats it as a
+    /// protocol violation that would abort the host process.
+    pub fn pending_addr(&self) -> Option<(i64, u64)> {
+        Some((self.current.as_ref()?.addr, costs::PENDING_FIELD))
     }
 
-    /// The `k`-th recorded argument of the current pending element.
-    ///
-    /// # Panics
-    ///
-    /// Panics without a current pending element or on a bad index.
-    pub fn pending_arg(&self, k: usize) -> (Value, u64) {
-        (
-            self.current.as_ref().expect("pending element").args[k],
-            costs::PENDING_FIELD,
-        )
+    /// The `k`-th recorded argument of the current pending element;
+    /// `None` without a current element or on an out-of-range index
+    /// (same protocol-violation contract as
+    /// [`pending_addr`](Self::pending_addr)).
+    pub fn pending_arg(&self, k: usize) -> Option<(Value, u64)> {
+        Some((*self.current.as_ref()?.args.get(k)?, costs::PENDING_FIELD))
     }
 
     /// Re-computation matched: misprediction only.
@@ -683,9 +676,9 @@ mod tests {
         state.exit(); // single element: pending
         let (iter, _) = state.next_pending();
         assert_eq!(iter, 7);
-        assert_eq!(state.pending_addr().0, 42);
-        assert_eq!(state.pending_arg(0).0, Value::F(3.5));
-        assert_eq!(state.pending_arg(1).0, Value::I(9));
+        assert_eq!(state.pending_addr().unwrap().0, 42);
+        assert_eq!(state.pending_arg(0).unwrap().0, Value::F(3.5));
+        assert_eq!(state.pending_arg(1).unwrap().0, Value::I(9));
         assert_eq!(state.next_pending().0, -1);
     }
 
@@ -980,7 +973,7 @@ mod tests {
             .flip_state(StateFaultTarget::PendingQueue, 5 << 32)
             .expect("live pending record");
         assert_eq!(state.next_pending().0, 7);
-        assert_ne!(state.pending_arg(0).0, Value::F(3.5));
+        assert_ne!(state.pending_arg(0).unwrap().0, Value::F(3.5));
         assert_eq!(state.metadata_detections(), 0);
     }
 

@@ -385,14 +385,20 @@ impl RuntimeHooks for PredictionRuntime {
                 let (iter, cost) = self.region_of(args).next_pending();
                 IntrinsicAction::value(Value::I(iter), cost)
             }
-            Intrinsic::PendingAddr => {
-                let (addr, cost) = self.region_of(args).pending_addr();
-                IntrinsicAction::value(Value::I(addr), cost)
-            }
+            // Pending-field reads outside a successful `next_pending`
+            // are a protocol violation only an injected fault can cause
+            // (a corrupted or skipped branch steering transformed code
+            // past the gate); the real runtime would assert and abort.
+            Intrinsic::PendingAddr => match self.region_of(args).pending_addr() {
+                Some((addr, cost)) => IntrinsicAction::value(Value::I(addr), cost),
+                None => IntrinsicAction::abort(costs::PENDING_FIELD),
+            },
             Intrinsic::PendingArgI | Intrinsic::PendingArgF => {
                 let k = args[1].as_i() as usize;
-                let (v, cost) = self.region_of(args).pending_arg(k);
-                IntrinsicAction::value(v, cost)
+                match self.region_of(args).pending_arg(k) {
+                    Some((v, cost)) => IntrinsicAction::value(v, cost),
+                    None => IntrinsicAction::abort(costs::PENDING_FIELD),
+                }
             }
             Intrinsic::ResolveOk => {
                 let cost = self.region_of(args).resolve_ok();
@@ -406,6 +412,7 @@ impl RuntimeHooks for PredictionRuntime {
                 value: None,
                 cost: 1,
                 trap_detected: true,
+                trap_abort: false,
             },
             Intrinsic::Print => IntrinsicAction::void(0),
         }

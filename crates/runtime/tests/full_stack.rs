@@ -2,7 +2,7 @@
 //! prediction runtime, execute, and check semantics, skip rate and fault
 //! recovery.
 
-use rskip_exec::{ExecConfig, InjectionPlan, Machine, NoopHooks, PipelineConfig};
+use rskip_exec::{ExecConfig, FaultModel, InjectionPlan, Machine, NoopHooks, PipelineConfig};
 use rskip_ir::{BinOp, CmpOp, ModuleBuilder, Operand, Ty, Value};
 use rskip_passes::{protect, Protected, Scheme};
 use rskip_runtime::{PredictionRuntime, RegionInit, RuntimeConfig};
@@ -250,6 +250,7 @@ fn injected_fault_in_pp_region_is_detected_or_tolerable() {
             trigger: 200 + seed * 137,
             seed,
             anywhere: false,
+            model: FaultModel::SingleBitSeu,
         });
         let out = machine.run("main", &[]);
         recovered_events += machine.hooks().total_faults_recovered();

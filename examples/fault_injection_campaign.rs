@@ -8,7 +8,7 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rskip::exec::{classify_outcome, ExecConfig, InjectionPlan, Machine, OutcomeClass};
+use rskip::exec::{classify_outcome, ExecConfig, FaultModel, InjectionPlan, Machine, OutcomeClass};
 use rskip::passes::{protect, Scheme};
 use rskip::runtime::{PredictionRuntime, RuntimeConfig};
 use rskip::workloads::{benchmark_by_name, SizeProfile};
@@ -51,6 +51,7 @@ fn main() {
                 trigger: rng.gen_range(0..clean.region_retired),
                 seed: rng.gen(),
                 anywhere: false,
+                model: FaultModel::SingleBitSeu,
             };
             let rt = PredictionRuntime::new(&inits, RuntimeConfig::with_ar(0.2));
             let mut machine = Machine::with_config(&p.module, rt, config.clone());

@@ -6,7 +6,7 @@
 //! module once, sizes the injection window from a clean run, and fans
 //! trials across threads with split-seeded per-trial RNGs.
 
-use rskip::exec::{InjectionPlan, Machine, NoopHooks};
+use rskip::exec::{FaultModel, InjectionPlan, Machine, NoopHooks};
 use rskip::harness::Campaign;
 use rskip::passes::{protect, Protected, Scheme};
 use rskip::runtime::{PredictionRuntime, RuntimeConfig};
@@ -144,6 +144,7 @@ fn injection_is_deterministic_given_the_seed() {
             trigger: 123,
             seed: 456,
             anywhere: false,
+            model: FaultModel::SingleBitSeu,
         });
         let out = machine.run("main", &[]);
         (
