@@ -1,0 +1,425 @@
+//! Campaign statistics shared by every layer that counts fault-injection
+//! outcomes: the one-shot CLI driver (`rskip-harness`), the campaign
+//! service (`rskip-serve`) and their tests.
+//!
+//! Two groups of things live here:
+//!
+//! * the **outcome accounting types** — [`OutcomeClass`],
+//!   [`ClassCounts`], [`TrialOutcome`] and the monoidal
+//!   [`CampaignStats`] aggregate. They used to live in `rskip-exec` /
+//!   `rskip-harness`; moving them below both lets the service crate
+//!   stream partial aggregates over the wire in exactly the
+//!   representation the CLI driver folds, so "byte-identical to the
+//!   one-shot run" is a statement about one shared type, not two
+//!   parallel ones.
+//! * the **interval math** — [`wilson_ci`] and the [`EarlyStop`] rule.
+//!   A streamed campaign is useful before it finishes only if the
+//!   partial rates come with honest uncertainty; the Wilson score
+//!   interval behaves sanely at the boundaries campaigns actually hit
+//!   (`n = 0` before the first chunk lands, `p ∈ {0, 1}` for rare
+//!   classes like SDCs under a strong scheme), unlike the normal
+//!   approximation.
+
+use serde::{Deserialize, Serialize};
+
+/// The five outcome classes of the paper's reliability evaluation (§7.2),
+/// plus `Detected` for detection-only schemes (SWIFT without recovery),
+/// which the paper's figures do not need but the library supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OutcomeClass {
+    /// "The execution generates correct output without any data
+    /// corruption" — bit-exact output match. Recovered faults land here.
+    Correct,
+    /// Silent Data Corruption: terminated normally, output differs.
+    Sdc,
+    /// Illegal memory access.
+    Segfault,
+    /// System crash or abnormal termination.
+    CoreDump,
+    /// The program could not terminate.
+    Hang,
+    /// A detection-only scheme caught the fault and aborted.
+    Detected,
+}
+
+impl OutcomeClass {
+    /// All classes in display order.
+    pub const ALL: [OutcomeClass; 6] = [
+        OutcomeClass::Correct,
+        OutcomeClass::Sdc,
+        OutcomeClass::Segfault,
+        OutcomeClass::CoreDump,
+        OutcomeClass::Hang,
+        OutcomeClass::Detected,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutcomeClass::Correct => "Correct",
+            OutcomeClass::Sdc => "SDC",
+            OutcomeClass::Segfault => "Segfault",
+            OutcomeClass::CoreDump => "Core dump",
+            OutcomeClass::Hang => "Hang",
+            OutcomeClass::Detected => "Detected",
+        }
+    }
+
+    /// One-character code, used when a whole campaign's per-trial
+    /// outcomes are streamed compactly (one byte per trial).
+    pub fn code(self) -> char {
+        match self {
+            OutcomeClass::Correct => 'C',
+            OutcomeClass::Sdc => 'S',
+            OutcomeClass::Segfault => 'F',
+            OutcomeClass::CoreDump => 'D',
+            OutcomeClass::Hang => 'H',
+            OutcomeClass::Detected => 'T',
+        }
+    }
+
+    /// Inverse of [`code`](OutcomeClass::code).
+    pub fn from_code(c: char) -> Option<OutcomeClass> {
+        OutcomeClass::ALL.into_iter().find(|o| o.code() == c)
+    }
+}
+
+impl std::fmt::Display for OutcomeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome-class counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Correct outputs (masked or recovered faults).
+    pub correct: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Segfaults.
+    pub segfault: u64,
+    /// Core dumps.
+    pub core_dump: u64,
+    /// Hangs.
+    pub hang: u64,
+    /// Detected-without-recovery.
+    pub detected: u64,
+}
+
+impl ClassCounts {
+    /// Adds one classified outcome.
+    pub fn add(&mut self, class: OutcomeClass) {
+        match class {
+            OutcomeClass::Correct => self.correct += 1,
+            OutcomeClass::Sdc => self.sdc += 1,
+            OutcomeClass::Segfault => self.segfault += 1,
+            OutcomeClass::CoreDump => self.core_dump += 1,
+            OutcomeClass::Hang => self.hang += 1,
+            OutcomeClass::Detected => self.detected += 1,
+        }
+    }
+
+    /// Component-wise sum (the monoid operation).
+    pub fn merge(&mut self, o: &ClassCounts) {
+        self.correct += o.correct;
+        self.sdc += o.sdc;
+        self.segfault += o.segfault;
+        self.core_dump += o.core_dump;
+        self.hang += o.hang;
+        self.detected += o.detected;
+    }
+
+    /// Total runs recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.correct + self.sdc + self.segfault + self.core_dump + self.hang + self.detected
+    }
+
+    /// Protection rate = correct / total (the paper's headline metric).
+    #[must_use]
+    pub fn protection_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of total for one count.
+    #[must_use]
+    pub fn rate(&self, v: u64) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            v as f64 / self.total() as f64
+        }
+    }
+}
+
+/// One trial's result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// The paper's outcome class for this run.
+    pub class: OutcomeClass,
+    /// Whether the scheme's explicit recovery machinery fired.
+    pub recovered: bool,
+    /// Whether the armed fault actually landed. A trial whose trigger the
+    /// run never reached, or whose drawn target was dead, is a clean run
+    /// in disguise — [`CampaignStats`] counts it separately instead of
+    /// letting it inflate the protection rate silently.
+    pub fired: bool,
+}
+
+/// Campaign aggregate — a commutative monoid under [`merge`].
+///
+/// [`merge`]: CampaignStats::merge
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Outcome classes over all trials.
+    pub counts: ClassCounts,
+    /// Failing trials in which recovery never fired (false negatives).
+    pub false_negatives: ClassCounts,
+    /// Trials where recovery fired.
+    pub recoveries: u64,
+    /// Trials whose armed fault never landed (trigger past the run's
+    /// dynamic length, or a dead drawn target): effectively clean runs,
+    /// counted so they can be reported rather than silently dropped.
+    pub not_fired: u64,
+}
+
+impl CampaignStats {
+    /// Folds one trial in.
+    pub fn record(&mut self, t: TrialOutcome) {
+        self.counts.add(t.class);
+        if t.recovered {
+            self.recoveries += 1;
+        }
+        if t.class != OutcomeClass::Correct && !t.recovered {
+            self.false_negatives.add(t.class);
+        }
+        if !t.fired {
+            self.not_fired += 1;
+        }
+    }
+
+    /// Combines two partial aggregates.
+    pub fn merge(&mut self, o: &CampaignStats) {
+        self.counts.merge(&o.counts);
+        self.false_negatives.merge(&o.false_negatives);
+        self.recoveries += o.recoveries;
+        self.not_fired += o.not_fired;
+    }
+
+    /// Protection rate = correct / total.
+    #[must_use]
+    pub fn protection_rate(&self) -> f64 {
+        self.counts.protection_rate()
+    }
+
+    /// Wilson 95% interval for the correct (protection) rate.
+    #[must_use]
+    pub fn correct_ci(&self) -> WilsonCi {
+        wilson_ci(self.counts.correct, self.counts.total())
+    }
+
+    /// Wilson 95% interval for the SDC rate.
+    #[must_use]
+    pub fn sdc_ci(&self) -> WilsonCi {
+        wilson_ci(self.counts.sdc, self.counts.total())
+    }
+}
+
+/// The 95% two-sided normal quantile used by [`wilson_ci`]. Fixed (rather
+/// than client-supplied) so every layer — CLI tables, JSON artifacts,
+/// streamed service frames — reports the same interval for the same
+/// counts.
+pub const WILSON_Z: f64 = 1.96;
+
+/// A Wilson score confidence interval for a binomial proportion.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WilsonCi {
+    /// Lower bound, in `[0, 1]`.
+    pub lo: f64,
+    /// Upper bound, in `[0, 1]`.
+    pub hi: f64,
+}
+
+impl WilsonCi {
+    /// Half of the interval width — the early-stopping figure of merit.
+    #[must_use]
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
+/// Wilson score interval at 95% ([`WILSON_Z`]) for `successes` out of `n`.
+///
+/// Edge behavior, pinned by tests:
+///
+/// * `n = 0` → the vacuous interval `[0, 1]` (no data constrains the
+///   rate, and its half-width `0.5` can never satisfy a sane
+///   early-stopping threshold);
+/// * `successes = 0` → `lo = 0` exactly, `hi = z² / (n + z²)` — never a
+///   degenerate `[0, 0]`, which is what makes Wilson usable for rare
+///   classes like SDCs under a strong scheme;
+/// * `successes = n` → mirror image, `hi = 1` exactly.
+#[must_use]
+pub fn wilson_ci(successes: u64, n: u64) -> WilsonCi {
+    if n == 0 {
+        return WilsonCi { lo: 0.0, hi: 1.0 };
+    }
+    debug_assert!(successes <= n, "more successes than trials");
+    let z = WILSON_Z;
+    let nf = n as f64;
+    let p = successes as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p + z2 / (2.0 * nf)) / denom;
+    let half = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt() / denom;
+    WilsonCi {
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+/// Which streamed rate an early-stopping rule watches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopMetric {
+    /// The SDC rate (the usual choice: campaigns exist to bound it).
+    Sdc,
+    /// The correct/protection rate.
+    Correct,
+}
+
+/// An early-stopping rule: finish the campaign once the watched rate's
+/// Wilson interval is narrow enough.
+///
+/// The rule is evaluated on the running aggregate after each completed
+/// chunk, so for a fixed chunk size the decision — and therefore the
+/// exact set of executed trials — is deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EarlyStop {
+    /// The watched rate.
+    pub metric: StopMetric,
+    /// Stop once the interval's half-width is at or below this.
+    pub half_width: f64,
+}
+
+impl EarlyStop {
+    /// The watched interval over `stats`.
+    #[must_use]
+    pub fn ci(&self, stats: &CampaignStats) -> WilsonCi {
+        match self.metric {
+            StopMetric::Sdc => stats.sdc_ci(),
+            StopMetric::Correct => stats.correct_ci(),
+        }
+    }
+
+    /// Whether `stats` already pins the watched rate tightly enough.
+    #[must_use]
+    pub fn satisfied(&self, stats: &CampaignStats) -> bool {
+        stats.counts.total() > 0 && self.ci(stats).half_width() <= self.half_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn wilson_known_values() {
+        // 5/10 at 95%: the textbook (0.2366, 0.7634).
+        let ci = wilson_ci(5, 10);
+        close(ci.lo, 0.236589);
+        close(ci.hi, 0.763411);
+        // 19/20 at 95%: (0.7639, 0.9911).
+        let ci = wilson_ci(19, 20);
+        close(ci.lo, 0.763864);
+        close(ci.hi, 0.991119);
+    }
+
+    #[test]
+    fn wilson_edge_cases() {
+        // n = 0: vacuous interval.
+        let ci = wilson_ci(0, 0);
+        assert_eq!(ci.lo, 0.0);
+        assert_eq!(ci.hi, 1.0);
+        close(ci.half_width(), 0.5);
+        // p = 0: lo pinned to 0, hi = z²/(n+z²), never degenerate.
+        let ci = wilson_ci(0, 10);
+        assert_eq!(ci.lo, 0.0);
+        close(ci.hi, 1.96 * 1.96 / (10.0 + 1.96 * 1.96));
+        assert!(ci.hi > 0.0);
+        // p = 1 mirrors p = 0.
+        let hi = wilson_ci(10, 10);
+        assert_eq!(hi.hi, 1.0);
+        close(hi.lo, 1.0 - ci.hi);
+    }
+
+    #[test]
+    fn wilson_narrows_with_n_for_fixed_successes() {
+        let mut last = f64::INFINITY;
+        for n in [10u64, 40, 160, 640] {
+            let hw = wilson_ci(0, n).half_width();
+            assert!(hw < last, "half-width must shrink: {hw} !< {last}");
+            last = hw;
+        }
+    }
+
+    #[test]
+    fn early_stop_rule() {
+        let mut stats = CampaignStats::default();
+        let rule = EarlyStop {
+            metric: StopMetric::Sdc,
+            half_width: 0.05,
+        };
+        // No data: never satisfied, even though hi-lo is well-defined.
+        assert!(!rule.satisfied(&stats));
+        for _ in 0..20 {
+            stats.record(TrialOutcome {
+                class: OutcomeClass::Correct,
+                recovered: false,
+                fired: true,
+            });
+        }
+        // 0/20 SDC: half-width ≈ 0.080 > 0.05.
+        assert!(!rule.satisfied(&stats));
+        for _ in 0..140 {
+            stats.record(TrialOutcome {
+                class: OutcomeClass::Correct,
+                recovered: false,
+                fired: true,
+            });
+        }
+        // 0/160: half-width ≈ 0.0117 ≤ 0.05.
+        assert!(rule.satisfied(&stats));
+    }
+
+    #[test]
+    fn outcome_codes_roundtrip() {
+        for o in OutcomeClass::ALL {
+            assert_eq!(OutcomeClass::from_code(o.code()), Some(o));
+        }
+        assert_eq!(OutcomeClass::from_code('x'), None);
+    }
+
+    #[test]
+    fn stats_serde_roundtrip() {
+        let mut stats = CampaignStats::default();
+        for (i, class) in OutcomeClass::ALL.into_iter().enumerate() {
+            stats.record(TrialOutcome {
+                class,
+                recovered: i % 2 == 0,
+                fired: i % 3 != 0,
+            });
+        }
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: CampaignStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

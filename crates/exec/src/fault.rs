@@ -10,6 +10,8 @@ use serde::Serialize;
 
 use crate::machine::{RunOutcome, Termination, Trap};
 
+pub use rskip_core::stats::OutcomeClass;
+
 /// The transient-fault model a campaign or enumeration samples from.
 ///
 /// Every model shares the same *trigger* semantics (a dynamic instant
@@ -265,56 +267,6 @@ pub struct InjectionRecord {
     pub at_retired: u64,
     /// The model-specific effect that was applied.
     pub effect: FaultEffect,
-}
-
-/// The five outcome classes of the paper's reliability evaluation (§7.2),
-/// plus `Detected` for detection-only schemes (SWIFT without recovery),
-/// which the paper's figures do not need but the library supports.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum OutcomeClass {
-    /// "The execution generates correct output without any data
-    /// corruption" — bit-exact output match. Recovered faults land here.
-    Correct,
-    /// Silent Data Corruption: terminated normally, output differs.
-    Sdc,
-    /// Illegal memory access.
-    Segfault,
-    /// System crash or abnormal termination.
-    CoreDump,
-    /// The program could not terminate.
-    Hang,
-    /// A detection-only scheme caught the fault and aborted.
-    Detected,
-}
-
-impl OutcomeClass {
-    /// All classes in display order.
-    pub const ALL: [OutcomeClass; 6] = [
-        OutcomeClass::Correct,
-        OutcomeClass::Sdc,
-        OutcomeClass::Segfault,
-        OutcomeClass::CoreDump,
-        OutcomeClass::Hang,
-        OutcomeClass::Detected,
-    ];
-
-    /// Display label matching the paper's figures.
-    pub fn label(self) -> &'static str {
-        match self {
-            OutcomeClass::Correct => "Correct",
-            OutcomeClass::Sdc => "SDC",
-            OutcomeClass::Segfault => "Segfault",
-            OutcomeClass::CoreDump => "Core dump",
-            OutcomeClass::Hang => "Hang",
-            OutcomeClass::Detected => "Detected",
-        }
-    }
-}
-
-impl std::fmt::Display for OutcomeClass {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
 }
 
 /// Classifies one injected run against the golden output cells.

@@ -17,6 +17,12 @@
 //! rskip-eval supervise [--size ...] [--runs N]
 //! rskip-eval bench  [--size ...] [--runs N] [--bench NAME] [--tier match|threaded-nofuse|threaded] [--json]
 //! rskip-eval campaign [--size ...] [--runs N] [--bench NAME] [--fault-model seu|skip|burst:N[,..]] [--json]
+//! rskip-eval serve  [--addr HOST:PORT] [--workers N] [--queue N] [--chunk N] [--size ...] [--store DIR]
+//! rskip-eval submit [--addr HOST:PORT] [--bench NAME] [--scheme unsafe|swift-r|arN|arN-di]
+//!                   [--fault-model seu|skip|burst:N] [--tier ...] [--runs N] [--chunk N]
+//!                   [--tenant NAME] [--stop-half-width F] [--stop-metric sdc|correct]
+//!                   [--cancel-after N] [--expect-narrowing] [--outcomes] [--shutdown] [--json]
+//! rskip-eval serve-bench [--size ...] [--bench NAME] [--runs N] [--jobs N] [--chunk N] [--workers N] [--json]
 //! ```
 //!
 //! With `--out DIR`, raw results are also written as JSON.
@@ -53,6 +59,21 @@
 //! stationary control, hardened metadata SDCs, SDC-free rate below the
 //! always-predict baseline, or stationary skip retention under 50%).
 //!
+//! `serve` runs the streaming campaign service (`rskip-serve` backed by
+//! the real harness): newline-delimited JSON jobs over TCP, a bounded
+//! queue with typed backpressure, per-tenant model-store namespaces,
+//! per-chunk Wilson-CI progress frames and server-side early stopping.
+//! It blocks until a client sends a `Shutdown` frame. `submit` is the
+//! matching client: it submits one job, streams its frames (`--json`
+//! for raw wire frames), and exits 0 on completion. `--stop-half-width`
+//! adds an early-stopping rule; `--cancel-after N` cancels the job
+//! after N progress frames; `--expect-narrowing` makes the client
+//! verify that executed counts increase strictly and the streamed SDC
+//! interval narrows (exit 1 on violation); `--shutdown` just asks the
+//! server to drain and exit. `serve-bench` measures service throughput
+//! at 1 vs `--workers` workers and prints jobs/sec with per-chunk
+//! latency.
+//!
 //! The model-store commands persist the offline training phase:
 //! `train` profiles and trains every benchmark and saves the artifacts;
 //! a later `all --store DIR` warm-starts from them and performs zero
@@ -79,6 +100,19 @@ struct Args {
     tier: Option<rskip_exec::ExecTier>,
     bench: String,
     fault_models: Vec<rskip_exec::FaultModel>,
+    addr: String,
+    workers: usize,
+    queue: usize,
+    chunk: u32,
+    tenant: String,
+    scheme: String,
+    stop_half_width: Option<f64>,
+    stop_metric: rskip_core::stats::StopMetric,
+    cancel_after: Option<u32>,
+    expect_narrowing: bool,
+    outcomes: bool,
+    shutdown: bool,
+    jobs: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -95,6 +129,19 @@ fn parse_args() -> Result<Args, String> {
         tier: None,
         bench: "conv1d".to_string(),
         fault_models: Vec::new(),
+        addr: "127.0.0.1:4590".to_string(),
+        workers: 2,
+        queue: 16,
+        chunk: 0,
+        tenant: String::new(),
+        scheme: "ar20".to_string(),
+        stop_half_width: None,
+        stop_metric: rskip_core::stats::StopMetric::Sdc,
+        cancel_after: None,
+        expect_narrowing: false,
+        outcomes: false,
+        shutdown: false,
+        jobs: 4,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -131,6 +178,47 @@ fn parse_args() -> Result<Args, String> {
             "--out" => parsed.out = Some(PathBuf::from(value()?)),
             "--store" => parsed.store = Some(PathBuf::from(value()?)),
             "--json" => parsed.json = true,
+            "--addr" => parsed.addr = value()?,
+            "--workers" => {
+                parsed.workers = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--queue" => {
+                parsed.queue = value()?.parse().map_err(|e| format!("bad --queue: {e}"))?;
+            }
+            "--chunk" => {
+                parsed.chunk = value()?.parse().map_err(|e| format!("bad --chunk: {e}"))?;
+            }
+            "--jobs" => {
+                parsed.jobs = value()?.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+            }
+            "--tenant" => parsed.tenant = value()?,
+            "--scheme" => parsed.scheme = value()?,
+            "--stop-half-width" => {
+                parsed.stop_half_width = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad --stop-half-width: {e}"))?,
+                );
+            }
+            "--stop-metric" => {
+                parsed.stop_metric = match value()?.as_str() {
+                    "sdc" => rskip_core::stats::StopMetric::Sdc,
+                    "correct" => rskip_core::stats::StopMetric::Correct,
+                    other => return Err(format!("unknown stop metric `{other}` (sdc | correct)")),
+                }
+            }
+            "--cancel-after" => {
+                parsed.cancel_after = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad --cancel-after: {e}"))?,
+                );
+            }
+            "--expect-narrowing" => parsed.expect_narrowing = true,
+            "--outcomes" => parsed.outcomes = true,
+            "--shutdown" => parsed.shutdown = true,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -139,10 +227,13 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: rskip-eval <table1|fig2|fig7|fig8a|fig8b|fig9|tradeoff|cost-ratio|ablations|all\
-     |supervise|lint|train|inspect|verify|bench|campaign> \
+     |supervise|lint|train|inspect|verify|bench|campaign|serve|submit|serve-bench> \
      [--size tiny|small|full] [--runs N] [--inputs N] [--out DIR] [--store DIR] [--json] \
      [--tier match|threaded-nofuse|threaded] [--bench NAME] \
-     [--fault-model seu|skip|burst:N[,...]]"
+     [--fault-model seu|skip|burst:N[,...]] \
+     [--addr HOST:PORT] [--workers N] [--queue N] [--chunk N] [--jobs N] [--tenant NAME] \
+     [--scheme unsafe|swift-r|arN|arN-di] [--stop-half-width F] [--stop-metric sdc|correct] \
+     [--cancel-after N] [--expect-narrowing] [--outcomes] [--shutdown]"
         .to_string()
 }
 
@@ -277,6 +368,62 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+            return;
+        }
+        "serve" => {
+            let store = args.store.clone().map(Store::open);
+            let runner = std::sync::Arc::new(rskip_harness::HarnessRunner::new(options, store));
+            let config = rskip_serve::ServerConfig {
+                workers: args.workers.max(1),
+                queue_capacity: args.queue.max(1),
+                default_chunk: if args.chunk == 0 { 64 } else { args.chunk },
+                ..rskip_serve::ServerConfig::default()
+            };
+            let server = match rskip_serve::Server::bind(args.addr.as_str(), runner, config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("rskip-eval serve: cannot bind {}: {e}", args.addr);
+                    std::process::exit(2);
+                }
+            };
+            eprintln!(
+                "rskip-eval serve: listening on {} ({} workers, queue {}, default chunk {}); \
+                 send a Shutdown frame (rskip-eval submit --shutdown) to stop",
+                server.addr(),
+                config.workers,
+                config.queue_capacity,
+                config.default_chunk,
+            );
+            server.join();
+            return;
+        }
+        "submit" => {
+            std::process::exit(run_submit(&args));
+        }
+        "serve-bench" => {
+            let model = args
+                .fault_models
+                .first()
+                .copied()
+                .unwrap_or(rskip_exec::FaultModel::SingleBitSeu);
+            let worker_counts = [1, args.workers.max(2)];
+            let mut spec =
+                rskip_serve::JobSpec::new(&args.bench, &args.scheme, &model.label(), args.runs);
+            spec.chunk = if args.chunk == 0 { 20 } else { args.chunk };
+            let report =
+                rskip_harness::service::serve_bench(options, &spec, args.jobs, &worker_counts);
+            if args.json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => {
+                        eprintln!("serialization failed: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                print!("{}", report.render());
+            }
+            save_json(&args.out, "BENCH_serve", &report);
             return;
         }
         _ => {}
@@ -460,6 +607,201 @@ fn main() {
         other => {
             eprintln!("unknown command `{other}`\n{}", usage());
             std::process::exit(2);
+        }
+    }
+}
+
+fn percent_ci(ci: rskip_core::stats::WilsonCi) -> String {
+    format!("[{:.1}%, {:.1}%]", ci.lo * 100.0, ci.hi * 100.0)
+}
+
+/// The `submit` subcommand: one job, one connection, streamed to the
+/// terminal. Returns the process exit code.
+#[allow(clippy::too_many_lines)]
+fn run_submit(args: &Args) -> i32 {
+    use rskip_core::stats::EarlyStop;
+    use rskip_serve::{encode, Client, JobSpec, Response};
+
+    let mut client = match Client::connect(args.addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rskip-eval submit: cannot connect to {}: {e}", args.addr);
+            return 2;
+        }
+    };
+    if args.shutdown {
+        if let Err(e) = client.shutdown_server() {
+            eprintln!("rskip-eval submit: shutdown request failed: {e}");
+            return 2;
+        }
+        eprintln!("rskip-eval submit: shutdown requested");
+        return 0;
+    }
+
+    let model = args
+        .fault_models
+        .first()
+        .copied()
+        .unwrap_or(rskip_exec::FaultModel::SingleBitSeu);
+    let mut spec = JobSpec::new(&args.bench, &args.scheme, &model.label(), args.runs);
+    spec.tenant = args.tenant.clone();
+    spec.chunk = args.chunk;
+    spec.tier = args.tier.map(|t| t.label().to_string()).unwrap_or_default();
+    spec.want_outcomes = args.outcomes;
+    if let Some(half_width) = args.stop_half_width {
+        spec.stop = Some(EarlyStop {
+            metric: args.stop_metric,
+            half_width,
+        });
+    }
+
+    let job = match client.submit(&spec) {
+        Ok(Response::Accepted { job, trials, chunk }) => {
+            eprintln!("job {job} accepted: {trials} trials in chunks of {chunk}");
+            job
+        }
+        Ok(Response::Rejected {
+            error,
+            detail,
+            retry_after_ms,
+        }) => {
+            eprintln!("rskip-eval submit: rejected ({error:?}): {detail}");
+            if let Some(ms) = retry_after_ms {
+                eprintln!("rskip-eval submit: retry after {ms} ms");
+            }
+            return 1;
+        }
+        Ok(other) => {
+            eprintln!("rskip-eval submit: unexpected frame {other:?}");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("rskip-eval submit: {e}");
+            return 2;
+        }
+    };
+
+    // Stream frames; optionally verify narrowing and/or cancel.
+    let mut narrowing_violations = 0u32;
+    let mut last: Option<(u32, u64, f64)> = None; // (executed, sdc count, half-width)
+    let mut first_half_width: Option<f64> = None;
+    let mut progress_seen = 0u32;
+    loop {
+        let frame = match client.recv() {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("rskip-eval submit: {e}");
+                return 2;
+            }
+        };
+        if args.json {
+            println!("{}", encode(&frame));
+        }
+        match frame {
+            Response::Progress(p) if p.job == job => {
+                let half_width = p.sdc_ci.half_width();
+                if !args.json {
+                    println!(
+                        "chunk {:>3}: {:>6}/{} trials · correct {:>5.1}% {} · sdc {:>5.1}% {} · {:.1} ms",
+                        p.chunk,
+                        p.executed,
+                        p.requested,
+                        p.stats.counts.protection_rate() * 100.0,
+                        percent_ci(p.correct_ci),
+                        p.stats.counts.rate(p.stats.counts.sdc) * 100.0,
+                        percent_ci(p.sdc_ci),
+                        p.chunk_nanos as f64 / 1e6,
+                    );
+                }
+                if args.expect_narrowing {
+                    if let Some((prev_executed, prev_sdc, prev_half_width)) = last {
+                        if p.executed <= prev_executed {
+                            eprintln!(
+                                "narrowing violation: executed {} after {}",
+                                p.executed, prev_executed
+                            );
+                            narrowing_violations += 1;
+                        }
+                        if p.stats.counts.sdc == prev_sdc && half_width >= prev_half_width {
+                            eprintln!(
+                                "narrowing violation: half-width {half_width:.6} after \
+                                 {prev_half_width:.6} with unchanged SDC count"
+                            );
+                            narrowing_violations += 1;
+                        }
+                    }
+                    first_half_width.get_or_insert(half_width);
+                    last = Some((p.executed, p.stats.counts.sdc, half_width));
+                }
+                progress_seen += 1;
+                if args.cancel_after == Some(progress_seen) {
+                    if let Err(e) = client.cancel(job) {
+                        eprintln!("rskip-eval submit: cancel failed: {e}");
+                        return 2;
+                    }
+                    eprintln!("cancel requested after {progress_seen} chunks");
+                }
+            }
+            Response::Done(d) if d.job == job => {
+                if !args.json {
+                    println!(
+                        "done: {}/{} trials{} · correct {:.1}% {} · sdc {:.1}% {} · {:.1} ms",
+                        d.executed,
+                        d.requested,
+                        if d.early_stopped { " (early stop)" } else { "" },
+                        d.stats.counts.protection_rate() * 100.0,
+                        percent_ci(d.correct_ci),
+                        d.stats.counts.rate(d.stats.counts.sdc) * 100.0,
+                        percent_ci(d.sdc_ci),
+                        d.total_nanos as f64 / 1e6,
+                    );
+                    if d.early_stopped {
+                        println!(
+                            "early stopping saved {} of {} requested trials",
+                            d.requested - d.executed,
+                            d.requested
+                        );
+                    }
+                }
+                if args.expect_narrowing {
+                    if let (Some(first), Some((_, _, final_half_width))) = (first_half_width, last)
+                    {
+                        if final_half_width > first {
+                            eprintln!(
+                                "narrowing violation: final half-width {final_half_width:.6} \
+                                 above first {first:.6}"
+                            );
+                            narrowing_violations += 1;
+                        }
+                    }
+                    if narrowing_violations > 0 {
+                        eprintln!("rskip-eval submit: {narrowing_violations} narrowing violations");
+                        return 1;
+                    }
+                }
+                return 0;
+            }
+            Response::Cancelled {
+                job: cancelled,
+                executed,
+                stats,
+            } if cancelled == job => {
+                if !args.json {
+                    println!(
+                        "cancelled after {executed} trials · correct {:.1}% · sdc {:.1}%",
+                        stats.counts.protection_rate() * 100.0,
+                        stats.counts.rate(stats.counts.sdc) * 100.0,
+                    );
+                }
+                // A cancel we asked for is a success; an unrequested one
+                // is a server-side surprise.
+                return i32::from(args.cancel_after.is_none());
+            }
+            Response::Error { error, detail } => {
+                eprintln!("rskip-eval submit: server error ({error:?}): {detail}");
+                return 1;
+            }
+            _ => {}
         }
     }
 }

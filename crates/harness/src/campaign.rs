@@ -25,14 +25,14 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
 
 use rskip_exec::{
-    classify_outcome, Decoded, ExecConfig, FaultModel, InjectionPlan, Machine, OutcomeClass,
-    RuntimeHooks,
+    classify_outcome, Decoded, ExecConfig, FaultModel, InjectionPlan, Machine, RuntimeHooks,
 };
 use rskip_ir::{Module, Value};
 use rskip_workloads::InputSet;
+
+pub use rskip_core::stats::{CampaignStats, ClassCounts, OutcomeClass, TrialOutcome};
 
 /// SplitMix64 hash of `(seed0, trial)` — the per-trial RNG seed.
 ///
@@ -52,134 +52,6 @@ pub fn trial_seed(seed0: u64, trial: u32) -> u64 {
 }
 
 pub use rskip_core::parallel::{num_threads, parallel_map_indexed, parallel_map_into};
-
-/// Outcome-class counts.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
-pub struct ClassCounts {
-    /// Correct outputs (masked or recovered faults).
-    pub correct: u64,
-    /// Silent data corruptions.
-    pub sdc: u64,
-    /// Segfaults.
-    pub segfault: u64,
-    /// Core dumps.
-    pub core_dump: u64,
-    /// Hangs.
-    pub hang: u64,
-    /// Detected-without-recovery.
-    pub detected: u64,
-}
-
-impl ClassCounts {
-    /// Adds one classified outcome.
-    pub fn add(&mut self, class: OutcomeClass) {
-        match class {
-            OutcomeClass::Correct => self.correct += 1,
-            OutcomeClass::Sdc => self.sdc += 1,
-            OutcomeClass::Segfault => self.segfault += 1,
-            OutcomeClass::CoreDump => self.core_dump += 1,
-            OutcomeClass::Hang => self.hang += 1,
-            OutcomeClass::Detected => self.detected += 1,
-        }
-    }
-
-    /// Component-wise sum (the monoid operation).
-    pub fn merge(&mut self, o: &ClassCounts) {
-        self.correct += o.correct;
-        self.sdc += o.sdc;
-        self.segfault += o.segfault;
-        self.core_dump += o.core_dump;
-        self.hang += o.hang;
-        self.detected += o.detected;
-    }
-
-    /// Total runs recorded.
-    #[must_use]
-    pub fn total(&self) -> u64 {
-        self.correct + self.sdc + self.segfault + self.core_dump + self.hang + self.detected
-    }
-
-    /// Protection rate = correct / total (the paper's headline metric).
-    #[must_use]
-    pub fn protection_rate(&self) -> f64 {
-        if self.total() == 0 {
-            0.0
-        } else {
-            self.correct as f64 / self.total() as f64
-        }
-    }
-
-    /// Fraction of total for one count.
-    #[must_use]
-    pub fn rate(&self, v: u64) -> f64 {
-        if self.total() == 0 {
-            0.0
-        } else {
-            v as f64 / self.total() as f64
-        }
-    }
-}
-
-/// One trial's result.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct TrialOutcome {
-    /// The paper's outcome class for this run.
-    pub class: OutcomeClass,
-    /// Whether the scheme's explicit recovery machinery fired.
-    pub recovered: bool,
-    /// Whether the armed fault actually landed. A trial whose trigger the
-    /// run never reached, or whose drawn target was dead, is a clean run
-    /// in disguise — [`CampaignStats`] counts it separately instead of
-    /// letting it inflate the protection rate silently.
-    pub fired: bool,
-}
-
-/// Campaign aggregate — a commutative monoid under [`merge`].
-///
-/// [`merge`]: CampaignStats::merge
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
-pub struct CampaignStats {
-    /// Outcome classes over all trials.
-    pub counts: ClassCounts,
-    /// Failing trials in which recovery never fired (false negatives).
-    pub false_negatives: ClassCounts,
-    /// Trials where recovery fired.
-    pub recoveries: u64,
-    /// Trials whose armed fault never landed (trigger past the run's
-    /// dynamic length, or a dead drawn target): effectively clean runs,
-    /// counted so they can be reported rather than silently dropped.
-    pub not_fired: u64,
-}
-
-impl CampaignStats {
-    /// Folds one trial in.
-    pub fn record(&mut self, t: TrialOutcome) {
-        self.counts.add(t.class);
-        if t.recovered {
-            self.recoveries += 1;
-        }
-        if t.class != OutcomeClass::Correct && !t.recovered {
-            self.false_negatives.add(t.class);
-        }
-        if !t.fired {
-            self.not_fired += 1;
-        }
-    }
-
-    /// Combines two partial aggregates.
-    pub fn merge(&mut self, o: &CampaignStats) {
-        self.counts.merge(&o.counts);
-        self.false_negatives.merge(&o.false_negatives);
-        self.recoveries += o.recoveries;
-        self.not_fired += o.not_fired;
-    }
-
-    /// Protection rate = correct / total.
-    #[must_use]
-    pub fn protection_rate(&self) -> f64 {
-        self.counts.protection_rate()
-    }
-}
 
 /// A statistical fault-injection campaign over one protected build.
 ///
@@ -240,6 +112,50 @@ impl<'m> Campaign<'m> {
             seed0,
             trials,
             model: FaultModel::SingleBitSeu,
+        }
+    }
+
+    /// Rebuilds a campaign from a previously measured [`sizing`] without
+    /// re-running the clean sizing execution. Chunked/resumable drivers
+    /// (the campaign service) size once, then reconstruct the campaign
+    /// per chunk; because the sizing numbers and every per-trial seed are
+    /// functions of the same inputs, the reconstruction is byte-identical
+    /// to the original.
+    ///
+    /// [`sizing`]: Campaign::sizing
+    pub fn with_sizing(
+        module: &'m Module,
+        input: &'m InputSet,
+        golden: &'m [Value],
+        output_global: &'m str,
+        seed0: u64,
+        trials: u32,
+        sizing: CampaignSizing,
+    ) -> Self {
+        Campaign {
+            decoded: Decoded::new(module),
+            input,
+            golden,
+            output: output_global,
+            config: ExecConfig {
+                step_limit: sizing.step_limit,
+                ..ExecConfig::default()
+            },
+            region_budget: sizing.region_budget,
+            seed0,
+            trials,
+            model: FaultModel::SingleBitSeu,
+        }
+    }
+
+    /// The measured sizing numbers (injection window and step limit) —
+    /// everything [`Campaign::with_sizing`] needs to reconstruct this
+    /// campaign without another clean run.
+    #[must_use]
+    pub fn sizing(&self) -> CampaignSizing {
+        CampaignSizing {
+            region_budget: self.region_budget,
+            step_limit: self.config.step_limit,
         }
     }
 
@@ -328,15 +244,63 @@ impl<'m> Campaign<'m> {
         make_hooks: impl Fn() -> H + Sync,
         observe_recoveries: impl Fn(&H) -> u64 + Sync,
     ) -> CampaignStats {
-        let outcomes = parallel_map_indexed(self.trials as usize, threads, |i| {
-            self.run_trial(i as u32, &make_hooks, &observe_recoveries)
-        });
+        self.run_range_on(threads, 0..self.trials, make_hooks, observe_recoveries)
+    }
+
+    /// Runs one contiguous chunk of trials, `range` within
+    /// `0..self.trials()`, and folds the chunk's outcomes in trial order.
+    ///
+    /// Because each trial's randomness is a pure function of
+    /// `(seed0, trial index)` and [`CampaignStats::merge`] is commutative
+    /// and associative, splitting a campaign into chunks and merging the
+    /// partial aggregates is byte-identical to one full [`Campaign::run`]
+    /// for **any** chunking, thread count or chunk interleaving — the
+    /// property the chunked-determinism test pins and the campaign
+    /// service relies on.
+    pub fn run_range_on<H: RuntimeHooks>(
+        &self,
+        threads: usize,
+        range: std::ops::Range<u32>,
+        make_hooks: impl Fn() -> H + Sync,
+        observe_recoveries: impl Fn(&H) -> u64 + Sync,
+    ) -> CampaignStats {
         let mut stats = CampaignStats::default();
-        for t in outcomes {
+        for t in self.trial_outcomes_on(threads, range, make_hooks, observe_recoveries) {
             stats.record(t);
         }
         stats
     }
+
+    /// The per-trial outcomes of one contiguous chunk, in trial order
+    /// (independent of `threads`). The chunked drivers use this when the
+    /// client asked for per-trial outcome streams.
+    pub fn trial_outcomes_on<H: RuntimeHooks>(
+        &self,
+        threads: usize,
+        range: std::ops::Range<u32>,
+        make_hooks: impl Fn() -> H + Sync,
+        observe_recoveries: impl Fn(&H) -> u64 + Sync,
+    ) -> Vec<TrialOutcome> {
+        assert!(
+            range.start <= range.end && range.end <= self.trials,
+            "chunk {range:?} out of 0..{}",
+            self.trials
+        );
+        let start = range.start;
+        parallel_map_indexed((range.end - range.start) as usize, threads, |i| {
+            self.run_trial(start + i as u32, &make_hooks, &observe_recoveries)
+        })
+    }
+}
+
+/// The measured numbers one clean sizing run produces — see
+/// [`Campaign::with_sizing`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CampaignSizing {
+    /// Region-instruction budget (the injection-instant sample space).
+    pub region_budget: u64,
+    /// Step limit classifying hangs.
+    pub step_limit: u64,
 }
 
 #[cfg(test)]

@@ -236,6 +236,41 @@ impl SchemeVariant {
             .map(|&a| SchemeVariant::RSkip(a))
             .collect()
     }
+
+    /// Column label: `UNSAFE`, `SWIFT-R`, `AR20`, `AR20-DI`, …
+    pub fn label(self) -> String {
+        match self {
+            SchemeVariant::Unsafe => "UNSAFE".into(),
+            SchemeVariant::SwiftR => "SWIFT-R".into(),
+            SchemeVariant::RSkip(ar) => format!("AR{}", ar.percent),
+            SchemeVariant::RSkipDiOnly(ar) => format!("AR{}-DI", ar.percent),
+        }
+    }
+
+    /// Parses a scheme name as used by CLI flags and the campaign-service
+    /// wire format: `unsafe`, `swift-r`, `arN` or `arN-di` (N a percent,
+    /// case-insensitive). Inverse of [`label`](SchemeVariant::label).
+    pub fn parse(s: &str) -> Option<SchemeVariant> {
+        let s = s.to_ascii_lowercase();
+        match s.as_str() {
+            "unsafe" => Some(SchemeVariant::Unsafe),
+            "swift-r" => Some(SchemeVariant::SwiftR),
+            _ => {
+                let rest = s.strip_prefix("ar")?;
+                let (digits, di) = match rest.strip_suffix("-di") {
+                    Some(d) => (d, true),
+                    None => (rest, false),
+                };
+                let percent: u32 = digits.parse().ok()?;
+                let ar = crate::build::ArSetting { percent };
+                Some(if di {
+                    SchemeVariant::RSkipDiOnly(ar)
+                } else {
+                    SchemeVariant::RSkip(ar)
+                })
+            }
+        }
+    }
 }
 
 /// Per-scheme normalized metrics of one timed run.
@@ -413,6 +448,17 @@ fn name_seed(name: &str) -> u64 {
         .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)))
 }
 
+/// The deterministic campaign seed of one (benchmark, scheme, fault
+/// model, runs) cell — a pure function of the cell, independent of which
+/// other cells run around it. Exposed so the campaign service derives
+/// exactly the seed the one-shot CLI driver uses; a streamed job and
+/// `rskip-eval campaign` at the same parameters are therefore the same
+/// experiment, trial for trial.
+#[must_use]
+pub fn campaign_seed(bench: &str, variant: SchemeVariant, model: FaultModel, runs: u32) -> u64 {
+    0x51_F0 ^ (u64::from(runs)) << 32 ^ scheme_seed(variant) ^ name_seed(bench) ^ model.seed_tag()
+}
+
 /// Runs one (benchmark, scheme) fault-injection campaign cell with the
 /// cell's deterministic seed, under the paper's single-bit SEU model.
 pub fn run_campaign_cell(
@@ -447,11 +493,7 @@ pub fn run_campaign_cell_model(
     runs: u32,
 ) -> CampaignStats {
     let output = setup.bench.output_global();
-    let seed0 = 0x51_F0
-        ^ (runs as u64) << 32
-        ^ scheme_seed(variant)
-        ^ name_seed(setup.bench.meta().name)
-        ^ model.seed_tag();
+    let seed0 = campaign_seed(setup.bench.meta().name, variant, model, runs);
 
     match variant {
         SchemeVariant::RSkip(ar) => {

@@ -10,6 +10,7 @@
 
 use serde::Serialize;
 
+use rskip_core::stats::WilsonCi;
 use rskip_exec::FaultModel;
 
 use crate::campaign::CampaignStats;
@@ -36,16 +37,6 @@ fn schemes() -> Vec<SchemeVariant> {
     ]
 }
 
-/// Scheme column label.
-fn scheme_label(v: SchemeVariant) -> String {
-    match v {
-        SchemeVariant::Unsafe => "UNSAFE".into(),
-        SchemeVariant::SwiftR => "SWIFT-R".into(),
-        SchemeVariant::RSkip(ar) => format!("AR{}", ar.percent),
-        SchemeVariant::RSkipDiOnly(ar) => format!("AR{}-DI", ar.percent),
-    }
-}
-
 /// One (scheme, fault model) campaign cell.
 #[derive(Clone, Debug, Serialize)]
 pub struct ModelCell {
@@ -57,6 +48,10 @@ pub struct ModelCell {
     pub model_label: String,
     /// Campaign outcome statistics.
     pub stats: CampaignStats,
+    /// Wilson 95% interval for the correct rate.
+    pub correct_ci: WilsonCi,
+    /// Wilson 95% interval for the SDC rate.
+    pub sdc_ci: WilsonCi,
 }
 
 /// One benchmark's cells across the schemes × models grid.
@@ -95,9 +90,11 @@ pub fn run_with(
                 .cells
                 .into_iter()
                 .map(|(v, m, stats)| ModelCell {
-                    scheme: scheme_label(v),
+                    scheme: v.label(),
                     model: m,
                     model_label: m.label(),
+                    correct_ci: stats.correct_ci(),
+                    sdc_ci: stats.sdc_ci(),
                     stats,
                 })
                 .collect(),
@@ -124,6 +121,7 @@ impl FaultModelsReport {
                 "Segfault",
                 "Core dump",
                 "Hang",
+                "SDC 95% CI",
                 "not fired",
             ]
             .into_iter()
@@ -147,6 +145,7 @@ impl FaultModelsReport {
                     percent(k.rate(k.segfault)),
                     percent(k.rate(k.core_dump)),
                     percent(k.rate(k.hang)),
+                    format!("[{}, {}]", percent(c.sdc_ci.lo), percent(c.sdc_ci.hi)),
                     format!("{}", c.stats.not_fired),
                 ]);
             }

@@ -16,6 +16,7 @@
 //! | [`lint`] | `rskip-eval lint` — static protection-coverage verification of every build |
 //! | [`supervisor_exp`] | `rskip-eval supervise` — drift replay + runtime-state SEU campaign |
 //! | [`fault_models`] | `rskip-eval campaign` — Fig. 9's campaign under SEU, skip and burst fault models |
+//! | [`service`] | `rskip-eval serve` / `submit` — the streaming campaign service's harness-backed runner |
 //!
 //! The `rskip-eval` binary drives everything:
 //!
@@ -45,6 +46,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod lint;
 pub mod report;
+pub mod service;
 pub mod supervisor_exp;
 pub mod table1;
 pub mod throughput;
@@ -55,6 +57,7 @@ pub use campaign::{Campaign, CampaignStats, ClassCounts};
 pub use experiment::{Engine, SchemeVariant, StoreStats, Sweep};
 pub use report::TextTable;
 pub use rskip_store::Store;
+pub use service::HarnessRunner;
 
 /// The paper's four acceptable-range settings.
 pub const AR_SETTINGS: [ArSetting; 4] = [

@@ -1,0 +1,242 @@
+//! A small blocking client for the campaign service.
+//!
+//! One [`Client`] is one session (one TCP connection). The API is
+//! synchronous because every caller in this workspace is: the
+//! `rskip-eval submit` subcommand, the CI smoke test, and the
+//! integration suite. Multiple jobs *can* share a connection (frames
+//! carry job ids), but [`stream_job`](Client::stream_job) is written
+//! for the common one-job-per-connection case and treats other jobs'
+//! frames as ignorable noise.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode, encode, DoneFrame, ErrorKind, JobSpec, ProgressFrame, Request, Response,
+};
+
+/// What the server said in its `Hello`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Wire protocol version.
+    pub protocol: u32,
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+}
+
+/// A streamed job, fully consumed.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Every progress frame, in order.
+    pub progress: Vec<ProgressFrame>,
+    /// The terminal frame: `Done` on completion, `Cancelled` frames are
+    /// surfaced as `Err` by [`stream_job`](Client::stream_job) callers
+    /// that asked to cancel, so this is always a completion here.
+    pub done: DoneFrame,
+}
+
+fn bad_data(detail: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail)
+}
+
+/// One session with a campaign server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    info: ServerInfo,
+}
+
+impl Client {
+    /// Connects and consumes the server's `Hello`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failure, or a first frame that is not a `Hello`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+            info: ServerInfo {
+                protocol: 0,
+                workers: 0,
+                queue_capacity: 0,
+            },
+        };
+        match client.recv()? {
+            Response::Hello {
+                protocol,
+                workers,
+                queue_capacity,
+            } => {
+                client.info = ServerInfo {
+                    protocol,
+                    workers,
+                    queue_capacity,
+                };
+                Ok(client)
+            }
+            other => Err(bad_data(format!("expected Hello, got {other:?}"))),
+        }
+    }
+
+    /// The server's greeting.
+    #[must_use]
+    pub fn info(&self) -> ServerInfo {
+        self.info
+    }
+
+    /// Sends one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failure.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        let mut line = encode(request);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Sends one raw line verbatim (plus newline) — for exercising the
+    /// server's malformed-frame path from tests and smoke checks.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failure.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Receives one response frame (blocking).
+    ///
+    /// # Errors
+    ///
+    /// EOF (`UnexpectedEof`), socket failure, or an unparseable frame
+    /// (`InvalidData`).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if !line.trim().is_empty() {
+                return decode(&line).map_err(bad_data);
+            }
+        }
+    }
+
+    /// Submits `spec` and returns the server's immediate answer
+    /// (`Accepted` or `Rejected`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, or an unrelated frame arriving first — use
+    /// raw [`send`](Client::send)/[`recv`](Client::recv) when
+    /// multiplexing jobs on one connection.
+    pub fn submit(&mut self, spec: &JobSpec) -> io::Result<Response> {
+        self.send(&Request::Submit(spec.clone()))?;
+        loop {
+            match self.recv()? {
+                r @ (Response::Accepted { .. } | Response::Rejected { .. }) => return Ok(r),
+                Response::Progress(_) | Response::Done(_) | Response::Cancelled { .. } => {}
+                Response::Error { error, detail } => {
+                    return Err(bad_data(format!("submit failed: {error:?}: {detail}")))
+                }
+                Response::Hello { .. } => {}
+            }
+        }
+    }
+
+    /// Submits `spec`, expecting acceptance, and returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, or a rejection (mapped to `InvalidData` with
+    /// the typed reason in the message).
+    pub fn submit_accepted(&mut self, spec: &JobSpec) -> io::Result<u64> {
+        match self.submit(spec)? {
+            Response::Accepted { job, .. } => Ok(job),
+            Response::Rejected { error, detail, .. } => {
+                Err(bad_data(format!("rejected: {error:?}: {detail}")))
+            }
+            other => Err(bad_data(format!("unexpected frame {other:?}"))),
+        }
+    }
+
+    /// Requests cancellation of `job`. The terminal `Cancelled` frame
+    /// (or `Error` for an unknown/finished job) arrives on the stream.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failure.
+    pub fn cancel(&mut self, job: u64) -> io::Result<()> {
+        self.send(&Request::Cancel { job })
+    }
+
+    /// Asks the server to drain and shut down.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failure.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        self.send(&Request::Shutdown)
+    }
+
+    /// Consumes frames until `job` reaches a terminal frame, invoking
+    /// `on_progress` for each of its progress frames. Frames belonging
+    /// to other jobs on this connection are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, a `Cancelled`/`Error` terminal for this job
+    /// (mapped to `Interrupted`/`InvalidData`), or EOF before the
+    /// terminal frame.
+    pub fn stream_job(
+        &mut self,
+        job: u64,
+        mut on_progress: impl FnMut(&ProgressFrame),
+    ) -> io::Result<JobOutcome> {
+        let mut progress = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::Progress(frame) if frame.job == job => {
+                    on_progress(&frame);
+                    progress.push(frame);
+                }
+                Response::Done(done) if done.job == job => {
+                    return Ok(JobOutcome {
+                        job,
+                        progress,
+                        done,
+                    })
+                }
+                Response::Cancelled {
+                    job: cancelled,
+                    executed,
+                    ..
+                } if cancelled == job => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        format!("job {job} cancelled after {executed} trials"),
+                    ))
+                }
+                Response::Error { error, detail } if error == ErrorKind::UnknownJob => {
+                    return Err(bad_data(format!("{error:?}: {detail}")))
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! The campaign-service wire format.
+//!
+//! Frames are newline-delimited JSON: one [`Request`] or [`Response`]
+//! per line, externally tagged by variant name (the vendored serde's —
+//! and serde_json's — default enum encoding). A session is one TCP
+//! connection: the server greets with [`Response::Hello`], the client
+//! submits jobs and cancellations, and the server interleaves each
+//! job's [`Response::Progress`] stream with the others' until every
+//! job reaches a terminal frame ([`Response::Done`],
+//! [`Response::Cancelled`] or [`Response::Rejected`]).
+//!
+//! Everything statistical on the wire reuses
+//! [`rskip_core::stats`]: partial aggregates are [`CampaignStats`] —
+//! the *same* type the one-shot CLI driver folds — so a streamed job's
+//! final aggregate being byte-identical to the CLI run is a property
+//! of one shared representation, not a convention between two.
+
+use serde::{Deserialize, Serialize};
+
+use rskip_core::stats::{CampaignStats, EarlyStop, WilsonCi};
+
+/// Wire protocol version, sent in [`Response::Hello`]. Bump on any
+/// incompatible frame change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The tenant namespace used when a job does not name one.
+pub const DEFAULT_TENANT: &str = "public";
+
+/// One campaign job as submitted over the wire. Identification fields
+/// are strings — the service validates them against the harness
+/// registry and answers with a typed [`Reject`] on anything unknown,
+/// so a stale client never crashes the server.
+///
+/// [`Reject`]: Response::Rejected
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Tenant namespace: lowercase `[a-z0-9_-]`, at most 64 bytes.
+    /// Empty means [`DEFAULT_TENANT`]. Each tenant warm-starts from its
+    /// own model-store root.
+    pub tenant: String,
+    /// Benchmark name (`conv1d`, `kde`, ...).
+    pub bench: String,
+    /// Scheme label: `unsafe`, `swift-r`, `arN`, `arN-di`.
+    pub scheme: String,
+    /// Fault model label: `seu`, `skip`, `burst:N`.
+    pub fault_model: String,
+    /// Execution tier (`match`, `threaded-nofuse`, `threaded`), or
+    /// empty for the server's default.
+    pub tier: String,
+    /// Requested trial count.
+    pub trials: u32,
+    /// Trials per chunk (streaming / early-stop / cancellation
+    /// granularity); 0 means the server default.
+    pub chunk: u32,
+    /// Optional early-stopping rule; the job finishes once the watched
+    /// rate's Wilson interval is at least this tight, even with trials
+    /// left.
+    pub stop: Option<EarlyStop>,
+    /// Stream per-trial outcome codes (one char per trial, see
+    /// [`rskip_core::stats::OutcomeClass::code`]) in each progress
+    /// frame.
+    pub want_outcomes: bool,
+}
+
+impl JobSpec {
+    /// A spec with the given bench/scheme/model/trials and every other
+    /// field at its wire default.
+    pub fn new(bench: &str, scheme: &str, fault_model: &str, trials: u32) -> JobSpec {
+        JobSpec {
+            tenant: String::new(),
+            bench: bench.to_string(),
+            scheme: scheme.to_string(),
+            fault_model: fault_model.to_string(),
+            tier: String::new(),
+            trials,
+            chunk: 0,
+            stop: None,
+            want_outcomes: false,
+        }
+    }
+
+    /// The effective tenant namespace.
+    pub fn tenant_or_default(&self) -> &str {
+        if self.tenant.is_empty() {
+            DEFAULT_TENANT
+        } else {
+            &self.tenant
+        }
+    }
+}
+
+/// Client → server frames.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a campaign job.
+    Submit(JobSpec),
+    /// Cancel a job previously accepted **on this connection**.
+    Cancel {
+        /// The job id from [`Response::Accepted`].
+        job: u64,
+    },
+    /// Ask the server to shut down once in-flight chunks finish.
+    /// (Loopback tooling; a production deployment would gate this.)
+    Shutdown,
+}
+
+/// Why a frame or job was refused — every error path answers with one
+/// of these instead of dropping the connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The line was not a well-formed request frame.
+    MalformedFrame,
+    /// Tenant name failed the namespace rules.
+    BadTenant,
+    /// No benchmark registered under that name.
+    UnknownBench,
+    /// Unparseable scheme label.
+    UnknownScheme,
+    /// Unparseable fault-model label.
+    UnknownFaultModel,
+    /// Unparseable execution-tier label.
+    UnknownTier,
+    /// Zero trials, or more than the server's per-job cap.
+    OversizedTrials,
+    /// The bounded job queue is full — retry after the hinted delay.
+    QueueFull,
+    /// Cancel for a job this connection never submitted, or one that
+    /// already reached a terminal frame.
+    UnknownJob,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+}
+
+/// One streamed progress frame: the running aggregate after a chunk.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProgressFrame {
+    /// Job id.
+    pub job: u64,
+    /// Zero-based index of the chunk that just finished.
+    pub chunk: u32,
+    /// Trials executed so far (`stats.counts.total()`).
+    pub executed: u32,
+    /// Trials originally requested.
+    pub requested: u32,
+    /// Running aggregate over every executed trial.
+    pub stats: CampaignStats,
+    /// Wilson 95% interval for the correct rate at `executed` trials.
+    pub correct_ci: WilsonCi,
+    /// Wilson 95% interval for the SDC rate at `executed` trials.
+    pub sdc_ci: WilsonCi,
+    /// Per-trial outcome codes for this chunk, when requested.
+    pub outcomes: Option<String>,
+    /// Wall-clock nanoseconds this chunk took on its worker.
+    pub chunk_nanos: u64,
+}
+
+/// The terminal frame of a completed job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DoneFrame {
+    /// Job id.
+    pub job: u64,
+    /// Trials actually executed (`< requested` exactly when
+    /// `early_stopped`).
+    pub executed: u32,
+    /// Trials originally requested.
+    pub requested: u32,
+    /// Whether the early-stopping rule fired before the last chunk.
+    pub early_stopped: bool,
+    /// Final aggregate — byte-identical to the one-shot CLI driver over
+    /// the same `executed` trials.
+    pub stats: CampaignStats,
+    /// Wilson 95% interval for the correct rate.
+    pub correct_ci: WilsonCi,
+    /// Wilson 95% interval for the SDC rate.
+    pub sdc_ci: WilsonCi,
+    /// Wall-clock nanoseconds from first chunk start to last chunk end
+    /// (queue wait excluded).
+    pub total_nanos: u64,
+}
+
+/// Server → client frames.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Greeting, first frame of every session.
+    Hello {
+        /// [`PROTOCOL_VERSION`].
+        protocol: u32,
+        /// Worker threads serving the queue.
+        workers: usize,
+        /// Bounded queue capacity (jobs).
+        queue_capacity: usize,
+    },
+    /// The job was validated and enqueued.
+    Accepted {
+        /// Server-assigned job id, unique per server lifetime.
+        job: u64,
+        /// Trials that will run absent early stop / cancel.
+        trials: u32,
+        /// Effective chunk size after applying server defaults/caps.
+        chunk: u32,
+    },
+    /// The job was refused before entering the queue.
+    Rejected {
+        /// Typed reason.
+        error: ErrorKind,
+        /// Human-readable detail.
+        detail: String,
+        /// For [`ErrorKind::QueueFull`]: suggested client backoff.
+        retry_after_ms: Option<u64>,
+    },
+    /// A chunk finished; running aggregate attached.
+    Progress(ProgressFrame),
+    /// The job finished (all trials, or early stop).
+    Done(DoneFrame),
+    /// The job was cancelled; the partial aggregate up to the last
+    /// completed chunk is attached.
+    Cancelled {
+        /// Job id.
+        job: u64,
+        /// Trials executed before the cancel took effect.
+        executed: u32,
+        /// Partial aggregate over those trials.
+        stats: CampaignStats,
+    },
+    /// A request-level error that is not tied to an accepted job
+    /// (malformed line, unknown cancel target).
+    Error {
+        /// Typed reason.
+        error: ErrorKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Whether `tenant` is an acceptable namespace: non-empty, at most 64
+/// bytes, characters drawn from `[a-z0-9_-]`. The same rule the store
+/// layer enforces (`Store::namespace`) — checked here too so a bad
+/// tenant is refused with a typed frame at admission instead of
+/// surfacing as a store error mid-job. Rejecting `.`/`/`/`\` by
+/// construction means a tenant name can never traverse out of the
+/// store root.
+#[must_use]
+pub fn valid_tenant(tenant: &str) -> bool {
+    !tenant.is_empty()
+        && tenant.len() <= 64
+        && tenant
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+}
+
+/// Serializes one frame to its wire line (no trailing newline).
+///
+/// # Panics
+///
+/// Never for these types; the vendored emitter is infallible.
+pub fn encode<T: Serialize>(frame: &T) -> String {
+    serde_json::to_string(frame).expect("wire frames serialize infallibly")
+}
+
+/// Parses one wire line into a frame.
+///
+/// # Errors
+///
+/// A human-readable parse/shape error (the caller maps it to
+/// [`ErrorKind::MalformedFrame`]).
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line.trim()).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rskip_core::stats::StopMetric;
+
+    #[test]
+    fn request_frames_roundtrip() {
+        let mut spec = JobSpec::new("conv1d", "ar20", "burst:4", 500);
+        spec.tenant = "alpha".into();
+        spec.chunk = 100;
+        spec.stop = Some(EarlyStop {
+            metric: StopMetric::Sdc,
+            half_width: 0.02,
+        });
+        spec.want_outcomes = true;
+        for req in [
+            Request::Submit(spec),
+            Request::Cancel { job: 17 },
+            Request::Shutdown,
+        ] {
+            let line = encode(&req);
+            assert!(!line.contains('\n'), "frames must be single lines");
+            let back: Request = decode(&line).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_frames_roundtrip() {
+        let stats = CampaignStats::default();
+        for resp in [
+            Response::Hello {
+                protocol: PROTOCOL_VERSION,
+                workers: 2,
+                queue_capacity: 8,
+            },
+            Response::Accepted {
+                job: 1,
+                trials: 500,
+                chunk: 100,
+            },
+            Response::Rejected {
+                error: ErrorKind::QueueFull,
+                detail: "queue at capacity (8 jobs)".into(),
+                retry_after_ms: Some(250),
+            },
+            Response::Progress(ProgressFrame {
+                job: 1,
+                chunk: 0,
+                executed: 100,
+                requested: 500,
+                stats,
+                correct_ci: rskip_core::stats::wilson_ci(71, 100),
+                sdc_ci: rskip_core::stats::wilson_ci(2, 100),
+                outcomes: Some("CCSC".into()),
+                chunk_nanos: 12_345,
+            }),
+            Response::Done(DoneFrame {
+                job: 1,
+                executed: 300,
+                requested: 500,
+                early_stopped: true,
+                stats,
+                correct_ci: rskip_core::stats::wilson_ci(280, 300),
+                sdc_ci: rskip_core::stats::wilson_ci(0, 300),
+                total_nanos: 99,
+            }),
+            Response::Cancelled {
+                job: 2,
+                executed: 100,
+                stats,
+            },
+            Response::Error {
+                error: ErrorKind::UnknownJob,
+                detail: "job 9 was never submitted on this connection".into(),
+            },
+        ] {
+            let back: Response = decode(&encode(&resp)).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        assert!(decode::<Request>("").is_err());
+        assert!(decode::<Request>("{").is_err());
+        assert!(decode::<Request>("{\"Subvert\":{}}").is_err());
+        assert!(decode::<Request>("42").is_err());
+    }
+
+    #[test]
+    fn tenant_rules() {
+        for ok in ["public", "alpha", "a", "t-1_x", &"a".repeat(64)] {
+            assert!(valid_tenant(ok), "{ok:?} should be accepted");
+        }
+        for bad in [
+            "",
+            "..",
+            "a/b",
+            "a\\b",
+            "UPPER",
+            "with space",
+            "é",
+            &"a".repeat(65),
+        ] {
+            assert!(!valid_tenant(bad), "{bad:?} should be refused");
+        }
+    }
+
+    #[test]
+    fn tenant_default() {
+        assert_eq!(
+            JobSpec::new("conv1d", "unsafe", "seu", 1).tenant_or_default(),
+            DEFAULT_TENANT
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! The campaign server: accept loop, per-connection sessions, and the
+//! worker pool.
+//!
+//! Thread structure (all `std::thread`, no runtime):
+//!
+//! ```text
+//! accept loop ──► per-connection reader ──► bounded JobQueue ──► worker pool
+//!                        │                                          │
+//!                        └───────► per-connection writer ◄──────────┘
+//!                                   (mpsc, owns the socket)
+//! ```
+//!
+//! Each connection gets a **reader** thread (parses request frames,
+//! validates, admits into the queue) and a **writer** thread (the only
+//! thing that writes the socket, fed by an `mpsc` channel — so a
+//! worker streaming job A's chunks and the reader rejecting job B
+//! never interleave bytes mid-frame). Workers are shared across
+//! connections and pop jobs FIFO; *within* a job, chunks run
+//! sequentially on one worker, which is what makes the early-stopping
+//! decision point — and therefore the exact executed-trial set —
+//! deterministic for a fixed chunk size. Parallelism comes from the
+//! pool multiplexing jobs, and from each chunk's trials fanning out
+//! over the harness's deterministic `parallel_map` below us.
+//!
+//! Cancellation is a per-job `AtomicBool`, checked between chunks: a
+//! cancel never tears mid-chunk state, and the `Cancelled` frame
+//! reports the aggregate over every chunk that completed. A dropped
+//! connection cancels all of its outstanding jobs the same way.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rskip_core::stats::CampaignStats;
+
+use crate::protocol::{
+    decode, encode, valid_tenant, DoneFrame, ErrorKind, JobSpec, ProgressFrame, Request, Response,
+    PROTOCOL_VERSION,
+};
+use crate::queue::{JobQueue, PushError};
+use crate::runner::CampaignRunner;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads popping the job queue.
+    pub workers: usize,
+    /// Bounded queue capacity (jobs waiting beyond the ones in flight).
+    pub queue_capacity: usize,
+    /// Chunk size used when a job submits `chunk: 0`.
+    pub default_chunk: u32,
+    /// Per-job trial cap; requests above it are rejected as oversized.
+    pub max_trials: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            default_chunk: 64,
+            max_trials: 1_000_000,
+        }
+    }
+}
+
+/// Per-job cancellation flags for one connection, shared between its
+/// reader (sets on `Cancel`/EOF) and the workers (check between
+/// chunks, remove on terminal frame). Membership doubles as the job's
+/// liveness: a cancel for an id not present is `UnknownJob`, whether
+/// it never existed or already finished.
+type CancelRegistry = Arc<Mutex<HashMap<u64, Arc<AtomicBool>>>>;
+
+/// One admitted job, as carried through the queue to a worker.
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    chunk: u32,
+    cancel: Arc<AtomicBool>,
+    out: Sender<Response>,
+    registry: CancelRegistry,
+}
+
+/// A running campaign server. Dropping the handle does *not* stop the
+/// server; call [`shutdown`](Server::shutdown) (or send a `Shutdown`
+/// frame) to drain and join it.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<JobQueue<QueuedJob>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr`, spawns the accept loop and `config.workers` worker
+    /// threads, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<A: ToSocketAddrs, R: CampaignRunner>(
+        addr: A,
+        runner: Arc<R>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let next_id = Arc::new(AtomicU64::new(1));
+
+        let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+        for _ in 0..config.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let runner = Arc::clone(&runner);
+            threads.push(std::thread::spawn(move || worker_loop(&*runner, &queue)));
+        }
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let queue = Arc::clone(&queue);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&listener, &runner, &queue, &shutdown, &next_id, config);
+            }));
+        }
+        Ok(Server {
+            addr,
+            shutdown,
+            queue,
+            threads,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server stops of its own accord — i.e. until a
+    /// client sends a `Shutdown` frame. The `rskip-eval serve`
+    /// subcommand's main loop.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Initiates shutdown — already-admitted jobs finish, new
+    /// submissions are refused — and joins every server thread.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        // The accept loop is parked in accept(); a throwaway connection
+        // wakes it to observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop<R: CampaignRunner>(
+    listener: &TcpListener,
+    runner: &Arc<R>,
+    queue: &Arc<JobQueue<QueuedJob>>,
+    shutdown: &Arc<AtomicBool>,
+    next_id: &Arc<AtomicU64>,
+    config: ServerConfig,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let runner = Arc::clone(runner);
+        let queue = Arc::clone(queue);
+        let shutdown = Arc::clone(shutdown);
+        let next_id = Arc::clone(next_id);
+        let addr = listener.local_addr().ok();
+        // Connection threads are detached: they exit on client EOF, and
+        // an in-shutdown server only has to outlive its workers.
+        std::thread::spawn(move || {
+            handle_connection(stream, &*runner, &queue, &shutdown, &next_id, config, addr);
+        });
+    }
+}
+
+/// Serializes every outbound frame for one connection. Sole owner of
+/// the write half; exits when all `Sender` clones (reader + workers on
+/// this connection's jobs) are gone, or on the first write error
+/// (client vanished — frames drain into the void harmlessly).
+fn writer_loop(mut stream: TcpStream, frames: &Receiver<Response>) {
+    while let Ok(frame) = frames.recv() {
+        let mut line = encode(&frame);
+        line.push('\n');
+        if stream.write_all(line.as_bytes()).is_err() || stream.flush().is_err() {
+            return;
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn handle_connection<R: CampaignRunner>(
+    stream: TcpStream,
+    runner: &R,
+    queue: &Arc<JobQueue<QueuedJob>>,
+    shutdown: &Arc<AtomicBool>,
+    next_id: &Arc<AtomicU64>,
+    config: ServerConfig,
+    addr: Option<SocketAddr>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (out, frames) = channel::<Response>();
+    let writer = std::thread::spawn(move || writer_loop(write_half, &frames));
+
+    let _ = out.send(Response::Hello {
+        protocol: PROTOCOL_VERSION,
+        workers: config.workers.max(1),
+        queue_capacity: queue.capacity(),
+    });
+
+    let registry: CancelRegistry = Arc::new(Mutex::new(HashMap::new()));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match decode::<Request>(&line) {
+            Ok(r) => r,
+            Err(detail) => {
+                let _ = out.send(Response::Error {
+                    error: ErrorKind::MalformedFrame,
+                    detail,
+                });
+                continue;
+            }
+        };
+        match request {
+            Request::Submit(spec) => {
+                let response = admit(
+                    spec, runner, queue, shutdown, next_id, config, &out, &registry,
+                );
+                let _ = out.send(response);
+            }
+            Request::Cancel { job } => {
+                let flag = registry.lock().unwrap().get(&job).cloned();
+                match flag {
+                    Some(flag) => flag.store(true, Ordering::SeqCst),
+                    None => {
+                        let _ = out.send(Response::Error {
+                            error: ErrorKind::UnknownJob,
+                            detail: format!(
+                                "job {job} was never submitted on this connection, or already finished"
+                            ),
+                        });
+                    }
+                }
+            }
+            Request::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                queue.close();
+                if let Some(addr) = addr {
+                    let _ = TcpStream::connect(addr);
+                }
+                break;
+            }
+        }
+    }
+    // Client gone (EOF, error, or post-Shutdown): cancel whatever it
+    // still had in flight.
+    for flag in registry.lock().unwrap().values() {
+        flag.store(true, Ordering::SeqCst);
+    }
+    drop(out);
+    let _ = writer.join();
+}
+
+/// Validates and enqueues one submission, returning the frame to send.
+#[allow(clippy::too_many_arguments)]
+fn admit<R: CampaignRunner>(
+    spec: JobSpec,
+    runner: &R,
+    queue: &Arc<JobQueue<QueuedJob>>,
+    shutdown: &Arc<AtomicBool>,
+    next_id: &Arc<AtomicU64>,
+    config: ServerConfig,
+    out: &Sender<Response>,
+    registry: &CancelRegistry,
+) -> Response {
+    if shutdown.load(Ordering::SeqCst) {
+        return Response::Rejected {
+            error: ErrorKind::ShuttingDown,
+            detail: "server is draining for shutdown".to_string(),
+            retry_after_ms: None,
+        };
+    }
+    if !valid_tenant(spec.tenant_or_default()) {
+        return Response::Rejected {
+            error: ErrorKind::BadTenant,
+            detail: format!(
+                "tenant {:?} (want non-empty [a-z0-9_-], at most 64 bytes)",
+                spec.tenant
+            ),
+            retry_after_ms: None,
+        };
+    }
+    if spec.trials == 0 || spec.trials > config.max_trials {
+        return Response::Rejected {
+            error: ErrorKind::OversizedTrials,
+            detail: format!(
+                "trials must be in 1..={} (got {})",
+                config.max_trials, spec.trials
+            ),
+            retry_after_ms: None,
+        };
+    }
+    if let Err((error, detail)) = runner.validate(&spec) {
+        return Response::Rejected {
+            error,
+            detail,
+            retry_after_ms: None,
+        };
+    }
+
+    let chunk = if spec.chunk == 0 {
+        config.default_chunk
+    } else {
+        spec.chunk
+    }
+    .min(spec.trials)
+    .max(1);
+    let id = next_id.fetch_add(1, Ordering::SeqCst);
+    let cancel = Arc::new(AtomicBool::new(false));
+    registry.lock().unwrap().insert(id, Arc::clone(&cancel));
+    let trials = spec.trials;
+    let job = QueuedJob {
+        id,
+        spec,
+        chunk,
+        cancel,
+        out: out.clone(),
+        registry: Arc::clone(registry),
+    };
+    match queue.try_push(job) {
+        Ok(()) => Response::Accepted {
+            job: id,
+            trials,
+            chunk,
+        },
+        Err(err) => {
+            registry.lock().unwrap().remove(&id);
+            match err {
+                PushError::Full { queued } => Response::Rejected {
+                    error: ErrorKind::QueueFull,
+                    detail: format!("queue at capacity ({queued} jobs waiting)"),
+                    // Crude but honest backoff hint: a slot opens when a
+                    // queued job starts, so scale with the backlog.
+                    retry_after_ms: Some(50 + 100 * queued as u64),
+                },
+                PushError::Closed => Response::Rejected {
+                    error: ErrorKind::ShuttingDown,
+                    detail: "server is draining for shutdown".to_string(),
+                    retry_after_ms: None,
+                },
+            }
+        }
+    }
+}
+
+fn worker_loop<R: CampaignRunner>(runner: &R, queue: &JobQueue<QueuedJob>) {
+    while let Some(job) = queue.pop() {
+        run_job(runner, &job);
+        job.registry.lock().unwrap().remove(&job.id);
+    }
+}
+
+/// Executes one job chunk-by-chunk, streaming the running aggregate
+/// after each chunk and honoring cancellation and early stopping
+/// between chunks.
+fn run_job<R: CampaignRunner>(runner: &R, job: &QueuedJob) {
+    let trials = job.spec.trials;
+    let started = Instant::now();
+    let mut aggregate = CampaignStats::default();
+    let mut executed: u32 = 0;
+    let mut chunk_index: u32 = 0;
+    let mut early_stopped = false;
+
+    while executed < trials {
+        if job.cancel.load(Ordering::SeqCst) {
+            let _ = job.out.send(Response::Cancelled {
+                job: job.id,
+                executed,
+                stats: aggregate,
+            });
+            return;
+        }
+        let end = (executed + job.chunk).min(trials);
+        let chunk_started = Instant::now();
+        let output = runner.run_chunk(&job.spec, executed..end);
+        let chunk_nanos = u64::try_from(chunk_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        aggregate.merge(&output.stats);
+        executed = end;
+        let _ = job.out.send(Response::Progress(ProgressFrame {
+            job: job.id,
+            chunk: chunk_index,
+            executed,
+            requested: trials,
+            stats: aggregate,
+            correct_ci: aggregate.correct_ci(),
+            sdc_ci: aggregate.sdc_ci(),
+            outcomes: output.outcomes,
+            chunk_nanos,
+        }));
+        chunk_index += 1;
+        if let Some(stop) = job.spec.stop {
+            if executed < trials && stop.satisfied(&aggregate) {
+                early_stopped = true;
+                break;
+            }
+        }
+    }
+
+    let total_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let _ = job.out.send(Response::Done(DoneFrame {
+        job: job.id,
+        executed,
+        requested: trials,
+        early_stopped,
+        stats: aggregate,
+        correct_ci: aggregate.correct_ci(),
+        sdc_ci: aggregate.sdc_ci(),
+        total_nanos,
+    }));
+}

@@ -1,0 +1,407 @@
+//! End-to-end tests of the campaign service over loopback, using mock
+//! runners. The harness-backed runner gets its own integration test in
+//! `rskip-harness`; here the trials are synthetic so the scheduler's
+//! properties — chunking determinism, streaming, early stopping,
+//! backpressure, cancellation, typed error paths — are tested in
+//! isolation and in milliseconds.
+
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rskip_core::stats::{CampaignStats, EarlyStop, OutcomeClass, StopMetric, TrialOutcome};
+use rskip_serve::{
+    encode, CampaignRunner, ChunkOutput, Client, ErrorKind, JobSpec, Response, Server, ServerConfig,
+};
+
+/// Deterministic synthetic outcome for trial `t` of `spec` — a pure
+/// function of (bench, trial index), mimicking the harness's split-seed
+/// property: no dependence on chunk boundaries or scheduling.
+fn synthetic_class(spec: &JobSpec, t: u32) -> OutcomeClass {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ u64::from(t).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    for b in spec.bench.bytes() {
+        x = x.rotate_left(7) ^ u64::from(b);
+    }
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    match x % 12 {
+        0 => OutcomeClass::Sdc,
+        1 => OutcomeClass::Segfault,
+        2 => OutcomeClass::Hang,
+        _ => OutcomeClass::Correct,
+    }
+}
+
+fn synthetic_chunk(spec: &JobSpec, range: Range<u32>) -> ChunkOutput {
+    let mut stats = CampaignStats::default();
+    let mut codes = String::new();
+    for t in range {
+        let class = synthetic_class(spec, t);
+        stats.record(TrialOutcome {
+            class,
+            recovered: false,
+            fired: true,
+        });
+        codes.push(class.code());
+    }
+    ChunkOutput {
+        stats,
+        outcomes: spec.want_outcomes.then_some(codes),
+    }
+}
+
+fn validate_mock(spec: &JobSpec) -> Result<(), (ErrorKind, String)> {
+    if spec.bench != "mock" {
+        return Err((
+            ErrorKind::UnknownBench,
+            format!("no bench {:?}", spec.bench),
+        ));
+    }
+    if spec.scheme != "s" {
+        return Err((
+            ErrorKind::UnknownScheme,
+            format!("no scheme {:?}", spec.scheme),
+        ));
+    }
+    if spec.fault_model != "m" {
+        return Err((
+            ErrorKind::UnknownFaultModel,
+            format!("no fault model {:?}", spec.fault_model),
+        ));
+    }
+    if !spec.tier.is_empty() && spec.tier != "t" {
+        return Err((ErrorKind::UnknownTier, format!("no tier {:?}", spec.tier)));
+    }
+    Ok(())
+}
+
+/// Instant deterministic runner.
+struct MockRunner;
+
+impl CampaignRunner for MockRunner {
+    fn validate(&self, spec: &JobSpec) -> Result<(), (ErrorKind, String)> {
+        validate_mock(spec)
+    }
+
+    fn run_chunk(&self, spec: &JobSpec, range: Range<u32>) -> ChunkOutput {
+        synthetic_chunk(spec, range)
+    }
+}
+
+/// Runner that sleeps per chunk, for cancellation timing.
+struct SlowRunner(Duration);
+
+impl CampaignRunner for SlowRunner {
+    fn validate(&self, spec: &JobSpec) -> Result<(), (ErrorKind, String)> {
+        validate_mock(spec)
+    }
+
+    fn run_chunk(&self, spec: &JobSpec, range: Range<u32>) -> ChunkOutput {
+        std::thread::sleep(self.0);
+        synthetic_chunk(spec, range)
+    }
+}
+
+/// Runner that signals chunk start and then blocks until released, for
+/// deterministic backpressure tests.
+struct GateRunner {
+    started: Mutex<Sender<()>>,
+    release: Mutex<Receiver<()>>,
+}
+
+impl CampaignRunner for GateRunner {
+    fn validate(&self, spec: &JobSpec) -> Result<(), (ErrorKind, String)> {
+        validate_mock(spec)
+    }
+
+    fn run_chunk(&self, spec: &JobSpec, range: Range<u32>) -> ChunkOutput {
+        self.started.lock().unwrap().send(()).unwrap();
+        self.release.lock().unwrap().recv().unwrap();
+        synthetic_chunk(spec, range)
+    }
+}
+
+fn spec(trials: u32, chunk: u32) -> JobSpec {
+    let mut s = JobSpec::new("mock", "s", "m", trials);
+    s.chunk = chunk;
+    s
+}
+
+#[test]
+fn streamed_aggregate_is_byte_identical_to_one_shot() {
+    let server = Server::bind("127.0.0.1:0", Arc::new(MockRunner), ServerConfig::default())
+        .expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    assert_eq!(client.info().protocol, rskip_serve::PROTOCOL_VERSION);
+
+    let mut job_spec = spec(500, 100);
+    job_spec.want_outcomes = true;
+    let job = client.submit_accepted(&job_spec).expect("accept");
+    let outcome = client.stream_job(job, |_| {}).expect("stream");
+
+    // Five chunks of 100, all executed.
+    assert_eq!(outcome.progress.len(), 5);
+    assert_eq!(outcome.done.executed, 500);
+    assert_eq!(outcome.done.requested, 500);
+    assert!(!outcome.done.early_stopped);
+
+    // The one-shot reference: the same runner over 0..500 in one call.
+    let one_shot = synthetic_chunk(&job_spec, 0..500);
+    assert_eq!(outcome.done.stats, one_shot.stats);
+    // Byte-identical on the wire, not just structurally equal.
+    assert_eq!(encode(&outcome.done.stats), encode(&one_shot.stats));
+    // Streamed per-trial codes concatenate to the one-shot string.
+    let streamed: String = outcome
+        .progress
+        .iter()
+        .map(|p| p.outcomes.clone().expect("asked for outcomes"))
+        .collect();
+    assert_eq!(Some(streamed), one_shot.outcomes);
+
+    server.shutdown();
+}
+
+#[test]
+fn chunk_size_does_not_change_the_aggregate() {
+    let server = Server::bind("127.0.0.1:0", Arc::new(MockRunner), ServerConfig::default())
+        .expect("bind loopback");
+    let mut finals = Vec::new();
+    for chunk in [1, 7, 100, 500] {
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let job = client.submit_accepted(&spec(500, chunk)).expect("accept");
+        let outcome = client.stream_job(job, |_| {}).expect("stream");
+        finals.push(encode(&outcome.done.stats));
+    }
+    assert!(
+        finals.windows(2).all(|w| w[0] == w[1]),
+        "aggregate must be chunking-invariant: {finals:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn progress_cis_narrow_and_early_stop_reports_savings() {
+    let server = Server::bind("127.0.0.1:0", Arc::new(MockRunner), ServerConfig::default())
+        .expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let mut job_spec = spec(100_000, 200);
+    job_spec.stop = Some(EarlyStop {
+        metric: StopMetric::Sdc,
+        half_width: 0.01,
+    });
+    let job = client.submit_accepted(&job_spec).expect("accept");
+    let outcome = client.stream_job(job, |_| {}).expect("stream");
+
+    // Executed counts strictly increase; for frames with an unchanged
+    // SDC count the Wilson half-width strictly shrinks (the monotone
+    // regime — across frames where the count moved, width may grow).
+    for pair in outcome.progress.windows(2) {
+        assert!(pair[1].executed > pair[0].executed);
+        if pair[1].stats.counts.sdc == pair[0].stats.counts.sdc {
+            assert!(pair[1].sdc_ci.half_width() < pair[0].sdc_ci.half_width());
+        }
+    }
+    let first = outcome.progress.first().expect("at least one chunk");
+    let last = outcome.progress.last().expect("at least one chunk");
+    assert!(last.sdc_ci.half_width() <= first.sdc_ci.half_width());
+
+    // The rule fired with trials to spare, and honestly reported so.
+    assert!(outcome.done.early_stopped);
+    assert!(
+        outcome.done.executed < outcome.done.requested,
+        "early stop must save trials: {} vs {}",
+        outcome.done.executed,
+        outcome.done.requested
+    );
+    assert!(outcome.done.sdc_ci.half_width() <= 0.01);
+
+    server.shutdown();
+}
+
+#[test]
+fn error_paths_leave_the_server_serving() {
+    let server = Server::bind("127.0.0.1:0", Arc::new(MockRunner), ServerConfig::default())
+        .expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Malformed line → typed error frame, connection stays up.
+    client.send_raw("{definitely not json").expect("send");
+    match client.recv().expect("frame") {
+        Response::Error { error, .. } => assert_eq!(error, ErrorKind::MalformedFrame),
+        other => panic!("expected MalformedFrame error, got {other:?}"),
+    }
+
+    // Unknown identifiers and bounds → typed rejections.
+    let cases: Vec<(JobSpec, ErrorKind)> = vec![
+        (JobSpec::new("nope", "s", "m", 10), ErrorKind::UnknownBench),
+        (
+            JobSpec::new("mock", "nope", "m", 10),
+            ErrorKind::UnknownScheme,
+        ),
+        (
+            JobSpec::new("mock", "s", "nope", 10),
+            ErrorKind::UnknownFaultModel,
+        ),
+        (
+            {
+                let mut s = JobSpec::new("mock", "s", "m", 10);
+                s.tier = "warp".into();
+                s
+            },
+            ErrorKind::UnknownTier,
+        ),
+        (
+            JobSpec::new("mock", "s", "m", 0),
+            ErrorKind::OversizedTrials,
+        ),
+        (
+            JobSpec::new("mock", "s", "m", u32::MAX),
+            ErrorKind::OversizedTrials,
+        ),
+        (
+            {
+                let mut s = JobSpec::new("mock", "s", "m", 10);
+                s.tenant = "../escape".into();
+                s
+            },
+            ErrorKind::BadTenant,
+        ),
+    ];
+    for (bad, want) in cases {
+        match client.submit(&bad).expect("frame") {
+            Response::Rejected { error, .. } => assert_eq!(error, want, "for {bad:?}"),
+            other => panic!("expected rejection of {bad:?}, got {other:?}"),
+        }
+    }
+
+    // Cancel of a job that was never submitted → typed error.
+    client.cancel(10_000).expect("send");
+    match client.recv().expect("frame") {
+        Response::Error { error, .. } => assert_eq!(error, ErrorKind::UnknownJob),
+        other => panic!("expected UnknownJob error, got {other:?}"),
+    }
+
+    // After all of the above, a valid job still runs to completion.
+    let job = client.submit_accepted(&spec(50, 10)).expect("accept");
+    let outcome = client.stream_job(job, |_| {}).expect("stream");
+    assert_eq!(outcome.done.executed, 50);
+
+    // Cancel of a *finished* job → UnknownJob too.
+    client.cancel(job).expect("send");
+    match client.recv().expect("frame") {
+        Response::Error { error, .. } => assert_eq!(error, ErrorKind::UnknownJob),
+        other => panic!("expected UnknownJob error, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn queue_full_rejects_with_backoff_hint() {
+    let (started_tx, started_rx) = channel();
+    let (release_tx, release_rx) = channel();
+    let runner = GateRunner {
+        started: Mutex::new(started_tx),
+        release: Mutex::new(release_rx),
+    };
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(runner), config).expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Job A: the single worker pops it and blocks inside its chunk.
+    let job_a = client.submit_accepted(&spec(1, 1)).expect("accept A");
+    started_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("worker started job A");
+    // Job B fills the one queue slot.
+    let job_b = client.submit_accepted(&spec(1, 1)).expect("accept B");
+    // Job C finds the queue full: typed rejection with a backoff hint.
+    match client.submit(&spec(1, 1)).expect("frame") {
+        Response::Rejected {
+            error,
+            retry_after_ms,
+            ..
+        } => {
+            assert_eq!(error, ErrorKind::QueueFull);
+            assert!(retry_after_ms.is_some(), "QueueFull must hint a backoff");
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+
+    // Release both chunks; A then B complete normally.
+    release_tx.send(()).unwrap();
+    release_tx.send(()).unwrap();
+    let done_a = client.stream_job(job_a, |_| {}).expect("A finishes");
+    assert_eq!(done_a.done.executed, 1);
+    let done_b = client.stream_job(job_b, |_| {}).expect("B finishes");
+    assert_eq!(done_b.done.executed, 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn cancel_mid_flight_reports_partial_aggregate() {
+    let runner = SlowRunner(Duration::from_millis(25));
+    let server = Server::bind("127.0.0.1:0", Arc::new(runner), ServerConfig::default())
+        .expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let job = client.submit_accepted(&spec(10_000, 5)).expect("accept");
+    // Wait for the first progress frame, then cancel.
+    let mut executed_at_cancel = match client.recv().expect("frame") {
+        Response::Progress(p) if p.job == job => {
+            client.cancel(job).expect("send cancel");
+            p.executed
+        }
+        other => panic!("expected a progress frame first, got {other:?}"),
+    };
+    // Drain until the terminal Cancelled frame.
+    loop {
+        match client.recv().expect("frame") {
+            Response::Progress(p) if p.job == job => executed_at_cancel = p.executed,
+            Response::Cancelled {
+                job: cancelled,
+                executed,
+                stats,
+            } => {
+                assert_eq!(cancelled, job);
+                assert_eq!(executed, executed_at_cancel);
+                assert!(executed > 0 && executed < 10_000);
+                // The partial aggregate covers exactly the completed
+                // chunks — chunk-boundary atomic, never mid-chunk.
+                let reference = synthetic_chunk(&spec(10_000, 5), 0..executed);
+                assert_eq!(stats, reference.stats);
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_frame_drains_and_refuses_new_work() {
+    let server = Server::bind("127.0.0.1:0", Arc::new(MockRunner), ServerConfig::default())
+        .expect("bind loopback");
+
+    let mut first = Client::connect(server.addr()).expect("connect");
+    first.shutdown_server().expect("send shutdown");
+
+    // A fresh connection either fails outright (listener gone) or gets
+    // a typed ShuttingDown rejection — never a hang or a crash.
+    if let Ok(mut second) = Client::connect(server.addr()) {
+        match second.submit(&spec(10, 5)) {
+            Ok(Response::Rejected { error, .. }) => assert_eq!(error, ErrorKind::ShuttingDown),
+            Ok(other) => panic!("expected ShuttingDown, got {other:?}"),
+            Err(_) => {} // connection torn down mid-drain: acceptable
+        }
+    }
+
+    server.shutdown();
+}

@@ -172,6 +172,27 @@ impl Store {
         &self.dir
     }
 
+    /// A namespaced sub-store rooted at `dir/<namespace>` — one isolated
+    /// artifact root per tenant of the campaign service. Rejects (with
+    /// `None`) any name that is empty, longer than 64 bytes, or contains
+    /// characters outside `[a-z0-9_-]`, so a wire-supplied tenant string
+    /// can never traverse outside the root or collide with another
+    /// tenant's directory via case folding.
+    #[must_use]
+    pub fn namespace(&self, namespace: &str) -> Option<Store> {
+        if namespace.is_empty()
+            || namespace.len() > 64
+            || !namespace
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+        {
+            return None;
+        }
+        Some(Store {
+            dir: self.dir.join(namespace),
+        })
+    }
+
     /// The path an artifact for `(bench, key)` lives at.
     pub fn path_for(&self, bench: &str, key: CacheKey) -> PathBuf {
         self.dir
@@ -640,6 +661,29 @@ mod tests {
             LoadOutcome::Partial(p) => assert!(p.plan.is_none()),
             other => panic!("expected Partial, got {other:?}"),
         }
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn namespace_isolates_and_sanitizes() {
+        let store = temp_store();
+        let alpha = store.namespace("tenant-a_1").unwrap();
+        assert_eq!(alpha.dir(), store.dir().join("tenant-a_1"));
+        // Two namespaces never share artifact paths.
+        let beta = store.namespace("tenant-b").unwrap();
+        assert_ne!(
+            alpha.path_for("conv1d", key()),
+            beta.path_for("conv1d", key())
+        );
+        // A namespaced save lands under the tenant root and loads back.
+        alpha.save(&sample_artifact(key())).unwrap();
+        assert!(matches!(alpha.load("conv1d", key()), LoadOutcome::Hit(_)));
+        assert!(matches!(beta.load("conv1d", key()), LoadOutcome::Miss));
+        // Hostile or malformed names are rejected outright.
+        for bad in ["", "..", "a/b", "a\\b", "UPPER", "with space", "é"] {
+            assert!(store.namespace(bad).is_none(), "accepted {bad:?}");
+        }
+        assert!(store.namespace(&"x".repeat(65)).is_none());
         let _ = fs::remove_dir_all(store.dir());
     }
 
