@@ -26,11 +26,19 @@
 //!   transformed IR and diagnoses every store, branch, region exit or
 //!   return not dominated by a vote/check as a typed unprotected window
 //!   (see `DESIGN.md` §4.9).
+//! * `rskip-vuln` — the compositional vulnerability analysis
+//!   (see `DESIGN.md` §4.14): [`SectionMap`] partitions transformed IR
+//!   into injection sections along region/check/loop boundaries with
+//!   per-section content hashes, [`VulnAnalysis`] proves fault sites
+//!   statically benign (dead, overwritten-before-use, masked) per fault
+//!   model, and [`compose`] folds per-section injection profiles into
+//!   whole-program SDC/protection estimates with Wilson intervals.
 
 #![deny(missing_docs)]
 
 mod candidates;
 mod cfg;
+mod compose;
 mod cost;
 mod coverage;
 mod defuse;
@@ -38,10 +46,13 @@ mod dom;
 mod liveness;
 mod loops;
 mod purity;
+mod sections;
 mod slice;
+mod vuln;
 
 pub use candidates::{find_candidates, CandidateKind, CandidateLoop, DetectConfig};
 pub use cfg::Cfg;
+pub use compose::{compose, ComposedEstimate, ComposedRate, SectionProfile};
 pub use cost::{CostModel, InstClass};
 pub use coverage::{
     lint_memoized_body, lint_module, CoverageDiag, CoverageKind, CoverageMap, CoverageReport,
@@ -52,4 +63,6 @@ pub use dom::DomTree;
 pub use liveness::Liveness;
 pub use loops::{InductionVar, Loop, LoopForest};
 pub use purity::{memoization_blockers, Effect, Purity};
+pub use sections::{Section, SectionKind, SectionMap};
 pub use slice::{BackwardSlice, SliceError};
+pub use vuln::{FuncVuln, VulnAnalysis};

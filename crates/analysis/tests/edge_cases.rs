@@ -1,0 +1,268 @@
+//! Edge-case coverage for the dominator and liveness analyses on the
+//! CFG shapes the section partitioner leans on hardest: unreachable
+//! blocks, single-block functions, and back-edge-heavy loop nests.
+
+use std::collections::BTreeSet;
+
+use rskip_analysis::{Cfg, DomTree, Liveness, SectionMap, VulnAnalysis};
+use rskip_ir::{BinOp, BlockId, CmpOp, Function, Module, ModuleBuilder, Operand, Reg, Ty};
+
+fn single_block_module() -> Module {
+    let mut mb = ModuleBuilder::new("single");
+    let out = mb.global_zeroed("out", Ty::I64, 1);
+    let mut f = mb.function("main", vec![], None);
+    let entry = f.entry_block();
+    f.switch_to(entry);
+    let x = f.bin(BinOp::Add, Ty::I64, Operand::imm_i(2), Operand::imm_i(3));
+    f.store(Ty::I64, Operand::global(out), Operand::reg(x));
+    f.ret(None);
+    f.finish();
+    mb.finish()
+}
+
+/// entry → exit, plus two blocks no edge reaches (one of which loops on
+/// itself, so reachability must not be fooled by incoming edges from
+/// other unreachable blocks).
+fn unreachable_module() -> Module {
+    let mut mb = ModuleBuilder::new("unreachable");
+    let out = mb.global_zeroed("out", Ty::I64, 1);
+    let mut f = mb.function("main", vec![], None);
+    let entry = f.entry_block();
+    let exit = f.new_block("exit");
+    let dead_a = f.new_block("dead_a");
+    let dead_b = f.new_block("dead_b");
+    let x = f.def_reg(Ty::I64, "x");
+
+    f.switch_to(entry);
+    f.mov(x, Operand::imm_i(41));
+    f.br(exit);
+
+    f.switch_to(exit);
+    f.bin_into(x, BinOp::Add, Ty::I64, Operand::reg(x), Operand::imm_i(1));
+    f.store(Ty::I64, Operand::global(out), Operand::reg(x));
+    f.ret(None);
+
+    // Dead blocks: a → b → a, a little unreachable cycle.
+    f.switch_to(dead_a);
+    f.bin_into(x, BinOp::Add, Ty::I64, Operand::reg(x), Operand::imm_i(10));
+    f.br(dead_b);
+    f.switch_to(dead_b);
+    f.br(dead_a);
+
+    f.finish();
+    mb.finish()
+}
+
+/// A triple-nested counted loop: three back edges, every header
+/// dominating its body, with a loop-carried accumulator threaded
+/// through all three levels.
+fn nested_loops_module() -> Module {
+    let mut mb = ModuleBuilder::new("nest");
+    let out = mb.global_zeroed("out", Ty::I64, 1);
+    let mut f = mb.function("main", vec![], None);
+    let entry = f.entry_block();
+    let h1 = f.new_block("h1");
+    let h2 = f.new_block("h2");
+    let h3 = f.new_block("h3");
+    let body = f.new_block("body");
+    let l3 = f.new_block("latch3");
+    let l2 = f.new_block("latch2");
+    let l1 = f.new_block("latch1");
+    let exit = f.new_block("exit");
+    let i = f.def_reg(Ty::I64, "i");
+    let j = f.def_reg(Ty::I64, "j");
+    let k = f.def_reg(Ty::I64, "k");
+    let s = f.def_reg(Ty::I64, "s");
+
+    f.switch_to(entry);
+    f.mov(s, Operand::imm_i(0));
+    f.mov(i, Operand::imm_i(0));
+    f.br(h1);
+
+    f.switch_to(h1);
+    let c1 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(3));
+    f.mov(j, Operand::imm_i(0));
+    f.cond_br(Operand::reg(c1), h2, exit);
+
+    f.switch_to(h2);
+    let c2 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(j), Operand::imm_i(3));
+    f.mov(k, Operand::imm_i(0));
+    f.cond_br(Operand::reg(c2), h3, l1);
+
+    f.switch_to(h3);
+    let c3 = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(k), Operand::imm_i(3));
+    f.cond_br(Operand::reg(c3), body, l2);
+
+    f.switch_to(body);
+    f.bin_into(s, BinOp::Add, Ty::I64, Operand::reg(s), Operand::imm_i(1));
+    f.br(l3);
+
+    f.switch_to(l3);
+    f.bin_into(k, BinOp::Add, Ty::I64, Operand::reg(k), Operand::imm_i(1));
+    f.br(h3);
+
+    f.switch_to(l2);
+    f.bin_into(j, BinOp::Add, Ty::I64, Operand::reg(j), Operand::imm_i(1));
+    f.br(h2);
+
+    f.switch_to(l1);
+    f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+    f.br(h1);
+
+    f.switch_to(exit);
+    f.store(Ty::I64, Operand::global(out), Operand::reg(s));
+    f.ret(None);
+    f.finish();
+    mb.finish()
+}
+
+fn main_fn(m: &Module) -> &Function {
+    m.functions.iter().find(|f| f.name == "main").unwrap()
+}
+
+#[test]
+fn single_block_function_dominates_itself_only() {
+    let m = single_block_module();
+    let f = main_fn(&m);
+    let cfg = Cfg::new(f);
+    let dom = DomTree::new(f, &cfg);
+    let entry = BlockId(0);
+    assert_eq!(dom.idom(entry), None, "the entry has no idom");
+    assert!(dom.dominates(entry, entry));
+    assert!(!dom.strictly_dominates(entry, entry));
+
+    // Nothing is live across the single block's boundaries.
+    let live = Liveness::new(f, &cfg);
+    assert!(live.live_in(entry).is_empty());
+    assert!(live.live_out(entry).is_empty());
+
+    // The whole function is one entry section.
+    let sections = SectionMap::build(&m);
+    assert_eq!(
+        sections
+            .sections()
+            .iter()
+            .filter(|s| s.func_name == "main")
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn unreachable_blocks_are_outside_dominance_and_liveness() {
+    let m = unreachable_module();
+    let f = main_fn(&m);
+    let cfg = Cfg::new(f);
+    let dom = DomTree::new(f, &cfg);
+    let (entry, exit) = (BlockId(0), BlockId(1));
+    let (dead_a, dead_b) = (BlockId(2), BlockId(3));
+
+    assert!(cfg.is_reachable(exit));
+    assert!(
+        !cfg.is_reachable(dead_a) && !cfg.is_reachable(dead_b),
+        "a cycle of dead blocks must not count as reachable"
+    );
+    assert_eq!(dom.idom(exit), Some(entry));
+    assert_eq!(dom.idom(dead_a), None, "unreachable blocks have no idom");
+    assert_eq!(dom.idom(dead_b), None);
+    assert!(
+        !dom.dominates(entry, dead_a),
+        "nothing dominates an unreachable block"
+    );
+
+    // Liveness converges and reports nothing live into the entry even
+    // though the dead cycle reads `x` upward-exposed.
+    let live = Liveness::new(f, &cfg);
+    assert!(live.live_in(entry).is_empty());
+
+    // The fault-liveness layer stays total: boundaries in dead blocks
+    // answer queries (conservatively) instead of panicking. `x` is
+    // upward-exposed around the dead cycle, so it reads as live there.
+    let x = Reg(f
+        .regs
+        .iter()
+        .position(|r| r.name.as_deref() == Some("x"))
+        .unwrap() as u32);
+    let vuln = VulnAnalysis::analyze(&m);
+    let fv = vuln.func("main").unwrap();
+    assert!(
+        !fv.benign_skip(dead_a, 0),
+        "dead-block boundaries are conservatively non-benign"
+    );
+    assert_eq!(
+        fv.benign_bits(dead_a, 0, x),
+        0,
+        "a live unmasked register has no benign bits, even in a dead block"
+    );
+
+    // And the section partitioner pools them into one trailing section.
+    let sections = SectionMap::build(&m);
+    let dead_section = sections.section_of_named("main", dead_a).unwrap();
+    assert_eq!(
+        sections.section_of_named("main", dead_b).unwrap().id,
+        dead_section.id
+    );
+    assert_ne!(
+        sections.section_of_named("main", entry).unwrap().id,
+        dead_section.id
+    );
+}
+
+#[test]
+fn nested_loops_dominance_and_loop_carried_liveness() {
+    let m = nested_loops_module();
+    let f = main_fn(&m);
+    let cfg = Cfg::new(f);
+    let dom = DomTree::new(f, &cfg);
+    let (entry, h1, h2, h3) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+    let (body, l3, l2, l1) = (BlockId(4), BlockId(5), BlockId(6), BlockId(7));
+
+    // Header chain dominates inward; latches are dominated by their
+    // headers but dominate nothing of the outer levels.
+    for b in [h1, h2, h3, body, l3, l2, l1] {
+        assert!(dom.dominates(entry, b));
+        assert!(dom.dominates(h1, b));
+    }
+    assert!(dom.dominates(h2, h3) && dom.dominates(h3, body));
+    assert!(dom.strictly_dominates(h3, l3));
+    assert!(
+        !dom.dominates(l3, h3),
+        "a latch does not dominate its header"
+    );
+    assert!(!dom.dominates(body, l2));
+
+    // Loop-carried registers stay live around every back edge: the
+    // accumulator is live-in at all three headers, each counter at its
+    // own header.
+    let live = Liveness::new(f, &cfg);
+    let names = |set: &BTreeSet<Reg>| -> Vec<String> {
+        set.iter()
+            .map(|r| f.regs[r.0 as usize].name.clone().unwrap_or_default())
+            .collect()
+    };
+    for h in [h1, h2, h3] {
+        assert!(
+            names(live.live_in(h)).contains(&"s".to_string()),
+            "accumulator must be live-in at header {h:?}"
+        );
+    }
+    assert!(names(live.live_in(h1)).contains(&"i".to_string()));
+    assert!(names(live.live_in(h3)).contains(&"k".to_string()));
+    assert!(
+        !names(live.live_in(h1)).contains(&"k".to_string()),
+        "the innermost counter is dead around the outermost back edge"
+    );
+
+    // Every header leads its own section.
+    let sections = SectionMap::build(&m);
+    let ids: Vec<usize> = [h1, h2, h3]
+        .iter()
+        .map(|&h| sections.section_of_named("main", h).unwrap().id)
+        .collect();
+    assert_eq!(ids.len(), 3);
+    assert!(ids[0] != ids[1] && ids[1] != ids[2] && ids[0] != ids[2]);
+    for &h in &[h1, h2, h3] {
+        let sec = sections.section_of_named("main", h).unwrap();
+        assert_eq!(sec.leader, h, "a loop header must lead its section");
+    }
+}

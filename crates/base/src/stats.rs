@@ -169,6 +169,13 @@ pub struct TrialOutcome {
     /// in disguise — [`CampaignStats`] counts it separately instead of
     /// letting it inflate the protection rate silently.
     pub fired: bool,
+    /// Whether the drawn fault site was statically proven benign by the
+    /// vulnerability pre-analysis (`rskip-vuln`) and the execution was
+    /// skipped. Pruned trials are classified `Correct` by construction —
+    /// that is exactly the soundness claim the analysis makes — but the
+    /// count is kept so reports can state how much of the estimate rests
+    /// on static argument rather than dynamic injection.
+    pub pruned: bool,
 }
 
 /// Campaign aggregate — a commutative monoid under [`merge`].
@@ -186,6 +193,10 @@ pub struct CampaignStats {
     /// dynamic length, or a dead drawn target): effectively clean runs,
     /// counted so they can be reported rather than silently dropped.
     pub not_fired: u64,
+    /// Trials answered by the static vulnerability analysis instead of
+    /// execution: the drawn site was proven benign, so the trial counts
+    /// as `Correct` without a run. Zero everywhere pruning is off.
+    pub pruned: u64,
 }
 
 impl CampaignStats {
@@ -201,6 +212,9 @@ impl CampaignStats {
         if !t.fired {
             self.not_fired += 1;
         }
+        if t.pruned {
+            self.pruned += 1;
+        }
     }
 
     /// Combines two partial aggregates.
@@ -209,6 +223,7 @@ impl CampaignStats {
         self.false_negatives.merge(&o.false_negatives);
         self.recoveries += o.recoveries;
         self.not_fired += o.not_fired;
+        self.pruned += o.pruned;
     }
 
     /// Protection rate = correct / total.
@@ -266,11 +281,22 @@ impl WilsonCi {
 /// * `successes = n` → mirror image, `hi = 1` exactly.
 #[must_use]
 pub fn wilson_ci(successes: u64, n: u64) -> WilsonCi {
+    wilson_ci_z(successes, n, WILSON_Z)
+}
+
+/// Wilson score interval at an explicit critical value `z`.
+///
+/// Same edge behavior as [`wilson_ci`]. Used where a consumer needs a
+/// different per-interval confidence than the reporting default — e.g.
+/// composition of many per-section intervals, whose joint coverage
+/// degrades with the section count unless each interval is held to a
+/// stricter level.
+#[must_use]
+pub fn wilson_ci_z(successes: u64, n: u64, z: f64) -> WilsonCi {
     if n == 0 {
         return WilsonCi { lo: 0.0, hi: 1.0 };
     }
     debug_assert!(successes <= n, "more successes than trials");
-    let z = WILSON_Z;
     let nf = n as f64;
     let p = successes as f64 / nf;
     let z2 = z * z;
@@ -385,6 +411,7 @@ mod tests {
                 class: OutcomeClass::Correct,
                 recovered: false,
                 fired: true,
+                pruned: false,
             });
         }
         // 0/20 SDC: half-width ≈ 0.080 > 0.05.
@@ -394,6 +421,7 @@ mod tests {
                 class: OutcomeClass::Correct,
                 recovered: false,
                 fired: true,
+                pruned: false,
             });
         }
         // 0/160: half-width ≈ 0.0117 ≤ 0.05.
@@ -416,6 +444,7 @@ mod tests {
                 class,
                 recovered: i % 2 == 0,
                 fired: i % 3 != 0,
+                pruned: i % 5 == 0,
             });
         }
         let json = serde_json::to_string(&stats).unwrap();

@@ -49,11 +49,18 @@ use crate::machine::{ExecConfig, Machine, Termination};
 
 /// One boundary of the clean census run: where the innermost frame stood
 /// and which registers held live values.
-pub(crate) struct TraceEntry {
-    pub(crate) func: u32,
-    pub(crate) block: u32,
-    pub(crate) ip: u32,
-    pub(crate) written: Vec<Reg>,
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Index of the function the innermost frame was executing.
+    pub func: u32,
+    /// Block index of the next instruction at this boundary.
+    pub block: u32,
+    /// Instruction index within the block (`== insts.len()` ⇒ the
+    /// terminator is next).
+    pub ip: u32,
+    /// Registers of the innermost frame holding written values — the
+    /// targets a register fault at this boundary can strike.
+    pub written: Vec<Reg>,
 }
 
 impl TraceEntry {
@@ -111,6 +118,12 @@ pub struct Enumeration {
     /// (e.g. burst windows clamped into range and merged). Empty when the
     /// sweep ran exactly as requested.
     pub notes: Vec<String>,
+    /// Enumerated cases answered by a static prune filter instead of
+    /// execution ([`enumerate_faults_pruned`]): the filter claimed the
+    /// site benign, so no run was performed and no probe recorded. The
+    /// fault universe of the sweep is therefore
+    /// `probes.len() + pruned` — accounting the universe-sum tests pin.
+    pub pruned: u64,
 }
 
 impl Enumeration {
@@ -204,10 +217,50 @@ pub fn enumerate_faults<H: RuntimeHooks>(
     entry: &str,
     args: &[Value],
     exec: &ExecConfig,
+    make_hooks: impl FnMut() -> H,
+    model: FaultModel,
+    bits: &[u32],
+    max_boundaries: u64,
+) -> Result<Enumeration, EnumError> {
+    enumerate_faults_pruned(
+        module,
+        entry,
+        args,
+        exec,
+        make_hooks,
+        model,
+        bits,
+        max_boundaries,
+        |_, _, _, _| false,
+    )
+}
+
+/// [`enumerate_faults`] with a static prune filter in front of the
+/// per-case runs.
+///
+/// `prune(function, block, ip, kind)` is consulted once per enumerated
+/// case, in enumeration order; returning `true` claims the site is
+/// statically benign (a fault there cannot change observable behavior),
+/// and the case is **counted** in [`Enumeration::pruned`] but neither
+/// executed nor recorded as a probe. The filter must be sound — the
+/// cross-validation tests check soundness by running the same sweep
+/// unpruned and asserting every prunable case ends `Correct`.
+///
+/// # Panics
+///
+/// Panics if `entry` does not exist or the argument count mismatches
+/// (entry setup errors are caller bugs, as with [`Machine::run`]).
+#[allow(clippy::too_many_arguments)]
+pub fn enumerate_faults_pruned<H: RuntimeHooks>(
+    module: &Module,
+    entry: &str,
+    args: &[Value],
+    exec: &ExecConfig,
     mut make_hooks: impl FnMut() -> H,
     model: FaultModel,
     bits: &[u32],
     max_boundaries: u64,
+    mut prune: impl FnMut(&str, BlockId, usize, &ExactFaultKind) -> bool,
 ) -> Result<Enumeration, EnumError> {
     let decoded = Decoded::new(module);
 
@@ -269,6 +322,7 @@ pub fn enumerate_faults<H: RuntimeHooks>(
 
     let mut probes = Vec::new();
     let mut intrinsic_boundaries = 0u64;
+    let mut pruned = 0u64;
     for (at, entry_at) in trace.iter().enumerate() {
         let function = &module.functions[entry_at.func as usize].name;
         let mut probe_one = |kind: ExactFaultKind| {
@@ -302,6 +356,13 @@ pub fn enumerate_faults<H: RuntimeHooks>(
                 .is_some_and(|inst| matches!(inst, rskip_ir::Inst::IntrinsicCall { .. }));
             if next_is_intrinsic {
                 intrinsic_boundaries += 1;
+            } else if prune(
+                function,
+                BlockId(entry_at.block),
+                entry_at.ip as usize,
+                &ExactFaultKind::Skip,
+            ) {
+                pruned += 1;
             } else {
                 probe_one(ExactFaultKind::Skip);
             }
@@ -316,7 +377,16 @@ pub fn enumerate_faults<H: RuntimeHooks>(
                     }
                     ExactFaultKind::Skip => unreachable!(),
                 };
-                probe_one(kind);
+                if prune(
+                    function,
+                    BlockId(entry_at.block),
+                    entry_at.ip as usize,
+                    &kind,
+                ) {
+                    pruned += 1;
+                } else {
+                    probe_one(kind);
+                }
             }
         }
     }
@@ -330,5 +400,6 @@ pub fn enumerate_faults<H: RuntimeHooks>(
         boundaries: trace.len() as u64,
         probes,
         notes,
+        pruned,
     })
 }

@@ -48,7 +48,10 @@ mod threaded;
 
 pub use counters::Counters;
 pub use decoded::{decode_cache_stats, DecodeCacheStats, Decoded};
-pub use enumerate::{enumerate_faults, enumerate_flips, EnumError, Enumeration, Probe};
+pub use enumerate::{
+    enumerate_faults, enumerate_faults_pruned, enumerate_flips, EnumError, Enumeration, Probe,
+    TraceEntry,
+};
 pub use fault::{
     classify_outcome, ExactFault, ExactFaultKind, ExactFlip, FaultEffect, FaultModel,
     InjectionPlan, InjectionRecord, OutcomeClass,

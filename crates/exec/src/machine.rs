@@ -425,8 +425,13 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
     }
 
     /// Runs `func`, recording one [`TraceEntry`] per instruction boundary
-    /// (enumeration census).
-    pub(crate) fn run_traced(
+    /// (the enumeration census). Traced runs always execute on the
+    /// reference [`ExecTier::Match`] loop regardless of the configured
+    /// tier — the census speaks in `(block, ip)` program points, which is
+    /// what the oracle tier is defined over. Public so the vulnerability
+    /// analysis (`rskip-vuln`) can take the same census the exhaustive
+    /// enumerator uses and build per-section fault-site universes from it.
+    pub fn run_traced(
         &mut self,
         func: &str,
         args: &[Value],

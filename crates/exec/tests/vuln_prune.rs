@@ -1,0 +1,230 @@
+//! Cross-validation of `rskip-vuln`'s static fault-liveness analysis
+//! against exhaustive fault enumeration, plus the pruned-universe
+//! accounting contract:
+//!
+//! 1. **Pruning soundness** (direction 1): every fault case the static
+//!    analysis classifies benign — a flip in a dead or masked register
+//!    bit, a burst confined to benign bits, a skip of a pure dead
+//!    producer — must enumerate as `Correct` under every fault model.
+//!    One SDC under a claimed-benign case is an analysis bug.
+//! 2. **Universe accounting**: `enumerate_faults_pruned` with the
+//!    static filter must answer `pruned` cases without execution and
+//!    probe the rest, with `pruned + probes == ` the unpruned sweep's
+//!    probe count — pruning may never silently drop or duplicate cases.
+//! 3. **Outcome preservation**: since pruned cases are exactly the
+//!    statically-benign (⇒ `Correct`) ones, the pruned sweep must see
+//!    the same SDC set as the unpruned sweep.
+
+use rskip_analysis::VulnAnalysis;
+use rskip_exec::{
+    enumerate_faults, enumerate_faults_pruned, ExactFaultKind, ExecConfig, FaultModel, NoopHooks,
+    OutcomeClass,
+};
+use rskip_ir::{BinOp, BlockId, CmpOp, Module, ModuleBuilder, Operand, Ty, Value, Verifier};
+use rskip_passes::apply_swift_r;
+
+/// Bit positions swept per (boundary, register): low bits corrupt values
+/// by small deltas, middle and high bits by large ones. 31 and 62 sit
+/// above the micro workload's 0xFF mask, so masked-benign cases are
+/// exercised alongside live ones.
+const BITS: [u32; 5] = [0, 1, 7, 31, 62];
+
+/// Short enough that `boundaries × live regs × bits` runs stay cheap.
+const MAX_BOUNDARIES: u64 = 4096;
+
+fn exec_config() -> ExecConfig {
+    ExecConfig {
+        // A corrupted loop counter can spin; bound each probe run.
+        step_limit: 100_000,
+        ..ExecConfig::default()
+    }
+}
+
+/// A micro workload sized for exhaustive enumeration, with deliberate
+/// statically-benign structure: a masked register (`v`, consumed only
+/// through `And v, 0xFF`) and a dead pure producer (`junk`, never read).
+fn micro_module() -> Module {
+    let mut mb = ModuleBuilder::new("micro-vuln");
+    let a = mb.global_init(
+        "a",
+        Ty::I64,
+        [3, 1, 4, 1, 5].into_iter().map(Value::I).collect(),
+    );
+    let out = mb.global_zeroed("out", Ty::I64, 1);
+
+    let mut f = mb.function("main", vec![], None);
+    let entry = f.entry_block();
+    let header = f.new_block("header");
+    let body = f.new_block("body");
+    let exit = f.new_block("exit");
+    let i = f.def_reg(Ty::I64, "i");
+    let s = f.def_reg(Ty::I64, "s");
+
+    f.switch_to(entry);
+    f.mov(i, Operand::imm_i(0));
+    f.mov(s, Operand::imm_i(0));
+    f.br(header);
+
+    f.switch_to(header);
+    let c = f.cmp(CmpOp::Lt, Ty::I64, Operand::reg(i), Operand::imm_i(5));
+    f.cond_br(Operand::reg(c), body, exit);
+
+    f.switch_to(body);
+    let addr = f.bin(BinOp::Add, Ty::I64, Operand::global(a), Operand::reg(i));
+    let v = f.load(Ty::I64, Operand::reg(addr));
+    // `v` is consumed only through this mask, so its bits above 0xFF are
+    // statically benign while its low bits stay live.
+    let m = f.bin(BinOp::And, Ty::I64, Operand::reg(v), Operand::imm_i(0xFF));
+    // A dead pure producer: fully benign to flip, burst or skip.
+    let _junk = f.bin(BinOp::Add, Ty::I64, Operand::reg(m), Operand::imm_i(7));
+    f.bin_into(s, BinOp::Add, Ty::I64, Operand::reg(s), Operand::reg(m));
+    f.bin_into(i, BinOp::Add, Ty::I64, Operand::reg(i), Operand::imm_i(1));
+    f.br(header);
+
+    f.switch_to(exit);
+    f.store(Ty::I64, Operand::global(out), Operand::reg(s));
+    f.ret(None);
+    f.finish();
+    mb.finish()
+}
+
+fn all_models() -> [FaultModel; 3] {
+    [
+        FaultModel::SingleBitSeu,
+        FaultModel::InstructionSkip,
+        FaultModel::MultiBitBurst { width: 4 },
+    ]
+}
+
+/// The static benignity verdict for one enumerated fault case.
+fn is_benign(
+    vuln: &VulnAnalysis,
+    func: &str,
+    block: BlockId,
+    ip: usize,
+    kind: &ExactFaultKind,
+) -> bool {
+    let fv = vuln.func(func).expect("enumerated function is analyzed");
+    match *kind {
+        ExactFaultKind::BitFlip { reg, bit } => fv.benign_flip(block, ip, reg, bit),
+        ExactFaultKind::Burst { reg, start, width } => {
+            fv.benign_burst(block, ip, reg, start, width)
+        }
+        ExactFaultKind::Skip => fv.benign_skip(block, ip),
+    }
+}
+
+/// Direction 1 on one module: exhaustively sweep every model and demand
+/// that each statically-benign case probes `Correct`.
+fn assert_benign_cases_correct(module: &Module) {
+    Verifier::new(module).verify().expect("module verifies");
+    let vuln = VulnAnalysis::analyze(module);
+    for model in all_models() {
+        let en = enumerate_faults(
+            module,
+            "main",
+            &[],
+            &exec_config(),
+            || NoopHooks,
+            model,
+            &BITS,
+            MAX_BOUNDARIES,
+        )
+        .expect("enumeration runs");
+        let mut benign = 0usize;
+        for p in &en.probes {
+            if is_benign(&vuln, &p.function, p.block, p.ip, &p.kind) {
+                benign += 1;
+                assert_eq!(
+                    p.outcome,
+                    OutcomeClass::Correct,
+                    "statically-benign case escaped under {model:?}: \
+                     {}:{}[{}] {:?} -> {:?}",
+                    p.function,
+                    p.block.0,
+                    p.ip,
+                    p.kind,
+                    p.outcome,
+                );
+            }
+        }
+        assert!(
+            benign > 0,
+            "sweep never exercised a statically-benign case under {model:?} — \
+             the soundness assertion is vacuous"
+        );
+    }
+}
+
+#[test]
+fn statically_benign_cases_enumerate_correct_unprotected() {
+    assert_benign_cases_correct(&micro_module());
+}
+
+#[test]
+fn statically_benign_cases_enumerate_correct_swift_r() {
+    let mut m = micro_module();
+    apply_swift_r(&mut m);
+    assert_benign_cases_correct(&m);
+}
+
+#[test]
+fn pruned_plus_probed_equals_unpruned_universe() {
+    let module = micro_module();
+    let vuln = VulnAnalysis::analyze(&module);
+    for model in all_models() {
+        let unpruned = enumerate_faults(
+            &module,
+            "main",
+            &[],
+            &exec_config(),
+            || NoopHooks,
+            model,
+            &BITS,
+            MAX_BOUNDARIES,
+        )
+        .expect("unpruned enumeration runs");
+        assert_eq!(unpruned.pruned, 0, "no filter, nothing pruned");
+
+        let pruned = enumerate_faults_pruned(
+            &module,
+            "main",
+            &[],
+            &exec_config(),
+            || NoopHooks,
+            model,
+            &BITS,
+            MAX_BOUNDARIES,
+            |func, block, ip, kind| is_benign(&vuln, func, block, ip, kind),
+        )
+        .expect("pruned enumeration runs");
+
+        // Universe accounting: every case is either probed or pruned.
+        assert_eq!(
+            pruned.pruned + pruned.probes.len() as u64,
+            unpruned.probes.len() as u64,
+            "pruning dropped or duplicated cases under {model:?}"
+        );
+        assert!(
+            pruned.pruned > 0,
+            "the static filter pruned nothing under {model:?}"
+        );
+        assert_eq!(pruned.boundaries, unpruned.boundaries);
+
+        // Outcome preservation: pruned cases are Correct by soundness,
+        // so both sweeps must witness the identical SDC set.
+        let sdc = |en: &rskip_exec::Enumeration| {
+            let mut v: Vec<_> = en
+                .sdc_probes()
+                .map(|p| (p.at, p.function.clone(), format!("{:?}", p.kind)))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            sdc(&pruned),
+            sdc(&unpruned),
+            "pruning changed the witnessed SDC set under {model:?}"
+        );
+    }
+}

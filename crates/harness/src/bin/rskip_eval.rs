@@ -17,6 +17,8 @@
 //! rskip-eval supervise [--size ...] [--runs N]
 //! rskip-eval bench  [--size ...] [--runs N] [--bench NAME] [--tier match|threaded-nofuse|threaded] [--json]
 //! rskip-eval campaign [--size ...] [--runs N] [--bench NAME] [--fault-model seu|skip|burst:N[,..]] [--json]
+//! rskip-eval vuln   [--size ...] [--runs N] [--bench NAME[,NAME..]] [--fault-model ...] [--json]
+//!                   [--incremental] [--oracle-limit N] [--store DIR]
 //! rskip-eval serve  [--addr HOST:PORT] [--workers N] [--queue N] [--chunk N] [--size ...] [--store DIR]
 //! rskip-eval submit [--addr HOST:PORT] [--bench NAME] [--scheme unsafe|swift-r|arN|arN-di]
 //!                   [--fault-model seu|skip|burst:N] [--tier ...] [--runs N] [--chunk N]
@@ -43,6 +45,19 @@
 //! `--runs`, no matter which other models ran. `--json` prints the
 //! machine-readable report; it exits 1 if any cell classifies the wrong
 //! trial count or never fires its fault.
+//!
+//! `vuln` runs `rskip-vuln`: it partitions each build into injection
+//! sections, prunes statically-benign fault sites, runs one small
+//! site-universe campaign per section and composes the per-section
+//! profiles into whole-program SDC/detection estimates with
+//! conservative intervals. On small builds the skip-model cells are
+//! cross-validated both ways against an exhaustive per-site oracle
+//! (`--oracle-limit` caps the universe size, 0 disables).
+//! `--incremental` persists per-section profiles in a content-hash
+//! keyed cache under the store directory, so re-running after an edit
+//! re-injects only changed sections (the JSON report carries per-cell
+//! cache hit/miss counts). Exits 1 on any soundness or accounting
+//! violation.
 //!
 //! `bench` measures serial fault-injection-campaign throughput per
 //! execution tier (reference `match` interpreter vs the direct-threaded
@@ -113,6 +128,8 @@ struct Args {
     outcomes: bool,
     shutdown: bool,
     jobs: u32,
+    incremental: bool,
+    oracle_limit: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -142,6 +159,8 @@ fn parse_args() -> Result<Args, String> {
         outcomes: false,
         shutdown: false,
         jobs: 4,
+        incremental: false,
+        oracle_limit: 4096,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -217,6 +236,12 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--expect-narrowing" => parsed.expect_narrowing = true,
+            "--incremental" => parsed.incremental = true,
+            "--oracle-limit" => {
+                parsed.oracle_limit = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --oracle-limit: {e}"))?;
+            }
             "--outcomes" => parsed.outcomes = true,
             "--shutdown" => parsed.shutdown = true,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -227,13 +252,14 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: rskip-eval <table1|fig2|fig7|fig8a|fig8b|fig9|tradeoff|cost-ratio|ablations|all\
-     |supervise|lint|train|inspect|verify|bench|campaign|serve|submit|serve-bench> \
+     |supervise|lint|train|inspect|verify|bench|campaign|vuln|serve|submit|serve-bench> \
      [--size tiny|small|full] [--runs N] [--inputs N] [--out DIR] [--store DIR] [--json] \
      [--tier match|threaded-nofuse|threaded] [--bench NAME] \
      [--fault-model seu|skip|burst:N[,...]] \
      [--addr HOST:PORT] [--workers N] [--queue N] [--chunk N] [--jobs N] [--tenant NAME] \
      [--scheme unsafe|swift-r|arN|arN-di] [--stop-half-width F] [--stop-metric sdc|correct] \
-     [--cancel-after N] [--expect-narrowing] [--outcomes] [--shutdown]"
+     [--cancel-after N] [--expect-narrowing] [--outcomes] [--shutdown] \
+     [--incremental] [--oracle-limit N]"
         .to_string()
 }
 
@@ -527,6 +553,50 @@ fn main() {
                     );
                     std::process::exit(1);
                 }
+            }
+        }
+        "vuln" => {
+            let models = if args.fault_models.is_empty() {
+                rskip_harness::fault_models::default_models()
+            } else {
+                args.fault_models.clone()
+            };
+            let benches: Vec<String> = args
+                .bench
+                .split(',')
+                .filter(|b| !b.is_empty())
+                .map(str::to_string)
+                .collect();
+            let opts = rskip_harness::vuln::VulnOptions {
+                runs: args.runs,
+                oracle_limit: args.oracle_limit,
+                cache_dir: args.incremental.then(|| {
+                    args.store
+                        .clone()
+                        .unwrap_or_else(|| PathBuf::from("results/store"))
+                        .join("vuln-profiles")
+                }),
+                tier: args.tier,
+            };
+            let report = rskip_harness::vuln::run_with(&engine, benches, &models, &opts);
+            if args.json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => {
+                        eprintln!("serialization failed: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                print!("{}", report.render());
+            }
+            save_json(&args.out, "vuln", &report);
+            let violations = report.check();
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("rskip-eval vuln: FAIL {v}");
+                }
+                std::process::exit(1);
             }
         }
         "campaign" => {

@@ -27,7 +27,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use rskip_exec::{
-    classify_outcome, Decoded, ExecConfig, FaultModel, InjectionPlan, Machine, RuntimeHooks,
+    classify_outcome, Decoded, ExactFault, ExactFaultKind, ExecConfig, FaultModel, InjectionPlan,
+    Machine, RuntimeHooks,
 };
 use rskip_ir::{Module, Value};
 use rskip_workloads::InputSet;
@@ -224,7 +225,110 @@ impl<'m> Campaign<'m> {
             class,
             recovered,
             fired,
+            pruned: false,
         }
+    }
+
+    /// Runs one *site-universe* trial: instead of a random trigger inside
+    /// the region window ([`InjectionPlan`]), the trial draws a concrete
+    /// fault site uniformly from `sites` (a census-derived universe, see
+    /// [`FaultSite`]) plus the model's remaining free coordinate (bit for
+    /// SEU, window start for burst), and arms an exact fault there. This
+    /// is the measure the exhaustive enumerator covers, which is what
+    /// makes per-section campaign estimates directly comparable to the
+    /// `enumerate_faults` oracle.
+    ///
+    /// `seed0` replaces the campaign seed so per-section campaigns over
+    /// the same build stay independent (callers fold the section hash
+    /// in). `prune` is the static benignity filter: a pruned trial is
+    /// recorded `Correct`/`fired`/`pruned` without executing — the
+    /// pruning soundness the exec-level cross-validation tests check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty or a site's target shape does not match
+    /// the campaign's fault model (register targets for SEU/burst, skip
+    /// targets for instruction skip).
+    pub fn run_site_trial<H: RuntimeHooks>(
+        &self,
+        seed0: u64,
+        trial: u32,
+        sites: &[FaultSite],
+        prune: impl Fn(&FaultSite, &ExactFaultKind) -> bool,
+        make_hooks: impl Fn() -> H,
+        observe_recoveries: impl Fn(&H) -> u64,
+    ) -> TrialOutcome {
+        assert!(!sites.is_empty(), "site-universe trial with no sites");
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed0, trial));
+        let site = &sites[rng.gen_range(0..sites.len())];
+        let kind = match (self.model, site.target) {
+            (FaultModel::SingleBitSeu, SiteTarget::Reg(reg)) => ExactFaultKind::BitFlip {
+                reg,
+                bit: rng.gen_range(0..64),
+            },
+            (FaultModel::MultiBitBurst { width }, SiteTarget::Reg(reg)) => {
+                let w = width.clamp(1, 64);
+                ExactFaultKind::Burst {
+                    reg,
+                    start: rng.gen_range(0..=(64 - w)),
+                    width: w,
+                }
+            }
+            (FaultModel::InstructionSkip, SiteTarget::Skip) => ExactFaultKind::Skip,
+            (model, target) => panic!("site target {target:?} does not fit fault model {model:?}"),
+        };
+        if prune(site, &kind) {
+            return TrialOutcome {
+                class: OutcomeClass::Correct,
+                recovered: false,
+                fired: true,
+                pruned: true,
+            };
+        }
+        let mut machine = Machine::from_decoded(&self.decoded, make_hooks(), self.config.clone());
+        self.input.apply(&mut machine);
+        machine.set_exact_fault(ExactFault { at: site.at, kind });
+        let out = machine.run("main", &[]);
+        let recovered = observe_recoveries(machine.hooks()) > 0;
+        let fired = out.injection.is_some() || out.state_injection.is_some();
+        let class = classify_outcome(&out, machine.read_global(self.output), self.golden);
+        TrialOutcome {
+            class,
+            recovered,
+            fired,
+            pruned: false,
+        }
+    }
+
+    /// Runs `trials` site-universe trials on `threads` workers and folds
+    /// the outcomes in trial order — the site-mode sibling of
+    /// [`Campaign::run_on`], with the same any-schedule byte-determinism.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sites_on<H: RuntimeHooks>(
+        &self,
+        threads: usize,
+        seed0: u64,
+        trials: u32,
+        sites: &[FaultSite],
+        prune: impl Fn(&FaultSite, &ExactFaultKind) -> bool + Sync,
+        make_hooks: impl Fn() -> H + Sync,
+        observe_recoveries: impl Fn(&H) -> u64 + Sync,
+    ) -> CampaignStats {
+        let outcomes = parallel_map_indexed(trials as usize, threads, |i| {
+            self.run_site_trial(
+                seed0,
+                i as u32,
+                sites,
+                &prune,
+                &make_hooks,
+                &observe_recoveries,
+            )
+        });
+        let mut stats = CampaignStats::default();
+        for t in outcomes {
+            stats.record(t);
+        }
+        stats
     }
 
     /// Runs the whole campaign on [`num_threads`] workers.
@@ -293,6 +397,36 @@ impl<'m> Campaign<'m> {
     }
 }
 
+/// One concrete fault site of a census-derived universe: a dynamic
+/// instruction boundary plus the model's static target there. For
+/// SEU/burst models the universe holds one site per
+/// `(boundary, written register)` pair (the free bit/window coordinate
+/// is drawn per trial); for instruction skip, one site per
+/// non-intrinsic boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Dynamic boundary index (position in the clean run's census).
+    pub at: u64,
+    /// Function index of the innermost frame at the boundary.
+    pub func: u32,
+    /// Block index of the next instruction.
+    pub block: u32,
+    /// Instruction index within the block (`== insts.len()` ⇒
+    /// terminator).
+    pub ip: u32,
+    /// What the fault strikes.
+    pub target: SiteTarget,
+}
+
+/// The target half of a [`FaultSite`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteTarget {
+    /// A written register of the innermost frame (SEU/burst models).
+    Reg(rskip_ir::Reg),
+    /// The next dynamic instruction itself (skip model).
+    Skip,
+}
+
 /// The measured numbers one clean sizing run produces — see
 /// [`Campaign::with_sizing`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -330,6 +464,7 @@ mod tests {
                 },
                 recovered: i % 4 == 0,
                 fired: i % 5 != 0,
+                pruned: i % 2 == 0,
             })
             .collect();
         let mut whole = CampaignStats::default();
@@ -351,6 +486,8 @@ mod tests {
         assert_eq!(a.false_negatives.total(), whole.false_negatives.total());
         assert_eq!(a.recoveries, whole.recoveries);
         assert_eq!(a.not_fired, whole.not_fired);
+        assert_eq!(a.pruned, whole.pruned);
         assert_eq!(whole.not_fired, 2, "trials 0 and 5 never fired");
+        assert_eq!(whole.pruned, 5, "even trials were pruned");
     }
 }

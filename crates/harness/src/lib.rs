@@ -51,6 +51,7 @@ pub mod supervisor_exp;
 pub mod table1;
 pub mod throughput;
 pub mod tradeoff;
+pub mod vuln;
 
 pub use build::{ArSetting, BenchSetup, EvalOptions, PrepStats, StoreOutcome};
 pub use campaign::{Campaign, CampaignStats, ClassCounts};

@@ -41,6 +41,7 @@ fn synthetic_chunk(spec: &JobSpec, range: Range<u32>) -> ChunkOutput {
             class,
             recovered: false,
             fired: true,
+            pruned: false,
         });
         codes.push(class.code());
     }

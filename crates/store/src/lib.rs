@@ -41,6 +41,7 @@ pub mod digest;
 pub mod dto;
 pub mod format;
 mod key;
+mod profiles;
 mod store;
 
 pub use dto::{
@@ -49,6 +50,7 @@ pub use dto::{
 };
 pub use format::{Section, StoreError, MAGIC, VERSION};
 pub use key::{CacheKey, CacheKeyBuilder};
+pub use profiles::{ProfileCache, ProfileRecord};
 pub use store::{
     ArtifactMeta, FileReport, LoadOutcome, ModelArtifact, PartialArtifact, Store, ARTIFACT_EXT,
     SECTION_META, SECTION_MODELS_PREFIX, SECTION_PLAN, SECTION_PROFILES, SECTION_SUPERVISOR,

@@ -1,0 +1,184 @@
+//! Per-section injection-profile cache — the persistence layer of
+//! `rskip-vuln`'s incremental mode.
+//!
+//! A section's injection profile depends on nothing but the things its
+//! [`CacheKey`] hashes: the benchmark build, the scheme, the fault
+//! model, the campaign sizing/seed, the section's static content hash
+//! and the dynamic site universe drawn from the census. When a program
+//! is edited, unchanged sections hash to the same key and their
+//! profiles load back without a single injection run; only sections
+//! whose content (or site universe) changed miss and re-inject. That is
+//! the FastFlip increment: the cache turns a whole-program campaign
+//! into a handful of section-sized ones.
+//!
+//! Records are one JSON file per key (`<hex>.json`), written atomically
+//! (temp file + rename) so a crashed run never leaves a half-written
+//! profile a later run would trust. The key is embedded in the record
+//! and checked on load, so a renamed or copied file can never satisfy
+//! the wrong lookup; unreadable or mismatched records are treated as
+//! misses, never as errors — the worst corruption can do is force a
+//! re-injection.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use rskip_core::stats::CampaignStats;
+
+use crate::key::CacheKey;
+
+/// One cached per-section injection profile.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRecord {
+    /// The addressing key, embedded so a misfiled record is rejected.
+    pub key: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Scheme label (`UNSAFE`, `SWIFT-R`, `AR20`, ...).
+    pub scheme: String,
+    /// Fault-model label (`seu`, `skip`, `burst:N`).
+    pub model: String,
+    /// Section display name (`function#leader-block`).
+    pub section: String,
+    /// The section's static content hash, 16 hex digits.
+    pub section_hash: String,
+    /// Fault sites of the whole-program universe in this section.
+    pub sites: u64,
+    /// Trials the cached campaign ran.
+    pub trials: u64,
+    /// Base seed of the cached campaign.
+    pub seed: u64,
+    /// The campaign outcome statistics.
+    pub stats: CampaignStats,
+}
+
+/// A directory of [`ProfileRecord`]s addressed by [`CacheKey`].
+#[derive(Clone, Debug)]
+pub struct ProfileCache {
+    dir: PathBuf,
+}
+
+impl ProfileCache {
+    /// Opens (without creating) a cache rooted at `dir`. The directory
+    /// is created on first [`save`](Self::save).
+    pub fn open(dir: impl Into<PathBuf>) -> ProfileCache {
+        ProfileCache { dir: dir.into() }
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path a key maps to.
+    pub fn path_for(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.hex()))
+    }
+
+    /// Loads the record stored under `key`. Missing files, unreadable
+    /// JSON and key mismatches are all misses (`None`) — corruption can
+    /// only ever cost a re-injection, not poison a composition.
+    pub fn load(&self, key: CacheKey) -> Option<ProfileRecord> {
+        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        let rec: ProfileRecord = serde_json::from_str(&text).ok()?;
+        if rec.key != key.hex() {
+            return None;
+        }
+        Some(rec)
+    }
+
+    /// Saves `record` under `key` (stamping the key into the record),
+    /// atomically: the JSON is written to a sibling temp file and
+    /// renamed into place.
+    pub fn save(&self, key: CacheKey, record: &ProfileRecord) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let mut rec = record.clone();
+        rec.key = key.hex();
+        let path = self.path_for(key);
+        let tmp = self.dir.join(format!("{}.json.tmp", key.hex()));
+        fs::write(&tmp, serde_json::to_string_pretty(&rec).unwrap_or_default())?;
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Number of records currently on disk.
+    pub fn len(&self) -> usize {
+        self.list().len()
+    }
+
+    /// True if the cache holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Paths of all records, sorted.
+    pub fn list(&self) -> Vec<PathBuf> {
+        let mut out: Vec<PathBuf> = fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ProfileRecord {
+        ProfileRecord {
+            key: String::new(),
+            bench: "conv1d".into(),
+            scheme: "AR20".into(),
+            model: "seu".into(),
+            section: "f#1".into(),
+            section_hash: "00aa".into(),
+            sites: 42,
+            trials: 16,
+            seed: 7,
+            stats: CampaignStats::default(),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("rskip-profile-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let cache = ProfileCache::open(temp_dir("roundtrip"));
+        let key = CacheKey::builder().text("a").finish();
+        assert!(cache.load(key).is_none());
+        cache.save(key, &record()).unwrap();
+        let back = cache.load(key).unwrap();
+        assert_eq!(back.bench, "conv1d");
+        assert_eq!(back.key, key.hex());
+        assert_eq!(cache.len(), 1);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_and_misfiled_records_are_misses() {
+        let cache = ProfileCache::open(temp_dir("corrupt"));
+        let key = CacheKey::builder().text("a").finish();
+        let other = CacheKey::builder().text("b").finish();
+        cache.save(key, &record()).unwrap();
+        // Corruption → miss.
+        fs::write(cache.path_for(key), b"{ not json").unwrap();
+        assert!(cache.load(key).is_none());
+        // A record copied to another key's filename → miss.
+        cache.save(key, &record()).unwrap();
+        fs::copy(cache.path_for(key), cache.path_for(other)).unwrap();
+        assert!(cache.load(other).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}
