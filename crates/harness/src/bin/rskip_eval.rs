@@ -20,10 +20,12 @@
 //! rskip-eval vuln   [--size ...] [--runs N] [--bench NAME[,NAME..]] [--fault-model ...] [--json]
 //!                   [--incremental] [--oracle-limit N] [--store DIR]
 //! rskip-eval serve  [--addr HOST:PORT] [--workers N] [--queue N] [--chunk N] [--size ...] [--store DIR]
+//!                   [--state-dir DIR] [--resume]
 //! rskip-eval submit [--addr HOST:PORT] [--bench NAME] [--scheme unsafe|swift-r|arN|arN-di]
 //!                   [--fault-model seu|skip|burst:N] [--tier ...] [--runs N] [--chunk N]
 //!                   [--tenant NAME] [--stop-half-width F] [--stop-metric sdc|correct]
 //!                   [--cancel-after N] [--expect-narrowing] [--outcomes] [--shutdown] [--json]
+//!                   [--retry N]
 //! rskip-eval serve-bench [--size ...] [--bench NAME] [--runs N] [--jobs N] [--chunk N] [--workers N] [--json]
 //! ```
 //!
@@ -78,16 +80,27 @@
 //! the real harness): newline-delimited JSON jobs over TCP, a bounded
 //! queue with typed backpressure, per-tenant model-store namespaces,
 //! per-chunk Wilson-CI progress frames and server-side early stopping.
-//! It blocks until a client sends a `Shutdown` frame. `submit` is the
-//! matching client: it submits one job, streams its frames (`--json`
-//! for raw wire frames), and exits 0 on completion. `--stop-half-width`
-//! adds an early-stopping rule; `--cancel-after N` cancels the job
-//! after N progress frames; `--expect-narrowing` makes the client
-//! verify that executed counts increase strictly and the streamed SDC
-//! interval narrows (exit 1 on violation); `--shutdown` just asks the
-//! server to drain and exit. `serve-bench` measures service throughput
-//! at 1 vs `--workers` workers and prints jobs/sec with per-chunk
-//! latency.
+//! It blocks until a client sends a `Shutdown` frame. With
+//! `--state-dir DIR` the service is crash-safe: jobs and per-chunk
+//! progress are fsynced to per-tenant journals, completed results are
+//! cached by content key, and a restarted server automatically resumes
+//! unfinished jobs and re-serves finished ones from the cache
+//! (`--resume` documents that intent and just requires `--state-dir`;
+//! recovery always runs when a state directory is given). `submit` is
+//! the matching client: it submits one job, streams its frames
+//! (`--json` for raw wire frames), and exits 0 on completion.
+//! `--retry N` makes it resilient: up to N attempts with capped
+//! jittered backoff, honoring server `retry_after_ms` hints,
+//! reconnecting on broken streams, and safely resuming or reusing
+//! server-side progress (a cache answer is marked `(cached)`).
+//! `--stop-half-width` adds an early-stopping rule; `--cancel-after N`
+//! cancels the job after N progress frames; `--expect-narrowing` makes
+//! the client verify that executed counts increase strictly and the
+//! streamed SDC interval narrows (exit 1 on violation); `--shutdown`
+//! just asks the server to drain and exit. `serve-bench` measures
+//! service throughput at 1 vs `--workers` workers and prints jobs/sec
+//! with per-chunk latency, plus cold-vs-cached submit latency and the
+//! journal-replay cost a restart pays.
 //!
 //! The model-store commands persist the offline training phase:
 //! `train` profiles and trains every benchmark and saves the artifacts;
@@ -130,6 +143,9 @@ struct Args {
     jobs: u32,
     incremental: bool,
     oracle_limit: u64,
+    state_dir: Option<PathBuf>,
+    resume: bool,
+    retry: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -161,6 +177,9 @@ fn parse_args() -> Result<Args, String> {
         jobs: 4,
         incremental: false,
         oracle_limit: 4096,
+        state_dir: None,
+        resume: false,
+        retry: 0,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -244,6 +263,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--outcomes" => parsed.outcomes = true,
             "--shutdown" => parsed.shutdown = true,
+            "--state-dir" => parsed.state_dir = Some(PathBuf::from(value()?)),
+            "--resume" => parsed.resume = true,
+            "--retry" => {
+                parsed.retry = value()?.parse().map_err(|e| format!("bad --retry: {e}"))?;
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -259,7 +283,7 @@ fn usage() -> String {
      [--addr HOST:PORT] [--workers N] [--queue N] [--chunk N] [--jobs N] [--tenant NAME] \
      [--scheme unsafe|swift-r|arN|arN-di] [--stop-half-width F] [--stop-metric sdc|correct] \
      [--cancel-after N] [--expect-narrowing] [--outcomes] [--shutdown] \
-     [--incremental] [--oracle-limit N]"
+     [--incremental] [--oracle-limit N] [--state-dir DIR] [--resume] [--retry N]"
         .to_string()
 }
 
@@ -397,21 +421,41 @@ fn main() {
             return;
         }
         "serve" => {
+            if args.resume && args.state_dir.is_none() {
+                eprintln!("rskip-eval serve: --resume requires --state-dir DIR");
+                std::process::exit(2);
+            }
             let store = args.store.clone().map(Store::open);
             let runner = std::sync::Arc::new(rskip_harness::HarnessRunner::new(options, store));
             let config = rskip_serve::ServerConfig {
                 workers: args.workers.max(1),
                 queue_capacity: args.queue.max(1),
                 default_chunk: if args.chunk == 0 { 64 } else { args.chunk },
+                state_dir: args.state_dir.clone(),
                 ..rskip_serve::ServerConfig::default()
             };
-            let server = match rskip_serve::Server::bind(args.addr.as_str(), runner, config) {
+            let server = match rskip_serve::Server::bind(args.addr.as_str(), runner, config.clone())
+            {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("rskip-eval serve: cannot bind {}: {e}", args.addr);
                     std::process::exit(2);
                 }
             };
+            if let Some(dir) = &args.state_dir {
+                let rec = server.recovery();
+                eprintln!(
+                    "rskip-eval serve: state dir {}: resumed {} job(s), {} cached result(s), \
+                     journal replay {:.3} ms ({} torn byte(s) truncated, {} foreign record(s) \
+                     skipped)",
+                    dir.display(),
+                    rec.jobs_resumed,
+                    rec.results_cached,
+                    rec.replay_nanos as f64 / 1e6,
+                    rec.truncated_bytes,
+                    rec.skipped_records,
+                );
+            }
             eprintln!(
                 "rskip-eval serve: listening on {} ({} workers, queue {}, default chunk {}); \
                  send a Shutdown frame (rskip-eval submit --shutdown) to stop",
@@ -685,21 +729,60 @@ fn percent_ci(ci: rskip_core::stats::WilsonCi) -> String {
     format!("[{:.1}%, {:.1}%]", ci.lo * 100.0, ci.hi * 100.0)
 }
 
+/// One human-readable progress line.
+fn progress_line(p: &rskip_serve::ProgressFrame) -> String {
+    format!(
+        "chunk {:>3}: {:>6}/{} trials · correct {:>5.1}% {} · sdc {:>5.1}% {} · {:.1} ms",
+        p.chunk,
+        p.executed,
+        p.requested,
+        p.stats.counts.protection_rate() * 100.0,
+        percent_ci(p.correct_ci),
+        p.stats.counts.rate(p.stats.counts.sdc) * 100.0,
+        percent_ci(p.sdc_ci),
+        p.chunk_nanos as f64 / 1e6,
+    )
+}
+
+/// One human-readable terminal line for a completed job.
+fn done_lines(d: &rskip_serve::DoneFrame) -> String {
+    let mut out = format!(
+        "done: {}/{} trials{}{} · correct {:.1}% {} · sdc {:.1}% {} · {:.1} ms",
+        d.executed,
+        d.requested,
+        if d.early_stopped { " (early stop)" } else { "" },
+        if d.cached { " (cached)" } else { "" },
+        d.stats.counts.protection_rate() * 100.0,
+        percent_ci(d.correct_ci),
+        d.stats.counts.rate(d.stats.counts.sdc) * 100.0,
+        percent_ci(d.sdc_ci),
+        d.total_nanos as f64 / 1e6,
+    );
+    if d.early_stopped {
+        out.push_str(&format!(
+            "\nearly stopping saved {} of {} requested trials",
+            d.requested - d.executed,
+            d.requested
+        ));
+    }
+    out
+}
+
 /// The `submit` subcommand: one job, one connection, streamed to the
 /// terminal. Returns the process exit code.
 #[allow(clippy::too_many_lines)]
 fn run_submit(args: &Args) -> i32 {
     use rskip_core::stats::EarlyStop;
-    use rskip_serve::{encode, Client, JobSpec, Response};
+    use rskip_serve::{encode, Client, JobSpec, Response, RetryPolicy};
 
-    let mut client = match Client::connect(args.addr.as_str()) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("rskip-eval submit: cannot connect to {}: {e}", args.addr);
-            return 2;
-        }
-    };
     if args.shutdown {
+        let mut client = match Client::connect(args.addr.as_str()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("rskip-eval submit: cannot connect to {}: {e}", args.addr);
+                return 2;
+            }
+        };
         if let Err(e) = client.shutdown_server() {
             eprintln!("rskip-eval submit: shutdown request failed: {e}");
             return 2;
@@ -725,6 +808,53 @@ fn run_submit(args: &Args) -> i32 {
         });
     }
 
+    // `--retry N`: the resilient client. Reconnects and resubmits on
+    // transient failures; safe against a durable server because
+    // resubmission is idempotent (cache, in-flight dedup, suspended-
+    // progress resume). Cancellation needs the one-connection path.
+    if args.retry > 0 {
+        if args.cancel_after.is_some() {
+            eprintln!("rskip-eval submit: --cancel-after is incompatible with --retry");
+            return 2;
+        }
+        let policy = RetryPolicy {
+            max_attempts: args.retry,
+            ..RetryPolicy::default()
+        };
+        let json = args.json;
+        let done = Client::submit_resilient(args.addr.as_str(), &spec, policy, |p| {
+            if json {
+                println!("{}", encode(&Response::Progress(p.clone())));
+            } else {
+                println!("{}", progress_line(p));
+            }
+        });
+        return match done {
+            Ok(d) => {
+                if json {
+                    println!("{}", encode(&Response::Done(d)));
+                } else {
+                    println!("{}", done_lines(&d));
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!(
+                    "rskip-eval submit: {e} (after up to {} attempts)",
+                    args.retry
+                );
+                1
+            }
+        };
+    }
+
+    let mut client = match Client::connect(args.addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rskip-eval submit: cannot connect to {}: {e}", args.addr);
+            return 2;
+        }
+    };
     let job = match client.submit(&spec) {
         Ok(Response::Accepted { job, trials, chunk }) => {
             eprintln!("job {job} accepted: {trials} trials in chunks of {chunk}");
@@ -771,17 +901,7 @@ fn run_submit(args: &Args) -> i32 {
             Response::Progress(p) if p.job == job => {
                 let half_width = p.sdc_ci.half_width();
                 if !args.json {
-                    println!(
-                        "chunk {:>3}: {:>6}/{} trials · correct {:>5.1}% {} · sdc {:>5.1}% {} · {:.1} ms",
-                        p.chunk,
-                        p.executed,
-                        p.requested,
-                        p.stats.counts.protection_rate() * 100.0,
-                        percent_ci(p.correct_ci),
-                        p.stats.counts.rate(p.stats.counts.sdc) * 100.0,
-                        percent_ci(p.sdc_ci),
-                        p.chunk_nanos as f64 / 1e6,
-                    );
+                    println!("{}", progress_line(&p));
                 }
                 if args.expect_narrowing {
                     if let Some((prev_executed, prev_sdc, prev_half_width)) = last {
@@ -814,24 +934,7 @@ fn run_submit(args: &Args) -> i32 {
             }
             Response::Done(d) if d.job == job => {
                 if !args.json {
-                    println!(
-                        "done: {}/{} trials{} · correct {:.1}% {} · sdc {:.1}% {} · {:.1} ms",
-                        d.executed,
-                        d.requested,
-                        if d.early_stopped { " (early stop)" } else { "" },
-                        d.stats.counts.protection_rate() * 100.0,
-                        percent_ci(d.correct_ci),
-                        d.stats.counts.rate(d.stats.counts.sdc) * 100.0,
-                        percent_ci(d.sdc_ci),
-                        d.total_nanos as f64 / 1e6,
-                    );
-                    if d.early_stopped {
-                        println!(
-                            "early stopping saved {} of {} requested trials",
-                            d.requested - d.executed,
-                            d.requested
-                        );
-                    }
+                    println!("{}", done_lines(&d));
                 }
                 if args.expect_narrowing {
                     if let (Some(first), Some((_, _, final_half_width))) = (first_half_width, last)

@@ -47,6 +47,10 @@ pub struct HarnessRunner {
     options: EvalOptions,
     store: Option<Store>,
     tenants: Mutex<BTreeMap<String, Arc<TenantState>>>,
+    /// Content fingerprint per bench name (see
+    /// [`fingerprint`](CampaignRunner::fingerprint)), memoized because
+    /// admission calls it on every submission.
+    fingerprints: Mutex<BTreeMap<String, u64>>,
 }
 
 struct TenantState {
@@ -73,6 +77,7 @@ impl HarnessRunner {
             options,
             store,
             tenants: Mutex::new(BTreeMap::new()),
+            fingerprints: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -210,6 +215,33 @@ impl CampaignRunner for HarnessRunner {
         Ok(())
     }
 
+    /// The content half of the result-cache key: a hash of the bench's
+    /// source module (as printed IR) and the experiment options that
+    /// shape results (size profile, training seeds, pipeline). Cheap —
+    /// it builds the unprotected module, never compiles, profiles or
+    /// trains — so it is safe to call on the admission path, and
+    /// memoized per bench on top of that. If the bench source or the
+    /// options change across server restarts, the key changes and stale
+    /// journal-cached results simply never match.
+    fn fingerprint(&self, spec: &JobSpec) -> u64 {
+        if let Some(&fp) = self.fingerprints.lock().unwrap().get(&spec.bench) {
+            return fp;
+        }
+        let Some(bench) = rskip_workloads::benchmark_by_name(&spec.bench) else {
+            return 0; // unreachable after validate(); harmless if not
+        };
+        let module = bench.build(self.options.size);
+        let mut h = rskip_core::digest::Fnv1a64::new();
+        h.update(rskip_ir::print_module(&module).as_bytes());
+        h.update(format!("{:?}", self.options).as_bytes());
+        let fp = h.finish();
+        self.fingerprints
+            .lock()
+            .unwrap()
+            .insert(spec.bench.clone(), fp);
+        fp
+    }
+
     fn run_chunk(&self, spec: &JobSpec, range: Range<u32>) -> ChunkOutput {
         let data = self.bench_data(spec.tenant_or_default(), &spec.bench);
         let variant = SchemeVariant::parse(&spec.scheme).expect("validated at admission");
@@ -301,6 +333,15 @@ pub struct ServeBenchReport {
     pub fault_model: String,
     /// One point per measured worker count.
     pub points: Vec<ServeBenchPoint>,
+    /// Submit→`Done` latency of a job the server had never seen
+    /// (trials actually execute), nanoseconds.
+    pub cold_submit_nanos: u64,
+    /// Submit→`Done` latency of resubmitting the identical job (served
+    /// from the result cache, zero trials), nanoseconds.
+    pub cached_submit_nanos: u64,
+    /// Journal-replay time of a restart against the state directory
+    /// the cold job journaled into — the resume overhead, nanoseconds.
+    pub resume_replay_nanos: u64,
     /// Honest context for reading the numbers (host parallelism).
     pub note: String,
 }
@@ -331,6 +372,13 @@ impl ServeBenchReport {
                 p.mean_chunk_nanos as f64 / 1e3,
             ));
         }
+        out.push_str(&format!(
+            "durability: cold submit {:.1} ms, cached submit {:.3} ms, journal replay on \
+             restart {:.3} ms\n",
+            self.cold_submit_nanos as f64 / 1e6,
+            self.cached_submit_nanos as f64 / 1e6,
+            self.resume_replay_nanos as f64 / 1e6,
+        ));
         out.push_str(&format!("note: {}\n", self.note));
         out
     }
@@ -340,12 +388,18 @@ impl ServeBenchReport {
 /// `worker_counts`: submits `jobs` copies of `spec` per point and times
 /// first-submit → last-done. One warm-up job runs before the first
 /// point so benchmark preparation (compile, profile, train) is not
-/// billed to the service.
+/// billed to the service. The throughput copies ask for per-trial
+/// outcomes, which makes them keyless — otherwise the result cache and
+/// in-flight dedup would (correctly) collapse N identical jobs into
+/// one execution and the measurement would be of the cache, not the
+/// service. The cache gets its own numbers: a cold submit, a cached
+/// resubmission, and the journal-replay cost of a restart.
 ///
 /// # Panics
 ///
 /// Panics on bind/connect failures or a rejected job — this is a local
 /// measurement harness, not a resilient client.
+#[allow(clippy::too_many_lines)]
 pub fn serve_bench(
     options: EvalOptions,
     spec: &JobSpec,
@@ -384,9 +438,14 @@ pub fn serve_bench(
             Server::bind("127.0.0.1:0", Arc::clone(&runner), config).expect("bind bench server");
         let mut client = Client::connect(server.addr()).expect("connect bench");
 
+        // Keyless copies: outcome streams bypass the cache and dedup,
+        // so all N identical jobs genuinely execute.
+        let mut run_spec = spec.clone();
+        run_spec.want_outcomes = true;
+
         let started = std::time::Instant::now();
         for _ in 0..jobs {
-            client.submit_accepted(spec).expect("job accepted");
+            client.submit_accepted(&run_spec).expect("job accepted");
         }
         let mut done = 0u32;
         let mut chunk_nanos_total: u128 = 0;
@@ -418,12 +477,53 @@ pub fn serve_bench(
         });
     }
 
+    // Durability numbers: one durable server answers the same job cold
+    // (trials execute, every chunk fsynced) and then cached (zero
+    // trials); a rebind against the same state directory measures the
+    // journal-replay cost a restart pays.
+    let state_dir = std::env::temp_dir().join(format!("rskip-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let (cold_submit_nanos, cached_submit_nanos, resume_replay_nanos) = {
+        let config = ServerConfig {
+            workers: 1,
+            default_chunk: chunk.max(1),
+            state_dir: Some(state_dir.clone()),
+            ..ServerConfig::default()
+        };
+        let timed_submit = |server: &Server| {
+            let mut client = Client::connect(server.addr()).expect("connect durability");
+            let started = std::time::Instant::now();
+            let job = client
+                .submit_accepted(spec)
+                .expect("durability job accepted");
+            let outcome = client.stream_job(job, |_| {}).expect("durability job done");
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            (nanos, outcome.done)
+        };
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&runner), config.clone())
+            .expect("bind durable server");
+        let (cold, first) = timed_submit(&server);
+        assert!(!first.cached, "first durable submit must execute");
+        let (cached, second) = timed_submit(&server);
+        assert!(second.cached, "identical resubmission must hit the cache");
+        server.shutdown();
+        let restarted =
+            Server::bind("127.0.0.1:0", Arc::clone(&runner), config).expect("rebind durable");
+        let replay = restarted.recovery().replay_nanos;
+        restarted.shutdown();
+        (cold, cached, replay)
+    };
+    let _ = std::fs::remove_dir_all(&state_dir);
+
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     ServeBenchReport {
         bench: spec.bench.clone(),
         scheme: spec.scheme.clone(),
         fault_model: spec.fault_model.clone(),
         points,
+        cold_submit_nanos,
+        cached_submit_nanos,
+        resume_replay_nanos,
         note: format!(
             "host reports {cores} available core(s); worker counts beyond that cannot scale \
              jobs/sec (each chunk's trials already fan out over the same cores), so on a \

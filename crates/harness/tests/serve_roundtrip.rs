@@ -45,6 +45,7 @@ fn tiny_server(store: Option<Store>) -> Server {
             queue_capacity: 8,
             default_chunk: 64,
             max_trials: 10_000,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback")

@@ -13,6 +13,16 @@
 //! threshold, and the terminal frame reports the honest savings
 //! (`executed < requested`).
 //!
+//! With a state directory the service is **crash-safe**: job specs and
+//! per-chunk progress are fsynced to per-tenant journals, a restarted
+//! server resumes unfinished jobs at their next chunk boundary (final
+//! aggregates byte-identical to an uninterrupted run), completed
+//! results are cached by content-hash key and answered without
+//! re-executing a trial (`Done { cached: true }`), and the client side
+//! retries with capped jittered backoff, reconnecting safely because
+//! in-flight dedup and suspended-progress resume make resubmission
+//! idempotent.
+//!
 //! Three properties carry the design:
 //!
 //! * **Determinism survives sharding.** Trial seeds are a pure function
@@ -31,16 +41,18 @@
 //! [`CampaignStats`]: rskip_core::stats::CampaignStats
 
 pub mod client;
+pub mod journal;
 pub mod protocol;
 pub mod queue;
 pub mod runner;
 pub mod server;
 
-pub use client::{Client, JobOutcome, ServerInfo};
+pub use client::{Client, JobOutcome, RetryPolicy, ServerInfo};
+pub use journal::{JobJournal, JournalEvent, Recovery, ResumableJob};
 pub use protocol::{
     decode, encode, valid_tenant, DoneFrame, ErrorKind, JobSpec, ProgressFrame, Request, Response,
     DEFAULT_TENANT, PROTOCOL_VERSION,
 };
 pub use queue::{JobQueue, PushError};
 pub use runner::{CampaignRunner, ChunkOutput};
-pub use server::{Server, ServerConfig};
+pub use server::{backoff_hint_ms, job_key, RecoveryReport, Server, ServerConfig, BACKOFF_CAP_MS};

@@ -15,13 +15,27 @@
 //! final aggregate being byte-identical to the CLI run is a property
 //! of one shared representation, not a convention between two.
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
 
 use rskip_core::stats::{CampaignStats, EarlyStop, WilsonCi};
 
 /// Wire protocol version, sent in [`Response::Hello`]. Bump on any
 /// incompatible frame change.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// **Version 2** (current) adds [`Request::Hello`] (a client's version
+/// declaration), the `cached` field on [`DoneFrame`], and
+/// [`ErrorKind::DuplicateInFlight`]. All three are compatible with
+/// version-1 peers by construction:
+///
+/// * a v2 client only sends `Request::Hello` after the server's
+///   greeting already declared `protocol >= 2`;
+/// * `cached` decodes as `false` when absent (v1 server), and a v1
+///   client's decoder ignores unknown fields, so a v2 server's `Done`
+///   frames parse unchanged;
+/// * the server answers sessions that never declared v2 with
+///   [`ErrorKind::QueueFull`] (same retry semantics) instead of the
+///   variant their decoder would reject.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// The tenant namespace used when a job does not name one.
 pub const DEFAULT_TENANT: &str = "public";
@@ -92,6 +106,15 @@ impl JobSpec {
 /// Client → server frames.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Request {
+    /// Declares the client's protocol version, unlocking version-2
+    /// error kinds for this session. Optional — a session that never
+    /// sends it is served with version-1 frames only. A v2 client
+    /// sends it only after the server's greeting declared `>= 2`, so
+    /// a v1 server never sees the (to it, malformed) variant.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
     /// Submit a campaign job.
     Submit(JobSpec),
     /// Cancel a job previously accepted **on this connection**.
@@ -129,6 +152,12 @@ pub enum ErrorKind {
     UnknownJob,
     /// The server is draining for shutdown.
     ShuttingDown,
+    /// (v2) A byte-identical job is already queued or running — retry
+    /// after the hinted delay and the resubmission will attach to its
+    /// result (cache hit or suspended-progress resume). Sessions that
+    /// never declared v2 receive [`ErrorKind::QueueFull`] instead,
+    /// which carries the same retry semantics.
+    DuplicateInFlight,
 }
 
 /// One streamed progress frame: the running aggregate after a chunk.
@@ -155,7 +184,11 @@ pub struct ProgressFrame {
 }
 
 /// The terminal frame of a completed job.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (not derived) so that `cached` —
+/// which version-1 servers do not emit — defaults to `false` instead
+/// of failing the frame; every other field stays required.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct DoneFrame {
     /// Job id.
     pub job: u64,
@@ -174,8 +207,37 @@ pub struct DoneFrame {
     /// Wilson 95% interval for the SDC rate.
     pub sdc_ci: WilsonCi,
     /// Wall-clock nanoseconds from first chunk start to last chunk end
-    /// (queue wait excluded).
+    /// (queue wait excluded). For a resumed job, only the chunks run
+    /// since the restart are billed — the pre-crash time is gone and
+    /// the service does not pretend otherwise.
     pub total_nanos: u64,
+    /// (v2) `true` when the frame was answered from the result cache —
+    /// zero trials executed for this submission. Absent on the wire
+    /// from v1 servers; decodes as `false` then.
+    pub cached: bool,
+}
+
+impl Deserialize for DoneFrame {
+    fn from_content(v: &Content) -> Result<Self, DeError> {
+        let Content::Map(_) = v else {
+            return Err(DeError::expected("object for DoneFrame", v));
+        };
+        let field = |name: &str| v.get(name).unwrap_or(&Content::Null);
+        Ok(DoneFrame {
+            job: Deserialize::from_content(field("job"))?,
+            executed: Deserialize::from_content(field("executed"))?,
+            requested: Deserialize::from_content(field("requested"))?,
+            early_stopped: Deserialize::from_content(field("early_stopped"))?,
+            stats: Deserialize::from_content(field("stats"))?,
+            correct_ci: Deserialize::from_content(field("correct_ci"))?,
+            sdc_ci: Deserialize::from_content(field("sdc_ci"))?,
+            total_nanos: Deserialize::from_content(field("total_nanos"))?,
+            cached: match v.get("cached") {
+                None | Some(Content::Null) => false,
+                Some(c) => Deserialize::from_content(c)?,
+            },
+        })
+    }
 }
 
 /// Server → client frames.
@@ -283,6 +345,9 @@ mod tests {
         });
         spec.want_outcomes = true;
         for req in [
+            Request::Hello {
+                protocol: PROTOCOL_VERSION,
+            },
             Request::Submit(spec),
             Request::Cancel { job: 17 },
             Request::Shutdown,
@@ -333,6 +398,7 @@ mod tests {
                 correct_ci: rskip_core::stats::wilson_ci(280, 300),
                 sdc_ci: rskip_core::stats::wilson_ci(0, 300),
                 total_nanos: 99,
+                cached: true,
             }),
             Response::Cancelled {
                 job: 2,
@@ -347,6 +413,39 @@ mod tests {
             let back: Response = decode(&encode(&resp)).unwrap();
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn v1_done_frame_without_cached_decodes_as_uncached() {
+        // Exactly what a version-1 server emits: no `cached` field.
+        let mut done = DoneFrame {
+            job: 4,
+            executed: 120,
+            requested: 120,
+            early_stopped: false,
+            stats: CampaignStats::default(),
+            correct_ci: rskip_core::stats::wilson_ci(100, 120),
+            sdc_ci: rskip_core::stats::wilson_ci(1, 120),
+            total_nanos: 777,
+            cached: true,
+        };
+        let line = encode(&Response::Done(done.clone()));
+        let v1_line = line.replace(",\"cached\":true", "");
+        assert_ne!(v1_line, line, "cached field must have been stripped");
+        let back: Response = decode(&v1_line).unwrap();
+        done.cached = false;
+        assert_eq!(back, Response::Done(done));
+    }
+
+    #[test]
+    fn duplicate_in_flight_roundtrips() {
+        let resp = Response::Rejected {
+            error: ErrorKind::DuplicateInFlight,
+            detail: "job key 0xabc already running as job 7".into(),
+            retry_after_ms: Some(180),
+        };
+        let back: Response = decode(&encode(&resp)).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -93,6 +93,27 @@ impl<T> JobQueue<T> {
         Ok(())
     }
 
+    /// Admits `item` even past capacity (never `Full`) — the
+    /// restart-recovery path, which must re-enqueue *every* journaled
+    /// unfinished job: refusing one would silently drop work the
+    /// server already accepted durably. New submissions still go
+    /// through [`try_push`](JobQueue::try_push) and feel backpressure
+    /// from the recovered backlog.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] after [`close`](JobQueue::close).
+    pub fn restore(&self, item: T) -> Result<(), PushError> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
     /// Blocks until an item is available (FIFO) or the queue is closed
     /// *and* drained, returning `None` in the latter case.
     pub fn pop(&self) -> Option<T> {
@@ -155,6 +176,21 @@ mod tests {
         q.try_push(7).unwrap();
         q.close();
         assert_eq!(consumer.join().unwrap(), (Some(7), None));
+    }
+
+    #[test]
+    fn restore_bypasses_capacity_but_not_close() {
+        let q = JobQueue::new(1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full { queued: 1 }));
+        // Recovery inserts past the bound...
+        assert_eq!(q.restore(2), Ok(()));
+        assert_eq!(q.restore(3), Ok(()));
+        // ...and new admissions keep feeling the backlog.
+        assert_eq!(q.try_push(4), Err(PushError::Full { queued: 3 }));
+        assert_eq!((q.pop(), q.pop(), q.pop()), (Some(1), Some(2), Some(3)));
+        q.close();
+        assert_eq!(q.restore(5), Err(PushError::Closed));
     }
 
     #[test]

@@ -47,4 +47,15 @@ pub trait CampaignRunner: Send + Sync + 'static {
     /// `0..trials`) and returns their aggregate. `want_outcomes` on the
     /// spec asks for the per-trial code string too.
     fn run_chunk(&self, spec: &JobSpec, range: Range<u32>) -> ChunkOutput;
+
+    /// A content hash of everything *beyond the spec's own wire
+    /// fields* that determines trial results — for the harness, the
+    /// selected scheme's compiled module text. The service folds this
+    /// into each job's identity key, so a result cached under one
+    /// binary/model-store state is never served after the underlying
+    /// benchmark content changes. Runners whose results depend only on
+    /// the spec (the mock runners in tests) can keep the default.
+    fn fingerprint(&self, _spec: &JobSpec) -> u64 {
+        0
+    }
 }

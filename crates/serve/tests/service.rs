@@ -5,15 +5,26 @@
 //! backpressure, cancellation, typed error paths — are tested in
 //! isolation and in milliseconds.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use rskip_core::stats::{CampaignStats, EarlyStop, OutcomeClass, StopMetric, TrialOutcome};
 use rskip_serve::{
-    encode, CampaignRunner, ChunkOutput, Client, ErrorKind, JobSpec, Response, Server, ServerConfig,
+    decode, encode, CampaignRunner, ChunkOutput, Client, ErrorKind, JobJournal, JobSpec, Request,
+    Response, RetryPolicy, Server, ServerConfig,
 };
+
+fn temp_state_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!("rskip-serve-test-{tag}-{}-{n}", std::process::id()))
+}
 
 /// Deterministic synthetic outcome for trial `t` of `spec` — a pure
 /// function of (bench, trial index), mimicking the harness's split-seed
@@ -118,6 +129,24 @@ impl CampaignRunner for GateRunner {
     fn run_chunk(&self, spec: &JobSpec, range: Range<u32>) -> ChunkOutput {
         self.started.lock().unwrap().send(()).unwrap();
         self.release.lock().unwrap().recv().unwrap();
+        synthetic_chunk(spec, range)
+    }
+}
+
+/// Instant runner that records every executed trial range — the probe
+/// for "a cache hit / resume executed exactly these trials".
+#[derive(Default)]
+struct RecordingRunner {
+    ranges: Mutex<Vec<Range<u32>>>,
+}
+
+impl CampaignRunner for RecordingRunner {
+    fn validate(&self, spec: &JobSpec) -> Result<(), (ErrorKind, String)> {
+        validate_mock(spec)
+    }
+
+    fn run_chunk(&self, spec: &JobSpec, range: Range<u32>) -> ChunkOutput {
+        self.ranges.lock().unwrap().push(range.clone());
         synthetic_chunk(spec, range)
     }
 }
@@ -314,22 +343,29 @@ fn queue_full_rejects_with_backoff_hint() {
     let server = Server::bind("127.0.0.1:0", Arc::new(runner), config).expect("bind loopback");
     let mut client = Client::connect(server.addr()).expect("connect");
 
+    // Distinct trial counts keep the three jobs' content keys apart —
+    // this test is about backpressure, not the in-flight dedup (which
+    // has its own test).
     // Job A: the single worker pops it and blocks inside its chunk.
     let job_a = client.submit_accepted(&spec(1, 1)).expect("accept A");
     started_rx
         .recv_timeout(Duration::from_secs(10))
         .expect("worker started job A");
     // Job B fills the one queue slot.
-    let job_b = client.submit_accepted(&spec(1, 1)).expect("accept B");
+    let job_b = client.submit_accepted(&spec(2, 2)).expect("accept B");
     // Job C finds the queue full: typed rejection with a backoff hint.
-    match client.submit(&spec(1, 1)).expect("frame") {
+    match client.submit(&spec(3, 3)).expect("frame") {
         Response::Rejected {
             error,
             retry_after_ms,
             ..
         } => {
             assert_eq!(error, ErrorKind::QueueFull);
-            assert!(retry_after_ms.is_some(), "QueueFull must hint a backoff");
+            let hint = retry_after_ms.expect("QueueFull must hint a backoff");
+            assert!(
+                (50..=rskip_serve::BACKOFF_CAP_MS * 5 / 4).contains(&hint),
+                "hint {hint} outside the documented bounds"
+            );
         }
         other => panic!("expected QueueFull, got {other:?}"),
     }
@@ -340,7 +376,7 @@ fn queue_full_rejects_with_backoff_hint() {
     let done_a = client.stream_job(job_a, |_| {}).expect("A finishes");
     assert_eq!(done_a.done.executed, 1);
     let done_b = client.stream_job(job_b, |_| {}).expect("B finishes");
-    assert_eq!(done_b.done.executed, 1);
+    assert_eq!(done_b.done.executed, 2);
 
     server.shutdown();
 }
@@ -405,4 +441,312 @@ fn shutdown_frame_drains_and_refuses_new_work() {
     }
 
     server.shutdown();
+}
+
+#[test]
+fn cached_resubmission_executes_zero_trials() {
+    let runner = Arc::new(RecordingRunner::default());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runner), ServerConfig::default())
+        .expect("bind loopback");
+    let job_spec = spec(50, 10);
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let job = client.submit_accepted(&job_spec).expect("accept");
+    let first = client.stream_job(job, |_| {}).expect("stream");
+    assert!(!first.done.cached, "a fresh run is not a cache hit");
+    assert_eq!(first.done.executed, 50);
+    let chunks_after_first = runner.ranges.lock().unwrap().len();
+    assert_eq!(chunks_after_first, 5);
+
+    // Same spec from a new session: answered from the result cache —
+    // an immediate Done, honestly flagged, with zero trials executed.
+    let mut retry = Client::connect(server.addr()).expect("reconnect");
+    let job2 = retry.submit_accepted(&job_spec).expect("accept cached");
+    assert_ne!(job2, job, "cached answers still get fresh job ids");
+    let second = retry.stream_job(job2, |_| {}).expect("stream cached");
+    assert!(second.done.cached, "resubmission must be served from cache");
+    assert!(second.progress.is_empty(), "no trials, no progress frames");
+    assert_eq!(
+        runner.ranges.lock().unwrap().len(),
+        chunks_after_first,
+        "a cache hit must execute zero chunks"
+    );
+    assert_eq!(second.done.executed, 50);
+    assert_eq!(encode(&second.done.stats), encode(&first.done.stats));
+
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_in_flight_is_refused_with_hint_and_mapped_for_v1() {
+    let (started_tx, started_rx) = channel();
+    let (release_tx, release_rx) = channel();
+    let runner = GateRunner {
+        started: Mutex::new(started_tx),
+        release: Mutex::new(release_rx),
+    };
+    let config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(runner), config).expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let job = client.submit_accepted(&spec(1, 1)).expect("accept");
+    started_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("worker started the job");
+
+    // This session declared protocol 2, so the duplicate gets the
+    // typed v2 rejection plus a retry hint.
+    match client.submit(&spec(1, 1)).expect("frame") {
+        Response::Rejected {
+            error,
+            detail,
+            retry_after_ms,
+        } => {
+            assert_eq!(error, ErrorKind::DuplicateInFlight);
+            assert!(retry_after_ms.is_some(), "duplicates must hint a backoff");
+            assert!(detail.contains(&format!("job {job}")), "detail: {detail}");
+        }
+        other => panic!("expected DuplicateInFlight, got {other:?}"),
+    }
+
+    // A session that never sent a client Hello is treated as a v1
+    // peer: the same condition maps to the nearest v1 error kind.
+    {
+        let stream = TcpStream::connect(server.addr()).expect("raw connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("server hello");
+        let mut frame = encode(&Request::Submit(spec(1, 1)));
+        frame.push('\n');
+        let mut writer = stream;
+        writer.write_all(frame.as_bytes()).expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("response");
+        match decode::<Response>(&line).expect("decode") {
+            Response::Rejected {
+                error,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(
+                    error,
+                    ErrorKind::QueueFull,
+                    "v1 sessions must see a v1 error kind"
+                );
+                assert!(retry_after_ms.is_some());
+            }
+            other => panic!("expected a rejection, got {other:?}"),
+        }
+    }
+
+    release_tx.send(()).unwrap();
+    let done = client.stream_job(job, |_| {}).expect("finishes");
+    assert_eq!(done.done.executed, 1);
+
+    server.shutdown();
+}
+
+/// Gate + range recording: deterministic suspension tests need both.
+struct GateRecordingRunner {
+    started: Mutex<Sender<()>>,
+    release: Mutex<Receiver<()>>,
+    ranges: Mutex<Vec<Range<u32>>>,
+}
+
+impl CampaignRunner for GateRecordingRunner {
+    fn validate(&self, spec: &JobSpec) -> Result<(), (ErrorKind, String)> {
+        validate_mock(spec)
+    }
+
+    fn run_chunk(&self, spec: &JobSpec, range: Range<u32>) -> ChunkOutput {
+        self.started.lock().unwrap().send(()).unwrap();
+        self.release.lock().unwrap().recv().unwrap();
+        self.ranges.lock().unwrap().push(range.clone());
+        synthetic_chunk(spec, range)
+    }
+}
+
+#[test]
+fn eof_suspends_progress_and_resilient_resubmit_resumes_it() {
+    let (started_tx, started_rx) = channel();
+    let (release_tx, release_rx) = channel();
+    let runner = Arc::new(GateRecordingRunner {
+        started: Mutex::new(started_tx),
+        release: Mutex::new(release_rx),
+        ranges: Mutex::new(Vec::new()),
+    });
+    let config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runner), config).expect("bind loopback");
+    let job_spec = spec(4, 2);
+
+    {
+        let mut client = Client::connect(server.addr()).expect("connect");
+        client.submit_accepted(&job_spec).expect("accept");
+        started_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("worker entered the first chunk");
+        // The client vanishes mid-chunk (scope drop = EOF, no Cancel).
+    }
+    // Let the reader thread observe the EOF and raise the suspend
+    // flag, then release the gated first chunk.
+    std::thread::sleep(Duration::from_millis(200));
+    release_tx.send(()).unwrap();
+    // The worker parks at the chunk boundary instead of starting the
+    // second chunk: no new gate entry.
+    assert!(
+        started_rx.recv_timeout(Duration::from_millis(300)).is_err(),
+        "a suspended job must not start another chunk"
+    );
+
+    // A retrying client resubmits the identical spec and attaches to
+    // the parked progress: only the missing trials run.
+    release_tx.send(()).unwrap(); // pre-release the one remaining chunk
+    let mut frames = Vec::new();
+    let policy = RetryPolicy {
+        max_attempts: 50,
+        base_ms: 5,
+        cap_ms: 50,
+    };
+    let done = Client::submit_resilient(server.addr(), &job_spec, policy, |p| {
+        frames.push(p.clone());
+    })
+    .expect("resilient resubmit");
+    assert!(!done.cached, "the resumed run actually executed trials");
+    assert_eq!(done.executed, 4);
+    assert!(
+        frames.iter().all(|p| p.executed > 2),
+        "resume must not re-stream finished trials: {frames:?}"
+    );
+    assert_eq!(
+        *runner.ranges.lock().unwrap(),
+        vec![0..2, 2..4],
+        "exactly the missing trials run — no overlap, no gap"
+    );
+    let one_shot = synthetic_chunk(&job_spec, 0..4);
+    assert_eq!(encode(&done.stats), encode(&one_shot.stats));
+
+    server.shutdown();
+}
+
+#[test]
+fn drain_shutdown_journals_clean_completion() {
+    let dir = temp_state_dir("drain");
+    let config = ServerConfig {
+        state_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(MockRunner), config).expect("bind loopback");
+    assert_eq!(server.recovery().results_cached, 0);
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let job = client.submit_accepted(&spec(50, 10)).expect("accept");
+    let outcome = client.stream_job(job, |_| {}).expect("stream");
+    client.shutdown_server().expect("send shutdown");
+    drop(client);
+    server.join();
+
+    // The drained job is terminally journaled: a restart would seed
+    // the cache and owe no work.
+    let (_, recovery) = JobJournal::open(&dir).expect("reopen journal");
+    assert!(
+        recovery.resumable.is_empty(),
+        "drain shutdown must leave no resumable jobs"
+    );
+    assert_eq!(recovery.completed.len(), 1);
+    let done = recovery.completed.values().next().expect("one result");
+    assert_eq!(encode(&done.stats), encode(&outcome.done.stats));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restart_resumes_suspended_job_and_caches_its_result() {
+    let dir = temp_state_dir("restart");
+    let job_spec = spec(4, 2);
+    let one_shot = synthetic_chunk(&job_spec, 0..4);
+
+    // Phase 1: a durable server runs half the job, the client
+    // vanishes (EOF mid-chunk), and shutdown leaves the journal with
+    // no terminal record for the job.
+    {
+        let (started_tx, started_rx) = channel();
+        let (release_tx, release_rx) = channel();
+        let runner = GateRunner {
+            started: Mutex::new(started_tx),
+            release: Mutex::new(release_rx),
+        };
+        let config = ServerConfig {
+            workers: 1,
+            state_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", Arc::new(runner), config).expect("bind");
+        {
+            let mut client = Client::connect(server.addr()).expect("connect");
+            client.submit_accepted(&job_spec).expect("accept");
+            started_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("worker entered the first chunk");
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        release_tx.send(()).unwrap();
+        assert!(
+            started_rx.recv_timeout(Duration::from_millis(300)).is_err(),
+            "a suspended job must not start another chunk"
+        );
+        server.shutdown();
+    }
+    // The journal holds the acceptance and one chunk checkpoint —
+    // resumable at trial 2. (Opening is safe: the server is down.)
+    {
+        let (_, recovery) = JobJournal::open(&dir).expect("inspect journal");
+        assert_eq!(recovery.resumable.len(), 1);
+        assert_eq!(recovery.resumable[0].executed, 2);
+        assert!(recovery.completed.is_empty());
+    }
+
+    // Phase 2: a restarted server replays the journal, finishes the
+    // orphan with no client attached, and a resubmission is answered
+    // from the cache — having executed only the missing trials.
+    let runner = Arc::new(RecordingRunner::default());
+    let config = ServerConfig {
+        workers: 1,
+        state_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runner), config).expect("rebind");
+    let recovery = server.recovery();
+    assert_eq!(recovery.jobs_resumed, 1);
+    assert_eq!(recovery.results_cached, 0);
+
+    let mut saw_progress = false;
+    let policy = RetryPolicy {
+        max_attempts: 100,
+        base_ms: 5,
+        cap_ms: 50,
+    };
+    let done = Client::submit_resilient(server.addr(), &job_spec, policy, |_| {
+        saw_progress = true;
+    })
+    .expect("resilient submit after restart");
+    assert!(
+        done.cached,
+        "the replayed orphan's result answers from cache"
+    );
+    assert!(!saw_progress, "a cache hit streams no progress");
+    assert_eq!(done.executed, 4);
+    assert_eq!(encode(&done.stats), encode(&one_shot.stats));
+    assert_eq!(
+        *runner.ranges.lock().unwrap(),
+        vec![2..4],
+        "restart must resume at the next chunk boundary, not from zero"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -40,6 +40,7 @@
 pub mod digest;
 pub mod dto;
 pub mod format;
+pub mod journal;
 mod key;
 mod profiles;
 mod store;
@@ -49,6 +50,7 @@ pub use dto::{
     StoredRegionModel, StoredRegionPlan, StoredSupervisorPolicy,
 };
 pub use format::{Section, StoreError, MAGIC, VERSION};
+pub use journal::{JournalFile, JournalOpen, JOURNAL_MAGIC, JOURNAL_VERSION};
 pub use key::{CacheKey, CacheKeyBuilder};
 pub use profiles::{ProfileCache, ProfileRecord};
 pub use store::{
